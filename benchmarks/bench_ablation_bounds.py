@@ -1,0 +1,72 @@
+"""Ablation: the %-gap denominator (LP vs Lagrangian vs own simplex).
+
+Eq. 1's ``LB(x)`` is "a lower bound"; the paper uses the continuous
+relaxation.  This bench quantifies how the choice of bound machinery
+affects the measure and its cost:
+
+* scipy/HiGHS LP (default), our own simplex, and the from-scratch
+  subgradient Lagrangian dual must agree (integrality property) — any
+  disagreement would silently rescale every gap in Tables III/IV,
+* per-solve cost differs by orders of magnitude, which matters because
+  every lower-level evaluation pays for one bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lp.lagrangian import lagrangian_bound
+from repro.lp.relaxation import solve_relaxation
+from tests.conftest import random_covering
+
+SIZES = [(5, 60), (10, 120), (30, 250)]
+
+
+@pytest.fixture(scope="module", params=range(3))
+def sized_instance(request):
+    m, n = SIZES[request.param]
+    return random_covering(request.param, n_services=m, n_bundles=n)
+
+
+class TestBoundAgreement:
+    def test_lp_backends_agree(self, sized_instance):
+        a = solve_relaxation(sized_instance, "scipy")
+        if sized_instance.n_bundles <= 150:  # own simplex is the slow path
+            b = solve_relaxation(sized_instance, "simplex")
+            assert a.lower_bound == pytest.approx(b.lower_bound, rel=1e-6)
+
+    def test_lagrangian_within_one_percent(self, sized_instance):
+        lp = solve_relaxation(sized_instance, "scipy")
+        lag = lagrangian_bound(sized_instance, max_iterations=800)
+        assert lag.lower_bound <= lp.lower_bound + 1e-6
+        if lp.lower_bound > 1e-9:
+            assert lag.lower_bound >= 0.95 * lp.lower_bound
+
+    def test_gap_rescaling_is_bounded(self, sized_instance, capsys):
+        """A heuristic's gap measured against the Lagrangian bound differs
+        from the LP-based gap by at most the bound slack."""
+        from repro.covering.greedy import greedy_cover
+        from repro.covering.heuristics import chvatal_score
+
+        lp = solve_relaxation(sized_instance, "scipy")
+        lag = lagrangian_bound(sized_instance, max_iterations=800)
+        sol = greedy_cover(sized_instance, chvatal_score)
+        gap_lp = lp.percent_gap(sol.cost)
+        gap_lag = 100.0 * (sol.cost - lag.lower_bound) / max(lag.lower_bound, 1e-9)
+        with capsys.disabled():
+            print(f"\n{sized_instance.n_services}x{sized_instance.n_bundles}: "
+                  f"gap(LP)={gap_lp:.2f}%  gap(Lagrangian)={gap_lag:.2f}%")
+        assert gap_lag >= gap_lp - 1e-6  # weaker bound -> larger apparent gap
+
+
+class TestBoundCosts:
+    def test_bench_lp_bound(self, benchmark):
+        inst = random_covering(7, n_services=10, n_bundles=250)
+        relax = benchmark(solve_relaxation, inst, "scipy")
+        assert relax.feasible
+
+    def test_bench_lagrangian_bound(self, benchmark):
+        inst = random_covering(7, n_services=10, n_bundles=250)
+        lag = benchmark(lagrangian_bound, inst, 300)
+        assert np.isfinite(lag.lower_bound)

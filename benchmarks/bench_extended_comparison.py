@@ -1,0 +1,129 @@
+"""Extended comparison: CARBON vs COBRA vs NSQ vs APP baselines.
+
+The paper compares only against COBRA; §III's taxonomy names the nested
+sequential (NSQ) family as the legacy alternative and the lower-level
+approximation (APP) family (BLEAQ, Bayesian surrogates) as the modern
+one.  This bench adds both, isolating what each ingredient buys:
+
+* NESTED[chvatal] pays one LL solve per UL evaluation with a *fixed*
+  heuristic — its gap is pinned at Chvátal quality,
+* SURROGATE[chvatal] keeps the fixed heuristic but pre-screens offspring
+  with a learned revenue model — saving evaluations, not solver skill,
+* CARBON pays the same per-evaluation price but *evolves* the heuristic —
+  its gap keeps falling below Chvátal,
+* COBRA avoids LL solves entirely (dot-product fitness) but its paired
+  baskets drift — the gap inflates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import bench_settings
+from repro.bcpop.generator import generate_instance
+from repro.core.carbon import run_carbon
+from repro.core.cobra import run_cobra
+from repro.core.config import UpperLevelConfig
+from repro.core.nested import run_nested
+from repro.core.surrogate import run_surrogate
+from repro.parallel.rng import stream_for
+
+SEEDS = (0, 1)
+
+
+@pytest.fixture(scope="module")
+def triple():
+    classes, _, carbon_cfg, cobra_cfg = bench_settings()
+    n, m = classes[1] if classes and len(classes) > 1 else (100, 10)
+    instance = generate_instance(
+        n, m, seed=stream_for(0, "bcpop", n, m, 0), name=f"ext-n{n}-m{m}"
+    )
+    nested_cfg = UpperLevelConfig(
+        population_size=carbon_cfg.upper.population_size,
+        archive_size=carbon_cfg.upper.archive_size,
+        fitness_evaluations=carbon_cfg.upper.fitness_evaluations,
+    )
+    carbon = [run_carbon(instance, carbon_cfg, seed=s) for s in SEEDS]
+    cobra = [run_cobra(instance, cobra_cfg, seed=s) for s in SEEDS]
+    nested = [run_nested(instance, nested_cfg, seed=s) for s in SEEDS]
+    return instance, carbon, cobra, nested
+
+
+def _mean(rs, attr):
+    return float(np.mean([getattr(r, attr) for r in rs]))
+
+
+def test_extended_gap_ordering(triple, capsys):
+    """CARBON <= NESTED[chvatal] << COBRA on the %-gap axis."""
+    _, carbon, cobra, nested = triple
+    cg, ng, og = (_mean(r, "best_gap") for r in (carbon, nested, cobra))
+    with capsys.disabled():
+        print(f"\nextended comparison (best %-gap): CARBON={cg:.2f} "
+              f"NESTED[chvatal]={ng:.2f} COBRA={og:.2f}")
+    assert cg <= ng + 1.5  # evolved heuristics at least match Chvátal
+    assert ng < og         # any real LL solver beats drifting pairings
+
+
+def test_extended_revenue_report(triple, capsys):
+    _, carbon, cobra, nested = triple
+    cu, nu, ou = (_mean(r, "best_upper") for r in (carbon, nested, cobra))
+    with capsys.disabled():
+        print(f"\nextended comparison (best revenue): CARBON={cu:.0f} "
+              f"NESTED[chvatal]={nu:.0f} COBRA={ou:.0f}")
+    # CARBON and NESTED both report realizable revenue; they should be in
+    # the same ballpark, while COBRA's optimistic number floats free.
+    assert 0.4 * nu <= cu <= 2.5 * nu
+
+
+def test_nested_budget_accounting(triple):
+    """NSQ's signature: exactly one LL solve per UL evaluation."""
+    _, _, _, nested = triple
+    for r in nested:
+        assert r.ll_evaluations_used == r.ul_evaluations_used
+
+
+def test_surrogate_screening_measured(triple, capsys):
+    """APP branch: surrogate pre-screening at equal *true-evaluation*
+    budget.  The paper notes APP methods "have only been designed to cope
+    with continuous bi-level optimization problems"; our adaptation
+    confirms the caveat quantitatively — a diagonal-quadratic revenue
+    model sometimes mis-ranks candidates on the combinatorial BCPOP, so
+    the surrogate lands in the nested GA's league but does not dominate
+    it.  We assert the same-league band and that screening really ran;
+    the printed numbers feed EXPERIMENTS.md."""
+    instance, _, _, nested = triple
+    classes, _, carbon_cfg, _ = bench_settings()
+    cfg = UpperLevelConfig(
+        population_size=carbon_cfg.upper.population_size,
+        archive_size=carbon_cfg.upper.archive_size,
+        fitness_evaluations=carbon_cfg.upper.fitness_evaluations,
+    )
+    surrogate = [run_surrogate(instance, cfg, seed=s, oversample=4) for s in SEEDS]
+    su = _mean(surrogate, "best_upper")
+    nu = _mean(nested, "best_upper")
+    with capsys.disabled():
+        print(f"\nAPP branch: SURROGATE revenue={su:.0f} vs NESTED={nu:.0f} "
+              f"(screened {surrogate[0].extras['screened_out']} candidates)")
+    assert 0.6 * nu <= su <= 1.7 * nu
+    for r in surrogate:
+        assert r.extras["screened_out"] > 0
+        # Same gap family as NESTED: the solver is the same fixed rule.
+        assert np.isfinite(r.best_gap)
+
+
+def test_bench_nested_run(benchmark):
+    classes, _, carbon_cfg, _ = bench_settings()
+    n, m = classes[0] if classes else (100, 5)
+    instance = generate_instance(n, m, seed=0)
+    cfg = UpperLevelConfig(
+        population_size=carbon_cfg.upper.population_size,
+        fitness_evaluations=max(
+            carbon_cfg.upper.population_size,
+            carbon_cfg.upper.fitness_evaluations // 5,
+        ),
+    )
+    result = benchmark.pedantic(
+        lambda: run_nested(instance, cfg, seed=0), rounds=1, iterations=1
+    )
+    assert np.isfinite(result.best_gap)

@@ -1,0 +1,51 @@
+"""Fig. 1 — discontinuous inducible region of the Mersha-Dempe example.
+
+Regenerates the rational-reaction curve over the x grid, asserts the
+paper's worked facts (P(2)={3}, P(6)={12}, (6,12) UL-infeasible, the
+forbidden band around x=6), and benchmarks the sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bilevel.linear import mersha_dempe_example
+from repro.experiments.figures import fig1_series
+from repro.experiments.reporting import format_fig1
+
+
+def test_fig1_worked_example_facts():
+    ex = mersha_dempe_example()
+    assert ex.rational_reaction(2.0).reactions == (3.0,)
+    assert ex.rational_reaction(6.0).reactions == (12.0,)
+    assert not ex.upper_feasible(6.0, 12.0)
+    assert ex.upper_feasible(6.0, 8.0)  # the tempting-but-irrational pairing
+
+
+def test_fig1_discontinuity_band(capsys):
+    series = fig1_series(n_grid=361)
+    assert series.infeasible_xs.size > 0
+    # The forbidden band straddles x=6 (the paper's example point).
+    assert series.infeasible_xs.min() < 6.0 < series.infeasible_xs.max()
+    # Outside the band the rational pairs are UL-feasible.
+    assert series.upper_feasible.any()
+    with capsys.disabled():
+        print()
+        print(format_fig1(series))
+
+
+def test_fig1_reaction_piecewise_linear():
+    """y(x) = min(3x-3, 30-3x): slopes +-3 on the two segments."""
+    series = fig1_series(n_grid=361)
+    x, y = series.x, series.y_rational
+    rising = x < 5.4
+    falling = x > 5.6
+    d_rise = np.diff(y[rising]) / np.diff(x[rising])
+    d_fall = np.diff(y[falling]) / np.diff(x[falling])
+    assert np.allclose(d_rise, 3.0, atol=1e-6)
+    assert np.allclose(d_fall, -3.0, atol=1e-6)
+
+
+def test_bench_fig1_sweep(benchmark):
+    series = benchmark(fig1_series, n_grid=1001)
+    assert series.x.size == series.y_rational.size

@@ -1,0 +1,54 @@
+"""Fig. 2 — extended bi-level metaheuristics taxonomy.
+
+Regenerates the taxonomy DAG, asserts the §III structure (five strategies,
+NSQ's two sub-approaches, CARBON and COBRA under the co-evolutionary
+branch), and benchmarks construction + rendering.
+"""
+
+from __future__ import annotations
+
+from repro.bilevel.taxonomy import bilevel_taxonomy, render_taxonomy
+from repro.experiments.figures import fig2_structure
+
+
+def test_fig2_strategies():
+    s = fig2_structure()
+    assert set(s["strategies"]) == {"NSQ", "STA", "COE", "MOA", "APP"}
+
+
+def test_fig2_nsq_subapproaches():
+    g = bilevel_taxonomy()
+    assert g.has_edge("NSQ", "REP")
+    assert g.has_edge("NSQ", "CST")
+
+
+def test_fig2_coevolutionary_branch():
+    s = fig2_structure()
+    coe = [name for name, strat in s["algorithms"].items() if strat == "COE"]
+    assert "CARBON (this paper)" in coe
+    assert "COBRA (Legillon et al. 2012)" in coe
+    assert "BIGA (Oduguwa & Roy 2002)" in coe
+    assert "CODBA (Chaabani et al. 2015)" in coe
+
+
+def test_fig2_approximation_branch():
+    s = fig2_structure()
+    app = [name for name, strat in s["algorithms"].items() if strat == "APP"]
+    assert any("BLEAQ" in a for a in app)
+
+
+def test_fig2_render(capsys):
+    text = render_taxonomy()
+    assert "Co-evolutionary" in text
+    assert "CARBON (this paper)" in text
+    with capsys.disabled():
+        print()
+        print(text)
+
+
+def test_bench_taxonomy_build_and_render(benchmark):
+    def build():
+        return render_taxonomy(bilevel_taxonomy())
+
+    text = benchmark(build)
+    assert "Bi-level metaheuristics" in text

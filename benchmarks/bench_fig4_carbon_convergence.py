@@ -1,0 +1,68 @@
+"""Fig. 4 — CARBON's average convergence curves.
+
+The paper shows, for the n=500/m=30 class averaged over 30 runs, a
+*steady* increase of the upper-level fitness and a *steady* decrease of
+the %-gap.  At bench scale we run a smaller class and assert steadiness
+via the see-saw index (≈0 for CARBON) and the end-vs-start direction of
+both curves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import bench_settings
+from repro.experiments.figures import convergence_experiment
+from repro.experiments.reporting import format_convergence
+
+
+def _curves():
+    classes, runs, carbon_cfg, cobra_cfg = bench_settings()
+    n, m = classes[-1] if classes else (500, 30)
+    return convergence_experiment(
+        "CARBON",
+        n_bundles=n,
+        n_services=m,
+        runs=min(runs, 3),
+        carbon_config=carbon_cfg,
+        cobra_config=cobra_cfg,
+        n_points=50,
+    )
+
+
+def test_fig4_carbon_steady(capsys):
+    curves = _curves()
+    # Steadiness: the paper's "smooth" claim as a statistic.
+    assert curves.fitness_seesaw < 0.25
+    # Direction: fitness up, gap down over the run.
+    finite_fit = curves.fitness[np.isfinite(curves.fitness)]
+    finite_gap = curves.gap[np.isfinite(curves.gap)]
+    assert finite_fit[-1] >= finite_fit[0]
+    assert finite_gap[-1] <= finite_gap[0]
+    with capsys.disabled():
+        print()
+        print(format_convergence(curves))
+
+
+def test_fig4_gap_curve_monotone_trend():
+    """The averaged champion-gap curve never rises (archive elitism makes
+    the per-run best-gap monotone; averaging preserves it)."""
+    curves = _curves()
+    finite = curves.gap[np.isfinite(curves.gap)]
+    assert (np.diff(finite) <= 1e-6).all()
+
+
+def test_bench_fig4_experiment(benchmark):
+    classes, _, carbon_cfg, cobra_cfg = bench_settings()
+    n, m = classes[0] if classes else (100, 5)
+
+    def run():
+        return convergence_experiment(
+            "CARBON", n_bundles=n, n_services=m, runs=1,
+            carbon_config=carbon_cfg.scaled(0.3),
+            cobra_config=cobra_cfg.scaled(0.3),
+            n_points=20,
+        )
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert curves.n_runs == 1

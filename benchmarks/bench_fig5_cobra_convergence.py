@@ -1,0 +1,72 @@
+"""Fig. 5 — COBRA's average convergence curves.
+
+The paper: "both convergence curves have a see-saw shape which indicates
+that each improvement phase deteriorates the other level".  We assert the
+see-saw index of COBRA's fitness curve is high in absolute terms and much
+higher than CARBON's on the same class, reproducing the Fig. 4-vs-Fig. 5
+contrast quantitatively.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import bench_settings
+from repro.experiments.figures import convergence_experiment
+from repro.experiments.reporting import format_convergence
+
+
+def _curves(algorithm: str):
+    classes, runs, carbon_cfg, cobra_cfg = bench_settings()
+    n, m = classes[-1] if classes else (500, 30)
+    return convergence_experiment(
+        algorithm,
+        n_bundles=n,
+        n_services=m,
+        runs=min(runs, 3),
+        carbon_config=carbon_cfg,
+        cobra_config=cobra_cfg,
+        n_points=50,
+    )
+
+
+def test_fig5_cobra_seesaw(capsys):
+    curves = _curves("COBRA")
+    assert curves.fitness_seesaw > 0.3
+    with capsys.disabled():
+        print()
+        print(format_convergence(curves))
+
+
+def test_fig4_vs_fig5_contrast():
+    """The paper's central qualitative contrast, quantified."""
+    carbon = _curves("CARBON")
+    cobra = _curves("COBRA")
+    assert cobra.fitness_seesaw > carbon.fitness_seesaw + 0.2
+    assert cobra.gap_seesaw >= carbon.gap_seesaw - 1e-9
+
+
+def test_fig5_gap_stays_inflated():
+    """COBRA's gap curve should end well above CARBON's (Table III seen
+    through the convergence lens)."""
+    carbon = _curves("CARBON")
+    cobra = _curves("COBRA")
+    c_end = carbon.gap[np.isfinite(carbon.gap)][-1]
+    o_end = cobra.gap[np.isfinite(cobra.gap)][-1]
+    assert o_end > c_end
+
+
+def test_bench_fig5_experiment(benchmark):
+    classes, _, carbon_cfg, cobra_cfg = bench_settings()
+    n, m = classes[0] if classes else (100, 5)
+
+    def run():
+        return convergence_experiment(
+            "COBRA", n_bundles=n, n_services=m, runs=1,
+            carbon_config=carbon_cfg.scaled(0.3),
+            cobra_config=cobra_cfg.scaled(0.3),
+            n_points=20,
+        )
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert curves.n_runs == 1

@@ -1,0 +1,65 @@
+"""Island-model CARBON: what migration buys (HPC extension).
+
+Compares, at equal *total* budget, K isolated CARBON runs (take the best)
+against a K-island ring with migration.  Migration shares champion
+heuristics — the portable commodity CARBON's design creates — so the ring
+should match or beat the best isolated island.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bcpop.generator import generate_instance
+from repro.core.carbon import run_carbon
+from repro.core.config import CarbonConfig
+from repro.parallel.islands import run_island_carbon
+
+CFG = CarbonConfig.quick(400, 400, population_size=10)
+K = 3
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate_instance(50, 5, seed=4, name="island-bench")
+
+
+def test_islands_vs_isolated(instance, capsys):
+    isolated = [run_carbon(instance, CFG, seed=s) for s in range(K)]
+    best_isolated = min(r.best_gap for r in isolated)
+    ring = run_island_carbon(
+        instance, CFG, n_islands=K, migration_interval=3, seed=0
+    )
+    with capsys.disabled():
+        print(f"\nisland model: best isolated gap={best_isolated:.2f}  "
+              f"ring gap={ring.best_gap:.2f}  "
+              f"(migrations={ring.extras['migrations']})")
+    # Equal total budget: the ring should be in the same league or better.
+    assert ring.best_gap <= best_isolated * 1.75 + 0.5
+
+
+def test_ring_budget_equals_sum_of_islands(instance):
+    ring = run_island_carbon(instance, CFG, n_islands=K, seed=1)
+    assert ring.ul_evaluations_used <= K * CFG.upper.fitness_evaluations
+    assert ring.ll_evaluations_used <= K * CFG.ll_fitness_evaluations
+
+
+def test_migration_interval_extremes(instance):
+    frequent = run_island_carbon(
+        instance, CFG, n_islands=K, migration_interval=1, seed=2
+    )
+    rare = run_island_carbon(
+        instance, CFG, n_islands=K, migration_interval=10_000, seed=2
+    )
+    assert frequent.extras["migrations"] > rare.extras["migrations"]
+    assert np.isfinite(frequent.best_gap) and np.isfinite(rare.best_gap)
+
+
+def test_bench_ring_run(benchmark, instance):
+    small = CarbonConfig.quick(150, 150, population_size=8)
+    result = benchmark.pedantic(
+        lambda: run_island_carbon(instance, small, n_islands=2, seed=0),
+        rounds=1, iterations=1,
+    )
+    assert np.isfinite(result.best_gap)

@@ -1,0 +1,90 @@
+"""Substrate micro-benchmarks (not a paper table, but the cost model
+behind every experiment: one LL evaluation = one LP relaxation (cached) +
+one greedy solve).
+
+Also cross-times the two LP backends — the from-scratch simplex vs scipy's
+HiGHS — and the relaxation cache's amortization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bcpop.evaluate import LowerLevelEvaluator
+from repro.bcpop.generator import generate_instance
+from repro.covering.greedy import greedy_cover
+from repro.covering.heuristics import chvatal_score
+from repro.lp.relaxation import solve_relaxation
+from tests.conftest import random_covering
+
+
+@pytest.fixture(scope="module")
+def big_instance():
+    return random_covering(0, n_services=30, n_bundles=500)
+
+
+class TestGreedyThroughput:
+    def test_bench_greedy_500x30(self, benchmark, big_instance):
+        sol = benchmark(greedy_cover, big_instance, chvatal_score)
+        assert sol.feasible
+
+    def test_greedy_scales_subquadratically(self):
+        """Doubling bundles should not quadruple greedy time (vectorized
+        scoring keeps the per-step cost linear in n)."""
+        import time
+
+        def took(n):
+            inst = random_covering(1, n_services=10, n_bundles=n)
+            t0 = time.perf_counter()
+            for _ in range(5):
+                greedy_cover(inst, chvatal_score)
+            return time.perf_counter() - t0
+
+        t250, t500 = took(250), took(500)
+        assert t500 < 6 * t250 + 0.05
+
+
+class TestLPBackends:
+    def test_bench_scipy_relaxation(self, benchmark, big_instance):
+        relax = benchmark(solve_relaxation, big_instance, "scipy")
+        assert relax.feasible
+
+    def test_bench_own_simplex_relaxation(self, benchmark):
+        inst = random_covering(2, n_services=8, n_bundles=60)
+        relax = benchmark(solve_relaxation, inst, "simplex")
+        assert relax.feasible
+
+    def test_backends_agree_on_bench_instance(self, big_instance):
+        a = solve_relaxation(big_instance, "scipy")
+        # Own simplex on the full 500x30 is slow but must agree; use a
+        # 60-bundle slice for the cross-check.
+        small = random_covering(2, n_services=8, n_bundles=60)
+        b_scipy = solve_relaxation(small, "scipy")
+        b_own = solve_relaxation(small, "simplex")
+        assert b_scipy.lower_bound == pytest.approx(b_own.lower_bound, rel=1e-6)
+        assert a.feasible
+
+
+class TestEvaluationPipeline:
+    def test_bench_ll_evaluation_cold(self, benchmark):
+        instance = generate_instance(250, 10, seed=0)
+        gen = np.random.default_rng(0)
+
+        def evaluate():
+            ev = LowerLevelEvaluator(instance)  # cold cache each round
+            prices = gen.uniform(0, instance.price_cap, instance.n_own)
+            return ev.evaluate_heuristic(prices, chvatal_score)
+
+        out = benchmark(evaluate)
+        assert out.feasible
+
+    def test_bench_ll_evaluation_warm(self, benchmark):
+        instance = generate_instance(250, 10, seed=0)
+        ev = LowerLevelEvaluator(instance)
+        prices = np.full(instance.n_own, instance.price_cap / 2)
+        ev.evaluate_heuristic(prices, chvatal_score)  # prime the cache
+
+        out = benchmark(ev.evaluate_heuristic, prices, chvatal_score)
+        assert out.feasible
+        assert ev.cache_stats["hit_rate"] > 0.9

@@ -1,0 +1,53 @@
+"""Table I — the GP operator and terminal sets.
+
+Regenerates the table from the live primitive registry, asserts its exact
+content, and benchmarks the vectorized evaluation of a representative
+scoring tree (the inner-loop cost every CARBON lower-level evaluation
+pays).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.covering.greedy import GreedyContext
+from repro.experiments.reporting import format_table1
+from repro.experiments.tables import table1_rows
+from repro.gp.primitives import lookup_primitive, lookup_terminal, paper_primitive_set
+from repro.gp.tree import SyntaxTree
+from tests.conftest import random_covering
+
+
+def test_table1_content(capsys):
+    rows = table1_rows()
+    names = [r[0] for r in rows]
+    # Operators of Table I.
+    assert names[:5] == ["+", "-", "*", "%", "mod"]
+    # Terminals of Table I (per-bundle aggregate views; DESIGN.md §5).
+    for terminal in ("COST", "QSUM", "QMAX", "COVER", "BSUM", "BRES", "DUAL", "XLP"):
+        assert terminal in names
+    with capsys.disabled():
+        print()
+        print(format_table1(rows))
+
+
+def test_bench_tree_evaluation(benchmark):
+    """Vectorized evaluation throughput of a depth-4 tree over 500 bundles."""
+    inst = random_covering(0, n_services=30, n_bundles=500)
+    ctx = GreedyContext.fresh(inst)
+    P, T = lookup_primitive, lookup_terminal
+    # (COST % COVER) - (DUAL * (XLP + 0.5-ish depth filler))
+    tree = SyntaxTree(
+        [P("sub"),
+         P("div"), T("COST"), T("COVER"),
+         P("mul"), T("DUAL"), P("add"), T("XLP"), T("QMAX")]
+    )
+    out = benchmark(tree.evaluate, ctx)
+    assert out.shape == (500,)
+    assert np.isfinite(out).all()
+
+
+def test_bench_primitive_set_construction(benchmark):
+    pset = benchmark(paper_primitive_set)
+    assert len(pset.operators) == 5
+    assert len(pset.terminals) == 8

@@ -1,0 +1,38 @@
+"""Table II — parameters of both algorithms.
+
+Asserts the paper's values are what the config dataclasses produce and
+prints the regenerated table.  (Configuration has no runtime to measure;
+the benchmark covers config construction + validation.)
+"""
+
+from __future__ import annotations
+
+from repro.core.config import CarbonConfig, CobraConfig
+from repro.experiments.reporting import format_table2
+from repro.experiments.tables import table2_rows
+
+
+def test_table2_content(capsys):
+    rows = {r[0]: (r[1], r[2]) for r in table2_rows()}
+    assert rows["UL population size"] == ("100", "100")
+    assert rows["UL archive size"] == ("100", "100")
+    assert rows["UL fitness evaluations"] == ("50000", "50000")
+    assert rows["UL crossover probability"] == ("0.85", "0.85")
+    assert rows["UL mutation probability"] == ("0.01", "0.01")
+    assert rows["LL encoding"] == ("syntax trees", "binary values")
+    assert rows["LL fitness evaluations"] == ("50000", "50000")
+    assert rows["LL crossover probability"] == ("0.85", "0.85")
+    assert rows["LL mutation probability"] == ("0.1", "1/#variables")
+    assert rows["LL reproduction probability"] == ("0.05", "-")
+    with capsys.disabled():
+        print()
+        print(format_table2(table2_rows()))
+
+
+def test_bench_config_construction(benchmark):
+    def build():
+        return CarbonConfig.paper(), CobraConfig.paper()
+
+    carbon, cobra = benchmark(build)
+    assert carbon.upper.fitness_evaluations == 50_000
+    assert cobra.ll_fitness_evaluations == 50_000

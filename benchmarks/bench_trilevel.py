@@ -1,0 +1,79 @@
+"""Future-work study: CARBON under deeper nesting (paper §VI).
+
+"Future works will be devoted to multiple-level problems with deeper
+nested structure in order to analyze the limitations of CARBON in terms
+of co-evolution."  The tri-level cloud market makes the limitation
+measurable: every level-1 evaluation consumes
+``reseller_population x (reseller_generations + 1)`` level-3 solves, so
+for a fixed level-3 budget the provider's effective budget shrinks by
+that multiplier.  The bench sweeps the embedded budget and reports the
+trade-off between reaction fidelity and level-1 progress.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bcpop.generator import generate_instance
+from repro.core.config import CarbonConfig
+from repro.trilevel import TriLevelInstance, run_trilevel_carbon
+
+CFG = CarbonConfig.quick(40, 2_500, population_size=8)
+
+
+@pytest.fixture(scope="module")
+def tri():
+    return TriLevelInstance.from_bcpop(
+        generate_instance(40, 5, seed=2, name="tri-bench")
+    )
+
+
+def test_trilevel_runs_to_completion(tri):
+    result = run_trilevel_carbon(
+        tri, CFG, seed=0, reseller_population=6, reseller_generations=2
+    )
+    assert result.algorithm == "CARBON3"
+    assert np.isfinite(result.best_gap)
+    assert np.isfinite(result.best_upper) and result.best_upper >= 0
+
+
+def test_nesting_multiplier_sweep(tri, capsys):
+    """The headline future-work number: level-3 solves per level-1
+    evaluation, as a function of the embedded reseller budget."""
+    rows = []
+    for pop, gens in ((4, 1), (6, 2), (8, 4)):
+        result = run_trilevel_carbon(
+            tri, CFG, seed=0, reseller_population=pop, reseller_generations=gens
+        )
+        rows.append((pop, gens, result.extras["nesting_multiplier"],
+                     result.ul_evaluations_used, result.best_gap))
+    with capsys.disabled():
+        print("\ntri-level nesting cost (fixed level-3 budget):")
+        print(f"  {'pop':>4} {'gens':>5} {'mult':>7} {'L1 evals':>9} {'gap%':>7}")
+        for pop, gens, mult, l1, gap in rows:
+            print(f"  {pop:4d} {gens:5d} {mult:7.1f} {l1:9d} {gap:7.2f}")
+    # Bigger embedded budgets -> bigger multipliers -> fewer L1 evaluations.
+    mults = [r[2] for r in rows]
+    l1s = [r[3] for r in rows]
+    assert mults[0] < mults[-1]
+    assert l1s[0] >= l1s[-1]
+
+
+def test_provider_revenue_bounded_by_wholesale_volume(tri):
+    """Sanity envelope: revenue cannot exceed cap x own-bundle count."""
+    result = run_trilevel_carbon(
+        tri, CFG, seed=1, reseller_population=5, reseller_generations=1
+    )
+    assert result.best_upper <= tri.wholesale_cap * tri.n_own + 1e-6
+
+
+def test_bench_trilevel_run(benchmark, tri):
+    small = CarbonConfig.quick(12, 600, population_size=6)
+    result = benchmark.pedantic(
+        lambda: run_trilevel_carbon(
+            tri, small, seed=0, reseller_population=4, reseller_generations=1
+        ),
+        rounds=1, iterations=1,
+    )
+    assert np.isfinite(result.best_gap)

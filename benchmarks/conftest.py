@@ -1,0 +1,66 @@
+"""Shared fixtures for the benchmark suite.
+
+Every table/figure of the paper has one ``bench_*`` module.  Benchmarks
+run at a laptop scale controlled by ``REPRO_BENCH_SCALE``:
+
+* ``quick`` (default) — minutes for the whole suite; shape claims only,
+* ``bench`` — tens of minutes; tighter budgets,
+* ``paper`` — Table II budgets (hours; use ``repro-bench --scale paper``
+  with ``--workers`` instead of pytest for this).
+
+The expensive Table III/IV experiment runs once per session and is shared
+by both table benches.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.config import CarbonConfig, CobraConfig
+from repro.experiments.tables import ComparisonResult, run_comparison
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+#: (classes, runs, carbon_cfg, cobra_cfg) per scale.  Classes span the
+#: paper's size axis (n growing, m growing) at laptop-friendly sizes.
+_SETTINGS = {
+    "quick": (
+        [(40, 5), (60, 10), (80, 30)],
+        3,
+        CarbonConfig.quick(1_500, 1_500, 20),
+        CobraConfig.quick(1_500, 1_500, 20),
+    ),
+    "bench": (
+        [(100, 5), (100, 10), (100, 30), (250, 5), (250, 10)],
+        5,
+        CarbonConfig.quick(5_000, 5_000, 40),
+        CobraConfig.quick(5_000, 5_000, 40),
+    ),
+    "paper": (
+        None,  # all nine classes
+        30,
+        CarbonConfig.paper(),
+        CobraConfig.paper(),
+    ),
+}
+
+
+def bench_settings():
+    if SCALE not in _SETTINGS:
+        raise ValueError(f"REPRO_BENCH_SCALE={SCALE!r} not in {sorted(_SETTINGS)}")
+    return _SETTINGS[SCALE]
+
+
+@pytest.fixture(scope="session")
+def comparison() -> ComparisonResult:
+    """The shared Table III/IV experiment (runs once per session)."""
+    classes, runs, carbon_cfg, cobra_cfg = bench_settings()
+    return run_comparison(
+        classes=classes,
+        runs=runs,
+        carbon_config=carbon_cfg,
+        cobra_config=cobra_cfg,
+        instance_seed=0,
+    )

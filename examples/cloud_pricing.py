@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""The Bi-level Cloud Pricing problem, explored by hand.
+
+This walkthrough shows *why* pricing is a bi-level problem before any
+evolution happens:
+
+1. build a BCPOP instance (leader bundles + competitor market),
+2. sweep a uniform leader price and watch the customer's rational-ish
+   reaction (greedy + LP features) switch between "buy from the leader"
+   and "buy from the market" — the revenue curve is non-monotone because
+   the follower re-optimizes against every pricing,
+3. show the overestimation trap: evaluating a pricing against a *stale*
+   basket (COBRA-style) predicts far more revenue than the follower will
+   actually concede,
+4. hand the problem to CARBON and compare.
+
+Run:  python examples/cloud_pricing.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CarbonConfig, generate_instance, run_carbon
+from repro.bcpop.evaluate import LowerLevelEvaluator
+from repro.covering.heuristics import chvatal_score
+
+
+def price_sweep(instance, evaluator) -> None:
+    print("uniform-price sweep (every leader bundle at the same price):")
+    print(f"  {'price':>8} {'revenue':>10} {'bought(own)':>12} {'LL gap%':>8}")
+    for frac in (0.0, 0.2, 0.4, 0.6, 0.8, 1.0):
+        price = frac * instance.price_cap
+        prices = np.full(instance.n_own, price)
+        out = evaluator.evaluate_heuristic(prices, chvatal_score)
+        bought = int(out.selection[: instance.n_own].sum())
+        print(f"  {price:8.1f} {out.revenue:10.1f} {bought:12d} {out.gap:8.2f}")
+    print("  -> revenue rises with price only while the follower keeps "
+          "buying; past the competitive point it collapses.\n")
+
+
+def stale_basket_trap(instance, evaluator) -> None:
+    """COBRA's shortcut: F(x, y_stale) with a basket frozen from cheaper
+    times wildly overestimates the payoff."""
+    cheap = np.full(instance.n_own, 0.1 * instance.price_cap)
+    basket_when_cheap = evaluator.evaluate_heuristic(cheap, chvatal_score).selection
+
+    greedy_prices = np.full(instance.n_own, 0.95 * instance.price_cap)
+    claimed = instance.revenue(greedy_prices, basket_when_cheap)
+    actual = evaluator.evaluate_heuristic(greedy_prices, chvatal_score).revenue
+    print("the stale-basket trap (paper Eq. 2-3 in miniature):")
+    print(f"  pricing at 95% of cap, evaluated against the basket the "
+          f"customer chose when prices were at 10%:")
+    print(f"    claimed revenue (stale pairing) : {claimed:10.1f}")
+    print(f"    actual revenue (fresh reaction) : {actual:10.1f}")
+    print("  -> a co-evolutionary algorithm that pairs decision vectors "
+          "across levels optimizes the *claimed* number.\n")
+
+
+def main() -> None:
+    instance = generate_instance(n_bundles=120, n_services=10, seed=7,
+                                 name="cloud-pricing-demo")
+    evaluator = LowerLevelEvaluator(instance)
+    print(f"{instance.name}: {instance.n_bundles} bundles "
+          f"({instance.n_own} leader-owned), {instance.n_services} services, "
+          f"price cap {instance.price_cap:.1f}\n")
+
+    price_sweep(instance, evaluator)
+    stale_basket_trap(instance, evaluator)
+
+    print("CARBON optimizing the pricing (competitive co-evolution):")
+    result = run_carbon(
+        instance,
+        CarbonConfig.quick(ul_evaluations=1_500, ll_evaluations=1_500,
+                           population_size=20),
+        seed=0,
+    )
+    print(f"  best realizable revenue : {result.best_upper:.1f}")
+    print(f"  forecast quality (gap)  : {result.best_gap:.2f}%")
+    print(f"  champion heuristic      : {result.extras['champion']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""The paper's linear worked example (Program 3 / Fig. 1), end to end.
+
+Shows, with exact closed-form lower-level solves:
+
+* the rational reaction curve y(x),
+* why the inducible region is discontinuous (UL constraints that the
+  follower ignores),
+* the (x=6, y=12) trap from the paper's §II and §V-B,
+* the optimistic bi-level optimum.
+
+Run:  python examples/linear_bilevel.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bilevel.linear import mersha_dempe_example
+from repro.experiments.figures import fig1_series
+from repro.experiments.reporting import ascii_curve
+
+
+def main() -> None:
+    ex = mersha_dempe_example()
+    print("Program 3 (Mersha & Dempe 2006):")
+    print("  min F(x,y) = -x - 2y")
+    print("  s.t. 2x - 3y >= -12 ;  x + y <= 14        (upper level)")
+    print("       min f(y) = -y")
+    print("       s.t. -3x + y <= -3 ;  3x + y <= 30 ; y >= 0   (lower level)\n")
+
+    print("rational reactions (closed form):")
+    for x in (2.0, 4.0, 6.0, 8.0):
+        r = ex.rational_reaction(x)
+        y = r.reactions[0]
+        flag = "UL-FEASIBLE" if ex.upper_feasible(x, y) else "UL-INFEASIBLE"
+        print(f"  x={x:4.1f} -> P(x)={{{y:5.2f}}}  F={ex.upper_objective(x, y):7.2f}  [{flag}]")
+
+    print("\nthe paper's trap at x=6:")
+    print("  the leader may hope the follower picks y=8 "
+          f"(UL-feasible: {ex.upper_feasible(6.0, 8.0)}),")
+    r6 = ex.rational_reaction(6.0)
+    print(f"  but the rational reaction is y={r6.reactions[0]:.0f}, and "
+          f"(6, {r6.reactions[0]:.0f}) violates 2x - 3y >= -12 "
+          f"-> the leader ends with no feasible solution at all.\n")
+
+    series = fig1_series(n_grid=241)
+    print(ascii_curve(series.x, series.y_rational,
+                      label="Fig. 1: rational reaction y(x), x in [1, 10]"))
+    lo, hi = series.infeasible_xs.min(), series.infeasible_xs.max()
+    print(f"\ninducible region discontinuity: rational pairs are "
+          f"UL-infeasible for x in [{lo:.2f}, {hi:.2f}]")
+
+    best = ex.solve_optimistic(n_grid=4001)
+    print(f"\noptimistic bi-level optimum: x={best.x:.3f}, y={best.y:.3f}, "
+          f"F={best.upper_objective:.3f}")
+    assert best.bilevel_feasible
+
+
+if __name__ == "__main__":
+    main()

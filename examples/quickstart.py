@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: solve one Bi-level Cloud Pricing instance with CARBON.
+
+Generates a laptop-sized BCPOP instance, runs CARBON at a small budget,
+and prints the paper's two headline metrics for the run — the lower-level
+%-gap (how well the leader can forecast the customer's rational reaction)
+and the leader revenue under that forecast — plus the evolved champion
+heuristic as a readable formula.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import CarbonConfig, generate_instance, run_carbon
+
+
+def main() -> None:
+    # A Bi-level Cloud Pricing instance: 100 market bundles, 5 service
+    # types; the leader (cloud provider) owns the first 20 bundles.
+    instance = generate_instance(n_bundles=100, n_services=5, seed=42)
+    print(f"instance: {instance.name}")
+    print(f"  bundles on the market : {instance.n_bundles}")
+    print(f"  leader-owned bundles  : {instance.n_own}")
+    print(f"  service constraints   : {instance.n_services}")
+    print(f"  leader price cap      : {instance.price_cap:.2f}")
+
+    # Laptop-scale budget; CarbonConfig.paper() gives the Table II setting.
+    config = CarbonConfig.quick(ul_evaluations=1_500, ll_evaluations=1_500,
+                                population_size=20)
+    result = run_carbon(instance, config, seed=0)
+
+    print("\nCARBON result")
+    print(f"  best %-gap (paper Table III metric): {result.best_gap:.2f}%")
+    print(f"  best revenue (paper Table IV metric): {result.best_upper:.2f}")
+    print(f"  budget used: {result.ul_evaluations_used} UL + "
+          f"{result.ll_evaluations_used} LL evaluations "
+          f"in {result.wall_time:.1f}s")
+    print(f"  LP relaxations cached: {result.extras['lp_cache']}")
+
+    print("\nevolved champion scoring heuristic (lower = buy first):")
+    print(f"  {result.extras['champion']}")
+
+    sol = result.best_solution
+    bought_own = sol.selection[: instance.n_own].sum()
+    print("\nbest pricing found:")
+    print(f"  customer buys {int(sol.selection.sum())} bundles, "
+          f"{int(bought_own)} of them from the leader")
+    print(f"  customer pays {sol.lower_objective:.2f} "
+          f"(LP lower bound {sol.lower_bound:.2f}, gap {sol.gap:.2f}%)")
+
+
+if __name__ == "__main__":
+    main()

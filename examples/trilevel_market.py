@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""The paper's future work, runnable: a three-tier cloud market.
+
+Provider -> reseller -> customer.  The provider sets wholesale prices;
+the reseller marks them up to maximize its margin, knowing the customer
+solves a covering problem over retail prices; the provider earns
+wholesale revenue on whatever the customer ends up buying.
+
+The walkthrough shows:
+
+1. one nested reaction by hand — what a single provider evaluation costs
+   when every level below re-optimizes,
+2. the wholesale sweep — the provider's payoff curve through *two* layers
+   of rational reaction,
+3. tri-level CARBON, with the nesting multiplier the paper's conclusion
+   asked about ("analyze the limitations of CARBON in terms of
+   co-evolution").
+
+Run:  python examples/trilevel_market.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CarbonConfig, generate_instance
+from repro.covering.heuristics import chvatal_score
+from repro.trilevel import TriLevelEvaluator, TriLevelInstance, run_trilevel_carbon
+
+
+def main() -> None:
+    base = generate_instance(n_bundles=60, n_services=5, seed=11)
+    tri = TriLevelInstance.from_bcpop(base, wholesale_fraction=0.6)
+    print(f"{tri.name}: {tri.n_bundles} bundles ({tri.n_own} provider-owned), "
+          f"{tri.n_services} services")
+    print(f"wholesale cap {tri.wholesale_cap:.1f}, retail cap {tri.retail_cap:.1f}\n")
+
+    evaluator = TriLevelEvaluator(
+        tri, chvatal_score, reseller_population=10, reseller_generations=4
+    )
+    rng = np.random.default_rng(0)
+
+    print("one nested reaction (wholesale at 40% of cap):")
+    w = np.full(tri.n_own, 0.4 * tri.wholesale_cap)
+    reaction = evaluator.reseller_react(w, rng)
+    print(f"  provider revenue : {reaction.provider_revenue:9.1f}")
+    print(f"  reseller margin  : {reaction.reseller_margin:9.1f}")
+    print(f"  customer pays    : {reaction.customer_cost:9.1f} "
+          f"(gap {reaction.customer_gap:.2f}%)")
+    print(f"  cost of this ONE provider evaluation: "
+          f"{reaction.level3_solves} customer solves\n")
+
+    print("uniform wholesale sweep (each point = one full nested reaction):")
+    print(f"  {'wholesale':>10} {'provider':>10} {'reseller':>10} {'sold(own)':>10}")
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        w = np.full(tri.n_own, frac * tri.wholesale_cap)
+        r = evaluator.reseller_react(w, rng)
+        sold = int(r.selection[: tri.n_own].sum())
+        print(f"  {w[0]:10.1f} {r.provider_revenue:10.1f} "
+              f"{r.reseller_margin:10.1f} {sold:10d}")
+    print("  -> high wholesale squeezes the reseller's margin until it prices\n"
+          "     the provider's bundles out of the customer's basket.\n")
+
+    print("tri-level CARBON (provider optimizing through both reactions):")
+    result = run_trilevel_carbon(
+        tri,
+        CarbonConfig.quick(ul_evaluations=30, ll_evaluations=2_500,
+                           population_size=8),
+        seed=0,
+        reseller_population=8,
+        reseller_generations=3,
+    )
+    print(f"  best provider revenue : {result.best_upper:.1f}")
+    print(f"  customer-level gap    : {result.best_gap:.2f}%")
+    print(f"  nesting multiplier    : {result.extras['nesting_multiplier']:.1f} "
+          "customer solves per provider evaluation")
+    print(f"  budget spent          : {result.ul_evaluations_used} provider evals, "
+          f"{result.ll_evaluations_used} customer solves")
+    print("\nthe paper's future-work question, answered in one number: each")
+    print("extra level multiplies the evaluation bill by the embedded")
+    print("optimizer's budget — the heuristic population is the only part of")
+    print("CARBON that scales to deeper nesting unchanged.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""repro — reproduction of "A Competitive Approach for Bi-level
+Co-evolution" (Kieffer, Danoy, Bouvry, Nagih — IPPS 2018).
+
+The package implements CARBON, a competitive co-evolutionary algorithm
+that pairs an upper-level population of pricing decisions with a
+lower-level population of GP-evolved greedy heuristics, the COBRA baseline
+it is compared against, and every substrate both need: the Bi-level Cloud
+Pricing Optimization Problem (BCPOP), a covering-problem solver suite
+(greedy framework, classical heuristics, repair, exact solvers), an LP
+relaxation layer (own simplex + scipy backends), real-coded GA and GP
+engines, and the experiment harness regenerating every table and figure of
+the paper.
+
+Quickstart
+----------
+>>> from repro import generate_instance, run_carbon, CarbonConfig
+>>> instance = generate_instance(100, 5, seed=0)
+>>> result = run_carbon(instance, CarbonConfig.quick(), seed=0)
+>>> result.best_gap          # lower-level %-gap (paper Table III)
+>>> result.best_upper        # leader revenue (paper Table IV)
+"""
+
+from repro.bcpop import (
+    BcpopInstance,
+    LowerLevelEvaluator,
+    generate_instance,
+    paper_instance_classes,
+)
+from repro.bilevel import mersha_dempe_example, percent_gap
+from repro.core import (
+    Carbon,
+    CarbonConfig,
+    Cobra,
+    CobraConfig,
+    NestedSequential,
+    RunResult,
+    run_carbon,
+    run_cobra,
+    run_nested,
+)
+from repro.parallel import run_island_carbon
+from repro.trilevel import TriLevelInstance, run_trilevel_carbon
+from repro.covering import CoveringInstance, greedy_cover, solve_exact
+from repro.gp import SyntaxTree, paper_primitive_set
+from repro.lp import solve_relaxation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BcpopInstance",
+    "LowerLevelEvaluator",
+    "generate_instance",
+    "paper_instance_classes",
+    "mersha_dempe_example",
+    "percent_gap",
+    "Carbon",
+    "CarbonConfig",
+    "Cobra",
+    "CobraConfig",
+    "NestedSequential",
+    "RunResult",
+    "run_carbon",
+    "run_cobra",
+    "run_nested",
+    "run_island_carbon",
+    "TriLevelInstance",
+    "run_trilevel_carbon",
+    "CoveringInstance",
+    "greedy_cover",
+    "solve_exact",
+    "SyntaxTree",
+    "paper_primitive_set",
+    "solve_relaxation",
+    "__version__",
+]

@@ -1,0 +1,48 @@
+"""Bi-level Cloud Pricing Optimization Problem (BCPOP, paper Program 2).
+
+A Cloud Service Provider (the leader) owns the first ``L`` of ``M`` market
+bundles and sets their prices; a rational Cloud Service Customer (the
+follower) then buys a minimum-cost set of bundles covering all its service
+requirements.  The leader's payoff is the revenue from its own bundles in
+the customer's basket.
+
+Modules
+-------
+* :mod:`repro.bcpop.instance`  — the problem container and the pricing →
+  lower-level induction,
+* :mod:`repro.bcpop.generator` — OR-library-style synthetic instances for
+  the paper's 9 classes (n ∈ {100, 250, 500} × m ∈ {5, 10, 30}),
+* :mod:`repro.bcpop.orlib`     — OR-library MKP text-format parser and the
+  §V-A ≤→≥ transformation,
+* :mod:`repro.bcpop.evaluate`  — the shared lower-level evaluation pipeline
+  (greedy solve + LP relaxation + %-gap) both CARBON and COBRA use.
+"""
+
+from repro.bcpop.instance import BcpopInstance
+from repro.bcpop.generator import generate_instance, paper_instance_classes, PAPER_CLASSES
+from repro.bcpop.orlib import parse_mknap, mkp_to_covering, MKPInstance
+from repro.bcpop.evaluate import LowerLevelOutcome, LowerLevelEvaluator
+from repro.bcpop.io import (
+    bcpop_from_dict,
+    bcpop_to_dict,
+    export_mknap,
+    load_bcpop,
+    save_bcpop,
+)
+
+__all__ = [
+    "bcpop_from_dict",
+    "bcpop_to_dict",
+    "export_mknap",
+    "load_bcpop",
+    "save_bcpop",
+    "BcpopInstance",
+    "generate_instance",
+    "paper_instance_classes",
+    "PAPER_CLASSES",
+    "parse_mknap",
+    "mkp_to_covering",
+    "MKPInstance",
+    "LowerLevelOutcome",
+    "LowerLevelEvaluator",
+]

@@ -1,0 +1,152 @@
+"""Shared lower-level evaluation pipeline.
+
+Both algorithms funnel every lower-level evaluation through
+:class:`LowerLevelEvaluator`, which (a) induces the covering instance for a
+pricing decision, (b) obtains the LP relaxation (cached — CARBON re-solves
+the same induced instance once per heuristic candidate), (c) runs the
+requested solver, and (d) computes the paper's %-gap and the leader revenue.
+Centralizing this also gives exact evaluation-budget accounting: the
+counter ``n_evaluations`` is the paper's "LL fitness evaluations" (Table II
+caps it at 50 000).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bcpop.instance import BcpopInstance
+from repro.covering.greedy import ScoreFunction, greedy_cover
+from repro.covering.repair import repair_cover
+from repro.lp.bounds import RelaxationCache
+from repro.lp.relaxation import Relaxation
+
+__all__ = ["LowerLevelOutcome", "LowerLevelEvaluator"]
+
+
+@dataclass(frozen=True)
+class LowerLevelOutcome:
+    """Everything the upper level needs to know about one LL evaluation.
+
+    Attributes
+    ----------
+    prices:
+        The UL decision that induced the instance.
+    selection:
+        Follower basket (boolean, all ``M`` bundles).
+    ll_cost:
+        Follower objective ``f = sum_j c_j x_j``.
+    revenue:
+        Leader payoff ``F = sum_{j<=L} c_j x_j``.
+    gap:
+        Paper Eq. 1: ``100 (ll_cost - LB) / LB`` — the bi-level
+        feasibility measure.
+    lower_bound:
+        ``LB(x)`` from the LP relaxation.
+    feasible:
+        Whether the basket covers the demand (false only for uncoverable
+        instances).
+    """
+
+    prices: np.ndarray
+    selection: np.ndarray
+    ll_cost: float
+    revenue: float
+    gap: float
+    lower_bound: float
+    feasible: bool
+
+
+class LowerLevelEvaluator:
+    """Evaluation service for one BCPOP instance.
+
+    Parameters
+    ----------
+    instance:
+        The bi-level problem.
+    lp_backend:
+        Forwarded to :class:`repro.lp.bounds.RelaxationCache`.
+    cache_size:
+        LRU capacity for relaxations.
+    gap_eps:
+        Guard for the gap denominator (DESIGN.md §5).
+    """
+
+    def __init__(
+        self,
+        instance: BcpopInstance,
+        lp_backend: str = "scipy",
+        cache_size: int = 4096,
+        gap_eps: float = 1e-9,
+    ) -> None:
+        self.instance = instance
+        self._cache = RelaxationCache(backend=lp_backend, maxsize=cache_size)
+        self.gap_eps = gap_eps
+        self.n_evaluations = 0
+        self.n_lp_solves_saved = 0
+
+    def relaxation(self, prices: np.ndarray) -> Relaxation:
+        """LP relaxation of the instance induced by ``prices`` (cached)."""
+        ll = self.instance.lower_level(prices)
+        before = self._cache.hits
+        relax = self._cache.get(ll)
+        self.n_lp_solves_saved += self._cache.hits - before
+        return relax
+
+    def _outcome(
+        self,
+        prices: np.ndarray,
+        selection: np.ndarray,
+        relax: Relaxation,
+        feasible: bool,
+    ) -> LowerLevelOutcome:
+        ll = self.instance.lower_level(prices)
+        cost = ll.cost_of(selection)
+        gap = relax.percent_gap(cost, eps=self.gap_eps) if feasible else np.inf
+        self.n_evaluations += 1
+        return LowerLevelOutcome(
+            prices=np.asarray(prices, dtype=np.float64).copy(),
+            selection=np.asarray(selection, dtype=bool).copy(),
+            ll_cost=cost,
+            revenue=self.instance.revenue(prices, selection),
+            gap=gap,
+            lower_bound=relax.lower_bound,
+            feasible=feasible,
+        )
+
+    def evaluate_heuristic(
+        self, prices: np.ndarray, score_fn: ScoreFunction
+    ) -> LowerLevelOutcome:
+        """CARBON path: solve the induced instance with a scoring heuristic.
+
+        The relaxation's duals and x̄ are passed into the greedy context, so
+        GP trees can use the ``DUAL``/``XLP`` terminals of Table I.
+        """
+        prices = self.instance.validate_prices(prices)
+        ll = self.instance.lower_level(prices)
+        relax = self.relaxation(prices)
+        sol = greedy_cover(ll, score_fn, duals=relax.duals, xbar=relax.xbar)
+        return self._outcome(prices, sol.selected, relax, sol.feasible)
+
+    def evaluate_selection(
+        self, prices: np.ndarray, selection: np.ndarray, repair: bool = True
+    ) -> LowerLevelOutcome:
+        """COBRA path: evaluate an explicit binary basket (repairing
+        under-covering offspring first, the standard treatment)."""
+        prices = self.instance.validate_prices(prices)
+        ll = self.instance.lower_level(prices)
+        sel = np.asarray(selection, dtype=bool)
+        if repair and not ll.is_feasible(sel):
+            sel = repair_cover(ll, sel)
+        relax = self.relaxation(prices)
+        return self._outcome(prices, sel, relax, ll.is_feasible(sel))
+
+    @property
+    def cache_stats(self) -> dict:
+        return {
+            "entries": len(self._cache),
+            "hits": self._cache.hits,
+            "misses": self._cache.misses,
+            "hit_rate": self._cache.hit_rate,
+        }

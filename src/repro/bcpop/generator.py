@@ -1,0 +1,163 @@
+"""Synthetic OR-library-style BCPOP instance generation.
+
+The paper (§V-A) takes multidimensional-knapsack (MKP) instances from the
+OR-library, flips the ``<=`` constraints to ``>=`` (turning packing into
+covering), checks non-emptiness of the search space, and uses 9 classes:
+``n ∈ {100, 250, 500}`` decision variables × ``m ∈ {5, 10, 30}``
+constraints.
+
+This module synthesizes instances with the statistical recipe of the
+classic OR-library ``mknap`` generators (Chu & Beasley):
+
+* coefficients ``q[k, j] ~ U{0, ..., 1000}`` integers,
+* requirements ``b^k = tightness * sum_j q[k, j]`` (tightness < 1 keeps the
+  search space non-empty: selecting everything always covers),
+* value-correlated costs ``c_j = sum_k q[k, j] / m * corr + U(0, 500)`` —
+  cost correlates with usefulness, which is what makes MKP-family
+  instances non-trivial.
+
+For the bi-level wrapping, the first ``own_fraction`` of bundles belong to
+the leader.  Their generated costs are *discarded* (they become UL decision
+variables); the cap on leader prices defaults to the maximum market price,
+so the leader can always price itself out of the market but not above it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bcpop.instance import BcpopInstance
+from repro.covering.instance import CoveringInstance
+
+__all__ = [
+    "GeneratorSpec",
+    "generate_covering_instance",
+    "generate_instance",
+    "paper_instance_classes",
+    "PAPER_CLASSES",
+]
+
+#: The paper's 9 instance classes as (n_bundles, n_services).
+PAPER_CLASSES: tuple[tuple[int, int], ...] = (
+    (100, 5), (100, 10), (100, 30),
+    (250, 5), (250, 10), (250, 30),
+    (500, 5), (500, 10), (500, 30),
+)
+
+
+@dataclass(frozen=True)
+class GeneratorSpec:
+    """Knobs of the OR-library-style generator."""
+
+    n_bundles: int
+    n_services: int
+    tightness: float = 0.25
+    coeff_max: int = 1000
+    cost_noise: float = 500.0
+    cost_correlation: float = 0.5
+    own_fraction: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.n_bundles < 2 or self.n_services < 1:
+            raise ValueError(f"degenerate size {self.n_bundles}x{self.n_services}")
+        if not (0.0 < self.tightness < 1.0):
+            raise ValueError(f"tightness must be in (0, 1), got {self.tightness}")
+        if not (0.0 < self.own_fraction < 1.0):
+            raise ValueError(f"own_fraction must be in (0, 1), got {self.own_fraction}")
+
+
+def generate_covering_instance(
+    spec: GeneratorSpec, rng: np.random.Generator, name: str = ""
+) -> CoveringInstance:
+    """Generate a single-level covering instance (the §V-A transformed MKP)."""
+    q = rng.integers(0, spec.coeff_max + 1, size=(spec.n_services, spec.n_bundles))
+    q = q.astype(np.float64)
+    demand = spec.tightness * q.sum(axis=1)
+    costs = (
+        spec.cost_correlation * q.sum(axis=0) / spec.n_services
+        + rng.uniform(0.0, spec.cost_noise, spec.n_bundles)
+    )
+    inst = CoveringInstance(costs=costs, q=q, demand=demand, name=name)
+    if not inst.is_coverable():  # pragma: no cover - tightness < 1 guarantees this
+        raise RuntimeError("generated instance is uncoverable")
+    return inst
+
+
+def generate_instance(
+    n_bundles: int,
+    n_services: int,
+    seed: int | np.random.Generator = 0,
+    tightness: float = 0.25,
+    own_fraction: float = 0.2,
+    price_cap: float | None = None,
+    name: str | None = None,
+) -> BcpopInstance:
+    """Generate one BCPOP instance of a paper class.
+
+    Parameters
+    ----------
+    n_bundles, n_services:
+        Class parameters (paper's ``n`` / ``m``).
+    seed:
+        Int seed or a live generator.
+    tightness:
+        Demand as a fraction of total per-service supply.
+    own_fraction:
+        Fraction of bundles owned by the leader (``L = round(f * n)``,
+        at least 1).
+    price_cap:
+        Leader price upper bound; default = max market price.
+    """
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    spec = GeneratorSpec(
+        n_bundles=n_bundles, n_services=n_services,
+        tightness=tightness, own_fraction=own_fraction,
+    )
+    label = name or f"bcpop-n{n_bundles}-m{n_services}"
+    base = generate_covering_instance(spec, rng, name=label)
+    n_own = max(1, int(round(own_fraction * n_bundles)))
+    market = base.costs[n_own:]
+    cap = float(price_cap) if price_cap is not None else float(market.max())
+    inst = BcpopInstance(
+        q=base.q,
+        demand=base.demand,
+        market_prices=market,
+        n_own=n_own,
+        price_cap=cap,
+        name=label,
+    )
+    # Paper §V-A: ensure the (bi-level) search space is non-empty, i.e. the
+    # follower can cover its demand no matter how the leader prices.
+    if not inst.is_coverable():  # pragma: no cover
+        raise RuntimeError("generated BCPOP instance is uncoverable")
+    return inst
+
+
+def paper_instance_classes(
+    seed: int = 0,
+    instances_per_class: int = 1,
+    tightness: float = 0.25,
+    own_fraction: float = 0.2,
+) -> dict[tuple[int, int], list[BcpopInstance]]:
+    """Generate the 9 paper classes, ``instances_per_class`` each.
+
+    Instance ``i`` of class ``(n, m)`` is derived from an addressable
+    seed so the suite is reproducible regardless of generation order.
+    """
+    from repro.parallel.rng import stream_for
+
+    out: dict[tuple[int, int], list[BcpopInstance]] = {}
+    for n, m in PAPER_CLASSES:
+        out[(n, m)] = [
+            generate_instance(
+                n, m,
+                seed=stream_for(seed, "bcpop", n, m, i),
+                tightness=tightness,
+                own_fraction=own_fraction,
+                name=f"bcpop-n{n}-m{m}-s{i}",
+            )
+            for i in range(instances_per_class)
+        ]
+    return out

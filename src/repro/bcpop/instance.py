@@ -1,0 +1,132 @@
+"""BCPOP instance container.
+
+Implements the data of Program 2:
+
+    max_c   F = sum_{j<=L} c_j x_j              (leader revenue)
+    s.t.    min_x f = sum_{j<=M} c_j x_j        (customer cost)
+            s.t. sum_j q_j^k x_j >= b^k  ∀k
+                 x_j in {0, 1}
+            c_j >= 0  for the leader's bundles j <= L
+
+The first ``n_own`` (= paper ``L``) bundles belong to the leader; their
+prices are the upper-level decision vector.  The remaining bundles carry
+fixed market prices.  A pricing decision *induces* a lower-level covering
+instance via :meth:`BcpopInstance.lower_level` — feasibility structure
+(``q``, ``demand``) never changes, only the objective, which is exactly the
+epistatic coupling the paper discusses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.covering.instance import CoveringInstance
+
+__all__ = ["BcpopInstance"]
+
+
+@dataclass(frozen=True)
+class BcpopInstance:
+    """One Bi-level Cloud Pricing problem.
+
+    Parameters
+    ----------
+    q:
+        ``(n_services, n_bundles)`` service distribution matrix ``q_j^k``.
+    demand:
+        ``(n_services,)`` requirements ``b^k``.
+    market_prices:
+        ``(n_bundles - n_own,)`` fixed prices of competitor bundles.
+    n_own:
+        Number of leader-owned bundles ``L`` (always the first columns).
+    price_cap:
+        Upper bound for each leader price (the UL box constraint; the
+        paper's UL encoding is "continuous values" — we bound them by the
+        instance's price scale so SBX/polynomial mutation have a box).
+    name:
+        Label, e.g. ``"bcpop-n500-m30-s0"``.
+    """
+
+    q: np.ndarray
+    demand: np.ndarray
+    market_prices: np.ndarray
+    n_own: int
+    price_cap: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        q = np.ascontiguousarray(np.asarray(self.q, dtype=np.float64))
+        demand = np.ascontiguousarray(np.asarray(self.demand, dtype=np.float64))
+        market = np.ascontiguousarray(np.asarray(self.market_prices, dtype=np.float64))
+        if q.ndim != 2:
+            raise ValueError(f"q must be 2-D, got {q.shape}")
+        n_bundles = q.shape[1]
+        if not (0 < self.n_own <= n_bundles):
+            raise ValueError(f"n_own={self.n_own} out of range for {n_bundles} bundles")
+        if market.shape != (n_bundles - self.n_own,):
+            raise ValueError(
+                f"market_prices shape {market.shape} != ({n_bundles - self.n_own},)"
+            )
+        if demand.shape != (q.shape[0],):
+            raise ValueError(f"demand shape {demand.shape} != ({q.shape[0]},)")
+        if np.any(market < 0):
+            raise ValueError("market prices must be non-negative")
+        if self.price_cap <= 0:
+            raise ValueError(f"price_cap must be positive, got {self.price_cap}")
+        if np.any(q < 0) or np.any(demand < 0):
+            raise ValueError("q and demand must be non-negative")
+        object.__setattr__(self, "q", q)
+        object.__setattr__(self, "demand", demand)
+        object.__setattr__(self, "market_prices", market)
+
+    @property
+    def n_bundles(self) -> int:
+        return self.q.shape[1]
+
+    @property
+    def n_services(self) -> int:
+        return self.q.shape[0]
+
+    @property
+    def price_bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """Box constraints ``(low, high)`` for the UL decision vector."""
+        return (
+            np.zeros(self.n_own),
+            np.full(self.n_own, self.price_cap),
+        )
+
+    def validate_prices(self, prices: np.ndarray) -> np.ndarray:
+        """Check and canonicalize an upper-level decision vector."""
+        prices = np.asarray(prices, dtype=np.float64).ravel()
+        if prices.shape != (self.n_own,):
+            raise ValueError(f"prices shape {prices.shape} != ({self.n_own},)")
+        if np.any(prices < -1e-9):
+            raise ValueError("prices must be non-negative")
+        return np.clip(prices, 0.0, self.price_cap)
+
+    def lower_level(self, prices: np.ndarray) -> CoveringInstance:
+        """Induce the lower-level covering instance for a pricing decision."""
+        prices = self.validate_prices(prices)
+        costs = np.concatenate([prices, self.market_prices])
+        return CoveringInstance(costs=costs, q=self.q, demand=self.demand, name=self.name)
+
+    def revenue(self, prices: np.ndarray, selection: np.ndarray) -> float:
+        """Leader payoff ``F = sum_{j<=L} c_j x_j`` for a follower basket."""
+        prices = self.validate_prices(prices)
+        sel = np.asarray(selection, dtype=bool)
+        if sel.shape != (self.n_bundles,):
+            raise ValueError(f"selection shape {sel.shape} != ({self.n_bundles},)")
+        return float(prices @ sel[: self.n_own])
+
+    def market_only_instance(self) -> CoveringInstance:
+        """The covering instance where the leader's bundles are priced at
+        the cap (worst case for the customer) — used to check that the
+        market alone can cover demand, i.e. the follower always has an
+        outside option."""
+        return self.lower_level(np.full(self.n_own, self.price_cap))
+
+    def is_coverable(self) -> bool:
+        """Non-empty lower-level search space (paper §V-A requirement)."""
+        return self.lower_level(np.zeros(self.n_own)).is_coverable()

@@ -1,0 +1,104 @@
+"""Instance serialization.
+
+Two formats:
+
+* **JSON** — lossless round-trip of :class:`BcpopInstance` (and the
+  tri-level extension) including the bi-level metadata the OR-library
+  format cannot carry,
+* **mknap** — export of the underlying covering structure in the
+  OR-library text format (via :mod:`repro.bcpop.orlib`) so instances can
+  be fed to external MKP/covering codes.
+
+Keeping generated experiment instances on disk makes paper-scale runs
+resumable and lets third parties re-run against the *exact* instances a
+report used.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.bcpop.instance import BcpopInstance
+from repro.bcpop.orlib import MKPInstance, format_mknap
+
+__all__ = [
+    "bcpop_to_dict",
+    "bcpop_from_dict",
+    "save_bcpop",
+    "load_bcpop",
+    "export_mknap",
+]
+
+_FORMAT_VERSION = 1
+
+
+def bcpop_to_dict(instance: BcpopInstance) -> dict:
+    """Lossless plain-dict representation (JSON-serializable)."""
+    return {
+        "format": "repro-bcpop",
+        "version": _FORMAT_VERSION,
+        "name": instance.name,
+        "n_own": instance.n_own,
+        "price_cap": instance.price_cap,
+        "q": instance.q.tolist(),
+        "demand": instance.demand.tolist(),
+        "market_prices": instance.market_prices.tolist(),
+    }
+
+
+def bcpop_from_dict(data: dict) -> BcpopInstance:
+    """Inverse of :func:`bcpop_to_dict` with format validation."""
+    if data.get("format") != "repro-bcpop":
+        raise ValueError(f"not a repro-bcpop document: format={data.get('format')!r}")
+    if data.get("version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported version {data.get('version')!r}")
+    return BcpopInstance(
+        q=np.asarray(data["q"], dtype=np.float64),
+        demand=np.asarray(data["demand"], dtype=np.float64),
+        market_prices=np.asarray(data["market_prices"], dtype=np.float64),
+        n_own=int(data["n_own"]),
+        price_cap=float(data["price_cap"]),
+        name=str(data.get("name", "")),
+    )
+
+
+def save_bcpop(instance: BcpopInstance, path: str | Path) -> None:
+    """Write an instance as JSON."""
+    Path(path).write_text(json.dumps(bcpop_to_dict(instance), indent=1))
+
+
+def load_bcpop(path: str | Path) -> BcpopInstance:
+    """Read an instance written by :func:`save_bcpop`."""
+    return bcpop_from_dict(json.loads(Path(path).read_text()))
+
+
+def export_mknap(
+    instance: BcpopInstance,
+    path: str | Path | None = None,
+    reference_prices: np.ndarray | None = None,
+) -> str:
+    """Export the covering structure in OR-library mknap format.
+
+    The bi-level metadata (ownership split, price cap) does not fit the
+    format; the leader's bundles get ``reference_prices`` (default: the
+    price cap) as profits.  Returns the text; writes it when ``path`` is
+    given.
+    """
+    if reference_prices is None:
+        reference_prices = np.full(instance.n_own, instance.price_cap)
+    prices = instance.validate_prices(reference_prices)
+    profits = np.concatenate([prices, instance.market_prices])
+    mkp = MKPInstance(
+        profits=profits,
+        weights=instance.q,
+        capacities=instance.demand,
+        optimum=None,
+        name=instance.name or "bcpop",
+    )
+    text = format_mknap([mkp])
+    if path is not None:
+        Path(path).write_text(text)
+    return text

@@ -1,0 +1,171 @@
+"""OR-library multidimensional-knapsack format support.
+
+The paper sources its lower-level instances from the OR-library MKP files
+(``mknap1``, ``mknapcb*``) and transforms every ``<=`` constraint into a
+``>=`` constraint (§V-A).  This module provides:
+
+* :func:`parse_mknap` — a parser for the OR-library ``mknap1`` text format
+  (whitespace-separated stream: problem count, then per problem
+  ``n m optimum``, ``n`` profits, ``m x n`` coefficients, ``m`` capacities),
+* :func:`mkp_to_covering` — the ≤→≥ transformation with the paper's
+  non-empty-search-space guarantee,
+* :func:`mkp_to_bcpop` — wrap the transformed instance into a BCPOP by
+  designating the first bundles as leader-owned.
+
+When actual OR-library files are available they can be dropped in verbatim;
+the test-suite round-trips the parser on a synthetic file written in the
+same format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.bcpop.instance import BcpopInstance
+from repro.covering.instance import CoveringInstance
+
+__all__ = ["MKPInstance", "parse_mknap", "format_mknap", "mkp_to_covering", "mkp_to_bcpop"]
+
+
+@dataclass(frozen=True)
+class MKPInstance:
+    """A multidimensional knapsack problem:
+    ``max p^T x  s.t.  W x <= capacity, x in {0,1}^n``."""
+
+    profits: np.ndarray
+    weights: np.ndarray  # (m, n)
+    capacities: np.ndarray
+    optimum: float | None = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        profits = np.asarray(self.profits, dtype=np.float64)
+        weights = np.atleast_2d(np.asarray(self.weights, dtype=np.float64))
+        capacities = np.asarray(self.capacities, dtype=np.float64)
+        if weights.shape != (capacities.size, profits.size):
+            raise ValueError(
+                f"weights shape {weights.shape} != ({capacities.size}, {profits.size})"
+            )
+        object.__setattr__(self, "profits", profits)
+        object.__setattr__(self, "weights", weights)
+        object.__setattr__(self, "capacities", capacities)
+
+    @property
+    def n(self) -> int:
+        return self.profits.size
+
+    @property
+    def m(self) -> int:
+        return self.capacities.size
+
+
+def parse_mknap(text: str | Path, name_prefix: str = "mknap") -> list[MKPInstance]:
+    """Parse an OR-library ``mknap1``-format stream into MKP instances.
+
+    Accepts either the file contents or a path.  The format is a single
+    whitespace-separated token stream:
+
+        K
+        n m optimum      (optimum 0 when unknown)
+        p_1 ... p_n
+        w_11 ... w_1n    (row per constraint)
+        ...
+        w_m1 ... w_mn
+        C_1 ... C_m
+    """
+    if isinstance(text, Path):
+        text = text.read_text()
+    tokens = text.split()
+    if not tokens:
+        raise ValueError("empty mknap stream")
+    pos = 0
+
+    def take(count: int) -> np.ndarray:
+        nonlocal pos
+        if pos + count > len(tokens):
+            raise ValueError(
+                f"truncated mknap stream: wanted {count} tokens at offset {pos}, "
+                f"have {len(tokens) - pos}"
+            )
+        chunk = np.array([float(t) for t in tokens[pos: pos + count]])
+        pos += count
+        return chunk
+
+    n_problems = int(take(1)[0])
+    if n_problems <= 0:
+        raise ValueError(f"mknap stream declares {n_problems} problems")
+    problems: list[MKPInstance] = []
+    for idx in range(n_problems):
+        header = take(3)
+        n, m, opt = int(header[0]), int(header[1]), float(header[2])
+        if n <= 0 or m <= 0:
+            raise ValueError(f"problem {idx}: bad dimensions n={n}, m={m}")
+        profits = take(n)
+        weights = take(m * n).reshape(m, n)
+        capacities = take(m)
+        problems.append(
+            MKPInstance(
+                profits=profits, weights=weights, capacities=capacities,
+                optimum=opt if opt > 0 else None,
+                name=f"{name_prefix}-{idx}",
+            )
+        )
+    if pos != len(tokens):
+        raise ValueError(f"{len(tokens) - pos} trailing tokens in mknap stream")
+    return problems
+
+
+def format_mknap(problems: list[MKPInstance]) -> str:
+    """Inverse of :func:`parse_mknap` (used for round-trip tests and to
+    export generated instances in a standard format)."""
+    chunks: list[str] = [str(len(problems))]
+    for p in problems:
+        chunks.append(f"{p.n} {p.m} {p.optimum or 0}")
+        chunks.append(" ".join(f"{v:g}" for v in p.profits))
+        for row in p.weights:
+            chunks.append(" ".join(f"{v:g}" for v in row))
+        chunks.append(" ".join(f"{v:g}" for v in p.capacities))
+    return "\n".join(chunks) + "\n"
+
+
+def mkp_to_covering(mkp: MKPInstance, demand_scale: float = 1.0) -> CoveringInstance:
+    """Paper §V-A transformation: flip every ``<=`` into ``>=``.
+
+    ``max p x s.t. W x <= C`` becomes ``min p x s.t. W x >= b`` with
+    ``b = demand_scale * C`` clipped so the all-ones vector still covers —
+    the "non-empty search space" guarantee.
+    """
+    if demand_scale <= 0:
+        raise ValueError(f"demand_scale must be positive, got {demand_scale}")
+    supply = mkp.weights.sum(axis=1)
+    demand = np.minimum(demand_scale * mkp.capacities, supply)
+    return CoveringInstance(
+        costs=mkp.profits, q=mkp.weights, demand=demand,
+        name=f"{mkp.name}-covering",
+    )
+
+
+def mkp_to_bcpop(
+    mkp: MKPInstance,
+    own_fraction: float = 0.2,
+    demand_scale: float = 1.0,
+    price_cap: float | None = None,
+) -> BcpopInstance:
+    """Wrap a transformed MKP instance into a BCPOP (first bundles = leader's)."""
+    covering = mkp_to_covering(mkp, demand_scale=demand_scale)
+    n_own = max(1, int(round(own_fraction * covering.n_bundles)))
+    if n_own >= covering.n_bundles:
+        raise ValueError("own_fraction leaves no market bundles")
+    market = covering.costs[n_own:]
+    cap = float(price_cap) if price_cap is not None else float(market.max())
+    return BcpopInstance(
+        q=covering.q,
+        demand=covering.demand,
+        market_prices=market,
+        n_own=n_own,
+        price_cap=cap,
+        name=f"{mkp.name}-bcpop",
+    )

@@ -1,0 +1,37 @@
+"""Bi-level optimization formalism (paper §II).
+
+Implements the vocabulary of Program 1 — constraint region ``S``, the
+parametric lower level ``LL(x)``, the rational reaction set ``P(x)``, the
+inducible region ``IR`` — for problems small enough to enumerate or solve
+exactly, plus the worked linear example the paper uses twice (Fig. 1 /
+Program 3, the Mersha–Dempe instance) and the %-gap measure (Eq. 1).
+"""
+
+from repro.bilevel.gap import percent_gap
+from repro.bilevel.problem import (
+    BilevelProblem,
+    GridBilevelProblem,
+    RationalReaction,
+    BilevelPoint,
+)
+from repro.bilevel.linear import (
+    LinearLowerLevel,
+    LinearBilevelExample,
+    indifferent_follower_example,
+    mersha_dempe_example,
+)
+from repro.bilevel.taxonomy import bilevel_taxonomy, render_taxonomy
+
+__all__ = [
+    "percent_gap",
+    "BilevelProblem",
+    "GridBilevelProblem",
+    "RationalReaction",
+    "BilevelPoint",
+    "LinearLowerLevel",
+    "LinearBilevelExample",
+    "indifferent_follower_example",
+    "mersha_dempe_example",
+    "bilevel_taxonomy",
+    "render_taxonomy",
+]

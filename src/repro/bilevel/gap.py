@@ -1,0 +1,43 @@
+"""The paper's lower-level optimality gap (Eq. 1).
+
+    %-gap(x) = 100 * (A(x) - LB(x)) / LB(x)
+
+where ``A(x)`` is the lower-level value produced by algorithm ``A`` for the
+instance induced by upper-level decision ``x`` and ``LB(x)`` a lower bound
+(here: the LP relaxation).  The gap is the paper's bi-level feasibility
+measure: it is comparable *across different upper-level decisions*, unlike
+raw lower-level objective values.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["percent_gap"]
+
+
+def percent_gap(value: float, lower_bound: float, eps: float = 1e-9) -> float:
+    """Eq. 1 with a guarded denominator.
+
+    Parameters
+    ----------
+    value:
+        Heuristic lower-level objective ``A(x)``; must satisfy
+        ``value >= lower_bound`` up to numerical tolerance (a value
+        noticeably below a valid lower bound indicates a bug and raises).
+    lower_bound:
+        ``LB(x)``; an ``inf`` bound (infeasible relaxation) yields an
+        ``inf`` gap.
+    eps:
+        Denominator guard: a zero lower bound (leader prices everything at
+        0) would otherwise divide by zero — DESIGN.md §5.
+    """
+    if math.isinf(lower_bound):
+        return math.inf
+    if value < lower_bound - 1e-6 * max(1.0, abs(lower_bound)):
+        raise ValueError(
+            f"heuristic value {value} below the lower bound {lower_bound}: "
+            "the bound or the solver is broken"
+        )
+    denom = max(lower_bound, eps)
+    return 100.0 * (value - lower_bound) / denom

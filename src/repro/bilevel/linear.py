@@ -1,0 +1,223 @@
+"""The paper's worked linear bi-level example (Program 3 / Fig. 1).
+
+The Mersha–Dempe instance shows why upper-level constraints make the
+inducible region discontinuous:
+
+    min  F(x, y) = -x - 2y
+    s.t. 2x - 3y >= -12          (upper-level constraints: the follower
+         x + y  <= 14             ignores these!)
+         min  f(y) = -y
+         s.t. -3x + y <= -3
+              3x + y  <= 30
+              y >= 0
+
+The lower level is one-dimensional and linear, so the rational reaction is
+available in closed form: ``P(x) = {min(3x - 3, 30 - 3x)}`` whenever that
+value is non-negative.  At ``x = 6`` the reaction is ``y = 12`` which
+violates ``2x - 3y >= -12`` — the (6, 12) pairing is upper-level
+infeasible, and a leader who instead *assumed* the follower would pick
+``y = 8`` (the best UL-feasible response) would be building on a
+non-rational reaction.  This is the paper's core motivation for measuring
+lower-level optimality (the %-gap) rather than trusting paired values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.bilevel.problem import BilevelPoint, BilevelProblem, GridBilevelProblem, RationalReaction
+
+__all__ = ["LinearLowerLevel", "LinearBilevelExample", "mersha_dempe_example"]
+
+
+@dataclass(frozen=True)
+class LinearLowerLevel:
+    """1-D parametric linear lower level:
+    ``min d*y  s.t.  a_i x + b_i y <= c_i  ∀i,  y >= 0``.
+
+    Each row is ``(a_i, b_i, c_i)``.  The feasible set for fixed ``x`` is
+    an interval, so the optimum sits at a closed-form endpoint.
+    """
+
+    d: float
+    rows: tuple[tuple[float, float, float], ...]
+
+    def feasible_interval(self, x: float) -> tuple[float, float]:
+        """Return ``[lo, hi]`` for ``y`` at this ``x`` (may be empty:
+        ``lo > hi``)."""
+        lo, hi = 0.0, np.inf
+        for a, b, c in self.rows:
+            rhs = c - a * x
+            if b > 0:
+                hi = min(hi, rhs / b)
+            elif b < 0:
+                lo = max(lo, rhs / b)
+            elif rhs < 0:  # 0*y <= negative: infeasible at this x
+                return 1.0, 0.0
+        return lo, hi
+
+    def rational_reaction(self, x: float) -> RationalReaction:
+        """Exact ``P(x)``: endpoint of the interval selected by ``sign(d)``."""
+        lo, hi = self.feasible_interval(x)
+        if lo > hi + 1e-12:
+            return RationalReaction(x=x, reactions=(), lower_value=np.inf, feasible=False)
+        if self.d > 0:
+            y = lo
+        elif self.d < 0:
+            if np.isinf(hi):
+                return RationalReaction(x=x, reactions=(), lower_value=-np.inf, feasible=True)
+            y = hi
+        else:
+            # Objective indifferent: the whole interval is rational.
+            reactions = (lo,) if np.isinf(hi) else (lo, hi)
+            return RationalReaction(x=x, reactions=reactions, lower_value=0.0, feasible=True)
+        return RationalReaction(
+            x=x, reactions=(float(y),), lower_value=float(self.d * y), feasible=True
+        )
+
+    def feasible(self, x: float, y: float, tol: float = 1e-9) -> bool:
+        if y < -tol:
+            return False
+        return all(a * x + b * y <= c + tol for a, b, c in self.rows)
+
+
+@dataclass(frozen=True)
+class LinearBilevelExample(BilevelProblem):
+    """A 1-D/1-D linear bi-level program with explicit UL constraints.
+
+    ``F(x, y) = fx*x + fy*y`` is minimized subject to UL rows
+    ``(g_a, g_b, g_c)`` meaning ``g_a x + g_b y <= g_c``; the lower level
+    is a :class:`LinearLowerLevel`.
+    """
+
+    fx: float
+    fy: float
+    upper_rows: tuple[tuple[float, float, float], ...]
+    lower: LinearLowerLevel
+    x_range: tuple[float, float] = (0.0, 10.0)
+
+    def upper_objective(self, x: float, y: float) -> float:
+        return self.fx * x + self.fy * y
+
+    def lower_objective(self, x: float, y: float) -> float:
+        return self.lower.d * y
+
+    def upper_feasible(self, x: float, y: float, tol: float = 1e-9) -> bool:
+        if x < -tol:
+            return False
+        return all(a * x + b * y <= c + tol for a, b, c in self.upper_rows)
+
+    def lower_feasible(self, x: float, y: float) -> bool:
+        return self.lower.feasible(x, y)
+
+    def rational_reaction(self, x: float) -> RationalReaction:
+        return self.lower.rational_reaction(x)
+
+    def inducible_region(self, x_grid: Sequence[float]) -> list[BilevelPoint]:
+        """Exact rational reactions over an x grid, each classified
+        against the UL constraints (regenerates Fig. 1's data)."""
+        out: list[BilevelPoint] = []
+        for x in np.asarray(list(x_grid), dtype=np.float64):
+            reaction = self.rational_reaction(float(x))
+            if not reaction.feasible or not reaction.reactions:
+                continue
+            y = reaction.optimistic(self.upper_objective)
+            out.append(
+                BilevelPoint(
+                    x=float(x),
+                    y=float(y),
+                    upper_objective=self.upper_objective(float(x), float(y)),
+                    lower_objective=self.lower_objective(float(x), float(y)),
+                    upper_feasible=self.upper_feasible(float(x), float(y)),
+                    lower_feasible=True,
+                    lower_optimal=True,
+                )
+            )
+        return out
+
+    def solve_optimistic(self, n_grid: int = 2001) -> BilevelPoint | None:
+        """Best bi-level feasible point over a fine x grid."""
+        xs = np.linspace(self.x_range[0], self.x_range[1], n_grid)
+        feasible = [p for p in self.inducible_region(xs) if p.bilevel_feasible]
+        if not feasible:
+            return None
+        return min(feasible, key=lambda p: p.upper_objective)
+
+    def solve_pessimistic(self, n_grid: int = 2001) -> BilevelPoint | None:
+        """§II's pessimistic case: when ``P(x)`` is not a singleton the
+        *adversarial* reaction is assumed.  The leader then minimizes the
+        worst-case ``F`` over the grid.  (The paper works in the
+        optimistic case "since no optimality guaranties exist in the
+        pessimistic case" — this solver exists to make that contrast
+        measurable on small examples.)
+        """
+        xs = np.linspace(self.x_range[0], self.x_range[1], n_grid)
+        candidates: list[BilevelPoint] = []
+        for x in xs:
+            reaction = self.rational_reaction(float(x))
+            if not reaction.feasible or not reaction.reactions:
+                continue
+            y = reaction.pessimistic(self.upper_objective)
+            point = BilevelPoint(
+                x=float(x),
+                y=float(y),
+                upper_objective=self.upper_objective(float(x), float(y)),
+                lower_objective=self.lower_objective(float(x), float(y)),
+                upper_feasible=self.upper_feasible(float(x), float(y)),
+                lower_feasible=True,
+                lower_optimal=True,
+            )
+            if point.bilevel_feasible:
+                candidates.append(point)
+        if not candidates:
+            return None
+        return min(candidates, key=lambda p: p.upper_objective)
+
+    def as_grid_problem(self, y_grid: Sequence[float]) -> GridBilevelProblem:
+        """Grid-enumeration view (used by tests to cross-check the closed
+        form against brute force)."""
+        return GridBilevelProblem(self, y_grid)
+
+
+def mersha_dempe_example() -> LinearBilevelExample:
+    """Program 3 / Fig. 1: the Mersha & Dempe (2006) instance."""
+    return LinearBilevelExample(
+        fx=-1.0,
+        fy=-2.0,
+        upper_rows=(
+            (-2.0, 3.0, 12.0),  # 2x - 3y >= -12  <=>  -2x + 3y <= 12
+            (1.0, 1.0, 14.0),   # x + y <= 14
+        ),
+        lower=LinearLowerLevel(
+            d=-1.0,
+            rows=(
+                (-3.0, 1.0, -3.0),  # -3x + y <= -3
+                (3.0, 1.0, 30.0),   # 3x + y <= 30
+            ),
+        ),
+        x_range=(1.0, 10.0),
+    )
+
+
+def indifferent_follower_example() -> LinearBilevelExample:
+    """An instance where ``P(x)`` is *not* a singleton.
+
+    The follower's objective is constant (``d = 0``) so every feasible
+    ``y in [0, 10 - x]`` is rational; the leader minimizes
+    ``F = -x - 2y``.  Optimistically the follower "helps" with
+    ``y = 10 - x``; pessimistically it answers ``y = 0`` — the two §II
+    cases produce different optima, which the tests assert.
+    """
+    return LinearBilevelExample(
+        fx=-1.0,
+        fy=-2.0,
+        upper_rows=((1.0, 0.0, 8.0),),  # x <= 8
+        lower=LinearLowerLevel(
+            d=0.0,
+            rows=((1.0, 1.0, 10.0),),  # x + y <= 10
+        ),
+        x_range=(0.0, 8.0),
+    )

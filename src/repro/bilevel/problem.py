@@ -1,0 +1,174 @@
+"""General bi-level problem abstraction (Program 1) with enumeration tools.
+
+For problems with low-dimensional decision spaces the §II sets can be
+computed directly on a grid: the constraint region ``S``, the lower-level
+feasible set ``S_L(x)``, the rational reaction set ``P(x)`` (with the
+optimistic/pessimistic selection), and the inducible region ``IR``.  This
+is what regenerates Fig. 1 and certifies the worked example of §V-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["BilevelPoint", "RationalReaction", "BilevelProblem", "GridBilevelProblem"]
+
+
+@dataclass(frozen=True)
+class BilevelPoint:
+    """One (x, y) pair with its classification."""
+
+    x: float
+    y: float
+    upper_objective: float
+    lower_objective: float
+    upper_feasible: bool
+    lower_feasible: bool
+    lower_optimal: bool
+
+    @property
+    def bilevel_feasible(self) -> bool:
+        """In the inducible region *and* satisfying the UL constraints."""
+        return self.upper_feasible and self.lower_feasible and self.lower_optimal
+
+
+@dataclass(frozen=True)
+class RationalReaction:
+    """The rational reaction set P(x) for one upper-level decision."""
+
+    x: float
+    reactions: tuple[float, ...]  # all optimal lower-level responses found
+    lower_value: float            # the (common) optimal LL objective
+    feasible: bool                # S_L(x) non-empty
+
+    def optimistic(self, upper_objective: Callable[[float, float], float]) -> float:
+        """Leader-friendly selection: the reaction minimizing F (paper's
+        optimistic assumption)."""
+        if not self.reactions:
+            raise ValueError(f"no rational reaction at x={self.x}")
+        return min(self.reactions, key=lambda y: upper_objective(self.x, y))
+
+    def pessimistic(self, upper_objective: Callable[[float, float], float]) -> float:
+        """Adversarial selection: the reaction maximizing F."""
+        if not self.reactions:
+            raise ValueError(f"no rational reaction at x={self.x}")
+        return max(self.reactions, key=lambda y: upper_objective(self.x, y))
+
+
+class BilevelProblem:
+    """Interface of Program 1 for scalar-objective problems.
+
+    Subclasses provide the two objectives and the two constraint
+    predicates; the upper level is minimized by convention (BCPOP's
+    maximization is handled by negation where needed).
+    """
+
+    def upper_objective(self, x: float, y: float) -> float:
+        raise NotImplementedError
+
+    def lower_objective(self, x: float, y: float) -> float:
+        raise NotImplementedError
+
+    def upper_feasible(self, x: float, y: float) -> bool:
+        """G(x, y) <= 0."""
+        raise NotImplementedError
+
+    def lower_feasible(self, x: float, y: float) -> bool:
+        """g(x, y) <= 0."""
+        raise NotImplementedError
+
+
+class GridBilevelProblem(BilevelProblem):
+    """Enumeration-backed analysis of a :class:`BilevelProblem` over grids.
+
+    Parameters
+    ----------
+    problem:
+        The underlying problem.
+    y_grid:
+        Candidate lower-level decisions used to approximate ``P(x)``.
+    tol:
+        Optimality tolerance when collecting the argmin set.
+    """
+
+    def __init__(
+        self,
+        problem: BilevelProblem,
+        y_grid: Sequence[float],
+        tol: float = 1e-9,
+    ) -> None:
+        self.problem = problem
+        self.y_grid = np.asarray(list(y_grid), dtype=np.float64)
+        if self.y_grid.size == 0:
+            raise ValueError("empty y grid")
+        self.tol = tol
+
+    # Delegation so a GridBilevelProblem is itself a BilevelProblem.
+    def upper_objective(self, x: float, y: float) -> float:
+        return self.problem.upper_objective(x, y)
+
+    def lower_objective(self, x: float, y: float) -> float:
+        return self.problem.lower_objective(x, y)
+
+    def upper_feasible(self, x: float, y: float) -> bool:
+        return self.problem.upper_feasible(x, y)
+
+    def lower_feasible(self, x: float, y: float) -> bool:
+        return self.problem.lower_feasible(x, y)
+
+    def rational_reaction(self, x: float) -> RationalReaction:
+        """P(x) restricted to the y grid."""
+        feasible_ys = [y for y in self.y_grid if self.problem.lower_feasible(x, y)]
+        if not feasible_ys:
+            return RationalReaction(x=x, reactions=(), lower_value=np.inf, feasible=False)
+        values = np.array([self.problem.lower_objective(x, y) for y in feasible_ys])
+        best = values.min()
+        reactions = tuple(
+            y for y, v in zip(feasible_ys, values) if v <= best + self.tol
+        )
+        return RationalReaction(x=x, reactions=reactions, lower_value=float(best), feasible=True)
+
+    def classify(self, x: float, y: float) -> BilevelPoint:
+        """Full §II classification of one pair."""
+        reaction = self.rational_reaction(x)
+        lower_ok = self.problem.lower_feasible(x, y)
+        is_optimal = (
+            lower_ok
+            and reaction.feasible
+            and self.problem.lower_objective(x, y) <= reaction.lower_value + self.tol
+        )
+        return BilevelPoint(
+            x=x,
+            y=y,
+            upper_objective=self.problem.upper_objective(x, y),
+            lower_objective=self.problem.lower_objective(x, y),
+            upper_feasible=self.problem.upper_feasible(x, y),
+            lower_feasible=lower_ok,
+            lower_optimal=is_optimal,
+        )
+
+    def inducible_region(self, x_grid: Sequence[float]) -> list[BilevelPoint]:
+        """IR ∩ (grid): optimistic reactions that satisfy *both* levels.
+
+        Points whose rational reaction violates the UL constraints are
+        returned with ``upper_feasible=False`` — those are exactly the
+        discontinuities Fig. 1 illustrates.
+        """
+        out: list[BilevelPoint] = []
+        for x in np.asarray(list(x_grid), dtype=np.float64):
+            reaction = self.rational_reaction(float(x))
+            if not reaction.feasible:
+                continue
+            y = reaction.optimistic(self.problem.upper_objective)
+            out.append(self.classify(float(x), float(y)))
+        return out
+
+    def solve_optimistic(self, x_grid: Sequence[float]) -> BilevelPoint | None:
+        """Best bi-level feasible point on the grid (minimizing F)."""
+        candidates = [p for p in self.inducible_region(x_grid) if p.bilevel_feasible]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda p: p.upper_objective)

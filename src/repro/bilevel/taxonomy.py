@@ -1,0 +1,86 @@
+"""The extended bi-level metaheuristics taxonomy (paper Fig. 2).
+
+Encoded as a :mod:`networkx` DAG so benches can regenerate the figure's
+structure programmatically (node set, edges, and the category of every
+algorithm the related-work section discusses, including CARBON's own
+placement under the co-evolutionary branch).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+__all__ = ["bilevel_taxonomy", "render_taxonomy", "STRATEGY_CODES"]
+
+#: §III's five resolution strategies (plus the NSQ sub-approaches).
+STRATEGY_CODES: dict[str, str] = {
+    "NSQ": "Nested sequential",
+    "REP": "Repairing approach",
+    "CST": "Constructive approach",
+    "STA": "Single-level transformation",
+    "COE": "Co-evolutionary",
+    "MOA": "Multi-objective",
+    "APP": "Lower-level approximation",
+}
+
+
+def bilevel_taxonomy() -> nx.DiGraph:
+    """Build the Fig. 2 taxonomy as a directed tree.
+
+    Nodes carry ``kind`` (``root`` / ``strategy`` / ``subapproach`` /
+    ``algorithm``) and ``label`` attributes; algorithm nodes carry a
+    ``reference`` naming the §III citation they stand for.
+    """
+    g = nx.DiGraph()
+    g.add_node("bi-level metaheuristics", kind="root", label="Bi-level metaheuristics")
+
+    def strategy(code: str) -> None:
+        g.add_node(code, kind="strategy", label=STRATEGY_CODES[code])
+        g.add_edge("bi-level metaheuristics", code)
+
+    for code in ("NSQ", "STA", "COE", "MOA", "APP"):
+        strategy(code)
+
+    for code in ("REP", "CST"):
+        g.add_node(code, kind="subapproach", label=STRATEGY_CODES[code])
+        g.add_edge("NSQ", code)
+
+    algorithms = [
+        ("DE-repair (Koh 2007)", "REP"),
+        ("Sequential GA (Li et al.)", "CST"),
+        ("Dual-temperature SA (Sahin & Ciric 1998)", "STA"),
+        ("KKT-EA reformulation", "STA"),
+        ("Fliege & Vicente equivalence", "MOA"),
+        ("BLEAQ (Sinha & Deb 2014)", "APP"),
+        ("Bayesian bi-level (Kieffer et al. 2017)", "APP"),
+        ("BIGA (Oduguwa & Roy 2002)", "COE"),
+        ("COBRA (Legillon et al. 2012)", "COE"),
+        ("CODBA (Chaabani et al. 2015)", "COE"),
+        ("CARBON (this paper)", "COE"),
+    ]
+    for name, parent in algorithms:
+        g.add_node(name, kind="algorithm", label=name, reference=parent)
+        g.add_edge(parent, name)
+    return g
+
+
+def render_taxonomy(g: nx.DiGraph | None = None, root: str = "bi-level metaheuristics") -> str:
+    """ASCII rendering of the taxonomy tree (deterministic order)."""
+    g = g if g is not None else bilevel_taxonomy()
+    lines: list[str] = []
+
+    def walk(node: str, prefix: str, is_last: bool, is_root: bool) -> None:
+        label = g.nodes[node].get("label", node)
+        if is_root:
+            lines.append(label)
+            child_prefix = ""
+        else:
+            connector = "`-- " if is_last else "|-- "
+            lines.append(prefix + connector + label)
+            child_prefix = prefix + ("    " if is_last else "|   ")
+        children = sorted(g.successors(node))
+        for i, child in enumerate(children):
+            walk(child, child_prefix, i == len(children) - 1, False)
+
+    walk(root, "", True, True)
+    return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""The paper's algorithms: CARBON (contribution) and COBRA (baseline).
+
+* :mod:`repro.core.config`      — Table II parameter sets,
+* :mod:`repro.core.archive`     — bounded elite archives (both levels),
+* :mod:`repro.core.convergence` — per-generation history (Figs. 4–5),
+* :mod:`repro.core.carbon`      — the competitive co-evolutionary
+  hyper-heuristic algorithm (§IV),
+* :mod:`repro.core.cobra`       — the co-evolutionary baseline
+  (Algorithm 1, Legillon et al. 2012),
+* :mod:`repro.core.results`     — run/record containers shared by the
+  experiment harness.
+"""
+
+from repro.core.config import CarbonConfig, CobraConfig
+from repro.core.archive import Archive, ArchiveEntry
+from repro.core.convergence import ConvergenceHistory, resample_history, seesaw_index
+from repro.core.results import RunResult, BilevelSolution
+from repro.core.carbon import Carbon, run_carbon
+from repro.core.cobra import Cobra, run_cobra
+from repro.core.nested import NestedSequential, run_nested
+from repro.core.surrogate import QuadraticSurrogate, SurrogateAssisted, run_surrogate
+
+__all__ = [
+    "NestedSequential",
+    "run_nested",
+    "QuadraticSurrogate",
+    "SurrogateAssisted",
+    "run_surrogate",
+    "CarbonConfig",
+    "CobraConfig",
+    "Archive",
+    "ArchiveEntry",
+    "ConvergenceHistory",
+    "resample_history",
+    "seesaw_index",
+    "RunResult",
+    "BilevelSolution",
+    "Carbon",
+    "run_carbon",
+    "Cobra",
+    "run_cobra",
+]

@@ -1,0 +1,115 @@
+"""Bounded elite archives.
+
+Both algorithms keep size-100 archives at each level (Table II).  An
+archive holds the best-``key`` unique entries seen so far; uniqueness is
+decided by a caller-provided identity function so price vectors (quantized
+bytes) and GP trees (structural hash) can both be deduplicated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+__all__ = ["ArchiveEntry", "Archive"]
+
+
+@dataclass
+class ArchiveEntry:
+    """One archived individual with its score and side data."""
+
+    item: Any
+    score: float
+    aux: dict = field(default_factory=dict)
+
+
+def _default_identity(item: Any) -> Any:
+    if isinstance(item, np.ndarray):
+        if item.dtype == bool:
+            return item.tobytes()
+        return np.round(item.astype(np.float64), 9).tobytes()
+    return item
+
+
+class Archive:
+    """Keep the ``maxsize`` best unique entries.
+
+    Parameters
+    ----------
+    maxsize:
+        Capacity (Table II: 100).
+    minimize:
+        Score direction; ``False`` for revenue archives, ``True`` for gap
+        archives.
+    identity:
+        Maps an item to a hashable dedup key; an incoming duplicate
+        replaces the stored entry only if strictly better.
+    """
+
+    def __init__(
+        self,
+        maxsize: int,
+        minimize: bool = True,
+        identity: Callable[[Any], Any] | None = None,
+    ) -> None:
+        if maxsize < 1:
+            raise ValueError(f"archive maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.minimize = minimize
+        self.identity = identity or _default_identity
+        self._entries: dict[Any, ArchiveEntry] = {}
+
+    def _key(self, score: float) -> float:
+        """Sort key: lower = better; NaN is always worst."""
+        if np.isnan(score):
+            return np.inf
+        return score if self.minimize else -score
+
+    def _better(self, a: float, b: float) -> bool:
+        """True iff score ``a`` beats score ``b``."""
+        return self._key(a) < self._key(b)
+
+    def add(self, item: Any, score: float, aux: dict | None = None) -> bool:
+        """Offer an entry; returns True iff it was stored."""
+        key = self.identity(item)
+        existing = self._entries.get(key)
+        entry = ArchiveEntry(item=item, score=float(score), aux=aux or {})
+        if existing is not None:
+            if self._better(entry.score, existing.score):
+                self._entries[key] = entry
+                return True
+            return False
+        self._entries[key] = entry
+        if len(self._entries) > self.maxsize:
+            worst_key = max(self._entries, key=lambda k: self._key(self._entries[k].score))
+            evicted = worst_key == key
+            del self._entries[worst_key]
+            return not evicted
+        return True
+
+    def best(self) -> ArchiveEntry:
+        """The single best entry (raises on empty archive)."""
+        if not self._entries:
+            raise ValueError("archive is empty")
+        return min(self._entries.values(), key=lambda e: self._key(e.score))
+
+    def best_score(self) -> float:
+        return self.best().score
+
+    def entries(self) -> list[ArchiveEntry]:
+        """All entries, best first."""
+        return sorted(self._entries.values(), key=lambda e: self._key(e.score))
+
+    def top(self, n: int) -> list[ArchiveEntry]:
+        return self.entries()[:n]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[ArchiveEntry]:
+        return iter(self.entries())
+
+    def __contains__(self, item: Any) -> bool:
+        return self.identity(item) in self._entries

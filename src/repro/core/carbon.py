@@ -1,0 +1,336 @@
+"""CARBON: Competitive co-evolution of prices and hyper-heuristics (§IV).
+
+Two populations play predator/prey:
+
+* the **prey** — upper-level pricing vectors, evolved with the Table II GA
+  operators (binary tournament, SBX 0.85, polynomial mutation 0.01),
+* the **predators** — lower-level *solvers*: greedy scoring functions as
+  GP syntax trees, evolved with the Table II GP operators (tournament,
+  one-point crossover 0.85, uniform mutation 0.10, reproduction 0.05).
+
+The coupling is competitive: every heuristic is scored by the mean
+%-gap-to-LP-bound it achieves on lower-level instances *induced by the
+current prey population* (so the predators chase the prey through instance
+space), while every pricing vector is scored by the leader revenue under
+the **champion** heuristic's predicted rational reaction (so the prey can
+only earn revenue a near-rational follower would actually concede).  This
+is how the nested structure is broken: the heuristic population is
+meaningful for *any* upper-level decision, unlike a population of
+lower-level decision vectors.
+
+Design choices the paper leaves open are flagged inline and ablated in the
+benches (DESIGN.md §5): champion pairing, heuristic evaluation sample
+size, per-gene mutation reading of Table II's 0.01.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bcpop.evaluate import LowerLevelEvaluator
+from repro.bcpop.instance import BcpopInstance
+from repro.core.archive import Archive
+from repro.core.config import CarbonConfig
+from repro.core.convergence import ConvergenceHistory
+from repro.core.results import BilevelSolution, RunResult
+from repro.ga.encoding import Bounds
+from repro.ga.operators import polynomial_mutation, sbx_crossover
+from repro.ga.population import Individual, random_real_population
+from repro.ga.selection import binary_tournament
+from repro.gp.generate import ramped_half_and_half
+from repro.gp.operators import one_point_crossover, reproduce, uniform_mutation
+from repro.gp.primitives import paper_primitive_set
+from repro.gp.selection import tournament
+from repro.gp.tree import SyntaxTree
+
+__all__ = ["Carbon", "run_carbon"]
+
+
+class Carbon:
+    """One CARBON run on one BCPOP instance.
+
+    Parameters
+    ----------
+    instance:
+        The bi-level pricing problem.
+    config:
+        Algorithm parameters (default: Table II paper values).
+    rng:
+        Random stream for the whole run.
+    lp_backend:
+        Forwarded to the lower-level evaluator.
+    """
+
+    def __init__(
+        self,
+        instance: BcpopInstance,
+        config: CarbonConfig | None = None,
+        rng: np.random.Generator | None = None,
+        lp_backend: str = "scipy",
+    ) -> None:
+        self.instance = instance
+        self.config = config or CarbonConfig.paper()
+        self.rng = rng or np.random.default_rng()
+        self.evaluator = LowerLevelEvaluator(instance, lp_backend=lp_backend)
+        self.pset = paper_primitive_set(
+            erc_probability=self.config.gp_erc_probability
+        )
+        self.bounds = Bounds(*instance.price_bounds)
+
+        self.ul_used = 0
+        self.ll_used = 0
+        self.history = ConvergenceHistory()
+        self.ul_archive = Archive(self.config.upper.archive_size, minimize=False)
+        self.ll_archive = Archive(
+            self.config.ll_archive_size, minimize=True, identity=hash
+        )
+        self.ul_pop: list[Individual] = []
+        self.ll_pop: list[Individual] = []
+        self.champion: SyntaxTree | None = None
+
+    # -- budgets -----------------------------------------------------------
+
+    @property
+    def ul_budget_left(self) -> int:
+        return self.config.upper.fitness_evaluations - self.ul_used
+
+    @property
+    def ll_budget_left(self) -> int:
+        return self.config.ll_fitness_evaluations - self.ll_used
+
+    # -- evaluation --------------------------------------------------------
+
+    def _price_sample(self, k: int) -> list[np.ndarray]:
+        """Upper-level decisions the heuristics are graded against: drawn
+        from the current prey population (the competitive coupling)."""
+        if not self.ul_pop:
+            return [self.bounds.sample(self.rng) for _ in range(k)]
+        idx = self.rng.integers(len(self.ul_pop), size=k)
+        return [self.ul_pop[i].genome for i in idx]
+
+    def _evaluate_tree(self, ind: Individual, sample: list[np.ndarray]) -> bool:
+        """Mean %-gap of one heuristic over a price sample.  Returns False
+        when the LL budget ran out before any evaluation."""
+        gaps: list[float] = []
+        for prices in sample:
+            if self.ll_budget_left <= 0:
+                break
+            outcome = self.evaluator.evaluate_heuristic(prices, ind.genome)
+            self.ll_used += 1
+            gaps.append(outcome.gap)
+        if not gaps:
+            return False
+        finite = [g for g in gaps if np.isfinite(g)]
+        ind.fitness = float(np.mean(finite)) if len(finite) == len(gaps) else np.inf
+        ind.aux = {"gaps": gaps}
+        self.ll_archive.add(ind.genome, ind.fitness, aux=dict(ind.aux))
+        return True
+
+    def _evaluate_ul(self, ind: Individual) -> bool:
+        """Leader revenue under the champion's predicted reaction.  Returns
+        False when the UL budget is exhausted."""
+        if self.ul_budget_left <= 0:
+            return False
+        assert self.champion is not None
+        outcome = self.evaluator.evaluate_heuristic(ind.genome, self.champion)
+        self.ul_used += 1
+        ind.fitness = outcome.revenue if outcome.feasible else -np.inf
+        ind.aux = {
+            "gap": outcome.gap,
+            "selection": outcome.selection,
+            "ll_cost": outcome.ll_cost,
+            "lower_bound": outcome.lower_bound,
+        }
+        self.ul_archive.add(ind.genome.copy(), ind.fitness, aux=dict(ind.aux))
+        return True
+
+    def _update_champion(self) -> None:
+        if len(self.ll_archive):
+            self.champion = self.ll_archive.best().item
+
+    # -- generations -------------------------------------------------------
+
+    def _gp_generation(self) -> None:
+        """One generation of the predator (heuristic) population."""
+        cfg = self.config
+        parents = self.ll_pop
+        fits = [ind.fitness for ind in parents]
+        offspring: list[Individual] = []
+        p_cx = cfg.ll_crossover_probability
+        p_mut = cfg.ll_mutation_probability
+        p_rep = cfg.ll_reproduction_probability
+        while len(offspring) < cfg.ll_population_size:
+            r = self.rng.random()
+            if r < p_cx and len(parents) >= 2:
+                a, b = tournament(
+                    parents, fits, 2, self.rng,
+                    k=cfg.ll_tournament_size, minimize=True,
+                )
+                c1, c2 = one_point_crossover(
+                    a.genome, b.genome, self.rng,
+                    max_depth=cfg.gp_max_depth, max_size=cfg.gp_max_size,
+                )
+                offspring.append(Individual(genome=c1))
+                if len(offspring) < cfg.ll_population_size:
+                    offspring.append(Individual(genome=c2))
+            elif r < p_cx + p_mut:
+                (a,) = tournament(
+                    parents, fits, 1, self.rng,
+                    k=cfg.ll_tournament_size, minimize=True,
+                )
+                child = uniform_mutation(
+                    a.genome, self.pset, self.rng,
+                    max_depth=cfg.gp_max_depth, max_size=cfg.gp_max_size,
+                )
+                offspring.append(Individual(genome=child))
+            else:
+                # Reproduction: copy, fitness carried over (no re-eval).
+                (a,) = tournament(
+                    parents, fits, 1, self.rng,
+                    k=cfg.ll_tournament_size, minimize=True,
+                )
+                offspring.append(
+                    Individual(genome=reproduce(a.genome), fitness=a.fitness, aux=dict(a.aux))
+                )
+        sample = self._price_sample(cfg.heuristic_eval_sample)
+        for ind in offspring:
+            if not ind.evaluated and not self._evaluate_tree(ind, sample):
+                ind.fitness = np.inf  # budget ran dry mid-generation
+        # Elitism: the champion survives unconditionally.
+        best_entry = self.ll_archive.best()
+        elite = Individual(genome=best_entry.item, fitness=best_entry.score)
+        survivors = offspring[: cfg.ll_population_size - 1] + [elite]
+        self.ll_pop = survivors
+        self._update_champion()
+
+    def _ga_generation(self) -> None:
+        """One generation of the prey (pricing) population."""
+        cfg = self.config.upper
+        parents = self.ul_pop
+        fits = [ind.fitness for ind in parents]
+        mates = binary_tournament(parents, fits, cfg.population_size, self.rng)
+        offspring: list[Individual] = []
+        for i in range(0, len(mates) - 1, 2):
+            g1, g2 = mates[i].genome, mates[i + 1].genome
+            if self.rng.random() < cfg.crossover_probability:
+                g1, g2 = sbx_crossover(g1, g2, self.bounds, self.rng, eta=cfg.sbx_eta)
+            offspring.append(Individual(genome=g1.copy()))
+            offspring.append(Individual(genome=g2.copy()))
+        if len(mates) % 2:
+            offspring.append(Individual(genome=mates[-1].genome.copy()))
+        for ind in offspring:
+            ind.genome = polynomial_mutation(
+                ind.genome, self.bounds, self.rng,
+                eta=cfg.polynomial_eta,
+                per_gene_probability=cfg.mutation_probability,
+            )
+        for ind in offspring:
+            if not self._evaluate_ul(ind):
+                ind.fitness = -np.inf
+        best_entry = self.ul_archive.best()
+        elite = Individual(
+            genome=best_entry.item.copy(), fitness=best_entry.score,
+            aux=dict(best_entry.aux),
+        )
+        self.ul_pop = offspring[: cfg.population_size - 1] + [elite]
+
+    def _record(self) -> None:
+        ul_fits = [i.fitness for i in self.ul_pop if np.isfinite(i.fitness)]
+        ll_fits = [i.fitness for i in self.ll_pop if np.isfinite(i.fitness)]
+        self.history.record(
+            ul_evaluations=self.ul_used,
+            ll_evaluations=self.ll_used,
+            best_fitness=max(ul_fits) if ul_fits else np.nan,
+            best_gap=min(ll_fits) if ll_fits else np.nan,
+            mean_gap=float(np.mean(ll_fits)) if ll_fits else np.nan,
+        )
+
+    # -- main loop ----------------------------------------------------------
+
+    def initialize(self) -> None:
+        """Create and evaluate both initial populations."""
+        cfg = self.config
+        self.ul_pop = random_real_population(
+            self.bounds, cfg.upper.population_size, self.rng
+        )
+        trees = ramped_half_and_half(
+            self.pset, cfg.ll_population_size, self.rng,
+            min_depth=cfg.gp_min_init_depth, max_depth=cfg.gp_max_init_depth,
+        )
+        self.ll_pop = [Individual(genome=t) for t in trees]
+        sample = self._price_sample(cfg.heuristic_eval_sample)
+        for ind in self.ll_pop:
+            if not self._evaluate_tree(ind, sample):
+                ind.fitness = np.inf
+        self._update_champion()
+        if self.champion is None:
+            raise RuntimeError(
+                "LL budget too small to evaluate a single heuristic"
+            )
+        for ind in self.ul_pop:
+            if not self._evaluate_ul(ind):
+                ind.fitness = -np.inf
+        self._record()
+
+    def step(self) -> bool:
+        """One co-evolutionary iteration; returns False when both budgets
+        are exhausted."""
+        if self.ll_budget_left <= 0 and self.ul_budget_left <= 0:
+            return False
+        if self.ll_budget_left > 0:
+            self._gp_generation()
+        if self.ul_budget_left > 0:
+            self._ga_generation()
+        self._record()
+        return True
+
+    def run(self, seed_label: int = 0) -> RunResult:
+        """Run to budget exhaustion and extract results (§V-B protocol:
+        best %-gap from the lower-level archive, best upper-level fitness
+        from the upper-level archive)."""
+        start = time.perf_counter()
+        self.initialize()
+        while self.step():
+            pass
+        best_ul = self.ul_archive.best()
+        solution = BilevelSolution(
+            prices=best_ul.item,
+            selection=best_ul.aux.get("selection", np.zeros(self.instance.n_bundles, bool)),
+            upper_objective=best_ul.score,
+            lower_objective=best_ul.aux.get("ll_cost", np.nan),
+            gap=best_ul.aux.get("gap", np.nan),
+            lower_bound=best_ul.aux.get("lower_bound", np.nan),
+        )
+        return RunResult(
+            algorithm="CARBON",
+            instance_name=self.instance.name,
+            seed=seed_label,
+            best_gap=self.ll_archive.best_score(),
+            best_upper=best_ul.score,
+            best_solution=solution,
+            history=self.history,
+            ul_evaluations_used=self.ul_used,
+            ll_evaluations_used=self.ll_used,
+            wall_time=time.perf_counter() - start,
+            extras={
+                "champion": self.champion.to_infix() if self.champion else "",
+                "champion_size": self.champion.size if self.champion else 0,
+                "champion_tree": self.champion,
+                "lp_cache": self.evaluator.cache_stats,
+            },
+        )
+
+
+def run_carbon(
+    instance: BcpopInstance,
+    config: CarbonConfig | None = None,
+    seed: int = 0,
+    lp_backend: str = "scipy",
+) -> RunResult:
+    """Convenience wrapper: one seeded CARBON run."""
+    return Carbon(
+        instance, config=config, rng=np.random.default_rng(seed),
+        lp_backend=lp_backend,
+    ).run(seed_label=seed)

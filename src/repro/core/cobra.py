@@ -1,0 +1,426 @@
+"""COBRA baseline (Legillon, Liefooghe, Talbi, CEC 2012 — Algorithm 1).
+
+Two *decision-vector* populations co-evolve: continuous pricing vectors at
+the upper level and binary baskets at the lower level, with the Table II
+operator suite (binary tournament / SBX / polynomial mutation above,
+binary tournament / two-point crossover / swap mutation below).
+
+Pairing model
+-------------
+Algorithm 1 creates one population of full ``(x, y)`` solutions and splits
+it by level, so pairing is *live and positional*: individual ``i`` of the
+upper population is always coupled with individual ``i`` of the lower
+population.  Fitness reads the partner at evaluation time —
+``F(x_i, y_i)`` above (a dot product, no lower-level solve),
+``f(x_i, y_i)`` below.  Because each improvement phase mutates one side
+while the other is frozen, fitnesses go stale across phases; each phase
+therefore starts by re-evaluating its population against the partners as
+they now are (evaluations counted against the budget).  Per-level
+selection and the explicit co-evolution operator (random partner
+shuffling) both reshuffle pairings.
+
+This faithful structure reproduces the two pathologies the paper analyses:
+
+* *overestimation* (Table IV, Eq. 2-3): upper-level selection maximizes
+  revenue jointly over prices *and* over the baskets the pairing roulette
+  serves up — suboptimal baskets buying many leader bundles at inflated
+  prices win tournaments, so the archive's best F is an optimistic
+  relaxation of the rational payoff;
+* *see-saw convergence* (Fig. 5): each phase improves its own level
+  against stale partners and each phase boundary re-anchors fitnesses
+  downward — "each improvement phase deteriorates the other level".
+
+Good-faith treatment: lower-level offspring are repaired to feasibility
+(neutral random-completion by default, so no hand-written heuristic is
+smuggled into the baseline; configurable for ablations).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bcpop.evaluate import LowerLevelEvaluator
+from repro.bcpop.instance import BcpopInstance
+from repro.core.archive import Archive
+from repro.core.config import CobraConfig
+from repro.core.convergence import ConvergenceHistory
+from repro.core.results import BilevelSolution, RunResult
+from repro.covering.repair import repair_cover
+from repro.ga.encoding import Bounds
+from repro.ga.operators import (
+    polynomial_mutation,
+    sbx_crossover,
+    swap_mutation,
+    two_point_crossover,
+)
+from repro.ga.population import Individual
+from repro.ga.selection import binary_tournament
+
+__all__ = ["Cobra", "run_cobra"]
+
+
+class Cobra:
+    """One COBRA run on one BCPOP instance (see module docstring)."""
+
+    def __init__(
+        self,
+        instance: BcpopInstance,
+        config: CobraConfig | None = None,
+        rng: np.random.Generator | None = None,
+        lp_backend: str = "scipy",
+    ) -> None:
+        self.instance = instance
+        self.config = config or CobraConfig.paper()
+        self.rng = rng or np.random.default_rng()
+        self.evaluator = LowerLevelEvaluator(instance, lp_backend=lp_backend)
+        self.bounds = Bounds(*instance.price_bounds)
+
+        self.ul_used = 0
+        self.ll_used = 0
+        self.history = ConvergenceHistory()
+        self.upper_archive = Archive(self.config.upper.archive_size, minimize=False)
+        self.lower_archive = Archive(self.config.ll_archive_size, minimize=True)
+        # Live positional pairing: pop_u[i] is coupled with pop_l[i].
+        self.n_pairs = max(
+            self.config.upper.population_size, self.config.ll_population_size
+        )
+        self.pop_u: list[Individual] = []
+        self.pop_l: list[Individual] = []
+
+    # -- budgets -----------------------------------------------------------
+
+    @property
+    def ul_budget_left(self) -> int:
+        return self.config.upper.fitness_evaluations - self.ul_used
+
+    @property
+    def ll_budget_left(self) -> int:
+        return self.config.ll_fitness_evaluations - self.ll_used
+
+    # -- pairing / evaluation -------------------------------------------------
+
+    def _anchor_upper(self) -> None:
+        """Refresh every upper individual's partner to the lower
+        population's current state (positional) — the phase-boundary
+        re-coupling that produces the see-saw's downward strokes."""
+        for i, ind in enumerate(self.pop_u):
+            ind.aux["partner"] = self.pop_l[i % len(self.pop_l)].genome.copy()
+            if not self._eval_upper(ind):
+                ind.fitness = -np.inf
+
+    def _anchor_lower(self) -> None:
+        for i, ind in enumerate(self.pop_l):
+            ind.aux["partner"] = self.pop_u[i % len(self.pop_u)].genome.copy()
+            if not self._eval_lower(ind):
+                ind.fitness = np.inf
+
+    def _eval_upper(self, ind: Individual) -> bool:
+        """F(x, y_partner): leader revenue for the carried basket —
+        COBRA's core shortcut (no lower-level solve)."""
+        if self.ul_budget_left <= 0:
+            return False
+        partner = ind.aux["partner"]
+        ind.fitness = self.instance.revenue(ind.genome, partner)
+        self.ul_used += 1
+        self.upper_archive.add(
+            ind.genome.copy(), ind.fitness, aux={"partner": partner.copy()}
+        )
+        return True
+
+    def _eval_lower(self, ind: Individual) -> bool:
+        """f(x_partner, y): follower cost under the carried prices."""
+        if self.ll_budget_left <= 0:
+            return False
+        partner = ind.aux["partner"]
+        ind.fitness = self.instance.lower_level(partner).cost_of(ind.genome)
+        self.ll_used += 1
+        return True
+
+    def _pair_gap(self, prices: np.ndarray, basket: np.ndarray) -> float:
+        """%-gap of a pairing (LP relaxation cached per price vector)."""
+        relax = self.evaluator.relaxation(prices)
+        cost = self.instance.lower_level(prices).cost_of(basket)
+        return relax.percent_gap(cost)
+
+    # -- phases (Algorithm 1, line 5) ----------------------------------------
+
+    def _upper_improvement(self) -> None:
+        cfg = self.config.upper
+        # Phase boundary: re-couple with the baskets as the lower phase
+        # left them — this is the see-saw's downward stroke.
+        self._anchor_upper()
+        self._record()
+        for _ in range(self.config.improvement_generations):
+            if self.ul_budget_left <= 0:
+                break
+            fits = [i.fitness for i in self.pop_u]
+            mates = binary_tournament(self.pop_u, fits, len(self.pop_u), self.rng)
+            offspring: list[Individual] = []
+            for i in range(0, len(mates) - 1, 2):
+                p1, p2 = mates[i], mates[i + 1]
+                g1, g2 = p1.genome, p2.genome
+                if self.rng.random() < cfg.crossover_probability:
+                    g1, g2 = sbx_crossover(g1, g2, self.bounds, self.rng, eta=cfg.sbx_eta)
+                # Offspring inherit the parent's carried basket, so within
+                # a phase selection consistently exploits lucky pairings —
+                # the overestimation channel.
+                offspring.append(
+                    Individual(genome=g1.copy(), aux={"partner": p1.aux["partner"]})
+                )
+                offspring.append(
+                    Individual(genome=g2.copy(), aux={"partner": p2.aux["partner"]})
+                )
+            if len(mates) % 2:
+                last = mates[-1]
+                offspring.append(
+                    Individual(
+                        genome=last.genome.copy(), aux={"partner": last.aux["partner"]}
+                    )
+                )
+            offspring = offspring[: len(self.pop_u) - 1]
+            elite = max(self.pop_u, key=lambda x: x.fitness).copy()
+            for ind in offspring:
+                ind.genome = polynomial_mutation(
+                    ind.genome, self.bounds, self.rng,
+                    eta=cfg.polynomial_eta,
+                    per_gene_probability=cfg.mutation_probability,
+                )
+                if not self._eval_upper(ind):
+                    ind.fitness = -np.inf
+            self.pop_u = offspring + [elite]
+            self._record()
+
+    def _lower_improvement(self) -> None:
+        cfg = self.config
+        mut_p = cfg.ll_mutation_probability
+        self._anchor_lower()
+        self._record()
+        for _ in range(cfg.improvement_generations):
+            if self.ll_budget_left <= 0:
+                break
+            fits = [i.fitness for i in self.pop_l]
+            mates = binary_tournament(
+                self.pop_l, fits, len(self.pop_l), self.rng, minimize=True
+            )
+            offspring: list[Individual] = []
+            for i in range(0, len(mates) - 1, 2):
+                p1, p2 = mates[i], mates[i + 1]
+                g1, g2 = p1.genome, p2.genome
+                if self.rng.random() < cfg.ll_crossover_probability:
+                    g1, g2 = two_point_crossover(g1, g2, self.rng)
+                else:
+                    g1, g2 = g1.copy(), g2.copy()
+                offspring.append(Individual(genome=g1, aux={"partner": p1.aux["partner"]}))
+                offspring.append(Individual(genome=g2, aux={"partner": p2.aux["partner"]}))
+            if len(mates) % 2:
+                last = mates[-1]
+                offspring.append(
+                    Individual(
+                        genome=last.genome.copy(), aux={"partner": last.aux["partner"]}
+                    )
+                )
+            offspring = offspring[: len(self.pop_l) - 1]
+            elite = min(self.pop_l, key=lambda x: x.fitness).copy()
+            for ind in offspring:
+                ind.genome = swap_mutation(ind.genome, self.rng, per_gene_probability=mut_p)
+                ll = self.instance.lower_level(ind.aux["partner"])
+                if not ll.is_feasible(ind.genome):
+                    ind.genome = repair_cover(
+                        ll, ind.genome, order=cfg.ll_repair, rng=self.rng,
+                        prune=cfg.ll_repair_prune,
+                    )
+                if not self._eval_lower(ind):
+                    ind.fitness = np.inf
+            self.pop_l = offspring + [elite]
+            self._record()
+
+    # -- Algorithm 1, lines 6-9 ----------------------------------------------
+
+    def _archive(self) -> None:
+        """Line 6: archive both populations with their current partners;
+        lower entries also record their %-gap (the Table III measure)."""
+        for ind in self.pop_u:
+            if np.isfinite(ind.fitness):
+                self.upper_archive.add(
+                    ind.genome.copy(),
+                    ind.fitness,
+                    aux={"partner": ind.aux["partner"].copy()},
+                )
+        for ind in self.pop_l:
+            if not np.isfinite(ind.fitness):
+                continue
+            partner = ind.aux["partner"]
+            gap = self._pair_gap(partner, ind.genome)
+            self.lower_archive.add(
+                ind.genome.copy(), ind.fitness,
+                aux={"partner": partner.copy(), "gap": gap},
+            )
+
+    def _selection(self) -> None:
+        """Line 7: tournament-rebuild both populations (this implicitly
+        reshuffles the positional pairings — part of the exchange)."""
+        fits_u = [i.fitness for i in self.pop_u]
+        self.pop_u = [
+            ind.copy()
+            for ind in binary_tournament(self.pop_u, fits_u, len(self.pop_u), self.rng)
+        ]
+        fits_l = [i.fitness for i in self.pop_l]
+        self.pop_l = [
+            ind.copy()
+            for ind in binary_tournament(
+                self.pop_l, fits_l, len(self.pop_l), self.rng, minimize=True
+            )
+        ]
+
+    def _coevolution(self) -> None:
+        """Line 8: random re-pairing — a fraction of each population gets a
+        fresh partner drawn from the other side and is re-evaluated against
+        it (evaluations counted) — the explicit exchange operator."""
+        k_u = int(self.config.coevolution_fraction * len(self.pop_u))
+        for idx in self.rng.choice(len(self.pop_u), size=k_u, replace=False):
+            mate = self.pop_l[self.rng.integers(len(self.pop_l))]
+            self.pop_u[idx].aux["partner"] = mate.genome.copy()
+            if not self._eval_upper(self.pop_u[idx]):
+                break
+        k_l = int(self.config.coevolution_fraction * len(self.pop_l))
+        for idx in self.rng.choice(len(self.pop_l), size=k_l, replace=False):
+            mate = self.pop_u[self.rng.integers(len(self.pop_u))]
+            self.pop_l[idx].aux["partner"] = mate.genome.copy()
+            if not self._eval_lower(self.pop_l[idx]):
+                break
+
+    def _inject_archives(self) -> None:
+        """Line 9: replace the worst members with archive elites."""
+        n_inject = max(1, len(self.pop_u) // 10)
+        elites_u = self.upper_archive.top(n_inject)
+        self.pop_u.sort(key=lambda i: i.fitness if np.isfinite(i.fitness) else -np.inf)
+        for i, entry in enumerate(elites_u[: len(self.pop_u)]):
+            self.pop_u[i] = Individual(
+                genome=entry.item.copy(), fitness=entry.score,
+                aux={"partner": entry.aux["partner"].copy()},
+            )
+        elites_l = self.lower_archive.top(n_inject)
+        self.pop_l.sort(
+            key=lambda i: -i.fitness if np.isfinite(i.fitness) else -np.inf
+        )
+        for i, entry in enumerate(elites_l[: len(self.pop_l)]):
+            self.pop_l[i] = Individual(
+                genome=entry.item.copy(), fitness=entry.score,
+                aux={"partner": entry.aux["partner"].copy()},
+            )
+
+    def _record(self) -> None:
+        finite_u = [i.fitness for i in self.pop_u if np.isfinite(i.fitness)]
+        best_f = max(finite_u) if finite_u else np.nan
+        finite_l = [ind for ind in self.pop_l if np.isfinite(ind.fitness)]
+        if finite_l:
+            best_l = min(finite_l, key=lambda ind: ind.fitness)
+            best_gap = self._pair_gap(best_l.aux["partner"], best_l.genome)
+            mean_gap = best_gap
+        else:
+            best_gap = mean_gap = np.nan
+        self.history.record(
+            ul_evaluations=self.ul_used,
+            ll_evaluations=self.ll_used,
+            best_fitness=best_f,
+            best_gap=best_gap,
+            mean_gap=mean_gap,
+        )
+
+    # -- main loop -----------------------------------------------------------
+
+    def initialize(self) -> None:
+        """Algorithm 1 lines 1-3: one joint population of (x, y) pairs,
+        split by level with live positional pairing."""
+        cfg = self.config
+        n = self.n_pairs
+        prices = [self.bounds.sample(self.rng) for _ in range(n)]
+        baskets = []
+        for i in range(n):
+            raw = self.rng.random(self.instance.n_bundles) < 0.3
+            ll = self.instance.lower_level(prices[i])
+            baskets.append(
+                repair_cover(
+                    ll, raw, order=cfg.ll_repair, rng=self.rng,
+                    prune=cfg.ll_repair_prune,
+                )
+            )
+        self.pop_u = [
+            Individual(genome=prices[i], aux={"partner": baskets[i].copy()})
+            for i in range(n)
+        ]
+        self.pop_l = [
+            Individual(genome=baskets[i], aux={"partner": prices[i].copy()})
+            for i in range(n)
+        ]
+        for ind in self.pop_l:
+            if not self._eval_lower(ind):
+                ind.fitness = np.inf
+        for ind in self.pop_u:
+            if not self._eval_upper(ind):
+                ind.fitness = -np.inf
+        self._record()
+
+    def step(self) -> bool:
+        """One outer iteration of Algorithm 1; False when budgets are gone."""
+        if self.ul_budget_left <= 0 and self.ll_budget_left <= 0:
+            return False
+        self._upper_improvement()
+        self._lower_improvement()
+        self._archive()
+        self._selection()
+        self._coevolution()
+        self._inject_archives()
+        return True
+
+    def run(self, seed_label: int = 0) -> RunResult:
+        """Run to budget exhaustion; extract per §V-B (lower archive for
+        the %-gap, upper archive for the upper-level fitness)."""
+        start = time.perf_counter()
+        self.initialize()
+        while self.step():
+            pass
+        best_u = self.upper_archive.best()
+        gaps = [
+            e.aux["gap"]
+            for e in self.lower_archive.entries()
+            if np.isfinite(e.aux.get("gap", np.inf))
+        ]
+        best_gap = min(gaps) if gaps else np.inf
+        partner_basket = best_u.aux["partner"]
+        solution = BilevelSolution(
+            prices=best_u.item,
+            selection=partner_basket,
+            upper_objective=best_u.score,
+            lower_objective=self.instance.lower_level(best_u.item).cost_of(partner_basket),
+            gap=self._pair_gap(best_u.item, partner_basket),
+            lower_bound=self.evaluator.relaxation(best_u.item).lower_bound,
+        )
+        return RunResult(
+            algorithm="COBRA",
+            instance_name=self.instance.name,
+            seed=seed_label,
+            best_gap=best_gap,
+            best_upper=best_u.score,
+            best_solution=solution,
+            history=self.history,
+            ul_evaluations_used=self.ul_used,
+            ll_evaluations_used=self.ll_used,
+            wall_time=time.perf_counter() - start,
+            extras={"lp_cache": self.evaluator.cache_stats},
+        )
+
+
+def run_cobra(
+    instance: BcpopInstance,
+    config: CobraConfig | None = None,
+    seed: int = 0,
+    lp_backend: str = "scipy",
+) -> RunResult:
+    """Convenience wrapper: one seeded COBRA run."""
+    return Cobra(
+        instance, config=config, rng=np.random.default_rng(seed),
+        lp_backend=lp_backend,
+    ).run(seed_label=seed)

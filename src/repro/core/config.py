@@ -1,0 +1,215 @@
+"""Algorithm parameter sets (paper Table II).
+
+``CarbonConfig.paper()`` / ``CobraConfig.paper()`` reproduce Table II
+verbatim; ``.quick()`` variants shrink the evaluation budgets and
+populations to laptop/test scale while keeping every ratio (crossover /
+mutation / reproduction probabilities, archive-to-population ratio)
+identical, so shape claims transfer.
+
+Design choices the table leaves open are spelled out in field docstrings
+and DESIGN.md §5 (per-gene vs per-individual mutation, GP tournament size,
+heuristic evaluation sample size, COBRA improvement-phase length).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["UpperLevelConfig", "CarbonConfig", "CobraConfig"]
+
+
+@dataclass(frozen=True)
+class UpperLevelConfig:
+    """Shared upper-level GA settings (identical for both algorithms).
+
+    Table II rows: UL encoding (continuous), population 100, archive 100,
+    50 000 fitness evaluations, binary tournament, SBX 0.85, polynomial
+    mutation 0.01.
+    """
+
+    population_size: int = 100
+    archive_size: int = 100
+    fitness_evaluations: int = 50_000
+    crossover_probability: float = 0.85
+    #: Table II says "mutation probability 0.01"; we read it per *gene*
+    #: (the DEAP convention for polynomial mutation's indpb).
+    mutation_probability: float = 0.01
+    sbx_eta: float = 15.0
+    polynomial_eta: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise ValueError("UL population must have >= 2 individuals")
+        if not (0.0 <= self.crossover_probability <= 1.0):
+            raise ValueError("crossover probability out of [0, 1]")
+        if not (0.0 <= self.mutation_probability <= 1.0):
+            raise ValueError("mutation probability out of [0, 1]")
+        if self.fitness_evaluations < self.population_size:
+            raise ValueError("UL budget smaller than one population evaluation")
+
+
+@dataclass(frozen=True)
+class CarbonConfig:
+    """CARBON parameters (Table II, left column).
+
+    The lower level evolves GP syntax trees: one-point crossover 0.85,
+    uniform mutation 0.1, reproduction 0.05, plain (size-3) tournament.
+    """
+
+    upper: UpperLevelConfig = field(default_factory=UpperLevelConfig)
+    ll_population_size: int = 100
+    ll_archive_size: int = 100
+    ll_fitness_evaluations: int = 50_000
+    ll_tournament_size: int = 3
+    ll_crossover_probability: float = 0.85
+    ll_mutation_probability: float = 0.10
+    ll_reproduction_probability: float = 0.05
+    #: GP tree shape limits (Koza defaults; DESIGN.md §5).
+    gp_min_init_depth: int = 1
+    gp_max_init_depth: int = 4
+    gp_max_depth: int = 17
+    gp_max_size: int = 256
+    gp_erc_probability: float = 0.1
+    #: Number of upper-level decisions each heuristic's %-gap is averaged
+    #: over (the paper does not fix this; ablated in the benches).
+    heuristic_eval_sample: int = 5
+
+    def __post_init__(self) -> None:
+        total = (
+            self.ll_crossover_probability
+            + self.ll_mutation_probability
+            + self.ll_reproduction_probability
+        )
+        if total > 1.0 + 1e-9:
+            raise ValueError(f"GP operator probabilities sum to {total} > 1")
+        if self.ll_population_size < 2:
+            raise ValueError("LL population must have >= 2 individuals")
+        if self.heuristic_eval_sample < 1:
+            raise ValueError("heuristic_eval_sample must be >= 1")
+        if self.gp_min_init_depth > self.gp_max_init_depth:
+            raise ValueError("gp_min_init_depth > gp_max_init_depth")
+
+    @classmethod
+    def paper(cls) -> "CarbonConfig":
+        """Table II verbatim."""
+        return cls()
+
+    @classmethod
+    def quick(
+        cls,
+        ul_evaluations: int = 2_000,
+        ll_evaluations: int = 2_000,
+        population_size: int = 24,
+    ) -> "CarbonConfig":
+        """Laptop/test-scale budget with the paper's operator ratios."""
+        return cls(
+            upper=UpperLevelConfig(
+                population_size=population_size,
+                archive_size=population_size,
+                fitness_evaluations=ul_evaluations,
+            ),
+            ll_population_size=population_size,
+            ll_archive_size=population_size,
+            ll_fitness_evaluations=ll_evaluations,
+            heuristic_eval_sample=3,
+        )
+
+    def scaled(self, factor: float) -> "CarbonConfig":
+        """Multiply both evaluation budgets by ``factor``."""
+        return replace(
+            self,
+            upper=replace(
+                self.upper,
+                fitness_evaluations=max(
+                    self.upper.population_size,
+                    int(self.upper.fitness_evaluations * factor),
+                ),
+            ),
+            ll_fitness_evaluations=max(
+                self.ll_population_size,
+                int(self.ll_fitness_evaluations * factor),
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class CobraConfig:
+    """COBRA parameters (Table II, right column).
+
+    The lower level evolves binary baskets: two-point crossover 0.85,
+    swap mutation 1/#variables, binary tournament.
+    """
+
+    upper: UpperLevelConfig = field(default_factory=UpperLevelConfig)
+    ll_population_size: int = 100
+    ll_archive_size: int = 100
+    ll_fitness_evaluations: int = 50_000
+    ll_crossover_probability: float = 0.85
+    #: None means the Table II default 1/#variables.
+    ll_mutation_probability: float | None = None
+    #: Length of each improvement phase in generations — the knob the
+    #: paper criticizes COBRA for (§V-B); ablated in the benches.
+    improvement_generations: int = 5
+    #: Feasibility-repair completion order for offspring baskets:
+    #: "random" keeps the baseline neutral (no hand-written heuristic is
+    #: smuggled in through repair); "chvatal"/"cost" are ablation options.
+    ll_repair: str = "random"
+    #: Whether repair also prunes redundant bundles.  Off by default for
+    #: the same neutrality reason: redundancy elimination is an
+    #: optimization the original binary-GA lower level does not perform —
+    #: the GA itself must learn to drop dead weight.  Ablation option.
+    ll_repair_prune: bool = False
+    #: Fraction of each population re-paired by the co-evolution operator.
+    coevolution_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.ll_population_size < 2:
+            raise ValueError("LL population must have >= 2 individuals")
+        if self.improvement_generations < 1:
+            raise ValueError("improvement_generations must be >= 1")
+        if not (0.0 <= self.coevolution_fraction <= 1.0):
+            raise ValueError("coevolution_fraction out of [0, 1]")
+        if self.ll_repair not in ("random", "chvatal", "cost"):
+            raise ValueError(f"unknown ll_repair {self.ll_repair!r}")
+
+    @classmethod
+    def paper(cls) -> "CobraConfig":
+        """Table II verbatim."""
+        return cls()
+
+    @classmethod
+    def quick(
+        cls,
+        ul_evaluations: int = 2_000,
+        ll_evaluations: int = 2_000,
+        population_size: int = 24,
+    ) -> "CobraConfig":
+        """Laptop/test-scale budget with the paper's operator ratios."""
+        return cls(
+            upper=UpperLevelConfig(
+                population_size=population_size,
+                archive_size=population_size,
+                fitness_evaluations=ul_evaluations,
+            ),
+            ll_population_size=population_size,
+            ll_archive_size=population_size,
+            ll_fitness_evaluations=ll_evaluations,
+            improvement_generations=3,
+        )
+
+    def scaled(self, factor: float) -> "CobraConfig":
+        """Multiply both evaluation budgets by ``factor``."""
+        return replace(
+            self,
+            upper=replace(
+                self.upper,
+                fitness_evaluations=max(
+                    self.upper.population_size,
+                    int(self.upper.fitness_evaluations * factor),
+                ),
+            ),
+            ll_fitness_evaluations=max(
+                self.ll_population_size,
+                int(self.ll_fitness_evaluations * factor),
+            ),
+        )

@@ -1,0 +1,132 @@
+"""Convergence histories (Figs. 4 and 5) and the see-saw index.
+
+Each algorithm records, after every generation, the *current* population
+state (not the running best — Fig. 5's oscillations only exist in current
+values): the best upper-level fitness and the best %-gap present in the
+population/current pairing, indexed by consumed evaluation budget.
+
+:func:`resample_history` projects runs with different generation lengths
+onto a common evaluation grid so 30 runs can be averaged the way the
+paper's "average convergence curves" are.  :func:`seesaw_index` quantifies
+the paper's qualitative claim that COBRA's curves see-saw while CARBON's
+are steady.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ConvergencePoint", "ConvergenceHistory", "resample_history", "seesaw_index"]
+
+
+@dataclass(frozen=True)
+class ConvergencePoint:
+    """State after one generation."""
+
+    ul_evaluations: int
+    ll_evaluations: int
+    best_fitness: float        # best UL objective in the current population
+    best_gap: float            # best %-gap in the current population/pairing
+    mean_gap: float            # population mean gap (diagnostics)
+    generation: int
+
+
+@dataclass
+class ConvergenceHistory:
+    """Ordered per-generation records for one run."""
+
+    points: list[ConvergencePoint] = field(default_factory=list)
+
+    def record(
+        self,
+        ul_evaluations: int,
+        ll_evaluations: int,
+        best_fitness: float,
+        best_gap: float,
+        mean_gap: float,
+    ) -> None:
+        self.points.append(
+            ConvergencePoint(
+                ul_evaluations=int(ul_evaluations),
+                ll_evaluations=int(ll_evaluations),
+                best_fitness=float(best_fitness),
+                best_gap=float(best_gap),
+                mean_gap=float(mean_gap),
+                generation=len(self.points),
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def series(self, what: str) -> tuple[np.ndarray, np.ndarray]:
+        """(total evaluations, values) for ``what`` in
+        {"fitness", "gap", "mean_gap"}."""
+        if not self.points:
+            raise ValueError("empty history")
+        evals = np.array(
+            [p.ul_evaluations + p.ll_evaluations for p in self.points], dtype=np.float64
+        )
+        if what == "fitness":
+            vals = np.array([p.best_fitness for p in self.points])
+        elif what == "gap":
+            vals = np.array([p.best_gap for p in self.points])
+        elif what == "mean_gap":
+            vals = np.array([p.mean_gap for p in self.points])
+        else:
+            raise ValueError(f"unknown series {what!r}")
+        return evals, vals
+
+
+def resample_history(
+    histories: list[ConvergenceHistory],
+    what: str,
+    n_points: int = 50,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Average several runs onto a common evaluation grid.
+
+    Returns ``(grid, mean_values)``; each run is step-interpolated (value
+    holds until the next generation) before averaging, so runs with
+    different generation counts contribute fairly.
+    """
+    if not histories:
+        raise ValueError("no histories to resample")
+    series = [h.series(what) for h in histories]
+    max_evals = min(s[0][-1] for s in series)
+    grid = np.linspace(0.0, float(max_evals), n_points)
+    resampled = np.empty((len(series), n_points))
+    for i, (evals, vals) in enumerate(series):
+        idx = np.searchsorted(evals, grid, side="right") - 1
+        idx = np.clip(idx, 0, len(vals) - 1)
+        resampled[i] = vals[idx]
+    finite = np.isfinite(resampled)
+    with np.errstate(invalid="ignore"):
+        mean = np.where(
+            finite.any(axis=0),
+            np.nanmean(np.where(finite, resampled, np.nan), axis=0),
+            np.nan,
+        )
+    return grid, mean
+
+
+def seesaw_index(values: np.ndarray | list[float]) -> float:
+    """Oscillation measure in [0, 1]: wasted movement fraction.
+
+    ``1 - |net change| / total variation``.  A monotone series scores 0
+    (every step moves toward the end value); a pure zig-zag approaches 1.
+    The paper's Fig. 4 vs Fig. 5 contrast ("steady increase" vs "see-saw
+    shape") becomes the testable claim
+    ``seesaw(COBRA) >> seesaw(CARBON)``.
+    """
+    v = np.asarray(values, dtype=np.float64)
+    v = v[np.isfinite(v)]
+    if v.size < 2:
+        return 0.0
+    deltas = np.diff(v)
+    total_variation = np.abs(deltas).sum()
+    if total_variation <= 1e-12:
+        return 0.0
+    net = abs(v[-1] - v[0])
+    return float(1.0 - net / total_variation)

@@ -1,0 +1,68 @@
+"""Result containers shared by the algorithms and the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.convergence import ConvergenceHistory
+
+__all__ = ["BilevelSolution", "RunResult"]
+
+
+@dataclass(frozen=True)
+class BilevelSolution:
+    """One paired bi-level solution as the extraction protocol reports it.
+
+    ``gap`` measures how close the paired lower-level reaction is to
+    rational (Eq. 1); ``upper_objective`` is the leader revenue under that
+    (possibly irrational) reaction — the paper's Tables III and IV are
+    exactly these two numbers.
+    """
+
+    prices: np.ndarray
+    selection: np.ndarray
+    upper_objective: float
+    lower_objective: float
+    gap: float
+    lower_bound: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "prices", np.asarray(self.prices, dtype=np.float64))
+        object.__setattr__(self, "selection", np.asarray(self.selection, dtype=bool))
+
+
+@dataclass
+class RunResult:
+    """Outcome of one independent algorithm run on one instance.
+
+    ``best_gap`` / ``best_upper`` follow §V-B's extraction protocol: the
+    best values over the final archive ("we recorded the best results in
+    terms of %-gap and upper-level fitness value").
+    """
+
+    algorithm: str
+    instance_name: str
+    seed: int
+    best_gap: float
+    best_upper: float
+    best_solution: BilevelSolution
+    history: ConvergenceHistory
+    ul_evaluations_used: int
+    ll_evaluations_used: int
+    wall_time: float = 0.0
+    extras: dict = field(default_factory=dict)
+
+    def summary_row(self) -> dict:
+        """Flat dict for table building."""
+        return {
+            "algorithm": self.algorithm,
+            "instance": self.instance_name,
+            "seed": self.seed,
+            "best_gap": self.best_gap,
+            "best_upper": self.best_upper,
+            "ul_evals": self.ul_evaluations_used,
+            "ll_evals": self.ll_evaluations_used,
+            "wall_time": self.wall_time,
+        }

@@ -1,0 +1,54 @@
+"""Covering-problem substrate.
+
+The lower level of the Bi-level Cloud Pricing Optimization Problem (BCPOP,
+paper Program 2) is a *covering problem with non-binary coefficients*: the
+customer must pick a set of bundles whose per-service contributions
+``q_j^k`` cover every requirement ``b^k`` at minimum total cost.  This
+package implements that problem class and every solver the paper needs:
+
+* :mod:`repro.covering.instance` — validated instance container,
+* :mod:`repro.covering.greedy`  — the score-ordered greedy framework that
+  GP-evolved scoring functions plug into (paper §IV-B),
+* :mod:`repro.covering.heuristics` — classical hand-written scoring rules
+  (Chvátal cost/coverage, dual-weighted, LP-guided) used as baselines and
+  as semantic anchors for GP terminals,
+* :mod:`repro.covering.repair` — feasibility repair for binary vectors
+  (needed by COBRA's direct lower-level encoding),
+* :mod:`repro.covering.local_search` — redundancy elimination and swap
+  improvement,
+* :mod:`repro.covering.exact` — exact solvers (enumeration and LP-based
+  branch-and-bound) for validating gaps on small instances.
+"""
+
+from repro.covering.instance import CoveringInstance, CoverSolution
+from repro.covering.greedy import GreedyContext, greedy_cover
+from repro.covering.heuristics import (
+    NAMED_HEURISTICS,
+    chvatal_score,
+    cost_score,
+    coverage_score,
+    dual_score,
+    lp_guided_score,
+    make_heuristic,
+)
+from repro.covering.repair import repair_cover, prune_redundant
+from repro.covering.local_search import improve_by_swap
+from repro.covering.exact import solve_exact
+
+__all__ = [
+    "CoveringInstance",
+    "CoverSolution",
+    "GreedyContext",
+    "greedy_cover",
+    "NAMED_HEURISTICS",
+    "chvatal_score",
+    "cost_score",
+    "coverage_score",
+    "dual_score",
+    "lp_guided_score",
+    "make_heuristic",
+    "repair_cover",
+    "prune_redundant",
+    "improve_by_swap",
+    "solve_exact",
+]

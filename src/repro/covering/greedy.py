@@ -1,0 +1,196 @@
+"""Score-ordered greedy covering solver.
+
+This is the heuristic *framework* of the paper (§IV-B): a greedy loop that
+repeatedly adds the bundle with the best score until every service
+requirement is met, where the *scoring function* is a plug-in — either a
+classical hand-written rule (:mod:`repro.covering.heuristics`) or a
+GP-evolved syntax tree.  The evolved population in CARBON is a population
+of scoring functions; embedding each into this loop yields a complete
+lower-level solver.
+
+Vectorization (HPC guide idiom): one scoring call returns scores for *all*
+bundles at once; the per-iteration state update is two in-place array
+operations.  There is no per-bundle Python loop anywhere in the hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.covering.instance import CoveringInstance, CoverSolution
+
+__all__ = ["GreedyContext", "ScoreFunction", "greedy_cover"]
+
+
+@dataclass
+class GreedyContext:
+    """Per-bundle feature view handed to scoring functions.
+
+    Static features are computed once per solve; dynamic features
+    (``residual``, ``coverage``) are refreshed in place at each greedy step.
+    All vector attributes have length ``n_bundles`` unless noted.
+
+    Attributes
+    ----------
+    costs:
+        Bundle costs ``c_j`` (GP terminal ``COST``).
+    q_sum:
+        Total contribution ``sum_k q_j^k`` (terminal ``QSUM``).
+    q_max:
+        Peak contribution ``max_k q_j^k`` (terminal ``QMAX``).
+    coverage:
+        *Useful residual* contribution ``sum_k min(q_j^k, residual_k)``
+        (terminal ``COVER``) — the classical greedy denominator.
+    demand_total:
+        Scalar ``sum_k b^k`` broadcast over bundles (terminal ``BSUM``).
+    residual_total:
+        Scalar remaining demand ``sum_k residual_k`` broadcast (``BRES``).
+    duals:
+        Dual-weighted contribution ``sum_k d_k q_j^k`` from the LP
+        relaxation (terminal ``DUAL``); zeros when no relaxation is given.
+    xbar:
+        LP-relaxed solution value ``x̄_j`` (terminal ``XLP``); zeros when
+        no relaxation is given.
+    selected:
+        Boolean mask of already-picked bundles.
+    residual:
+        ``(n_services,)`` remaining demand vector (not per-bundle).
+    """
+
+    instance: CoveringInstance
+    costs: np.ndarray
+    q_sum: np.ndarray
+    q_max: np.ndarray
+    coverage: np.ndarray
+    demand_total: np.ndarray
+    residual_total: np.ndarray
+    duals: np.ndarray
+    xbar: np.ndarray
+    selected: np.ndarray
+    residual: np.ndarray
+    step: int = 0
+    extras: dict = field(default_factory=dict)
+
+    @classmethod
+    def fresh(
+        cls,
+        instance: CoveringInstance,
+        duals: np.ndarray | None = None,
+        xbar: np.ndarray | None = None,
+    ) -> "GreedyContext":
+        """Build the initial context for a solve of ``instance``."""
+        n = instance.n_bundles
+        residual = instance.demand.copy()
+        q = instance.q
+        dual_vec = (
+            np.zeros(n)
+            if duals is None
+            else np.asarray(duals, dtype=np.float64) @ q
+        )
+        xbar_vec = (
+            np.zeros(n)
+            if xbar is None
+            else np.asarray(xbar, dtype=np.float64).copy()
+        )
+        if dual_vec.shape != (n,):
+            raise ValueError(f"duals incompatible with instance: {dual_vec.shape}")
+        if xbar_vec.shape != (n,):
+            raise ValueError(f"xbar shape {xbar_vec.shape} != ({n},)")
+        ctx = cls(
+            instance=instance,
+            costs=instance.costs,
+            q_sum=q.sum(axis=0),
+            q_max=q.max(axis=0) if instance.n_services else np.zeros(n),
+            coverage=np.minimum(q, residual[:, None]).sum(axis=0),
+            demand_total=np.full(n, instance.demand.sum()),
+            residual_total=np.full(n, residual.sum()),
+            duals=dual_vec,
+            xbar=xbar_vec,
+            selected=np.zeros(n, dtype=bool),
+            residual=residual,
+        )
+        return ctx
+
+    def pick(self, j: int) -> None:
+        """Mark bundle ``j`` selected and refresh the dynamic features."""
+        if self.selected[j]:
+            raise ValueError(f"bundle {j} already selected")
+        self.selected[j] = True
+        np.subtract(self.residual, self.instance.q[:, j], out=self.residual)
+        np.clip(self.residual, 0.0, None, out=self.residual)
+        self.coverage = np.minimum(self.instance.q, self.residual[:, None]).sum(axis=0)
+        self.residual_total.fill(self.residual.sum())
+        self.step += 1
+
+    @property
+    def covered(self) -> bool:
+        return bool(self.residual.max(initial=0.0) <= 1e-9)
+
+
+ScoreFunction = Callable[[GreedyContext], np.ndarray]
+"""A scoring rule: lower score = picked earlier.  Must return a float array
+of length ``n_bundles``; entries for ineligible bundles are ignored."""
+
+
+def greedy_cover(
+    instance: CoveringInstance,
+    score_fn: ScoreFunction,
+    duals: np.ndarray | None = None,
+    xbar: np.ndarray | None = None,
+    prune: bool = True,
+    max_steps: int | None = None,
+) -> CoverSolution:
+    """Solve ``instance`` greedily under ``score_fn`` (lower is better).
+
+    At each step the *eligible* bundles are those not yet selected whose
+    residual coverage is positive; the one with the lowest score is added.
+    Non-finite scores are treated as worst-possible.  After construction,
+    redundant bundles are pruned (most expensive first) unless
+    ``prune=False``.
+
+    Returns an infeasible :class:`CoverSolution` only when the instance
+    itself is uncoverable.
+    """
+    ctx = GreedyContext.fresh(instance, duals=duals, xbar=xbar)
+    n = instance.n_bundles
+    limit = max_steps if max_steps is not None else n
+    steps = 0
+    while not ctx.covered and steps < limit:
+        eligible = (~ctx.selected) & (ctx.coverage > 1e-12)
+        if not eligible.any():
+            return CoverSolution(
+                selected=ctx.selected,
+                cost=instance.cost_of(ctx.selected),
+                feasible=False,
+                iterations=steps,
+            )
+        scores = np.asarray(score_fn(ctx), dtype=np.float64)
+        if scores.shape != (n,):
+            raise ValueError(
+                f"score function returned shape {scores.shape}, expected ({n},)"
+            )
+        scores = np.where(np.isfinite(scores), scores, np.inf)
+        masked = np.where(eligible, scores, np.inf)
+        j = int(np.argmin(masked))
+        if not np.isfinite(masked[j]):
+            # All eligible bundles scored non-finite: fall back to the
+            # first eligible index (keeps degenerate trees total).
+            j = int(np.flatnonzero(eligible)[0])
+        ctx.pick(j)
+        steps += 1
+
+    feasible = ctx.covered
+    selected = ctx.selected
+    if feasible and prune:
+        from repro.covering.repair import prune_redundant
+
+        selected = prune_redundant(instance, selected)
+    return CoverSolution(
+        selected=selected,
+        cost=instance.cost_of(selected),
+        feasible=feasible,
+        iterations=steps,
+    )

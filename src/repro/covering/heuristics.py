@@ -1,0 +1,101 @@
+"""Classical scoring rules for the greedy covering solver.
+
+These serve three roles in the reproduction:
+
+1. *baselines* — what a hand-written heuristic achieves, against which the
+   GP-evolved scoring functions are compared (examples/evolve_heuristic.py),
+2. *semantic anchors* — each rule is expressible in the paper's GP language
+   (Table I), so tests assert that the GP engine can represent them and
+   that a tree encoding Chvátal's rule reproduces this module's behaviour,
+3. *repair ordering* — :mod:`repro.covering.repair` uses Chvátal's rule.
+
+All rules return a per-bundle score where **lower is better** (picked
+first), matching :func:`repro.covering.greedy.greedy_cover`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.covering.greedy import GreedyContext, ScoreFunction
+
+__all__ = [
+    "chvatal_score",
+    "cost_score",
+    "coverage_score",
+    "dual_score",
+    "lp_guided_score",
+    "make_heuristic",
+    "NAMED_HEURISTICS",
+]
+
+_TINY = 1e-12
+
+
+def chvatal_score(ctx: GreedyContext) -> np.ndarray:
+    """Chvátal's classical rule: cost per unit of *useful* coverage.
+
+    ``c_j / cover_j`` — the canonical ln(n)-approximation ordering for set
+    covering, generalized to fractional contributions.
+    """
+    return ctx.costs / np.maximum(ctx.coverage, _TINY)
+
+
+def cost_score(ctx: GreedyContext) -> np.ndarray:
+    """Cheapest-first, ignoring coverage entirely."""
+    return ctx.costs.astype(np.float64, copy=True)
+
+
+def coverage_score(ctx: GreedyContext) -> np.ndarray:
+    """Most-coverage-first, ignoring cost (negated so lower = better)."""
+    return -ctx.coverage
+
+
+def dual_score(ctx: GreedyContext) -> np.ndarray:
+    """LP-dual reduced-cost rule: ``c_j - sum_k d_k q_j^k``.
+
+    Bundles whose cost is less than their dual-weighted contribution look
+    attractive; with exact duals this mimics a primal-dual covering
+    heuristic.  Falls back to plain cost when no relaxation was supplied
+    (``ctx.duals`` all zero).
+    """
+    return ctx.costs - ctx.duals
+
+
+def lp_guided_score(ctx: GreedyContext) -> np.ndarray:
+    """Follow the LP-relaxed solution: high ``x̄_j`` first, cost tie-break."""
+    return -ctx.xbar + 1e-6 * ctx.costs
+
+
+def random_score_factory(rng: np.random.Generator) -> ScoreFunction:
+    """A fresh random ordering each step — the weakest sensible baseline."""
+
+    def _score(ctx: GreedyContext) -> np.ndarray:
+        return rng.random(ctx.costs.shape[0])
+
+    return _score
+
+
+NAMED_HEURISTICS: Dict[str, ScoreFunction] = {
+    "chvatal": chvatal_score,
+    "cost": cost_score,
+    "coverage": coverage_score,
+    "dual": dual_score,
+    "lp_guided": lp_guided_score,
+}
+
+
+def make_heuristic(name: str, rng: np.random.Generator | None = None) -> ScoreFunction:
+    """Look up a named scoring rule (``"random"`` needs an ``rng``)."""
+    if name == "random":
+        if rng is None:
+            raise ValueError("random heuristic requires an rng")
+        return random_score_factory(rng)
+    try:
+        return NAMED_HEURISTICS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown heuristic {name!r}; known: {sorted(NAMED_HEURISTICS)} + ['random']"
+        ) from None

@@ -1,0 +1,160 @@
+"""Covering-problem instance and solution containers.
+
+An instance is
+
+    min  sum_j c_j x_j
+    s.t. sum_j q[k, j] x_j >= b[k]   for every service k
+         x_j in {0, 1}
+
+with non-negative, generally *non-binary* coefficients ``q`` — exactly the
+lower-level program of the paper's BCPOP (Program 2), and the ≥-transformed
+multidimensional-knapsack instances of §V-A.
+
+Arrays are stored C-contiguous with services on axis 0 and bundles on
+axis 1 so that the greedy solver's residual-coverage computation
+(``q.clip(max=residual[:, None]).sum(axis=0)``) streams rows contiguously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CoveringInstance", "CoverSolution"]
+
+
+@dataclass(frozen=True)
+class CoveringInstance:
+    """A minimum-cost covering instance.
+
+    Parameters
+    ----------
+    costs:
+        ``(n_bundles,)`` non-negative bundle costs ``c_j``.
+    q:
+        ``(n_services, n_bundles)`` non-negative contribution matrix;
+        ``q[k, j]`` is the amount of service ``k`` provided by bundle ``j``
+        (the paper's ``q_j^k``).
+    demand:
+        ``(n_services,)`` non-negative requirements ``b^k``.
+    name:
+        Optional label used in experiment reports.
+    """
+
+    costs: np.ndarray
+    q: np.ndarray
+    demand: np.ndarray
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        costs = np.ascontiguousarray(np.asarray(self.costs, dtype=np.float64))
+        q = np.ascontiguousarray(np.asarray(self.q, dtype=np.float64))
+        demand = np.ascontiguousarray(np.asarray(self.demand, dtype=np.float64))
+        if q.ndim != 2:
+            raise ValueError(f"q must be 2-D (services x bundles), got shape {q.shape}")
+        if costs.ndim != 1 or costs.shape[0] != q.shape[1]:
+            raise ValueError(
+                f"costs shape {costs.shape} incompatible with q shape {q.shape}"
+            )
+        if demand.ndim != 1 or demand.shape[0] != q.shape[0]:
+            raise ValueError(
+                f"demand shape {demand.shape} incompatible with q shape {q.shape}"
+            )
+        if np.any(costs < 0):
+            raise ValueError("bundle costs must be non-negative")
+        if np.any(q < 0):
+            raise ValueError("contribution matrix q must be non-negative")
+        if np.any(demand < 0):
+            raise ValueError("demand must be non-negative")
+        object.__setattr__(self, "costs", costs)
+        object.__setattr__(self, "q", q)
+        object.__setattr__(self, "demand", demand)
+
+    @property
+    def n_bundles(self) -> int:
+        """Number of bundles (the paper's ``M`` / instance parameter ``n``)."""
+        return self.q.shape[1]
+
+    @property
+    def n_services(self) -> int:
+        """Number of service constraints (the paper's ``N`` / parameter ``m``)."""
+        return self.q.shape[0]
+
+    def is_coverable(self) -> bool:
+        """True iff selecting *every* bundle satisfies all requirements —
+        the paper's "non-empty search space" check (§V-A)."""
+        return bool(np.all(self.q.sum(axis=1) >= self.demand - 1e-9))
+
+    def coverage_of(self, selected: np.ndarray) -> np.ndarray:
+        """Total per-service contribution of a binary selection vector."""
+        sel = np.asarray(selected, dtype=bool)
+        if sel.shape != (self.n_bundles,):
+            raise ValueError(
+                f"selection shape {sel.shape} != ({self.n_bundles},)"
+            )
+        return self.q[:, sel].sum(axis=1)
+
+    def is_feasible(self, selected: np.ndarray, tol: float = 1e-9) -> bool:
+        """True iff the selection covers every requirement."""
+        return bool(np.all(self.coverage_of(selected) >= self.demand - tol))
+
+    def cost_of(self, selected: np.ndarray) -> float:
+        """Total cost of a binary selection vector."""
+        sel = np.asarray(selected, dtype=bool)
+        return float(self.costs[sel].sum())
+
+    def with_costs(self, costs: np.ndarray, name: str | None = None) -> "CoveringInstance":
+        """Return a new instance sharing ``q``/``demand`` with new costs.
+
+        This is how an upper-level pricing decision induces a new
+        lower-level instance: feasibility structure is unchanged, only the
+        objective moves.  ``q`` and ``demand`` are shared (views), not
+        copied.
+        """
+        return CoveringInstance(
+            costs=costs, q=self.q, demand=self.demand,
+            name=self.name if name is None else name,
+        )
+
+
+@dataclass
+class CoverSolution:
+    """Result of a covering solver.
+
+    Attributes
+    ----------
+    selected:
+        ``(n_bundles,)`` boolean selection vector.
+    cost:
+        Objective value ``sum_j c_j x_j``.
+    feasible:
+        Whether every requirement is covered (greedy can fail only when the
+        instance itself is uncoverable).
+    iterations:
+        Number of greedy picks / solver nodes, for diagnostics.
+    """
+
+    selected: np.ndarray
+    cost: float
+    feasible: bool
+    iterations: int = 0
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.selected = np.asarray(self.selected, dtype=bool)
+        self.cost = float(self.cost)
+
+    @property
+    def n_selected(self) -> int:
+        return int(self.selected.sum())
+
+    def check(self, instance: CoveringInstance, tol: float = 1e-6) -> None:
+        """Raise if the recorded cost/feasibility do not match ``instance``."""
+        actual_cost = instance.cost_of(self.selected)
+        if abs(actual_cost - self.cost) > tol * max(1.0, abs(actual_cost)):
+            raise AssertionError(
+                f"recorded cost {self.cost} != actual {actual_cost}"
+            )
+        if self.feasible != instance.is_feasible(self.selected):
+            raise AssertionError("recorded feasibility flag does not match instance")

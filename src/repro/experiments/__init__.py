@@ -1,0 +1,69 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+* :mod:`repro.experiments.stats`     — summary statistics and rank tests,
+* :mod:`repro.experiments.tables`    — Tables I-IV (primitive sets,
+  parameters, %-gap comparison, UL objective comparison),
+* :mod:`repro.experiments.figures`   — Fig. 1 (inducible region), Fig. 2
+  (taxonomy), Fig. 4/5 (convergence curves),
+* :mod:`repro.experiments.reporting` — paper-layout ASCII rendering,
+* :mod:`repro.experiments.runner`    — the ``repro-bench`` CLI.
+
+Every experiment takes a ``scale`` knob: ``quick`` (seconds, test-suite),
+``bench`` (minutes, default for pytest-benchmark), ``paper`` (Table II
+budgets — hours, the HPC setting).  EXPERIMENTS.md records the scale used
+for every reported number.
+"""
+
+from repro.experiments.stats import summarize, rank_test, Summary
+from repro.experiments.analysis import (
+    ChampionReport,
+    RunSetAnalysis,
+    analyze_runs,
+    champion_report,
+)
+from repro.experiments.sweeps import BudgetPoint, budget_sweep, crossover_budget
+from repro.experiments.tables import (
+    ComparisonResult,
+    ClassComparison,
+    run_comparison,
+    table1_rows,
+    table2_rows,
+)
+from repro.experiments.figures import (
+    fig1_series,
+    fig2_structure,
+    convergence_experiment,
+)
+from repro.experiments.reporting import (
+    format_table1,
+    format_table2,
+    format_table3,
+    format_table4,
+    format_convergence,
+)
+
+__all__ = [
+    "summarize",
+    "rank_test",
+    "Summary",
+    "ChampionReport",
+    "RunSetAnalysis",
+    "analyze_runs",
+    "champion_report",
+    "BudgetPoint",
+    "budget_sweep",
+    "crossover_budget",
+    "ComparisonResult",
+    "ClassComparison",
+    "run_comparison",
+    "table1_rows",
+    "table2_rows",
+    "fig1_series",
+    "fig2_structure",
+    "convergence_experiment",
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "format_table4",
+    "format_convergence",
+]

@@ -1,0 +1,115 @@
+"""Run-set analytics: what did the evolution actually learn?
+
+Beyond Tables III/IV's two numbers, a reproduction should be able to say
+*what the champions look like*.  This module aggregates
+:class:`repro.core.results.RunResult` sets into:
+
+* per-algorithm metric summaries (gap/revenue, mean ± std, best),
+* champion reports — the evolved heuristics as raw and simplified
+  formulas, with size/depth and Table-I primitive usage,
+* convergence diagnostics (see-saw indices, end-vs-start deltas).
+
+``repro-bench`` does not expose this directly; it is the library surface
+the examples and EXPERIMENTS.md use for qualitative reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.convergence import seesaw_index
+from repro.core.results import RunResult
+from repro.experiments.stats import Summary, summarize
+
+__all__ = ["ChampionReport", "RunSetAnalysis", "analyze_runs", "champion_report"]
+
+
+@dataclass(frozen=True)
+class ChampionReport:
+    """One evolved heuristic, decoded."""
+
+    raw: str
+    simplified: str
+    size: int
+    depth: int
+    primitive_usage: dict[str, float]
+
+    def uses_lp_features(self) -> bool:
+        """Does the champion consult the relaxation (DUAL/XLP terminals)?"""
+        return any(
+            name in self.primitive_usage for name in ("DUAL", "XLP")
+        )
+
+
+def champion_report(tree) -> ChampionReport:
+    """Decode a champion :class:`repro.gp.tree.SyntaxTree`."""
+    from repro.gp.diversity import primitive_usage
+    from repro.gp.simplify import simplify_tree
+
+    simplified = simplify_tree(tree)
+    return ChampionReport(
+        raw=tree.to_infix(),
+        simplified=simplified.to_infix(),
+        size=tree.size,
+        depth=tree.depth,
+        primitive_usage=primitive_usage([tree]),
+    )
+
+
+@dataclass
+class RunSetAnalysis:
+    """Aggregates over one algorithm's independent runs."""
+
+    algorithm: str
+    gap: Summary
+    upper: Summary
+    wall_time: Summary
+    fitness_seesaw: float
+    gap_seesaw: float
+    champions: list[ChampionReport] = field(default_factory=list)
+
+    def report(self) -> str:
+        lines = [
+            f"{self.algorithm}: gap {self.gap}  revenue {self.upper}",
+            f"  wall time {self.wall_time.mean:.1f}s/run; "
+            f"see-saw fitness={self.fitness_seesaw:.2f} gap={self.gap_seesaw:.2f}",
+        ]
+        if self.champions:
+            best = min(self.champions, key=lambda c: c.size)
+            lines.append(
+                f"  smallest champion (size {best.size}, depth {best.depth}, "
+                f"LP features: {best.uses_lp_features()}):"
+            )
+            lines.append(f"    {best.simplified}")
+        return "\n".join(lines)
+
+
+def analyze_runs(results: list[RunResult]) -> RunSetAnalysis:
+    """Analyze one algorithm's run set (all results must share the
+    ``algorithm`` tag)."""
+    if not results:
+        raise ValueError("no runs to analyze")
+    algorithms = {r.algorithm for r in results}
+    if len(algorithms) != 1:
+        raise ValueError(f"mixed algorithms in run set: {sorted(algorithms)}")
+    seesaws_f, seesaws_g = [], []
+    for r in results:
+        if len(r.history) >= 2:
+            seesaws_f.append(seesaw_index(r.history.series("fitness")[1]))
+            seesaws_g.append(seesaw_index(r.history.series("gap")[1]))
+    champions = []
+    for r in results:
+        tree = r.extras.get("champion_tree")
+        if tree is not None:
+            champions.append(champion_report(tree))
+    return RunSetAnalysis(
+        algorithm=results[0].algorithm,
+        gap=summarize([r.best_gap for r in results], minimize=True),
+        upper=summarize([r.best_upper for r in results], minimize=False),
+        wall_time=summarize([r.wall_time for r in results], minimize=True),
+        fitness_seesaw=float(np.mean(seesaws_f)) if seesaws_f else 0.0,
+        gap_seesaw=float(np.mean(seesaws_g)) if seesaws_g else 0.0,
+        champions=champions,
+    )

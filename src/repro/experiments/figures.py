@@ -1,0 +1,149 @@
+"""Figures 1, 2, 4 and 5 of the paper.
+
+Figures are regenerated as *data series* (plus ASCII sparkline rendering in
+:mod:`repro.experiments.reporting`) — the claims the paper draws from them
+are numeric and are asserted in the benches:
+
+* **Fig. 1** — the Mersha-Dempe linear example: rational reaction over an
+  x grid with the UL-feasibility classification, exposing the inducible
+  region's discontinuity at x=6.
+* **Fig. 2** — the bi-level metaheuristics taxonomy (networkx DAG).
+* **Fig. 4 / Fig. 5** — average convergence curves (UL fitness + %-gap vs
+  consumed evaluations) for CARBON / COBRA on one class (paper: n=500,
+  m=30, averaged over 30 runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bilevel.linear import LinearBilevelExample, mersha_dempe_example
+from repro.bilevel.taxonomy import bilevel_taxonomy
+from repro.core.config import CarbonConfig, CobraConfig
+from repro.core.convergence import resample_history, seesaw_index
+from repro.experiments.tables import RunTask, execute_task
+from repro.parallel.executor import Executor, SerialExecutor
+
+__all__ = [
+    "Fig1Series",
+    "fig1_series",
+    "fig2_structure",
+    "ConvergenceCurves",
+    "convergence_experiment",
+]
+
+
+@dataclass
+class Fig1Series:
+    """Fig. 1's data: reaction curve + feasibility classification."""
+
+    x: np.ndarray
+    y_rational: np.ndarray
+    upper_feasible: np.ndarray  # bool: rational pair satisfies UL constraints
+    upper_objective: np.ndarray
+
+    @property
+    def infeasible_xs(self) -> np.ndarray:
+        """x values where the rational reaction violates UL constraints —
+        the discontinuity band of the inducible region."""
+        return self.x[~self.upper_feasible]
+
+
+def fig1_series(
+    example: LinearBilevelExample | None = None,
+    n_grid: int = 181,
+) -> Fig1Series:
+    """Rational-reaction sweep of the Program-3 example."""
+    ex = example or mersha_dempe_example()
+    xs = np.linspace(ex.x_range[0], ex.x_range[1], n_grid)
+    points = ex.inducible_region(xs)
+    return Fig1Series(
+        x=np.array([p.x for p in points]),
+        y_rational=np.array([p.y for p in points]),
+        upper_feasible=np.array([p.upper_feasible for p in points], dtype=bool),
+        upper_objective=np.array([p.upper_objective for p in points]),
+    )
+
+
+def fig2_structure() -> dict:
+    """Fig. 2 as checkable structure: strategy list and per-strategy
+    algorithm membership."""
+    g = bilevel_taxonomy()
+    strategies = sorted(
+        n for n, d in g.nodes(data=True) if d.get("kind") == "strategy"
+    )
+    algorithms = {
+        n: d["reference"]
+        for n, d in g.nodes(data=True)
+        if d.get("kind") == "algorithm"
+    }
+    return {"graph": g, "strategies": strategies, "algorithms": algorithms}
+
+
+@dataclass
+class ConvergenceCurves:
+    """Averaged convergence curves for one algorithm (Fig. 4 or Fig. 5)."""
+
+    algorithm: str
+    evaluations: np.ndarray
+    fitness: np.ndarray
+    gap: np.ndarray
+    fitness_seesaw: float
+    gap_seesaw: float
+    n_runs: int
+
+
+def convergence_experiment(
+    algorithm: str,
+    n_bundles: int = 500,
+    n_services: int = 30,
+    runs: int = 3,
+    carbon_config: CarbonConfig | None = None,
+    cobra_config: CobraConfig | None = None,
+    instance_seed: int = 0,
+    executor: Executor | None = None,
+    n_points: int = 60,
+    lp_backend: str = "scipy",
+) -> ConvergenceCurves:
+    """Fig. 4 (``algorithm="CARBON"``) / Fig. 5 (``"COBRA"``) experiment.
+
+    Returns run-averaged fitness and gap curves on a common evaluation
+    grid, plus per-run-averaged see-saw indices quantifying the smooth-vs-
+    see-saw contrast the paper describes.
+    """
+    if algorithm not in ("CARBON", "COBRA"):
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+    executor = executor or SerialExecutor()
+    carbon_config = carbon_config or CarbonConfig.quick()
+    cobra_config = cobra_config or CobraConfig.quick()
+    tasks = [
+        RunTask(
+            algorithm=algorithm,
+            n_bundles=n_bundles,
+            n_services=n_services,
+            instance_seed=instance_seed,
+            run_seed=r,
+            carbon_config=carbon_config,
+            cobra_config=cobra_config,
+            lp_backend=lp_backend,
+            record_history=True,
+        )
+        for r in range(runs)
+    ]
+    results = executor.map(execute_task, tasks)
+    histories = [r.history for r in results]
+    grid, fitness = resample_history(histories, "fitness", n_points=n_points)
+    _, gap = resample_history(histories, "gap", n_points=n_points)
+    fit_ss = float(np.mean([seesaw_index(h.series("fitness")[1]) for h in histories]))
+    gap_ss = float(np.mean([seesaw_index(h.series("gap")[1]) for h in histories]))
+    return ConvergenceCurves(
+        algorithm=algorithm,
+        evaluations=grid,
+        fitness=fitness,
+        gap=gap,
+        fitness_seesaw=fit_ss,
+        gap_seesaw=gap_ss,
+        n_runs=runs,
+    )

@@ -1,0 +1,134 @@
+"""Paper-layout ASCII rendering of tables and figures.
+
+Each ``format_*`` function takes the data produced by
+:mod:`repro.experiments.tables` / ``figures`` and prints rows in the same
+shape as the paper's tables, so paper-vs-measured comparison (recorded in
+EXPERIMENTS.md) is a visual diff.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import ConvergenceCurves, Fig1Series
+from repro.experiments.tables import ComparisonResult
+
+__all__ = [
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "format_table4",
+    "format_fig1",
+    "format_convergence",
+    "ascii_curve",
+]
+
+
+def _grid(rows: list[tuple], headers: tuple[str, ...]) -> str:
+    """Minimal fixed-width table renderer."""
+    cells = [tuple(str(v) for v in row) for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    def fmt(row: tuple[str, ...]) -> str:
+        return " | ".join(v.ljust(widths[i]) for i, v in enumerate(row))
+    sep = "-+-".join("-" * w for w in widths)
+    return "\n".join([fmt(headers), sep] + [fmt(r) for r in cells])
+
+
+def format_table1(rows: list[tuple[str, str]]) -> str:
+    """TABLE I: functions and terminal sets."""
+    return "TABLE I: Functions and terminal sets\n" + _grid(
+        rows, ("Name", "Description")
+    )
+
+
+def format_table2(rows: list[tuple[str, str, str]]) -> str:
+    """TABLE II: parameters of both algorithms."""
+    return "TABLE II: Parameters\n" + _grid(rows, ("Parameter", "CARBON", "COBRA"))
+
+
+def _comparison_table(
+    title: str,
+    rows: list[tuple[int, int, float, float]],
+    value_fmt: str,
+) -> str:
+    body = [
+        (n, m, format(c, value_fmt), format(o, value_fmt)) for n, m, c, o in rows
+    ]
+    avg_c = float(np.mean([r[2] for r in rows]))
+    avg_o = float(np.mean([r[3] for r in rows]))
+    body.append(("Average", "", format(avg_c, value_fmt), format(avg_o, value_fmt)))
+    return title + "\n" + _grid(
+        body, ("# Variables", "# Constraints", "CARBON", "COBRA")
+    )
+
+
+def format_table3(result: ComparisonResult) -> str:
+    """TABLE III: %-gap to LL optimality."""
+    return _comparison_table(
+        "TABLE III: %-gap to LL optimality", result.table3_rows(), ".2f"
+    )
+
+
+def format_table4(result: ComparisonResult) -> str:
+    """TABLE IV: UL objective values."""
+    return _comparison_table(
+        "TABLE IV: UL objective values", result.table4_rows(), ".2f"
+    )
+
+
+def ascii_curve(
+    xs: np.ndarray, ys: np.ndarray, height: int = 12, width: int = 60, label: str = ""
+) -> str:
+    """Sparkline-style plot for terminal output."""
+    ys = np.asarray(ys, dtype=np.float64)
+    xs = np.asarray(xs, dtype=np.float64)
+    finite = np.isfinite(ys)
+    if finite.sum() < 2:
+        return f"{label}: <insufficient data>"
+    # Resample onto the character grid.
+    cols = np.linspace(xs[finite].min(), xs[finite].max(), width)
+    vals = np.interp(cols, xs[finite], ys[finite])
+    lo, hi = vals.min(), vals.max()
+    span = hi - lo if hi > lo else 1.0
+    rows = np.clip(((vals - lo) / span * (height - 1)).round().astype(int), 0, height - 1)
+    canvas = [[" "] * width for _ in range(height)]
+    for c, r in enumerate(rows):
+        canvas[height - 1 - r][c] = "*"
+    lines = ["".join(row) for row in canvas]
+    header = f"{label}  [{lo:.2f} .. {hi:.2f}]"
+    return "\n".join([header] + lines)
+
+
+def format_fig1(series: Fig1Series) -> str:
+    """Fig. 1: rational reaction with the UL-infeasible band marked."""
+    lines = [
+        "Fig. 1: inducible region of the Mersha-Dempe example",
+        ascii_curve(series.x, series.y_rational, label="rational reaction y(x)"),
+    ]
+    if series.infeasible_xs.size:
+        lines.append(
+            "UL-infeasible rational reactions for x in "
+            f"[{series.infeasible_xs.min():.2f}, {series.infeasible_xs.max():.2f}] "
+            f"({series.infeasible_xs.size} grid points) -> discontinuous IR"
+        )
+    else:
+        lines.append("no UL-infeasible band found (unexpected for this example)")
+    return "\n".join(lines)
+
+
+def format_convergence(curves: ConvergenceCurves) -> str:
+    """Figs. 4/5: UL-fitness and gap curves plus the see-saw indices."""
+    fig = "Fig. 4" if curves.algorithm == "CARBON" else "Fig. 5"
+    return "\n".join(
+        [
+            f"{fig}: convergence curves for {curves.algorithm} "
+            f"(avg of {curves.n_runs} runs)",
+            ascii_curve(curves.evaluations, curves.fitness, label="UL fitness"),
+            ascii_curve(curves.evaluations, curves.gap, label="%-gap"),
+            f"see-saw index: fitness={curves.fitness_seesaw:.3f} "
+            f"gap={curves.gap_seesaw:.3f} (0 = steady, 1 = pure oscillation)",
+        ]
+    )

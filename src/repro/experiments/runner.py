@@ -1,0 +1,314 @@
+"""``repro-bench`` — the experiment CLI.
+
+Examples
+--------
+::
+
+    repro-bench table3 --scale quick --runs 3 --workers 4
+    repro-bench fig4 --scale bench
+    repro-bench fig1
+    repro-bench all --scale quick --out results.txt
+    repro-bench table3 --scale paper          # Table II budgets (hours)
+
+``--profile`` wraps the experiment in cProfile and appends the top hot
+spots to the report (the HPC guides' measure-first rule).
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pstats
+import sys
+
+from repro.core.config import CarbonConfig, CobraConfig
+from repro.parallel.executor import make_executor
+
+__all__ = ["main", "build_parser", "configs_for_scale"]
+
+#: (carbon, cobra) budget presets.
+SCALES = ("quick", "bench", "paper")
+
+
+def configs_for_scale(scale: str) -> tuple[CarbonConfig, CobraConfig]:
+    """Map a scale name to algorithm configs (EXPERIMENTS.md documents
+    which scale produced each recorded number)."""
+    if scale == "quick":
+        return CarbonConfig.quick(1_000, 1_000, 20), CobraConfig.quick(1_000, 1_000, 20)
+    if scale == "bench":
+        return CarbonConfig.quick(4_000, 4_000, 40), CobraConfig.quick(4_000, 4_000, 40)
+    if scale == "paper":
+        return CarbonConfig.paper(), CobraConfig.paper()
+    raise ValueError(f"unknown scale {scale!r}; expected one of {SCALES}")
+
+
+def _cmd_table1(args: argparse.Namespace) -> str:
+    from repro.experiments.reporting import format_table1
+    from repro.experiments.tables import table1_rows
+
+    return format_table1(table1_rows())
+
+
+def _cmd_table2(args: argparse.Namespace) -> str:
+    from repro.experiments.reporting import format_table2
+    from repro.experiments.tables import table2_rows
+
+    carbon, cobra = configs_for_scale(args.scale)
+    return format_table2(table2_rows(carbon, cobra))
+
+
+def _comparison(args: argparse.Namespace):
+    from repro.experiments.tables import run_comparison
+
+    carbon, cobra = configs_for_scale(args.scale)
+    classes = None
+    if args.classes:
+        classes = [tuple(int(v) for v in c.split("x")) for c in args.classes]
+    with make_executor(
+        "processes" if args.workers > 1 else "serial", workers=args.workers
+    ) as executor:
+        return run_comparison(
+            classes=classes,
+            runs=args.runs,
+            carbon_config=carbon,
+            cobra_config=cobra,
+            instance_seed=args.seed,
+            executor=executor,
+        )
+
+
+def _cmd_table3(args: argparse.Namespace) -> str:
+    from repro.experiments.reporting import format_table3
+
+    result = _comparison(args)
+    claims = "\n".join(
+        f"  {name}: {'PASS' if ok else 'FAIL'}"
+        for name, ok in result.shape_claims().items()
+    )
+    return format_table3(result) + "\nshape claims:\n" + claims
+
+
+def _cmd_table4(args: argparse.Namespace) -> str:
+    from repro.experiments.reporting import format_table4
+
+    result = _comparison(args)
+    claims = "\n".join(
+        f"  {name}: {'PASS' if ok else 'FAIL'}"
+        for name, ok in result.shape_claims().items()
+    )
+    return format_table4(result) + "\nshape claims:\n" + claims
+
+
+def _cmd_fig1(args: argparse.Namespace) -> str:
+    from repro.experiments.figures import fig1_series
+    from repro.experiments.reporting import format_fig1
+
+    return format_fig1(fig1_series())
+
+
+def _cmd_fig2(args: argparse.Namespace) -> str:
+    from repro.bilevel.taxonomy import render_taxonomy
+
+    return "Fig. 2: extended bi-level metaheuristics taxonomy\n" + render_taxonomy()
+
+
+def _convergence(args: argparse.Namespace, algorithm: str) -> str:
+    from repro.experiments.figures import convergence_experiment
+    from repro.experiments.reporting import format_convergence
+
+    carbon, cobra = configs_for_scale(args.scale)
+    n, m = (500, 30) if args.scale == "paper" else (args.fig_n, args.fig_m)
+    with make_executor(
+        "processes" if args.workers > 1 else "serial", workers=args.workers
+    ) as executor:
+        curves = convergence_experiment(
+            algorithm,
+            n_bundles=n,
+            n_services=m,
+            runs=args.runs,
+            carbon_config=carbon,
+            cobra_config=cobra,
+            instance_seed=args.seed,
+            executor=executor,
+        )
+    return format_convergence(curves)
+
+
+def _cmd_fig4(args: argparse.Namespace) -> str:
+    return _convergence(args, "CARBON")
+
+
+def _cmd_fig5(args: argparse.Namespace) -> str:
+    return _convergence(args, "COBRA")
+
+
+def _cmd_extended(args: argparse.Namespace) -> str:
+    """CARBON vs COBRA vs nested-sequential on one class (taxonomy study)."""
+    import numpy as np
+
+    from repro.bcpop.generator import generate_instance
+    from repro.core.carbon import run_carbon
+    from repro.core.cobra import run_cobra
+    from repro.core.config import UpperLevelConfig
+    from repro.core.nested import run_nested
+    from repro.parallel.rng import stream_for
+
+    carbon_cfg, cobra_cfg = configs_for_scale(args.scale)
+    n, m = args.fig_n, args.fig_m
+    instance = generate_instance(
+        n, m, seed=stream_for(args.seed, "bcpop", n, m, 0), name=f"ext-n{n}-m{m}"
+    )
+    nested_cfg = UpperLevelConfig(
+        population_size=carbon_cfg.upper.population_size,
+        archive_size=carbon_cfg.upper.archive_size,
+        fitness_evaluations=carbon_cfg.upper.fitness_evaluations,
+    )
+    from repro.core.surrogate import run_surrogate
+
+    lines = [f"Extended comparison on n={n}, m={m} ({args.runs} runs):",
+             f"  {'algorithm':<20} {'best %-gap':>11} {'best revenue':>13}"]
+    for name, runner in (
+        ("CARBON", lambda s: run_carbon(instance, carbon_cfg, seed=s)),
+        ("COBRA", lambda s: run_cobra(instance, cobra_cfg, seed=s)),
+        ("NESTED[chvatal]", lambda s: run_nested(instance, nested_cfg, seed=s)),
+        ("SURROGATE[chvatal]", lambda s: run_surrogate(instance, nested_cfg, seed=s)),
+    ):
+        results = [runner(s) for s in range(args.runs)]
+        lines.append(
+            f"  {name:<20} {np.mean([r.best_gap for r in results]):>11.2f}"
+            f" {np.mean([r.best_upper for r in results]):>13.2f}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_trilevel(args: argparse.Namespace) -> str:
+    """Future-work study (§VI): CARBON one nesting level deeper."""
+    from repro.bcpop.generator import generate_instance
+    from repro.parallel.rng import stream_for
+    from repro.trilevel import TriLevelInstance, run_trilevel_carbon
+
+    carbon_cfg, _ = configs_for_scale(args.scale)
+    n, m = args.fig_n, args.fig_m
+    tri = TriLevelInstance.from_bcpop(
+        generate_instance(n, m, seed=stream_for(args.seed, "bcpop", n, m, 0))
+    )
+    lines = [f"Tri-level CARBON on n={n}, m={m} (wholesale cap "
+             f"{tri.wholesale_cap:.1f}, retail cap {tri.retail_cap:.1f}):"]
+    for run_seed in range(args.runs):
+        result = run_trilevel_carbon(tri, carbon_cfg, seed=run_seed)
+        lines.append(
+            f"  seed {run_seed}: provider revenue {result.best_upper:9.2f}  "
+            f"gap {result.best_gap:6.2f}%  "
+            f"nesting multiplier {result.extras['nesting_multiplier']:5.1f} "
+            f"(L1 {result.ul_evaluations_used}, L3 {result.ll_evaluations_used})"
+        )
+    lines.append(
+        "  -> every extra level multiplies the evaluation bill; see "
+        "benchmarks/bench_trilevel.py for the sweep."
+    )
+    return "\n".join(lines)
+
+
+def _cmd_instances(args: argparse.Namespace) -> str:
+    """Export the paper's 9 instance classes to disk (JSON + mknap)."""
+    import pathlib
+
+    from repro.bcpop.generator import paper_instance_classes
+    from repro.bcpop.io import export_mknap, save_bcpop
+
+    out_dir = pathlib.Path(args.out or "instances")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    suite = paper_instance_classes(seed=args.seed, instances_per_class=1)
+    lines = [f"exported instance suite (seed {args.seed}) to {out_dir}/:"]
+    for (n, m), instances in sorted(suite.items()):
+        for inst in instances:
+            save_bcpop(inst, out_dir / f"{inst.name}.json")
+            export_mknap(inst, out_dir / f"{inst.name}.mknap")
+            lines.append(
+                f"  {inst.name}: n={n} m={m} L={inst.n_own} "
+                f"cap={inst.price_cap:.1f}"
+            )
+    return "\n".join(lines)
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "table3": _cmd_table3,
+    "table4": _cmd_table4,
+    "fig1": _cmd_fig1,
+    "fig2": _cmd_fig2,
+    "fig4": _cmd_fig4,
+    "fig5": _cmd_fig5,
+    "extended": _cmd_extended,
+    "trilevel": _cmd_trilevel,
+    "instances": _cmd_instances,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the tables and figures of the CARBON paper.",
+    )
+    parser.add_argument(
+        "experiment", choices=sorted(_COMMANDS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument("--scale", choices=SCALES, default="quick")
+    parser.add_argument("--runs", type=int, default=3, help="independent runs (paper: 30)")
+    parser.add_argument("--seed", type=int, default=0, help="instance seed")
+    parser.add_argument("--workers", type=int, default=1, help=">1 enables a process pool")
+    parser.add_argument(
+        "--classes", nargs="*", metavar="NxM",
+        help="restrict to instance classes, e.g. 100x5 250x10",
+    )
+    parser.add_argument("--fig-n", type=int, default=100, dest="fig_n",
+                        help="bundle count for fig4/fig5 at non-paper scale")
+    parser.add_argument("--fig-m", type=int, default=10, dest="fig_m",
+                        help="service count for fig4/fig5 at non-paper scale")
+    parser.add_argument("--out", help="also write the report to this file")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile the experiment and append hot spots")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "all":
+        # "all" regenerates reports; the instances exporter writes files
+        # and interprets --out as a directory, so it stays explicit.
+        names = sorted(set(_COMMANDS) - {"instances"})
+    else:
+        names = [args.experiment]
+
+    sections: list[str] = []
+
+    def run_all() -> None:
+        for name in names:
+            sections.append(_COMMANDS[name](args))
+
+    if args.profile:
+        profiler = cProfile.Profile()
+        profiler.enable()
+        run_all()
+        profiler.disable()
+        buf = io.StringIO()
+        pstats.Stats(profiler, stream=buf).sort_stats("cumulative").print_stats(15)
+        sections.append("cProfile (top 15 by cumulative time):\n" + buf.getvalue())
+    else:
+        run_all()
+
+    report = ("\n\n" + "=" * 72 + "\n\n").join(sections)
+    print(report)
+    # ``instances`` interprets --out as its target *directory*; writing the
+    # textual report there would clobber it.
+    if args.out and args.experiment != "instances":
+        with open(args.out, "w") as fh:
+            fh.write(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Summary statistics for experiment aggregation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["Summary", "summarize", "rank_test"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of one metric over independent runs."""
+
+    mean: float
+    std: float
+    best: float
+    worst: float
+    n: int
+
+    def __str__(self) -> str:
+        return f"{self.mean:.2f} ± {self.std:.2f} (n={self.n})"
+
+
+def summarize(values: Sequence[float], minimize: bool = True) -> Summary:
+    """Aggregate run-level values; non-finite entries are dropped (they mark
+    budget-starved runs) but reduce ``n``."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    finite = arr[np.isfinite(arr)]
+    if finite.size == 0:
+        return Summary(mean=np.nan, std=np.nan, best=np.nan, worst=np.nan, n=0)
+    best = finite.min() if minimize else finite.max()
+    worst = finite.max() if minimize else finite.min()
+    return Summary(
+        mean=float(finite.mean()),
+        std=float(finite.std(ddof=1)) if finite.size > 1 else 0.0,
+        best=float(best),
+        worst=float(worst),
+        n=int(finite.size),
+    )
+
+
+def rank_test(a: Sequence[float], b: Sequence[float]) -> tuple[float, float]:
+    """Two-sided Wilcoxon rank-sum test; returns ``(statistic, p_value)``.
+
+    Used to state that the CARBON-vs-COBRA differences in Tables III/IV
+    are significant at the run level (the paper reports means only; we add
+    the test).  Falls back to ``(nan, nan)`` for degenerate inputs.
+    """
+    from scipy.stats import ranksums
+
+    a = np.asarray(list(a), dtype=np.float64)
+    b = np.asarray(list(b), dtype=np.float64)
+    a = a[np.isfinite(a)]
+    b = b[np.isfinite(b)]
+    if a.size < 2 or b.size < 2:
+        return float("nan"), float("nan")
+    res = ranksums(a, b)
+    return float(res.statistic), float(res.pvalue)

@@ -1,0 +1,138 @@
+"""Budget sweeps: how the paper's claims depend on evaluation budget.
+
+EXPERIMENTS.md documents two budget-dependent effects:
+
+* CARBON's %-gap keeps falling with budget while COBRA's stays inflated —
+  so the Table III *ratio* grows toward the paper's ~22x,
+* COBRA's revenue overestimation (Table IV) needs exploitation budget to
+  build up; below a crossover budget the two algorithms' revenues overlap.
+
+This module measures both as functions of the budget, on one instance
+class, with shared instance seeding — the data behind the
+"budget note" paragraphs, and a reusable harness for anyone re-running at
+paper scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import CarbonConfig, CobraConfig
+from repro.experiments.tables import RunTask, execute_task
+from repro.parallel.executor import Executor, SerialExecutor
+
+__all__ = ["BudgetPoint", "budget_sweep", "crossover_budget"]
+
+
+@dataclass(frozen=True)
+class BudgetPoint:
+    """Both algorithms' aggregates at one budget level."""
+
+    budget: int
+    carbon_gap: float
+    cobra_gap: float
+    carbon_upper: float
+    cobra_upper: float
+    runs: int
+
+    @property
+    def gap_ratio(self) -> float:
+        """COBRA gap / CARBON gap (the Table III contrast)."""
+        return self.cobra_gap / max(self.carbon_gap, 1e-9)
+
+    @property
+    def upper_ratio(self) -> float:
+        """COBRA revenue / CARBON revenue (the Table IV overestimation)."""
+        return self.cobra_upper / max(self.carbon_upper, 1e-9)
+
+
+def budget_sweep(
+    n_bundles: int,
+    n_services: int,
+    budgets: list[int],
+    runs: int = 2,
+    population_size: int = 20,
+    instance_seed: int = 0,
+    executor: Executor | None = None,
+    lp_backend: str = "scipy",
+) -> list[BudgetPoint]:
+    """Run CARBON and COBRA at each budget level on one instance class.
+
+    ``budgets`` are per-level evaluation counts (UL = LL, as in Table II).
+    All runs across all budgets are flattened into one task list, so a
+    process-pool executor parallelizes the whole sweep.
+    """
+    if not budgets:
+        raise ValueError("no budgets to sweep")
+    if any(b < population_size for b in budgets):
+        raise ValueError(
+            f"every budget must cover one population ({population_size})"
+        )
+    executor = executor or SerialExecutor()
+    tasks: list[RunTask] = []
+    for budget in budgets:
+        carbon_cfg = CarbonConfig.quick(budget, budget, population_size)
+        cobra_cfg = CobraConfig.quick(budget, budget, population_size)
+        for alg in ("CARBON", "COBRA"):
+            for r in range(runs):
+                tasks.append(
+                    RunTask(
+                        algorithm=alg,
+                        n_bundles=n_bundles,
+                        n_services=n_services,
+                        instance_seed=instance_seed,
+                        run_seed=r,
+                        carbon_config=carbon_cfg,
+                        cobra_config=cobra_cfg,
+                        lp_backend=lp_backend,
+                        record_history=False,
+                    )
+                )
+    results = executor.map(execute_task, tasks)
+
+    points: list[BudgetPoint] = []
+    idx = 0
+    for budget in budgets:
+        chunk = results[idx: idx + 2 * runs]
+        idx += 2 * runs
+        carbon = [r for r in chunk if r.algorithm == "CARBON"]
+        cobra = [r for r in chunk if r.algorithm == "COBRA"]
+        points.append(
+            BudgetPoint(
+                budget=budget,
+                carbon_gap=float(np.mean([r.best_gap for r in carbon])),
+                cobra_gap=float(np.mean([r.best_gap for r in cobra])),
+                carbon_upper=float(np.mean([r.best_upper for r in carbon])),
+                cobra_upper=float(np.mean([r.best_upper for r in cobra])),
+                runs=runs,
+            )
+        )
+    return points
+
+
+def crossover_budget(
+    points: list[BudgetPoint], metric: str = "upper"
+) -> int | None:
+    """Smallest budget from which the paper's ordering holds *for all
+    larger swept budgets*.
+
+    ``metric="upper"``: COBRA revenue > CARBON revenue (Table IV);
+    ``metric="gap"``: CARBON gap < COBRA gap (Table III).
+    Returns ``None`` when the ordering never stabilizes within the sweep.
+    """
+    if metric == "upper":
+        holds = [p.cobra_upper > p.carbon_upper for p in points]
+    elif metric == "gap":
+        holds = [p.carbon_gap < p.cobra_gap for p in points]
+    else:
+        raise ValueError(f"unknown metric {metric!r}")
+    ordered = sorted(zip(points, holds), key=lambda t: t[0].budget)
+    crossover: int | None = None
+    for point, ok in ordered:
+        if ok and crossover is None:
+            crossover = point.budget
+        elif not ok:
+            crossover = None
+    return crossover

@@ -1,0 +1,266 @@
+"""Tables I-IV of the paper.
+
+Tables I and II are configuration tables — regenerated directly from the
+primitive sets and config dataclasses so the reported values can never
+drift from the implementation.
+
+Tables III (%-gap) and IV (UL objective) come from the same experiment:
+``runs`` independent seeded executions of CARBON and COBRA per instance
+class, extraction per §V-B (best gap from the lower archive, best UL
+fitness from the upper archive), averaged over runs.  The experiment is
+embarrassingly parallel over (class × algorithm × seed) and is routed
+through the :mod:`repro.parallel` executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+
+import numpy as np
+
+from repro.bcpop.generator import PAPER_CLASSES, generate_instance
+from repro.core.config import CarbonConfig, CobraConfig
+from repro.core.results import RunResult
+from repro.experiments.stats import Summary, rank_test, summarize
+from repro.parallel.executor import Executor, SerialExecutor
+
+__all__ = [
+    "table1_rows",
+    "table2_rows",
+    "RunTask",
+    "ClassComparison",
+    "ComparisonResult",
+    "run_comparison",
+]
+
+
+def table1_rows() -> list[tuple[str, str]]:
+    """Table I: the GP operator and terminal sets actually in use."""
+    from repro.gp.primitives import paper_primitive_set
+
+    return paper_primitive_set().describe()
+
+
+def table2_rows(
+    carbon: CarbonConfig | None = None, cobra: CobraConfig | None = None
+) -> list[tuple[str, str, str]]:
+    """Table II: (parameter, CARBON value, COBRA value) rows."""
+    ca = carbon or CarbonConfig.paper()
+    co = cobra or CobraConfig.paper()
+    mut_cobra = (
+        "1/#variables" if co.ll_mutation_probability is None
+        else f"{co.ll_mutation_probability}"
+    )
+    return [
+        ("UL encoding", "continuous values", "continuous values"),
+        ("UL population size", str(ca.upper.population_size), str(co.upper.population_size)),
+        ("UL archive size", str(ca.upper.archive_size), str(co.upper.archive_size)),
+        ("UL fitness evaluations", str(ca.upper.fitness_evaluations), str(co.upper.fitness_evaluations)),
+        ("UL selection", "binary tournament", "binary tournament"),
+        ("UL crossover operator", "simulated binary", "simulated binary"),
+        ("UL crossover probability", str(ca.upper.crossover_probability), str(co.upper.crossover_probability)),
+        ("UL mutation operator", "polynomial", "polynomial"),
+        ("UL mutation probability", str(ca.upper.mutation_probability), str(co.upper.mutation_probability)),
+        ("LL encoding", "syntax trees", "binary values"),
+        ("LL fitness evaluations", str(ca.ll_fitness_evaluations), str(co.ll_fitness_evaluations)),
+        ("LL archive size", str(ca.ll_archive_size), str(co.ll_archive_size)),
+        ("LL selection", f"tournament (k={ca.ll_tournament_size})", "binary tournament"),
+        ("LL crossover operator", "(GP) one-point", "(GA) two-point"),
+        ("LL crossover probability", str(ca.ll_crossover_probability), str(co.ll_crossover_probability)),
+        ("LL mutation operator", "(GP) uniform", "(GA) swap"),
+        ("LL mutation probability", str(ca.ll_mutation_probability), mut_cobra),
+        ("LL reproduction probability", str(ca.ll_reproduction_probability), "-"),
+    ]
+
+
+@dataclass(frozen=True)
+class RunTask:
+    """Picklable descriptor of one run — workers regenerate the instance
+    from the addressed seed instead of shipping matrices over IPC."""
+
+    algorithm: str  # "CARBON" | "COBRA"
+    n_bundles: int
+    n_services: int
+    instance_seed: int
+    run_seed: int
+    carbon_config: CarbonConfig
+    cobra_config: CobraConfig
+    lp_backend: str = "scipy"
+    record_history: bool = True
+
+
+def execute_task(task: RunTask) -> RunResult:
+    """Top-level worker entry point (picklable)."""
+    from repro.core.carbon import run_carbon
+    from repro.core.cobra import run_cobra
+    from repro.parallel.rng import stream_for
+
+    instance = generate_instance(
+        task.n_bundles,
+        task.n_services,
+        seed=stream_for(task.instance_seed, "bcpop", task.n_bundles, task.n_services, 0),
+        name=f"bcpop-n{task.n_bundles}-m{task.n_services}-s0",
+    )
+    if task.algorithm == "CARBON":
+        result = run_carbon(
+            instance, config=task.carbon_config,
+            seed=task.run_seed, lp_backend=task.lp_backend,
+        )
+    elif task.algorithm == "COBRA":
+        result = run_cobra(
+            instance, config=task.cobra_config,
+            seed=task.run_seed, lp_backend=task.lp_backend,
+        )
+    else:
+        raise ValueError(f"unknown algorithm {task.algorithm!r}")
+    if not task.record_history:
+        result.history.points.clear()
+    return result
+
+
+@dataclass
+class ClassComparison:
+    """Both algorithms' aggregates on one instance class."""
+
+    n_bundles: int
+    n_services: int
+    carbon_gap: Summary
+    cobra_gap: Summary
+    carbon_upper: Summary
+    cobra_upper: Summary
+    gap_pvalue: float
+    upper_pvalue: float
+    carbon_runs: list[RunResult] = field(default_factory=list)
+    cobra_runs: list[RunResult] = field(default_factory=list)
+
+
+@dataclass
+class ComparisonResult:
+    """The full Table III + IV experiment."""
+
+    classes: list[ClassComparison]
+    runs: int
+    carbon_config: CarbonConfig
+    cobra_config: CobraConfig
+
+    def table3_rows(self) -> list[tuple[int, int, float, float]]:
+        """(n, m, CARBON mean %-gap, COBRA mean %-gap) + average row."""
+        rows = [
+            (c.n_bundles, c.n_services, c.carbon_gap.mean, c.cobra_gap.mean)
+            for c in self.classes
+        ]
+        return rows
+
+    def table4_rows(self) -> list[tuple[int, int, float, float]]:
+        """(n, m, CARBON mean UL objective, COBRA mean UL objective)."""
+        return [
+            (c.n_bundles, c.n_services, c.carbon_upper.mean, c.cobra_upper.mean)
+            for c in self.classes
+        ]
+
+    def averages(self) -> dict[str, float]:
+        t3 = self.table3_rows()
+        t4 = self.table4_rows()
+        return {
+            "carbon_gap": float(np.mean([r[2] for r in t3])),
+            "cobra_gap": float(np.mean([r[3] for r in t3])),
+            "carbon_upper": float(np.mean([r[2] for r in t4])),
+            "cobra_upper": float(np.mean([r[3] for r in t4])),
+        }
+
+    def shape_claims(self) -> dict[str, bool]:
+        """The DESIGN.md §4 shape claims this experiment can check."""
+        t3 = self.table3_rows()
+        t4 = self.table4_rows()
+        avg = self.averages()
+        return {
+            "carbon_gap_below_cobra_everywhere": all(r[2] < r[3] for r in t3),
+            "carbon_gap_below_cobra_on_average": avg["carbon_gap"] < avg["cobra_gap"],
+            "cobra_upper_exceeds_carbon_everywhere": all(r[3] > r[2] for r in t4),
+            "cobra_upper_exceeds_carbon_on_average": avg["cobra_upper"] > avg["carbon_upper"],
+        }
+
+
+def run_comparison(
+    classes: list[tuple[int, int]] | None = None,
+    runs: int = 3,
+    carbon_config: CarbonConfig | None = None,
+    cobra_config: CobraConfig | None = None,
+    instance_seed: int = 0,
+    executor: Executor | None = None,
+    lp_backend: str = "scipy",
+    keep_histories: bool = False,
+) -> ComparisonResult:
+    """Run the Table III/IV experiment.
+
+    Parameters
+    ----------
+    classes:
+        Instance classes ``(n, m)``; defaults to the paper's nine.
+    runs:
+        Independent runs per algorithm per class (paper: 30).
+    carbon_config / cobra_config:
+        Budgets; default to quick scale (use ``.paper()`` for Table II).
+    instance_seed:
+        Seed addressing the generated instances.
+    executor:
+        Parallel executor; serial by default.
+    keep_histories:
+        Retain convergence histories (memory-heavy at paper scale).
+    """
+    classes = list(classes) if classes is not None else list(PAPER_CLASSES)
+    carbon_config = carbon_config or CarbonConfig.quick()
+    cobra_config = cobra_config or CobraConfig.quick()
+    executor = executor or SerialExecutor()
+
+    tasks: list[RunTask] = []
+    for n, m in classes:
+        for alg in ("CARBON", "COBRA"):
+            for r in range(runs):
+                tasks.append(
+                    RunTask(
+                        algorithm=alg,
+                        n_bundles=n,
+                        n_services=m,
+                        instance_seed=instance_seed,
+                        run_seed=r,
+                        carbon_config=carbon_config,
+                        cobra_config=cobra_config,
+                        lp_backend=lp_backend,
+                        record_history=keep_histories,
+                    )
+                )
+    results = executor.map(execute_task, tasks)
+
+    by_class: dict[tuple[int, int], dict[str, list[RunResult]]] = {
+        (n, m): {"CARBON": [], "COBRA": []} for n, m in classes
+    }
+    for task, result in zip(tasks, results):
+        by_class[(task.n_bundles, task.n_services)][task.algorithm].append(result)
+
+    out: list[ClassComparison] = []
+    for n, m in classes:
+        carbon_runs = by_class[(n, m)]["CARBON"]
+        cobra_runs = by_class[(n, m)]["COBRA"]
+        c_gaps = [r.best_gap for r in carbon_runs]
+        o_gaps = [r.best_gap for r in cobra_runs]
+        c_up = [r.best_upper for r in carbon_runs]
+        o_up = [r.best_upper for r in cobra_runs]
+        out.append(
+            ClassComparison(
+                n_bundles=n,
+                n_services=m,
+                carbon_gap=summarize(c_gaps, minimize=True),
+                cobra_gap=summarize(o_gaps, minimize=True),
+                carbon_upper=summarize(c_up, minimize=False),
+                cobra_upper=summarize(o_up, minimize=False),
+                gap_pvalue=rank_test(c_gaps, o_gaps)[1],
+                upper_pvalue=rank_test(c_up, o_up)[1],
+                carbon_runs=carbon_runs if keep_histories else [],
+                cobra_runs=cobra_runs if keep_histories else [],
+            )
+        )
+    return ComparisonResult(
+        classes=out, runs=runs,
+        carbon_config=carbon_config, cobra_config=cobra_config,
+    )

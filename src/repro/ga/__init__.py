@@ -1,0 +1,30 @@
+"""Real-coded genetic-algorithm engine.
+
+The upper level of both CARBON and COBRA evolves continuous pricing
+vectors with the operators of Table II: simulated binary crossover (SBX),
+polynomial mutation, and binary tournament selection.  COBRA's lower level
+additionally uses a binary encoding with two-point crossover and swap
+mutation, also provided here.
+"""
+
+from repro.ga.encoding import Bounds
+from repro.ga.operators import (
+    sbx_crossover,
+    polynomial_mutation,
+    two_point_crossover,
+    swap_mutation,
+)
+from repro.ga.selection import binary_tournament
+from repro.ga.population import Individual, evaluate_population, random_real_population
+
+__all__ = [
+    "Bounds",
+    "sbx_crossover",
+    "polynomial_mutation",
+    "two_point_crossover",
+    "swap_mutation",
+    "binary_tournament",
+    "Individual",
+    "evaluate_population",
+    "random_real_population",
+]

@@ -1,0 +1,58 @@
+"""Box-constrained real vector encoding."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Bounds"]
+
+
+@dataclass(frozen=True)
+class Bounds:
+    """Per-gene box constraints for a real-coded genome.
+
+    Both SBX and polynomial mutation are bounds-aware (they shape their
+    distributions by the distance to the box), so the bounds are part of
+    the encoding rather than the operator calls.
+    """
+
+    low: np.ndarray
+    high: np.ndarray
+
+    def __post_init__(self) -> None:
+        low = np.asarray(self.low, dtype=np.float64).ravel()
+        high = np.asarray(self.high, dtype=np.float64).ravel()
+        if low.shape != high.shape:
+            raise ValueError(f"bounds shape mismatch: {low.shape} vs {high.shape}")
+        if np.any(high < low):
+            raise ValueError("high < low in bounds")
+        object.__setattr__(self, "low", low)
+        object.__setattr__(self, "high", high)
+
+    @classmethod
+    def uniform(cls, n: int, low: float, high: float) -> "Bounds":
+        return cls(np.full(n, low), np.full(n, high))
+
+    @property
+    def size(self) -> int:
+        return self.low.size
+
+    @property
+    def span(self) -> np.ndarray:
+        return self.high - self.low
+
+    def clip(self, x: np.ndarray) -> np.ndarray:
+        """Project onto the box (returns a new array)."""
+        return np.clip(x, self.low, self.high)
+
+    def contains(self, x: np.ndarray, tol: float = 1e-12) -> bool:
+        x = np.asarray(x, dtype=np.float64)
+        return bool(np.all(x >= self.low - tol) and np.all(x <= self.high + tol))
+
+    def sample(self, rng: np.random.Generator, n: int | None = None) -> np.ndarray:
+        """Uniform sample(s) inside the box: shape (size,) or (n, size)."""
+        if n is None:
+            return rng.uniform(self.low, self.high)
+        return rng.uniform(self.low, self.high, size=(n, self.size))

@@ -1,0 +1,71 @@
+"""Population bookkeeping shared by the evolutionary loops."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.ga.encoding import Bounds
+
+__all__ = ["Individual", "random_real_population", "evaluate_population"]
+
+
+@dataclass
+class Individual:
+    """A genome plus its cached evaluation.
+
+    ``genome`` may be a real vector (upper level), a boolean vector
+    (COBRA lower level), or a :class:`repro.gp.tree.SyntaxTree` (CARBON
+    lower level) — the loops only rely on ``fitness``/``aux``.
+
+    ``aux`` carries side information from evaluation (for BCPOP: the
+    follower basket, gap, lower bound) used by archives and reports.
+    """
+
+    genome: Any
+    fitness: float = np.nan
+    aux: dict = field(default_factory=dict)
+
+    @property
+    def evaluated(self) -> bool:
+        return not np.isnan(self.fitness)
+
+    def copy(self) -> "Individual":
+        genome = self.genome
+        if isinstance(genome, np.ndarray):
+            genome = genome.copy()
+        elif hasattr(genome, "copy"):
+            genome = genome.copy()
+        return Individual(genome=genome, fitness=self.fitness, aux=dict(self.aux))
+
+
+def random_real_population(
+    bounds: Bounds, n: int, rng: np.random.Generator
+) -> list[Individual]:
+    """Uniform random real-coded population inside ``bounds``."""
+    if n < 0:
+        raise ValueError(f"population size must be >= 0, got {n}")
+    genomes = bounds.sample(rng, n)
+    return [Individual(genome=genomes[i]) for i in range(n)]
+
+
+def evaluate_population(
+    population: Sequence[Individual],
+    evaluate: Callable[[Any], tuple[float, dict]],
+    only_unevaluated: bool = True,
+) -> int:
+    """Fill in fitness/aux for a population; returns the evaluation count.
+
+    ``evaluate`` maps a genome to ``(fitness, aux)``.
+    """
+    count = 0
+    for ind in population:
+        if only_unevaluated and ind.evaluated:
+            continue
+        fitness, aux = evaluate(ind.genome)
+        ind.fitness = float(fitness)
+        ind.aux = aux
+        count += 1
+    return count

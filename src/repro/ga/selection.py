@@ -1,0 +1,32 @@
+"""Binary tournament selection (Table II, upper level of both algorithms).
+
+A thin wrapper over :func:`repro.gp.selection.tournament` with ``k=2`` —
+one selection implementation serves both engines.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+import numpy as np
+
+from repro.gp.selection import tournament
+
+__all__ = ["binary_tournament"]
+
+T = TypeVar("T")
+
+
+def binary_tournament(
+    population: Sequence[T],
+    fitnesses: Sequence[float],
+    n: int,
+    rng: np.random.Generator,
+    minimize: bool = False,
+) -> list[T]:
+    """Select ``n`` individuals via binary tournaments.
+
+    Defaults to maximization because the BCPOP upper level maximizes
+    revenue; pass ``minimize=True`` for cost-like fitnesses.
+    """
+    return tournament(population, fitnesses, n, rng, k=2, minimize=minimize)

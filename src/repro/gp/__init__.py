@@ -1,0 +1,70 @@
+"""Genetic-programming hyper-heuristic engine.
+
+CARBON's second population does not evolve lower-level *solutions* but
+lower-level *solvers*: greedy scoring functions encoded as GP syntax trees
+(paper §IV, Table I).  This package is a self-contained strongly-vectorized
+GP engine:
+
+* :mod:`repro.gp.nodes`      — node model (primitives, terminals, constants),
+* :mod:`repro.gp.primitives` — the paper's operator & terminal sets
+  (Table I) plus the registry used for pickling,
+* :mod:`repro.gp.tree`       — prefix-encoded syntax trees with stack-based
+  vectorized evaluation over greedy contexts,
+* :mod:`repro.gp.generate`   — full / grow / ramped half-and-half,
+* :mod:`repro.gp.operators`  — one-point crossover, uniform (subtree)
+  mutation, point mutation, reproduction (Table II's GP operators),
+* :mod:`repro.gp.selection`  — tournament selection,
+* :mod:`repro.gp.simplify`   — constant folding and identity pruning.
+"""
+
+from repro.gp.nodes import Constant, Node, Primitive, Terminal
+from repro.gp.primitives import (
+    PrimitiveSet,
+    paper_operator_set,
+    paper_terminal_set,
+    paper_primitive_set,
+)
+from repro.gp.tree import SyntaxTree
+from repro.gp.generate import full_tree, grow_tree, ramped_half_and_half
+from repro.gp.operators import (
+    one_point_crossover,
+    uniform_mutation,
+    point_mutation,
+    reproduce,
+)
+from repro.gp.selection import tournament
+from repro.gp.simplify import simplify_tree
+from repro.gp.bloat import lexicographic_tournament, tarpeian_mask
+from repro.gp.diversity import (
+    entropy_of_shapes,
+    primitive_usage,
+    size_statistics,
+    structural_uniqueness,
+)
+
+__all__ = [
+    "lexicographic_tournament",
+    "tarpeian_mask",
+    "entropy_of_shapes",
+    "primitive_usage",
+    "size_statistics",
+    "structural_uniqueness",
+    "Node",
+    "Primitive",
+    "Terminal",
+    "Constant",
+    "PrimitiveSet",
+    "paper_operator_set",
+    "paper_terminal_set",
+    "paper_primitive_set",
+    "SyntaxTree",
+    "full_tree",
+    "grow_tree",
+    "ramped_half_and_half",
+    "one_point_crossover",
+    "uniform_mutation",
+    "point_mutation",
+    "reproduce",
+    "tournament",
+    "simplify_tree",
+]

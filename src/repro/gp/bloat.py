@@ -1,0 +1,94 @@
+"""Bloat control for GP populations.
+
+Unchecked GP trees grow (bloat), slowing evaluation and obscuring the
+champion heuristics EXPERIMENTS.md reports.  Besides the hard depth/size
+limits in :mod:`repro.gp.operators`, two classical soft mechanisms are
+provided and ablated in ``bench_ablation_carbon``:
+
+* **lexicographic parsimony tournament** (Luke & Panait 2002): fitness
+  decides; ties (within a tolerance) go to the smaller tree,
+* **Tarpeian method** (Poli 2003): with probability ``p``, an
+  above-average-size individual is assigned the worst possible fitness
+  *before* evaluation — saving its evaluation cost entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.gp.tree import SyntaxTree
+
+__all__ = ["lexicographic_tournament", "tarpeian_mask", "mean_size"]
+
+
+def mean_size(trees: Sequence[SyntaxTree]) -> float:
+    """Average node count of a population."""
+    if not trees:
+        raise ValueError("empty population")
+    return float(np.mean([t.size for t in trees]))
+
+
+def lexicographic_tournament(
+    population: Sequence[SyntaxTree],
+    fitnesses: Sequence[float],
+    n: int,
+    rng: np.random.Generator,
+    k: int = 3,
+    minimize: bool = True,
+    fitness_tolerance: float = 1e-9,
+) -> list[SyntaxTree]:
+    """Size-``k`` tournaments where near-ties are broken by tree size.
+
+    ``fitness_tolerance`` is relative: two fitnesses within
+    ``tol * max(1, |better|)`` are considered tied.
+    """
+    fits = np.asarray(fitnesses, dtype=np.float64)
+    if len(population) != fits.size:
+        raise ValueError(
+            f"population size {len(population)} != fitnesses {fits.size}"
+        )
+    if fits.size == 0:
+        raise ValueError("empty population")
+    keyed = np.where(np.isfinite(fits), fits, np.inf if minimize else -np.inf)
+    sizes = np.array([t.size for t in population])
+    winners: list[SyntaxTree] = []
+    for _ in range(n):
+        entrants = rng.integers(fits.size, size=k)
+        best = entrants[0]
+        for e in entrants[1:]:
+            a, b = keyed[e], keyed[best]
+            if not minimize:
+                a, b = -a, -b
+            if np.isinf(a) and np.isinf(b):
+                # Both worst-possible: size alone decides.
+                if sizes[e] < sizes[best]:
+                    best = e
+                continue
+            tol = fitness_tolerance * max(1.0, abs(b)) if np.isfinite(b) else 0.0
+            if a < b - tol or (abs(a - b) <= tol and sizes[e] < sizes[best]):
+                best = e
+        winners.append(population[int(best)])
+    return winners
+
+
+def tarpeian_mask(
+    trees: Sequence[SyntaxTree],
+    rng: np.random.Generator,
+    probability: float = 0.3,
+) -> np.ndarray:
+    """Boolean mask of individuals to *kill before evaluation*.
+
+    True entries are above-average-size trees unlucky enough to draw the
+    Tarpeian lot; the caller assigns them worst fitness without spending
+    lower-level evaluations on them.
+    """
+    if not (0.0 <= probability <= 1.0):
+        raise ValueError(f"probability out of [0, 1]: {probability}")
+    if not trees:
+        return np.zeros(0, dtype=bool)
+    sizes = np.array([t.size for t in trees])
+    above = sizes > sizes.mean()
+    lot = rng.random(len(trees)) < probability
+    return above & lot

@@ -1,0 +1,79 @@
+"""Population diversity analysis for the GP level.
+
+Competitive co-evolution only works while the predator population stays
+diverse enough to track the moving prey; these metrics instrument that.
+Used by the convergence diagnostics and the ablation benches.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+import numpy as np
+
+from repro.gp.nodes import Constant
+from repro.gp.tree import SyntaxTree
+
+__all__ = [
+    "structural_uniqueness",
+    "size_statistics",
+    "primitive_usage",
+    "entropy_of_shapes",
+]
+
+
+def structural_uniqueness(trees: Sequence[SyntaxTree]) -> float:
+    """Fraction of structurally distinct trees in [1/n, 1]."""
+    if not trees:
+        raise ValueError("empty population")
+    return len({hash(t) for t in trees}) / len(trees)
+
+
+def size_statistics(trees: Sequence[SyntaxTree]) -> dict[str, float]:
+    """Min/mean/max of sizes and depths."""
+    if not trees:
+        raise ValueError("empty population")
+    sizes = np.array([t.size for t in trees])
+    depths = np.array([t.depth for t in trees])
+    return {
+        "size_min": float(sizes.min()),
+        "size_mean": float(sizes.mean()),
+        "size_max": float(sizes.max()),
+        "depth_min": float(depths.min()),
+        "depth_mean": float(depths.mean()),
+        "depth_max": float(depths.max()),
+    }
+
+
+def primitive_usage(trees: Sequence[SyntaxTree]) -> dict[str, float]:
+    """Relative frequency of every primitive/terminal across the
+    population (ERCs pooled under ``"ERC"``).
+
+    EXPERIMENTS.md uses this to report which Table I ingredients the
+    evolved champions actually rely on.
+    """
+    if not trees:
+        raise ValueError("empty population")
+    counts: Counter[str] = Counter()
+    total = 0
+    for tree in trees:
+        for node in tree.nodes:
+            name = "ERC" if isinstance(node, Constant) else node.name
+            counts[name] += 1
+            total += 1
+    return {name: c / total for name, c in sorted(counts.items())}
+
+
+def entropy_of_shapes(trees: Sequence[SyntaxTree]) -> float:
+    """Shannon entropy (nats) of the distribution of tree hashes.
+
+    0 when the population collapsed to one genotype; ``ln(n)`` when all
+    distinct.
+    """
+    if not trees:
+        raise ValueError("empty population")
+    counts = Counter(hash(t) for t in trees)
+    p = np.array(list(counts.values()), dtype=np.float64)
+    p /= p.sum()
+    return float(-(p * np.log(p)).sum())

@@ -1,0 +1,84 @@
+"""Tree initialization: full, grow, ramped half-and-half (Koza).
+
+Depth conventions match :attr:`SyntaxTree.depth`: a single leaf has depth
+0; ``full_tree(depth=d)`` puts every leaf exactly at depth ``d``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gp.nodes import Node
+from repro.gp.primitives import PrimitiveSet
+from repro.gp.tree import SyntaxTree
+
+__all__ = ["full_tree", "grow_tree", "ramped_half_and_half"]
+
+
+def _build(
+    pset: PrimitiveSet,
+    rng: np.random.Generator,
+    depth: int,
+    full: bool,
+    leaf_probability: float,
+) -> list[Node]:
+    """Iterative pre-order construction (avoids recursion limits)."""
+    nodes: list[Node] = []
+    stack = [depth]
+    while stack:
+        remaining = stack.pop()
+        make_leaf = remaining == 0 or (
+            not full and rng.random() < leaf_probability
+        )
+        if make_leaf:
+            nodes.append(pset.random_leaf(rng))
+        else:
+            op = pset.random_operator(rng)
+            nodes.append(op)
+            stack.extend([remaining - 1] * op.arity)
+    return nodes
+
+
+def full_tree(pset: PrimitiveSet, depth: int, rng: np.random.Generator) -> SyntaxTree:
+    """Every branch reaches exactly ``depth``."""
+    if depth < 0:
+        raise ValueError(f"depth must be >= 0, got {depth}")
+    return SyntaxTree(_build(pset, rng, depth, full=True, leaf_probability=0.0))
+
+
+def grow_tree(
+    pset: PrimitiveSet,
+    depth: int,
+    rng: np.random.Generator,
+    leaf_probability: float = 0.3,
+) -> SyntaxTree:
+    """Branches may stop early with ``leaf_probability`` per node."""
+    if depth < 0:
+        raise ValueError(f"depth must be >= 0, got {depth}")
+    if not (0.0 <= leaf_probability <= 1.0):
+        raise ValueError(f"leaf_probability out of [0,1]: {leaf_probability}")
+    return SyntaxTree(_build(pset, rng, depth, full=False, leaf_probability=leaf_probability))
+
+
+def ramped_half_and_half(
+    pset: PrimitiveSet,
+    n: int,
+    rng: np.random.Generator,
+    min_depth: int = 1,
+    max_depth: int = 4,
+) -> list[SyntaxTree]:
+    """Koza's standard initializer: depths ramp over ``[min, max]``, half
+    the trees per depth are *full* and half *grow*."""
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if min_depth > max_depth:
+        raise ValueError(f"min_depth {min_depth} > max_depth {max_depth}")
+    depths = np.arange(min_depth, max_depth + 1)
+    out: list[SyntaxTree] = []
+    for i in range(n):
+        depth = int(depths[i % depths.size])
+        if i % 2 == 0:
+            out.append(full_tree(pset, depth, rng))
+        else:
+            out.append(grow_tree(pset, depth, rng))
+    return out

@@ -1,0 +1,112 @@
+"""GP node model.
+
+A tree is a flat prefix (pre-order) sequence of nodes — the representation
+used by DEAP (the paper's implementation substrate) because it makes
+subtree surgery a pair of list slices.  Three node kinds exist:
+
+* :class:`Primitive` — an operator with fixed arity and a *vectorized*
+  implementation ``fn(*arrays) -> array``,
+* :class:`Terminal`  — a named feature extracted from the greedy context
+  (``fn(ctx) -> array`` of length ``n_bundles``),
+* :class:`Constant`  — an ephemeral random constant (Koza ERC), broadcast
+  over bundles.
+
+Primitives and terminals are interned singletons owned by a
+:class:`repro.gp.primitives.PrimitiveSet`; nodes pickle by *name* via
+``__reduce__`` so trees can cross process boundaries without shipping
+function objects.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["Node", "Primitive", "Terminal", "Constant"]
+
+
+class Node:
+    """Base class; only the three subclasses below are instantiated."""
+
+    __slots__ = ()
+    arity: int = 0
+    name: str = ""
+
+    def label(self) -> str:
+        """Human-readable token used by ``SyntaxTree.to_infix``."""
+        raise NotImplementedError
+
+
+class Primitive(Node):
+    """An operator node (``+``, ``-``, ``*``, protected ``%``/``mod``)."""
+
+    __slots__ = ("name", "arity", "fn", "symbol")
+
+    def __init__(
+        self, name: str, arity: int,
+        fn: Callable[..., np.ndarray], symbol: str | None = None,
+    ) -> None:
+        if arity < 1:
+            raise ValueError(f"primitive arity must be >= 1, got {arity}")
+        self.name = name
+        self.arity = arity
+        self.fn = fn
+        self.symbol = symbol or name
+
+    def __repr__(self) -> str:
+        return f"Primitive({self.name}/{self.arity})"
+
+    def label(self) -> str:
+        return self.symbol
+
+    def __reduce__(self):
+        from repro.gp.primitives import lookup_primitive
+
+        return (lookup_primitive, (self.name,))
+
+
+class Terminal(Node):
+    """A context feature (Table I terminal): ``fn(ctx) -> (n_bundles,)``."""
+
+    __slots__ = ("name", "fn", "description")
+    arity = 0
+
+    def __init__(self, name: str, fn: Callable, description: str = "") -> None:
+        self.name = name
+        self.fn = fn
+        self.description = description
+
+    def __repr__(self) -> str:
+        return f"Terminal({self.name})"
+
+    def label(self) -> str:
+        return self.name
+
+    def __reduce__(self):
+        from repro.gp.primitives import lookup_terminal
+
+        return (lookup_terminal, (self.name,))
+
+
+class Constant(Node):
+    """An ephemeral random constant; value fixed at creation time."""
+
+    __slots__ = ("value",)
+    arity = 0
+    name = "ERC"
+
+    def __init__(self, value: float) -> None:
+        self.value = float(value)
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value:g})"
+
+    def label(self) -> str:
+        return f"{self.value:.3g}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Constant) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("ERC", self.value))

@@ -1,0 +1,125 @@
+"""GP variation operators (paper Table II, lower level of CARBON).
+
+* one-point crossover (``(GP) One-point``) — swap random subtrees,
+* uniform mutation (``(GP) uniform``) — replace a random subtree by a
+  freshly grown one,
+* point mutation — same-arity node replacement (extra operator used in
+  ablations),
+* reproduction — verbatim copy (GP's classical third operator; the paper
+  uses probability 0.05).
+
+All operators respect a depth limit (Koza's 17 by default) and a size
+limit; a variation that would exceed either returns the parent(s)
+unchanged, the standard DEAP ``staticLimit`` behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gp.nodes import Constant, Primitive
+from repro.gp.primitives import PrimitiveSet
+from repro.gp.generate import grow_tree
+from repro.gp.tree import SyntaxTree
+
+__all__ = [
+    "one_point_crossover",
+    "uniform_mutation",
+    "point_mutation",
+    "reproduce",
+    "MAX_DEPTH_DEFAULT",
+    "MAX_SIZE_DEFAULT",
+]
+
+MAX_DEPTH_DEFAULT = 17
+MAX_SIZE_DEFAULT = 256
+
+
+def _pick_point(tree: SyntaxTree, rng: np.random.Generator, internal_bias: float = 0.9) -> int:
+    """Koza-style node pick: prefer internal nodes when any exist."""
+    internal = [i for i, node in enumerate(tree.nodes) if node.arity > 0]
+    leaves = [i for i, node in enumerate(tree.nodes) if node.arity == 0]
+    if internal and (not leaves or rng.random() < internal_bias):
+        return int(internal[rng.integers(len(internal))])
+    return int(leaves[rng.integers(len(leaves))])
+
+
+def _within_limits(tree: SyntaxTree, max_depth: int, max_size: int) -> bool:
+    return tree.size <= max_size and tree.depth <= max_depth
+
+
+def one_point_crossover(
+    a: SyntaxTree,
+    b: SyntaxTree,
+    rng: np.random.Generator,
+    max_depth: int = MAX_DEPTH_DEFAULT,
+    max_size: int = MAX_SIZE_DEFAULT,
+    retries: int = 3,
+) -> tuple[SyntaxTree, SyntaxTree]:
+    """Swap one random subtree between ``a`` and ``b``.
+
+    Retries a few times if a child violates the limits; on exhaustion the
+    offending child is replaced by a copy of its parent.
+    """
+    for _ in range(max(1, retries)):
+        ia = _pick_point(a, rng)
+        ib = _pick_point(b, rng)
+        sub_a = a.subtree(ia)
+        sub_b = b.subtree(ib)
+        child_a = a.replace_subtree(ia, sub_b)
+        child_b = b.replace_subtree(ib, sub_a)
+        ok_a = _within_limits(child_a, max_depth, max_size)
+        ok_b = _within_limits(child_b, max_depth, max_size)
+        if ok_a and ok_b:
+            return child_a, child_b
+    return a.copy(), b.copy()
+
+
+def uniform_mutation(
+    tree: SyntaxTree,
+    pset: PrimitiveSet,
+    rng: np.random.Generator,
+    max_grow_depth: int = 3,
+    max_depth: int = MAX_DEPTH_DEFAULT,
+    max_size: int = MAX_SIZE_DEFAULT,
+    retries: int = 3,
+) -> SyntaxTree:
+    """Replace a uniformly chosen subtree with a fresh grown subtree."""
+    for _ in range(max(1, retries)):
+        i = int(rng.integers(tree.size))
+        replacement = grow_tree(pset, int(rng.integers(max_grow_depth + 1)), rng)
+        child = tree.replace_subtree(i, replacement)
+        if _within_limits(child, max_depth, max_size):
+            return child
+    return tree.copy()
+
+
+def point_mutation(
+    tree: SyntaxTree,
+    pset: PrimitiveSet,
+    rng: np.random.Generator,
+    per_node_probability: float = 0.1,
+) -> SyntaxTree:
+    """Replace nodes in place with same-arity alternatives.
+
+    Operators swap with other operators of identical arity; leaves swap
+    with a random fresh leaf.  ERC leaves may also be jittered.
+    """
+    nodes = list(tree.nodes)
+    for i, node in enumerate(nodes):
+        if rng.random() >= per_node_probability:
+            continue
+        if isinstance(node, Primitive):
+            options = [op for op in pset.operators if op.arity == node.arity and op is not node]
+            if options:
+                nodes[i] = options[rng.integers(len(options))]
+        elif isinstance(node, Constant):
+            nodes[i] = Constant(node.value + rng.normal(0.0, 0.1 * (1.0 + abs(node.value))))
+        else:
+            nodes[i] = pset.random_leaf(rng)
+    return SyntaxTree(nodes)
+
+
+def reproduce(tree: SyntaxTree) -> SyntaxTree:
+    """Verbatim copy (the GP reproduction operator, Table II p=0.05)."""
+    return tree.copy()

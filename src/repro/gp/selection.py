@@ -1,0 +1,60 @@
+"""Tournament selection (shared by the GP and, at size 2, the GA level)."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+import numpy as np
+
+__all__ = ["tournament", "tournament_indices"]
+
+T = TypeVar("T")
+
+
+def tournament_indices(
+    fitnesses: Sequence[float],
+    n: int,
+    rng: np.random.Generator,
+    k: int = 2,
+    minimize: bool = True,
+) -> np.ndarray:
+    """Draw ``n`` winners' indices via size-``k`` tournaments.
+
+    NaN/inf fitnesses always lose against finite ones (so broken GP trees
+    are selected against rather than crashing the loop).
+    """
+    fits = np.asarray(fitnesses, dtype=np.float64)
+    if fits.size == 0:
+        raise ValueError("empty population")
+    if k < 1:
+        raise ValueError(f"tournament size must be >= 1, got {k}")
+    keyed = np.where(np.isfinite(fits), fits, np.inf if minimize else -np.inf)
+    entrants = rng.integers(fits.size, size=(n, k))
+    entrant_fits = keyed[entrants]
+    best = np.argmin(entrant_fits, axis=1) if minimize else np.argmax(entrant_fits, axis=1)
+    return entrants[np.arange(n), best]
+
+
+def tournament(
+    population: Sequence[T],
+    fitnesses: Sequence[float],
+    n: int,
+    rng: np.random.Generator,
+    k: int = 2,
+    minimize: bool = True,
+    key: Callable[[T], float] | None = None,
+) -> list[T]:
+    """Select ``n`` individuals (with replacement) by tournament.
+
+    ``key`` may be given instead of ``fitnesses`` (pass ``fitnesses=None``).
+    """
+    if key is not None:
+        fitnesses = [key(ind) for ind in population]
+    if fitnesses is None:
+        raise ValueError("either fitnesses or key must be provided")
+    if len(population) != len(fitnesses):
+        raise ValueError(
+            f"population size {len(population)} != fitnesses {len(fitnesses)}"
+        )
+    idx = tournament_indices(fitnesses, n, rng, k=k, minimize=minimize)
+    return [population[i] for i in idx]

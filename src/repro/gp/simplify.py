@@ -1,0 +1,105 @@
+"""Algebraic tree simplification.
+
+Evolved trees accumulate dead weight (``x * 1``, ``x + 0``, constant
+subtrees).  Simplification is *not* applied during evolution (it would bias
+the search) — it is a reporting/analysis tool: EXPERIMENTS.md shows the
+simplified champion heuristics, and tests use it to check semantic
+equivalence cheaply.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gp.nodes import Constant, Node, Primitive
+from repro.gp.tree import SyntaxTree
+
+__all__ = ["simplify_tree"]
+
+
+def _fold_constants(nodes: list[Node]) -> list[Node]:
+    """Bottom-up constant folding via a post-order stack walk."""
+    # Work on the reversed prefix so children are seen before parents.
+    stack: list[list[Node]] = []
+    with np.errstate(all="ignore"):
+        for node in reversed(nodes):
+            if node.arity == 0:
+                stack.append([node])
+                continue
+            args = [stack.pop() for _ in range(node.arity)]
+            if all(len(a) == 1 and isinstance(a[0], Constant) for a in args):
+                values = [np.float64(a[0].value) for a in args]
+                folded = node.fn(*values) if isinstance(node, Primitive) else None
+                if folded is not None and np.isfinite(folded):
+                    stack.append([Constant(float(folded))])
+                    continue
+            merged: list[Node] = [node]
+            for a in args:
+                merged.extend(a)
+            stack.append(merged)
+    if len(stack) != 1:
+        raise ValueError("malformed tree during folding")
+    return stack[0]
+
+
+def _is_const(sub: list[Node], value: float) -> bool:
+    return len(sub) == 1 and isinstance(sub[0], Constant) and sub[0].value == value
+
+
+def _apply_identities(nodes: list[Node]) -> list[Node]:
+    """One bottom-up pass of local identity rewrites."""
+    stack: list[list[Node]] = []
+    for node in reversed(nodes):
+        if node.arity == 0:
+            stack.append([node])
+            continue
+        args = [stack.pop() for _ in range(node.arity)]
+        name = node.name
+        a, b = (args + [None, None])[:2]
+        rewritten: list[Node] | None = None
+        if name == "add":
+            if _is_const(a, 0.0):
+                rewritten = b
+            elif _is_const(b, 0.0):
+                rewritten = a
+        elif name == "sub":
+            if _is_const(b, 0.0):
+                rewritten = a
+        elif name == "mul":
+            if _is_const(a, 1.0):
+                rewritten = b
+            elif _is_const(b, 1.0):
+                rewritten = a
+            elif _is_const(a, 0.0) or _is_const(b, 0.0):
+                rewritten = [Constant(0.0)]
+        elif name == "div":
+            if _is_const(b, 1.0):
+                rewritten = a
+        if rewritten is None:
+            rewritten = [node]
+            for sub in args:
+                rewritten.extend(sub)
+        stack.append(rewritten)
+    if len(stack) != 1:
+        raise ValueError("malformed tree during identity rewriting")
+    return stack[0]
+
+
+def simplify_tree(tree: SyntaxTree, max_passes: int = 8) -> SyntaxTree:
+    """Repeatedly fold constants and apply identities until fixpoint.
+
+    The result is semantically equivalent on all inputs where no protected
+    operator was triggered with a constant divisor of exactly zero (the
+    folding path uses the protected implementations, so even that case
+    matches).
+    """
+    nodes = list(tree.nodes)
+    for _ in range(max_passes):
+        before = len(nodes)
+        nodes = _fold_constants(nodes)
+        nodes = _apply_identities(nodes)
+        if len(nodes) == before:
+            break
+    result = SyntaxTree(nodes)
+    result.validate()
+    return result

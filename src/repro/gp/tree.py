@@ -1,0 +1,171 @@
+"""Prefix-encoded syntax trees with vectorized evaluation.
+
+A :class:`SyntaxTree` is an immutable-by-convention wrapper over a flat
+pre-order node list.  Evaluation walks the list once with an explicit
+stack; every operand is a *vector over all bundles*, so a single tree
+evaluation scores the entire instance — the HPC-guide vectorization idiom
+that keeps the greedy solver's hot loop free of per-bundle Python.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.gp.nodes import Constant, Node, Primitive, Terminal
+
+__all__ = ["SyntaxTree"]
+
+
+class SyntaxTree:
+    """A GP individual: a scoring function over greedy contexts.
+
+    Instances are callable with a :class:`repro.covering.greedy.GreedyContext`
+    and return a float array of per-bundle scores (lower = pick first), so a
+    tree *is a* ``ScoreFunction`` and plugs straight into
+    :func:`repro.covering.greedy.greedy_cover`.
+    """
+
+    __slots__ = ("nodes",)
+
+    def __init__(self, nodes: Sequence[Node]) -> None:
+        self.nodes: list[Node] = list(nodes)
+        if not self.nodes:
+            raise ValueError("empty tree")
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Node count."""
+        return len(self.nodes)
+
+    @property
+    def depth(self) -> int:
+        """Tree depth (single leaf = depth 0, Koza convention)."""
+        stack = [0]
+        best = 0
+        for node in self.nodes:
+            d = stack.pop()
+            best = max(best, d)
+            stack.extend([d + 1] * node.arity)
+        return best
+
+    def validate(self) -> None:
+        """Raise unless the node list encodes exactly one complete tree."""
+        need = 1
+        for i, node in enumerate(self.nodes):
+            if need <= 0:
+                raise ValueError(f"tree has trailing nodes starting at index {i}")
+            need += node.arity - 1
+        if need != 0:
+            raise ValueError(f"tree is truncated: {need} subtrees missing")
+
+    def subtree_end(self, start: int) -> int:
+        """Index one past the subtree rooted at ``start``."""
+        if not (0 <= start < len(self.nodes)):
+            raise IndexError(f"node index {start} out of range")
+        need = 1
+        i = start
+        while need > 0:
+            need += self.nodes[i].arity - 1
+            i += 1
+        return i
+
+    def subtree(self, start: int) -> "SyntaxTree":
+        """Copy of the subtree rooted at ``start``."""
+        return SyntaxTree(self.nodes[start: self.subtree_end(start)])
+
+    def replace_subtree(self, start: int, replacement: "SyntaxTree") -> "SyntaxTree":
+        """New tree with the subtree at ``start`` swapped for ``replacement``."""
+        end = self.subtree_end(start)
+        return SyntaxTree(self.nodes[:start] + replacement.nodes + self.nodes[end:])
+
+    def copy(self) -> "SyntaxTree":
+        return SyntaxTree(self.nodes)
+
+    def iter_subtree_roots(self) -> Iterator[int]:
+        yield from range(len(self.nodes))
+
+    def node_depths(self) -> list[int]:
+        """Depth of every node, pre-order aligned with ``self.nodes``."""
+        stack = [0]
+        out: list[int] = []
+        for node in self.nodes:
+            d = stack.pop()
+            out.append(d)
+            stack.extend([d + 1] * node.arity)
+        return out
+
+    # -- evaluation --------------------------------------------------------
+
+    def evaluate(self, ctx) -> np.ndarray:
+        """Score all bundles of ``ctx`` (lower = better).
+
+        Overflow/invalid warnings are suppressed: degenerate trees may
+        produce inf/nan, which the greedy solver treats as worst-score.
+        """
+        n = ctx.costs.shape[0]
+        stack: list[np.ndarray] = []
+        with np.errstate(all="ignore"):
+            for node in reversed(self.nodes):
+                if isinstance(node, Primitive):
+                    args = [stack.pop() for _ in range(node.arity)]
+                    stack.append(node.fn(*args))
+                elif isinstance(node, Constant):
+                    stack.append(np.full(n, node.value))
+                else:  # Terminal
+                    stack.append(np.asarray(node.fn(ctx), dtype=np.float64))
+        if len(stack) != 1:
+            raise ValueError(f"malformed tree left {len(stack)} values on the stack")
+        result = stack[0]
+        if result.shape != (n,):
+            result = np.broadcast_to(result, (n,)).astype(np.float64)
+        return result
+
+    __call__ = evaluate
+
+    # -- cosmetics ---------------------------------------------------------
+
+    def to_infix(self) -> str:
+        """Readable infix rendering, fully parenthesized."""
+
+        def build(i: int) -> tuple[str, int]:
+            node = self.nodes[i]
+            if node.arity == 0:
+                return node.label(), i + 1
+            parts = []
+            j = i + 1
+            for _ in range(node.arity):
+                text, j = build(j)
+                parts.append(text)
+            if node.arity == 2:
+                return f"({parts[0]} {node.label()} {parts[1]})", j
+            return f"{node.label()}({', '.join(parts)})", j
+
+        text, _ = build(0)
+        return text
+
+    def __repr__(self) -> str:
+        return f"SyntaxTree({self.to_infix()})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SyntaxTree):
+            return NotImplemented
+        if len(self.nodes) != len(other.nodes):
+            return False
+        for a, b in zip(self.nodes, other.nodes):
+            if isinstance(a, Constant) or isinstance(b, Constant):
+                if a != b:
+                    return False
+            elif a is not b:
+                return False
+        return True
+
+    def __hash__(self) -> int:
+        parts = tuple(
+            ("ERC", n.value) if isinstance(n, Constant) else n.name
+            for n in self.nodes
+        )
+        return hash(parts)

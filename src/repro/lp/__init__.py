@@ -1,0 +1,35 @@
+"""Linear-programming substrate.
+
+The paper's %-gap measure (Eq. 1) needs, for every lower-level instance, the
+LP-relaxation lower bound ``LB(x)``, the dual values ``d_k`` of the covering
+constraints, and the relaxed solution ``x̄_j`` — the last two feed the GP
+terminal set (Table I).
+
+Two interchangeable backends are provided:
+
+* :mod:`repro.lp.simplex` — a dense two-phase primal simplex written from
+  scratch in this repository (the reference implementation; used to
+  cross-validate),
+* scipy's HiGHS via :func:`repro.lp.relaxation.solve_relaxation` — the fast
+  default for experiment-scale runs.
+
+:mod:`repro.lp.bounds` caches relaxation results keyed by the upper-level
+price vector, because CARBON re-evaluates many heuristics against the same
+induced instance.
+"""
+
+from repro.lp.simplex import LPResult, LPStatus, solve_lp
+from repro.lp.relaxation import Relaxation, solve_relaxation
+from repro.lp.bounds import RelaxationCache
+from repro.lp.lagrangian import LagrangianBound, lagrangian_bound
+
+__all__ = [
+    "LPResult",
+    "LPStatus",
+    "solve_lp",
+    "Relaxation",
+    "solve_relaxation",
+    "RelaxationCache",
+    "LagrangianBound",
+    "lagrangian_bound",
+]

@@ -1,0 +1,82 @@
+"""Caching layer for lower-level relaxations.
+
+During one CARBON generation the same induced lower-level instance is
+re-solved by many candidate heuristics (every GP tree is scored against a
+sample of upper-level decisions), but its LP relaxation — the expensive
+part of the %-gap — depends only on the *cost vector*.  This cache keys
+relaxations by a quantized view of the costs so each induced instance pays
+for exactly one LP solve.
+
+Quantization (default 1e-9 relative) makes float cost vectors hashable
+without false sharing between genuinely different pricings; the paper's
+prices live in [0, ~10^3], far above the quantum.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.covering.instance import CoveringInstance
+from repro.lp.relaxation import Relaxation, solve_relaxation
+
+__all__ = ["RelaxationCache"]
+
+
+class RelaxationCache:
+    """LRU cache of :class:`Relaxation` results keyed by cost vector.
+
+    Parameters
+    ----------
+    backend:
+        LP backend forwarded to :func:`solve_relaxation`.
+    maxsize:
+        Maximum retained entries (LRU eviction); population-scale runs need
+        at most a few thousand live entries.
+    quantum:
+        Cost quantization step used to build hash keys.
+    """
+
+    def __init__(self, backend: str = "scipy", maxsize: int = 4096, quantum: float = 1e-9) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.backend = backend
+        self.maxsize = maxsize
+        self.quantum = quantum
+        self._store: OrderedDict[bytes, Relaxation] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def _key(self, costs: np.ndarray) -> bytes:
+        quantized = np.round(np.asarray(costs, dtype=np.float64) / self.quantum)
+        return quantized.tobytes()
+
+    def get(self, instance: CoveringInstance) -> Relaxation:
+        """Return the relaxation of ``instance``, solving at most once per
+        distinct cost vector."""
+        key = self._key(instance.costs)
+        found = self._store.get(key)
+        if found is not None:
+            self.hits += 1
+            self._store.move_to_end(key)
+            return found
+        self.misses += 1
+        relax = solve_relaxation(instance, backend=self.backend)
+        self._store[key] = relax
+        if len(self._store) > self.maxsize:
+            self._store.popitem(last=False)
+        return relax
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

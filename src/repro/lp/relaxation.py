@@ -1,0 +1,126 @@
+"""LP relaxation of the lower-level covering problem.
+
+For an instance ``min c^T x s.t. Q x >= b, x in {0,1}^n`` the relaxation
+replaces ``x in {0,1}`` by ``0 <= x <= 1``.  Its optimum is the paper's
+``LB(x)`` (denominator of the %-gap, Eq. 1); its covering duals are the GP
+terminal ``d_k`` and its solution the terminal ``x̄_j`` (Table I).
+
+Backends:
+
+* ``"scipy"`` — HiGHS through :func:`scipy.optimize.linprog` (fast default),
+* ``"simplex"`` — this repository's own solver (:mod:`repro.lp.simplex`),
+  used as a cross-validation reference and as a fallback where scipy's
+  behaviour differs.
+
+Both return identical results up to solver tolerance; tests assert this on
+randomized instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.covering.instance import CoveringInstance
+from repro.lp.simplex import LPStatus, solve_lp
+
+__all__ = ["Relaxation", "solve_relaxation"]
+
+
+@dataclass(frozen=True)
+class Relaxation:
+    """LP-relaxation data for one covering instance.
+
+    Attributes
+    ----------
+    lower_bound:
+        Optimal relaxation value ``LB``.
+    duals:
+        ``(n_services,)`` covering-constraint duals ``d_k >= 0``.
+    xbar:
+        ``(n_bundles,)`` relaxed solution ``x̄_j in [0, 1]``.
+    feasible:
+        False iff even the relaxation is infeasible (uncoverable instance).
+    """
+
+    lower_bound: float
+    duals: np.ndarray
+    xbar: np.ndarray
+    feasible: bool
+
+    def percent_gap(self, value: float, eps: float = 1e-9) -> float:
+        """The paper's Eq. 1: ``100 * (value - LB) / LB``.
+
+        ``LB`` can legitimately be ~0 when the leader prices its bundles at
+        zero and they alone cover the demand; the ``eps`` guard keeps the
+        measure finite (documented design choice, DESIGN.md §5).
+        """
+        lb = max(self.lower_bound, eps)
+        return 100.0 * (value - self.lower_bound) / lb
+
+
+def _solve_scipy(instance: CoveringInstance) -> Relaxation | None:
+    try:
+        from scipy.optimize import linprog
+    except ImportError:  # pragma: no cover - scipy is a hard dependency
+        return None
+    res = linprog(
+        c=instance.costs,
+        A_ub=-instance.q,
+        b_ub=-instance.demand,
+        bounds=(0.0, 1.0),
+        method="highs",
+    )
+    if res.status == 2:  # infeasible
+        n = instance.n_bundles
+        return Relaxation(np.inf, np.zeros(instance.n_services), np.zeros(n), False)
+    if not res.success:  # pragma: no cover - numerical trouble
+        return None
+    # HiGHS marginals for A_ub x <= b_ub are <= 0; the covering dual of
+    # Q x >= b (written as -Q x <= -b) is -marginal >= 0.
+    duals = np.maximum(-np.asarray(res.ineqlin.marginals, dtype=np.float64), 0.0)
+    xbar = np.clip(np.asarray(res.x, dtype=np.float64), 0.0, 1.0)
+    return Relaxation(float(res.fun), duals, xbar, True)
+
+
+def _solve_own(instance: CoveringInstance) -> Relaxation:
+    res = solve_lp(
+        c=instance.costs,
+        A_ub=-instance.q,
+        b_ub=-instance.demand,
+        ub=np.ones(instance.n_bundles),
+    )
+    if res.status is LPStatus.INFEASIBLE:
+        return Relaxation(
+            np.inf, np.zeros(instance.n_services),
+            np.zeros(instance.n_bundles), False,
+        )
+    if not res.ok:
+        raise RuntimeError(f"simplex failed on relaxation: {res.status}")
+    duals = np.maximum(res.duals_ub, 0.0)
+    xbar = np.clip(res.x, 0.0, 1.0)
+    return Relaxation(float(res.fun), duals, xbar, True)
+
+
+def solve_relaxation(instance: CoveringInstance, backend: str = "scipy") -> Relaxation:
+    """Solve the LP relaxation of ``instance``.
+
+    Parameters
+    ----------
+    instance:
+        The covering instance.
+    backend:
+        ``"scipy"`` (HiGHS, default), ``"simplex"`` (this repo's solver), or
+        ``"auto"`` (scipy with simplex fallback).
+    """
+    if backend == "simplex":
+        return _solve_own(instance)
+    if backend in ("scipy", "auto"):
+        result = _solve_scipy(instance)
+        if result is not None:
+            return result
+        if backend == "auto":
+            return _solve_own(instance)
+        raise RuntimeError("scipy backend unavailable or failed")
+    raise ValueError(f"unknown LP backend {backend!r}")

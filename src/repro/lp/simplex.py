@@ -1,0 +1,324 @@
+"""Dense two-phase primal simplex, written from scratch.
+
+Solves
+
+    min  c^T x
+    s.t. A_ub x <= b_ub
+         A_eq x  = b_eq
+         0 <= x <= ub        (ub may contain +inf)
+
+The implementation is a textbook tableau method with a few production
+touches:
+
+* finite upper bounds are handled as explicit ``x_i <= ub_i`` rows (simple
+  and adequate for the covering relaxations this repo solves, where
+  ``n <= ~500``),
+* rows are normalized to ``b >= 0`` before slack/artificial assignment,
+* Dantzig pricing with an automatic switch to Bland's rule after a pivot
+  budget, which guarantees termination under degeneracy,
+* duals are recovered at the end by solving ``B^T y = c_B`` against the
+  recorded basis — no tableau sign gymnastics.
+
+This module exists both as the validated fallback backend for
+:mod:`repro.lp.relaxation` and as the substrate the paper's authors got
+from an external LP library.  Tests cross-check it against scipy/HiGHS.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LPStatus", "LPResult", "solve_lp"]
+
+_EPS = 1e-9
+
+
+class LPStatus(enum.Enum):
+    """Outcome of a simplex solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ITERATION_LIMIT = "iteration_limit"
+
+
+@dataclass
+class LPResult:
+    """Solution of an LP in the :func:`solve_lp` canonical form.
+
+    ``duals_ub`` / ``duals_eq`` follow the Lagrangian convention for a
+    minimization problem: ``L = c^T x + y_ub^T (A_ub x - b_ub) + y_eq^T
+    (A_eq x - b_eq)`` with ``y_ub >= 0``; for a covering row written as
+    ``-q^T x <= -b`` the covering dual ``d_k >= 0`` is ``y_ub`` itself.
+    """
+
+    status: LPStatus
+    x: np.ndarray | None
+    fun: float | None
+    duals_ub: np.ndarray | None
+    duals_eq: np.ndarray | None
+    iterations: int
+
+    @property
+    def ok(self) -> bool:
+        return self.status is LPStatus.OPTIMAL
+
+
+def _pivot(tableau: np.ndarray, row: int, col: int) -> None:
+    """In-place Gauss-Jordan pivot on ``tableau[row, col]``."""
+    pivot_val = tableau[row, col]
+    tableau[row] /= pivot_val
+    # Eliminate the pivot column from every other row in one vectorized
+    # rank-1 update (the simplex hot loop).
+    col_vals = tableau[:, col].copy()
+    col_vals[row] = 0.0
+    tableau -= np.outer(col_vals, tableau[row])
+    tableau[:, col] = 0.0
+    tableau[row, col] = 1.0
+
+
+def _choose_column(obj_row: np.ndarray, allowed: np.ndarray, bland: bool) -> int | None:
+    """Entering column: most negative reduced cost, or Bland's smallest index."""
+    candidates = np.flatnonzero(allowed & (obj_row < -_EPS))
+    if candidates.size == 0:
+        return None
+    if bland:
+        return int(candidates[0])
+    return int(candidates[np.argmin(obj_row[candidates])])
+
+
+def _choose_row(tableau: np.ndarray, col: int, m: int, bland: bool, basis: np.ndarray) -> int | None:
+    """Leaving row by minimum ratio test (ties -> lowest basis index)."""
+    column = tableau[:m, col]
+    rhs = tableau[:m, -1]
+    positive = column > _EPS
+    if not positive.any():
+        return None
+    ratios = np.full(m, np.inf)
+    ratios[positive] = rhs[positive] / column[positive]
+    best = ratios.min()
+    ties = np.flatnonzero(np.abs(ratios - best) <= _EPS * (1.0 + abs(best)))
+    if bland or ties.size > 1:
+        # Bland-compatible tie-break: leave the variable with smallest index.
+        return int(ties[np.argmin(basis[ties])])
+    return int(ties[0])
+
+
+def _run_simplex(
+    tableau: np.ndarray,
+    basis: np.ndarray,
+    m: int,
+    maxiter: int,
+    forbidden: np.ndarray,
+) -> tuple[LPStatus, int]:
+    """Iterate pivots until optimality/unboundedness; return status + count."""
+    n_total = tableau.shape[1] - 1
+    allowed = ~forbidden[:n_total]
+    bland_after = max(200, 20 * (m + n_total))
+    iterations = 0
+    while iterations < maxiter:
+        bland = iterations >= bland_after
+        col = _choose_column(tableau[m, :n_total], allowed, bland)
+        if col is None:
+            return LPStatus.OPTIMAL, iterations
+        row = _choose_row(tableau, col, m, bland, basis)
+        if row is None:
+            return LPStatus.UNBOUNDED, iterations
+        _pivot(tableau, row, col)
+        basis[row] = col
+        iterations += 1
+    return LPStatus.ITERATION_LIMIT, iterations
+
+
+def solve_lp(
+    c: np.ndarray,
+    A_ub: np.ndarray | None = None,
+    b_ub: np.ndarray | None = None,
+    A_eq: np.ndarray | None = None,
+    b_eq: np.ndarray | None = None,
+    ub: np.ndarray | None = None,
+    maxiter: int = 100_000,
+) -> LPResult:
+    """Solve ``min c^T x  s.t.  A_ub x <= b_ub, A_eq x = b_eq, 0 <= x <= ub``.
+
+    Parameters
+    ----------
+    c, A_ub, b_ub, A_eq, b_eq:
+        Problem data; either constraint block may be omitted.
+    ub:
+        Optional per-variable upper bounds (``np.inf`` entries allowed);
+        finite bounds become explicit rows.
+    maxiter:
+        Pivot budget across both phases.
+    """
+    c = np.asarray(c, dtype=np.float64).ravel()
+    n = c.size
+    rows: list[np.ndarray] = []
+    rhs: list[float] = []
+    senses: list[int] = []  # +1 for <=, 0 for ==
+
+    def _add_block(A: np.ndarray | None, b: np.ndarray | None, sense: int, label: str) -> int:
+        if A is None and b is None:
+            return 0
+        if A is None or b is None:
+            raise ValueError(f"{label}: matrix and rhs must be given together")
+        A = np.atleast_2d(np.asarray(A, dtype=np.float64))
+        b = np.asarray(b, dtype=np.float64).ravel()
+        if A.shape != (b.size, n):
+            raise ValueError(f"{label}: shape {A.shape} incompatible with n={n}, m={b.size}")
+        for i in range(b.size):
+            rows.append(A[i])
+            rhs.append(float(b[i]))
+            senses.append(sense)
+        return b.size
+
+    n_ub = _add_block(A_ub, b_ub, +1, "A_ub")
+    n_eq = _add_block(A_eq, b_eq, 0, "A_eq")
+
+    n_bound_rows = 0
+    if ub is not None:
+        ub = np.asarray(ub, dtype=np.float64).ravel()
+        if ub.size != n:
+            raise ValueError(f"ub size {ub.size} != n={n}")
+        if np.any(ub < -_EPS):
+            raise ValueError("upper bounds must be non-negative")
+        for i in np.flatnonzero(np.isfinite(ub)):
+            row = np.zeros(n)
+            row[i] = 1.0
+            rows.append(row)
+            rhs.append(float(ub[i]))
+            senses.append(+1)
+            n_bound_rows += 1
+
+    m = len(rows)
+    if m == 0:
+        # Unconstrained over x >= 0: optimum is 0 unless some c_i < 0.
+        if np.any(c < -_EPS):
+            return LPResult(LPStatus.UNBOUNDED, None, None, None, None, 0)
+        return LPResult(
+            LPStatus.OPTIMAL, np.zeros(n), 0.0,
+            np.zeros(0), np.zeros(0), 0,
+        )
+
+    A = np.array(rows, dtype=np.float64)
+    b = np.array(rhs, dtype=np.float64)
+    sense = np.array(senses, dtype=np.int64)
+
+    # Normalize to b >= 0 (flips <= rows into >= territory, tracked by sign).
+    flip = b < 0
+    A[flip] *= -1.0
+    b[flip] *= -1.0
+    row_sign = np.where(flip, -1.0, 1.0)
+
+    # Structural columns: x (n) | slack/surplus (one per inequality row).
+    ineq_rows = np.flatnonzero(sense == 1)
+    n_slack = ineq_rows.size
+    slack_col_of_row = {int(r): n + k for k, r in enumerate(ineq_rows)}
+
+    # Rows needing artificials: equalities, plus flipped inequalities whose
+    # slack now has coefficient -1 (surplus).
+    needs_artificial = [
+        i for i in range(m)
+        if sense[i] == 0 or (sense[i] == 1 and flip[i])
+    ]
+    n_art = len(needs_artificial)
+    n_total = n + n_slack + n_art
+
+    full = np.zeros((m + 1, n_total + 1))
+    full[:m, :n] = A
+    for k, r in enumerate(ineq_rows):
+        # slack coefficient: +1 for an un-flipped <=, -1 (surplus) if flipped
+        full[r, n + k] = 1.0 if not flip[r] else -1.0
+    art_col_of_row: dict[int, int] = {}
+    for k, r in enumerate(needs_artificial):
+        col = n + n_slack + k
+        full[r, col] = 1.0
+        art_col_of_row[r] = col
+    full[:m, -1] = b
+
+    basis = np.empty(m, dtype=np.int64)
+    for i in range(m):
+        if i in art_col_of_row:
+            basis[i] = art_col_of_row[i]
+        else:
+            basis[i] = slack_col_of_row[i]
+
+    total_iters = 0
+    forbidden = np.zeros(n_total + 1, dtype=bool)
+
+    if n_art > 0:
+        # Phase 1: minimize sum of artificials.
+        phase1_cost = np.zeros(n_total + 1)
+        phase1_cost[n + n_slack: n + n_slack + n_art] = 1.0
+        full[m, :] = phase1_cost
+        # Price out the basic artificials.
+        for i in range(m):
+            if basis[i] >= n + n_slack:
+                full[m] -= full[i]
+        status, iters = _run_simplex(full, basis, m, maxiter, forbidden)
+        total_iters += iters
+        if status is LPStatus.ITERATION_LIMIT:
+            return LPResult(status, None, None, None, None, total_iters)
+        if full[m, -1] < -1e-7:
+            return LPResult(LPStatus.INFEASIBLE, None, None, None, None, total_iters)
+        # Drive any artificial still in the basis out (degenerate rows).
+        for i in range(m):
+            if basis[i] >= n + n_slack:
+                pivot_cols = np.flatnonzero(
+                    np.abs(full[i, : n + n_slack]) > _EPS
+                )
+                if pivot_cols.size:
+                    _pivot(full, i, int(pivot_cols[0]))
+                    basis[i] = int(pivot_cols[0])
+                # else: the row is 0 = 0; the artificial stays but is
+                # blocked from re-entering below.
+        forbidden[n + n_slack: n + n_slack + n_art] = True
+
+    # Phase 2: the real objective.
+    phase2_cost = np.zeros(n_total + 1)
+    phase2_cost[:n] = c
+    full[m, :] = phase2_cost
+    for i in range(m):
+        if phase2_cost[basis[i]] != 0.0:
+            full[m] -= phase2_cost[basis[i]] * full[i]
+    status, iters = _run_simplex(full, basis, m, maxiter - total_iters, forbidden)
+    total_iters += iters
+    if status is not LPStatus.OPTIMAL:
+        return LPResult(status, None, None, None, None, total_iters)
+
+    x_full = np.zeros(n_total)
+    x_full[basis] = full[:m, -1]
+    x = x_full[:n]
+    fun = float(c @ x)
+
+    # Duals: solve B^T y = c_B against the *normalized* standard form, then
+    # undo the row flips. y_i is the multiplier of normalized row i.
+    B = np.zeros((m, m))
+    structural = np.zeros((m, n_total))
+    structural[:, :n] = A
+    for k, r in enumerate(ineq_rows):
+        structural[r, n + k] = 1.0 if not flip[r] else -1.0
+    for k, r in enumerate(needs_artificial):
+        structural[r, n + n_slack + k] = 1.0
+    for i in range(m):
+        B[:, i] = structural[:, basis[i]]
+    c_full = np.zeros(n_total)
+    c_full[:n] = c
+    c_B = c_full[basis]
+    try:
+        y = np.linalg.solve(B.T, c_B)
+    except np.linalg.LinAlgError:  # pragma: no cover - singular basis is pathological
+        y = np.linalg.lstsq(B.T, c_B, rcond=None)[0]
+    y = y * row_sign  # multiplier for the original (pre-flip) row
+
+    # Multiplier for original "A x <= b" rows in min-Lagrangian convention is
+    # -y (our equality form is A x + s = b with s >= 0 ⇒ y <= 0 at optimum).
+    duals_ub = -y[:n_ub] if n_ub else np.zeros(0)
+    duals_eq = y[n_ub: n_ub + n_eq].copy() if n_eq else np.zeros(0)
+    # Clip tiny negative noise on inequality duals.
+    duals_ub[np.abs(duals_ub) < _EPS] = 0.0
+
+    return LPResult(LPStatus.OPTIMAL, x, fun, duals_ub, duals_eq, total_iters)

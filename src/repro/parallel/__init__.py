@@ -1,0 +1,36 @@
+"""Deterministic parallel-evaluation substrate.
+
+The paper ran its experiments on the University of Luxembourg HPC cluster
+(30 independent runs per algorithm/instance class).  This package provides
+the two pieces needed to reproduce that style of execution on any machine:
+
+* :mod:`repro.parallel.rng` — reproducible, collision-free random streams
+  built on :class:`numpy.random.SeedSequence` spawning (the mpi4py idiom of
+  rank-indexed seeding, without requiring MPI), and
+* :mod:`repro.parallel.executor` — a small executor abstraction with a
+  serial backend and a ``multiprocessing`` pool backend for embarrassingly
+  parallel population evaluation and independent-run fan-out.
+"""
+
+from repro.parallel.rng import RngFactory, spawn_generators, stream_for
+from repro.parallel.executor import (
+    Executor,
+    SerialExecutor,
+    ProcessExecutor,
+    make_executor,
+    parallel_map,
+)
+from repro.parallel.islands import IslandCarbon, run_island_carbon
+
+__all__ = [
+    "IslandCarbon",
+    "run_island_carbon",
+    "RngFactory",
+    "spawn_generators",
+    "stream_for",
+    "Executor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "make_executor",
+    "parallel_map",
+]

@@ -1,0 +1,118 @@
+"""Executor abstraction for embarrassingly parallel evaluation.
+
+Population fitness evaluation and independent algorithm runs are both
+embarrassingly parallel.  The algorithms in :mod:`repro.core` take an
+:class:`Executor` so the same code runs serially (deterministic debugging,
+laptop-scale tests) or fanned out over a process pool (the paper's
+HPC-cluster setting).
+
+Design notes
+------------
+* Tasks must be picklable top-level callables when using
+  :class:`ProcessExecutor`; the algorithms therefore ship *(seed, config,
+  instance)* descriptors rather than live objects with RNG state.
+* Chunking matters: for many small tasks the default one-task-per-dispatch
+  behaviour of ``multiprocessing.Pool`` is dominated by IPC, so
+  :func:`parallel_map` computes a chunk size amortizing dispatch overhead —
+  the same consideration as MPI message aggregation.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Callable, Iterable, Sequence
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "make_executor",
+    "parallel_map",
+]
+
+
+class Executor:
+    """Interface: map a callable over items, preserving order."""
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any held resources (no-op for serial)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """Run tasks in the calling process, in order."""
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
+        return [fn(item) for item in items]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "SerialExecutor()"
+
+
+class ProcessExecutor(Executor):
+    """Fan tasks out over a ``multiprocessing`` pool.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes; defaults to ``os.cpu_count()``.
+    chunk_size:
+        Tasks per dispatch; ``None`` picks ``ceil(len(items)/(4*workers))``
+        which keeps all workers busy while amortizing IPC.
+    """
+
+    def __init__(self, workers: int | None = None, chunk_size: int | None = None) -> None:
+        self.workers = (os.cpu_count() or 1) if workers is None else workers
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        self.chunk_size = chunk_size
+        self._pool: multiprocessing.pool.Pool | None = None
+
+    def _ensure_pool(self) -> multiprocessing.pool.Pool:
+        if self._pool is None:
+            self._pool = multiprocessing.get_context("spawn").Pool(self.workers)
+        return self._pool
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
+        items = list(items)
+        if not items:
+            return []
+        chunk = self.chunk_size or max(1, -(-len(items) // (4 * self.workers)))
+        return self._ensure_pool().map(fn, items, chunksize=chunk)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProcessExecutor(workers={self.workers})"
+
+
+def make_executor(kind: str = "serial", workers: int | None = None) -> Executor:
+    """Build an executor from a config string (``"serial"`` / ``"processes"``)."""
+    if kind == "serial":
+        return SerialExecutor()
+    if kind == "processes":
+        return ProcessExecutor(workers=workers)
+    raise ValueError(f"unknown executor kind {kind!r}; expected 'serial' or 'processes'")
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    items: Iterable[Any],
+    executor: Executor | None = None,
+) -> list[Any]:
+    """Map ``fn`` over ``items`` with ``executor`` (serial by default)."""
+    ex = executor or SerialExecutor()
+    return ex.map(fn, list(items))

@@ -1,0 +1,40 @@
+"""Tri-level extension (the paper's future work, §VI).
+
+The conclusion announces: "Future works will be devoted to multiple-level
+problems with deeper nested structure in order to analyze the limitations
+of CARBON in terms of co-evolution."  This package builds that study on a
+three-tier cloud market:
+
+* **Level 1 — provider** sets wholesale prices ``w`` for its bundles,
+* **Level 2 — reseller** sets retail markups ``r - w >= 0`` on those
+  bundles to maximize its own margin, knowing the customer reacts,
+* **Level 3 — customer** solves the familiar covering problem over retail
+  prices (leader bundles) and fixed market prices.
+
+The provider earns ``Σ w_j y_j`` — wholesale revenue on every one of its
+bundles the customer ends up buying — so its payoff depends on *two*
+nested rational reactions.
+
+Modules
+-------
+* :mod:`repro.trilevel.instance` — the tri-level market model and the
+  reduction of level 2+3 (for fixed ``w``) to an ordinary BCPOP,
+* :mod:`repro.trilevel.evaluate` — the nested reaction pipeline:
+  reseller optimization (GA over markups) on top of customer solves
+  (greedy heuristic), with tri-level budget accounting,
+* :mod:`repro.trilevel.carbon3` — CARBON with one extra nesting level,
+  plus the fully-nested baseline; the benches quantify exactly the cost
+  the paper anticipated: every extra level multiplies the evaluation bill.
+"""
+
+from repro.trilevel.instance import TriLevelInstance
+from repro.trilevel.evaluate import ResellerReaction, TriLevelEvaluator
+from repro.trilevel.carbon3 import TriLevelCarbon, run_trilevel_carbon
+
+__all__ = [
+    "TriLevelInstance",
+    "ResellerReaction",
+    "TriLevelEvaluator",
+    "TriLevelCarbon",
+    "run_trilevel_carbon",
+]

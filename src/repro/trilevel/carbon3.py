@@ -1,0 +1,326 @@
+"""CARBON with one extra nesting level (the future-work study).
+
+``TriLevelCarbon`` keeps the paper's competitive structure — a prey
+population of provider wholesale vectors and a predator population of GP
+scoring heuristics — but every prey evaluation now runs the *nested*
+reseller reaction of :class:`repro.trilevel.evaluate.TriLevelEvaluator`.
+The heuristic population is still graded on plain covering instances
+(induced by sampled retail vectors), because a greedy heuristic is
+level-agnostic: it solves the customer problem no matter how many pricing
+tiers sit above it.  That is the part of CARBON that survives deeper
+nesting unchanged.
+
+What does *not* survive is the evaluation bill: each level-1 evaluation
+costs ``reseller_population x (reseller_generations + 1)`` level-3
+solves, so for the same level-3 budget the provider sees its effective
+upper-level budget divided by that multiplier.  ``RunResult.extras``
+reports the observed multiplier; ``benchmarks/bench_trilevel.py`` sweeps
+it — the quantitative answer to the paper's closing question about
+CARBON's co-evolution limits.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.archive import Archive
+from repro.core.config import CarbonConfig
+from repro.core.convergence import ConvergenceHistory
+from repro.core.results import BilevelSolution, RunResult
+from repro.covering.greedy import greedy_cover
+from repro.ga.encoding import Bounds
+from repro.ga.operators import polynomial_mutation, sbx_crossover
+from repro.ga.population import Individual, random_real_population
+from repro.ga.selection import binary_tournament
+from repro.gp.generate import ramped_half_and_half
+from repro.gp.operators import one_point_crossover, reproduce, uniform_mutation
+from repro.gp.primitives import paper_primitive_set
+from repro.gp.selection import tournament
+from repro.lp.bounds import RelaxationCache
+from repro.trilevel.evaluate import TriLevelEvaluator
+from repro.trilevel.instance import TriLevelInstance
+
+__all__ = ["TriLevelCarbon", "run_trilevel_carbon"]
+
+
+class TriLevelCarbon:
+    """Competitive co-evolution over the tri-level market.
+
+    Parameters
+    ----------
+    instance:
+        The tri-level market model.
+    config:
+        Reuses :class:`CarbonConfig`; the UL budget counts level-1
+        evaluations and the LL budget counts level-3 solves (heuristic
+        grading *and* nested reactions both draw from it).
+    reseller_population / reseller_generations:
+        Budget of the embedded level-2 GA.
+    """
+
+    def __init__(
+        self,
+        instance: TriLevelInstance,
+        config: CarbonConfig | None = None,
+        rng: np.random.Generator | None = None,
+        reseller_population: int = 8,
+        reseller_generations: int = 3,
+        lp_backend: str = "scipy",
+    ) -> None:
+        self.instance = instance
+        self.config = config or CarbonConfig.quick()
+        self.rng = rng or np.random.default_rng()
+        self.pset = paper_primitive_set(erc_probability=self.config.gp_erc_probability)
+        self.bounds = Bounds(*instance.wholesale_bounds)
+        self.reseller_population = reseller_population
+        self.reseller_generations = reseller_generations
+        self.lp_backend = lp_backend
+
+        self._relax_cache = RelaxationCache(backend=lp_backend)
+        self.l1_used = 0
+        self.l3_used = 0
+        self.history = ConvergenceHistory()
+        self.ul_archive = Archive(self.config.upper.archive_size, minimize=False)
+        self.ll_archive = Archive(self.config.ll_archive_size, minimize=True, identity=hash)
+        self.ul_pop: list[Individual] = []
+        self.ll_pop: list[Individual] = []
+        self.champion = None
+
+    @property
+    def l1_budget_left(self) -> int:
+        return self.config.upper.fitness_evaluations - self.l1_used
+
+    @property
+    def l3_budget_left(self) -> int:
+        return self.config.ll_fitness_evaluations - self.l3_used
+
+    # -- heuristic grading (level 3, same as two-level CARBON) -------------
+
+    def _retail_sample(self, k: int) -> list[np.ndarray]:
+        """Retail vectors the heuristics are graded on: wholesale samples
+        from the prey population, marked up by random feasible margins."""
+        out = []
+        for _ in range(k):
+            if self.ul_pop:
+                w = self.ul_pop[self.rng.integers(len(self.ul_pop))].genome
+            else:
+                w = self.bounds.sample(self.rng)
+            span = np.maximum(self.instance.retail_cap - w, 0.0)
+            out.append(np.clip(w + self.rng.uniform(0.0, 1.0, w.size) * span,
+                               0.0, self.instance.retail_cap))
+        return out
+
+    def _grade_tree(self, ind: Individual, retails: list[np.ndarray]) -> bool:
+        gaps = []
+        for retail in retails:
+            if self.l3_budget_left <= 0:
+                break
+            ll = self.instance.retail_instance(retail)
+            relax = self._relax_cache.get(ll)
+            sol = greedy_cover(ll, ind.genome, duals=relax.duals, xbar=relax.xbar)
+            gaps.append(relax.percent_gap(sol.cost) if sol.feasible else np.inf)
+            self.l3_used += 1
+        if not gaps:
+            return False
+        finite = [g for g in gaps if np.isfinite(g)]
+        ind.fitness = float(np.mean(finite)) if len(finite) == len(gaps) else np.inf
+        self.ll_archive.add(ind.genome, ind.fitness)
+        return True
+
+    def _update_champion(self) -> None:
+        if len(self.ll_archive):
+            self.champion = self.ll_archive.best().item
+
+    # -- provider evaluation (level 1 via nested levels 2+3) ----------------
+
+    def _evaluate_provider(self, ind: Individual) -> bool:
+        if self.l1_budget_left <= 0 or self.l3_budget_left <= 0:
+            return False
+        assert self.champion is not None
+        evaluator = TriLevelEvaluator(
+            self.instance, self.champion,
+            reseller_population=self.reseller_population,
+            reseller_generations=self.reseller_generations,
+            lp_backend=self.lp_backend,
+        )
+        evaluator._cache = self._relax_cache  # share the LP cache across evals
+        reaction = evaluator.reseller_react(ind.genome, self.rng)
+        self.l1_used += 1
+        self.l3_used += reaction.level3_solves
+        ind.fitness = (
+            reaction.provider_revenue if np.isfinite(reaction.customer_gap) else -np.inf
+        )
+        ind.aux = {
+            "gap": reaction.customer_gap,
+            "retail": reaction.retail,
+            "selection": reaction.selection,
+            "margin": reaction.reseller_margin,
+            "customer_cost": reaction.customer_cost,
+            "level3_solves": reaction.level3_solves,
+        }
+        self.ul_archive.add(ind.genome.copy(), ind.fitness, aux=dict(ind.aux))
+        return True
+
+    # -- generations ---------------------------------------------------------
+
+    def _gp_generation(self) -> None:
+        cfg = self.config
+        fits = [i.fitness for i in self.ll_pop]
+        offspring: list[Individual] = []
+        while len(offspring) < cfg.ll_population_size:
+            r = self.rng.random()
+            if r < cfg.ll_crossover_probability and len(self.ll_pop) >= 2:
+                a, b = tournament(self.ll_pop, fits, 2, self.rng,
+                                  k=cfg.ll_tournament_size, minimize=True)
+                c1, c2 = one_point_crossover(
+                    a.genome, b.genome, self.rng,
+                    max_depth=cfg.gp_max_depth, max_size=cfg.gp_max_size,
+                )
+                offspring.append(Individual(genome=c1))
+                if len(offspring) < cfg.ll_population_size:
+                    offspring.append(Individual(genome=c2))
+            elif r < cfg.ll_crossover_probability + cfg.ll_mutation_probability:
+                (a,) = tournament(self.ll_pop, fits, 1, self.rng,
+                                  k=cfg.ll_tournament_size, minimize=True)
+                offspring.append(Individual(genome=uniform_mutation(
+                    a.genome, self.pset, self.rng,
+                    max_depth=cfg.gp_max_depth, max_size=cfg.gp_max_size,
+                )))
+            else:
+                (a,) = tournament(self.ll_pop, fits, 1, self.rng,
+                                  k=cfg.ll_tournament_size, minimize=True)
+                offspring.append(Individual(
+                    genome=reproduce(a.genome), fitness=a.fitness, aux=dict(a.aux)
+                ))
+        retails = self._retail_sample(cfg.heuristic_eval_sample)
+        for ind in offspring:
+            if not ind.evaluated and not self._grade_tree(ind, retails):
+                ind.fitness = np.inf
+        best = self.ll_archive.best()
+        self.ll_pop = offspring[: cfg.ll_population_size - 1] + [
+            Individual(genome=best.item, fitness=best.score)
+        ]
+        self._update_champion()
+
+    def _ga_generation(self) -> None:
+        cfg = self.config.upper
+        fits = [i.fitness for i in self.ul_pop]
+        mates = binary_tournament(self.ul_pop, fits, cfg.population_size, self.rng)
+        offspring: list[Individual] = []
+        for i in range(0, len(mates) - 1, 2):
+            g1, g2 = mates[i].genome, mates[i + 1].genome
+            if self.rng.random() < cfg.crossover_probability:
+                g1, g2 = sbx_crossover(g1, g2, self.bounds, self.rng, eta=cfg.sbx_eta)
+            offspring.append(Individual(genome=g1.copy()))
+            offspring.append(Individual(genome=g2.copy()))
+        if len(mates) % 2:
+            offspring.append(Individual(genome=mates[-1].genome.copy()))
+        for ind in offspring:
+            ind.genome = polynomial_mutation(
+                ind.genome, self.bounds, self.rng,
+                eta=cfg.polynomial_eta,
+                per_gene_probability=cfg.mutation_probability,
+            )
+            if not self._evaluate_provider(ind):
+                ind.fitness = -np.inf
+        best = self.ul_archive.best()
+        self.ul_pop = offspring[: cfg.population_size - 1] + [
+            Individual(genome=best.item.copy(), fitness=best.score, aux=dict(best.aux))
+        ]
+
+    def _record(self) -> None:
+        fits = [i.fitness for i in self.ul_pop if np.isfinite(i.fitness)]
+        gaps = [i.fitness for i in self.ll_pop if np.isfinite(i.fitness)]
+        self.history.record(
+            ul_evaluations=self.l1_used,
+            ll_evaluations=self.l3_used,
+            best_fitness=max(fits) if fits else np.nan,
+            best_gap=min(gaps) if gaps else np.nan,
+            mean_gap=float(np.mean(gaps)) if gaps else np.nan,
+        )
+
+    # -- main loop -------------------------------------------------------------
+
+    def initialize(self) -> None:
+        cfg = self.config
+        self.ul_pop = random_real_population(self.bounds, cfg.upper.population_size, self.rng)
+        self.ll_pop = [
+            Individual(genome=t)
+            for t in ramped_half_and_half(
+                self.pset, cfg.ll_population_size, self.rng,
+                cfg.gp_min_init_depth, cfg.gp_max_init_depth,
+            )
+        ]
+        retails = self._retail_sample(cfg.heuristic_eval_sample)
+        for ind in self.ll_pop:
+            if not self._grade_tree(ind, retails):
+                ind.fitness = np.inf
+        self._update_champion()
+        if self.champion is None:
+            raise RuntimeError("level-3 budget too small to grade one heuristic")
+        for ind in self.ul_pop:
+            if not self._evaluate_provider(ind):
+                ind.fitness = -np.inf
+        self._record()
+
+    def step(self) -> bool:
+        if self.l1_budget_left <= 0 or self.l3_budget_left <= 0:
+            return False
+        self._gp_generation()
+        if self.l3_budget_left > 0:
+            self._ga_generation()
+        self._record()
+        return True
+
+    def run(self, seed_label: int = 0) -> RunResult:
+        start = time.perf_counter()
+        self.initialize()
+        while self.step():
+            pass
+        best = self.ul_archive.best()
+        solution = BilevelSolution(
+            prices=best.item,
+            selection=best.aux.get("selection", np.zeros(self.instance.n_bundles, bool)),
+            upper_objective=best.score,
+            lower_objective=best.aux.get("customer_cost", np.nan),
+            gap=best.aux.get("gap", np.nan),
+            lower_bound=np.nan,
+        )
+        multiplier = (self.l3_used / self.l1_used) if self.l1_used else 0.0
+        return RunResult(
+            algorithm="CARBON3",
+            instance_name=self.instance.name,
+            seed=seed_label,
+            best_gap=self.ll_archive.best_score(),
+            best_upper=best.score,
+            best_solution=solution,
+            history=self.history,
+            ul_evaluations_used=self.l1_used,
+            ll_evaluations_used=self.l3_used,
+            wall_time=time.perf_counter() - start,
+            extras={
+                "champion": self.champion.to_infix() if self.champion else "",
+                "nesting_multiplier": multiplier,
+                "reseller_margin": best.aux.get("margin", np.nan),
+                "retail": best.aux.get("retail"),
+            },
+        )
+
+
+def run_trilevel_carbon(
+    instance: TriLevelInstance,
+    config: CarbonConfig | None = None,
+    seed: int = 0,
+    reseller_population: int = 8,
+    reseller_generations: int = 3,
+    lp_backend: str = "scipy",
+) -> RunResult:
+    """Convenience wrapper: one seeded tri-level CARBON run."""
+    return TriLevelCarbon(
+        instance, config=config, rng=np.random.default_rng(seed),
+        reseller_population=reseller_population,
+        reseller_generations=reseller_generations,
+        lp_backend=lp_backend,
+    ).run(seed_label=seed)

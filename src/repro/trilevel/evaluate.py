@@ -1,0 +1,171 @@
+"""Nested reaction pipeline for the tri-level market.
+
+Evaluating one provider decision ``w`` requires *solving a bi-level
+problem*: the reseller optimizes its markups knowing the customer's
+covering reaction.  This module implements that middle optimization as a
+compact real-coded GA over markup vectors, each candidate scored by one
+customer solve (greedy heuristic + cached LP gap) — and keeps explicit
+books on how many level-3 solves a single level-1 evaluation consumes,
+which is precisely the blow-up the paper's future-work sentence is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.covering.greedy import ScoreFunction, greedy_cover
+from repro.lp.bounds import RelaxationCache
+from repro.trilevel.instance import TriLevelInstance
+
+__all__ = ["ResellerReaction", "TriLevelEvaluator"]
+
+
+@dataclass(frozen=True)
+class ResellerReaction:
+    """The (approximate) rational reaction of levels 2+3 to one ``w``.
+
+    Attributes
+    ----------
+    retail:
+        Reseller's optimized retail prices (``>= w``).
+    selection:
+        Customer basket under those retail prices.
+    provider_revenue:
+        Level-1 payoff ``Σ w_j y_j``.
+    reseller_margin:
+        Level-2 payoff ``Σ (r_j - w_j) y_j``.
+    customer_cost / customer_gap:
+        Level-3 objective and its %-gap to the LP bound (the paper's
+        feasibility measure, now one level deeper).
+    level3_solves:
+        Customer solves consumed by this one level-1 evaluation.
+    """
+
+    retail: np.ndarray
+    selection: np.ndarray
+    provider_revenue: float
+    reseller_margin: float
+    customer_cost: float
+    customer_gap: float
+    level3_solves: int
+
+
+class TriLevelEvaluator:
+    """Evaluate provider decisions through the nested reaction chain.
+
+    Parameters
+    ----------
+    instance:
+        The tri-level market.
+    score_fn:
+        Customer-side greedy scoring heuristic (a GP champion or a
+        classical rule).
+    reseller_population / reseller_generations:
+        Budget of the embedded markup GA; its product (plus the initial
+        population) is the number of level-3 solves per level-1
+        evaluation — the nesting multiplier.
+    """
+
+    def __init__(
+        self,
+        instance: TriLevelInstance,
+        score_fn: ScoreFunction,
+        reseller_population: int = 12,
+        reseller_generations: int = 6,
+        lp_backend: str = "scipy",
+        gap_eps: float = 1e-9,
+    ) -> None:
+        if reseller_population < 2:
+            raise ValueError("reseller_population must be >= 2")
+        if reseller_generations < 0:
+            raise ValueError("reseller_generations must be >= 0")
+        self.instance = instance
+        self.score_fn = score_fn
+        self.reseller_population = reseller_population
+        self.reseller_generations = reseller_generations
+        self.gap_eps = gap_eps
+        self._cache = RelaxationCache(backend=lp_backend)
+        self.level1_evaluations = 0
+        self.level3_evaluations = 0
+
+    # -- level 3 ---------------------------------------------------------
+
+    def _customer_solve(self, retail: np.ndarray):
+        """One covering solve + gap under concrete retail prices."""
+        ll = self.instance.retail_instance(retail)
+        relax = self._cache.get(ll)
+        sol = greedy_cover(ll, self.score_fn, duals=relax.duals, xbar=relax.xbar)
+        gap = relax.percent_gap(sol.cost, eps=self.gap_eps) if sol.feasible else np.inf
+        self.level3_evaluations += 1
+        return sol, gap
+
+    # -- level 2 ---------------------------------------------------------
+
+    def reseller_react(
+        self, w: np.ndarray, rng: np.random.Generator
+    ) -> ResellerReaction:
+        """Approximate the reseller's rational reaction to ``w``.
+
+        A small GA over markup vectors ``m in [0, retail_cap - w]``; the
+        reseller maximizes its margin under the customer's reaction.
+        """
+        from repro.ga.encoding import Bounds
+        from repro.ga.operators import polynomial_mutation, sbx_crossover
+        from repro.ga.selection import binary_tournament
+
+        w = self.instance.validate_wholesale(w)
+        span = np.maximum(self.instance.retail_cap - w, 0.0)
+        bounds = Bounds(np.zeros(w.size), span)
+        solves_before = self.level3_evaluations
+
+        def assess(markup: np.ndarray):
+            retail = w + np.clip(markup, 0.0, span)
+            sol, gap = self._customer_solve(retail)
+            margin = self.instance.reseller_margin(w, retail, sol.selected)
+            return margin, retail, sol, gap
+
+        genomes = [bounds.sample(rng) for _ in range(self.reseller_population)]
+        scored = [assess(g) for g in genomes]
+        best_idx = int(np.argmax([s[0] for s in scored]))
+        best_margin, best_retail, best_sol, best_gap = scored[best_idx]
+
+        for _ in range(self.reseller_generations):
+            fits = [s[0] for s in scored]
+            mates = binary_tournament(genomes, fits, len(genomes), rng)
+            children: list[np.ndarray] = []
+            for i in range(0, len(mates) - 1, 2):
+                a, b = mates[i], mates[i + 1]
+                if rng.random() < 0.85:
+                    a, b = sbx_crossover(a, b, bounds, rng)
+                children.extend([a.copy(), b.copy()])
+            if len(mates) % 2:
+                children.append(mates[-1].copy())
+            children = [
+                polynomial_mutation(c, bounds, rng, per_gene_probability=0.1)
+                for c in children[: self.reseller_population]
+            ]
+            genomes = children
+            scored = [assess(g) for g in genomes]
+            gen_best = int(np.argmax([s[0] for s in scored]))
+            if scored[gen_best][0] > best_margin:
+                best_margin, best_retail, best_sol, best_gap = scored[gen_best]
+
+        self.level1_evaluations += 1
+        return ResellerReaction(
+            retail=best_retail,
+            selection=best_sol.selected,
+            provider_revenue=self.instance.provider_revenue(w, best_sol.selected),
+            reseller_margin=best_margin,
+            customer_cost=best_sol.cost,
+            customer_gap=best_gap,
+            level3_solves=self.level3_evaluations - solves_before,
+        )
+
+    @property
+    def nesting_multiplier(self) -> float:
+        """Observed level-3 solves per level-1 evaluation."""
+        if self.level1_evaluations == 0:
+            return 0.0
+        return self.level3_evaluations / self.level1_evaluations

@@ -1,0 +1,153 @@
+"""Tri-level cloud market model.
+
+For a fixed wholesale vector ``w`` the (reseller, customer) tail of the
+problem *is* a BCPOP: the reseller plays the leader of a pricing game
+whose decision is the retail vector ``r >= w`` and whose payoff is the
+margin ``Σ (r_j - w_j) y_j``.  :meth:`TriLevelInstance.reseller_subgame`
+performs that reduction, which lets every level reuse the covering /
+evaluation machinery built for the paper's two-level problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bcpop.instance import BcpopInstance
+from repro.covering.instance import CoveringInstance
+
+__all__ = ["TriLevelInstance"]
+
+
+@dataclass(frozen=True)
+class TriLevelInstance:
+    """Three-tier pricing market over a covering customer.
+
+    Parameters
+    ----------
+    q, demand:
+        The covering structure (as in BCPOP).
+    market_prices:
+        Fixed prices of the competitor bundles.
+    n_own:
+        Number of provider-owned bundles (always the first columns).
+    retail_cap:
+        Upper bound on retail prices (the customer-facing box).
+    wholesale_cap:
+        Upper bound on wholesale prices; must not exceed ``retail_cap``
+        (the reseller never sells below cost, so ``w <= r <= retail_cap``).
+    """
+
+    q: np.ndarray
+    demand: np.ndarray
+    market_prices: np.ndarray
+    n_own: int
+    retail_cap: float
+    wholesale_cap: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        # Reuse BCPOP validation by building the retail-level view once.
+        base = BcpopInstance(
+            q=self.q, demand=self.demand, market_prices=self.market_prices,
+            n_own=self.n_own, price_cap=self.retail_cap, name=self.name,
+        )
+        object.__setattr__(self, "q", base.q)
+        object.__setattr__(self, "demand", base.demand)
+        object.__setattr__(self, "market_prices", base.market_prices)
+        if not (0.0 < self.wholesale_cap <= self.retail_cap):
+            raise ValueError(
+                f"wholesale_cap {self.wholesale_cap} must be in (0, retail_cap="
+                f"{self.retail_cap}]"
+            )
+
+    @classmethod
+    def from_bcpop(
+        cls, instance: BcpopInstance, wholesale_fraction: float = 0.6
+    ) -> "TriLevelInstance":
+        """Lift a two-level instance: the BCPOP price cap becomes the
+        retail cap and ``wholesale_fraction`` of it the wholesale cap."""
+        if not (0.0 < wholesale_fraction <= 1.0):
+            raise ValueError(f"wholesale_fraction out of (0, 1]: {wholesale_fraction}")
+        return cls(
+            q=instance.q,
+            demand=instance.demand,
+            market_prices=instance.market_prices,
+            n_own=instance.n_own,
+            retail_cap=instance.price_cap,
+            wholesale_cap=wholesale_fraction * instance.price_cap,
+            name=(instance.name + "-tri") if instance.name else "trilevel",
+        )
+
+    @property
+    def n_bundles(self) -> int:
+        return self.q.shape[1]
+
+    @property
+    def n_services(self) -> int:
+        return self.q.shape[0]
+
+    @property
+    def wholesale_bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """Box for the provider's decision vector."""
+        return np.zeros(self.n_own), np.full(self.n_own, self.wholesale_cap)
+
+    def validate_wholesale(self, w: np.ndarray) -> np.ndarray:
+        w = np.asarray(w, dtype=np.float64).ravel()
+        if w.shape != (self.n_own,):
+            raise ValueError(f"wholesale shape {w.shape} != ({self.n_own},)")
+        if np.any(w < -1e-9):
+            raise ValueError("wholesale prices must be non-negative")
+        return np.clip(w, 0.0, self.wholesale_cap)
+
+    def reseller_subgame(self, w: np.ndarray) -> BcpopInstance:
+        """The (reseller, customer) bi-level problem for fixed ``w``.
+
+        The reseller's *retail* decision lives in ``[w_j, retail_cap]``;
+        we re-parametrize by markup ``m = r - w in [0, retail_cap - w]``
+        so the returned BCPOP keeps its zero lower bound.  The returned
+        instance's "revenue" is the retail revenue ``Σ r_j y_j``; the
+        reseller margin and the provider's wholesale revenue are derived
+        from the same basket (see :mod:`repro.trilevel.evaluate`).
+        """
+        w = self.validate_wholesale(w)
+        # A BCPOP cannot carry per-gene caps, so the subgame is expressed
+        # in markup space with the uniform cap retail_cap (markups are
+        # clipped to retail_cap - w_j by the evaluator before use).
+        return BcpopInstance(
+            q=self.q,
+            demand=self.demand,
+            market_prices=self.market_prices,
+            n_own=self.n_own,
+            price_cap=self.retail_cap,
+            name=f"{self.name}-sub",
+        )
+
+    def retail_instance(self, retail: np.ndarray) -> CoveringInstance:
+        """Level-3 covering instance for a concrete retail vector."""
+        retail = np.asarray(retail, dtype=np.float64).ravel()
+        if retail.shape != (self.n_own,):
+            raise ValueError(f"retail shape {retail.shape} != ({self.n_own},)")
+        costs = np.concatenate([np.clip(retail, 0.0, self.retail_cap), self.market_prices])
+        return CoveringInstance(costs=costs, q=self.q, demand=self.demand, name=self.name)
+
+    def provider_revenue(self, w: np.ndarray, selection: np.ndarray) -> float:
+        """Level-1 payoff: wholesale income on sold provider bundles."""
+        w = self.validate_wholesale(w)
+        sel = np.asarray(selection, dtype=bool)
+        if sel.shape != (self.n_bundles,):
+            raise ValueError(f"selection shape {sel.shape} != ({self.n_bundles},)")
+        return float(w @ sel[: self.n_own])
+
+    def reseller_margin(
+        self, w: np.ndarray, retail: np.ndarray, selection: np.ndarray
+    ) -> float:
+        """Level-2 payoff: markup income on sold provider bundles."""
+        w = self.validate_wholesale(w)
+        retail = np.clip(np.asarray(retail, dtype=np.float64), w, self.retail_cap)
+        sel = np.asarray(selection, dtype=bool)
+        return float((retail - w) @ sel[: self.n_own])
+
+    def is_coverable(self) -> bool:
+        return self.retail_instance(np.zeros(self.n_own)).is_coverable()

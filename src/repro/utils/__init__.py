@@ -1,0 +1,6 @@
+"""Shared utilities: measurement-first helpers (the HPC guides' rule:
+"no optimization without measuring")."""
+
+from repro.utils.profiling import profiled, time_block
+
+__all__ = ["profiled", "time_block"]

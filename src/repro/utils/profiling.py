@@ -1,0 +1,80 @@
+"""Profiling helpers.
+
+The HPC guides' first rule is *measure before optimizing*.  These context
+managers make that a one-liner inside experiments and notebooks; the
+``repro-bench --profile`` flag uses the same machinery at CLI level.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["profiled", "time_block", "TimeBlock", "ProfileReport"]
+
+
+@dataclass
+class ProfileReport:
+    """Filled in when the ``profiled`` block exits."""
+
+    text: str = ""
+    total_seconds: float = 0.0
+
+    def top(self, n: int = 10) -> str:
+        """First ``n`` data lines of the stats table."""
+        lines = [l for l in self.text.splitlines() if l.strip()]
+        return "\n".join(lines[: n + 6])  # header block + n rows
+
+
+@contextmanager
+def profiled(sort: str = "cumulative", limit: int = 25) -> Iterator[ProfileReport]:
+    """cProfile a block::
+
+        with profiled() as report:
+            run_carbon(instance, config)
+        print(report.top(10))
+    """
+    report = ProfileReport()
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    try:
+        yield report
+    finally:
+        profiler.disable()
+        report.total_seconds = time.perf_counter() - start
+        buf = io.StringIO()
+        pstats.Stats(profiler, stream=buf).sort_stats(sort).print_stats(limit)
+        report.text = buf.getvalue()
+
+
+@dataclass
+class TimeBlock:
+    """Filled in when the ``time_block`` block exits."""
+
+    label: str = ""
+    seconds: float = 0.0
+    _start: float = field(default=0.0, repr=False)
+
+    def __str__(self) -> str:
+        return f"{self.label or 'block'}: {self.seconds:.3f}s"
+
+
+@contextmanager
+def time_block(label: str = "") -> Iterator[TimeBlock]:
+    """Wall-clock a block::
+
+        with time_block("relaxation") as t:
+            solve_relaxation(instance)
+        print(t)   # relaxation: 0.012s
+    """
+    block = TimeBlock(label=label, _start=time.perf_counter())
+    try:
+        yield block
+    finally:
+        block.seconds = time.perf_counter() - block._start

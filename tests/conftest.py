@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bcpop.generator import generate_instance
+from repro.covering.instance import CoveringInstance
+from repro.gp.primitives import paper_primitive_set
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_covering() -> CoveringInstance:
+    """A 4-service x 12-bundle coverable instance (enumeration-solvable)."""
+    gen = np.random.default_rng(0)
+    q = gen.integers(0, 10, (4, 12)).astype(float)
+    demand = q.sum(axis=1) * 0.3
+    costs = gen.uniform(1.0, 20.0, 12)
+    return CoveringInstance(costs=costs, q=q, demand=demand, name="small")
+
+
+@pytest.fixture
+def tiny_covering() -> CoveringInstance:
+    """A hand-built 2x4 instance with a known optimum.
+
+    demand = (4, 4); optimal cover = bundles {1, 2} at cost 5:
+      bundle 0: q=(4,0) cost 4
+      bundle 1: q=(4,2) cost 3
+      bundle 2: q=(0,4) cost 2   -> {1,2} covers (4,6) for 5
+      bundle 3: q=(2,2) cost 10
+    """
+    return CoveringInstance(
+        costs=[4.0, 3.0, 2.0, 10.0],
+        q=[[4.0, 4.0, 0.0, 2.0], [0.0, 2.0, 4.0, 2.0]],
+        demand=[4.0, 4.0],
+        name="tiny",
+    )
+
+
+@pytest.fixture
+def small_bcpop():
+    """A laptop-sized BCPOP instance (30 bundles, 4 services)."""
+    return generate_instance(30, 4, seed=7, name="bcpop-test")
+
+
+@pytest.fixture
+def pset():
+    return paper_primitive_set()
+
+
+def random_covering(seed: int, n_services: int = 3, n_bundles: int = 10) -> CoveringInstance:
+    """Helper used by parametrized/property tests (importable, not a fixture)."""
+    gen = np.random.default_rng(seed)
+    q = gen.integers(0, 8, (n_services, n_bundles)).astype(float)
+    demand = q.sum(axis=1) * gen.uniform(0.2, 0.5)
+    costs = gen.uniform(0.5, 15.0, n_bundles)
+    return CoveringInstance(costs=costs, q=q, demand=demand)

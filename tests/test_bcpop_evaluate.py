@@ -1,0 +1,107 @@
+"""Tests for the shared lower-level evaluation pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bcpop.evaluate import LowerLevelEvaluator
+from repro.covering.heuristics import chvatal_score, cost_score
+from repro.covering.exact import solve_exact
+
+
+@pytest.fixture
+def evaluator(small_bcpop) -> LowerLevelEvaluator:
+    return LowerLevelEvaluator(small_bcpop)
+
+
+@pytest.fixture
+def mid_prices(small_bcpop) -> np.ndarray:
+    return np.full(small_bcpop.n_own, small_bcpop.price_cap / 2)
+
+
+class TestEvaluateHeuristic:
+    def test_outcome_consistency(self, evaluator, small_bcpop, mid_prices):
+        out = evaluator.evaluate_heuristic(mid_prices, chvatal_score)
+        assert out.feasible
+        ll = small_bcpop.lower_level(mid_prices)
+        assert out.ll_cost == pytest.approx(ll.cost_of(out.selection))
+        assert out.revenue == pytest.approx(
+            small_bcpop.revenue(mid_prices, out.selection)
+        )
+
+    def test_gap_matches_bound(self, evaluator, mid_prices):
+        out = evaluator.evaluate_heuristic(mid_prices, chvatal_score)
+        expected = 100.0 * (out.ll_cost - out.lower_bound) / max(out.lower_bound, 1e-9)
+        assert out.gap == pytest.approx(expected)
+
+    def test_gap_nonnegative(self, evaluator, mid_prices):
+        for fn in (chvatal_score, cost_score):
+            out = evaluator.evaluate_heuristic(mid_prices, fn)
+            assert out.gap >= -1e-9
+
+    def test_gap_brackets_integer_optimum(self, small_bcpop, mid_prices):
+        """LB <= exact optimum <= heuristic value (the Eq. 2-3 ordering)."""
+        ev = LowerLevelEvaluator(small_bcpop)
+        out = ev.evaluate_heuristic(mid_prices, chvatal_score)
+        exact = solve_exact(small_bcpop.lower_level(mid_prices), method="branch_and_bound")
+        assert out.lower_bound - 1e-6 <= exact.cost <= out.ll_cost + 1e-6
+
+    def test_counts_evaluations(self, evaluator, mid_prices):
+        assert evaluator.n_evaluations == 0
+        evaluator.evaluate_heuristic(mid_prices, chvatal_score)
+        evaluator.evaluate_heuristic(mid_prices, cost_score)
+        assert evaluator.n_evaluations == 2
+
+    def test_relaxation_cached_across_heuristics(self, evaluator, mid_prices):
+        evaluator.evaluate_heuristic(mid_prices, chvatal_score)
+        evaluator.evaluate_heuristic(mid_prices, cost_score)
+        stats = evaluator.cache_stats
+        assert stats["misses"] == 1
+        assert stats["hits"] >= 1
+
+
+class TestEvaluateSelection:
+    def test_feasible_selection_passthrough(self, evaluator, small_bcpop, mid_prices):
+        ll = small_bcpop.lower_level(mid_prices)
+        from repro.covering.repair import repair_cover
+
+        sel = repair_cover(ll, np.zeros(small_bcpop.n_bundles, dtype=bool))
+        out = evaluator.evaluate_selection(mid_prices, sel, repair=False)
+        assert out.feasible
+        assert np.array_equal(out.selection, sel)
+
+    def test_infeasible_selection_repaired(self, evaluator, small_bcpop, mid_prices):
+        empty = np.zeros(small_bcpop.n_bundles, dtype=bool)
+        out = evaluator.evaluate_selection(mid_prices, empty, repair=True)
+        assert out.feasible
+        assert out.selection.any()
+
+    def test_infeasible_without_repair_gets_inf_gap(self, evaluator, small_bcpop, mid_prices):
+        empty = np.zeros(small_bcpop.n_bundles, dtype=bool)
+        out = evaluator.evaluate_selection(mid_prices, empty, repair=False)
+        assert not out.feasible
+        assert np.isinf(out.gap)
+
+
+class TestPricingEffects:
+    def test_zero_prices_make_own_bundles_attractive(self, evaluator, small_bcpop):
+        free = np.zeros(small_bcpop.n_own)
+        out = evaluator.evaluate_heuristic(free, chvatal_score)
+        # Free leader bundles should appear in the basket (they cost nothing).
+        assert out.selection[: small_bcpop.n_own].any()
+        assert out.revenue == pytest.approx(0.0)
+
+    def test_cap_prices_usually_excluded(self, evaluator, small_bcpop):
+        expensive = np.full(small_bcpop.n_own, small_bcpop.price_cap)
+        out = evaluator.evaluate_heuristic(expensive, chvatal_score)
+        # At the cap the leader's bundles are never *cheaper* than any
+        # market bundle; revenue can only come from forced purchases.
+        assert out.feasible
+
+    def test_lower_bound_monotone_in_prices(self, evaluator, small_bcpop):
+        """Raising the leader's prices can only raise the follower's LP
+        optimum (objective coefficients increase)."""
+        low = evaluator.relaxation(np.zeros(small_bcpop.n_own))
+        high = evaluator.relaxation(np.full(small_bcpop.n_own, small_bcpop.price_cap))
+        assert high.lower_bound >= low.lower_bound - 1e-9

@@ -1,0 +1,106 @@
+"""Tests for the OR-library-style instance generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bcpop.generator import (
+    PAPER_CLASSES,
+    GeneratorSpec,
+    generate_covering_instance,
+    generate_instance,
+    paper_instance_classes,
+)
+
+
+class TestGeneratorSpec:
+    def test_rejects_degenerate_size(self):
+        with pytest.raises(ValueError, match="degenerate"):
+            GeneratorSpec(n_bundles=1, n_services=1)
+
+    def test_rejects_bad_tightness(self):
+        with pytest.raises(ValueError, match="tightness"):
+            GeneratorSpec(n_bundles=10, n_services=2, tightness=1.5)
+
+    def test_rejects_bad_own_fraction(self):
+        with pytest.raises(ValueError, match="own_fraction"):
+            GeneratorSpec(n_bundles=10, n_services=2, own_fraction=0.0)
+
+
+class TestCoveringGeneration:
+    def test_shapes_and_coverability(self, rng):
+        spec = GeneratorSpec(n_bundles=40, n_services=6)
+        inst = generate_covering_instance(spec, rng)
+        assert inst.n_bundles == 40 and inst.n_services == 6
+        assert inst.is_coverable()
+
+    def test_tightness_scales_demand(self, rng):
+        spec_loose = GeneratorSpec(n_bundles=40, n_services=3, tightness=0.1)
+        spec_tight = GeneratorSpec(n_bundles=40, n_services=3, tightness=0.7)
+        loose = generate_covering_instance(spec_loose, np.random.default_rng(5))
+        tight = generate_covering_instance(spec_tight, np.random.default_rng(5))
+        assert (tight.demand > loose.demand).all()
+
+    def test_costs_positive(self, rng):
+        inst = generate_covering_instance(GeneratorSpec(30, 4), rng)
+        assert (inst.costs >= 0).all()
+
+
+class TestBcpopGeneration:
+    def test_reproducible_by_seed(self):
+        a = generate_instance(50, 5, seed=3)
+        b = generate_instance(50, 5, seed=3)
+        assert np.array_equal(a.q, b.q)
+        assert np.array_equal(a.market_prices, b.market_prices)
+
+    def test_different_seeds_differ(self):
+        a = generate_instance(50, 5, seed=3)
+        b = generate_instance(50, 5, seed=4)
+        assert not np.array_equal(a.q, b.q)
+
+    def test_own_fraction_respected(self):
+        inst = generate_instance(100, 5, seed=0, own_fraction=0.2)
+        assert inst.n_own == 20
+
+    def test_own_fraction_at_least_one(self):
+        inst = generate_instance(10, 2, seed=0, own_fraction=0.01)
+        assert inst.n_own == 1
+
+    def test_default_cap_is_max_market_price(self):
+        inst = generate_instance(60, 4, seed=1)
+        assert inst.price_cap == pytest.approx(inst.market_prices.max())
+
+    def test_explicit_cap(self):
+        inst = generate_instance(60, 4, seed=1, price_cap=123.0)
+        assert inst.price_cap == 123.0
+
+    def test_name_defaults_to_class(self):
+        inst = generate_instance(60, 4, seed=1)
+        assert inst.name == "bcpop-n60-m4"
+
+
+class TestPaperClasses:
+    def test_the_nine_classes(self):
+        assert len(PAPER_CLASSES) == 9
+        assert set(n for n, _ in PAPER_CLASSES) == {100, 250, 500}
+        assert set(m for _, m in PAPER_CLASSES) == {5, 10, 30}
+
+    def test_paper_instance_classes_generates_all(self):
+        suite = paper_instance_classes(seed=0, instances_per_class=1)
+        assert set(suite) == set(PAPER_CLASSES)
+        for (n, m), instances in suite.items():
+            assert len(instances) == 1
+            inst = instances[0]
+            assert inst.n_bundles == n and inst.n_services == m
+            assert inst.is_coverable()
+
+    def test_addressable_seeding_is_order_independent(self):
+        full = paper_instance_classes(seed=9, instances_per_class=1)
+        from repro.parallel.rng import stream_for
+
+        single = generate_instance(
+            100, 5, seed=stream_for(9, "bcpop", 100, 5, 0),
+            name="bcpop-n100-m5-s0",
+        )
+        assert np.array_equal(full[(100, 5)][0].q, single.q)

@@ -1,0 +1,109 @@
+"""Tests for the BCPOP container and pricing → lower-level induction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bcpop.instance import BcpopInstance
+
+
+@pytest.fixture
+def manual_bcpop() -> BcpopInstance:
+    """2 services, 4 bundles; leader owns the first 2."""
+    return BcpopInstance(
+        q=[[4.0, 4.0, 0.0, 2.0], [0.0, 2.0, 4.0, 2.0]],
+        demand=[4.0, 4.0],
+        market_prices=[2.0, 10.0],
+        n_own=2,
+        price_cap=10.0,
+        name="manual",
+    )
+
+
+class TestConstruction:
+    def test_dimensions(self, manual_bcpop):
+        assert manual_bcpop.n_bundles == 4
+        assert manual_bcpop.n_services == 2
+
+    def test_rejects_bad_n_own(self):
+        with pytest.raises(ValueError, match="n_own"):
+            BcpopInstance(
+                q=[[1.0]], demand=[1.0], market_prices=[], n_own=2, price_cap=1.0
+            )
+
+    def test_rejects_market_price_shape(self):
+        with pytest.raises(ValueError, match="market_prices"):
+            BcpopInstance(
+                q=[[1.0, 1.0]], demand=[1.0], market_prices=[1.0, 2.0],
+                n_own=1, price_cap=1.0,
+            )
+
+    def test_rejects_negative_market_price(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            BcpopInstance(
+                q=[[1.0, 1.0]], demand=[1.0], market_prices=[-1.0],
+                n_own=1, price_cap=1.0,
+            )
+
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ValueError, match="price_cap"):
+            BcpopInstance(
+                q=[[1.0, 1.0]], demand=[1.0], market_prices=[1.0],
+                n_own=1, price_cap=0.0,
+            )
+
+
+class TestPricingInduction:
+    def test_lower_level_costs_concatenate(self, manual_bcpop):
+        ll = manual_bcpop.lower_level([5.0, 7.0])
+        assert ll.costs == pytest.approx([5.0, 7.0, 2.0, 10.0])
+
+    def test_lower_level_shares_structure(self, manual_bcpop):
+        ll = manual_bcpop.lower_level([1.0, 1.0])
+        assert ll.q is manual_bcpop.q
+        assert ll.demand is manual_bcpop.demand
+
+    def test_prices_clipped_to_cap(self, manual_bcpop):
+        ll = manual_bcpop.lower_level([99.0, 0.0])
+        assert ll.costs[0] == pytest.approx(10.0)
+
+    def test_negative_prices_rejected(self, manual_bcpop):
+        with pytest.raises(ValueError, match="non-negative"):
+            manual_bcpop.lower_level([-1.0, 0.0])
+
+    def test_wrong_price_shape_rejected(self, manual_bcpop):
+        with pytest.raises(ValueError, match="prices shape"):
+            manual_bcpop.lower_level([1.0])
+
+    def test_price_bounds(self, manual_bcpop):
+        low, high = manual_bcpop.price_bounds
+        assert low == pytest.approx([0.0, 0.0])
+        assert high == pytest.approx([10.0, 10.0])
+
+
+class TestRevenue:
+    def test_revenue_counts_only_own_bundles(self, manual_bcpop):
+        sel = np.array([True, False, True, True])
+        # Own bundle 0 at price 5; market bundles contribute nothing.
+        assert manual_bcpop.revenue([5.0, 7.0], sel) == pytest.approx(5.0)
+
+    def test_zero_revenue_when_nothing_bought(self, manual_bcpop):
+        sel = np.array([False, False, True, True])
+        assert manual_bcpop.revenue([5.0, 7.0], sel) == 0.0
+
+    def test_selection_shape_validated(self, manual_bcpop):
+        with pytest.raises(ValueError, match="selection"):
+            manual_bcpop.revenue([1.0, 1.0], np.ones(2, dtype=bool))
+
+
+class TestCoverability:
+    def test_manual_is_coverable(self, manual_bcpop):
+        assert manual_bcpop.is_coverable()
+
+    def test_market_only_instance_prices_at_cap(self, manual_bcpop):
+        ll = manual_bcpop.market_only_instance()
+        assert ll.costs[:2] == pytest.approx([10.0, 10.0])
+
+    def test_generated_instances_coverable(self, small_bcpop):
+        assert small_bcpop.is_coverable()

@@ -1,0 +1,132 @@
+"""Tests for the OR-library MKP parser and the §V-A transformation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bcpop.orlib import (
+    MKPInstance,
+    format_mknap,
+    mkp_to_bcpop,
+    mkp_to_covering,
+    parse_mknap,
+)
+
+SAMPLE = """\
+2
+3 2 100
+10 20 30
+1 2 3
+4 5 6
+10 12
+2 1 0
+5 7
+3 4
+6
+"""
+
+
+class TestParser:
+    def test_parses_two_problems(self):
+        problems = parse_mknap(SAMPLE)
+        assert len(problems) == 2
+        p0, p1 = problems
+        assert p0.n == 3 and p0.m == 2
+        assert p0.optimum == 100.0
+        assert p1.n == 2 and p1.m == 1
+        assert p1.optimum is None  # recorded as 0 -> unknown
+
+    def test_values(self):
+        p0 = parse_mknap(SAMPLE)[0]
+        assert p0.profits == pytest.approx([10, 20, 30])
+        assert p0.weights[1] == pytest.approx([4, 5, 6])
+        assert p0.capacities == pytest.approx([10, 12])
+
+    def test_roundtrip(self):
+        problems = parse_mknap(SAMPLE)
+        again = parse_mknap(format_mknap(problems))
+        for a, b in zip(problems, again):
+            assert np.array_equal(a.profits, b.profits)
+            assert np.array_equal(a.weights, b.weights)
+            assert np.array_equal(a.capacities, b.capacities)
+
+    def test_truncated_stream_raises(self):
+        with pytest.raises(ValueError, match="truncated"):
+            parse_mknap("1\n3 2 0\n1 2 3\n")
+
+    def test_trailing_tokens_raise(self):
+        with pytest.raises(ValueError, match="trailing"):
+            parse_mknap(SAMPLE + " 42")
+
+    def test_empty_stream_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            parse_mknap("   ")
+
+    def test_bad_dimensions_raise(self):
+        with pytest.raises(ValueError, match="bad dimensions"):
+            parse_mknap("1\n0 2 0\n")
+
+    def test_path_input(self, tmp_path):
+        f = tmp_path / "mknap1.txt"
+        f.write_text(SAMPLE)
+        assert len(parse_mknap(f)) == 2
+
+
+class TestTransformation:
+    def test_flip_to_covering(self):
+        mkp = parse_mknap(SAMPLE)[0]
+        cov = mkp_to_covering(mkp)
+        # min profits subject to weights >= capacities (clipped to supply)
+        assert cov.costs == pytest.approx(mkp.profits)
+        assert np.array_equal(cov.q, mkp.weights)
+        assert cov.is_coverable()
+
+    def test_demand_clipped_to_supply(self):
+        mkp = MKPInstance(
+            profits=[1.0, 1.0], weights=[[1.0, 1.0]], capacities=[100.0]
+        )
+        cov = mkp_to_covering(mkp)
+        assert cov.demand[0] == pytest.approx(2.0)  # sum of the row
+        assert cov.is_coverable()
+
+    def test_demand_scale(self):
+        mkp = parse_mknap(SAMPLE)[0]
+        half = mkp_to_covering(mkp, demand_scale=0.5)
+        full = mkp_to_covering(mkp, demand_scale=1.0)
+        assert (half.demand <= full.demand + 1e-12).all()
+
+    def test_bad_scale_raises(self):
+        mkp = parse_mknap(SAMPLE)[0]
+        with pytest.raises(ValueError, match="demand_scale"):
+            mkp_to_covering(mkp, demand_scale=0.0)
+
+
+class TestBcpopWrapping:
+    def test_wraps_first_bundles_as_own(self):
+        mkp = parse_mknap(SAMPLE)[0]
+        bcp = mkp_to_bcpop(mkp, own_fraction=0.34)
+        assert bcp.n_own == 1
+        assert bcp.market_prices == pytest.approx(mkp.profits[1:])
+
+    def test_own_fraction_too_large_raises(self):
+        mkp = parse_mknap(SAMPLE)[1]  # n=2
+        with pytest.raises(ValueError, match="market"):
+            mkp_to_bcpop(mkp, own_fraction=0.99)
+
+    def test_wrapped_instance_solvable_end_to_end(self):
+        from repro.bcpop.evaluate import LowerLevelEvaluator
+        from repro.covering.heuristics import chvatal_score
+
+        mkp = parse_mknap(SAMPLE)[0]
+        bcp = mkp_to_bcpop(mkp, own_fraction=0.34)
+        ev = LowerLevelEvaluator(bcp)
+        out = ev.evaluate_heuristic([5.0], chvatal_score)
+        assert out.feasible
+        assert np.isfinite(out.gap)
+
+
+class TestMKPValidation:
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="weights shape"):
+            MKPInstance(profits=[1.0], weights=[[1.0, 2.0]], capacities=[1.0])

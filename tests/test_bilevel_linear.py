@@ -1,0 +1,166 @@
+"""Tests for the bi-level formalism and the paper's worked example."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bilevel.gap import percent_gap
+from repro.bilevel.linear import LinearLowerLevel, mersha_dempe_example
+from repro.bilevel.problem import GridBilevelProblem
+
+
+class TestPercentGap:
+    def test_zero_at_bound(self):
+        assert percent_gap(10.0, 10.0) == 0.0
+
+    def test_linear_scaling(self):
+        assert percent_gap(11.0, 10.0) == pytest.approx(10.0)
+
+    def test_guard_on_zero_bound(self):
+        g = percent_gap(1.0, 0.0)
+        assert np.isfinite(g) and g > 0
+
+    def test_infinite_bound(self):
+        assert np.isinf(percent_gap(5.0, np.inf))
+
+    def test_value_below_bound_raises(self):
+        with pytest.raises(ValueError, match="below the lower bound"):
+            percent_gap(5.0, 10.0)
+
+
+class TestLinearLowerLevel:
+    @pytest.fixture
+    def ll(self):
+        # The Program-3 lower level.
+        return LinearLowerLevel(
+            d=-1.0, rows=((-3.0, 1.0, -3.0), (3.0, 1.0, 30.0))
+        )
+
+    def test_feasible_interval(self, ll):
+        lo, hi = ll.feasible_interval(6.0)
+        assert lo == pytest.approx(0.0)
+        assert hi == pytest.approx(12.0)
+
+    def test_reaction_x6(self, ll):
+        """Paper §II: P(6) = {12}."""
+        r = ll.rational_reaction(6.0)
+        assert r.reactions == (12.0,)
+
+    def test_reaction_x2(self, ll):
+        """Paper §V-B: x=2 leads to LL optimum y=3."""
+        r = ll.rational_reaction(2.0)
+        assert r.reactions == (3.0,)
+
+    def test_infeasible_x(self, ll):
+        # x small enough that y <= 3x-3 < 0 conflicts with y >= 0.
+        r = ll.rational_reaction(0.5)
+        assert not r.feasible
+
+    def test_indifferent_objective(self):
+        ll0 = LinearLowerLevel(d=0.0, rows=((0.0, 1.0, 5.0),))
+        r = ll0.rational_reaction(1.0)
+        assert r.feasible and set(r.reactions) == {0.0, 5.0}
+
+    def test_feasibility_predicate(self, ll):
+        assert ll.feasible(6.0, 12.0)
+        assert not ll.feasible(6.0, 13.0)
+        assert not ll.feasible(6.0, -1.0)
+
+
+class TestMershaDempeExample:
+    @pytest.fixture
+    def ex(self):
+        return mersha_dempe_example()
+
+    def test_rational_pair_ul_infeasible(self, ex):
+        """The paper's headline: (x=6, y=12) violates 2x - 3y >= -12."""
+        assert ex.rational_reaction(6.0).reactions == (12.0,)
+        assert not ex.upper_feasible(6.0, 12.0)
+
+    def test_naive_y8_is_ul_feasible_but_not_rational(self, ex):
+        assert ex.upper_feasible(6.0, 8.0)
+        assert 8.0 not in ex.rational_reaction(6.0).reactions
+
+    def test_inducible_region_discontinuous(self, ex):
+        xs = np.linspace(1.0, 10.0, 181)
+        points = ex.inducible_region(xs)
+        feas = np.array([p.upper_feasible for p in points])
+        # Feasible, then a forbidden band, then feasible again.
+        transitions = np.abs(np.diff(feas.astype(int))).sum()
+        assert transitions >= 2
+        assert not feas.all() and feas.any()
+
+    def test_optimistic_solution_is_bilevel_feasible(self, ex):
+        best = ex.solve_optimistic(n_grid=4001)
+        assert best is not None
+        assert best.bilevel_feasible
+        # Not in the forbidden band, reaction consistent.
+        assert ex.rational_reaction(best.x).reactions[0] == pytest.approx(best.y)
+
+    def test_grid_enumeration_agrees_with_closed_form(self, ex):
+        grid = GridBilevelProblem(ex, y_grid=np.linspace(0.0, 15.0, 3001))
+        for x in (2.0, 4.0, 6.0, 8.0):
+            exact = ex.rational_reaction(x).reactions[0]
+            approx = grid.rational_reaction(x).reactions
+            assert min(abs(y - exact) for y in approx) < 0.01
+
+    def test_classify_matches_definitions(self, ex):
+        grid = GridBilevelProblem(ex, y_grid=np.linspace(0.0, 15.0, 1501))
+        p = grid.classify(6.0, 12.0)
+        assert p.lower_feasible and p.lower_optimal and not p.upper_feasible
+        assert not p.bilevel_feasible
+        q = grid.classify(6.0, 8.0)
+        assert q.upper_feasible and q.lower_feasible and not q.lower_optimal
+
+
+class TestGridProblem:
+    def test_empty_grid_rejected(self, rng):
+        ex = mersha_dempe_example()
+        with pytest.raises(ValueError, match="empty"):
+            GridBilevelProblem(ex, y_grid=[])
+
+    def test_solve_optimistic_on_grid(self):
+        ex = mersha_dempe_example()
+        grid = GridBilevelProblem(ex, y_grid=np.linspace(0.0, 15.0, 751))
+        best = grid.solve_optimistic(np.linspace(1.0, 10.0, 181))
+        closed = ex.solve_optimistic(n_grid=4001)
+        assert best is not None and closed is not None
+        assert best.upper_objective == pytest.approx(closed.upper_objective, abs=0.2)
+
+
+class TestTaxonomy:
+    def test_strategies_present(self):
+        from repro.bilevel.taxonomy import STRATEGY_CODES, bilevel_taxonomy
+
+        g = bilevel_taxonomy()
+        for code in ("NSQ", "STA", "COE", "MOA", "APP"):
+            assert code in g
+        assert set(STRATEGY_CODES) >= {"NSQ", "REP", "CST", "STA", "COE", "MOA", "APP"}
+
+    def test_carbon_and_cobra_are_coevolutionary(self):
+        from repro.bilevel.taxonomy import bilevel_taxonomy
+
+        g = bilevel_taxonomy()
+        assert g.has_edge("COE", "CARBON (this paper)")
+        assert g.has_edge("COE", "COBRA (Legillon et al. 2012)")
+
+    def test_is_a_tree(self):
+        import networkx as nx
+
+        from repro.bilevel.taxonomy import bilevel_taxonomy
+
+        g = bilevel_taxonomy()
+        assert nx.is_directed_acyclic_graph(g)
+        # Every non-root node has exactly one parent.
+        roots = [n for n in g if g.in_degree(n) == 0]
+        assert roots == ["bi-level metaheuristics"]
+        assert all(g.in_degree(n) == 1 for n in g if n != roots[0])
+
+    def test_render_contains_all_nodes(self):
+        from repro.bilevel.taxonomy import bilevel_taxonomy, render_taxonomy
+
+        g = bilevel_taxonomy()
+        text = render_taxonomy(g)
+        for _, data in g.nodes(data=True):
+            assert data["label"] in text

@@ -1,0 +1,61 @@
+"""Tests for the optimistic/pessimistic cases (§II)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bilevel.linear import indifferent_follower_example, mersha_dempe_example
+
+
+class TestIndifferentFollower:
+    @pytest.fixture
+    def ex(self):
+        return indifferent_follower_example()
+
+    def test_reaction_set_is_interval_endpoints(self, ex):
+        r = ex.rational_reaction(4.0)
+        assert r.feasible
+        assert set(r.reactions) == {0.0, 6.0}
+
+    def test_optimistic_picks_leader_friendly(self, ex):
+        r = ex.rational_reaction(4.0)
+        # F = -x - 2y: minimized by the largest y.
+        assert r.optimistic(ex.upper_objective) == 6.0
+
+    def test_pessimistic_picks_adversarial(self, ex):
+        r = ex.rational_reaction(4.0)
+        assert r.pessimistic(ex.upper_objective) == 0.0
+
+    def test_two_cases_differ(self, ex):
+        opt = ex.solve_optimistic(n_grid=801)
+        pes = ex.solve_pessimistic(n_grid=801)
+        assert opt is not None and pes is not None
+        # The optimistic value is always at least as good (F minimized).
+        assert opt.upper_objective <= pes.upper_objective - 1.0
+        # Known optima: optimistic x=8,y=2? F = -x-2y over x<=8, y=10-x:
+        # F = -x - 2(10-x) = x - 20 -> minimized at x=0, F=-20.
+        assert opt.upper_objective == pytest.approx(-20.0, abs=0.1)
+        # Pessimistic: y=0, F = -x -> minimized at x=8, F=-8.
+        assert pes.upper_objective == pytest.approx(-8.0, abs=0.1)
+
+    def test_empty_reaction_raises(self, ex):
+        from repro.bilevel.problem import RationalReaction
+
+        empty = RationalReaction(x=0.0, reactions=(), lower_value=np.inf, feasible=False)
+        with pytest.raises(ValueError, match="no rational reaction"):
+            empty.optimistic(ex.upper_objective)
+        with pytest.raises(ValueError, match="no rational reaction"):
+            empty.pessimistic(ex.upper_objective)
+
+
+class TestSingletonCaseCoincides:
+    def test_mersha_dempe_optimistic_equals_pessimistic(self):
+        """With unique reactions the two cases agree (paper works in the
+        optimistic case; on this instance nothing is lost)."""
+        ex = mersha_dempe_example()
+        opt = ex.solve_optimistic(n_grid=1601)
+        pes = ex.solve_pessimistic(n_grid=1601)
+        assert opt is not None and pes is not None
+        assert opt.upper_objective == pytest.approx(pes.upper_objective, abs=1e-9)
+        assert opt.x == pytest.approx(pes.x)

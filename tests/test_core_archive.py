@@ -1,0 +1,205 @@
+"""Tests for archives, configs, and convergence bookkeeping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.archive import Archive
+from repro.core.config import CarbonConfig, CobraConfig, UpperLevelConfig
+from repro.core.convergence import (
+    ConvergenceHistory,
+    resample_history,
+    seesaw_index,
+)
+
+
+class TestArchive:
+    def test_keeps_best(self):
+        a = Archive(2, minimize=True)
+        a.add("x", 3.0)
+        a.add("y", 1.0)
+        a.add("z", 2.0)
+        assert len(a) == 2
+        assert a.best().item == "y"
+        assert [e.item for e in a.entries()] == ["y", "z"]
+
+    def test_maximize_direction(self):
+        a = Archive(2, minimize=False)
+        for item, score in [("x", 3.0), ("y", 1.0), ("z", 2.0)]:
+            a.add(item, score)
+        assert a.best().item == "x"
+        assert a.best_score() == 3.0
+
+    def test_duplicate_replaced_only_if_better(self):
+        a = Archive(5, minimize=True)
+        a.add("x", 3.0, aux={"v": 1})
+        assert not a.add("x", 4.0, aux={"v": 2})
+        assert a.best().aux["v"] == 1
+        assert a.add("x", 1.0, aux={"v": 3})
+        assert a.best().aux["v"] == 3
+        assert len(a) == 1
+
+    def test_worse_than_full_archive_rejected(self):
+        a = Archive(1, minimize=True)
+        a.add("x", 1.0)
+        assert not a.add("y", 2.0)
+        assert a.best().item == "x"
+
+    def test_numpy_identity_dedup(self):
+        a = Archive(5, minimize=False)
+        v = np.array([1.0, 2.0])
+        a.add(v, 1.0)
+        a.add(v.copy(), 0.5)  # same key, worse -> ignored
+        assert len(a) == 1
+
+    def test_bool_array_identity(self):
+        a = Archive(5, minimize=True)
+        a.add(np.array([True, False]), 1.0)
+        a.add(np.array([True, False]), 2.0)
+        assert len(a) == 1
+
+    def test_nan_scores_lose(self):
+        a = Archive(3, minimize=True)
+        a.add("x", np.nan)
+        a.add("y", 5.0)
+        assert a.best().item == "y"
+
+    def test_empty_best_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            Archive(1).best()
+
+    def test_top_n(self):
+        a = Archive(10, minimize=True)
+        for i in range(5):
+            a.add(f"i{i}", float(i))
+        assert [e.item for e in a.top(2)] == ["i0", "i1"]
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(ValueError, match="maxsize"):
+            Archive(0)
+
+    def test_contains(self):
+        a = Archive(2)
+        a.add("x", 1.0)
+        assert "x" in a and "y" not in a
+
+
+class TestConfigs:
+    def test_paper_values_match_table2(self):
+        ca = CarbonConfig.paper()
+        co = CobraConfig.paper()
+        for cfg in (ca.upper, co.upper):
+            assert cfg.population_size == 100
+            assert cfg.archive_size == 100
+            assert cfg.fitness_evaluations == 50_000
+            assert cfg.crossover_probability == 0.85
+            assert cfg.mutation_probability == 0.01
+        assert ca.ll_fitness_evaluations == 50_000
+        assert ca.ll_crossover_probability == 0.85
+        assert ca.ll_mutation_probability == 0.10
+        assert ca.ll_reproduction_probability == 0.05
+        assert co.ll_crossover_probability == 0.85
+        assert co.ll_mutation_probability is None  # 1/#variables
+
+    def test_quick_keeps_ratios(self):
+        q = CarbonConfig.quick()
+        p = CarbonConfig.paper()
+        assert q.ll_crossover_probability == p.ll_crossover_probability
+        assert q.ll_mutation_probability == p.ll_mutation_probability
+        assert q.upper.crossover_probability == p.upper.crossover_probability
+
+    def test_scaled_budgets(self):
+        s = CarbonConfig.paper().scaled(0.1)
+        assert s.upper.fitness_evaluations == 5_000
+        assert s.ll_fitness_evaluations == 5_000
+        s2 = CobraConfig.paper().scaled(0.001)
+        assert s2.upper.fitness_evaluations >= s2.upper.population_size
+
+    def test_gp_probability_sum_validated(self):
+        with pytest.raises(ValueError, match="sum"):
+            CarbonConfig(
+                ll_crossover_probability=0.9,
+                ll_mutation_probability=0.2,
+                ll_reproduction_probability=0.1,
+            )
+
+    def test_upper_config_validation(self):
+        with pytest.raises(ValueError, match="population"):
+            UpperLevelConfig(population_size=1)
+        with pytest.raises(ValueError, match="budget"):
+            UpperLevelConfig(population_size=10, fitness_evaluations=5)
+
+    def test_cobra_repair_validated(self):
+        with pytest.raises(ValueError, match="ll_repair"):
+            CobraConfig(ll_repair="greedy")
+
+    def test_cobra_phase_length_validated(self):
+        with pytest.raises(ValueError, match="improvement_generations"):
+            CobraConfig(improvement_generations=0)
+
+
+class TestConvergence:
+    def _history(self, values):
+        h = ConvergenceHistory()
+        for i, v in enumerate(values):
+            h.record(
+                ul_evaluations=10 * (i + 1), ll_evaluations=10 * (i + 1),
+                best_fitness=v, best_gap=100.0 - v, mean_gap=50.0,
+            )
+        return h
+
+    def test_series(self):
+        h = self._history([1.0, 2.0, 3.0])
+        evals, vals = h.series("fitness")
+        assert list(vals) == [1.0, 2.0, 3.0]
+        assert list(evals) == [20.0, 40.0, 60.0]
+
+    def test_unknown_series_raises(self):
+        h = self._history([1.0])
+        with pytest.raises(ValueError, match="unknown series"):
+            h.series("bogus")
+
+    def test_empty_series_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            ConvergenceHistory().series("fitness")
+
+    def test_resample_single_history(self):
+        h = self._history([1.0, 2.0, 3.0, 4.0])
+        grid, vals = resample_history([h], "fitness", n_points=8)
+        assert grid.shape == vals.shape == (8,)
+        assert vals[-1] == 4.0
+        assert (np.diff(vals) >= 0).all()
+
+    def test_resample_averages_runs(self):
+        h1 = self._history([0.0, 0.0, 0.0])
+        h2 = self._history([2.0, 2.0, 2.0])
+        _, vals = resample_history([h1, h2], "fitness", n_points=5)
+        assert vals == pytest.approx(np.ones(5))
+
+    def test_resample_no_histories_raises(self):
+        with pytest.raises(ValueError, match="no histories"):
+            resample_history([], "fitness")
+
+
+class TestSeesawIndex:
+    def test_monotone_is_zero(self):
+        assert seesaw_index([1, 2, 3, 4, 5]) == pytest.approx(0.0)
+
+    def test_pure_zigzag_near_one(self):
+        assert seesaw_index([0, 1, 0, 1, 0, 1, 0]) > 0.8
+
+    def test_constant_is_zero(self):
+        assert seesaw_index([3.0, 3.0, 3.0]) == 0.0
+
+    def test_short_series_zero(self):
+        assert seesaw_index([1.0]) == 0.0
+
+    def test_nonfinite_dropped(self):
+        assert seesaw_index([1.0, np.nan, 2.0, np.inf, 3.0]) == pytest.approx(0.0)
+
+    def test_bounded(self):
+        gen = np.random.default_rng(0)
+        for _ in range(20):
+            v = gen.normal(size=30)
+            assert 0.0 <= seesaw_index(v) <= 1.0

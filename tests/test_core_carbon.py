@@ -1,0 +1,114 @@
+"""Tests for the CARBON algorithm."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bcpop.generator import generate_instance
+from repro.core.carbon import Carbon, run_carbon
+from repro.core.config import CarbonConfig, UpperLevelConfig
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate_instance(24, 3, seed=11, name="carbon-test")
+
+
+@pytest.fixture
+def quick_cfg():
+    return CarbonConfig.quick(ul_evaluations=120, ll_evaluations=120, population_size=8)
+
+
+class TestBudgets:
+    def test_budgets_respected(self, instance, quick_cfg):
+        result = run_carbon(instance, quick_cfg, seed=0)
+        assert result.ul_evaluations_used <= quick_cfg.upper.fitness_evaluations
+        assert result.ll_evaluations_used <= quick_cfg.ll_fitness_evaluations
+        # Budgets should be (nearly) consumed, not abandoned early.
+        assert result.ul_evaluations_used >= quick_cfg.upper.fitness_evaluations - quick_cfg.upper.population_size
+        assert result.ll_evaluations_used >= quick_cfg.ll_fitness_evaluations - quick_cfg.ll_population_size * quick_cfg.heuristic_eval_sample
+
+    def test_too_small_ll_budget_raises(self, instance):
+        cfg = CarbonConfig(
+            upper=UpperLevelConfig(population_size=4, fitness_evaluations=10),
+            ll_population_size=4,
+            ll_fitness_evaluations=0,
+            heuristic_eval_sample=1,
+        )
+        algo = Carbon(instance, cfg, np.random.default_rng(0))
+        with pytest.raises(RuntimeError, match="budget too small"):
+            algo.initialize()
+
+
+class TestResults:
+    def test_result_fields(self, instance, quick_cfg):
+        result = run_carbon(instance, quick_cfg, seed=1)
+        assert result.algorithm == "CARBON"
+        assert result.instance_name == "carbon-test"
+        assert np.isfinite(result.best_gap) and result.best_gap >= -1e-9
+        assert np.isfinite(result.best_upper) and result.best_upper >= 0
+        assert result.extras["champion"]  # an infix string
+        assert len(result.history) > 1
+
+    def test_reproducible_given_seed(self, instance, quick_cfg):
+        a = run_carbon(instance, quick_cfg, seed=3)
+        b = run_carbon(instance, quick_cfg, seed=3)
+        assert a.best_gap == pytest.approx(b.best_gap)
+        assert a.best_upper == pytest.approx(b.best_upper)
+
+    def test_different_seeds_explore_differently(self, instance, quick_cfg):
+        a = run_carbon(instance, quick_cfg, seed=1)
+        b = run_carbon(instance, quick_cfg, seed=2)
+        assert (
+            a.best_gap != pytest.approx(b.best_gap)
+            or a.best_upper != pytest.approx(b.best_upper)
+        )
+
+    def test_solution_is_consistent(self, instance, quick_cfg):
+        result = run_carbon(instance, quick_cfg, seed=4)
+        sol = result.best_solution
+        assert instance.revenue(sol.prices, sol.selection) == pytest.approx(
+            sol.upper_objective
+        )
+        ll = instance.lower_level(sol.prices)
+        assert ll.is_feasible(sol.selection)
+        assert ll.cost_of(sol.selection) == pytest.approx(sol.lower_objective)
+        assert sol.lower_objective >= sol.lower_bound - 1e-6
+
+
+class TestDynamics:
+    def test_champion_gap_improves_or_holds(self, instance, quick_cfg):
+        """The best archived heuristic gap is monotone non-increasing."""
+        algo = Carbon(instance, quick_cfg, np.random.default_rng(5))
+        algo.initialize()
+        gaps = [algo.ll_archive.best_score()]
+        while algo.step():
+            gaps.append(algo.ll_archive.best_score())
+        assert all(b <= a + 1e-12 for a, b in zip(gaps, gaps[1:]))
+
+    def test_champion_beats_median_initial_tree(self, instance):
+        """Evolution should find a heuristic no worse than a random tree."""
+        cfg = CarbonConfig.quick(ul_evaluations=300, ll_evaluations=300, population_size=10)
+        algo = Carbon(instance, cfg, np.random.default_rng(6))
+        algo.initialize()
+        initial_fits = sorted(
+            ind.fitness for ind in algo.ll_pop if np.isfinite(ind.fitness)
+        )
+        median_initial = initial_fits[len(initial_fits) // 2]
+        while algo.step():
+            pass
+        assert algo.ll_archive.best_score() <= median_initial + 1e-9
+
+    def test_ul_archive_nonempty_and_bounded(self, instance, quick_cfg):
+        algo = Carbon(instance, quick_cfg, np.random.default_rng(7))
+        algo.initialize()
+        while algo.step():
+            pass
+        assert 1 <= len(algo.ul_archive) <= quick_cfg.upper.archive_size
+        assert 1 <= len(algo.ll_archive) <= quick_cfg.ll_archive_size
+
+    def test_history_monotone_budget(self, instance, quick_cfg):
+        result = run_carbon(instance, quick_cfg, seed=8)
+        evals = [p.ul_evaluations + p.ll_evaluations for p in result.history.points]
+        assert all(b >= a for a, b in zip(evals, evals[1:]))

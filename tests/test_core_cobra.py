@@ -1,0 +1,91 @@
+"""Tests for the COBRA baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bcpop.generator import generate_instance
+from repro.core.cobra import Cobra, run_cobra
+from repro.core.config import CobraConfig
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate_instance(24, 3, seed=11, name="cobra-test")
+
+
+@pytest.fixture
+def quick_cfg():
+    return CobraConfig.quick(ul_evaluations=300, ll_evaluations=300, population_size=8)
+
+
+class TestBudgets:
+    def test_budgets_respected(self, instance, quick_cfg):
+        result = run_cobra(instance, quick_cfg, seed=0)
+        assert result.ul_evaluations_used <= quick_cfg.upper.fitness_evaluations
+        assert result.ll_evaluations_used <= quick_cfg.ll_fitness_evaluations
+        assert result.ul_evaluations_used > 0
+        assert result.ll_evaluations_used > 0
+
+
+class TestResults:
+    def test_result_fields(self, instance, quick_cfg):
+        result = run_cobra(instance, quick_cfg, seed=1)
+        assert result.algorithm == "COBRA"
+        assert np.isfinite(result.best_gap) and result.best_gap >= -1e-9
+        assert np.isfinite(result.best_upper)
+        assert len(result.history) > 1
+
+    def test_reproducible_given_seed(self, instance, quick_cfg):
+        a = run_cobra(instance, quick_cfg, seed=3)
+        b = run_cobra(instance, quick_cfg, seed=3)
+        assert a.best_gap == pytest.approx(b.best_gap)
+        assert a.best_upper == pytest.approx(b.best_upper)
+
+    def test_lower_population_always_feasible(self, instance, quick_cfg):
+        """Repair keeps every basket covering the demand."""
+        algo = Cobra(instance, quick_cfg, np.random.default_rng(4))
+        algo.initialize()
+        ll = instance.lower_level(np.zeros(instance.n_own))
+        for _ in range(3):
+            if not algo.step():
+                break
+            for ind in algo.pop_l:
+                assert ll.is_feasible(ind.genome)
+
+    def test_upper_fitness_is_partner_revenue(self, instance, quick_cfg):
+        algo = Cobra(instance, quick_cfg, np.random.default_rng(5))
+        algo.initialize()
+        for ind in algo.pop_u:
+            expected = instance.revenue(ind.genome, ind.aux["partner"])
+            assert ind.fitness == pytest.approx(expected)
+
+    def test_archived_pairs_have_gap(self, instance, quick_cfg):
+        result = run_cobra(instance, quick_cfg, seed=6)
+        assert np.isfinite(result.best_solution.gap)
+        assert result.best_solution.gap >= -1e-9
+
+
+class TestSeesawBehaviour:
+    def test_see_saw_exceeds_carbon(self, instance):
+        """The paper's Fig. 4-vs-5 contrast as a statistic."""
+        from repro.core.carbon import run_carbon
+        from repro.core.config import CarbonConfig
+        from repro.core.convergence import seesaw_index
+
+        cobra_ss, carbon_ss = [], []
+        for seed in range(2):
+            rc = run_cobra(
+                instance,
+                CobraConfig.quick(600, 600, population_size=10),
+                seed=seed,
+            )
+            ra = run_carbon(
+                instance,
+                CarbonConfig.quick(600, 600, population_size=10),
+                seed=seed,
+            )
+            cobra_ss.append(seesaw_index(rc.history.series("fitness")[1]))
+            carbon_ss.append(seesaw_index(ra.history.series("fitness")[1]))
+        assert np.mean(cobra_ss) > np.mean(carbon_ss)

@@ -1,0 +1,111 @@
+"""Tests for the surrogate-assisted baseline (taxonomy APP branch)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bcpop.generator import generate_instance
+from repro.core.config import UpperLevelConfig
+from repro.core.surrogate import QuadraticSurrogate, SurrogateAssisted, run_surrogate
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate_instance(24, 3, seed=11, name="surrogate-test")
+
+
+@pytest.fixture
+def cfg():
+    return UpperLevelConfig(population_size=8, fitness_evaluations=120)
+
+
+class TestQuadraticSurrogate:
+    def test_learns_a_quadratic_exactly(self, rng):
+        model = QuadraticSurrogate(n_features=3, ridge=1e-9)
+        true = lambda x: 2.0 + x @ [1.0, -2.0, 0.5] + (x**2) @ [0.3, 0.0, -0.1]
+        xs = rng.uniform(-2, 2, (60, 3))
+        for x in xs:
+            model.add(x, true(x))
+        assert model.fit()
+        test = rng.uniform(-2, 2, (10, 3))
+        preds = model.predict(test)
+        targets = np.array([true(x) for x in test])
+        assert preds == pytest.approx(targets, abs=1e-3)
+
+    def test_refuses_prediction_before_fit(self):
+        model = QuadraticSurrogate(2)
+        with pytest.raises(RuntimeError, match="not fit"):
+            model.predict(np.zeros(2))
+
+    def test_needs_enough_samples(self, rng):
+        model = QuadraticSurrogate(5)
+        for _ in range(3):
+            model.add(rng.uniform(0, 1, 5), 1.0)
+        assert not model.fit()
+
+    def test_skips_nonfinite_targets(self, rng):
+        model = QuadraticSurrogate(2)
+        model.add(rng.uniform(0, 1, 2), -np.inf)
+        assert model.n_samples == 0
+
+    def test_wrong_feature_size_raises(self):
+        model = QuadraticSurrogate(2)
+        with pytest.raises(ValueError, match="x size"):
+            model.add(np.zeros(3), 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_features"):
+            QuadraticSurrogate(0)
+        with pytest.raises(ValueError, match="ridge"):
+            QuadraticSurrogate(2, ridge=0.0)
+
+    def test_ridge_tames_collinearity(self, rng):
+        model = QuadraticSurrogate(2, ridge=1.0)
+        x = rng.uniform(0, 1, 2)
+        for _ in range(20):
+            model.add(x, 5.0)  # all-identical inputs: singular without ridge
+        assert model.fit()
+        assert np.isfinite(model.predict(x)).all()
+
+
+class TestSurrogateAssisted:
+    def test_budget_counts_true_evaluations_only(self, instance, cfg):
+        result = run_surrogate(instance, cfg, seed=0, oversample=4)
+        assert result.ul_evaluations_used <= cfg.fitness_evaluations
+        # Screening really happened: more candidates than evaluations.
+        assert result.extras["screened_out"] > 0
+        assert result.extras["surrogate_samples"] == result.ul_evaluations_used
+
+    def test_oversample_one_disables_screening(self, instance, cfg):
+        result = run_surrogate(instance, cfg, seed=0, oversample=1)
+        assert result.extras["screened_out"] == 0
+
+    def test_reproducible(self, instance, cfg):
+        a = run_surrogate(instance, cfg, seed=3)
+        b = run_surrogate(instance, cfg, seed=3)
+        assert a.best_upper == pytest.approx(b.best_upper)
+        assert a.best_gap == pytest.approx(b.best_gap)
+
+    def test_solution_consistent(self, instance, cfg):
+        result = run_surrogate(instance, cfg, seed=1)
+        sol = result.best_solution
+        assert instance.revenue(sol.prices, sol.selection) == pytest.approx(
+            result.best_upper
+        )
+        assert instance.lower_level(sol.prices).is_feasible(sol.selection)
+
+    def test_validation(self, instance, cfg):
+        with pytest.raises(ValueError, match="oversample"):
+            SurrogateAssisted(instance, cfg, oversample=0)
+
+    def test_gap_matches_fixed_heuristic_family(self, instance, cfg):
+        """Like NSQ, the APP baseline's gap is pinned at the fixed
+        heuristic's quality (it saves evaluations, not solver skill)."""
+        from repro.bcpop.evaluate import LowerLevelEvaluator
+        from repro.covering.heuristics import chvatal_score
+
+        result = run_surrogate(instance, cfg, seed=2)
+        ev = LowerLevelEvaluator(instance)
+        replay = ev.evaluate_heuristic(result.best_solution.prices, chvatal_score)
+        assert result.best_gap <= replay.gap + 1e-6

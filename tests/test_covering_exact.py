@@ -1,0 +1,84 @@
+"""Tests for the exact covering solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.covering.exact import solve_exact
+from repro.covering.greedy import greedy_cover
+from repro.covering.heuristics import chvatal_score
+from repro.covering.instance import CoveringInstance
+from repro.lp.relaxation import solve_relaxation
+from tests.conftest import random_covering
+
+
+class TestEnumeration:
+    def test_known_optimum(self, tiny_covering):
+        sol = solve_exact(tiny_covering, method="enumeration")
+        assert sol.feasible
+        assert sol.cost == pytest.approx(5.0)
+        assert list(np.flatnonzero(sol.selected)) == [1, 2]
+
+    def test_uncoverable(self):
+        inst = CoveringInstance(costs=[1.0], q=[[1.0]], demand=[9.0])
+        sol = solve_exact(inst, method="enumeration")
+        assert not sol.feasible
+
+    def test_size_cap(self):
+        inst = CoveringInstance(
+            costs=np.ones(30), q=np.ones((1, 30)), demand=[1.0]
+        )
+        with pytest.raises(ValueError, match="enumeration limited"):
+            solve_exact(inst, method="enumeration")
+
+    def test_zero_demand(self):
+        inst = CoveringInstance(costs=[3.0, 1.0], q=[[2.0, 2.0]], demand=[0.0])
+        sol = solve_exact(inst, method="enumeration")
+        assert sol.feasible and sol.cost == 0.0 and sol.n_selected == 0
+
+
+class TestBranchAndBound:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_enumeration(self, seed):
+        inst = random_covering(seed, n_services=3, n_bundles=12)
+        enum = solve_exact(inst, method="enumeration")
+        bb = solve_exact(inst, method="branch_and_bound")
+        assert enum.feasible == bb.feasible
+        if enum.feasible:
+            assert bb.cost == pytest.approx(enum.cost, abs=1e-6)
+
+    def test_uncoverable(self):
+        inst = CoveringInstance(costs=[1.0, 1.0], q=[[1.0, 1.0]], demand=[9.0])
+        sol = solve_exact(inst, method="branch_and_bound")
+        assert not sol.feasible
+
+    def test_node_budget_returns_incumbent(self, small_covering):
+        sol = solve_exact(small_covering, method="branch_and_bound", max_nodes=1)
+        assert sol.feasible  # Chvátal warm start always available
+        assert sol.meta["stats"].nodes <= 1
+
+    def test_never_worse_than_greedy(self, small_covering):
+        exact = solve_exact(small_covering, method="branch_and_bound")
+        greedy = greedy_cover(small_covering, chvatal_score)
+        assert exact.cost <= greedy.cost + 1e-9
+
+    def test_never_better_than_lp_bound(self, small_covering):
+        exact = solve_exact(small_covering, method="branch_and_bound")
+        relax = solve_relaxation(small_covering)
+        assert exact.cost >= relax.lower_bound - 1e-6
+
+
+class TestDispatch:
+    def test_auto_small_uses_enumeration(self, tiny_covering):
+        sol = solve_exact(tiny_covering, method="auto")
+        assert sol.meta["stats"].method == "enumeration"
+
+    def test_auto_large_uses_bnb(self):
+        inst = random_covering(1, n_services=3, n_bundles=30)
+        sol = solve_exact(inst, method="auto")
+        assert sol.meta["stats"].method == "branch_and_bound"
+
+    def test_unknown_method_raises(self, tiny_covering):
+        with pytest.raises(ValueError, match="unknown exact method"):
+            solve_exact(tiny_covering, method="magic")

@@ -1,0 +1,136 @@
+"""Tests for the score-ordered greedy framework."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.covering.greedy import GreedyContext, greedy_cover
+from repro.covering.heuristics import chvatal_score, cost_score
+from repro.covering.instance import CoveringInstance
+from tests.conftest import random_covering
+
+
+class TestGreedyContext:
+    def test_fresh_features(self, tiny_covering):
+        ctx = GreedyContext.fresh(tiny_covering)
+        assert ctx.q_sum == pytest.approx([4.0, 6.0, 4.0, 4.0])
+        assert ctx.q_max == pytest.approx([4.0, 4.0, 4.0, 2.0])
+        assert ctx.demand_total == pytest.approx([8.0] * 4)
+        assert ctx.residual_total == pytest.approx([8.0] * 4)
+        assert not ctx.covered
+
+    def test_coverage_clips_at_residual(self, tiny_covering):
+        ctx = GreedyContext.fresh(tiny_covering)
+        # bundle 1 provides (4, 2); residual (4, 4) -> useful = 6
+        assert ctx.coverage[1] == pytest.approx(6.0)
+
+    def test_pick_updates_residual_in_place(self, tiny_covering):
+        ctx = GreedyContext.fresh(tiny_covering)
+        residual_ref = ctx.residual
+        ctx.pick(1)
+        assert ctx.residual is residual_ref  # in-place update
+        assert ctx.residual == pytest.approx([0.0, 2.0])
+        assert ctx.selected[1]
+        assert ctx.step == 1
+
+    def test_double_pick_raises(self, tiny_covering):
+        ctx = GreedyContext.fresh(tiny_covering)
+        ctx.pick(0)
+        with pytest.raises(ValueError, match="already selected"):
+            ctx.pick(0)
+
+    def test_duals_aggregated_per_bundle(self, tiny_covering):
+        duals = np.array([1.0, 2.0])
+        ctx = GreedyContext.fresh(tiny_covering, duals=duals)
+        assert ctx.duals == pytest.approx(duals @ tiny_covering.q)
+
+    def test_bad_xbar_shape_raises(self, tiny_covering):
+        with pytest.raises(ValueError, match="xbar"):
+            GreedyContext.fresh(tiny_covering, xbar=np.ones(2))
+
+
+class TestGreedyCover:
+    def test_finds_feasible_cover(self, small_covering):
+        sol = greedy_cover(small_covering, chvatal_score)
+        assert sol.feasible
+        sol.check(small_covering)
+
+    def test_chvatal_on_tiny_instance_is_optimal(self, tiny_covering):
+        sol = greedy_cover(tiny_covering, chvatal_score)
+        assert sol.feasible
+        assert sol.cost == pytest.approx(5.0)  # the known optimum
+
+    def test_infeasible_instance_reported(self):
+        inst = CoveringInstance(costs=[1.0], q=[[1.0]], demand=[3.0])
+        sol = greedy_cover(inst, cost_score)
+        assert not sol.feasible
+
+    def test_prune_removes_redundancy(self, small_covering):
+        # Score that greedily picks *everything cheap first* tends to
+        # over-select; pruning must leave a minimal cover.
+        sol = greedy_cover(small_covering, cost_score, prune=True)
+        assert sol.feasible
+        # No single selected bundle is removable.
+        for j in np.flatnonzero(sol.selected):
+            reduced = sol.selected.copy()
+            reduced[j] = False
+            assert not small_covering.is_feasible(reduced)
+
+    def test_prune_false_keeps_raw_greedy(self, small_covering):
+        raw = greedy_cover(small_covering, cost_score, prune=False)
+        pruned = greedy_cover(small_covering, cost_score, prune=True)
+        assert pruned.cost <= raw.cost + 1e-9
+
+    def test_nonfinite_scores_handled(self, small_covering):
+        def nan_score(ctx):
+            return np.full(ctx.costs.shape[0], np.nan)
+
+        sol = greedy_cover(small_covering, nan_score)
+        assert sol.feasible  # falls back to first-eligible picks
+
+    def test_wrong_score_shape_raises(self, small_covering):
+        with pytest.raises(ValueError, match="score function"):
+            greedy_cover(small_covering, lambda ctx: np.zeros(3))
+
+    def test_max_steps_cap(self, small_covering):
+        sol = greedy_cover(small_covering, cost_score, max_steps=1)
+        # One pick cannot cover this instance.
+        assert not sol.feasible or sol.iterations <= 1
+
+    def test_zero_demand_selects_nothing(self):
+        inst = CoveringInstance(costs=[5.0, 1.0], q=[[1.0, 1.0]], demand=[0.0])
+        sol = greedy_cover(inst, cost_score)
+        assert sol.feasible
+        assert sol.n_selected == 0
+        assert sol.cost == 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_greedy_always_feasible_on_coverable(seed):
+    """Property: on coverable instances, any total score function yields a
+    feasible, pruned-minimal cover whose cost >= the LP bound."""
+    inst = random_covering(seed)
+    if not inst.is_coverable():
+        return
+    sol = greedy_cover(inst, chvatal_score)
+    assert sol.feasible
+    sol.check(inst)
+    from repro.lp.relaxation import solve_relaxation
+
+    relax = solve_relaxation(inst)
+    assert sol.cost >= relax.lower_bound - 1e-6
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), const=st.floats(-5, 5))
+def test_property_constant_scores_still_total(seed, const):
+    """Even a constant (useless) scoring function terminates feasibly."""
+    inst = random_covering(seed)
+    if not inst.is_coverable():
+        return
+    sol = greedy_cover(inst, lambda ctx: np.full(ctx.costs.shape[0], const))
+    assert sol.feasible

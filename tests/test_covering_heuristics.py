@@ -1,0 +1,99 @@
+"""Tests for the classical scoring rules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.covering.greedy import GreedyContext, greedy_cover
+from repro.covering.heuristics import (
+    NAMED_HEURISTICS,
+    chvatal_score,
+    cost_score,
+    coverage_score,
+    dual_score,
+    lp_guided_score,
+    make_heuristic,
+)
+from repro.lp.relaxation import solve_relaxation
+from tests.conftest import random_covering
+
+
+class TestScores:
+    def test_chvatal_prefers_efficient_bundle(self, tiny_covering):
+        ctx = GreedyContext.fresh(tiny_covering)
+        scores = chvatal_score(ctx)
+        # bundle 1: cost 3, useful 6 -> 0.5, the clear best.
+        assert np.argmin(scores) == 1
+
+    def test_cost_score_is_cost(self, tiny_covering):
+        ctx = GreedyContext.fresh(tiny_covering)
+        assert cost_score(ctx) == pytest.approx(tiny_covering.costs)
+
+    def test_cost_score_returns_copy(self, tiny_covering):
+        ctx = GreedyContext.fresh(tiny_covering)
+        s = cost_score(ctx)
+        s[0] = -1.0
+        assert tiny_covering.costs[0] != -1.0
+
+    def test_coverage_score_prefers_big_bundles(self, tiny_covering):
+        ctx = GreedyContext.fresh(tiny_covering)
+        assert np.argmin(coverage_score(ctx)) == 1  # useful coverage 6
+
+    def test_dual_score_without_relaxation_equals_cost(self, tiny_covering):
+        ctx = GreedyContext.fresh(tiny_covering)
+        assert dual_score(ctx) == pytest.approx(tiny_covering.costs)
+
+    def test_dual_score_with_relaxation(self, small_covering):
+        relax = solve_relaxation(small_covering)
+        ctx = GreedyContext.fresh(small_covering, duals=relax.duals, xbar=relax.xbar)
+        expected = small_covering.costs - relax.duals @ small_covering.q
+        assert dual_score(ctx) == pytest.approx(expected)
+
+    def test_lp_guided_follows_xbar(self, small_covering):
+        relax = solve_relaxation(small_covering)
+        ctx = GreedyContext.fresh(small_covering, duals=relax.duals, xbar=relax.xbar)
+        scores = lp_guided_score(ctx)
+        # Bundles at x̄=1 must be strictly preferred over x̄=0 bundles.
+        ones = relax.xbar > 0.999
+        zeros = relax.xbar < 0.001
+        if ones.any() and zeros.any():
+            assert scores[ones].max() < scores[zeros].min()
+
+
+class TestRegistry:
+    def test_all_named_heuristics_solve(self, small_covering):
+        for name, fn in NAMED_HEURISTICS.items():
+            sol = greedy_cover(small_covering, fn)
+            assert sol.feasible, name
+
+    def test_make_heuristic_lookup(self):
+        assert make_heuristic("chvatal") is chvatal_score
+
+    def test_make_heuristic_random_needs_rng(self):
+        with pytest.raises(ValueError, match="rng"):
+            make_heuristic("random")
+
+    def test_make_heuristic_random_with_rng(self, small_covering, rng):
+        fn = make_heuristic("random", rng=rng)
+        sol = greedy_cover(small_covering, fn)
+        assert sol.feasible
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown heuristic"):
+            make_heuristic("bogus")
+
+
+class TestRelativeQuality:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_chvatal_beats_random_on_average(self, seed):
+        inst = random_covering(seed, n_services=4, n_bundles=20)
+        if not inst.is_coverable():
+            pytest.skip("uncoverable draw")
+        chv = greedy_cover(inst, chvatal_score).cost
+        gen = np.random.default_rng(seed)
+        rand_costs = [
+            greedy_cover(inst, make_heuristic("random", rng=gen)).cost
+            for _ in range(5)
+        ]
+        assert chv <= np.mean(rand_costs) + 1e-9

@@ -1,0 +1,98 @@
+"""Tests for the covering instance/solution containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.covering.instance import CoveringInstance, CoverSolution
+
+
+class TestConstruction:
+    def test_arrays_coerced_contiguous_float(self, small_covering):
+        assert small_covering.q.flags["C_CONTIGUOUS"]
+        assert small_covering.costs.dtype == np.float64
+
+    def test_dimension_properties(self, small_covering):
+        assert small_covering.n_services == 4
+        assert small_covering.n_bundles == 12
+
+    def test_rejects_1d_q(self):
+        with pytest.raises(ValueError, match="2-D"):
+            CoveringInstance(costs=[1.0], q=[1.0], demand=[1.0])
+
+    def test_rejects_mismatched_costs(self):
+        with pytest.raises(ValueError, match="costs"):
+            CoveringInstance(costs=[1.0], q=[[1.0, 2.0]], demand=[1.0])
+
+    def test_rejects_mismatched_demand(self):
+        with pytest.raises(ValueError, match="demand"):
+            CoveringInstance(costs=[1.0, 2.0], q=[[1.0, 2.0]], demand=[1.0, 2.0])
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            CoveringInstance(costs=[-1.0], q=[[1.0]], demand=[1.0])
+
+    def test_rejects_negative_q(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            CoveringInstance(costs=[1.0], q=[[-1.0]], demand=[1.0])
+
+    def test_rejects_negative_demand(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            CoveringInstance(costs=[1.0], q=[[1.0]], demand=[-1.0])
+
+
+class TestSemantics:
+    def test_coverability(self, tiny_covering):
+        assert tiny_covering.is_coverable()
+
+    def test_uncoverable(self):
+        inst = CoveringInstance(costs=[1.0], q=[[1.0]], demand=[2.0])
+        assert not inst.is_coverable()
+
+    def test_coverage_of_selection(self, tiny_covering):
+        sel = np.array([False, True, True, False])
+        assert tiny_covering.coverage_of(sel) == pytest.approx([4.0, 6.0])
+
+    def test_feasibility_check(self, tiny_covering):
+        assert tiny_covering.is_feasible([False, True, True, False])
+        assert not tiny_covering.is_feasible([True, False, False, False])
+
+    def test_cost_of_selection(self, tiny_covering):
+        assert tiny_covering.cost_of([False, True, True, False]) == pytest.approx(5.0)
+
+    def test_selection_shape_validated(self, tiny_covering):
+        with pytest.raises(ValueError, match="shape"):
+            tiny_covering.coverage_of(np.ones(3, dtype=bool))
+
+    def test_with_costs_shares_structure(self, tiny_covering):
+        new = tiny_covering.with_costs([1.0, 1.0, 1.0, 1.0])
+        assert new.q is tiny_covering.q
+        assert new.demand is tiny_covering.demand
+        assert new.cost_of([True, True, False, False]) == pytest.approx(2.0)
+
+    def test_with_costs_keeps_name_by_default(self, tiny_covering):
+        assert tiny_covering.with_costs(tiny_covering.costs).name == "tiny"
+
+
+class TestCoverSolution:
+    def test_check_passes_on_consistent_solution(self, tiny_covering):
+        sel = np.array([False, True, True, False])
+        sol = CoverSolution(selected=sel, cost=5.0, feasible=True)
+        sol.check(tiny_covering)
+
+    def test_check_detects_wrong_cost(self, tiny_covering):
+        sel = np.array([False, True, True, False])
+        sol = CoverSolution(selected=sel, cost=99.0, feasible=True)
+        with pytest.raises(AssertionError, match="cost"):
+            sol.check(tiny_covering)
+
+    def test_check_detects_wrong_feasibility(self, tiny_covering):
+        sel = np.array([True, False, False, False])
+        sol = CoverSolution(selected=sel, cost=4.0, feasible=True)
+        with pytest.raises(AssertionError, match="feasibility"):
+            sol.check(tiny_covering)
+
+    def test_n_selected(self):
+        sol = CoverSolution(selected=np.array([1, 0, 1], dtype=bool), cost=1.0, feasible=True)
+        assert sol.n_selected == 2

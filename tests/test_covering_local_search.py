@@ -1,0 +1,55 @@
+"""Tests for swap-descent local search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.covering.greedy import greedy_cover
+from repro.covering.heuristics import cost_score, make_heuristic
+from repro.covering.local_search import improve_by_swap
+from tests.conftest import random_covering
+
+
+class TestImproveBySwap:
+    def test_never_degrades(self, small_covering):
+        start = greedy_cover(small_covering, cost_score).selected
+        improved = improve_by_swap(small_covering, start)
+        assert small_covering.is_feasible(improved)
+        assert small_covering.cost_of(improved) <= small_covering.cost_of(start) + 1e-9
+
+    def test_requires_feasible_start(self, small_covering):
+        with pytest.raises(ValueError, match="feasible"):
+            improve_by_swap(small_covering, np.zeros(12, dtype=bool))
+
+    def test_input_not_mutated(self, small_covering):
+        start = greedy_cover(small_covering, cost_score).selected
+        snapshot = start.copy()
+        improve_by_swap(small_covering, start)
+        assert (start == snapshot).all()
+
+    def test_result_minimal(self, small_covering):
+        start = greedy_cover(small_covering, cost_score).selected
+        improved = improve_by_swap(small_covering, start)
+        for j in np.flatnonzero(improved):
+            reduced = improved.copy()
+            reduced[j] = False
+            assert not small_covering.is_feasible(reduced)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_improves_random_starts(self, seed):
+        inst = random_covering(seed, n_services=4, n_bundles=20)
+        if not inst.is_coverable():
+            pytest.skip("uncoverable draw")
+        gen = np.random.default_rng(seed)
+        start = greedy_cover(inst, make_heuristic("random", rng=gen)).selected
+        improved = improve_by_swap(inst, start)
+        assert inst.cost_of(improved) <= inst.cost_of(start) + 1e-9
+
+    def test_fixed_point(self, small_covering):
+        start = greedy_cover(small_covering, cost_score).selected
+        once = improve_by_swap(small_covering, start)
+        twice = improve_by_swap(small_covering, once)
+        assert small_covering.cost_of(twice) == pytest.approx(
+            small_covering.cost_of(once)
+        )

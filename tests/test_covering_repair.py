@@ -1,0 +1,110 @@
+"""Tests for repair and redundancy pruning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.covering.instance import CoveringInstance
+from repro.covering.repair import prune_redundant, repair_cover
+from tests.conftest import random_covering
+
+
+class TestPruneRedundant:
+    def test_removes_redundant_bundle(self, tiny_covering):
+        sel = np.array([True, True, True, False])  # bundle 0 redundant given 1,2
+        pruned = prune_redundant(tiny_covering, sel)
+        assert tiny_covering.is_feasible(pruned)
+        assert pruned.sum() < sel.sum()
+
+    def test_keeps_minimal_cover(self, tiny_covering):
+        sel = np.array([False, True, True, False])
+        pruned = prune_redundant(tiny_covering, sel)
+        assert (pruned == sel).all()
+
+    def test_input_not_mutated(self, tiny_covering):
+        sel = np.array([True, True, True, True])
+        snapshot = sel.copy()
+        prune_redundant(tiny_covering, sel)
+        assert (sel == snapshot).all()
+
+    def test_drops_most_expensive_first(self, tiny_covering):
+        # All selected; bundle 3 (cost 10) must go before bundle 0 (cost 4).
+        pruned = prune_redundant(tiny_covering, np.ones(4, dtype=bool))
+        assert not pruned[3]
+
+    def test_result_is_minimal(self, small_covering):
+        pruned = prune_redundant(small_covering, np.ones(12, dtype=bool))
+        assert small_covering.is_feasible(pruned)
+        for j in np.flatnonzero(pruned):
+            reduced = pruned.copy()
+            reduced[j] = False
+            assert not small_covering.is_feasible(reduced)
+
+
+class TestRepairCover:
+    @pytest.mark.parametrize("order", ["chvatal", "cost", "random"])
+    def test_repairs_empty_selection(self, small_covering, rng, order):
+        sel = repair_cover(
+            small_covering, np.zeros(12, dtype=bool), order=order, rng=rng
+        )
+        assert small_covering.is_feasible(sel)
+
+    def test_feasible_input_only_pruned(self, tiny_covering):
+        sel = np.array([False, True, True, False])
+        out = repair_cover(tiny_covering, sel)
+        assert (out == sel).all()
+
+    def test_uncoverable_saturates(self):
+        inst = CoveringInstance(costs=[1.0], q=[[1.0]], demand=[5.0])
+        out = repair_cover(inst, np.zeros(1, dtype=bool))
+        assert out.all()
+        assert not inst.is_feasible(out)
+
+    def test_random_without_rng_raises(self, small_covering):
+        with pytest.raises(ValueError, match="rng"):
+            repair_cover(small_covering, np.zeros(12, dtype=bool), order="random")
+
+    def test_unknown_order_raises(self, small_covering):
+        with pytest.raises(ValueError, match="repair order"):
+            repair_cover(small_covering, np.zeros(12, dtype=bool), order="best")
+
+    def test_wrong_shape_raises(self, small_covering):
+        with pytest.raises(ValueError, match="shape"):
+            repair_cover(small_covering, np.zeros(3, dtype=bool))
+
+    def test_chvatal_repair_cheaper_than_random_on_average(self):
+        inst = random_covering(42, n_services=4, n_bundles=25)
+        gen = np.random.default_rng(0)
+        chv = inst.cost_of(repair_cover(inst, np.zeros(25, dtype=bool)))
+        rnd = np.mean([
+            inst.cost_of(
+                repair_cover(inst, np.zeros(25, dtype=bool), order="random", rng=gen)
+            )
+            for _ in range(8)
+        ])
+        assert chv <= rnd + 1e-9
+
+    def test_no_prune_keeps_additions(self, small_covering):
+        out = repair_cover(small_covering, np.zeros(12, dtype=bool), prune=False)
+        assert small_covering.is_feasible(out)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), density=st.floats(0.0, 1.0))
+def test_property_repair_yields_feasible_minimal(seed, density):
+    """Property: repair of any starting vector is feasible (on coverable
+    instances) and minimal after pruning."""
+    inst = random_covering(seed)
+    if not inst.is_coverable():
+        return
+    gen = np.random.default_rng(seed)
+    start = gen.random(inst.n_bundles) < density
+    out = repair_cover(inst, start)
+    assert inst.is_feasible(out)
+    for j in np.flatnonzero(out):
+        reduced = out.copy()
+        reduced[j] = False
+        assert not inst.is_feasible(reduced)

@@ -1,0 +1,98 @@
+"""Theory-backed tests on the covering substrate.
+
+On *binary* set-covering instances Chvátal's greedy is an
+``H(d)``-approximation (``d`` = largest set size, ``H`` the harmonic
+number) relative to the LP bound.  Our instances are generally
+non-binary, but the binary special case gives a sharp, provable envelope
+that doubles as a regression guard on the greedy implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.covering.greedy import greedy_cover
+from repro.covering.heuristics import chvatal_score
+from repro.covering.instance import CoveringInstance
+from repro.lp.relaxation import solve_relaxation
+
+
+def _harmonic(d: int) -> float:
+    return float(sum(1.0 / k for k in range(1, d + 1)))
+
+
+def _random_binary_cover(seed: int, n_elements: int, n_sets: int) -> CoveringInstance:
+    gen = np.random.default_rng(seed)
+    q = (gen.random((n_elements, n_sets)) < 0.35).astype(np.float64)
+    # Guarantee coverability: every element is in at least one set.
+    for k in range(n_elements):
+        if q[k].sum() == 0:
+            q[k, gen.integers(n_sets)] = 1.0
+    costs = gen.uniform(1.0, 10.0, n_sets)
+    return CoveringInstance(costs=costs, q=q, demand=np.ones(n_elements))
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_chvatal_harmonic_bound(seed):
+    """greedy <= H(d) * LP bound on binary unit-demand instances."""
+    inst = _random_binary_cover(seed, n_elements=8, n_sets=14)
+    relax = solve_relaxation(inst)
+    sol = greedy_cover(inst, chvatal_score)
+    assert sol.feasible
+    d = int(inst.q.sum(axis=0).max())
+    assert sol.cost <= _harmonic(max(d, 1)) * relax.lower_bound + 1e-6
+
+
+class TestBinarySpecialCases:
+    def test_unit_cost_single_covering_set(self):
+        """One set covering everything at cost 1 must be found exactly."""
+        q = np.zeros((4, 5))
+        q[:, 0] = 1.0  # set 0 covers all
+        q[0, 1] = q[1, 2] = q[2, 3] = q[3, 4] = 1.0  # singletons
+        inst = CoveringInstance(
+            costs=[1.0, 0.9, 0.9, 0.9, 0.9], q=q, demand=np.ones(4)
+        )
+        sol = greedy_cover(inst, chvatal_score)
+        assert sol.cost == pytest.approx(1.0)
+        assert sol.selected[0] and sol.n_selected == 1
+
+    def test_classic_greedy_trap(self):
+        """The textbook instance where greedy pays ~H(n) x optimum:
+        elements {1..4}; optimum = two 'half' sets at 1+eps each; greedy
+        chains the singletons with costs 1/4, 1/3, 1/2, 1."""
+        n_el = 4
+        q = np.zeros((n_el, n_el + 2))
+        for k in range(n_el):
+            q[k, k] = 1.0  # singleton sets
+        q[:2, n_el] = 1.0      # lower half
+        q[2:, n_el + 1] = 1.0  # upper half
+        costs = np.array([1 / 4, 1 / 3 - 0.02, 1 / 2 - 0.02, 1.0 - 0.02, 1.1, 1.1])
+        inst = CoveringInstance(costs=costs, q=q, demand=np.ones(n_el))
+        sol = greedy_cover(inst, chvatal_score)
+        relax = solve_relaxation(inst)
+        assert sol.feasible
+        # Greedy overpays here, but stays inside the harmonic envelope.
+        assert sol.cost <= _harmonic(2) * relax.lower_bound + 1e-6
+        from repro.covering.exact import solve_exact
+
+        exact = solve_exact(inst, method="enumeration")
+        assert sol.cost >= exact.cost - 1e-9
+
+    def test_lp_integral_on_interval_matrices(self):
+        """Consecutive-ones (interval) matrices are totally unimodular:
+        the LP bound equals the integer optimum."""
+        q = np.array([
+            [1.0, 1.0, 0.0, 0.0],
+            [0.0, 1.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0, 1.0],
+        ])
+        inst = CoveringInstance(costs=[2.0, 3.0, 2.0, 4.0], q=q, demand=np.ones(3))
+        relax = solve_relaxation(inst)
+        from repro.covering.exact import solve_exact
+
+        exact = solve_exact(inst, method="enumeration")
+        assert relax.lower_bound == pytest.approx(exact.cost, abs=1e-6)

@@ -1,0 +1,242 @@
+"""Tests for the experiment harness (tables, figures, reporting, stats)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import CarbonConfig, CobraConfig
+from repro.experiments.figures import (
+    convergence_experiment,
+    fig1_series,
+    fig2_structure,
+)
+from repro.experiments.reporting import (
+    ascii_curve,
+    format_convergence,
+    format_fig1,
+    format_table1,
+    format_table2,
+    format_table3,
+    format_table4,
+)
+from repro.experiments.stats import rank_test, summarize
+from repro.experiments.tables import (
+    RunTask,
+    execute_task,
+    run_comparison,
+    table1_rows,
+    table2_rows,
+)
+
+TINY_CARBON = CarbonConfig.quick(ul_evaluations=80, ll_evaluations=80, population_size=6)
+TINY_COBRA = CobraConfig.quick(ul_evaluations=80, ll_evaluations=80, population_size=6)
+
+
+@pytest.fixture(scope="module")
+def tiny_comparison():
+    return run_comparison(
+        classes=[(16, 2), (20, 3)],
+        runs=2,
+        carbon_config=TINY_CARBON,
+        cobra_config=TINY_COBRA,
+    )
+
+
+class TestStats:
+    def test_summarize_basic(self):
+        s = summarize([1.0, 2.0, 3.0], minimize=True)
+        assert s.mean == pytest.approx(2.0)
+        assert s.best == 1.0 and s.worst == 3.0 and s.n == 3
+
+    def test_summarize_maximize(self):
+        s = summarize([1.0, 3.0], minimize=False)
+        assert s.best == 3.0 and s.worst == 1.0
+
+    def test_summarize_drops_nonfinite(self):
+        s = summarize([1.0, np.inf, np.nan, 3.0])
+        assert s.n == 2 and s.mean == pytest.approx(2.0)
+
+    def test_summarize_empty(self):
+        s = summarize([np.nan])
+        assert s.n == 0 and np.isnan(s.mean)
+
+    def test_rank_test_detects_difference(self):
+        stat, p = rank_test([1, 1, 1, 1, 1], [9, 9, 9, 9, 9])
+        assert p < 0.05
+
+    def test_rank_test_degenerate(self):
+        stat, p = rank_test([1.0], [2.0])
+        assert np.isnan(p)
+
+
+class TestConfigTables:
+    def test_table1_contains_operators_and_terminals(self):
+        names = [r[0] for r in table1_rows()]
+        for required in ("+", "-", "*", "%", "mod", "COST", "DUAL", "XLP"):
+            assert required in names
+
+    def test_table2_paper_values(self):
+        rows = dict((r[0], (r[1], r[2])) for r in table2_rows())
+        assert rows["UL population size"] == ("100", "100")
+        assert rows["LL encoding"] == ("syntax trees", "binary values")
+        assert rows["LL mutation probability"] == ("0.1", "1/#variables")
+        assert rows["LL reproduction probability"][1] == "-"
+
+
+class TestRunTask:
+    def test_execute_carbon_task(self):
+        task = RunTask(
+            algorithm="CARBON", n_bundles=16, n_services=2,
+            instance_seed=0, run_seed=0,
+            carbon_config=TINY_CARBON, cobra_config=TINY_COBRA,
+        )
+        result = execute_task(task)
+        assert result.algorithm == "CARBON"
+        assert np.isfinite(result.best_gap)
+
+    def test_execute_unknown_algorithm(self):
+        task = RunTask(
+            algorithm="XXX", n_bundles=16, n_services=2,
+            instance_seed=0, run_seed=0,
+            carbon_config=TINY_CARBON, cobra_config=TINY_COBRA,
+        )
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            execute_task(task)
+
+    def test_history_dropped_when_not_recording(self):
+        task = RunTask(
+            algorithm="COBRA", n_bundles=16, n_services=2,
+            instance_seed=0, run_seed=0,
+            carbon_config=TINY_CARBON, cobra_config=TINY_COBRA,
+            record_history=False,
+        )
+        result = execute_task(task)
+        assert len(result.history) == 0
+
+    def test_task_instance_matches_direct_generation(self):
+        """Workers regenerate identical instances from the addressed seed."""
+        from repro.bcpop.generator import generate_instance
+        from repro.parallel.rng import stream_for
+
+        a = generate_instance(16, 2, seed=stream_for(0, "bcpop", 16, 2, 0))
+        b = generate_instance(16, 2, seed=stream_for(0, "bcpop", 16, 2, 0))
+        assert np.array_equal(a.q, b.q)
+
+
+class TestComparison:
+    def test_structure(self, tiny_comparison):
+        assert len(tiny_comparison.classes) == 2
+        assert tiny_comparison.runs == 2
+        for cls in tiny_comparison.classes:
+            assert cls.carbon_gap.n == 2
+            assert cls.cobra_gap.n == 2
+
+    def test_table_rows(self, tiny_comparison):
+        t3 = tiny_comparison.table3_rows()
+        t4 = tiny_comparison.table4_rows()
+        assert [(r[0], r[1]) for r in t3] == [(16, 2), (20, 3)]
+        assert all(np.isfinite(r[2]) and np.isfinite(r[3]) for r in t3 + t4)
+
+    def test_averages_and_claims(self, tiny_comparison):
+        avg = tiny_comparison.averages()
+        assert set(avg) == {"carbon_gap", "cobra_gap", "carbon_upper", "cobra_upper"}
+        claims = tiny_comparison.shape_claims()
+        assert set(claims) == {
+            "carbon_gap_below_cobra_everywhere",
+            "carbon_gap_below_cobra_on_average",
+            "cobra_upper_exceeds_carbon_everywhere",
+            "cobra_upper_exceeds_carbon_on_average",
+        }
+
+
+class TestFigures:
+    def test_fig1_discontinuity(self):
+        series = fig1_series()
+        assert series.infeasible_xs.size > 0
+        assert 6.0 == pytest.approx(series.infeasible_xs.mean(), abs=1.5)
+
+    def test_fig2_structure(self):
+        s = fig2_structure()
+        assert "COE" in s["strategies"]
+        assert s["algorithms"]["CARBON (this paper)"] == "COE"
+
+    def test_convergence_experiment(self):
+        curves = convergence_experiment(
+            "CARBON", n_bundles=16, n_services=2, runs=2,
+            carbon_config=TINY_CARBON, cobra_config=TINY_COBRA, n_points=10,
+        )
+        assert curves.evaluations.shape == (10,)
+        assert curves.fitness.shape == (10,)
+        assert 0.0 <= curves.fitness_seesaw <= 1.0
+
+    def test_convergence_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            convergence_experiment("XXX", runs=1)
+
+
+class TestReporting:
+    def test_format_table1(self):
+        out = format_table1(table1_rows())
+        assert "TABLE I" in out and "COST" in out
+
+    def test_format_table2(self):
+        out = format_table2(table2_rows())
+        assert "TABLE II" in out and "CARBON" in out and "COBRA" in out
+
+    def test_format_table3_and_4(self, tiny_comparison):
+        t3 = format_table3(tiny_comparison)
+        t4 = format_table4(tiny_comparison)
+        assert "TABLE III" in t3 and "Average" in t3
+        assert "TABLE IV" in t4 and "Average" in t4
+
+    def test_format_fig1(self):
+        out = format_fig1(fig1_series())
+        assert "discontinuous IR" in out
+
+    def test_format_convergence(self):
+        curves = convergence_experiment(
+            "COBRA", n_bundles=16, n_services=2, runs=1,
+            carbon_config=TINY_CARBON, cobra_config=TINY_COBRA, n_points=8,
+        )
+        out = format_convergence(curves)
+        assert "Fig. 5" in out and "see-saw" in out
+
+    def test_ascii_curve_bounds_label(self):
+        out = ascii_curve(np.arange(10.0), np.arange(10.0) ** 2, label="sq")
+        assert "sq" in out and "[0.00 .. 81.00]" in out
+
+    def test_ascii_curve_insufficient(self):
+        out = ascii_curve(np.array([0.0]), np.array([np.nan]), label="x")
+        assert "insufficient" in out
+
+
+class TestRunnerCLI:
+    def test_table1_command(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["table1"]) == 0
+        assert "TABLE I" in capsys.readouterr().out
+
+    def test_fig2_command(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["fig2"]) == 0
+        assert "taxonomy" in capsys.readouterr().out
+
+    def test_out_file(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+
+        out = tmp_path / "report.txt"
+        assert main(["fig1", "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert "discontinuous" in out.read_text()
+
+    def test_configs_for_scale(self):
+        from repro.experiments.runner import configs_for_scale
+
+        ca, co = configs_for_scale("paper")
+        assert ca.upper.fitness_evaluations == 50_000
+        assert co.ll_fitness_evaluations == 50_000
+        with pytest.raises(ValueError, match="unknown scale"):
+            configs_for_scale("huge")

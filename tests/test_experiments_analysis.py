@@ -1,0 +1,148 @@
+"""Tests for run-set analytics and failure-injection behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bcpop.generator import generate_instance
+from repro.bcpop.instance import BcpopInstance
+from repro.core.carbon import run_carbon
+from repro.core.config import CarbonConfig
+from repro.experiments.analysis import analyze_runs, champion_report
+
+
+@pytest.fixture(scope="module")
+def carbon_runs():
+    instance = generate_instance(20, 3, seed=5, name="analysis-test")
+    cfg = CarbonConfig.quick(150, 150, population_size=8)
+    return [run_carbon(instance, cfg, seed=s) for s in range(2)]
+
+
+class TestChampionReport:
+    def test_decodes_champion(self, carbon_runs):
+        tree = carbon_runs[0].extras["champion_tree"]
+        report = champion_report(tree)
+        assert report.raw == tree.to_infix()
+        assert report.size == tree.size
+        assert report.depth == tree.depth
+        assert sum(report.primitive_usage.values()) == pytest.approx(1.0)
+
+    def test_simplified_champion_is_valid_and_no_bigger(self, carbon_runs):
+        from repro.gp.simplify import simplify_tree
+
+        tree = carbon_runs[0].extras["champion_tree"]
+        simplified = simplify_tree(tree)
+        simplified.validate()
+        assert simplified.size <= tree.size
+
+    def test_lp_feature_detection(self):
+        from repro.gp.primitives import lookup_primitive, lookup_terminal
+        from repro.gp.tree import SyntaxTree
+
+        with_lp = SyntaxTree(
+            [lookup_primitive("sub"), lookup_terminal("COST"), lookup_terminal("DUAL")]
+        )
+        without = SyntaxTree(
+            [lookup_primitive("add"), lookup_terminal("COST"), lookup_terminal("QSUM")]
+        )
+        assert champion_report(with_lp).uses_lp_features()
+        assert not champion_report(without).uses_lp_features()
+
+
+class TestRunSetAnalysis:
+    def test_aggregates(self, carbon_runs):
+        analysis = analyze_runs(carbon_runs)
+        assert analysis.algorithm == "CARBON"
+        assert analysis.gap.n == 2
+        assert analysis.upper.n == 2
+        assert len(analysis.champions) == 2
+        assert 0.0 <= analysis.fitness_seesaw <= 1.0
+
+    def test_report_is_printable(self, carbon_runs):
+        text = analyze_runs(carbon_runs).report()
+        assert "CARBON" in text and "gap" in text and "champion" in text
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="no runs"):
+            analyze_runs([])
+
+    def test_rejects_mixed_algorithms(self, carbon_runs):
+        from repro.core.cobra import run_cobra
+        from repro.core.config import CobraConfig
+
+        instance = generate_instance(20, 3, seed=5)
+        cobra = run_cobra(
+            instance, CobraConfig.quick(150, 150, population_size=8), seed=0
+        )
+        with pytest.raises(ValueError, match="mixed algorithms"):
+            analyze_runs(carbon_runs + [cobra])
+
+
+class TestFailureInjection:
+    """Degenerate and hostile inputs must degrade loudly or gracefully,
+    never silently wrong."""
+
+    def _uncoverable(self) -> BcpopInstance:
+        # A single service whose demand exceeds total supply.
+        return BcpopInstance(
+            q=[[1.0, 1.0, 1.0]],
+            demand=[100.0],
+            market_prices=[2.0, 3.0],
+            n_own=1,
+            price_cap=5.0,
+            name="uncoverable",
+        )
+
+    def test_uncoverable_instance_detected(self):
+        assert not self._uncoverable().is_coverable()
+
+    def test_evaluator_reports_infeasible(self):
+        from repro.bcpop.evaluate import LowerLevelEvaluator
+        from repro.covering.heuristics import chvatal_score
+
+        ev = LowerLevelEvaluator(self._uncoverable())
+        out = ev.evaluate_heuristic(np.array([1.0]), chvatal_score)
+        assert not out.feasible
+        assert np.isinf(out.gap)
+
+    def test_carbon_survives_uncoverable(self):
+        """All-infeasible fitnesses: the run completes and reports inf
+        gaps instead of crashing or fabricating numbers."""
+        result = run_carbon(
+            self._uncoverable(),
+            CarbonConfig.quick(60, 60, population_size=6),
+            seed=0,
+        )
+        assert np.isinf(result.best_gap)
+
+    def test_cobra_survives_uncoverable(self):
+        from repro.core.cobra import run_cobra
+        from repro.core.config import CobraConfig
+
+        result = run_cobra(
+            self._uncoverable(),
+            CobraConfig.quick(60, 60, population_size=6),
+            seed=0,
+        )
+        assert np.isinf(result.best_solution.gap) or np.isinf(result.best_gap)
+
+    def test_degenerate_single_bundle_market(self):
+        """Minimal viable market: one leader bundle, one market bundle."""
+        inst = BcpopInstance(
+            q=[[2.0, 2.0]], demand=[2.0], market_prices=[4.0],
+            n_own=1, price_cap=4.0, name="minimal",
+        )
+        result = run_carbon(
+            inst, CarbonConfig.quick(40, 40, population_size=4), seed=0
+        )
+        assert np.isfinite(result.best_gap)
+        # The leader can always undercut the market slightly: revenue > 0.
+        assert result.best_upper >= 0.0
+
+    def test_zero_price_cap_degeneracy_rejected(self):
+        with pytest.raises(ValueError, match="price_cap"):
+            BcpopInstance(
+                q=[[1.0, 1.0]], demand=[1.0], market_prices=[1.0],
+                n_own=1, price_cap=0.0,
+            )

@@ -1,0 +1,85 @@
+"""Tests for budget sweeps and crossover detection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.sweeps import BudgetPoint, budget_sweep, crossover_budget
+
+
+class TestBudgetSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return budget_sweep(
+            n_bundles=16, n_services=2,
+            budgets=[40, 80], runs=1, population_size=6,
+        )
+
+    def test_one_point_per_budget(self, points):
+        assert [p.budget for p in points] == [40, 80]
+
+    def test_values_finite(self, points):
+        for p in points:
+            assert np.isfinite(p.carbon_gap) and np.isfinite(p.cobra_gap)
+            assert np.isfinite(p.carbon_upper) and np.isfinite(p.cobra_upper)
+            assert p.runs == 1
+
+    def test_ratios(self, points):
+        p = points[0]
+        assert p.gap_ratio == pytest.approx(p.cobra_gap / max(p.carbon_gap, 1e-9))
+        assert p.upper_ratio == pytest.approx(p.cobra_upper / max(p.carbon_upper, 1e-9))
+
+    def test_empty_budgets_rejected(self):
+        with pytest.raises(ValueError, match="no budgets"):
+            budget_sweep(16, 2, budgets=[])
+
+    def test_budget_below_population_rejected(self):
+        with pytest.raises(ValueError, match="population"):
+            budget_sweep(16, 2, budgets=[4], population_size=6)
+
+
+class TestCrossoverBudget:
+    def _point(self, budget, carbon_up, cobra_up, carbon_gap=1.0, cobra_gap=2.0):
+        return BudgetPoint(
+            budget=budget, carbon_gap=carbon_gap, cobra_gap=cobra_gap,
+            carbon_upper=carbon_up, cobra_upper=cobra_up, runs=1,
+        )
+
+    def test_finds_stable_crossover(self):
+        points = [
+            self._point(100, carbon_up=10, cobra_up=5),   # not yet
+            self._point(200, carbon_up=10, cobra_up=12),  # crossover here
+            self._point(400, carbon_up=10, cobra_up=15),  # holds
+        ]
+        assert crossover_budget(points, "upper") == 200
+
+    def test_unstable_ordering_returns_none(self):
+        points = [
+            self._point(100, carbon_up=10, cobra_up=12),
+            self._point(200, carbon_up=10, cobra_up=8),  # flips back
+        ]
+        assert crossover_budget(points, "upper") is None
+
+    def test_gap_metric(self):
+        points = [
+            self._point(100, 1, 1, carbon_gap=5.0, cobra_gap=3.0),
+            self._point(200, 1, 1, carbon_gap=2.0, cobra_gap=8.0),
+        ]
+        assert crossover_budget(points, "gap") == 200
+
+    def test_holds_from_start(self):
+        points = [self._point(100, carbon_up=1, cobra_up=2)]
+        assert crossover_budget(points, "upper") == 100
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            crossover_budget([], "speed")
+
+    def test_unsorted_input_handled(self):
+        points = [
+            self._point(400, carbon_up=10, cobra_up=15),
+            self._point(100, carbon_up=10, cobra_up=5),
+            self._point(200, carbon_up=10, cobra_up=12),
+        ]
+        assert crossover_budget(points, "upper") == 200

@@ -1,0 +1,215 @@
+"""Tests for real-coded and binary GA operators, bounds, populations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ga.encoding import Bounds
+from repro.ga.operators import (
+    polynomial_mutation,
+    sbx_crossover,
+    swap_mutation,
+    two_point_crossover,
+)
+from repro.ga.population import Individual, evaluate_population, random_real_population
+from repro.ga.selection import binary_tournament
+
+
+@pytest.fixture
+def box() -> Bounds:
+    return Bounds.uniform(8, 0.0, 10.0)
+
+
+class TestBounds:
+    def test_uniform_constructor(self, box):
+        assert box.size == 8
+        assert box.span == pytest.approx(np.full(8, 10.0))
+
+    def test_mismatched_shapes_raise(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            Bounds(np.zeros(3), np.ones(2))
+
+    def test_inverted_bounds_raise(self):
+        with pytest.raises(ValueError, match="high < low"):
+            Bounds([1.0], [0.0])
+
+    def test_clip(self, box):
+        out = box.clip(np.array([-5.0, 3.0, 15.0, 0, 0, 0, 0, 0]))
+        assert out[0] == 0.0 and out[2] == 10.0 and out[1] == 3.0
+
+    def test_contains(self, box):
+        assert box.contains(np.full(8, 5.0))
+        assert not box.contains(np.full(8, 11.0))
+
+    def test_sample_shapes(self, box, rng):
+        single = box.sample(rng)
+        batch = box.sample(rng, 5)
+        assert single.shape == (8,)
+        assert batch.shape == (5, 8)
+        assert box.contains(single)
+
+
+class TestSBX:
+    def test_children_within_bounds(self, box, rng):
+        for _ in range(50):
+            p1, p2 = box.sample(rng), box.sample(rng)
+            c1, c2 = sbx_crossover(p1, p2, box, rng, per_gene_probability=1.0)
+            assert box.contains(c1) and box.contains(c2)
+
+    def test_identical_parents_unchanged(self, box, rng):
+        p = box.sample(rng)
+        c1, c2 = sbx_crossover(p, p.copy(), box, rng, per_gene_probability=1.0)
+        assert c1 == pytest.approx(p)
+        assert c2 == pytest.approx(p)
+
+    def test_mean_preserved_per_gene_without_bound_clipping(self, rng):
+        wide = Bounds.uniform(4, -1e6, 1e6)
+        p1 = np.array([1.0, 2.0, 3.0, 4.0])
+        p2 = np.array([5.0, 4.0, 9.0, 0.0])
+        means = []
+        for _ in range(400):
+            c1, c2 = sbx_crossover(p1, p2, wide, rng, per_gene_probability=1.0)
+            means.append((c1 + c2) / 2)
+        # SBX keeps the parent midpoint per crossing in expectation and,
+        # away from bounds, exactly per sample.
+        assert np.mean(means, axis=0) == pytest.approx((p1 + p2) / 2, rel=0.05)
+
+    def test_high_eta_stays_near_parents(self, rng):
+        wide = Bounds.uniform(1, 0.0, 100.0)
+        p1, p2 = np.array([49.0]), np.array([51.0])
+        for _ in range(50):
+            c1, c2 = sbx_crossover(p1, p2, wide, rng, eta=100.0, per_gene_probability=1.0)
+            assert 45.0 < c1[0] < 55.0 and 45.0 < c2[0] < 55.0
+
+    def test_shape_mismatch_raises(self, box, rng):
+        with pytest.raises(ValueError, match="incompatible"):
+            sbx_crossover(np.zeros(3), np.zeros(8), box, rng)
+
+    def test_bad_eta_raises(self, box, rng):
+        with pytest.raises(ValueError, match="eta"):
+            sbx_crossover(box.sample(rng), box.sample(rng), box, rng, eta=0.0)
+
+    def test_parents_not_mutated(self, box, rng):
+        p1, p2 = box.sample(rng), box.sample(rng)
+        s1, s2 = p1.copy(), p2.copy()
+        sbx_crossover(p1, p2, box, rng)
+        assert (p1 == s1).all() and (p2 == s2).all()
+
+
+class TestPolynomialMutation:
+    def test_within_bounds(self, box, rng):
+        for _ in range(50):
+            x = box.sample(rng)
+            m = polynomial_mutation(x, box, rng, per_gene_probability=1.0)
+            assert box.contains(m)
+
+    def test_zero_probability_is_identity(self, box, rng):
+        x = box.sample(rng)
+        m = polynomial_mutation(x, box, rng, per_gene_probability=0.0)
+        assert (m == x).all()
+
+    def test_default_rate_one_over_n(self, box, rng):
+        changed = 0
+        trials = 400
+        for _ in range(trials):
+            x = box.sample(rng)
+            m = polynomial_mutation(x, box, rng)
+            changed += int((m != x).any())
+        # P(at least one gene mutates) = 1 - (1 - 1/8)^8 ~ 0.66.
+        assert 0.4 < changed / trials < 0.9
+
+    def test_input_not_mutated(self, box, rng):
+        x = box.sample(rng)
+        snap = x.copy()
+        polynomial_mutation(x, box, rng, per_gene_probability=1.0)
+        assert (x == snap).all()
+
+    def test_bad_eta_raises(self, box, rng):
+        with pytest.raises(ValueError, match="eta"):
+            polynomial_mutation(box.sample(rng), box, rng, eta=-1.0)
+
+
+class TestBinaryOperators:
+    def test_two_point_preserves_multiset(self, rng):
+        a = np.array([True] * 5 + [False] * 5)
+        b = np.array([False] * 5 + [True] * 5)
+        c1, c2 = two_point_crossover(a, b, rng)
+        assert (c1.sum() + c2.sum()) == (a.sum() + b.sum())
+
+    def test_two_point_children_mix_segments(self, rng):
+        a = np.zeros(20, dtype=bool)
+        b = np.ones(20, dtype=bool)
+        mixed = False
+        for _ in range(20):
+            c1, _ = two_point_crossover(a, b, rng)
+            if 0 < c1.sum() < 20:
+                mixed = True
+                break
+        assert mixed
+
+    def test_two_point_parents_unchanged(self, rng):
+        a = np.zeros(10, dtype=bool)
+        b = np.ones(10, dtype=bool)
+        two_point_crossover(a, b, rng)
+        assert not a.any() and b.all()
+
+    def test_two_point_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError, match="incompatible"):
+            two_point_crossover(np.zeros(3, bool), np.zeros(5, bool), rng)
+
+    def test_swap_mutation_rate(self, rng):
+        x = np.zeros(1000, dtype=bool)
+        m = swap_mutation(x, rng)  # default 1/n
+        assert 0 <= m.sum() <= 10  # ~Binomial(1000, 1/1000)
+
+    def test_swap_mutation_full_rate_flips_all(self, rng):
+        x = np.zeros(50, dtype=bool)
+        m = swap_mutation(x, rng, per_gene_probability=1.0)
+        assert m.all()
+
+
+class TestPopulation:
+    def test_random_population(self, box, rng):
+        pop = random_real_population(box, 10, rng)
+        assert len(pop) == 10
+        assert all(box.contains(ind.genome) for ind in pop)
+        assert not any(ind.evaluated for ind in pop)
+
+    def test_evaluate_population_counts(self, box, rng):
+        pop = random_real_population(box, 6, rng)
+        count = evaluate_population(pop, lambda g: (g.sum(), {"tag": 1}))
+        assert count == 6
+        assert all(ind.evaluated for ind in pop)
+        # Second call skips evaluated individuals.
+        assert evaluate_population(pop, lambda g: (0.0, {})) == 0
+
+    def test_individual_copy_is_deep_enough(self, box, rng):
+        ind = Individual(genome=box.sample(rng), fitness=1.0, aux={"a": 1})
+        clone = ind.copy()
+        clone.genome[0] = -99.0
+        clone.aux["a"] = 2
+        assert ind.genome[0] != -99.0
+        assert ind.aux["a"] == 1
+
+    def test_binary_tournament_maximizes_by_default(self, rng):
+        pop = ["low", "high"]
+        picks = binary_tournament(pop, [1.0, 9.0], 100, rng)
+        assert picks.count("high") > picks.count("low")
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 100_000), n=st.integers(1, 12))
+def test_property_real_operators_respect_box(seed, n):
+    """Property: SBX + polynomial mutation never leave the box."""
+    gen = np.random.default_rng(seed)
+    low = gen.uniform(-5, 0, n)
+    high = low + gen.uniform(0.1, 10, n)
+    box = Bounds(low, high)
+    p1, p2 = box.sample(gen), box.sample(gen)
+    c1, c2 = sbx_crossover(p1, p2, box, gen, per_gene_probability=1.0)
+    m = polynomial_mutation(c1, box, gen, per_gene_probability=1.0)
+    for v in (c1, c2, m):
+        assert box.contains(v, tol=1e-9)

@@ -1,0 +1,109 @@
+"""Tests for GP bloat control and diversity analytics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gp.bloat import lexicographic_tournament, mean_size, tarpeian_mask
+from repro.gp.diversity import (
+    entropy_of_shapes,
+    primitive_usage,
+    size_statistics,
+    structural_uniqueness,
+)
+from repro.gp.generate import full_tree, grow_tree
+from repro.gp.primitives import lookup_terminal, paper_primitive_set
+from repro.gp.tree import SyntaxTree
+
+
+@pytest.fixture
+def trees(rng, pset):
+    return [grow_tree(pset, 4, rng) for _ in range(20)]
+
+
+class TestLexicographicTournament:
+    def test_prefers_fitness_first(self, rng, pset):
+        small_bad = SyntaxTree([lookup_terminal("COST")])
+        big_good = full_tree(pset, 4, rng)
+        pop = [small_bad, big_good]
+        out = lexicographic_tournament(pop, [10.0, 1.0], 50, rng, k=2)
+        assert sum(1 for t in out if t is big_good) > 25
+
+    def test_breaks_ties_by_size(self, rng, pset):
+        small = SyntaxTree([lookup_terminal("COST")])
+        big = full_tree(pset, 4, rng)
+        out = lexicographic_tournament([small, big], [5.0, 5.0], 100, rng, k=2)
+        # Whenever both enter (3/4 of draws), small wins.
+        assert sum(1 for t in out if t is small) > 60
+
+    def test_mismatched_lengths_raise(self, rng):
+        with pytest.raises(ValueError, match="population size"):
+            lexicographic_tournament([], [1.0], 1, rng)
+
+    def test_nan_fitness_loses(self, rng, pset):
+        good = grow_tree(pset, 2, rng)
+        bad = grow_tree(pset, 2, rng)
+        out = lexicographic_tournament([bad, good], [np.nan, 3.0], 40, rng, k=2)
+        assert sum(1 for t in out if t is good) > 20
+
+
+class TestTarpeian:
+    def test_only_above_average_marked(self, rng, pset):
+        trees = [full_tree(pset, 1, rng)] * 10 + [full_tree(pset, 6, rng)]
+        mask = tarpeian_mask(trees, rng, probability=1.0)
+        sizes = np.array([t.size for t in trees])
+        assert mask[sizes <= sizes.mean()].sum() == 0
+        assert mask[-1]  # the big one is always hit at p=1
+
+    def test_zero_probability_marks_none(self, trees, rng):
+        assert tarpeian_mask(trees, rng, probability=0.0).sum() == 0
+
+    def test_empty_population(self, rng):
+        assert tarpeian_mask([], rng).size == 0
+
+    def test_invalid_probability(self, trees, rng):
+        with pytest.raises(ValueError, match="probability"):
+            tarpeian_mask(trees, rng, probability=1.5)
+
+    def test_mean_size(self, rng, pset):
+        trees = [full_tree(pset, 1, rng), full_tree(pset, 1, rng)]
+        assert mean_size(trees) == pytest.approx(3.0)  # binary ops: 3 nodes
+
+
+class TestDiversity:
+    def test_uniqueness_bounds(self, trees):
+        u = structural_uniqueness(trees)
+        assert 1 / len(trees) <= u <= 1.0
+
+    def test_uniqueness_of_clones(self, rng, pset):
+        t = grow_tree(pset, 3, rng)
+        assert structural_uniqueness([t, t.copy(), t.copy()]) == pytest.approx(1 / 3)
+
+    def test_size_statistics_keys(self, trees):
+        stats = size_statistics(trees)
+        assert stats["size_min"] <= stats["size_mean"] <= stats["size_max"]
+        assert stats["depth_min"] <= stats["depth_mean"] <= stats["depth_max"]
+
+    def test_primitive_usage_sums_to_one(self, trees):
+        usage = primitive_usage(trees)
+        assert sum(usage.values()) == pytest.approx(1.0)
+
+    def test_primitive_usage_pools_ercs(self, rng):
+        pset = paper_primitive_set(erc_probability=1.0)
+        trees = [full_tree(pset, 2, rng) for _ in range(5)]
+        usage = primitive_usage(trees)
+        assert "ERC" in usage
+
+    def test_entropy_extremes(self, rng, pset):
+        t = grow_tree(pset, 3, rng)
+        assert entropy_of_shapes([t, t.copy()]) == pytest.approx(0.0)
+        distinct = [full_tree(pset, d, rng) for d in (0, 1, 2, 3)]
+        if structural_uniqueness(distinct) == 1.0:
+            assert entropy_of_shapes(distinct) == pytest.approx(np.log(4))
+
+    def test_empty_rejections(self):
+        for fn in (structural_uniqueness, size_statistics, primitive_usage,
+                   entropy_of_shapes):
+            with pytest.raises(ValueError, match="empty"):
+                fn([])

@@ -1,0 +1,186 @@
+"""Tests for GP variation operators, generation, and selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gp.generate import full_tree, grow_tree, ramped_half_and_half
+from repro.gp.operators import (
+    one_point_crossover,
+    point_mutation,
+    reproduce,
+    uniform_mutation,
+)
+from repro.gp.primitives import paper_primitive_set
+from repro.gp.selection import tournament, tournament_indices
+
+
+class TestGeneration:
+    def test_full_tree_exact_depth(self, rng, pset):
+        for depth in range(0, 6):
+            t = full_tree(pset, depth, rng)
+            assert t.depth == depth
+            t.validate()
+
+    def test_grow_tree_bounded_depth(self, rng, pset):
+        for _ in range(20):
+            t = grow_tree(pset, 5, rng)
+            assert t.depth <= 5
+            t.validate()
+
+    def test_negative_depth_raises(self, rng, pset):
+        with pytest.raises(ValueError):
+            full_tree(pset, -1, rng)
+        with pytest.raises(ValueError):
+            grow_tree(pset, -2, rng)
+
+    def test_ramped_half_and_half_counts(self, rng, pset):
+        pop = ramped_half_and_half(pset, 30, rng, min_depth=1, max_depth=4)
+        assert len(pop) == 30
+        for t in pop:
+            t.validate()
+            assert 0 <= t.depth <= 4
+
+    def test_ramped_depth_diversity(self, rng, pset):
+        pop = ramped_half_and_half(pset, 40, rng, min_depth=2, max_depth=5)
+        depths = {t.depth for t in pop}
+        assert len(depths) >= 3  # several depth levels present
+
+    def test_ramped_bad_range_raises(self, rng, pset):
+        with pytest.raises(ValueError, match="min_depth"):
+            ramped_half_and_half(pset, 10, rng, min_depth=5, max_depth=2)
+
+
+class TestCrossover:
+    def test_children_valid(self, rng, pset):
+        for _ in range(20):
+            a = grow_tree(pset, 4, rng)
+            b = grow_tree(pset, 4, rng)
+            c1, c2 = one_point_crossover(a, b, rng)
+            c1.validate()
+            c2.validate()
+
+    def test_parents_unchanged(self, rng, pset):
+        a = grow_tree(pset, 4, rng)
+        b = grow_tree(pset, 4, rng)
+        a_before, b_before = a.to_infix(), b.to_infix()
+        one_point_crossover(a, b, rng)
+        assert a.to_infix() == a_before and b.to_infix() == b_before
+
+    def test_material_conserved(self, rng, pset):
+        """Total node count is preserved by a subtree swap."""
+        a = grow_tree(pset, 4, rng)
+        b = grow_tree(pset, 4, rng)
+        c1, c2 = one_point_crossover(a, b, rng, max_depth=100, max_size=10_000)
+        assert c1.size + c2.size == a.size + b.size
+
+    def test_depth_limit_enforced(self, rng, pset):
+        for _ in range(10):
+            a = full_tree(pset, 5, rng)
+            b = full_tree(pset, 5, rng)
+            c1, c2 = one_point_crossover(a, b, rng, max_depth=6)
+            assert c1.depth <= 6 and c2.depth <= 6
+
+
+class TestMutation:
+    def test_uniform_mutation_valid(self, rng, pset):
+        for _ in range(20):
+            t = grow_tree(pset, 4, rng)
+            m = uniform_mutation(t, pset, rng)
+            m.validate()
+            assert m.depth <= 17
+
+    def test_uniform_mutation_respects_limits(self, rng, pset):
+        t = full_tree(pset, 6, rng)
+        for _ in range(10):
+            m = uniform_mutation(t, pset, rng, max_depth=7)
+            assert m.depth <= 7
+
+    def test_point_mutation_preserves_shape(self, rng, pset):
+        t = grow_tree(pset, 4, rng)
+        m = point_mutation(t, pset, rng, per_node_probability=1.0)
+        m.validate()
+        assert m.size == t.size
+        assert m.node_depths() == t.node_depths()
+
+    def test_point_mutation_zero_rate_is_identity(self, rng, pset):
+        t = grow_tree(pset, 4, rng)
+        m = point_mutation(t, pset, rng, per_node_probability=0.0)
+        assert m == t
+
+    def test_reproduce_copies(self, rng, pset):
+        t = grow_tree(pset, 3, rng)
+        c = reproduce(t)
+        assert c == t and c is not t and c.nodes is not t.nodes
+
+
+class TestSelection:
+    def test_tournament_prefers_better(self, rng):
+        # Entrants are drawn WITH replacement (standard tournament), so the
+        # best individual wins whenever it enters: with k=64 over 3
+        # individuals that is a near-certainty per draw.
+        fits = [10.0, 1.0, 5.0]
+        picks = tournament_indices(fits, 100, rng, k=64, minimize=True)
+        assert (picks == 1).all()
+
+    def test_maximize_direction(self, rng):
+        fits = [10.0, 1.0, 5.0]
+        picks = tournament_indices(fits, 100, rng, k=64, minimize=False)
+        assert (picks == 0).all()
+
+    def test_selection_pressure_statistical(self, rng):
+        fits = [10.0, 1.0, 5.0]
+        picks = tournament_indices(fits, 3000, rng, k=2, minimize=True)
+        counts = np.bincount(picks, minlength=3)
+        # Binary tournament win probabilities: best > middle > worst.
+        assert counts[1] > counts[2] > counts[0]
+
+    def test_nan_always_loses(self, rng):
+        fits = [np.nan, 2.0]
+        picks = tournament_indices(fits, 200, rng, k=2, minimize=True)
+        # Index 0 can only win a tournament containing no finite entrant,
+        # i.e. when both entrants are index 0 itself.
+        finite_possible = picks == 1
+        nan_only = picks == 0
+        assert finite_possible.sum() + nan_only.sum() == 200
+        # Whenever index 1 entered (75% of draws on average), it won.
+        assert finite_possible.sum() > 100
+
+    def test_empty_population_raises(self, rng):
+        with pytest.raises(ValueError, match="empty"):
+            tournament_indices([], 1, rng)
+
+    def test_bad_tournament_size_raises(self, rng):
+        with pytest.raises(ValueError, match="tournament size"):
+            tournament_indices([1.0], 1, rng, k=0)
+
+    def test_tournament_with_key(self, rng):
+        pop = ["aaa", "a", "aa"]
+        out = tournament(pop, None, 100, rng, k=64, minimize=True, key=len)
+        assert all(x == "a" for x in out)
+
+    def test_mismatched_lengths_raise(self, rng):
+        with pytest.raises(ValueError, match="population size"):
+            tournament([1, 2], [0.0], 1, rng)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_property_variation_closure(seed):
+    """Property: arbitrary chains of crossover/mutation keep trees valid
+    and within limits (the evolutionary loop's structural invariant)."""
+    pset = paper_primitive_set()
+    gen = np.random.default_rng(seed)
+    a = grow_tree(pset, 4, gen)
+    b = grow_tree(pset, 4, gen)
+    for _ in range(5):
+        a, b = one_point_crossover(a, b, gen, max_depth=10, max_size=128)
+        a = uniform_mutation(a, pset, gen, max_depth=10, max_size=128)
+        b = point_mutation(b, pset, gen)
+    for t in (a, b):
+        t.validate()
+        assert t.depth <= 10
+        assert t.size <= 128

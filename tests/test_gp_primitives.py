@@ -1,0 +1,105 @@
+"""Tests for the Table I primitive sets and protected operators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gp.nodes import Constant
+from repro.gp.primitives import (
+    PrimitiveSet,
+    lookup_primitive,
+    lookup_terminal,
+    paper_operator_set,
+    paper_primitive_set,
+    paper_terminal_set,
+)
+
+
+class TestTableI:
+    def test_operator_symbols(self):
+        symbols = [op.symbol for op in paper_operator_set()]
+        assert symbols == ["+", "-", "*", "%", "mod"]
+
+    def test_all_operators_binary(self):
+        assert all(op.arity == 2 for op in paper_operator_set())
+
+    def test_terminal_names_cover_table1(self):
+        names = {t.name for t in paper_terminal_set()}
+        # c_j, q_j^k views, b^k views, d_k view, x̄_j.
+        assert {"COST", "QSUM", "QMAX", "COVER", "BSUM", "BRES", "DUAL", "XLP"} == names
+
+    def test_describe_rows(self):
+        rows = paper_primitive_set().describe()
+        names = [r[0] for r in rows]
+        assert "+" in names and "COST" in names and "ERC" in names
+
+
+class TestProtectedOps:
+    def test_protected_div_normal(self):
+        div = lookup_primitive("div")
+        assert div.fn(np.array([6.0]), np.array([2.0])) == pytest.approx([3.0])
+
+    def test_protected_div_by_zero_yields_one(self):
+        div = lookup_primitive("div")
+        out = div.fn(np.array([6.0, -2.0]), np.array([0.0, 1e-12]))
+        assert out == pytest.approx([1.0, 1.0])
+
+    def test_protected_mod_normal(self):
+        mod = lookup_primitive("mod")
+        assert mod.fn(np.array([7.0]), np.array([3.0])) == pytest.approx([1.0])
+
+    def test_protected_mod_by_zero_yields_zero(self):
+        mod = lookup_primitive("mod")
+        assert mod.fn(np.array([7.0]), np.array([0.0])) == pytest.approx([0.0])
+
+    def test_protected_ops_never_raise_or_nan(self):
+        div, mod = lookup_primitive("div"), lookup_primitive("mod")
+        a = np.array([0.0, 1.0, -1.0, 1e300, -1e300])
+        b = np.array([0.0, 1e-30, -1e-30, 1e-300, 5.0])
+        for fn in (div.fn, mod.fn):
+            out = fn(a, b)
+            assert np.isfinite(out).all()
+
+
+class TestRegistry:
+    def test_lookup_primitive_is_singleton(self):
+        assert lookup_primitive("add") is lookup_primitive("add")
+
+    def test_lookup_terminal_is_singleton(self):
+        assert lookup_terminal("COST") is lookup_terminal("COST")
+
+    def test_unknown_lookup_raises(self):
+        with pytest.raises(KeyError):
+            lookup_primitive("pow")
+
+
+class TestPrimitiveSet:
+    def test_requires_operators_and_terminals(self):
+        with pytest.raises(ValueError, match="operator"):
+            PrimitiveSet(operators=(), terminals=paper_terminal_set())
+        with pytest.raises(ValueError, match="terminal"):
+            PrimitiveSet(operators=paper_operator_set(), terminals=())
+
+    def test_erc_probability_validated(self):
+        with pytest.raises(ValueError, match="erc_probability"):
+            paper_primitive_set(erc_probability=1.5)
+
+    def test_random_leaf_respects_erc_probability(self, rng):
+        always_erc = paper_primitive_set(erc_probability=1.0)
+        never_erc = paper_primitive_set(erc_probability=0.0)
+        assert all(
+            isinstance(always_erc.random_leaf(rng), Constant) for _ in range(20)
+        )
+        assert not any(
+            isinstance(never_erc.random_leaf(rng), Constant) for _ in range(20)
+        )
+
+    def test_erc_range(self, rng):
+        pset = paper_primitive_set(erc_probability=1.0, erc_range=(2.0, 3.0))
+        for _ in range(20):
+            leaf = pset.random_leaf(rng)
+            assert 2.0 <= leaf.value <= 3.0
+
+    def test_max_arity(self):
+        assert paper_primitive_set().max_arity == 2

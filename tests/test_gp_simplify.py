@@ -1,0 +1,95 @@
+"""Tests for tree simplification (constant folding + identities)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.covering.greedy import GreedyContext
+from repro.gp.generate import grow_tree
+from repro.gp.nodes import Constant
+from repro.gp.primitives import lookup_primitive as P_
+from repro.gp.primitives import lookup_terminal as T_
+from repro.gp.primitives import paper_primitive_set
+from repro.gp.simplify import simplify_tree
+from repro.gp.tree import SyntaxTree
+
+
+class TestConstantFolding:
+    def test_folds_pure_constant_subtree(self):
+        t = SyntaxTree([P_("add"), Constant(2.0), Constant(3.0)])
+        s = simplify_tree(t)
+        assert s.size == 1
+        assert isinstance(s.nodes[0], Constant)
+        assert s.nodes[0].value == 5.0
+
+    def test_folds_nested_constants(self):
+        t = SyntaxTree(
+            [P_("mul"), P_("add"), Constant(1.0), Constant(1.0), Constant(4.0)]
+        )
+        s = simplify_tree(t)
+        assert s.nodes[0].value == 8.0
+
+    def test_protected_div_constant_zero_folds_to_one(self):
+        t = SyntaxTree([P_("div"), Constant(5.0), Constant(0.0)])
+        s = simplify_tree(t)
+        assert s.nodes[0].value == 1.0
+
+
+class TestIdentities:
+    def test_add_zero(self):
+        t = SyntaxTree([P_("add"), Constant(0.0), T_("COST")])
+        assert simplify_tree(t).to_infix() == "COST"
+
+    def test_sub_zero(self):
+        t = SyntaxTree([P_("sub"), T_("COST"), Constant(0.0)])
+        assert simplify_tree(t).to_infix() == "COST"
+
+    def test_mul_one(self):
+        t = SyntaxTree([P_("mul"), T_("COST"), Constant(1.0)])
+        assert simplify_tree(t).to_infix() == "COST"
+
+    def test_mul_zero(self):
+        t = SyntaxTree([P_("mul"), T_("QSUM"), Constant(0.0)])
+        s = simplify_tree(t)
+        assert isinstance(s.nodes[0], Constant) and s.nodes[0].value == 0.0
+
+    def test_div_one(self):
+        t = SyntaxTree([P_("div"), T_("COST"), Constant(1.0)])
+        assert simplify_tree(t).to_infix() == "COST"
+
+    def test_combined(self):
+        # ((COST * 1) + (QSUM * 0)) -> COST
+        t = SyntaxTree(
+            [P_("add"),
+             P_("mul"), T_("COST"), Constant(1.0),
+             P_("mul"), T_("QSUM"), Constant(0.0)]
+        )
+        assert simplify_tree(t).to_infix() == "COST"
+
+    def test_non_simplifiable_untouched(self):
+        t = SyntaxTree([P_("add"), T_("COST"), T_("QSUM")])
+        assert simplify_tree(t) == t
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_property_simplification_preserves_semantics(seed):
+    """Property: simplified trees evaluate identically (finite cases) and
+    never grow."""
+    from tests.conftest import random_covering
+
+    pset = paper_primitive_set(erc_probability=0.4)
+    gen = np.random.default_rng(seed)
+    t = grow_tree(pset, 5, gen)
+    s = simplify_tree(t)
+    assert s.size <= t.size
+    inst = random_covering(seed % 13)
+    ctx = GreedyContext.fresh(inst)
+    a, b = t(ctx), s(ctx)
+    both_finite = np.isfinite(a) & np.isfinite(b)
+    assert np.allclose(a[both_finite], b[both_finite], rtol=1e-9, atol=1e-9)
+    # Where one is non-finite the other must be too (protection aside).
+    assert (np.isfinite(a) == np.isfinite(b)).all()

@@ -1,0 +1,179 @@
+"""Tests for syntax-tree structure and vectorized evaluation."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.covering.greedy import GreedyContext
+from repro.gp.generate import full_tree, grow_tree
+from repro.gp.nodes import Constant
+from repro.gp.primitives import (
+    lookup_primitive,
+    lookup_terminal,
+    paper_primitive_set,
+)
+from repro.gp.tree import SyntaxTree
+
+
+def T(name):
+    return lookup_terminal(name)
+
+
+def P(name):
+    return lookup_primitive(name)
+
+
+class TestStructure:
+    def test_single_leaf(self):
+        t = SyntaxTree([T("COST")])
+        assert t.size == 1 and t.depth == 0
+        t.validate()
+
+    def test_depth_of_nested(self):
+        # (COST + (QSUM * BSUM)) -> depth 2
+        t = SyntaxTree([P("add"), T("COST"), P("mul"), T("QSUM"), T("BSUM")])
+        assert t.size == 5 and t.depth == 2
+        t.validate()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            SyntaxTree([])
+
+    def test_validate_truncated(self):
+        t = SyntaxTree([P("add"), T("COST")])  # missing one operand
+        with pytest.raises(ValueError, match="truncated"):
+            t.validate()
+
+    def test_validate_trailing(self):
+        t = SyntaxTree([T("COST"), T("QSUM")])
+        with pytest.raises(ValueError, match="trailing"):
+            t.validate()
+
+    def test_subtree_end(self):
+        t = SyntaxTree([P("add"), T("COST"), P("mul"), T("QSUM"), T("BSUM")])
+        assert t.subtree_end(0) == 5
+        assert t.subtree_end(1) == 2
+        assert t.subtree_end(2) == 5
+
+    def test_subtree_extraction(self):
+        t = SyntaxTree([P("add"), T("COST"), P("mul"), T("QSUM"), T("BSUM")])
+        sub = t.subtree(2)
+        assert sub.to_infix() == "(QSUM * BSUM)"
+
+    def test_replace_subtree(self):
+        t = SyntaxTree([P("add"), T("COST"), T("QSUM")])
+        out = t.replace_subtree(2, SyntaxTree([T("DUAL")]))
+        assert out.to_infix() == "(COST + DUAL)"
+        assert t.to_infix() == "(COST + QSUM)"  # original untouched
+
+    def test_node_depths(self):
+        t = SyntaxTree([P("add"), T("COST"), P("mul"), T("QSUM"), T("BSUM")])
+        assert t.node_depths() == [0, 1, 1, 2, 2]
+
+    def test_out_of_range_subtree(self):
+        t = SyntaxTree([T("COST")])
+        with pytest.raises(IndexError):
+            t.subtree_end(5)
+
+
+class TestEquality:
+    def test_structural_equality(self):
+        a = SyntaxTree([P("add"), T("COST"), T("QSUM")])
+        b = SyntaxTree([P("add"), T("COST"), T("QSUM")])
+        assert a == b and hash(a) == hash(b)
+
+    def test_constant_values_matter(self):
+        a = SyntaxTree([P("add"), T("COST"), Constant(1.0)])
+        b = SyntaxTree([P("add"), T("COST"), Constant(2.0)])
+        assert a != b
+
+    def test_pickle_roundtrip(self, rng, pset):
+        t = grow_tree(pset, 4, rng)
+        clone = pickle.loads(pickle.dumps(t))
+        assert clone == t
+        clone.validate()
+
+
+class TestEvaluation:
+    def test_terminal_evaluation(self, tiny_covering):
+        ctx = GreedyContext.fresh(tiny_covering)
+        assert SyntaxTree([T("COST")])(ctx) == pytest.approx(tiny_covering.costs)
+
+    def test_arithmetic(self, tiny_covering):
+        ctx = GreedyContext.fresh(tiny_covering)
+        t = SyntaxTree([P("add"), T("COST"), T("QSUM")])
+        assert t(ctx) == pytest.approx(tiny_covering.costs + ctx.q_sum)
+
+    def test_constant_broadcast(self, tiny_covering):
+        ctx = GreedyContext.fresh(tiny_covering)
+        t = SyntaxTree([P("mul"), Constant(2.0), T("COST")])
+        assert t(ctx) == pytest.approx(2.0 * tiny_covering.costs)
+
+    def test_protected_division_by_zero(self, tiny_covering):
+        ctx = GreedyContext.fresh(tiny_covering)
+        t = SyntaxTree([P("div"), T("COST"), Constant(0.0)])
+        assert t(ctx) == pytest.approx(np.ones(4))
+
+    def test_protected_mod_by_zero(self, tiny_covering):
+        ctx = GreedyContext.fresh(tiny_covering)
+        t = SyntaxTree([P("mod"), T("COST"), Constant(0.0)])
+        assert t(ctx) == pytest.approx(np.zeros(4))
+
+    def test_chvatal_equivalence(self, small_covering):
+        """COST % COVER reproduces the hand-written Chvátal rule."""
+        from repro.covering.heuristics import chvatal_score
+
+        ctx = GreedyContext.fresh(small_covering)
+        tree = SyntaxTree([P("div"), T("COST"), T("COVER")])
+        assert tree(ctx) == pytest.approx(chvatal_score(ctx))
+
+    def test_dual_rule_equivalence(self, small_covering):
+        from repro.covering.heuristics import dual_score
+        from repro.lp.relaxation import solve_relaxation
+
+        relax = solve_relaxation(small_covering)
+        ctx = GreedyContext.fresh(small_covering, duals=relax.duals, xbar=relax.xbar)
+        tree = SyntaxTree([P("sub"), T("COST"), T("DUAL")])
+        assert tree(ctx) == pytest.approx(dual_score(ctx))
+
+    def test_output_shape_always_n_bundles(self, small_covering, rng, pset):
+        ctx = GreedyContext.fresh(small_covering)
+        for _ in range(20):
+            t = grow_tree(pset, 4, rng)
+            out = t(ctx)
+            assert out.shape == (small_covering.n_bundles,)
+
+
+class TestInfix:
+    def test_binary_rendering(self):
+        t = SyntaxTree([P("sub"), T("COST"), T("DUAL")])
+        assert t.to_infix() == "(COST - DUAL)"
+
+    def test_mod_rendering(self):
+        t = SyntaxTree([P("mod"), T("COST"), Constant(2.0)])
+        assert t.to_infix() == "(COST mod 2)"
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 100_000), depth=st.integers(0, 6), full=st.booleans())
+def test_property_generated_trees_valid_and_evaluable(seed, depth, full):
+    """Property: every generated tree is structurally valid, respects the
+    depth bound, and evaluates to the right shape on a context."""
+    from tests.conftest import random_covering
+
+    pset = paper_primitive_set()
+    gen = np.random.default_rng(seed)
+    t = full_tree(pset, depth, gen) if full else grow_tree(pset, depth, gen)
+    t.validate()
+    assert t.depth <= depth
+    if full:
+        assert t.depth == depth
+    inst = random_covering(seed % 17)
+    ctx = GreedyContext.fresh(inst)
+    out = t(ctx)
+    assert out.shape == (inst.n_bundles,)

@@ -1,0 +1,141 @@
+"""Cross-module integration tests: the paper's claims end to end.
+
+These run both algorithms on a shared small instance suite and assert the
+*shape* of the paper's findings (Tables III/IV, Figs. 4/5) at test scale.
+Budgets are tiny, so assertions are directional with slack rather than
+exact-magnitude.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bcpop.generator import generate_instance
+from repro.core.carbon import run_carbon
+from repro.core.cobra import run_cobra
+from repro.core.config import CarbonConfig, CobraConfig
+from repro.core.convergence import seesaw_index
+
+CARBON_CFG = CarbonConfig.quick(ul_evaluations=700, ll_evaluations=700, population_size=14)
+COBRA_CFG = CobraConfig.quick(ul_evaluations=700, ll_evaluations=700, population_size=14)
+SEEDS = (0, 1, 2)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate_instance(50, 5, seed=23, name="integration")
+
+
+@pytest.fixture(scope="module")
+def carbon_runs(instance):
+    return [run_carbon(instance, CARBON_CFG, seed=s) for s in SEEDS]
+
+
+@pytest.fixture(scope="module")
+def cobra_runs(instance):
+    return [run_cobra(instance, COBRA_CFG, seed=s) for s in SEEDS]
+
+
+class TestTable3Shape:
+    def test_carbon_gap_below_cobra(self, carbon_runs, cobra_runs):
+        """Paper Table III: CARBON's %-gap is far smaller than COBRA's."""
+        carbon_gap = np.mean([r.best_gap for r in carbon_runs])
+        cobra_gap = np.mean([r.best_gap for r in cobra_runs])
+        assert carbon_gap < cobra_gap
+
+    def test_gaps_are_valid(self, carbon_runs, cobra_runs):
+        for r in carbon_runs + cobra_runs:
+            assert np.isfinite(r.best_gap)
+            assert r.best_gap >= -1e-9
+
+
+class TestTable4Shape:
+    def test_cobra_revenue_competitive_despite_weak_follower(
+        self, carbon_runs, cobra_runs
+    ):
+        """Paper Table IV + Eq. 2-3: looser LL solving relaxes the UL, so
+        COBRA reports revenue at least rivalling CARBON's realistic
+        estimate *despite* its far worse %-gap.  The full >1.4x
+        overestimation needs more exploitation budget than a unit test
+        affords — the strict directional claim lives in
+        benchmarks/bench_table4_ulobj.py (and EXPERIMENTS.md documents the
+        budget dependence)."""
+        carbon_up = np.mean([r.best_upper for r in carbon_runs])
+        cobra_up = np.mean([r.best_upper for r in cobra_runs])
+        assert cobra_up > 0.7 * carbon_up
+
+    def test_carbon_revenue_is_realizable(self, instance, carbon_runs):
+        """CARBON's reported revenue comes from an actually simulated
+        follower basket, so it is exactly reproducible."""
+        for r in carbon_runs:
+            sol = r.best_solution
+            assert instance.revenue(sol.prices, sol.selection) == pytest.approx(
+                r.best_upper
+            )
+
+    def test_cobra_revenue_inflated_relative_to_rational(self, instance, cobra_runs):
+        """Re-solving COBRA's best pricing with a near-rational follower
+        (exact B&B) yields no more revenue than COBRA claimed on average —
+        the overestimation is real, not an artifact of our extraction."""
+        from repro.covering.exact import solve_exact
+
+        claimed, rational = [], []
+        for r in cobra_runs:
+            ll = instance.lower_level(r.best_solution.prices)
+            exact = solve_exact(ll, method="branch_and_bound", max_nodes=4000)
+            rational.append(instance.revenue(r.best_solution.prices, exact.selected))
+            claimed.append(r.best_upper)
+        assert np.mean(claimed) >= np.mean(rational) - 1e-6
+
+
+class TestFig45Shape:
+    def test_cobra_seesaw_exceeds_carbon(self, carbon_runs, cobra_runs):
+        carbon_ss = np.mean(
+            [seesaw_index(r.history.series("fitness")[1]) for r in carbon_runs]
+        )
+        cobra_ss = np.mean(
+            [seesaw_index(r.history.series("fitness")[1]) for r in cobra_runs]
+        )
+        assert cobra_ss > carbon_ss + 0.1
+
+    def test_carbon_gap_trend_downward(self, carbon_runs):
+        """Fig. 4: steady decrease of the gap curve."""
+        for r in carbon_runs:
+            _, gaps = r.history.series("gap")
+            finite = gaps[np.isfinite(gaps)]
+            assert finite[-1] <= finite[0] + 1e-9
+
+
+class TestChampionQuality:
+    def test_champion_beats_plain_cost_heuristic(self, instance, carbon_runs):
+        """The evolved heuristic should comfortably beat cheapest-first."""
+        from repro.bcpop.evaluate import LowerLevelEvaluator
+        from repro.covering.heuristics import cost_score
+
+        ev = LowerLevelEvaluator(instance)
+        gen = np.random.default_rng(0)
+        prices = [
+            gen.uniform(0, instance.price_cap, instance.n_own) for _ in range(5)
+        ]
+        cost_gaps = [ev.evaluate_heuristic(p, cost_score).gap for p in prices]
+        champion_gap = np.mean([r.best_gap for r in carbon_runs])
+        assert champion_gap < np.mean(cost_gaps)
+
+
+class TestPublicAPI:
+    def test_star_import_surface(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_docstring_flow(self):
+        from repro import CarbonConfig, generate_instance, run_carbon
+
+        inst = generate_instance(16, 2, seed=0)
+        res = run_carbon(
+            inst, CarbonConfig.quick(60, 60, population_size=6), seed=0
+        )
+        assert np.isfinite(res.best_gap)
+        assert np.isfinite(res.best_upper)

@@ -1,0 +1,119 @@
+"""Tests for the island model and instance serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bcpop.generator import generate_instance
+from repro.bcpop.io import (
+    bcpop_from_dict,
+    bcpop_to_dict,
+    export_mknap,
+    load_bcpop,
+    save_bcpop,
+)
+from repro.bcpop.orlib import parse_mknap
+from repro.core.config import CarbonConfig
+from repro.parallel.islands import IslandCarbon, run_island_carbon
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate_instance(24, 3, seed=9, name="island-test")
+
+
+TINY = CarbonConfig.quick(120, 120, population_size=8)
+
+
+class TestIslandModel:
+    def test_single_island_reduces_to_carbon(self, instance):
+        result = run_island_carbon(instance, TINY, n_islands=1, seed=0)
+        assert result.algorithm == "CARBON-ISLANDS[1]"
+        assert result.extras["migrations"] == 0
+        assert np.isfinite(result.best_gap)
+
+    def test_multi_island_budget_is_sum(self, instance):
+        result = run_island_carbon(instance, TINY, n_islands=3, seed=0)
+        assert result.ul_evaluations_used <= 3 * TINY.upper.fitness_evaluations
+        assert result.ll_evaluations_used <= 3 * TINY.ll_fitness_evaluations
+        assert len(result.extras["per_island_gap"]) == 3
+
+    def test_migration_happens(self, instance):
+        model = IslandCarbon(instance, TINY, n_islands=3, migration_interval=1, seed=1)
+        result = model.run()
+        assert result.extras["migrations"] >= 1
+
+    def test_migration_spreads_champions(self, instance):
+        """With frequent migration, island champions converge."""
+        result = run_island_carbon(
+            instance, TINY, n_islands=3, migration_interval=1, seed=2
+        )
+        gaps = result.extras["per_island_gap"]
+        assert max(gaps) - min(gaps) <= max(gaps) * 0.5 + 1e-9
+
+    def test_reproducible(self, instance):
+        a = run_island_carbon(instance, TINY, n_islands=2, seed=7)
+        b = run_island_carbon(instance, TINY, n_islands=2, seed=7)
+        assert a.best_gap == pytest.approx(b.best_gap)
+
+    def test_reported_gap_is_ring_best(self, instance):
+        result = run_island_carbon(instance, TINY, n_islands=3, seed=3)
+        assert result.best_gap == pytest.approx(min(result.extras["per_island_gap"]))
+
+    def test_validation(self, instance):
+        with pytest.raises(ValueError, match="n_islands"):
+            IslandCarbon(instance, TINY, n_islands=0)
+        with pytest.raises(ValueError, match="migration_interval"):
+            IslandCarbon(instance, TINY, migration_interval=0)
+
+
+class TestSerialization:
+    def test_dict_roundtrip(self, instance):
+        clone = bcpop_from_dict(bcpop_to_dict(instance))
+        assert np.array_equal(clone.q, instance.q)
+        assert np.array_equal(clone.demand, instance.demand)
+        assert np.array_equal(clone.market_prices, instance.market_prices)
+        assert clone.n_own == instance.n_own
+        assert clone.price_cap == instance.price_cap
+        assert clone.name == instance.name
+
+    def test_file_roundtrip(self, instance, tmp_path):
+        path = tmp_path / "inst.json"
+        save_bcpop(instance, path)
+        clone = load_bcpop(path)
+        assert np.array_equal(clone.q, instance.q)
+
+    def test_format_validation(self):
+        with pytest.raises(ValueError, match="not a repro-bcpop"):
+            bcpop_from_dict({"format": "something-else"})
+        with pytest.raises(ValueError, match="version"):
+            bcpop_from_dict({"format": "repro-bcpop", "version": 99})
+
+    def test_roundtrip_solves_identically(self, instance, tmp_path):
+        from repro.bcpop.evaluate import LowerLevelEvaluator
+        from repro.covering.heuristics import chvatal_score
+
+        path = tmp_path / "inst.json"
+        save_bcpop(instance, path)
+        clone = load_bcpop(path)
+        prices = np.full(instance.n_own, instance.price_cap / 3)
+        a = LowerLevelEvaluator(instance).evaluate_heuristic(prices, chvatal_score)
+        b = LowerLevelEvaluator(clone).evaluate_heuristic(prices, chvatal_score)
+        assert a.ll_cost == pytest.approx(b.ll_cost)
+        assert a.gap == pytest.approx(b.gap)
+
+    def test_mknap_export_parses_back(self, instance, tmp_path):
+        text = export_mknap(instance)
+        problems = parse_mknap(text)
+        assert len(problems) == 1
+        mkp = problems[0]
+        assert mkp.n == instance.n_bundles
+        assert mkp.m == instance.n_services
+        assert np.array_equal(mkp.weights, instance.q)
+        assert np.array_equal(mkp.capacities, instance.demand)
+
+    def test_mknap_export_to_file(self, instance, tmp_path):
+        path = tmp_path / "inst.mknap"
+        export_mknap(instance, path)
+        assert parse_mknap(path.read_text())[0].n == instance.n_bundles

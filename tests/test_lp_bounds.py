@@ -1,0 +1,79 @@
+"""Tests for the relaxation cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lp.bounds import RelaxationCache
+from tests.conftest import random_covering
+
+
+class TestRelaxationCache:
+    def test_second_lookup_hits(self, small_covering):
+        cache = RelaxationCache()
+        a = cache.get(small_covering)
+        b = cache.get(small_covering)
+        assert a is b
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_distinct_costs_miss(self, small_covering):
+        cache = RelaxationCache()
+        cache.get(small_covering)
+        other = small_covering.with_costs(small_covering.costs * 2.0)
+        cache.get(other)
+        assert cache.misses == 2
+
+    def test_results_match_uncached(self, small_covering):
+        from repro.lp.relaxation import solve_relaxation
+
+        cache = RelaxationCache()
+        cached = cache.get(small_covering)
+        direct = solve_relaxation(small_covering)
+        assert cached.lower_bound == pytest.approx(direct.lower_bound)
+
+    def test_lru_eviction(self):
+        cache = RelaxationCache(maxsize=2)
+        instances = [random_covering(s) for s in range(3)]
+        for inst in instances:
+            cache.get(inst)
+        assert len(cache) == 2
+        # Oldest (instances[0]) was evicted: re-getting misses again.
+        misses_before = cache.misses
+        cache.get(instances[0])
+        assert cache.misses == misses_before + 1
+
+    def test_lru_move_to_end_on_hit(self):
+        cache = RelaxationCache(maxsize=2)
+        a, b, c = (random_covering(s) for s in range(3))
+        cache.get(a)
+        cache.get(b)
+        cache.get(a)  # refresh a; b becomes LRU
+        cache.get(c)  # evicts b
+        misses = cache.misses
+        cache.get(a)
+        assert cache.misses == misses  # still cached
+
+    def test_hit_rate(self, small_covering):
+        cache = RelaxationCache()
+        assert cache.hit_rate == 0.0
+        cache.get(small_covering)
+        cache.get(small_covering)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_clear(self, small_covering):
+        cache = RelaxationCache()
+        cache.get(small_covering)
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(ValueError, match="maxsize"):
+            RelaxationCache(maxsize=0)
+
+    def test_quantization_distinguishes_real_changes(self, small_covering):
+        cache = RelaxationCache()
+        cache.get(small_covering)
+        nudged = small_covering.with_costs(small_covering.costs + 1.0)
+        cache.get(nudged)
+        assert cache.misses == 2

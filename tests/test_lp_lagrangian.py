@@ -1,0 +1,88 @@
+"""Tests for the Lagrangian-relaxation bound."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.covering.exact import solve_exact
+from repro.lp.lagrangian import lagrangian_bound
+from repro.lp.relaxation import solve_relaxation
+from tests.conftest import random_covering
+
+
+class TestValidity:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_never_exceeds_lp_bound(self, seed):
+        inst = random_covering(seed, 5, 30)
+        lag = lagrangian_bound(inst)
+        lp = solve_relaxation(inst)
+        assert lag.lower_bound <= lp.lower_bound + 1e-6
+
+    def test_bounds_integer_optimum(self, tiny_covering):
+        lag = lagrangian_bound(tiny_covering)
+        exact = solve_exact(tiny_covering, method="enumeration")
+        assert lag.lower_bound <= exact.cost + 1e-6
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_close_to_lp_bound(self, seed):
+        """Integrality property: the dual optimum *equals* the LP bound;
+        subgradient ascent should close most of the distance."""
+        inst = random_covering(seed, 5, 30)
+        lag = lagrangian_bound(inst, max_iterations=600)
+        lp = solve_relaxation(inst)
+        if lp.lower_bound > 1e-9:
+            assert lag.lower_bound >= 0.9 * lp.lower_bound
+
+    def test_multipliers_nonnegative(self, small_covering):
+        lag = lagrangian_bound(small_covering)
+        assert (lag.multipliers >= 0).all()
+
+
+class TestMechanics:
+    def test_zero_demand_gives_zero_bound(self):
+        from repro.covering.instance import CoveringInstance
+
+        inst = CoveringInstance(costs=[3.0, 1.0], q=[[1.0, 1.0]], demand=[0.0])
+        lag = lagrangian_bound(inst)
+        assert lag.lower_bound == pytest.approx(0.0, abs=1e-9)
+        assert lag.converged
+
+    def test_target_sharpens_steps(self, small_covering):
+        from repro.covering.greedy import greedy_cover
+        from repro.covering.heuristics import chvatal_score
+
+        ub = greedy_cover(small_covering, chvatal_score).cost
+        with_target = lagrangian_bound(small_covering, target=ub, max_iterations=200)
+        assert np.isfinite(with_target.lower_bound)
+
+    def test_iteration_budget_respected(self, small_covering):
+        lag = lagrangian_bound(small_covering, max_iterations=7)
+        assert lag.iterations <= 7
+
+    def test_invalid_budget_raises(self, small_covering):
+        with pytest.raises(ValueError, match="max_iterations"):
+            lagrangian_bound(small_covering, max_iterations=0)
+
+    def test_bound_improves_with_iterations(self, small_covering):
+        short = lagrangian_bound(small_covering, max_iterations=3)
+        long = lagrangian_bound(small_covering, max_iterations=300)
+        assert long.lower_bound >= short.lower_bound - 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_lagrangian_sandwich(seed):
+    """Property: L(λ*) <= LP bound <= integer optimum, all finite on
+    coverable instances."""
+    inst = random_covering(seed, 3, 12)
+    if not inst.is_coverable():
+        return
+    lag = lagrangian_bound(inst, max_iterations=300)
+    lp = solve_relaxation(inst)
+    exact = solve_exact(inst, method="enumeration")
+    assert lag.lower_bound <= lp.lower_bound + 1e-6
+    assert lp.lower_bound <= exact.cost + 1e-6
+    assert np.isfinite(lag.lower_bound)

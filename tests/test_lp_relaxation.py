@@ -1,0 +1,83 @@
+"""Tests for the covering LP-relaxation layer and the %-gap."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.covering.instance import CoveringInstance
+from repro.lp.relaxation import solve_relaxation
+from tests.conftest import random_covering
+
+
+class TestBackendsAgree:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_scipy_and_own_simplex_agree(self, seed):
+        inst = random_covering(seed)
+        a = solve_relaxation(inst, backend="scipy")
+        b = solve_relaxation(inst, backend="simplex")
+        assert a.feasible and b.feasible
+        assert a.lower_bound == pytest.approx(b.lower_bound, rel=1e-6, abs=1e-6)
+        # Duals can differ at degenerate optima, but the dual objective
+        # (b^T d, adjusted for x<=1) must support the same bound direction.
+        assert (a.duals >= 0).all() and (b.duals >= 0).all()
+
+    def test_auto_backend_works(self, small_covering):
+        relax = solve_relaxation(small_covering, backend="auto")
+        assert relax.feasible
+        assert relax.lower_bound > 0
+
+    def test_unknown_backend_raises(self, small_covering):
+        with pytest.raises(ValueError, match="unknown LP backend"):
+            solve_relaxation(small_covering, backend="nope")
+
+
+class TestRelaxationSemantics:
+    def test_bound_below_integer_optimum(self, tiny_covering):
+        from repro.covering.exact import solve_exact
+
+        relax = solve_relaxation(tiny_covering)
+        exact = solve_exact(tiny_covering, method="enumeration")
+        assert relax.lower_bound <= exact.cost + 1e-9
+
+    def test_xbar_within_unit_box(self, small_covering):
+        relax = solve_relaxation(small_covering)
+        assert (relax.xbar >= 0).all() and (relax.xbar <= 1).all()
+
+    def test_xbar_covers_demand(self, small_covering):
+        relax = solve_relaxation(small_covering)
+        coverage = small_covering.q @ relax.xbar
+        assert (coverage >= small_covering.demand - 1e-6).all()
+
+    def test_infeasible_instance_flagged(self):
+        inst = CoveringInstance(
+            costs=[1.0], q=[[1.0]], demand=[5.0]  # single bundle can't cover 5
+        )
+        relax = solve_relaxation(inst)
+        assert not relax.feasible
+        assert np.isinf(relax.lower_bound)
+
+    def test_zero_demand_zero_bound(self):
+        inst = CoveringInstance(costs=[3.0, 1.0], q=[[1.0, 1.0]], demand=[0.0])
+        relax = solve_relaxation(inst)
+        assert relax.feasible
+        assert relax.lower_bound == pytest.approx(0.0, abs=1e-9)
+
+
+class TestPercentGap:
+    def test_gap_of_the_bound_itself_is_zero(self, small_covering):
+        relax = solve_relaxation(small_covering)
+        assert relax.percent_gap(relax.lower_bound) == pytest.approx(0.0, abs=1e-6)
+
+    def test_gap_grows_linearly(self, small_covering):
+        relax = solve_relaxation(small_covering)
+        lb = relax.lower_bound
+        assert relax.percent_gap(1.10 * lb) == pytest.approx(10.0, rel=1e-6)
+        assert relax.percent_gap(2.0 * lb) == pytest.approx(100.0, rel=1e-6)
+
+    def test_zero_bound_guard(self):
+        inst = CoveringInstance(costs=[0.0, 1.0], q=[[1.0, 1.0]], demand=[1.0])
+        relax = solve_relaxation(inst)
+        assert relax.lower_bound == pytest.approx(0.0, abs=1e-9)
+        gap = relax.percent_gap(1.0)
+        assert np.isfinite(gap) and gap > 0

@@ -1,0 +1,173 @@
+"""Unit and property tests for the from-scratch simplex solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lp.simplex import LPStatus, solve_lp
+
+
+class TestBasicSolves:
+    def test_simple_minimization(self):
+        # min x + y s.t. x + y >= 1 (as -x - y <= -1), x,y >= 0
+        res = solve_lp(c=[1.0, 1.0], A_ub=[[-1.0, -1.0]], b_ub=[-1.0])
+        assert res.ok
+        assert res.fun == pytest.approx(1.0)
+        assert res.x.sum() == pytest.approx(1.0)
+
+    def test_unique_vertex_optimum(self):
+        # min -x - 2y s.t. x + y <= 4, x <= 2, y <= 3 -> (1, 3), obj -7
+        res = solve_lp(
+            c=[-1.0, -2.0],
+            A_ub=[[1.0, 1.0]],
+            b_ub=[4.0],
+            ub=[2.0, 3.0],
+        )
+        assert res.ok
+        assert res.fun == pytest.approx(-7.0)
+        assert res.x == pytest.approx([1.0, 3.0])
+
+    def test_equality_constraints(self):
+        # min x + 3y s.t. x + y = 2 -> x=2, y=0
+        res = solve_lp(c=[1.0, 3.0], A_eq=[[1.0, 1.0]], b_eq=[2.0])
+        assert res.ok
+        assert res.fun == pytest.approx(2.0)
+        assert res.x == pytest.approx([2.0, 0.0])
+
+    def test_degenerate_zero_rhs(self):
+        res = solve_lp(c=[1.0, 1.0], A_eq=[[1.0, -1.0]], b_eq=[0.0])
+        assert res.ok
+        assert res.fun == pytest.approx(0.0)
+
+    def test_no_constraints_nonnegative_costs(self):
+        res = solve_lp(c=[2.0, 0.0])
+        assert res.ok
+        assert res.fun == 0.0
+
+    def test_no_constraints_negative_cost_unbounded(self):
+        res = solve_lp(c=[-1.0])
+        assert res.status is LPStatus.UNBOUNDED
+
+
+class TestStatuses:
+    def test_infeasible(self):
+        # x <= -1 with x >= 0
+        res = solve_lp(c=[1.0], A_ub=[[1.0]], b_ub=[-1.0])
+        assert res.status is LPStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        # min -x with only x >= 0
+        res = solve_lp(c=[-1.0], A_ub=[[-1.0]], b_ub=[0.0])
+        assert res.status is LPStatus.UNBOUNDED
+
+    def test_conflicting_equalities_infeasible(self):
+        res = solve_lp(
+            c=[1.0], A_eq=[[1.0], [1.0]], b_eq=[1.0, 2.0]
+        )
+        assert res.status is LPStatus.INFEASIBLE
+
+
+class TestDuals:
+    def test_duals_covering_form(self):
+        # min 3x + 2y s.t. x + y >= 2 -> all slack on the cheaper var,
+        # dual of the covering row = 2 (the marginal cost of demand).
+        res = solve_lp(c=[3.0, 2.0], A_ub=[[-1.0, -1.0]], b_ub=[-2.0])
+        assert res.ok
+        assert res.fun == pytest.approx(4.0)
+        # Lagrangian multiplier for -x-y <= -2 is the covering dual: 2.
+        assert res.duals_ub == pytest.approx([2.0])
+
+    def test_dual_objective_matches_primal(self):
+        gen = np.random.default_rng(3)
+        A = gen.uniform(0.0, 5.0, (4, 8))
+        b = A.sum(axis=1) * 0.3
+        c = gen.uniform(1.0, 10.0, 8)
+        res = solve_lp(c=c, A_ub=-A, b_ub=-b, ub=np.ones(8))
+        assert res.ok
+        # Strong duality: primal == b^T d - sum of upper-bound duals; at
+        # minimum check weak duality holds for the covering part.
+        d = res.duals_ub
+        assert (d >= -1e-9).all()
+
+    def test_equality_duals_shape(self):
+        res = solve_lp(
+            c=[1.0, 2.0, 0.0],
+            A_eq=[[1.0, 1.0, 1.0]],
+            b_eq=[3.0],
+        )
+        assert res.ok
+        assert res.duals_eq.shape == (1,)
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_covering_relaxations_match_scipy(self, seed):
+        from scipy.optimize import linprog
+
+        gen = np.random.default_rng(seed)
+        m, n = int(gen.integers(2, 6)), int(gen.integers(4, 14))
+        A = gen.uniform(0.0, 6.0, (m, n))
+        b = A.sum(axis=1) * gen.uniform(0.1, 0.6)
+        c = gen.uniform(0.5, 10.0, n)
+        mine = solve_lp(c=c, A_ub=-A, b_ub=-b, ub=np.ones(n))
+        ref = linprog(c=c, A_ub=-A, b_ub=-b, bounds=(0, 1), method="highs")
+        assert mine.ok and ref.success
+        assert mine.fun == pytest.approx(ref.fun, rel=1e-7, abs=1e-7)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_general_lp_matches_scipy(self, seed):
+        from scipy.optimize import linprog
+
+        gen = np.random.default_rng(100 + seed)
+        m, n = 3, 6
+        A = gen.normal(0.0, 2.0, (m, n))
+        b = np.abs(gen.normal(2.0, 2.0, m)) + 1.0  # generous: keeps x=0 feasible
+        c = gen.uniform(0.0, 5.0, n)
+        mine = solve_lp(c=c, A_ub=A, b_ub=b, ub=np.full(n, 10.0))
+        ref = linprog(c=c, A_ub=A, b_ub=b, bounds=(0, 10.0), method="highs")
+        assert mine.ok and ref.success
+        assert mine.fun == pytest.approx(ref.fun, rel=1e-7, abs=1e-7)
+
+
+class TestValidation:
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="incompatible"):
+            solve_lp(c=[1.0, 2.0], A_ub=[[1.0]], b_ub=[1.0])
+
+    def test_matrix_without_rhs_raises(self):
+        with pytest.raises(ValueError, match="together"):
+            solve_lp(c=[1.0], A_ub=[[1.0]])
+
+    def test_negative_upper_bound_raises(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            solve_lp(c=[1.0], A_ub=[[1.0]], b_ub=[1.0], ub=[-1.0])
+
+    def test_wrong_ub_size_raises(self):
+        with pytest.raises(ValueError, match="ub size"):
+            solve_lp(c=[1.0, 1.0], A_ub=[[1.0, 1.0]], b_ub=[1.0], ub=[1.0])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    m=st.integers(1, 4),
+    n=st.integers(2, 9),
+    tight=st.floats(0.05, 0.7),
+)
+def test_property_simplex_covering_optimum_bounds(seed, m, n, tight):
+    """Property: the relaxation value is finite, non-negative, and no more
+    than the all-ones cost; duals are non-negative."""
+    gen = np.random.default_rng(seed)
+    A = gen.uniform(0.0, 5.0, (m, n)) + 0.01
+    b = A.sum(axis=1) * tight
+    c = gen.uniform(0.1, 10.0, n)
+    res = solve_lp(c=c, A_ub=-A, b_ub=-b, ub=np.ones(n))
+    assert res.ok
+    assert -1e-9 <= res.fun <= c.sum() + 1e-9
+    assert (res.duals_ub >= -1e-9).all()
+    assert (res.x >= -1e-9).all() and (res.x <= 1.0 + 1e-9).all()
+    # Primal feasibility of the reported solution.
+    assert (A @ res.x >= b - 1e-6).all()

@@ -1,0 +1,114 @@
+"""Tests for RNG streams and executors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.parallel.executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    make_executor,
+    parallel_map,
+)
+from repro.parallel.rng import RngFactory, spawn_generators, stream_for
+
+
+class TestStreams:
+    def test_spawn_independent(self):
+        gens = spawn_generators(0, 3)
+        draws = [g.random(100) for g in gens]
+        assert not np.allclose(draws[0], draws[1])
+        assert not np.allclose(draws[1], draws[2])
+
+    def test_spawn_reproducible(self):
+        a = spawn_generators(42, 2)
+        b = spawn_generators(42, 2)
+        for ga, gb in zip(a, b):
+            assert np.array_equal(ga.random(10), gb.random(10))
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_stream_for_addressable(self):
+        a = stream_for(7, "table3", 500, 30, 0)
+        b = stream_for(7, "table3", 500, 30, 0)
+        assert np.array_equal(a.random(10), b.random(10))
+
+    def test_stream_for_distinct_keys(self):
+        a = stream_for(7, "x", 1).random(50)
+        b = stream_for(7, "x", 2).random(50)
+        assert not np.allclose(a, b)
+
+    def test_stream_key_separator_prevents_collisions(self):
+        a = stream_for(0, "ab", "c").random(20)
+        b = stream_for(0, "a", "bc").random(20)
+        assert not np.allclose(a, b)
+
+
+class TestRngFactory:
+    def test_successive_spawns_never_repeat(self):
+        f = RngFactory(1)
+        a = f.spawn_one().random(20)
+        b = f.spawn_one().random(20)
+        assert not np.allclose(a, b)
+
+    def test_named_is_stateless(self):
+        f = RngFactory(1)
+        a = f.named("run", 3).random(10)
+        b = f.named("run", 3).random(10)
+        assert np.array_equal(a, b)
+
+    def test_named_many(self):
+        f = RngFactory(2)
+        gens = f.named_many(("worker",), 4)
+        assert len(gens) == 4
+        draws = [g.random(20) for g in gens]
+        assert not np.allclose(draws[0], draws[3])
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(TypeError, match="seed"):
+            RngFactory("abc")  # type: ignore[arg-type]
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestExecutors:
+    def test_serial_map_order(self):
+        ex = SerialExecutor()
+        assert ex.map(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_parallel_map_default_serial(self):
+        assert parallel_map(_square, range(4)) == [0, 1, 4, 9]
+
+    def test_make_executor_kinds(self):
+        assert isinstance(make_executor("serial"), SerialExecutor)
+        ex = make_executor("processes", workers=2)
+        assert isinstance(ex, ProcessExecutor)
+        ex.close()
+
+    def test_make_executor_unknown(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            make_executor("threads")
+
+    def test_process_executor_map(self):
+        with ProcessExecutor(workers=2) as ex:
+            out = ex.map(_square, list(range(10)))
+        assert out == [x * x for x in range(10)]
+
+    def test_process_executor_empty(self):
+        with ProcessExecutor(workers=2) as ex:
+            assert ex.map(_square, []) == []
+
+    def test_process_executor_invalid_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            ProcessExecutor(workers=0)
+
+    def test_context_manager_closes(self):
+        ex = ProcessExecutor(workers=1)
+        with ex:
+            ex.map(_square, [1])
+        assert ex._pool is None

@@ -1,0 +1,139 @@
+"""Cross-cutting property tests on system-level invariants.
+
+These hold across modules and catch integration drift that unit tests
+miss: the bound sandwich, gap consistency through the evaluation
+pipeline, archive/selection interaction, and convergence bookkeeping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bcpop.generator import generate_instance
+from repro.bcpop.evaluate import LowerLevelEvaluator
+from repro.core.archive import Archive
+from repro.core.convergence import ConvergenceHistory, resample_history, seesaw_index
+from repro.covering.greedy import greedy_cover
+from repro.covering.heuristics import NAMED_HEURISTICS
+from repro.gp.generate import grow_tree
+from repro.gp.primitives import paper_primitive_set
+from tests.conftest import random_covering
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_bound_sandwich_full_stack(seed):
+    """LB(Lagrangian) <= LB(LP) <= exact <= every heuristic value."""
+    from repro.covering.exact import solve_exact
+    from repro.lp.lagrangian import lagrangian_bound
+    from repro.lp.relaxation import solve_relaxation
+
+    inst = random_covering(seed, 3, 14)
+    if not inst.is_coverable():
+        return
+    lp = solve_relaxation(inst)
+    lag = lagrangian_bound(inst, max_iterations=200)
+    exact = solve_exact(inst, method="enumeration")
+    heuristics = [
+        greedy_cover(inst, fn).cost for fn in NAMED_HEURISTICS.values()
+    ]
+    assert lag.lower_bound <= lp.lower_bound + 1e-6
+    assert lp.lower_bound <= exact.cost + 1e-6
+    for value in heuristics:
+        assert exact.cost <= value + 1e-6
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 10_000), price_frac=st.floats(0.0, 1.0))
+def test_property_pipeline_gap_consistency(seed, price_frac):
+    """For any price point and any GP tree, the evaluator's outcome is
+    internally consistent: cost, revenue, gap and bound all agree."""
+    instance = generate_instance(16, 2, seed=seed % 7)
+    ev = LowerLevelEvaluator(instance)
+    gen = np.random.default_rng(seed)
+    tree = grow_tree(paper_primitive_set(), 3, gen)
+    prices = np.full(instance.n_own, price_frac * instance.price_cap)
+    out = ev.evaluate_heuristic(prices, tree)
+    assert out.feasible
+    ll = instance.lower_level(prices)
+    assert out.ll_cost == pytest.approx(ll.cost_of(out.selection))
+    assert out.revenue == pytest.approx(instance.revenue(prices, out.selection))
+    assert out.revenue <= out.ll_cost + 1e-6  # leader's share of the bill
+    assert out.lower_bound <= out.ll_cost + 1e-6
+    expected_gap = 100.0 * (out.ll_cost - out.lower_bound) / max(out.lower_bound, 1e-9)
+    assert out.gap == pytest.approx(expected_gap)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    scores=st.lists(
+        st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=40
+    ),
+    maxsize=st.integers(1, 10),
+    minimize=st.booleans(),
+)
+def test_property_archive_keeps_the_best(scores, maxsize, minimize):
+    """After any insertion sequence, the archive holds exactly the
+    ``maxsize`` best distinct scores."""
+    archive = Archive(maxsize, minimize=minimize)
+    for i, s in enumerate(scores):
+        archive.add(f"item-{i}", s)
+    kept = [e.score for e in archive.entries()]
+    expected = sorted(scores, reverse=not minimize)[: maxsize]
+    assert sorted(kept) == sorted(expected)
+    # entries() is best-first.
+    assert kept == sorted(kept, reverse=not minimize)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    values=st.lists(st.floats(-100, 100, allow_nan=False), min_size=2, max_size=60),
+)
+def test_property_seesaw_bounds_and_monotone_zero(values):
+    ss = seesaw_index(values)
+    assert 0.0 <= ss <= 1.0
+    assert seesaw_index(sorted(values)) == pytest.approx(0.0, abs=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n_runs=st.integers(1, 4),
+    lengths=st.integers(3, 20),
+    n_points=st.integers(2, 30),
+)
+def test_property_resampling_preserves_range(n_runs, lengths, n_points):
+    """Resampled curves never leave the [min, max] envelope of the
+    original per-run values."""
+    gen = np.random.default_rng(n_runs * 1000 + lengths)
+    histories = []
+    all_vals = []
+    for _ in range(n_runs):
+        h = ConvergenceHistory()
+        for i in range(lengths):
+            v = float(gen.normal())
+            all_vals.append(v)
+            h.record(10 * (i + 1), 10 * (i + 1), v, 1.0, 1.0)
+        histories.append(h)
+    grid, mean = resample_history(histories, "fitness", n_points=n_points)
+    assert grid.shape == mean.shape == (n_points,)
+    assert mean.min() >= min(all_vals) - 1e-9
+    assert mean.max() <= max(all_vals) + 1e-9
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_property_repair_idempotent(seed):
+    """Repairing a repaired vector changes nothing."""
+    from repro.covering.repair import repair_cover
+
+    inst = random_covering(seed)
+    if not inst.is_coverable():
+        return
+    gen = np.random.default_rng(seed)
+    start = gen.random(inst.n_bundles) < 0.4
+    once = repair_cover(inst, start)
+    twice = repair_cover(inst, once)
+    assert (once == twice).all()

@@ -1,0 +1,57 @@
+"""Smoke tests for the remaining ``repro-bench`` commands (tiny budgets)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import build_parser, main
+
+
+class TestParser:
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["warp-drive"])
+
+    def test_scale_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--scale", "galactic"])
+
+    def test_classes_parsing(self):
+        args = build_parser().parse_args(["table3", "--classes", "100x5", "250x10"])
+        assert args.classes == ["100x5", "250x10"]
+
+
+class TestCommands:
+    def test_extended_tiny(self, capsys):
+        assert main([
+            "extended", "--runs", "1", "--fig-n", "16", "--fig-m", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "CARBON" in out and "NESTED[chvatal]" in out and "SURROGATE" in out
+
+    def test_trilevel_tiny(self, capsys):
+        assert main([
+            "trilevel", "--runs", "1", "--fig-n", "16", "--fig-m", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "nesting multiplier" in out
+
+    def test_instances_export(self, tmp_path, capsys):
+        out_dir = tmp_path / "suite"
+        assert main(["instances", "--out", str(out_dir)]) == 0
+        files = sorted(p.name for p in out_dir.iterdir())
+        assert "bcpop-n100-m5-s0.json" in files
+        assert "bcpop-n100-m5-s0.mknap" in files
+        assert len(files) == 18  # 9 classes x 2 formats
+
+    def test_profile_flag(self, capsys):
+        assert main(["fig1", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "cProfile" in out
+
+    def test_table4_with_classes(self, capsys):
+        assert main([
+            "table4", "--runs", "1", "--classes", "16x2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "TABLE IV" in out

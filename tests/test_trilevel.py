@@ -1,0 +1,141 @@
+"""Tests for the tri-level extension (paper future work, §VI)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bcpop.generator import generate_instance
+from repro.core.config import CarbonConfig
+from repro.covering.heuristics import chvatal_score
+from repro.trilevel import (
+    TriLevelEvaluator,
+    TriLevelInstance,
+    run_trilevel_carbon,
+)
+
+
+@pytest.fixture(scope="module")
+def tri():
+    return TriLevelInstance.from_bcpop(
+        generate_instance(30, 4, seed=5, name="tri-test")
+    )
+
+
+class TestInstance:
+    def test_from_bcpop_caps(self, tri):
+        assert 0 < tri.wholesale_cap < tri.retail_cap
+        assert tri.is_coverable()
+
+    def test_bad_wholesale_fraction(self):
+        base = generate_instance(20, 3, seed=1)
+        with pytest.raises(ValueError, match="wholesale_fraction"):
+            TriLevelInstance.from_bcpop(base, wholesale_fraction=0.0)
+
+    def test_bad_caps_rejected(self, tri):
+        with pytest.raises(ValueError, match="wholesale_cap"):
+            TriLevelInstance(
+                q=tri.q, demand=tri.demand, market_prices=tri.market_prices,
+                n_own=tri.n_own, retail_cap=10.0, wholesale_cap=20.0,
+            )
+
+    def test_wholesale_validation(self, tri):
+        with pytest.raises(ValueError, match="wholesale shape"):
+            tri.validate_wholesale(np.zeros(tri.n_own + 1))
+        clipped = tri.validate_wholesale(np.full(tri.n_own, 1e9))
+        assert (clipped == tri.wholesale_cap).all()
+
+    def test_retail_instance_costs(self, tri):
+        retail = np.full(tri.n_own, 0.5 * tri.retail_cap)
+        ll = tri.retail_instance(retail)
+        assert ll.costs[: tri.n_own] == pytest.approx(retail)
+        assert ll.costs[tri.n_own:] == pytest.approx(tri.market_prices)
+
+    def test_provider_revenue_counts_wholesale(self, tri):
+        sel = np.zeros(tri.n_bundles, dtype=bool)
+        sel[0] = True
+        w = np.full(tri.n_own, 10.0)
+        assert tri.provider_revenue(w, sel) == pytest.approx(10.0)
+
+    def test_reseller_margin(self, tri):
+        sel = np.zeros(tri.n_bundles, dtype=bool)
+        sel[0] = True
+        w = np.full(tri.n_own, 10.0)
+        r = np.full(tri.n_own, 25.0)
+        assert tri.reseller_margin(w, r, sel) == pytest.approx(15.0)
+
+    def test_margin_never_negative_after_clipping(self, tri):
+        sel = np.ones(tri.n_bundles, dtype=bool)
+        w = np.full(tri.n_own, 10.0)
+        r_below_cost = np.full(tri.n_own, 5.0)  # clipped up to w
+        assert tri.reseller_margin(w, r_below_cost, sel) == pytest.approx(0.0)
+
+
+class TestEvaluator:
+    def test_reaction_consistency(self, tri):
+        ev = TriLevelEvaluator(tri, chvatal_score, reseller_population=6,
+                               reseller_generations=2)
+        rng = np.random.default_rng(0)
+        w = np.full(tri.n_own, 0.3 * tri.wholesale_cap)
+        reaction = ev.reseller_react(w, rng)
+        # Retail never sells below wholesale.
+        assert (reaction.retail >= w - 1e-9).all()
+        # The reported payoffs recompute from the basket.
+        assert reaction.provider_revenue == pytest.approx(
+            tri.provider_revenue(w, reaction.selection)
+        )
+        assert reaction.reseller_margin == pytest.approx(
+            tri.reseller_margin(w, reaction.retail, reaction.selection)
+        )
+        assert reaction.customer_gap >= -1e-9
+
+    def test_nesting_multiplier_books(self, tri):
+        ev = TriLevelEvaluator(tri, chvatal_score, reseller_population=5,
+                               reseller_generations=3)
+        rng = np.random.default_rng(1)
+        ev.reseller_react(np.zeros(tri.n_own), rng)
+        # population * (generations + 1) level-3 solves per reaction.
+        assert ev.level3_evaluations == 5 * 4
+        assert ev.nesting_multiplier == pytest.approx(20.0)
+
+    def test_zero_wholesale_maximizes_reseller_freedom(self, tri):
+        """With w = 0 the provider earns nothing regardless of reaction."""
+        ev = TriLevelEvaluator(tri, chvatal_score, reseller_population=5,
+                               reseller_generations=1)
+        reaction = ev.reseller_react(np.zeros(tri.n_own), np.random.default_rng(2))
+        assert reaction.provider_revenue == pytest.approx(0.0)
+
+    def test_validation(self, tri):
+        with pytest.raises(ValueError, match="reseller_population"):
+            TriLevelEvaluator(tri, chvatal_score, reseller_population=1)
+
+
+class TestTriLevelCarbon:
+    def test_runs_and_accounts(self, tri):
+        result = run_trilevel_carbon(
+            tri, CarbonConfig.quick(15, 600, population_size=6),
+            seed=0, reseller_population=5, reseller_generations=1,
+        )
+        assert result.algorithm == "CARBON3"
+        assert result.ul_evaluations_used <= 15
+        assert result.ll_evaluations_used <= 600
+        assert result.extras["nesting_multiplier"] > 1.0
+        assert np.isfinite(result.best_gap)
+
+    def test_reproducible(self, tri):
+        cfg = CarbonConfig.quick(10, 400, population_size=5)
+        a = run_trilevel_carbon(tri, cfg, seed=4, reseller_population=4,
+                                reseller_generations=1)
+        b = run_trilevel_carbon(tri, cfg, seed=4, reseller_population=4,
+                                reseller_generations=1)
+        assert a.best_upper == pytest.approx(b.best_upper)
+        assert a.best_gap == pytest.approx(b.best_gap)
+
+    def test_nesting_consumes_l3_budget(self, tri):
+        """The future-work observation: the deeper level eats the budget —
+        level-3 solves per level-1 evaluation match the embedded GA size."""
+        result = run_trilevel_carbon(
+            tri, CarbonConfig.quick(15, 600, population_size=6),
+            seed=1, reseller_population=6, reseller_generations=2,
+        )
+        assert result.extras["nesting_multiplier"] >= 6 * 3 * 0.5

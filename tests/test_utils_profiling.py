@@ -1,0 +1,43 @@
+"""Tests for profiling utilities."""
+
+from __future__ import annotations
+
+import time
+
+from repro.utils.profiling import profiled, time_block
+
+
+class TestProfiled:
+    def test_captures_stats(self):
+        with profiled() as report:
+            sum(i * i for i in range(50_000))
+        assert report.total_seconds > 0
+        assert "function calls" in report.text
+
+    def test_top_truncates(self):
+        with profiled() as report:
+            sorted(range(1000), key=lambda v: -v)
+        top = report.top(3)
+        assert len(top.splitlines()) <= len(report.text.splitlines())
+
+    def test_exception_still_fills_report(self):
+        try:
+            with profiled() as report:
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert report.total_seconds >= 0
+        assert report.text
+
+
+class TestTimeBlock:
+    def test_measures_elapsed(self):
+        with time_block("nap") as t:
+            time.sleep(0.01)
+        assert t.seconds >= 0.009
+        assert "nap" in str(t)
+
+    def test_default_label(self):
+        with time_block() as t:
+            pass
+        assert "block" in str(t)
