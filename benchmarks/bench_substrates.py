@@ -88,3 +88,87 @@ class TestEvaluationPipeline:
         out = benchmark(ev.evaluate_heuristic, prices, chvatal_score)
         assert out.feasible
         assert ev.cache_stats["hit_rate"] > 0.9
+
+
+class TestBatchedPipelineSpeedup:
+    """Serial vs process-pool population evaluation at Table-II scale
+    (500 bundles x 30 services).  The pipeline's contract is bit-identical
+    results either way; this measures what the pool buys in wall time."""
+
+    @staticmethod
+    def _requests(instance, n_prices=16, n_trees=4):
+        from repro.gp.generate import grow_tree
+        from repro.gp.primitives import paper_primitive_set
+
+        gen = np.random.default_rng(0)
+        pset = paper_primitive_set()
+        trees = [grow_tree(pset, 4, gen) for _ in range(n_trees)]
+        prices = [
+            gen.uniform(0.1, instance.price_cap, instance.n_own)
+            for _ in range(n_prices)
+        ]
+        return [(p, t) for p in prices for t in trees]
+
+    def test_process_pool_speedup_table2_scale(self):
+        import os
+        import time
+
+        from repro.bcpop.evaluate import EvaluationPipeline
+        from repro.parallel.executor import ProcessExecutor, SerialExecutor
+
+        if (os.cpu_count() or 1) < 4:
+            pytest.skip("speedup measurement needs >= 4 physical CPUs")
+
+        instance = generate_instance(500, 30, seed=0, name="bench-500x30")
+        requests = self._requests(instance)
+
+        serial_pipe = EvaluationPipeline(
+            LowerLevelEvaluator(instance), SerialExecutor()
+        )
+        t0 = time.perf_counter()
+        serial_out = serial_pipe.evaluate_heuristics(requests)
+        t_serial = time.perf_counter() - t0
+
+        with ProcessExecutor(workers=4) as ex:
+            pipe = EvaluationPipeline(LowerLevelEvaluator(instance), ex)
+            pipe.evaluate_heuristics(requests[:4])  # warm the pool + workers
+            fresh = self._requests(instance)  # cold memo for the timed pass
+            pipe2 = EvaluationPipeline(LowerLevelEvaluator(instance), ex)
+            t0 = time.perf_counter()
+            parallel_out = pipe2.evaluate_heuristics(fresh)
+            t_parallel = time.perf_counter() - t0
+
+        # Identical results, substrate notwithstanding.
+        for a, b in zip(serial_out, parallel_out):
+            assert a.gap == b.gap and a.revenue == b.revenue
+        speedup = t_serial / t_parallel
+        print(
+            f"\nserial {t_serial:.2f}s  parallel(4) {t_parallel:.2f}s  "
+            f"speedup {speedup:.2f}x  memo={serial_pipe.stats['memo']}"
+        )
+        assert speedup >= 2.0
+
+    def test_memo_amortizes_reevaluation(self):
+        """Second pass over the same population is nearly free: the memo
+        serves every request without touching the budget counter."""
+        import time
+
+        from repro.bcpop.evaluate import EvaluationPipeline
+
+        instance = generate_instance(500, 30, seed=0, name="bench-500x30")
+        requests = self._requests(instance, n_prices=8, n_trees=3)
+        ev = LowerLevelEvaluator(instance)
+        pipe = EvaluationPipeline(ev)
+
+        t0 = time.perf_counter()
+        pipe.evaluate_heuristics(requests)
+        t_cold = time.perf_counter() - t0
+        work_after_first = ev.n_evaluations
+
+        t0 = time.perf_counter()
+        pipe.evaluate_heuristics(requests)
+        t_warm = time.perf_counter() - t0
+
+        assert ev.n_evaluations == work_after_first  # hits cost no budget
+        assert ev.memo.hit_rate >= 0.5
+        assert t_warm < t_cold / 5

@@ -6,12 +6,32 @@ pricing decision, (b) obtains the LP relaxation (cached — CARBON re-solves
 the same induced instance once per heuristic candidate), (c) runs the
 requested solver, and (d) computes the paper's %-gap and the leader revenue.
 Centralizing this also gives exact evaluation-budget accounting: the
-counter ``n_evaluations`` is the paper's "LL fitness evaluations" (Table II
-caps it at 50 000).
+counter ``n_evaluations`` counts *solver work actually performed* — memo
+hits (below) are served without touching it, so it is the exact number of
+greedy solves, while the algorithms' own ``ul_used``/``ll_used`` counters
+remain the paper's logical "fitness evaluations" (Table II caps them at
+50 000).
+
+Two layers sit in front of the raw solve:
+
+* :class:`EvaluationMemo` — a content-addressed LRU memo of full
+  :class:`LowerLevelOutcome` objects keyed on ``(instance digest, rounded
+  price vector, canonical GP-tree serialization)``.  A co-evolutionary run
+  re-evaluates identical (prices, heuristic) pairs constantly (elites,
+  reproduced trees, champion pairing), and every such re-solve is pure, so
+  memoization is exact, not approximate.
+* :class:`EvaluationPipeline` — batches whole populations of evaluation
+  requests, dedupes them against the memo, and fans the residual fresh
+  work out over a :class:`repro.parallel.executor.Executor`.  Workers keep
+  a per-instance evaluator (warm LP-relaxation cache) alive across
+  generations; the parent applies results in request order, so serial and
+  process execution are bit-identical.
 """
 
 from __future__ import annotations
 
+import pickle
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -19,10 +39,17 @@ import numpy as np
 from repro.bcpop.instance import BcpopInstance
 from repro.covering.greedy import ScoreFunction, greedy_cover
 from repro.covering.repair import repair_cover
+from repro.gp.tree import SyntaxTree
 from repro.lp.bounds import RelaxationCache
 from repro.lp.relaxation import Relaxation
+from repro.parallel.executor import Executor, ProcessExecutor
 
-__all__ = ["LowerLevelOutcome", "LowerLevelEvaluator"]
+__all__ = [
+    "LowerLevelOutcome",
+    "LowerLevelEvaluator",
+    "EvaluationMemo",
+    "EvaluationPipeline",
+]
 
 
 @dataclass(frozen=True)
@@ -58,6 +85,59 @@ class LowerLevelOutcome:
     feasible: bool
 
 
+class EvaluationMemo:
+    """Content-addressed LRU memo of :class:`LowerLevelOutcome` objects.
+
+    Keys are opaque byte strings built by
+    :meth:`LowerLevelEvaluator.heuristic_key`; a hit returns the exact
+    outcome object of the original evaluation (greedy solves are pure, so
+    the memoized value *is* a fresh evaluation).  ``hits``/``misses``
+    count lookups only — the budget-relevant "work performed" counter
+    lives on the evaluator and is advanced once per fresh solve.
+    """
+
+    def __init__(self, maxsize: int = 8192) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._store: OrderedDict[bytes, LowerLevelOutcome] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: bytes) -> LowerLevelOutcome | None:
+        found = self._store.get(key)
+        if found is not None:
+            self.hits += 1
+            self._store.move_to_end(key)
+            return found
+        self.misses += 1
+        return None
+
+    def put(self, key: bytes, outcome: LowerLevelOutcome) -> None:
+        self._store[key] = outcome
+        self._store.move_to_end(key)
+        if len(self._store) > self.maxsize:
+            self._store.popitem(last=False)
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+#: Price-vector quantization step for memo keys — same quantum/rationale as
+#: :class:`repro.lp.bounds.RelaxationCache` (prices live in [0, ~1e3]).
+_PRICE_QUANTUM = 1e-9
+
+
 class LowerLevelEvaluator:
     """Evaluation service for one BCPOP instance.
 
@@ -71,6 +151,11 @@ class LowerLevelEvaluator:
         LRU capacity for relaxations.
     gap_eps:
         Guard for the gap denominator (DESIGN.md §5).
+    memo_size:
+        Capacity of the outcome memo (0 disables memoization entirely).
+        Only heuristic evaluations with a content-addressable solver — GP
+        syntax trees — are memoized; opaque callables (hand-written or
+        stochastic heuristics) always evaluate fresh.
     """
 
     def __init__(
@@ -79,10 +164,13 @@ class LowerLevelEvaluator:
         lp_backend: str = "scipy",
         cache_size: int = 4096,
         gap_eps: float = 1e-9,
+        memo_size: int = 8192,
     ) -> None:
         self.instance = instance
+        self.lp_backend = lp_backend
         self._cache = RelaxationCache(backend=lp_backend, maxsize=cache_size)
         self.gap_eps = gap_eps
+        self.memo = EvaluationMemo(memo_size) if memo_size > 0 else None
         self.n_evaluations = 0
         self.n_lp_solves_saved = 0
 
@@ -115,6 +203,39 @@ class LowerLevelEvaluator:
             feasible=feasible,
         )
 
+    def heuristic_key(
+        self, prices: np.ndarray, score_fn: ScoreFunction
+    ) -> bytes | None:
+        """Memo key for a heuristic evaluation, or ``None`` when the solver
+        is not content-addressable (an opaque/stochastic callable).
+
+        The key is the triple (instance digest, quantized price vector,
+        canonical tree serialization) — *not* the display form, so trees
+        that merely print alike (ERC rounding in ``to_infix``) never
+        collide.
+        """
+        if not isinstance(score_fn, SyntaxTree):
+            return None
+        prices = self.instance.validate_prices(prices)
+        quantized = np.round(prices / _PRICE_QUANTUM).tobytes()
+        return b"|".join(
+            (
+                self.instance.digest.encode("ascii"),
+                quantized,
+                score_fn.serialize().encode("ascii"),
+            )
+        )
+
+    def evaluate_heuristic_fresh(
+        self, prices: np.ndarray, score_fn: ScoreFunction
+    ) -> LowerLevelOutcome:
+        """One uncached heuristic evaluation (always counts as work)."""
+        prices = self.instance.validate_prices(prices)
+        ll = self.instance.lower_level(prices)
+        relax = self.relaxation(prices)
+        sol = greedy_cover(ll, score_fn, duals=relax.duals, xbar=relax.xbar)
+        return self._outcome(prices, sol.selected, relax, sol.feasible)
+
     def evaluate_heuristic(
         self, prices: np.ndarray, score_fn: ScoreFunction
     ) -> LowerLevelOutcome:
@@ -122,12 +243,21 @@ class LowerLevelEvaluator:
 
         The relaxation's duals and x̄ are passed into the greedy context, so
         GP trees can use the ``DUAL``/``XLP`` terminals of Table I.
+
+        When ``score_fn`` is a syntax tree and the memo is enabled, an
+        identical earlier evaluation is returned directly (bit-equal, the
+        solve being pure) without advancing ``n_evaluations``.
         """
-        prices = self.instance.validate_prices(prices)
-        ll = self.instance.lower_level(prices)
-        relax = self.relaxation(prices)
-        sol = greedy_cover(ll, score_fn, duals=relax.duals, xbar=relax.xbar)
-        return self._outcome(prices, sol.selected, relax, sol.feasible)
+        key = self.heuristic_key(prices, score_fn) if self.memo is not None else None
+        if key is not None:
+            found = self.memo.get(key)
+            if found is not None:
+                return found
+        outcome = self.evaluate_heuristic_fresh(prices, score_fn)
+        if key is not None:
+            self.memo.put(key, outcome)
+        return outcome
+
 
     def evaluate_selection(
         self, prices: np.ndarray, selection: np.ndarray, repair: bool = True
@@ -150,3 +280,252 @@ class LowerLevelEvaluator:
             "misses": self._cache.misses,
             "hit_rate": self._cache.hit_rate,
         }
+
+    @property
+    def memo_stats(self) -> dict:
+        if self.memo is None:
+            return {"enabled": False}
+        return {
+            "enabled": True,
+            "entries": len(self.memo),
+            "hits": self.memo.hits,
+            "misses": self.memo.misses,
+            "hit_rate": self.memo.hit_rate,
+        }
+
+
+# -- worker-side machinery ---------------------------------------------------
+#
+# Tasks shipped to a ProcessExecutor must be picklable top-level callables
+# over picklable descriptors.  A batch descriptor carries the instance as a
+# pre-pickled blob (serialized once per map call, not once per task) plus its
+# digest; each worker keeps one evaluator per (digest, backend) alive for the
+# life of the pool, so the instance is unpickled and the LP-relaxation cache
+# warmed once per worker rather than once per generation.
+
+_WORKER_EVALUATORS: dict[tuple[str, str], LowerLevelEvaluator] = {}
+
+
+def _worker_evaluator(
+    blob: bytes, digest: str, lp_backend: str, gap_eps: float
+) -> LowerLevelEvaluator:
+    key = (digest, lp_backend)
+    found = _WORKER_EVALUATORS.get(key)
+    if found is None:
+        instance = pickle.loads(blob)
+        # Workers never memoize: the parent owns the memo and dedupes
+        # before dispatch, so a worker memo would only hide work counts.
+        found = LowerLevelEvaluator(
+            instance, lp_backend=lp_backend, gap_eps=gap_eps, memo_size=0
+        )
+        _WORKER_EVALUATORS[key] = found
+    return found
+
+
+def evaluate_heuristic_batch(batch: tuple) -> list[LowerLevelOutcome]:
+    """Worker entry point: evaluate a batch of (prices, score_fn) requests
+    against one instance.  Pure — results depend only on the descriptor."""
+    blob, digest, lp_backend, gap_eps, requests = batch
+    evaluator = _worker_evaluator(blob, digest, lp_backend, gap_eps)
+    return [
+        evaluator.evaluate_heuristic_fresh(prices, score_fn)
+        for prices, score_fn in requests
+    ]
+
+
+def solve_relaxation_batch(batch: tuple) -> list[Relaxation]:
+    """Worker entry point: LP relaxations for a batch of price vectors."""
+    blob, digest, lp_backend, gap_eps, price_list = batch
+    evaluator = _worker_evaluator(blob, digest, lp_backend, gap_eps)
+    return [evaluator.relaxation(prices) for prices in price_list]
+
+
+def _is_process_safe(score_fn: ScoreFunction) -> bool:
+    """Whether a solver can cross a process boundary: syntax trees pickle
+    by node name; other callables must survive ``pickle`` (closures — e.g.
+    the stochastic "random" heuristic — do not, and must stay in-process
+    to preserve the parent RNG sequence anyway)."""
+    if isinstance(score_fn, SyntaxTree):
+        return True
+    try:
+        pickle.dumps(score_fn)
+    except Exception:
+        return False
+    return True
+
+
+class EvaluationPipeline:
+    """Batched population evaluation: memo → dedup → executor fan-out.
+
+    The pipeline is the single entry point the algorithms use to evaluate
+    whole populations.  For each request it (1) consults the parent memo,
+    (2) groups the remaining requests by content key so each distinct
+    (prices, heuristic) pair is solved once, and (3) evaluates the unique
+    residue either in-process (serial executors, tiny batches, unpicklable
+    solvers) or on the worker pool.  Results are re-expanded in request
+    order, so the caller observes identical outcomes — bit-for-bit — no
+    matter which executor ran the work.
+
+    Parameters
+    ----------
+    evaluator:
+        The parent evaluator (owns memo, LP cache, and work counters).
+    executor:
+        ``None`` or :class:`SerialExecutor` for in-process evaluation; a
+        :class:`ProcessExecutor` for fan-out.
+    batches_per_worker:
+        Load-balancing factor: a map call is split into at most
+        ``workers * batches_per_worker`` batches.
+    """
+
+    def __init__(
+        self,
+        evaluator: LowerLevelEvaluator,
+        executor: Executor | None = None,
+        batches_per_worker: int = 4,
+    ) -> None:
+        if batches_per_worker < 1:
+            raise ValueError("batches_per_worker must be >= 1")
+        self.evaluator = evaluator
+        self.executor = executor
+        self.batches_per_worker = batches_per_worker
+        self.n_requests = 0
+        self.n_deduplicated = 0
+        self.n_parent_evaluations = 0
+        self.n_worker_evaluations = 0
+        self.n_worker_batches = 0
+
+    # -- internals ---------------------------------------------------------
+
+    def _instance_header(self) -> tuple:
+        instance = self.evaluator.instance
+        return (
+            pickle.dumps(instance, protocol=pickle.HIGHEST_PROTOCOL),
+            instance.digest,
+            self.evaluator.lp_backend,
+            self.evaluator.gap_eps,
+        )
+
+    def _split(self, items: list) -> list[list]:
+        """Contiguous near-even batches (order-preserving when re-joined)."""
+        workers = self.executor.workers  # type: ignore[union-attr]
+        n_batches = min(len(items), workers * self.batches_per_worker)
+        bounds = np.linspace(0, len(items), n_batches + 1).astype(int)
+        return [
+            items[bounds[i]: bounds[i + 1]]
+            for i in range(n_batches)
+            if bounds[i] < bounds[i + 1]
+        ]
+
+    def _dispatch(
+        self, entries: list[tuple[np.ndarray, ScoreFunction]]
+    ) -> list[LowerLevelOutcome]:
+        """Compute fresh outcomes for ``entries``, preserving order."""
+        use_pool = (
+            isinstance(self.executor, ProcessExecutor)
+            and len(entries) >= 2
+            and all(_is_process_safe(fn) for _, fn in entries)
+        )
+        if not use_pool:
+            self.n_parent_evaluations += len(entries)
+            return [
+                self.evaluator.evaluate_heuristic_fresh(prices, fn)
+                for prices, fn in entries
+            ]
+        header = self._instance_header()
+        batches = [header + (chunk,) for chunk in self._split(entries)]
+        self.n_worker_batches += len(batches)
+        self.n_worker_evaluations += len(entries)
+        results = self.executor.map(evaluate_heuristic_batch, batches)
+        # Work performed remotely still counts as work performed.
+        self.evaluator.n_evaluations += len(entries)
+        return [outcome for chunk in results for outcome in chunk]
+
+    # -- public API --------------------------------------------------------
+
+    def evaluate_heuristics(
+        self, requests: list[tuple[np.ndarray, ScoreFunction]]
+    ) -> list[LowerLevelOutcome]:
+        """Evaluate ``(prices, score_fn)`` requests; returns outcomes in
+        request order.  Memo hits and in-batch duplicates are served from
+        one solve; only unique fresh work reaches the executor."""
+        self.n_requests += len(requests)
+        results: list[LowerLevelOutcome | None] = [None] * len(requests)
+        pending: "OrderedDict[bytes, list[int]]" = OrderedDict()
+        opaque: list[int] = []
+        memo = self.evaluator.memo
+        for i, (prices, fn) in enumerate(requests):
+            # NB: ``memo is not None`` — EvaluationMemo has __len__, so an
+            # *empty* memo is falsy and a plain truthiness test would
+            # disable memoization before the first entry ever lands.
+            key = self.evaluator.heuristic_key(prices, fn) if memo is not None else None
+            if key is None:
+                opaque.append(i)
+                continue
+            found = memo.get(key)
+            if found is not None:
+                results[i] = found
+            else:
+                pending.setdefault(key, []).append(i)
+
+        # Unique fresh work, in first-occurrence order interleaved with the
+        # opaque (non-memoizable) requests so the computation order is a
+        # deterministic function of the request order alone.
+        order: list[tuple[bytes | None, int]] = [
+            (key, idxs[0]) for key, idxs in pending.items()
+        ]
+        order += [(None, i) for i in opaque]
+        order.sort(key=lambda pair: pair[1])
+        entries = [requests[i] for _, i in order]
+        outcomes = self._dispatch(entries)
+        for (key, i), outcome in zip(order, outcomes):
+            if key is None:
+                results[i] = outcome
+                continue
+            memo.put(key, outcome)
+            for j in pending[key]:
+                results[j] = outcome
+            self.n_deduplicated += len(pending[key]) - 1
+        return results  # type: ignore[return-value]
+
+    def prefetch_relaxations(self, price_vectors: list[np.ndarray]) -> None:
+        """Solve uncached LP relaxations for ``price_vectors`` on the pool
+        and seed the parent relaxation cache.  A no-op for serial
+        executors (the cache then fills lazily, with identical values);
+        purely a latency optimization either way."""
+        if not isinstance(self.executor, ProcessExecutor):
+            return
+        evaluator = self.evaluator
+        todo: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
+        for prices in price_vectors:
+            prices = evaluator.instance.validate_prices(prices)
+            costs = evaluator.instance.lower_level(prices).costs
+            if evaluator._cache.contains(costs):
+                continue
+            todo.setdefault(costs.tobytes(), prices)
+        if len(todo) < 2:
+            return
+        header = self._instance_header()
+        unique = list(todo.values())
+        batches = [header + (chunk,) for chunk in self._split(unique)]
+        self.n_worker_batches += len(batches)
+        results = self.executor.map(solve_relaxation_batch, batches)
+        flat = [relax for chunk in results for relax in chunk]
+        for prices, relax in zip(unique, flat):
+            evaluator._cache.put(
+                evaluator.instance.lower_level(prices).costs, relax
+            )
+
+    @property
+    def stats(self) -> dict:
+        """Counters for run-result reporting (memo hit rate included)."""
+        out = {
+            "requests": self.n_requests,
+            "deduplicated": self.n_deduplicated,
+            "parent_evaluations": self.n_parent_evaluations,
+            "worker_evaluations": self.n_worker_evaluations,
+            "worker_batches": self.n_worker_batches,
+            "executor": repr(self.executor) if self.executor else "SerialExecutor()",
+            "memo": self.evaluator.memo_stats,
+        }
+        return out

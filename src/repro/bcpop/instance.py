@@ -18,6 +18,7 @@ epistatic coupling the paper discusses.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -88,6 +89,28 @@ class BcpopInstance:
     @property
     def n_services(self) -> int:
         return self.q.shape[0]
+
+    @property
+    def digest(self) -> str:
+        """Content digest of the problem data (name excluded).
+
+        Used as the instance component of memo-cache keys and as the
+        worker-side registry key of the parallel evaluation pipeline, so
+        two structurally identical instances share cached evaluations and
+        two different instances can never collide.
+        """
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            h = hashlib.sha256()
+            h.update(np.asarray([self.n_own], dtype=np.int64).tobytes())
+            h.update(np.float64(self.price_cap).tobytes())
+            h.update(np.asarray(self.q.shape, dtype=np.int64).tobytes())
+            h.update(self.q.tobytes())
+            h.update(self.demand.tobytes())
+            h.update(self.market_prices.tobytes())
+            cached = h.hexdigest()
+            object.__setattr__(self, "_digest", cached)
+        return cached
 
     @property
     def price_bounds(self) -> tuple[np.ndarray, np.ndarray]:

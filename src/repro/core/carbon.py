@@ -29,7 +29,7 @@ import time
 
 import numpy as np
 
-from repro.bcpop.evaluate import LowerLevelEvaluator
+from repro.bcpop.evaluate import EvaluationPipeline, LowerLevelEvaluator
 from repro.bcpop.instance import BcpopInstance
 from repro.core.archive import Archive
 from repro.core.config import CarbonConfig
@@ -44,6 +44,7 @@ from repro.gp.operators import one_point_crossover, reproduce, uniform_mutation
 from repro.gp.primitives import paper_primitive_set
 from repro.gp.selection import tournament
 from repro.gp.tree import SyntaxTree
+from repro.parallel.executor import Executor
 
 __all__ = ["Carbon", "run_carbon"]
 
@@ -61,6 +62,13 @@ class Carbon:
         Random stream for the whole run.
     lp_backend:
         Forwarded to the lower-level evaluator.
+    executor:
+        Evaluation substrate for population fitness batches.  ``None``
+        builds one from ``config.execution`` (and closes it when ``run``
+        finishes); a caller-provided executor is shared, never closed, and
+        overrides the config.  All randomness stays in this process, so
+        the executor choice never changes results (the determinism
+        contract enforced by tests/test_parallel_determinism.py).
     """
 
     def __init__(
@@ -69,11 +77,22 @@ class Carbon:
         config: CarbonConfig | None = None,
         rng: np.random.Generator | None = None,
         lp_backend: str = "scipy",
+        executor: Executor | None = None,
     ) -> None:
         self.instance = instance
         self.config = config or CarbonConfig.paper()
         self.rng = rng or np.random.default_rng()
-        self.evaluator = LowerLevelEvaluator(instance, lp_backend=lp_backend)
+        execution = self.config.execution
+        self.evaluator = LowerLevelEvaluator(
+            instance, lp_backend=lp_backend, memo_size=execution.memo_size
+        )
+        self._owns_executor = executor is None
+        self.executor = executor if executor is not None else execution.make_executor()
+        self.pipeline = EvaluationPipeline(
+            self.evaluator,
+            self.executor,
+            batches_per_worker=execution.batches_per_worker,
+        )
         self.pset = paper_primitive_set(
             erc_probability=self.config.gp_erc_probability
         )
@@ -110,41 +129,63 @@ class Carbon:
         idx = self.rng.integers(len(self.ul_pop), size=k)
         return [self.ul_pop[i].genome for i in idx]
 
-    def _evaluate_tree(self, ind: Individual, sample: list[np.ndarray]) -> bool:
-        """Mean %-gap of one heuristic over a price sample.  Returns False
-        when the LL budget ran out before any evaluation."""
-        gaps: list[float] = []
-        for prices in sample:
-            if self.ll_budget_left <= 0:
-                break
-            outcome = self.evaluator.evaluate_heuristic(prices, ind.genome)
-            self.ll_used += 1
-            gaps.append(outcome.gap)
-        if not gaps:
-            return False
-        finite = [g for g in gaps if np.isfinite(g)]
-        ind.fitness = float(np.mean(finite)) if len(finite) == len(gaps) else np.inf
-        ind.aux = {"gaps": gaps}
-        self.ll_archive.add(ind.genome, ind.fitness, aux=dict(ind.aux))
-        return True
+    def _evaluate_predators(
+        self, inds: list[Individual], sample: list[np.ndarray]
+    ) -> None:
+        """Batch-evaluate heuristics (mean %-gap over the price sample).
 
-    def _evaluate_ul(self, ind: Individual) -> bool:
-        """Leader revenue under the champion's predicted reaction.  Returns
-        False when the UL budget is exhausted."""
-        if self.ul_budget_left <= 0:
-            return False
+        The whole population's (prices, tree) requests are flattened in
+        individual-major order, truncated to the remaining LL budget
+        exactly where serial evaluation would have stopped, and evaluated
+        through the pipeline; results are folded back in the same order,
+        so budget accounting and archive insertion order are identical to
+        one-at-a-time evaluation.  Individuals the budget could not reach
+        get ``inf`` fitness (budget ran dry mid-generation).
+        """
+        budget = self.ll_budget_left
+        plan: list[int] = []
+        requests: list[tuple[np.ndarray, SyntaxTree]] = []
+        for ind in inds:
+            take = min(len(sample), max(budget, 0))
+            plan.append(take)
+            requests.extend((prices, ind.genome) for prices in sample[:take])
+            budget -= take
+        outcomes = self.pipeline.evaluate_heuristics(requests)
+        pos = 0
+        for ind, take in zip(inds, plan):
+            chunk = outcomes[pos: pos + take]
+            pos += take
+            self.ll_used += take
+            if not chunk:
+                ind.fitness = np.inf  # budget ran dry before any evaluation
+                continue
+            gaps = [outcome.gap for outcome in chunk]
+            finite = [g for g in gaps if np.isfinite(g)]
+            ind.fitness = float(np.mean(finite)) if len(finite) == len(gaps) else np.inf
+            ind.aux = {"gaps": gaps}
+            self.ll_archive.add(ind.genome, ind.fitness, aux=dict(ind.aux))
+
+    def _evaluate_prey(self, inds: list[Individual]) -> None:
+        """Batch-evaluate pricing vectors: leader revenue under the
+        champion's predicted reaction.  Budget truncation and archive
+        order mirror serial one-at-a-time evaluation; individuals beyond
+        the budget get ``-inf`` fitness."""
         assert self.champion is not None
-        outcome = self.evaluator.evaluate_heuristic(ind.genome, self.champion)
-        self.ul_used += 1
-        ind.fitness = outcome.revenue if outcome.feasible else -np.inf
-        ind.aux = {
-            "gap": outcome.gap,
-            "selection": outcome.selection,
-            "ll_cost": outcome.ll_cost,
-            "lower_bound": outcome.lower_bound,
-        }
-        self.ul_archive.add(ind.genome.copy(), ind.fitness, aux=dict(ind.aux))
-        return True
+        take = min(len(inds), max(self.ul_budget_left, 0))
+        requests = [(ind.genome, self.champion) for ind in inds[:take]]
+        outcomes = self.pipeline.evaluate_heuristics(requests)
+        for ind, outcome in zip(inds[:take], outcomes):
+            self.ul_used += 1
+            ind.fitness = outcome.revenue if outcome.feasible else -np.inf
+            ind.aux = {
+                "gap": outcome.gap,
+                "selection": outcome.selection,
+                "ll_cost": outcome.ll_cost,
+                "lower_bound": outcome.lower_bound,
+            }
+            self.ul_archive.add(ind.genome.copy(), ind.fitness, aux=dict(ind.aux))
+        for ind in inds[take:]:
+            ind.fitness = -np.inf
 
     def _update_champion(self) -> None:
         if len(self.ll_archive):
@@ -195,9 +236,9 @@ class Carbon:
                     Individual(genome=reproduce(a.genome), fitness=a.fitness, aux=dict(a.aux))
                 )
         sample = self._price_sample(cfg.heuristic_eval_sample)
-        for ind in offspring:
-            if not ind.evaluated and not self._evaluate_tree(ind, sample):
-                ind.fitness = np.inf  # budget ran dry mid-generation
+        self._evaluate_predators(
+            [ind for ind in offspring if not ind.evaluated], sample
+        )
         # Elitism: the champion survives unconditionally.
         best_entry = self.ll_archive.best()
         elite = Individual(genome=best_entry.item, fitness=best_entry.score)
@@ -226,9 +267,7 @@ class Carbon:
                 eta=cfg.polynomial_eta,
                 per_gene_probability=cfg.mutation_probability,
             )
-        for ind in offspring:
-            if not self._evaluate_ul(ind):
-                ind.fitness = -np.inf
+        self._evaluate_prey(offspring)
         best_entry = self.ul_archive.best()
         elite = Individual(
             genome=best_entry.item.copy(), fitness=best_entry.score,
@@ -261,17 +300,13 @@ class Carbon:
         )
         self.ll_pop = [Individual(genome=t) for t in trees]
         sample = self._price_sample(cfg.heuristic_eval_sample)
-        for ind in self.ll_pop:
-            if not self._evaluate_tree(ind, sample):
-                ind.fitness = np.inf
+        self._evaluate_predators(self.ll_pop, sample)
         self._update_champion()
         if self.champion is None:
             raise RuntimeError(
                 "LL budget too small to evaluate a single heuristic"
             )
-        for ind in self.ul_pop:
-            if not self._evaluate_ul(ind):
-                ind.fitness = -np.inf
+        self._evaluate_prey(self.ul_pop)
         self._record()
 
     def step(self) -> bool:
@@ -286,14 +321,22 @@ class Carbon:
         self._record()
         return True
 
+    def close(self) -> None:
+        """Release the executor if this run built it from its config."""
+        if self._owns_executor:
+            self.executor.close()
+
     def run(self, seed_label: int = 0) -> RunResult:
         """Run to budget exhaustion and extract results (§V-B protocol:
         best %-gap from the lower-level archive, best upper-level fitness
         from the upper-level archive)."""
         start = time.perf_counter()
-        self.initialize()
-        while self.step():
-            pass
+        try:
+            self.initialize()
+            while self.step():
+                pass
+        finally:
+            self.close()
         best_ul = self.ul_archive.best()
         solution = BilevelSolution(
             prices=best_ul.item,
@@ -319,6 +362,7 @@ class Carbon:
                 "champion_size": self.champion.size if self.champion else 0,
                 "champion_tree": self.champion,
                 "lp_cache": self.evaluator.cache_stats,
+                "pipeline": self.pipeline.stats,
             },
         )
 
@@ -328,9 +372,10 @@ def run_carbon(
     config: CarbonConfig | None = None,
     seed: int = 0,
     lp_backend: str = "scipy",
+    executor: Executor | None = None,
 ) -> RunResult:
     """Convenience wrapper: one seeded CARBON run."""
     return Carbon(
         instance, config=config, rng=np.random.default_rng(seed),
-        lp_backend=lp_backend,
+        lp_backend=lp_backend, executor=executor,
     ).run(seed_label=seed)

@@ -41,8 +41,9 @@ import time
 
 import numpy as np
 
-from repro.bcpop.evaluate import LowerLevelEvaluator
+from repro.bcpop.evaluate import EvaluationPipeline, LowerLevelEvaluator
 from repro.bcpop.instance import BcpopInstance
+from repro.parallel.executor import Executor
 from repro.core.archive import Archive
 from repro.core.config import CobraConfig
 from repro.core.convergence import ConvergenceHistory
@@ -70,11 +71,26 @@ class Cobra:
         config: CobraConfig | None = None,
         rng: np.random.Generator | None = None,
         lp_backend: str = "scipy",
+        executor: Executor | None = None,
     ) -> None:
         self.instance = instance
         self.config = config or CobraConfig.paper()
         self.rng = rng or np.random.default_rng()
-        self.evaluator = LowerLevelEvaluator(instance, lp_backend=lp_backend)
+        execution = self.config.execution
+        self.evaluator = LowerLevelEvaluator(
+            instance, lp_backend=lp_backend, memo_size=execution.memo_size
+        )
+        # COBRA's per-individual fitness is a dot product — the expensive
+        # part is the LP relaxation behind each archived pairing's %-gap,
+        # so the pipeline is used to *prefetch* relaxations in parallel
+        # (a pure latency optimization: values are identical either way).
+        self._owns_executor = executor is None
+        self.executor = executor if executor is not None else execution.make_executor()
+        self.pipeline = EvaluationPipeline(
+            self.evaluator,
+            self.executor,
+            batches_per_worker=execution.batches_per_worker,
+        )
         self.bounds = Bounds(*instance.price_bounds)
 
         self.ul_used = 0
@@ -241,6 +257,15 @@ class Cobra:
     def _archive(self) -> None:
         """Line 6: archive both populations with their current partners;
         lower entries also record their %-gap (the Table III measure)."""
+        # Solve the uncached relaxations behind this generation's %-gaps
+        # on the worker pool before the serial archive loop reads them.
+        self.pipeline.prefetch_relaxations(
+            [
+                ind.aux["partner"]
+                for ind in self.pop_l
+                if np.isfinite(ind.fitness)
+            ]
+        )
         for ind in self.pop_u:
             if np.isfinite(ind.fitness):
                 self.upper_archive.add(
@@ -375,13 +400,21 @@ class Cobra:
         self._inject_archives()
         return True
 
+    def close(self) -> None:
+        """Release the executor if this run built it from its config."""
+        if self._owns_executor:
+            self.executor.close()
+
     def run(self, seed_label: int = 0) -> RunResult:
         """Run to budget exhaustion; extract per §V-B (lower archive for
         the %-gap, upper archive for the upper-level fitness)."""
         start = time.perf_counter()
-        self.initialize()
-        while self.step():
-            pass
+        try:
+            self.initialize()
+            while self.step():
+                pass
+        finally:
+            self.close()
         best_u = self.upper_archive.best()
         gaps = [
             e.aux["gap"]
@@ -409,7 +442,10 @@ class Cobra:
             ul_evaluations_used=self.ul_used,
             ll_evaluations_used=self.ll_used,
             wall_time=time.perf_counter() - start,
-            extras={"lp_cache": self.evaluator.cache_stats},
+            extras={
+                "lp_cache": self.evaluator.cache_stats,
+                "pipeline": self.pipeline.stats,
+            },
         )
 
 
@@ -418,9 +454,10 @@ def run_cobra(
     config: CobraConfig | None = None,
     seed: int = 0,
     lp_backend: str = "scipy",
+    executor: Executor | None = None,
 ) -> RunResult:
     """Convenience wrapper: one seeded COBRA run."""
     return Cobra(
         instance, config=config, rng=np.random.default_rng(seed),
-        lp_backend=lp_backend,
+        lp_backend=lp_backend, executor=executor,
     ).run(seed_label=seed)

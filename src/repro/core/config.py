@@ -15,7 +15,60 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-__all__ = ["UpperLevelConfig", "CarbonConfig", "CobraConfig"]
+__all__ = ["ExecutionConfig", "UpperLevelConfig", "CarbonConfig", "CobraConfig"]
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How fitness evaluations are executed (not a paper parameter).
+
+    The executor choice never changes results — the parallel pipeline is
+    bit-identical to serial execution (tests/test_parallel_determinism.py)
+    — only wall-clock time and the memo/cache statistics reported in
+    ``RunResult.extras``.
+
+    Parameters
+    ----------
+    executor:
+        ``"serial"`` (deterministic reference, default) or ``"processes"``
+        (persistent spawn pool, the paper's HPC-cluster setting).
+    workers:
+        Process count for ``"processes"``; ``None`` = ``os.cpu_count()``.
+    chunk_size:
+        Tasks per pool dispatch; ``None`` lets the executor amortize IPC.
+    memo_size:
+        Outcome-memo capacity in front of the lower-level evaluator
+        (0 disables memoization).
+    batches_per_worker:
+        Pipeline load-balancing factor (batches per worker per map call).
+    """
+
+    executor: str = "serial"
+    workers: int | None = None
+    chunk_size: int | None = None
+    memo_size: int = 8192
+    batches_per_worker: int = 4
+
+    def __post_init__(self) -> None:
+        if self.executor not in ("serial", "processes"):
+            raise ValueError(
+                f"executor must be 'serial' or 'processes', got {self.executor!r}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.memo_size < 0:
+            raise ValueError(f"memo_size must be >= 0, got {self.memo_size}")
+        if self.batches_per_worker < 1:
+            raise ValueError("batches_per_worker must be >= 1")
+
+    def make_executor(self):
+        """Build the configured executor (import deferred: config stays a
+        pure-data module)."""
+        from repro.parallel.executor import make_executor
+
+        return make_executor(
+            self.executor, workers=self.workers, chunk_size=self.chunk_size
+        )
 
 
 @dataclass(frozen=True)
@@ -73,6 +126,9 @@ class CarbonConfig:
     #: Number of upper-level decisions each heuristic's %-gap is averaged
     #: over (the paper does not fix this; ablated in the benches).
     heuristic_eval_sample: int = 5
+    #: Evaluation substrate (executor kind, workers, memo) — results are
+    #: executor-invariant; see :class:`ExecutionConfig`.
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
 
     def __post_init__(self) -> None:
         total = (
@@ -161,6 +217,9 @@ class CobraConfig:
     ll_repair_prune: bool = False
     #: Fraction of each population re-paired by the co-evolution operator.
     coevolution_fraction: float = 0.25
+    #: Evaluation substrate (executor kind, workers, memo) — results are
+    #: executor-invariant; see :class:`ExecutionConfig`.
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
 
     def __post_init__(self) -> None:
         if self.ll_population_size < 2:

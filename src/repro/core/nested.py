@@ -25,8 +25,9 @@ import time
 
 import numpy as np
 
-from repro.bcpop.evaluate import LowerLevelEvaluator
+from repro.bcpop.evaluate import EvaluationPipeline, LowerLevelEvaluator
 from repro.bcpop.instance import BcpopInstance
+from repro.parallel.executor import Executor
 from repro.core.archive import Archive
 from repro.core.config import UpperLevelConfig
 from repro.core.convergence import ConvergenceHistory
@@ -56,6 +57,12 @@ class NestedSequential:
         name, or ``"exact"``.
     exact_node_budget:
         Branch-and-bound node cap per LL solve for ``"exact"``.
+    executor:
+        Optional evaluation substrate: population batches of heuristic
+        solves fan out over it (the ``"exact"`` solver and the stochastic
+        ``"random"`` heuristic always evaluate in-process — the first to
+        keep B&B accounting simple, the second to preserve the parent RNG
+        sequence).  Results are executor-invariant.
     """
 
     def __init__(
@@ -66,11 +73,14 @@ class NestedSequential:
         ll_solver: str = "chvatal",
         lp_backend: str = "scipy",
         exact_node_budget: int = 2_000,
+        executor: Executor | None = None,
     ) -> None:
         self.instance = instance
         self.config = config or UpperLevelConfig()
         self.rng = rng or np.random.default_rng()
         self.evaluator = LowerLevelEvaluator(instance, lp_backend=lp_backend)
+        self.executor = executor
+        self.pipeline = EvaluationPipeline(self.evaluator, executor)
         self.bounds = Bounds(*instance.price_bounds)
         self.ll_solver = ll_solver
         self.exact_node_budget = exact_node_budget
@@ -121,6 +131,33 @@ class NestedSequential:
         self.archive.add(prices.copy(), ind.fitness, aux=dict(ind.aux))
         return True
 
+    def _evaluate_population(self, inds: list[Individual]) -> None:
+        """Batch-evaluate a population through the pipeline (heuristic
+        solvers only; ``"exact"`` keeps the serial path).  Budget
+        truncation and archive order match per-individual evaluation;
+        individuals beyond the budget get ``-inf`` fitness."""
+        if self.ll_solver == "exact":
+            for ind in inds:
+                if not self._evaluate(ind):
+                    ind.fitness = -np.inf
+            return
+        take = min(len(inds), max(self.budget_left, 0))
+        requests = [(ind.genome, self._score_fn) for ind in inds[:take]]
+        outcomes = self.pipeline.evaluate_heuristics(requests)
+        for ind, out in zip(inds[:take], outcomes):
+            self.ll_effort += 1
+            self.ul_used += 1
+            ind.fitness = out.revenue if np.isfinite(out.gap) else -np.inf
+            ind.aux = {
+                "gap": out.gap,
+                "selection": out.selection,
+                "ll_cost": out.ll_cost,
+                "lower_bound": out.lower_bound,
+            }
+            self.archive.add(out.prices.copy(), ind.fitness, aux=dict(ind.aux))
+        for ind in inds[take:]:
+            ind.fitness = -np.inf
+
     def _record(self) -> None:
         fits = [i.fitness for i in self.population if np.isfinite(i.fitness)]
         gaps = [
@@ -140,9 +177,7 @@ class NestedSequential:
         self.population = random_real_population(
             self.bounds, self.config.population_size, self.rng
         )
-        for ind in self.population:
-            if not self._evaluate(ind):
-                ind.fitness = -np.inf
+        self._evaluate_population(self.population)
         self._record()
 
     def step(self) -> bool:
@@ -166,8 +201,7 @@ class NestedSequential:
                 eta=cfg.polynomial_eta,
                 per_gene_probability=cfg.mutation_probability,
             )
-            if not self._evaluate(ind):
-                ind.fitness = -np.inf
+        self._evaluate_population(offspring)
         best = self.archive.best()
         elite = Individual(genome=best.item.copy(), fitness=best.score, aux=dict(best.aux))
         self.population = offspring[: cfg.population_size - 1] + [elite]
@@ -204,7 +238,11 @@ class NestedSequential:
             ul_evaluations_used=self.ul_used,
             ll_evaluations_used=self.ul_used,
             wall_time=time.perf_counter() - start,
-            extras={"ll_effort": self.ll_effort, "ll_solver": self.ll_solver},
+            extras={
+                "ll_effort": self.ll_effort,
+                "ll_solver": self.ll_solver,
+                "pipeline": self.pipeline.stats,
+            },
         )
 
 
@@ -214,9 +252,10 @@ def run_nested(
     seed: int = 0,
     ll_solver: str = "chvatal",
     lp_backend: str = "scipy",
+    executor: Executor | None = None,
 ) -> RunResult:
     """Convenience wrapper: one seeded nested-sequential run."""
     return NestedSequential(
         instance, config=config, rng=np.random.default_rng(seed),
-        ll_solver=ll_solver, lp_backend=lp_backend,
+        ll_solver=ll_solver, lp_backend=lp_backend, executor=executor,
     ).run(seed_label=seed)

@@ -9,6 +9,7 @@ that keeps the greedy solver's hot loop free of per-bundle Python.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterator, Sequence
 
 import numpy as np
@@ -125,6 +126,57 @@ class SyntaxTree:
         return result
 
     __call__ = evaluate
+
+    # -- canonical serialization ------------------------------------------
+
+    def serialize(self) -> str:
+        """Canonical content-addressed text form: space-separated pre-order
+        tokens ``P:<name>`` / ``T:<name>`` / ``C:<float.hex>``.
+
+        Unlike :meth:`to_infix` (which rounds constants for display, so
+        structurally different trees can print alike), this form is exact:
+        ERC values are rendered with ``float.hex`` so ``serialize →
+        deserialize → serialize`` is a fixed point and two trees share a
+        serialization iff they are structurally equal.  Used as the memo
+        key by :class:`repro.bcpop.evaluate.LowerLevelEvaluator`.
+        """
+        parts: list[str] = []
+        for node in self.nodes:
+            if isinstance(node, Constant):
+                parts.append(f"C:{float(node.value).hex()}")
+            elif isinstance(node, Primitive):
+                parts.append(f"P:{node.name}")
+            else:
+                parts.append(f"T:{node.name}")
+        return " ".join(parts)
+
+    @classmethod
+    def deserialize(cls, text: str) -> "SyntaxTree":
+        """Inverse of :meth:`serialize`; validates the reconstructed tree."""
+        from repro.gp.primitives import lookup_primitive, lookup_terminal
+
+        nodes: list[Node] = []
+        for token in text.split():
+            tag, sep, payload = token.partition(":")
+            if not sep:
+                raise ValueError(f"malformed token {token!r}")
+            if tag == "C":
+                nodes.append(Constant(float.fromhex(payload)))
+            elif tag == "P":
+                nodes.append(lookup_primitive(payload))
+            elif tag == "T":
+                nodes.append(lookup_terminal(payload))
+            else:
+                raise ValueError(f"unknown token tag {tag!r} in {token!r}")
+        tree = cls(nodes)
+        tree.validate()
+        return tree
+
+    def stable_hash(self) -> str:
+        """SHA-256 hex digest of the canonical serialization — stable
+        across processes and sessions (unlike ``hash()``, which is fine
+        in-process but not content-addressed)."""
+        return hashlib.sha256(self.serialize().encode("ascii")).hexdigest()
 
     # -- cosmetics ---------------------------------------------------------
 

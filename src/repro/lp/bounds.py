@@ -68,6 +68,20 @@ class RelaxationCache:
             self._store.popitem(last=False)
         return relax
 
+    def contains(self, costs: np.ndarray) -> bool:
+        """Whether a relaxation for this cost vector is already cached
+        (no counters are touched — used to plan parallel prefetches)."""
+        return self._key(costs) in self._store
+
+    def put(self, costs: np.ndarray, relax: Relaxation) -> None:
+        """Seed the cache with an externally computed relaxation (e.g. one
+        solved by a worker process).  Counted as neither hit nor miss."""
+        key = self._key(costs)
+        self._store[key] = relax
+        self._store.move_to_end(key)
+        if len(self._store) > self.maxsize:
+            self._store.popitem(last=False)
+
     def clear(self) -> None:
         self._store.clear()
         self.hits = 0

@@ -20,7 +20,20 @@ from repro.parallel.executor import (
     make_executor,
     parallel_map,
 )
-from repro.parallel.islands import IslandCarbon, run_island_carbon
+
+_LAZY = {"IslandCarbon", "run_island_carbon"}
+
+
+def __getattr__(name: str):
+    # Lazy (PEP 562): islands drive repro.core.Carbon, while the core
+    # algorithms use this package's executors — importing islands eagerly
+    # would close that cycle at module-import time.
+    if name in _LAZY:
+        from repro.parallel import islands
+
+        return getattr(islands, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "IslandCarbon",

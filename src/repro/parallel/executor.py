@@ -59,7 +59,12 @@ class SerialExecutor(Executor):
 
 
 class ProcessExecutor(Executor):
-    """Fan tasks out over a ``multiprocessing`` pool.
+    """Fan tasks out over a persistent ``multiprocessing`` pool.
+
+    The pool is created lazily on first use and **reused across map calls**
+    (and therefore across generations of an evolutionary run) until
+    :meth:`close` — spawn cost and worker-side warm caches amortize over
+    the whole run instead of being paid per generation.
 
     Parameters
     ----------
@@ -68,6 +73,14 @@ class ProcessExecutor(Executor):
     chunk_size:
         Tasks per dispatch; ``None`` picks ``ceil(len(items)/(4*workers))``
         which keeps all workers busy while amortizing IPC.
+
+    Notes
+    -----
+    Batches smaller than ``workers`` are run serially in the calling
+    process: they cannot occupy the pool anyway, and for test-scale runs
+    the dispatch/IPC overhead (or, on first use, the spawn cost) would
+    dominate the work.  Results are identical either way — tasks must be
+    pure functions of their item for any executor to be exchangeable.
     """
 
     def __init__(self, workers: int | None = None, chunk_size: int | None = None) -> None:
@@ -86,6 +99,8 @@ class ProcessExecutor(Executor):
         items = list(items)
         if not items:
             return []
+        if len(items) < self.workers:
+            return [fn(item) for item in items]
         chunk = self.chunk_size or max(1, -(-len(items) // (4 * self.workers)))
         return self._ensure_pool().map(fn, items, chunksize=chunk)
 
@@ -99,12 +114,16 @@ class ProcessExecutor(Executor):
         return f"ProcessExecutor(workers={self.workers})"
 
 
-def make_executor(kind: str = "serial", workers: int | None = None) -> Executor:
+def make_executor(
+    kind: str = "serial",
+    workers: int | None = None,
+    chunk_size: int | None = None,
+) -> Executor:
     """Build an executor from a config string (``"serial"`` / ``"processes"``)."""
     if kind == "serial":
         return SerialExecutor()
     if kind == "processes":
-        return ProcessExecutor(workers=workers)
+        return ProcessExecutor(workers=workers, chunk_size=chunk_size)
     raise ValueError(f"unknown executor kind {kind!r}; expected 'serial' or 'processes'")
 
 

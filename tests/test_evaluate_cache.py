@@ -1,0 +1,235 @@
+"""Property tests for the content-addressed evaluation memo and the
+batched pipeline's dedup/accounting semantics.
+
+The contract under test (DESIGN.md, evaluation-pipeline section):
+
+* a memo hit returns exactly what a fresh evaluation would have produced
+  (greedy solves are pure, so memoization is exact);
+* the evaluator's ``n_evaluations`` budget counter counts solver work
+  actually performed — misses only, never hits;
+* memo keys address *content* (canonical tree serialization), so trees
+  that merely print alike never collide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bcpop.evaluate import (
+    EvaluationMemo,
+    EvaluationPipeline,
+    LowerLevelEvaluator,
+    LowerLevelOutcome,
+)
+from repro.bcpop.generator import generate_instance
+from repro.covering.heuristics import chvatal_score
+from repro.gp.generate import grow_tree
+from repro.gp.nodes import Constant
+from repro.gp.primitives import lookup_primitive, lookup_terminal, paper_primitive_set
+from repro.gp.tree import SyntaxTree
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate_instance(20, 3, seed=11, name="memo-20x3")
+
+
+@pytest.fixture
+def evaluator(instance):
+    return LowerLevelEvaluator(instance)
+
+
+@pytest.fixture
+def tree():
+    return SyntaxTree(
+        [lookup_primitive("add"), lookup_terminal("COST"), lookup_terminal("QSUM")]
+    )
+
+
+def prices_for(instance, seed=0):
+    gen = np.random.default_rng(seed)
+    return gen.uniform(0.1, instance.price_cap, instance.n_own)
+
+
+def outcomes_equal(a: LowerLevelOutcome, b: LowerLevelOutcome) -> bool:
+    return (
+        np.array_equal(a.prices, b.prices)
+        and np.array_equal(a.selection, b.selection)
+        and a.ll_cost == b.ll_cost
+        and a.revenue == b.revenue
+        and a.gap == b.gap
+        and a.lower_bound == b.lower_bound
+        and a.feasible == b.feasible
+    )
+
+
+class TestMemoCorrectness:
+    def test_hit_equals_fresh_evaluation(self, instance, evaluator, tree):
+        prices = prices_for(instance)
+        first = evaluator.evaluate_heuristic(prices, tree)
+        hit = evaluator.evaluate_heuristic(prices, tree)
+        fresh = LowerLevelEvaluator(instance, memo_size=0).evaluate_heuristic(
+            prices, tree
+        )
+        assert outcomes_equal(first, hit)
+        assert outcomes_equal(hit, fresh)
+        assert evaluator.memo.hits == 1
+
+    def test_budget_counter_counts_misses_only(self, instance, evaluator, tree):
+        prices = prices_for(instance)
+        for _ in range(5):
+            evaluator.evaluate_heuristic(prices, tree)
+        assert evaluator.n_evaluations == 1
+        assert evaluator.memo.hits == 4
+        assert evaluator.memo.misses == 1
+        other = prices_for(instance, seed=1)
+        evaluator.evaluate_heuristic(other, tree)
+        assert evaluator.n_evaluations == 2
+
+    def test_empty_memo_still_memoizes(self, instance, tree):
+        """Regression: EvaluationMemo has __len__, so an *empty* memo is
+        falsy — the enablement checks must use ``is not None`` or the
+        memo never records its first entry."""
+        ev = LowerLevelEvaluator(instance)
+        assert len(ev.memo) == 0 and not ev.memo  # falsy when empty
+        ev.evaluate_heuristic(prices_for(instance), tree)
+        assert len(ev.memo) == 1
+        assert ev.memo.misses == 1
+
+    def test_memo_disabled_when_size_zero(self, instance, tree):
+        ev = LowerLevelEvaluator(instance, memo_size=0)
+        assert ev.memo is None
+        prices = prices_for(instance)
+        ev.evaluate_heuristic(prices, tree)
+        ev.evaluate_heuristic(prices, tree)
+        assert ev.n_evaluations == 2
+        assert ev.memo_stats == {"enabled": False}
+
+    def test_opaque_callables_never_memoized(self, instance, evaluator):
+        prices = prices_for(instance)
+        assert evaluator.heuristic_key(prices, chvatal_score) is None
+        evaluator.evaluate_heuristic(prices, chvatal_score)
+        evaluator.evaluate_heuristic(prices, chvatal_score)
+        assert evaluator.n_evaluations == 2
+        assert len(evaluator.memo) == 0
+
+
+class TestMemoKeys:
+    def test_keys_distinguish_trees_that_print_alike(self, instance, evaluator):
+        """ERC rounding in to_infix makes 2.0 and 2.0000001 display as
+        "2"; the content-addressed key must still tell them apart."""
+        a = SyntaxTree([Constant(2.0)])
+        b = SyntaxTree([Constant(2.0 + 1e-7)])
+        assert a.to_infix() == b.to_infix()
+        prices = prices_for(instance)
+        ka = evaluator.heuristic_key(prices, a)
+        kb = evaluator.heuristic_key(prices, b)
+        assert ka != kb
+
+    def test_keys_distinguish_prices(self, instance, evaluator, tree):
+        ka = evaluator.heuristic_key(prices_for(instance, 0), tree)
+        kb = evaluator.heuristic_key(prices_for(instance, 1), tree)
+        assert ka != kb
+
+    def test_keys_distinguish_instances(self, tree):
+        a = LowerLevelEvaluator(generate_instance(20, 3, seed=1))
+        b = LowerLevelEvaluator(generate_instance(20, 3, seed=2))
+        prices = np.full(a.instance.n_own, 5.0)
+        assert a.heuristic_key(prices, tree) != b.heuristic_key(prices, tree)
+
+    def test_key_stable_across_evaluator_instances(self, instance, tree):
+        prices = prices_for(instance)
+        a = LowerLevelEvaluator(instance).heuristic_key(prices, tree)
+        b = LowerLevelEvaluator(instance).heuristic_key(prices, tree)
+        assert a == b
+
+    def test_random_trees_round_trip_through_keys(self, instance, evaluator):
+        """Serialization inside the key is canonical: equal trees (same
+        node sequence) produce equal keys; different trees differ."""
+        pset = paper_primitive_set()
+        gen = np.random.default_rng(3)
+        trees = [grow_tree(pset, 3, gen) for _ in range(12)]
+        prices = prices_for(instance)
+        keys = [evaluator.heuristic_key(prices, t) for t in trees]
+        for t, k in zip(trees, keys):
+            clone = SyntaxTree.deserialize(t.serialize())
+            assert evaluator.heuristic_key(prices, clone) == k
+        distinct_serials = {t.serialize() for t in trees}
+        assert len(set(keys)) == len(distinct_serials)
+
+
+class TestMemoLru:
+    def test_eviction_order(self):
+        memo = EvaluationMemo(maxsize=2)
+        out = object()
+        memo.put(b"a", out)
+        memo.put(b"b", out)
+        assert memo.get(b"a") is out  # refreshes a
+        memo.put(b"c", out)  # evicts b (least recent)
+        assert memo.get(b"b") is None
+        assert memo.get(b"a") is out
+        assert memo.get(b"c") is out
+
+    def test_clear_resets_counters(self):
+        memo = EvaluationMemo(maxsize=4)
+        memo.put(b"a", object())
+        memo.get(b"a")
+        memo.get(b"x")
+        memo.clear()
+        assert len(memo) == 0 and memo.hits == 0 and memo.misses == 0
+        assert memo.hit_rate == 0.0
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(ValueError, match="maxsize"):
+            EvaluationMemo(maxsize=0)
+
+
+class TestPipelineDedup:
+    def test_duplicate_requests_solved_once(self, instance, tree):
+        ev = LowerLevelEvaluator(instance)
+        pipe = EvaluationPipeline(ev)
+        prices = prices_for(instance)
+        outcomes = pipe.evaluate_heuristics([(prices, tree)] * 4)
+        assert ev.n_evaluations == 1
+        assert pipe.n_deduplicated == 3
+        for out in outcomes[1:]:
+            assert outcomes_equal(outcomes[0], out)
+
+    def test_second_batch_served_from_memo(self, instance, tree):
+        ev = LowerLevelEvaluator(instance)
+        pipe = EvaluationPipeline(ev)
+        requests = [(prices_for(instance, s), tree) for s in range(3)]
+        first = pipe.evaluate_heuristics(requests)
+        assert ev.n_evaluations == 3
+        second = pipe.evaluate_heuristics(requests)
+        assert ev.n_evaluations == 3  # all hits, zero fresh work
+        for a, b in zip(first, second):
+            assert outcomes_equal(a, b)
+        assert ev.memo.hits == 3
+
+    def test_request_order_preserved_with_mixed_solvers(self, instance, tree):
+        """Memoizable (tree) and opaque (callable) requests interleave;
+        outcomes come back in request order regardless."""
+        ev = LowerLevelEvaluator(instance)
+        pipe = EvaluationPipeline(ev)
+        p0, p1 = prices_for(instance, 0), prices_for(instance, 1)
+        requests = [(p0, tree), (p1, chvatal_score), (p1, tree), (p0, chvatal_score)]
+        outcomes = pipe.evaluate_heuristics(requests)
+        expected = [
+            LowerLevelEvaluator(instance, memo_size=0).evaluate_heuristic_fresh(p, f)
+            for p, f in requests
+        ]
+        for got, want in zip(outcomes, expected):
+            assert outcomes_equal(got, want)
+
+    def test_stats_shape(self, instance, tree):
+        ev = LowerLevelEvaluator(instance)
+        pipe = EvaluationPipeline(ev)
+        pipe.evaluate_heuristics([(prices_for(instance), tree)])
+        stats = pipe.stats
+        assert stats["requests"] == 1
+        assert stats["parent_evaluations"] == 1
+        assert stats["worker_evaluations"] == 0
+        assert stats["memo"]["enabled"] is True
+        assert stats["memo"]["misses"] == 1

@@ -177,3 +177,83 @@ def test_property_generated_trees_valid_and_evaluable(seed, depth, full):
     ctx = GreedyContext.fresh(inst)
     out = t(ctx)
     assert out.shape == (inst.n_bundles,)
+
+
+class TestSerialization:
+    """Canonical serialize/deserialize/stable_hash (the memo-key substrate
+    for repro.bcpop.evaluate's content-addressed memoization)."""
+
+    def test_round_trip_simple(self):
+        t = SyntaxTree([P("add"), T("COST"), P("mul"), T("QSUM"), T("BSUM")])
+        clone = SyntaxTree.deserialize(t.serialize())
+        assert clone == t
+        assert clone.serialize() == t.serialize()
+
+    def test_constant_full_precision(self):
+        """to_infix rounds ERCs for display; serialize must not."""
+        a = SyntaxTree([Constant(2.0)])
+        b = SyntaxTree([Constant(2.0 + 1e-7)])
+        assert a.to_infix() == b.to_infix()
+        assert a.serialize() != b.serialize()
+        assert a.stable_hash() != b.stable_hash()
+        restored = SyntaxTree.deserialize(b.serialize())
+        assert restored.nodes[0].value == b.nodes[0].value
+
+    def test_deserialize_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            SyntaxTree.deserialize("X:bogus")
+        with pytest.raises(ValueError):
+            SyntaxTree.deserialize("")
+
+    def test_deserialize_validates_structure(self):
+        truncated = SyntaxTree([P("add"), T("COST"), T("QSUM")]).serialize()
+        truncated = " ".join(truncated.split()[:-1])  # drop one operand
+        with pytest.raises(ValueError):
+            SyntaxTree.deserialize(truncated)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 100_000), depth=st.integers(0, 6), full=st.booleans())
+def test_property_serialize_round_trip_fixed_point(seed, depth, full):
+    """Property: serialize -> deserialize -> serialize is a fixed point,
+    the round trip preserves tree equality, and stable_hash is a pure
+    function of the serialization."""
+    pset = paper_primitive_set()
+    gen = np.random.default_rng(seed)
+    t = full_tree(pset, depth, gen) if full else grow_tree(pset, depth, gen)
+    text = t.serialize()
+    clone = SyntaxTree.deserialize(text)
+    clone.validate()
+    assert clone == t
+    assert clone.serialize() == text
+    assert clone.stable_hash() == t.stable_hash()
+    assert len(t.stable_hash()) == 64
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 100_000), depth=st.integers(1, 5))
+def test_property_round_trip_preserves_semantics(seed, depth):
+    """Property: a deserialized tree evaluates bit-identically to the
+    original on a shared greedy context."""
+    from tests.conftest import random_covering
+
+    pset = paper_primitive_set()
+    gen = np.random.default_rng(seed)
+    t = grow_tree(pset, depth, gen)
+    clone = SyntaxTree.deserialize(t.serialize())
+    inst = random_covering(seed % 13)
+    ctx = GreedyContext.fresh(inst)
+    assert np.array_equal(t(ctx), clone(ctx))
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 100_000), depth=st.integers(0, 5))
+def test_property_pickle_and_serialize_agree(seed, depth):
+    """Property: the pickle round trip (used to ship trees to workers)
+    and the text round trip land on the same canonical form."""
+    pset = paper_primitive_set()
+    gen = np.random.default_rng(seed)
+    t = grow_tree(pset, depth, gen)
+    via_pickle = pickle.loads(pickle.dumps(t))
+    assert via_pickle.serialize() == t.serialize()
+    assert via_pickle.stable_hash() == t.stable_hash()

@@ -112,3 +112,43 @@ class TestExecutors:
         with ex:
             ex.map(_square, [1])
         assert ex._pool is None
+
+
+class TestTinyBatchFallback:
+    """Batches smaller than the worker count run serially in the calling
+    process — the pool would cost more in IPC than it saves, and the lazy
+    pool must not even be spawned for them."""
+
+    def test_small_batch_runs_without_pool(self):
+        ex = ProcessExecutor(workers=4)
+        try:
+            assert ex.map(_square, [3]) == [9]
+            assert ex.map(_square, [1, 2, 3]) == [1, 4, 9]
+            assert ex._pool is None  # never spawned
+        finally:
+            ex.close()
+
+    def test_threshold_batch_uses_pool(self):
+        ex = ProcessExecutor(workers=2)
+        try:
+            assert ex.map(_square, [1, 2]) == [1, 4]
+            assert ex._pool is not None
+        finally:
+            ex.close()
+
+    def test_fallback_matches_pool_results(self):
+        with ProcessExecutor(workers=8) as small, ProcessExecutor(workers=2) as big:
+            items = list(range(5))
+            assert small.map(_square, items) == big.map(_square, items)
+
+    def test_closed_executor_still_serves_small_batches(self):
+        ex = ProcessExecutor(workers=4)
+        ex.close()
+        assert ex.map(_square, [2]) == [4]
+
+    def test_make_executor_forwards_chunk_size(self):
+        ex = make_executor("processes", workers=2, chunk_size=7)
+        try:
+            assert ex.chunk_size == 7
+        finally:
+            ex.close()

@@ -1,0 +1,126 @@
+"""Serial/parallel bit-identity of the evaluation pipeline.
+
+The determinism contract (DESIGN.md): all randomness lives in the parent
+process, lower-level evaluations are pure functions of (instance, prices,
+heuristic), and the pipeline folds worker results back in request order —
+so a run with :class:`ProcessExecutor` must reproduce a
+:class:`SerialExecutor` run *bit for bit*, not approximately.  These tests
+compare full :class:`RunResult` objects between the two substrates for
+both CARBON and COBRA (and the nested baseline, which shares the
+pipeline) on a small BCPOP instance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bcpop.generator import generate_instance
+from repro.core.carbon import run_carbon
+from repro.core.cobra import run_cobra
+from repro.core.config import CarbonConfig, CobraConfig, UpperLevelConfig
+from repro.core.nested import run_nested
+from repro.parallel.executor import ProcessExecutor, SerialExecutor
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate_instance(24, 3, seed=5, name="det-24x3")
+
+
+def _history_points(result):
+    return [
+        (p.ul_evaluations, p.ll_evaluations, p.best_fitness, p.best_gap, p.mean_gap)
+        for p in result.history.points
+    ]
+
+
+def assert_bit_identical(a, b):
+    """Full RunResult equality: scalars with ``==`` (bit-identity, not
+    approx), trajectories point by point, NaN-aware."""
+    assert a.best_upper == b.best_upper
+    assert a.best_gap == b.best_gap
+    assert a.ul_evaluations_used == b.ul_evaluations_used
+    assert a.ll_evaluations_used == b.ll_evaluations_used
+    assert np.array_equal(a.best_solution.prices, b.best_solution.prices)
+    assert np.array_equal(a.best_solution.selection, b.best_solution.selection)
+    assert a.best_solution.upper_objective == b.best_solution.upper_objective
+    assert a.best_solution.lower_objective == b.best_solution.lower_objective
+    pa, pb = _history_points(a), _history_points(b)
+    assert len(pa) == len(pb)
+    for ra, rb in zip(pa, pb):
+        for va, vb in zip(ra, rb):
+            if isinstance(va, float) and np.isnan(va):
+                assert np.isnan(vb)
+            else:
+                assert va == vb
+
+
+class TestCarbonDeterminism:
+    def test_serial_vs_process_bit_identical(self, instance):
+        cfg = CarbonConfig.quick(
+            ul_evaluations=120, ll_evaluations=120, population_size=10
+        )
+        serial = run_carbon(instance, cfg, seed=0, executor=SerialExecutor())
+        with ProcessExecutor(workers=2) as ex:
+            process = run_carbon(instance, cfg, seed=0, executor=ex)
+        assert_bit_identical(serial, process)
+        # The GP champion itself must match, not just its score.
+        assert serial.extras["champion"] == process.extras["champion"]
+        assert (
+            serial.extras["champion_tree"].serialize()
+            == process.extras["champion_tree"].serialize()
+        )
+
+    def test_process_run_actually_used_workers(self, instance):
+        cfg = CarbonConfig.quick(
+            ul_evaluations=60, ll_evaluations=60, population_size=8
+        )
+        with ProcessExecutor(workers=2) as ex:
+            result = run_carbon(instance, cfg, seed=1, executor=ex)
+        stats = result.extras["pipeline"]
+        assert stats["worker_evaluations"] > 0
+        assert stats["worker_batches"] > 0
+
+    def test_memo_consistent_across_substrates(self, instance):
+        """The memo observes identical traffic on both substrates — its
+        hit/miss counters are part of the deterministic state."""
+        cfg = CarbonConfig.quick(
+            ul_evaluations=120, ll_evaluations=120, population_size=10
+        )
+        serial = run_carbon(instance, cfg, seed=0, executor=SerialExecutor())
+        with ProcessExecutor(workers=2) as ex:
+            process = run_carbon(instance, cfg, seed=0, executor=ex)
+        assert serial.extras["pipeline"]["memo"] == process.extras["pipeline"]["memo"]
+        assert (
+            serial.extras["pipeline"]["deduplicated"]
+            == process.extras["pipeline"]["deduplicated"]
+        )
+
+
+class TestCobraDeterminism:
+    def test_serial_vs_process_bit_identical(self, instance):
+        cfg = CobraConfig.quick(
+            ul_evaluations=150, ll_evaluations=150, population_size=10
+        )
+        serial = run_cobra(instance, cfg, seed=0, executor=SerialExecutor())
+        with ProcessExecutor(workers=2) as ex:
+            process = run_cobra(instance, cfg, seed=0, executor=ex)
+        assert_bit_identical(serial, process)
+        # Relaxation prefetch seeds the same cache values the serial run
+        # computes lazily; the cache contents must therefore agree.
+        assert (
+            serial.extras["lp_cache"]["entries"]
+            == process.extras["lp_cache"]["entries"]
+        )
+
+
+class TestNestedDeterminism:
+    def test_serial_vs_process_bit_identical(self, instance):
+        cfg = UpperLevelConfig(
+            population_size=10, archive_size=10, fitness_evaluations=80
+        )
+        serial = run_nested(instance, cfg, seed=0, executor=SerialExecutor())
+        with ProcessExecutor(workers=2) as ex:
+            process = run_nested(instance, cfg, seed=0, executor=ex)
+        assert_bit_identical(serial, process)
