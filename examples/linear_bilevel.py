@@ -14,8 +14,6 @@ Run:  python examples/linear_bilevel.py
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.bilevel.linear import mersha_dempe_example
 from repro.experiments.figures import fig1_series
 from repro.experiments.reporting import ascii_curve

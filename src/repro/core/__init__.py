@@ -3,6 +3,11 @@
 * :mod:`repro.core.config`      — Table II parameter sets,
 * :mod:`repro.core.archive`     — bounded elite archives (both levels),
 * :mod:`repro.core.convergence` — per-generation history (Figs. 4–5),
+* :mod:`repro.core.engine`      — the unified run engine: budget ledger,
+  algorithm protocol, driver loop (checkpoint/resume, early stop),
+* :mod:`repro.core.events`      — typed event bus and stock observers
+  (convergence recording, JSONL logging, stagnation stop),
+* :mod:`repro.core.checkpoint`  — exact-state checkpoint/resume,
 * :mod:`repro.core.carbon`      — the competitive co-evolutionary
   hyper-heuristic algorithm (§IV),
 * :mod:`repro.core.cobra`       — the co-evolutionary baseline
@@ -14,7 +19,26 @@
 from repro.core.config import CarbonConfig, CobraConfig
 from repro.core.archive import Archive, ArchiveEntry
 from repro.core.convergence import ConvergenceHistory, resample_history, seesaw_index
-from repro.core.results import RunResult, BilevelSolution
+from repro.core.engine import (
+    BudgetLedger,
+    BudgetMeter,
+    CoevolutionAlgorithm,
+    EngineAlgorithm,
+    EngineLoop,
+)
+from repro.core.events import (
+    EngineEvent,
+    EventBus,
+    JsonlRunLogger,
+    Observer,
+    StagnationEarlyStop,
+)
+from repro.core.checkpoint import (
+    Checkpointer,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.core.results import RunResult, BilevelSolution, solution_from_entry
 from repro.core.carbon import Carbon, run_carbon
 from repro.core.cobra import Cobra, run_cobra
 from repro.core.nested import NestedSequential, run_nested
@@ -33,8 +57,22 @@ __all__ = [
     "ConvergenceHistory",
     "resample_history",
     "seesaw_index",
+    "BudgetLedger",
+    "BudgetMeter",
+    "CoevolutionAlgorithm",
+    "EngineAlgorithm",
+    "EngineLoop",
+    "EngineEvent",
+    "EventBus",
+    "Observer",
+    "JsonlRunLogger",
+    "StagnationEarlyStop",
+    "Checkpointer",
+    "save_checkpoint",
+    "load_checkpoint",
     "RunResult",
     "BilevelSolution",
+    "solution_from_entry",
     "Carbon",
     "run_carbon",
     "Cobra",

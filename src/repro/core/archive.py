@@ -113,3 +113,26 @@ class Archive:
 
     def __contains__(self, item: Any) -> bool:
         return self.identity(item) in self._entries
+
+    # -- checkpoint support -------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Entries in internal insertion order (order matters: equal-score
+        ties in :meth:`best` and eviction break by iteration order, so
+        exact resume must reproduce it)."""
+        return {
+            "entries": [
+                {"item": e.item, "score": e.score, "aux": e.aux}
+                for e in self._entries.values()
+            ]
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Rebuild the archive from :meth:`state_dict` output, re-keying
+        each entry through the configured identity function."""
+        self._entries = {}
+        for spec in state["entries"]:
+            entry = ArchiveEntry(
+                item=spec["item"], score=float(spec["score"]), aux=dict(spec["aux"])
+            )
+            self._entries[self.identity(entry.item)] = entry

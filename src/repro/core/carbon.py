@@ -18,6 +18,10 @@ is how the nested structure is broken: the heuristic population is
 meaningful for *any* upper-level decision, unlike a population of
 lower-level decision vectors.
 
+The run lifecycle (step loop, budget ledger, events, checkpoint/resume)
+is the engine's (:mod:`repro.core.engine`); this module owns only what a
+CARBON generation *means*.
+
 Design choices the paper leaves open are flagged inline and ablated in the
 benches (DESIGN.md §5): champion pairing, heuristic evaluation sample
 size, per-gene mutation reading of Table II's 0.01.
@@ -25,16 +29,14 @@ size, per-gene mutation reading of Table II's 0.01.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.bcpop.evaluate import EvaluationPipeline, LowerLevelEvaluator
 from repro.bcpop.instance import BcpopInstance
-from repro.core.archive import Archive
+from repro.core.archive import Archive, ArchiveEntry
 from repro.core.config import CarbonConfig
-from repro.core.convergence import ConvergenceHistory
-from repro.core.results import BilevelSolution, RunResult
+from repro.core.engine import EngineAlgorithm, EngineLoop
+from repro.core.results import RunResult, solution_from_entry
 from repro.ga.encoding import Bounds
 from repro.ga.operators import polynomial_mutation, sbx_crossover
 from repro.ga.population import Individual, random_real_population
@@ -49,7 +51,7 @@ from repro.parallel.executor import Executor
 __all__ = ["Carbon", "run_carbon"]
 
 
-class Carbon:
+class Carbon(EngineAlgorithm):
     """One CARBON run on one BCPOP instance.
 
     Parameters
@@ -64,11 +66,12 @@ class Carbon:
         Forwarded to the lower-level evaluator.
     executor:
         Evaluation substrate for population fitness batches.  ``None``
-        builds one from ``config.execution`` (and closes it when ``run``
-        finishes); a caller-provided executor is shared, never closed, and
-        overrides the config.  All randomness stays in this process, so
-        the executor choice never changes results (the determinism
-        contract enforced by tests/test_parallel_determinism.py).
+        builds one from ``config.execution`` (and closes it when the
+        engine finishes the run); a caller-provided executor is shared,
+        never closed, and overrides the config.  All randomness stays in
+        this process, so the executor choice never changes results (the
+        determinism contract enforced by
+        tests/test_parallel_determinism.py).
     """
 
     def __init__(
@@ -98,9 +101,9 @@ class Carbon:
         )
         self.bounds = Bounds(*instance.price_bounds)
 
-        self.ul_used = 0
-        self.ll_used = 0
-        self.history = ConvergenceHistory()
+        self._engine_init(
+            self.config.upper.fitness_evaluations, self.config.ll_fitness_evaluations
+        )
         self.ul_archive = Archive(self.config.upper.archive_size, minimize=False)
         self.ll_archive = Archive(
             self.config.ll_archive_size, minimize=True, identity=hash
@@ -109,15 +112,29 @@ class Carbon:
         self.ll_pop: list[Individual] = []
         self.champion: SyntaxTree | None = None
 
-    # -- budgets -----------------------------------------------------------
+    # -- engine surface ----------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return "CARBON"
+
+    # -- budgets (ledger views kept for callers and benches) ---------------
+
+    @property
+    def ul_used(self) -> int:
+        return self.ledger.upper.used
+
+    @property
+    def ll_used(self) -> int:
+        return self.ledger.lower.used
 
     @property
     def ul_budget_left(self) -> int:
-        return self.config.upper.fitness_evaluations - self.ul_used
+        return self.ledger.upper.left
 
     @property
     def ll_budget_left(self) -> int:
-        return self.config.ll_fitness_evaluations - self.ll_used
+        return self.ledger.lower.left
 
     # -- evaluation --------------------------------------------------------
 
@@ -142,7 +159,7 @@ class Carbon:
         one-at-a-time evaluation.  Individuals the budget could not reach
         get ``inf`` fitness (budget ran dry mid-generation).
         """
-        budget = self.ll_budget_left
+        budget = self.ledger.lower.left
         plan: list[int] = []
         requests: list[tuple[np.ndarray, SyntaxTree]] = []
         for ind in inds:
@@ -155,7 +172,7 @@ class Carbon:
         for ind, take in zip(inds, plan):
             chunk = outcomes[pos: pos + take]
             pos += take
-            self.ll_used += take
+            self.ledger.charge(lower=take)
             if not chunk:
                 ind.fitness = np.inf  # budget ran dry before any evaluation
                 continue
@@ -171,11 +188,11 @@ class Carbon:
         order mirror serial one-at-a-time evaluation; individuals beyond
         the budget get ``-inf`` fitness."""
         assert self.champion is not None
-        take = min(len(inds), max(self.ul_budget_left, 0))
+        take = self.ledger.upper.take(len(inds))
         requests = [(ind.genome, self.champion) for ind in inds[:take]]
         outcomes = self.pipeline.evaluate_heuristics(requests)
         for ind, outcome in zip(inds[:take], outcomes):
-            self.ul_used += 1
+            self.ledger.charge(upper=1)
             ind.fitness = outcome.revenue if outcome.feasible else -np.inf
             ind.aux = {
                 "gap": outcome.gap,
@@ -275,18 +292,49 @@ class Carbon:
         )
         self.ul_pop = offspring[: cfg.population_size - 1] + [elite]
 
-    def _record(self) -> None:
+    def generation_metrics(self) -> dict[str, float]:
         ul_fits = [i.fitness for i in self.ul_pop if np.isfinite(i.fitness)]
         ll_fits = [i.fitness for i in self.ll_pop if np.isfinite(i.fitness)]
-        self.history.record(
-            ul_evaluations=self.ul_used,
-            ll_evaluations=self.ll_used,
-            best_fitness=max(ul_fits) if ul_fits else np.nan,
-            best_gap=min(ll_fits) if ll_fits else np.nan,
-            mean_gap=float(np.mean(ll_fits)) if ll_fits else np.nan,
-        )
+        return {
+            "best_fitness": max(ul_fits) if ul_fits else np.nan,
+            "best_gap": min(ll_fits) if ll_fits else np.nan,
+            "mean_gap": float(np.mean(ll_fits)) if ll_fits else np.nan,
+        }
 
-    # -- main loop ----------------------------------------------------------
+    # -- island topology support -------------------------------------------
+
+    def receive_migrants(
+        self, champion_entry: ArchiveEntry, price_entry: ArchiveEntry
+    ) -> None:
+        """Accept a neighbor island's elites: archive them, refresh the
+        champion, and displace the worst member of each population."""
+        self.ll_archive.add(
+            champion_entry.item, champion_entry.score, dict(champion_entry.aux)
+        )
+        self.ul_archive.add(
+            price_entry.item.copy(), price_entry.score, dict(price_entry.aux)
+        )
+        self._update_champion()
+        if self.ll_pop:
+            worst = int(np.argmax([
+                ind.fitness if np.isfinite(ind.fitness) else np.inf
+                for ind in self.ll_pop
+            ]))
+            self.ll_pop[worst] = Individual(
+                genome=champion_entry.item, fitness=champion_entry.score
+            )
+        if self.ul_pop:
+            worst = int(np.argmin([
+                ind.fitness if np.isfinite(ind.fitness) else -np.inf
+                for ind in self.ul_pop
+            ]))
+            self.ul_pop[worst] = Individual(
+                genome=price_entry.item.copy(),
+                fitness=price_entry.score,
+                aux=dict(price_entry.aux),
+            )
+
+    # -- lifecycle ----------------------------------------------------------
 
     def initialize(self) -> None:
         """Create and evaluate both initial populations."""
@@ -307,56 +355,37 @@ class Carbon:
                 "LL budget too small to evaluate a single heuristic"
             )
         self._evaluate_prey(self.ul_pop)
-        self._record()
+        self.record_point()
 
     def step(self) -> bool:
         """One co-evolutionary iteration; returns False when both budgets
         are exhausted."""
-        if self.ll_budget_left <= 0 and self.ul_budget_left <= 0:
+        if self.ledger.exhausted:
             return False
-        if self.ll_budget_left > 0:
+        if not self.ledger.lower.exhausted:
             self._gp_generation()
-        if self.ul_budget_left > 0:
+        if not self.ledger.upper.exhausted:
             self._ga_generation()
-        self._record()
+        self.record_point()
         return True
 
-    def close(self) -> None:
-        """Release the executor if this run built it from its config."""
-        if self._owns_executor:
-            self.executor.close()
+    # -- extraction ----------------------------------------------------------
 
-    def run(self, seed_label: int = 0) -> RunResult:
-        """Run to budget exhaustion and extract results (§V-B protocol:
-        best %-gap from the lower-level archive, best upper-level fitness
-        from the upper-level archive)."""
-        start = time.perf_counter()
-        try:
-            self.initialize()
-            while self.step():
-                pass
-        finally:
-            self.close()
+    def extract_result(self, seed_label: int, wall_time: float) -> RunResult:
+        """§V-B protocol: best %-gap from the lower-level archive, best
+        upper-level fitness from the upper-level archive."""
         best_ul = self.ul_archive.best()
-        solution = BilevelSolution(
-            prices=best_ul.item,
-            selection=best_ul.aux.get("selection", np.zeros(self.instance.n_bundles, bool)),
-            upper_objective=best_ul.score,
-            lower_objective=best_ul.aux.get("ll_cost", np.nan),
-            gap=best_ul.aux.get("gap", np.nan),
-            lower_bound=best_ul.aux.get("lower_bound", np.nan),
-        )
         return RunResult(
-            algorithm="CARBON",
+            algorithm=self.name,
             instance_name=self.instance.name,
             seed=seed_label,
             best_gap=self.ll_archive.best_score(),
             best_upper=best_ul.score,
-            best_solution=solution,
+            best_solution=solution_from_entry(best_ul, self.instance.n_bundles),
             history=self.history,
             ul_evaluations_used=self.ul_used,
             ll_evaluations_used=self.ll_used,
-            wall_time=time.perf_counter() - start,
+            wall_time=wall_time,
             extras={
                 "champion": self.champion.to_infix() if self.champion else "",
                 "champion_size": self.champion.size if self.champion else 0,
@@ -366,6 +395,24 @@ class Carbon:
             },
         )
 
+    # -- checkpointing -------------------------------------------------------
+
+    def _state_payload(self) -> dict:
+        return {
+            "ul_pop": list(self.ul_pop),
+            "ll_pop": list(self.ll_pop),
+            "ul_archive": self.ul_archive.state_dict(),
+            "ll_archive": self.ll_archive.state_dict(),
+            "champion": self.champion,
+        }
+
+    def _load_payload(self, payload: dict) -> None:
+        self.ul_pop = list(payload["ul_pop"])
+        self.ll_pop = list(payload["ll_pop"])
+        self.ul_archive.load_state_dict(payload["ul_archive"])
+        self.ll_archive.load_state_dict(payload["ll_archive"])
+        self.champion = payload["champion"]
+
 
 def run_carbon(
     instance: BcpopInstance,
@@ -373,9 +420,14 @@ def run_carbon(
     seed: int = 0,
     lp_backend: str = "scipy",
     executor: Executor | None = None,
+    observers=(),
+    resume_state: dict | None = None,
 ) -> RunResult:
-    """Convenience wrapper: one seeded CARBON run."""
-    return Carbon(
+    """Convenience wrapper: one seeded, engine-driven CARBON run."""
+    algorithm = Carbon(
         instance, config=config, rng=np.random.default_rng(seed),
         lp_backend=lp_backend, executor=executor,
-    ).run(seed_label=seed)
+    )
+    return EngineLoop(algorithm, observers=observers, resume_state=resume_state).run(
+        seed_label=seed
+    )

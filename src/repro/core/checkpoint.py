@@ -1,0 +1,193 @@
+"""Checkpoint/resume with exact state round-trip.
+
+A checkpoint is a single JSON document holding an algorithm's complete
+evolutionary state: populations and archives (GP trees through the
+canonical :meth:`repro.gp.tree.SyntaxTree.serialize` form, numpy arrays
+as raw little-endian bytes in base64), the NumPy bit-generator state,
+the budget ledger, and the convergence history.  Every value
+round-trips bit-exactly — Python's JSON float encoding uses
+``float.__repr__``, which is shortest-exact for float64, and arrays
+travel as bytes — so a resumed run replays *exactly* the run that was
+interrupted (tests/test_checkpoint_resume.py), extending the
+serial/parallel determinism contract of PR 1 to interrupted runs.
+
+LP-relaxation caches and evaluation memos are deliberately *not*
+checkpointed: they are pure caches of deterministic functions, so their
+absence after resume changes wall-time only, never results.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import tempfile
+from typing import Any
+
+import numpy as np
+
+from repro.core.events import EngineEvent, Observer
+from repro.ga.population import Individual
+from repro.gp.tree import SyntaxTree
+
+__all__ = [
+    "pack",
+    "unpack",
+    "save_checkpoint",
+    "load_checkpoint",
+    "Checkpointer",
+]
+
+CHECKPOINT_FORMAT = "repro-checkpoint"
+CHECKPOINT_VERSION = 1
+
+_ND = "__ndarray__"
+_TREE = "__tree__"
+_IND = "__individual__"
+
+
+def pack(obj: Any) -> Any:
+    """Map run state onto JSON-encodable values, exactly.
+
+    Handles ``None``/bool/int/str, floats (including NaN/inf — emitted
+    as the JSON extensions Python reads back), numpy scalars, numpy
+    arrays, :class:`SyntaxTree`, :class:`Individual`, and nested
+    dicts/lists/tuples thereof (tuples come back as lists).
+    """
+    if obj is None or isinstance(obj, (bool, int, str, float)):
+        # Covers numpy float scalars too (np.floating subclasses float);
+        # json renders floats with float.__repr__, which round-trips.
+        if isinstance(obj, float) and not isinstance(obj, np.floating):
+            return obj
+        if isinstance(obj, np.floating):
+            return float(obj)
+        return obj
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        return {
+            _ND: {
+                "dtype": arr.dtype.str,  # includes byte order, e.g. "<f8"
+                "shape": list(arr.shape),
+                "data": base64.b64encode(arr.tobytes()).decode("ascii"),
+            }
+        }
+    if isinstance(obj, SyntaxTree):
+        return {_TREE: obj.serialize()}
+    if isinstance(obj, Individual):
+        return {
+            _IND: {
+                "genome": pack(obj.genome),
+                "fitness": pack(obj.fitness),
+                "aux": pack(obj.aux),
+            }
+        }
+    if isinstance(obj, dict):
+        for key in obj:
+            if not isinstance(key, str):
+                raise TypeError(f"checkpoint dict keys must be str, got {key!r}")
+        return {key: pack(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [pack(value) for value in obj]
+    raise TypeError(f"cannot checkpoint object of type {type(obj).__name__}")
+
+
+def unpack(obj: Any) -> Any:
+    """Inverse of :func:`pack`."""
+    if isinstance(obj, dict):
+        if _ND in obj and len(obj) == 1:
+            spec = obj[_ND]
+            raw = base64.b64decode(spec["data"])
+            arr = np.frombuffer(raw, dtype=np.dtype(spec["dtype"]))
+            return arr.reshape(spec["shape"]).copy()  # copy: writable
+        if _TREE in obj and len(obj) == 1:
+            return SyntaxTree.deserialize(obj[_TREE])
+        if _IND in obj and len(obj) == 1:
+            spec = obj[_IND]
+            return Individual(
+                genome=unpack(spec["genome"]),
+                fitness=unpack(spec["fitness"]),
+                aux=unpack(spec["aux"]),
+            )
+        return {key: unpack(value) for key, value in obj.items()}
+    if isinstance(obj, list):
+        return [unpack(value) for value in obj]
+    return obj
+
+
+def save_checkpoint(path, algorithm, generation: int | None = None) -> None:
+    """Atomically write ``algorithm.state_dict()`` to ``path``.
+
+    The write goes through a temporary file in the same directory plus
+    :func:`os.replace`, so an interrupt mid-save never corrupts the
+    previous checkpoint.
+    """
+    state = algorithm.state_dict()
+    document = {
+        "format": CHECKPOINT_FORMAT,
+        "version": CHECKPOINT_VERSION,
+        "algorithm": state.get("algorithm", algorithm.name),
+        "generation": int(
+            generation if generation is not None else getattr(algorithm, "generation", 0)
+        ),
+        "state": pack(state),
+    }
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(dir=directory, prefix=".ckpt-", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(document, fh)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def load_checkpoint(path) -> dict:
+    """Read a checkpoint; returns the document with ``"state"`` unpacked
+    (ready for ``load_state_dict`` / ``EngineLoop(resume_state=...)``)."""
+    with open(path) as fh:
+        document = json.load(fh)
+    if document.get("format") != CHECKPOINT_FORMAT:
+        raise ValueError(f"{path} is not a {CHECKPOINT_FORMAT} file")
+    if document.get("version") != CHECKPOINT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint version {document.get('version')!r} in {path}"
+        )
+    document["state"] = unpack(document["state"])
+    return document
+
+
+class Checkpointer(Observer):
+    """Periodic checkpointing observer.
+
+    Saves after every ``every``-th generation and once more at run end
+    (so resuming a finished run re-extracts immediately instead of
+    recomputing).  Attach per run via
+    :class:`~repro.core.engine.EngineLoop`.
+    """
+
+    def __init__(self, path, every: int = 1) -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.path = path
+        self.every = every
+        self.saves = 0
+
+    def _save(self, event: EngineEvent) -> None:
+        save_checkpoint(self.path, event.algorithm, generation=event.generation)
+        self.saves += 1
+
+    def on_generation_end(self, event: EngineEvent) -> None:
+        if event.generation % self.every == 0:
+            self._save(event)
+
+    def on_run_end(self, event: EngineEvent) -> None:
+        self._save(event)

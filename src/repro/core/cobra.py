@@ -37,8 +37,6 @@ smuggled into the baseline; configurable for ablations).
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.bcpop.evaluate import EvaluationPipeline, LowerLevelEvaluator
@@ -46,7 +44,7 @@ from repro.bcpop.instance import BcpopInstance
 from repro.parallel.executor import Executor
 from repro.core.archive import Archive
 from repro.core.config import CobraConfig
-from repro.core.convergence import ConvergenceHistory
+from repro.core.engine import EngineAlgorithm, EngineLoop
 from repro.core.results import BilevelSolution, RunResult
 from repro.covering.repair import repair_cover
 from repro.ga.encoding import Bounds
@@ -62,7 +60,7 @@ from repro.ga.selection import binary_tournament
 __all__ = ["Cobra", "run_cobra"]
 
 
-class Cobra:
+class Cobra(EngineAlgorithm):
     """One COBRA run on one BCPOP instance (see module docstring)."""
 
     def __init__(
@@ -93,9 +91,9 @@ class Cobra:
         )
         self.bounds = Bounds(*instance.price_bounds)
 
-        self.ul_used = 0
-        self.ll_used = 0
-        self.history = ConvergenceHistory()
+        self._engine_init(
+            self.config.upper.fitness_evaluations, self.config.ll_fitness_evaluations
+        )
         self.upper_archive = Archive(self.config.upper.archive_size, minimize=False)
         self.lower_archive = Archive(self.config.ll_archive_size, minimize=True)
         # Live positional pairing: pop_u[i] is coupled with pop_l[i].
@@ -105,15 +103,29 @@ class Cobra:
         self.pop_u: list[Individual] = []
         self.pop_l: list[Individual] = []
 
-    # -- budgets -----------------------------------------------------------
+    # -- engine surface ----------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return "COBRA"
+
+    # -- budgets (ledger views kept for callers and benches) ---------------
+
+    @property
+    def ul_used(self) -> int:
+        return self.ledger.upper.used
+
+    @property
+    def ll_used(self) -> int:
+        return self.ledger.lower.used
 
     @property
     def ul_budget_left(self) -> int:
-        return self.config.upper.fitness_evaluations - self.ul_used
+        return self.ledger.upper.left
 
     @property
     def ll_budget_left(self) -> int:
-        return self.config.ll_fitness_evaluations - self.ll_used
+        return self.ledger.lower.left
 
     # -- pairing / evaluation -------------------------------------------------
 
@@ -135,11 +147,11 @@ class Cobra:
     def _eval_upper(self, ind: Individual) -> bool:
         """F(x, y_partner): leader revenue for the carried basket —
         COBRA's core shortcut (no lower-level solve)."""
-        if self.ul_budget_left <= 0:
+        if self.ledger.upper.exhausted:
             return False
         partner = ind.aux["partner"]
         ind.fitness = self.instance.revenue(ind.genome, partner)
-        self.ul_used += 1
+        self.ledger.charge(upper=1)
         self.upper_archive.add(
             ind.genome.copy(), ind.fitness, aux={"partner": partner.copy()}
         )
@@ -147,11 +159,11 @@ class Cobra:
 
     def _eval_lower(self, ind: Individual) -> bool:
         """f(x_partner, y): follower cost under the carried prices."""
-        if self.ll_budget_left <= 0:
+        if self.ledger.lower.exhausted:
             return False
         partner = ind.aux["partner"]
         ind.fitness = self.instance.lower_level(partner).cost_of(ind.genome)
-        self.ll_used += 1
+        self.ledger.charge(lower=1)
         return True
 
     def _pair_gap(self, prices: np.ndarray, basket: np.ndarray) -> float:
@@ -167,7 +179,7 @@ class Cobra:
         # Phase boundary: re-couple with the baskets as the lower phase
         # left them — this is the see-saw's downward stroke.
         self._anchor_upper()
-        self._record()
+        self.record_point()
         for _ in range(self.config.improvement_generations):
             if self.ul_budget_left <= 0:
                 break
@@ -206,13 +218,13 @@ class Cobra:
                 if not self._eval_upper(ind):
                     ind.fitness = -np.inf
             self.pop_u = offspring + [elite]
-            self._record()
+            self.record_point()
 
     def _lower_improvement(self) -> None:
         cfg = self.config
         mut_p = cfg.ll_mutation_probability
         self._anchor_lower()
-        self._record()
+        self.record_point()
         for _ in range(cfg.improvement_generations):
             if self.ll_budget_left <= 0:
                 break
@@ -250,7 +262,7 @@ class Cobra:
                 if not self._eval_lower(ind):
                     ind.fitness = np.inf
             self.pop_l = offspring + [elite]
-            self._record()
+            self.record_point()
 
     # -- Algorithm 1, lines 6-9 ----------------------------------------------
 
@@ -336,7 +348,7 @@ class Cobra:
                 aux={"partner": entry.aux["partner"].copy()},
             )
 
-    def _record(self) -> None:
+    def generation_metrics(self) -> dict[str, float]:
         finite_u = [i.fitness for i in self.pop_u if np.isfinite(i.fitness)]
         best_f = max(finite_u) if finite_u else np.nan
         finite_l = [ind for ind in self.pop_l if np.isfinite(ind.fitness)]
@@ -346,13 +358,7 @@ class Cobra:
             mean_gap = best_gap
         else:
             best_gap = mean_gap = np.nan
-        self.history.record(
-            ul_evaluations=self.ul_used,
-            ll_evaluations=self.ll_used,
-            best_fitness=best_f,
-            best_gap=best_gap,
-            mean_gap=mean_gap,
-        )
+        return {"best_fitness": best_f, "best_gap": best_gap, "mean_gap": mean_gap}
 
     # -- main loop -----------------------------------------------------------
 
@@ -386,11 +392,11 @@ class Cobra:
         for ind in self.pop_u:
             if not self._eval_upper(ind):
                 ind.fitness = -np.inf
-        self._record()
+        self.record_point()
 
     def step(self) -> bool:
         """One outer iteration of Algorithm 1; False when budgets are gone."""
-        if self.ul_budget_left <= 0 and self.ll_budget_left <= 0:
+        if self.ledger.exhausted:
             return False
         self._upper_improvement()
         self._lower_improvement()
@@ -400,21 +406,17 @@ class Cobra:
         self._inject_archives()
         return True
 
-    def close(self) -> None:
-        """Release the executor if this run built it from its config."""
-        if self._owns_executor:
-            self.executor.close()
+    # -- extraction ----------------------------------------------------------
 
-    def run(self, seed_label: int = 0) -> RunResult:
-        """Run to budget exhaustion; extract per §V-B (lower archive for
-        the %-gap, upper archive for the upper-level fitness)."""
-        start = time.perf_counter()
-        try:
-            self.initialize()
-            while self.step():
-                pass
-        finally:
-            self.close()
+    def extract_result(self, seed_label: int, wall_time: float) -> RunResult:
+        """Extract per §V-B (lower archive for the %-gap, upper archive
+        for the upper-level fitness).
+
+        COBRA keeps its bespoke extraction (unlike the other algorithms,
+        which share :func:`repro.core.results.solution_from_entry`): the
+        paired basket's cost, gap and bound are *computed* here from the
+        archived pairing, not read from evaluation side data.
+        """
         best_u = self.upper_archive.best()
         gaps = [
             e.aux["gap"]
@@ -432,7 +434,7 @@ class Cobra:
             lower_bound=self.evaluator.relaxation(best_u.item).lower_bound,
         )
         return RunResult(
-            algorithm="COBRA",
+            algorithm=self.name,
             instance_name=self.instance.name,
             seed=seed_label,
             best_gap=best_gap,
@@ -441,12 +443,28 @@ class Cobra:
             history=self.history,
             ul_evaluations_used=self.ul_used,
             ll_evaluations_used=self.ll_used,
-            wall_time=time.perf_counter() - start,
+            wall_time=wall_time,
             extras={
                 "lp_cache": self.evaluator.cache_stats,
                 "pipeline": self.pipeline.stats,
             },
         )
+
+    # -- checkpointing -------------------------------------------------------
+
+    def _state_payload(self) -> dict:
+        return {
+            "pop_u": list(self.pop_u),
+            "pop_l": list(self.pop_l),
+            "upper_archive": self.upper_archive.state_dict(),
+            "lower_archive": self.lower_archive.state_dict(),
+        }
+
+    def _load_payload(self, payload: dict) -> None:
+        self.pop_u = list(payload["pop_u"])
+        self.pop_l = list(payload["pop_l"])
+        self.upper_archive.load_state_dict(payload["upper_archive"])
+        self.lower_archive.load_state_dict(payload["lower_archive"])
 
 
 def run_cobra(
@@ -455,9 +473,14 @@ def run_cobra(
     seed: int = 0,
     lp_backend: str = "scipy",
     executor: Executor | None = None,
+    observers=(),
+    resume_state: dict | None = None,
 ) -> RunResult:
-    """Convenience wrapper: one seeded COBRA run."""
-    return Cobra(
+    """Convenience wrapper: one seeded, engine-driven COBRA run."""
+    algorithm = Cobra(
         instance, config=config, rng=np.random.default_rng(seed),
         lp_backend=lp_backend, executor=executor,
-    ).run(seed_label=seed)
+    )
+    return EngineLoop(algorithm, observers=observers, resume_state=resume_state).run(
+        seed_label=seed
+    )

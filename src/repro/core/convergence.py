@@ -14,7 +14,7 @@ are steady.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -60,6 +60,13 @@ class ConvergenceHistory:
 
     def __len__(self) -> int:
         return len(self.points)
+
+    def state_dict(self) -> dict:
+        """Checkpoint form: one plain dict per point."""
+        return {"points": [asdict(p) for p in self.points]}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.points = [ConvergencePoint(**p) for p in state["points"]]
 
     def series(self, what: str) -> tuple[np.ndarray, np.ndarray]:
         """(total evaluations, values) for ``what`` in

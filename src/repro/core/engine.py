@@ -1,0 +1,380 @@
+"""The unified co-evolution engine.
+
+Carbon, Cobra, NestedSequential, SurrogateAssisted, TriLevelCarbon and
+IslandCarbon all share one run lifecycle — ``initialize → step* → close
+→ extract_result`` — driven by :class:`EngineLoop`.  The loop owns
+wall-time, the step iteration, early stop and resume; the algorithms own
+*what a step means*.  Cross-cutting capabilities (JSONL logging,
+checkpointing, stagnation stop, convergence recording) attach as
+observers on the :class:`~repro.core.events.EventBus` instead of being
+re-implemented per algorithm.
+
+Budget accounting, previously five sets of hand-rolled
+``ul_used``/``ll_used`` counters, lives in one :class:`BudgetLedger`
+with an upper and a lower :class:`BudgetMeter`.  A single ledger plus
+the generation-event stream is what per-interaction accounting (Lehre,
+2024) and adaptive resource allocation à la CR-BLEA (Xu et al., 2025)
+need as substrate — neither is expressible against five disjoint loops.
+
+The determinism contract extends to interrupted runs: an algorithm's
+full evolutionary state (populations, archives, RNG bit-generator
+state, ledger, history) round-trips through
+:meth:`EngineAlgorithm.state_dict`, so a checkpointed run resumed by
+:class:`EngineLoop` reproduces the uninterrupted run bit for bit
+(tests/test_checkpoint_resume.py).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Protocol, Sequence, runtime_checkable
+
+from repro.core.convergence import ConvergenceHistory
+from repro.core.events import ConvergenceRecorder, EngineEvent, EventBus, Observer
+from repro.core.results import RunResult
+
+__all__ = [
+    "BudgetMeter",
+    "BudgetLedger",
+    "CoevolutionAlgorithm",
+    "EngineAlgorithm",
+    "EngineLoop",
+]
+
+
+# ---------------------------------------------------------------------------
+# budget ledger
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BudgetMeter:
+    """One evaluation budget: a cap and a monotone usage counter."""
+
+    budget: int
+    used: int = 0
+
+    @property
+    def left(self) -> int:
+        return self.budget - self.used
+
+    @property
+    def exhausted(self) -> bool:
+        return self.left <= 0
+
+    def charge(self, n: int = 1) -> None:
+        """Consume ``n`` evaluations (negative charges are a bug)."""
+        if n < 0:
+            raise ValueError(f"cannot charge {n} evaluations")
+        self.used += n
+
+    def take(self, requested: int) -> int:
+        """How much of ``requested`` the remaining budget can fund
+        (truncation point for batch evaluation plans)."""
+        return min(requested, max(self.left, 0))
+
+
+class BudgetLedger:
+    """Dual upper/lower evaluation accounting for one run.
+
+    Replaces the per-algorithm ``ul_used``/``ll_used``/``*_budget_left``
+    scatter.  Algorithms whose levels share a single budget (the nested
+    and surrogate baselines: one lower-level solve per upper-level
+    evaluation) charge both meters per evaluation, which keeps the
+    reported ``ul``/``ll`` totals identical to the historical counters.
+    """
+
+    def __init__(self, upper_budget: int, lower_budget: int) -> None:
+        self.upper = BudgetMeter(int(upper_budget))
+        self.lower = BudgetMeter(int(lower_budget))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BudgetLedger(upper={self.upper.used}/{self.upper.budget}, "
+            f"lower={self.lower.used}/{self.lower.budget})"
+        )
+
+    @property
+    def exhausted(self) -> bool:
+        """True when *both* levels are out of budget."""
+        return self.upper.exhausted and self.lower.exhausted
+
+    def charge(self, upper: int = 0, lower: int = 0) -> None:
+        if upper:
+            self.upper.charge(upper)
+        if lower:
+            self.lower.charge(lower)
+
+    def state_dict(self) -> dict:
+        return {
+            "upper": {"budget": self.upper.budget, "used": self.upper.used},
+            "lower": {"budget": self.lower.budget, "used": self.lower.used},
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.upper = BudgetMeter(**{k: int(v) for k, v in state["upper"].items()})
+        self.lower = BudgetMeter(**{k: int(v) for k, v in state["lower"].items()})
+
+
+# ---------------------------------------------------------------------------
+# the algorithm protocol
+# ---------------------------------------------------------------------------
+
+
+@runtime_checkable
+class CoevolutionAlgorithm(Protocol):
+    """What :class:`EngineLoop` needs from an algorithm.
+
+    State attributes (``events``, ``history``, ``generation``, plus the
+    problem ``instance``) are exposed so observers can read telemetry
+    without per-algorithm adapters; ``state_dict``/``load_state_dict``
+    must round-trip the complete evolutionary state for exact resume.
+    """
+
+    events: EventBus
+    history: ConvergenceHistory
+    generation: int
+    instance: Any
+
+    @property
+    def name(self) -> str:
+        """Algorithm label as reported in ``RunResult.algorithm``."""
+        ...
+
+    def budget_used(self) -> tuple[int, int]:
+        """(upper, lower) evaluations consumed so far."""
+        ...
+
+    def initialize(self) -> None: ...
+
+    def step(self) -> bool: ...
+
+    def close(self) -> None: ...
+
+    def extract_result(self, seed_label: int, wall_time: float) -> RunResult: ...
+
+    def state_dict(self) -> dict: ...
+
+    def load_state_dict(self, state: dict) -> None: ...
+
+
+class EngineAlgorithm:
+    """Shared concrete base for engine-driven algorithms.
+
+    Subclasses call :meth:`_engine_init` from ``__init__`` and provide
+    ``generation_metrics()`` (the three convergence metrics their old
+    ``_record`` computed), ``_state_payload()``/``_load_payload()`` (the
+    population/archive state around the common rng/ledger/history
+    envelope), and ``extract_result``.
+    """
+
+    #: Overridden by subclasses that build an executor from their config
+    #: (a shared, caller-provided executor is never closed here).
+    _owns_executor = False
+
+    def _engine_init(self, upper_budget: int, lower_budget: int) -> None:
+        self.ledger = BudgetLedger(upper_budget, lower_budget)
+        self.history = ConvergenceHistory()
+        self.events = EventBus([ConvergenceRecorder(self.history)])
+        self.generation = 0
+
+    # -- protocol surface ---------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        raise NotImplementedError
+
+    def budget_used(self) -> tuple[int, int]:
+        return self.ledger.upper.used, self.ledger.lower.used
+
+    def initialize(self) -> None:
+        raise NotImplementedError
+
+    def step(self) -> bool:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release the executor if this run built it from its config."""
+        if self._owns_executor:
+            self.executor.close()
+
+    def extract_result(self, seed_label: int, wall_time: float) -> RunResult:
+        raise NotImplementedError
+
+    # -- convergence recording ---------------------------------------------
+
+    def generation_metrics(self) -> dict[str, float]:
+        """Current-population metrics: ``best_fitness``, ``best_gap``,
+        ``mean_gap`` (the per-algorithm part of the old ``_record``)."""
+        raise NotImplementedError
+
+    def record_point(self) -> None:
+        """Append one convergence point via the event bus (the shared
+        part of the old ``_record`` bodies)."""
+        ul_used, ll_used = self.budget_used()
+        self.events.record(
+            EngineEvent(
+                algorithm=self,
+                generation=self.generation,
+                data={
+                    "ul_evaluations": ul_used,
+                    "ll_evaluations": ll_used,
+                    **self.generation_metrics(),
+                },
+            )
+        )
+
+    # -- checkpoint envelope ------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Complete evolutionary state (see :mod:`repro.core.checkpoint`
+        for the serialized form)."""
+        return {
+            "algorithm": self.name,
+            "generation": self.generation,
+            "rng": self.rng.bit_generator.state,
+            "ledger": self.ledger.state_dict(),
+            "history": self.history.state_dict(),
+            "payload": self._state_payload(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if state["algorithm"] != self.name:
+            raise ValueError(
+                f"checkpoint is for {state['algorithm']!r}, not {self.name!r}"
+            )
+        self.generation = int(state["generation"])
+        self.rng.bit_generator.state = state["rng"]
+        self.ledger.load_state_dict(state["ledger"])
+        self.history.load_state_dict(state["history"])
+        self._load_payload(state["payload"])
+
+    def _state_payload(self) -> dict:
+        raise NotImplementedError
+
+    def _load_payload(self, payload: dict) -> None:
+        raise NotImplementedError
+
+    # -- convenience --------------------------------------------------------
+
+    def run(
+        self,
+        seed_label: int = 0,
+        observers: Sequence[Observer] = (),
+        resume_state: dict | None = None,
+        max_generations: int | None = None,
+    ) -> RunResult:
+        """Run to completion under an :class:`EngineLoop`."""
+        return EngineLoop(
+            self,
+            observers=observers,
+            resume_state=resume_state,
+            max_generations=max_generations,
+        ).run(seed_label=seed_label)
+
+
+# ---------------------------------------------------------------------------
+# the driver loop
+# ---------------------------------------------------------------------------
+
+
+class EngineLoop:
+    """One instrumented run of a :class:`CoevolutionAlgorithm`.
+
+    Parameters
+    ----------
+    algorithm:
+        The algorithm to drive.
+    observers:
+        Extra observers subscribed to the algorithm's bus for this run
+        (e.g. :class:`~repro.core.events.JsonlRunLogger`,
+        :class:`~repro.core.checkpoint.Checkpointer`,
+        :class:`~repro.core.events.StagnationEarlyStop`).
+    resume_state:
+        A ``state_dict`` (typically ``load_checkpoint(path)["state"]``);
+        when given, ``initialize()`` is skipped and the run continues
+        from the restored generation, bit-identically to a run that was
+        never interrupted.
+    max_generations:
+        Stop (pause) after this many steps *in this session* — the
+        programmatic interrupt used by the resume tests; ``None`` runs
+        to budget exhaustion.
+    """
+
+    def __init__(
+        self,
+        algorithm: CoevolutionAlgorithm,
+        observers: Sequence[Observer] = (),
+        resume_state: dict | None = None,
+        max_generations: int | None = None,
+    ) -> None:
+        self.algorithm = algorithm
+        self.observers = tuple(observers)
+        self.resume_state = resume_state
+        self.max_generations = max_generations
+        self.stop_requested = False
+        self.stop_reason: str | None = None
+
+    def request_stop(self, reason: str = "") -> None:
+        """Ask the loop to stop after the current generation (how
+        observers implement early stopping)."""
+        self.stop_requested = True
+        self.stop_reason = reason or None
+
+    def _event(self, seed_label: int, start: float, **kw) -> EngineEvent:
+        return EngineEvent(
+            algorithm=self.algorithm,
+            generation=self.algorithm.generation,
+            seed_label=seed_label,
+            loop=self,
+            elapsed=time.perf_counter() - start,
+            **kw,
+        )
+
+    def run(self, seed_label: int = 0) -> RunResult:
+        algo = self.algorithm
+        bus = algo.events
+        for obs in self.observers:
+            bus.subscribe(obs)
+        start = time.perf_counter()
+        resumed = self.resume_state is not None
+        status = "completed"
+        steps_this_session = 0
+        try:
+            try:
+                if resumed:
+                    algo.load_state_dict(self.resume_state)
+                else:
+                    algo.initialize()
+                bus.init(self._event(seed_label, start))
+                while not self.stop_requested:
+                    if (
+                        self.max_generations is not None
+                        and steps_this_session >= self.max_generations
+                    ):
+                        status = "paused"
+                        break
+                    if not algo.step():
+                        break
+                    algo.generation += 1
+                    steps_this_session += 1
+                    bus.generation_end(self._event(seed_label, start))
+                if self.stop_requested:
+                    status = "stopped"
+            finally:
+                algo.close()
+            result = algo.extract_result(
+                seed_label=seed_label, wall_time=time.perf_counter() - start
+            )
+            result.extras["engine"] = {
+                "generations": algo.generation,
+                "status": status,
+                "stop_reason": self.stop_reason,
+                "resumed": resumed,
+            }
+            bus.run_end(self._event(seed_label, start, result=result))
+            return result
+        finally:
+            for obs in self.observers:
+                bus.unsubscribe(obs)

@@ -1,0 +1,265 @@
+"""Typed event bus for the co-evolution engine.
+
+Every engine-driven run emits a small, fixed vocabulary of events:
+
+``on_init``
+    Both populations exist and are evaluated (or a checkpoint was
+    restored); fired once before the first step.
+``on_record``
+    The algorithm appended a convergence point.  Fired once per
+    generation for CARBON-style loops and once per *phase generation*
+    for COBRA (whose see-saw only exists at that granularity).
+``on_generation_end``
+    One ``step()`` of the outer co-evolutionary loop completed.
+``on_migration``
+    An island topology exchanged elites.
+``on_run_end``
+    The run finished and its :class:`~repro.core.results.RunResult`
+    is available on the event.
+
+Observers subclass :class:`Observer` (all hooks default to no-ops) and
+are attached either at algorithm construction (the built-in
+:class:`ConvergenceRecorder`) or per run through
+:class:`repro.core.engine.EngineLoop`.  Observer exceptions propagate:
+an observer is part of the run, not best-effort telemetry.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.engine import EngineLoop
+    from repro.core.results import RunResult
+
+__all__ = [
+    "EngineEvent",
+    "Observer",
+    "EventBus",
+    "ConvergenceRecorder",
+    "JsonlRunLogger",
+    "StagnationEarlyStop",
+]
+
+
+@dataclass
+class EngineEvent:
+    """Context handed to every observer hook.
+
+    ``loop`` is only set for engine-driven runs (``None`` when an
+    algorithm is stepped by hand), so observers that request early stop
+    must tolerate its absence.
+    """
+
+    algorithm: Any
+    generation: int = 0
+    seed_label: int = 0
+    loop: "EngineLoop | None" = None
+    elapsed: float = 0.0
+    result: "RunResult | None" = None
+    #: Per-event payload: convergence metrics for ``on_record``,
+    #: migration counters for ``on_migration``.
+    data: dict = field(default_factory=dict)
+
+
+class Observer:
+    """Base observer: subclass and override the hooks you need."""
+
+    def on_init(self, event: EngineEvent) -> None:
+        """The run is initialized (fresh or restored from checkpoint)."""
+
+    def on_record(self, event: EngineEvent) -> None:
+        """A convergence point was recorded (``event.data`` holds it)."""
+
+    def on_generation_end(self, event: EngineEvent) -> None:
+        """One outer co-evolutionary step completed."""
+
+    def on_migration(self, event: EngineEvent) -> None:
+        """An island topology migrated elites (``event.data`` says what)."""
+
+    def on_run_end(self, event: EngineEvent) -> None:
+        """The run finished; ``event.result`` is the RunResult."""
+
+
+class EventBus:
+    """Dispatches engine events to subscribed observers, in order."""
+
+    _HOOKS = ("on_init", "on_record", "on_generation_end", "on_migration", "on_run_end")
+
+    def __init__(self, observers: tuple[Observer, ...] | list[Observer] = ()) -> None:
+        self._observers: list[Observer] = list(observers)
+
+    def subscribe(self, observer: Observer) -> None:
+        self._observers.append(observer)
+
+    def unsubscribe(self, observer: Observer) -> None:
+        self._observers.remove(observer)
+
+    @property
+    def observers(self) -> tuple[Observer, ...]:
+        return tuple(self._observers)
+
+    def _emit(self, hook: str, event: EngineEvent) -> None:
+        if hook not in self._HOOKS:
+            raise ValueError(f"unknown engine event {hook!r}")
+        for observer in self._observers:
+            getattr(observer, hook)(event)
+
+    def init(self, event: EngineEvent) -> None:
+        self._emit("on_init", event)
+
+    def record(self, event: EngineEvent) -> None:
+        self._emit("on_record", event)
+
+    def generation_end(self, event: EngineEvent) -> None:
+        self._emit("on_generation_end", event)
+
+    def migration(self, event: EngineEvent) -> None:
+        self._emit("on_migration", event)
+
+    def run_end(self, event: EngineEvent) -> None:
+        self._emit("on_run_end", event)
+
+
+class ConvergenceRecorder(Observer):
+    """Absorbs the per-algorithm ``_record`` bodies: every ``on_record``
+    event appends its metrics to the run's
+    :class:`~repro.core.convergence.ConvergenceHistory`.
+
+    Installed on every algorithm's bus at construction, so direct
+    ``initialize()``/``step()`` driving records exactly as engine-driven
+    runs do.
+    """
+
+    def __init__(self, history) -> None:
+        self.history = history
+
+    def on_record(self, event: EngineEvent) -> None:
+        self.history.record(**event.data)
+
+
+class JsonlRunLogger(Observer):
+    """Structured JSONL run log, one object per line.
+
+    Per-generation lines and the final ``run_end`` line share the flat
+    schema of :meth:`repro.core.results.RunResult.summary_row`
+    (``tests/test_engine_observers.py`` pins this), so downstream table
+    code can consume either.  Lines are written with a single atomic
+    ``write`` in append mode, which keeps logs from concurrent worker
+    processes intact.
+
+    Non-finite metrics are emitted as the JSON extensions ``NaN`` /
+    ``Infinity`` (what :func:`json.loads` reads back).
+    """
+
+    def __init__(self, path, append: bool = True) -> None:
+        self.path = path
+        if not append:
+            with open(self.path, "w"):
+                pass
+
+    def _write(self, record: dict) -> None:
+        with open(self.path, "a") as fh:
+            fh.write(json.dumps(record) + "\n")
+
+    def _row(self, event: EngineEvent) -> dict:
+        """The summary_row-shaped snapshot of a live run."""
+        from repro.core.results import RunResult
+
+        algo = event.algorithm
+        ul_used, ll_used = algo.budget_used()
+        best_gap = best_upper = float("nan")
+        if len(algo.history):
+            point = algo.history.points[-1]
+            best_gap = point.best_gap
+            best_upper = point.best_fitness
+        return RunResult.flat_row(
+            algorithm=algo.name,
+            instance=algo.instance.name,
+            seed=event.seed_label,
+            best_gap=best_gap,
+            best_upper=best_upper,
+            ul_evals=ul_used,
+            ll_evals=ll_used,
+            wall_time=event.elapsed,
+        )
+
+    def on_init(self, event: EngineEvent) -> None:
+        self._write({"event": "init", "generation": event.generation, **self._row(event)})
+
+    def on_generation_end(self, event: EngineEvent) -> None:
+        self._write(
+            {"event": "generation", "generation": event.generation, **self._row(event)}
+        )
+
+    def on_migration(self, event: EngineEvent) -> None:
+        self._write(
+            {
+                "event": "migration",
+                "generation": event.generation,
+                **{k: v for k, v in event.data.items()},
+                **self._row(event),
+            }
+        )
+
+    def on_run_end(self, event: EngineEvent) -> None:
+        assert event.result is not None
+        self._write(
+            {
+                "event": "run_end",
+                "generation": event.generation,
+                **event.result.summary_row(),
+            }
+        )
+
+
+class StagnationEarlyStop(Observer):
+    """Stop the run when a convergence metric stops improving.
+
+    Watches the run's :class:`ConvergenceHistory` (the series machinery
+    of :mod:`repro.core.convergence`): after ``patience`` consecutive
+    ``on_generation_end`` events without at least ``min_delta``
+    improvement of ``metric`` (``"gap"`` minimized, ``"fitness"``
+    maximized), it asks the driving loop to stop.  A no-op for runs that
+    are stepped by hand (no loop to stop).
+    """
+
+    def __init__(self, patience: int = 25, metric: str = "gap", min_delta: float = 0.0) -> None:
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        if metric not in ("gap", "fitness"):
+            raise ValueError(f"metric must be 'gap' or 'fitness', got {metric!r}")
+        self.patience = patience
+        self.metric = metric
+        self.min_delta = min_delta
+        self._best: float | None = None
+        self._stalled = 0
+
+    def _improved(self, value: float) -> bool:
+        if not np.isfinite(value):
+            return False
+        if self._best is None:
+            return True
+        if self.metric == "gap":
+            return value < self._best - self.min_delta
+        return value > self._best + self.min_delta
+
+    def on_generation_end(self, event: EngineEvent) -> None:
+        history = event.algorithm.history
+        if not len(history):
+            return
+        point = history.points[-1]
+        value = point.best_gap if self.metric == "gap" else point.best_fitness
+        if self._improved(value):
+            self._best = value
+            self._stalled = 0
+        else:
+            self._stalled += 1
+        if self._stalled >= self.patience and event.loop is not None:
+            event.loop.request_stop(
+                f"stagnation: no {self.metric} improvement in {self.patience} generations"
+            )

@@ -21,8 +21,6 @@ the lower level in the first place.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.bcpop.evaluate import EvaluationPipeline, LowerLevelEvaluator
@@ -30,8 +28,8 @@ from repro.bcpop.instance import BcpopInstance
 from repro.parallel.executor import Executor
 from repro.core.archive import Archive
 from repro.core.config import UpperLevelConfig
-from repro.core.convergence import ConvergenceHistory
-from repro.core.results import BilevelSolution, RunResult
+from repro.core.engine import EngineAlgorithm, EngineLoop
+from repro.core.results import RunResult, solution_from_entry
 from repro.covering.exact import solve_exact
 from repro.covering.heuristics import make_heuristic
 from repro.ga.encoding import Bounds
@@ -42,7 +40,7 @@ from repro.ga.selection import binary_tournament
 __all__ = ["NestedSequential", "run_nested"]
 
 
-class NestedSequential:
+class NestedSequential(EngineAlgorithm):
     """Nested GA: evolve prices, re-solve the follower every evaluation.
 
     Parameters
@@ -88,18 +86,30 @@ class NestedSequential:
             # Resolve eagerly so an unknown name fails at construction.
             self._score_fn = make_heuristic(ll_solver, rng=self.rng)
 
-        self.ul_used = 0
+        # One budget: each UL evaluation *is* one LL solve, so the ledger
+        # charges both meters per evaluation and the historical
+        # ``ul == ll`` reporting is preserved.
+        self._engine_init(
+            self.config.fitness_evaluations, self.config.fitness_evaluations
+        )
         self.ll_effort = 0  # greedy steps or B&B nodes, for reporting
-        self.history = ConvergenceHistory()
         self.archive = Archive(self.config.archive_size, minimize=False)
         self.population: list[Individual] = []
 
     @property
+    def name(self) -> str:
+        return f"NESTED[{self.ll_solver}]"
+
+    @property
+    def ul_used(self) -> int:
+        return self.ledger.upper.used
+
+    @property
     def budget_left(self) -> int:
-        return self.config.fitness_evaluations - self.ul_used
+        return self.ledger.upper.left
 
     def _evaluate(self, ind: Individual) -> bool:
-        if self.budget_left <= 0:
+        if self.ledger.upper.exhausted:
             return False
         prices = self.instance.validate_prices(ind.genome)
         if self.ll_solver == "exact":
@@ -120,7 +130,7 @@ class NestedSequential:
             selection, lower_cost = out.selection, out.ll_cost
             lower_bound = out.lower_bound
             self.ll_effort += 1
-        self.ul_used += 1
+        self.ledger.charge(upper=1, lower=1)
         ind.fitness = revenue if np.isfinite(gap) else -np.inf
         ind.aux = {
             "gap": gap,
@@ -141,12 +151,12 @@ class NestedSequential:
                 if not self._evaluate(ind):
                     ind.fitness = -np.inf
             return
-        take = min(len(inds), max(self.budget_left, 0))
+        take = self.ledger.upper.take(len(inds))
         requests = [(ind.genome, self._score_fn) for ind in inds[:take]]
         outcomes = self.pipeline.evaluate_heuristics(requests)
         for ind, out in zip(inds[:take], outcomes):
             self.ll_effort += 1
-            self.ul_used += 1
+            self.ledger.charge(upper=1, lower=1)
             ind.fitness = out.revenue if np.isfinite(out.gap) else -np.inf
             ind.aux = {
                 "gap": out.gap,
@@ -158,30 +168,28 @@ class NestedSequential:
         for ind in inds[take:]:
             ind.fitness = -np.inf
 
-    def _record(self) -> None:
+    def generation_metrics(self) -> dict[str, float]:
         fits = [i.fitness for i in self.population if np.isfinite(i.fitness)]
         gaps = [
             i.aux.get("gap", np.nan)
             for i in self.population
             if np.isfinite(i.aux.get("gap", np.nan))
         ]
-        self.history.record(
-            ul_evaluations=self.ul_used,
-            ll_evaluations=self.ul_used,  # one LL solve per UL evaluation
-            best_fitness=max(fits) if fits else np.nan,
-            best_gap=min(gaps) if gaps else np.nan,
-            mean_gap=float(np.mean(gaps)) if gaps else np.nan,
-        )
+        return {
+            "best_fitness": max(fits) if fits else np.nan,
+            "best_gap": min(gaps) if gaps else np.nan,
+            "mean_gap": float(np.mean(gaps)) if gaps else np.nan,
+        }
 
     def initialize(self) -> None:
         self.population = random_real_population(
             self.bounds, self.config.population_size, self.rng
         )
         self._evaluate_population(self.population)
-        self._record()
+        self.record_point()
 
     def step(self) -> bool:
-        if self.budget_left <= 0:
+        if self.ledger.upper.exhausted:
             return False
         cfg = self.config
         fits = [i.fitness for i in self.population]
@@ -205,45 +213,47 @@ class NestedSequential:
         best = self.archive.best()
         elite = Individual(genome=best.item.copy(), fitness=best.score, aux=dict(best.aux))
         self.population = offspring[: cfg.population_size - 1] + [elite]
-        self._record()
+        self.record_point()
         return True
 
-    def run(self, seed_label: int = 0) -> RunResult:
-        start = time.perf_counter()
-        self.initialize()
-        while self.step():
-            pass
+    def extract_result(self, seed_label: int, wall_time: float) -> RunResult:
         best = self.archive.best()
         gaps = [
             e.aux.get("gap", np.inf)
             for e in self.archive.entries()
             if np.isfinite(e.aux.get("gap", np.inf))
         ]
-        solution = BilevelSolution(
-            prices=best.item,
-            selection=best.aux["selection"],
-            upper_objective=best.score,
-            lower_objective=best.aux["ll_cost"],
-            gap=best.aux["gap"],
-            lower_bound=best.aux["lower_bound"],
-        )
         return RunResult(
-            algorithm=f"NESTED[{self.ll_solver}]",
+            algorithm=self.name,
             instance_name=self.instance.name,
             seed=seed_label,
             best_gap=min(gaps) if gaps else np.inf,
             best_upper=best.score,
-            best_solution=solution,
+            best_solution=solution_from_entry(best, self.instance.n_bundles),
             history=self.history,
             ul_evaluations_used=self.ul_used,
             ll_evaluations_used=self.ul_used,
-            wall_time=time.perf_counter() - start,
+            wall_time=wall_time,
             extras={
                 "ll_effort": self.ll_effort,
                 "ll_solver": self.ll_solver,
                 "pipeline": self.pipeline.stats,
             },
         )
+
+    # -- checkpointing -------------------------------------------------------
+
+    def _state_payload(self) -> dict:
+        return {
+            "population": list(self.population),
+            "archive": self.archive.state_dict(),
+            "ll_effort": self.ll_effort,
+        }
+
+    def _load_payload(self, payload: dict) -> None:
+        self.population = list(payload["population"])
+        self.archive.load_state_dict(payload["archive"])
+        self.ll_effort = int(payload["ll_effort"])
 
 
 def run_nested(
@@ -253,9 +263,14 @@ def run_nested(
     ll_solver: str = "chvatal",
     lp_backend: str = "scipy",
     executor: Executor | None = None,
+    observers=(),
+    resume_state: dict | None = None,
 ) -> RunResult:
-    """Convenience wrapper: one seeded nested-sequential run."""
-    return NestedSequential(
+    """Convenience wrapper: one seeded, engine-driven nested run."""
+    algorithm = NestedSequential(
         instance, config=config, rng=np.random.default_rng(seed),
         ll_solver=ll_solver, lp_backend=lp_backend, executor=executor,
-    ).run(seed_label=seed)
+    )
+    return EngineLoop(algorithm, observers=observers, resume_state=resume_state).run(
+        seed_label=seed
+    )

@@ -8,7 +8,20 @@ import numpy as np
 
 from repro.core.convergence import ConvergenceHistory
 
-__all__ = ["BilevelSolution", "RunResult"]
+__all__ = ["BilevelSolution", "RunResult", "SUMMARY_FIELDS", "solution_from_entry"]
+
+#: The flat per-run schema shared by :meth:`RunResult.summary_row` and the
+#: JSONL run logger (tests/test_engine_observers.py pins the contract).
+SUMMARY_FIELDS = (
+    "algorithm",
+    "instance",
+    "seed",
+    "best_gap",
+    "best_upper",
+    "ul_evals",
+    "ll_evals",
+    "wall_time",
+)
 
 
 @dataclass(frozen=True)
@@ -54,15 +67,50 @@ class RunResult:
     wall_time: float = 0.0
     extras: dict = field(default_factory=dict)
 
+    @staticmethod
+    def flat_row(**values) -> dict:
+        """Build a :data:`SUMMARY_FIELDS`-shaped dict; raises on any
+        missing or extra key so producers cannot drift from the schema."""
+        if set(values) != set(SUMMARY_FIELDS):
+            missing = set(SUMMARY_FIELDS) - set(values)
+            extra = set(values) - set(SUMMARY_FIELDS)
+            raise ValueError(
+                f"summary row mismatch: missing {sorted(missing)}, extra {sorted(extra)}"
+            )
+        return {key: values[key] for key in SUMMARY_FIELDS}
+
     def summary_row(self) -> dict:
-        """Flat dict for table building."""
-        return {
-            "algorithm": self.algorithm,
-            "instance": self.instance_name,
-            "seed": self.seed,
-            "best_gap": self.best_gap,
-            "best_upper": self.best_upper,
-            "ul_evals": self.ul_evaluations_used,
-            "ll_evals": self.ll_evaluations_used,
-            "wall_time": self.wall_time,
-        }
+        """Flat dict for table building (schema: :data:`SUMMARY_FIELDS`)."""
+        return self.flat_row(
+            algorithm=self.algorithm,
+            instance=self.instance_name,
+            seed=self.seed,
+            best_gap=self.best_gap,
+            best_upper=self.best_upper,
+            ul_evals=self.ul_evaluations_used,
+            ll_evals=self.ll_evaluations_used,
+            wall_time=self.wall_time,
+        )
+
+
+def solution_from_entry(
+    entry, n_bundles: int, lower_cost_key: str = "ll_cost"
+) -> BilevelSolution:
+    """Build a :class:`BilevelSolution` from a best archive entry.
+
+    The §V-B extraction block that CARBON, the nested/surrogate
+    baselines, the tri-level study and the island topology all used to
+    copy-paste: prices are the archived item, everything else comes from
+    the evaluation side data stored in ``entry.aux`` (missing keys
+    degrade to NaN / an empty selection, e.g. for runs whose best entry
+    predates feasibility).
+    """
+    aux = entry.aux
+    return BilevelSolution(
+        prices=entry.item,
+        selection=aux.get("selection", np.zeros(n_bundles, dtype=bool)),
+        upper_objective=entry.score,
+        lower_objective=aux.get(lower_cost_key, np.nan),
+        gap=aux.get("gap", np.nan),
+        lower_bound=aux.get("lower_bound", np.nan),
+    )

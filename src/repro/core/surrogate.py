@@ -26,16 +26,14 @@ evaluations* buys when the solver stays fixed.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.bcpop.evaluate import LowerLevelEvaluator
 from repro.bcpop.instance import BcpopInstance
 from repro.core.archive import Archive
 from repro.core.config import UpperLevelConfig
-from repro.core.convergence import ConvergenceHistory
-from repro.core.results import BilevelSolution, RunResult
+from repro.core.engine import EngineAlgorithm, EngineLoop
+from repro.core.results import RunResult, solution_from_entry
 from repro.covering.heuristics import make_heuristic
 from repro.ga.encoding import Bounds
 from repro.ga.operators import polynomial_mutation, sbx_crossover
@@ -104,8 +102,19 @@ class QuadraticSurrogate:
             raise RuntimeError("surrogate not fit yet")
         return self._design(np.atleast_2d(xs)) @ self._coef
 
+    def state_dict(self) -> dict:
+        """Training set and coefficients (exact resume needs the fitted
+        coefficients as-is, not a refit — solves are float-sensitive)."""
+        return {"x": list(self._x), "y": list(self._y), "coef": self._coef}
 
-class SurrogateAssisted:
+    def load_state_dict(self, state: dict) -> None:
+        self._x = [np.asarray(x, dtype=np.float64) for x in state["x"]]
+        self._y = [float(y) for y in state["y"]]
+        coef = state["coef"]
+        self._coef = None if coef is None else np.asarray(coef, dtype=np.float64)
+
+
+class SurrogateAssisted(EngineAlgorithm):
     """Surrogate-pre-screened GA over prices with a fixed LL heuristic.
 
     Parameters
@@ -142,21 +151,32 @@ class SurrogateAssisted:
         self.oversample = oversample
         self.surrogate = QuadraticSurrogate(instance.n_own)
 
-        self.ul_used = 0
+        # Single true-evaluation budget; both meters charged per solve
+        # (one LL solve per UL evaluation), as in the nested baseline.
+        self._engine_init(
+            self.config.fitness_evaluations, self.config.fitness_evaluations
+        )
         self.screened_out = 0
-        self.history = ConvergenceHistory()
         self.archive = Archive(self.config.archive_size, minimize=False)
         self.population: list[Individual] = []
 
     @property
+    def name(self) -> str:
+        return f"SURROGATE[{self.ll_solver}]"
+
+    @property
+    def ul_used(self) -> int:
+        return self.ledger.upper.used
+
+    @property
     def budget_left(self) -> int:
-        return self.config.fitness_evaluations - self.ul_used
+        return self.ledger.upper.left
 
     def _true_evaluate(self, ind: Individual) -> bool:
-        if self.budget_left <= 0:
+        if self.ledger.upper.exhausted:
             return False
         out = self.evaluator.evaluate_heuristic(ind.genome, self.score_fn)
-        self.ul_used += 1
+        self.ledger.charge(upper=1, lower=1)
         ind.fitness = out.revenue if out.feasible else -np.inf
         ind.aux = {
             "gap": out.gap,
@@ -168,20 +188,18 @@ class SurrogateAssisted:
         self.archive.add(ind.genome.copy(), ind.fitness, aux=dict(ind.aux))
         return True
 
-    def _record(self) -> None:
+    def generation_metrics(self) -> dict[str, float]:
         fits = [i.fitness for i in self.population if np.isfinite(i.fitness)]
         gaps = [
             i.aux.get("gap", np.nan)
             for i in self.population
             if np.isfinite(i.aux.get("gap", np.nan))
         ]
-        self.history.record(
-            ul_evaluations=self.ul_used,
-            ll_evaluations=self.ul_used,
-            best_fitness=max(fits) if fits else np.nan,
-            best_gap=min(gaps) if gaps else np.nan,
-            mean_gap=float(np.mean(gaps)) if gaps else np.nan,
-        )
+        return {
+            "best_fitness": max(fits) if fits else np.nan,
+            "best_gap": min(gaps) if gaps else np.nan,
+            "mean_gap": float(np.mean(gaps)) if gaps else np.nan,
+        }
 
     def initialize(self) -> None:
         self.population = random_real_population(
@@ -191,7 +209,7 @@ class SurrogateAssisted:
             if not self._true_evaluate(ind):
                 ind.fitness = -np.inf
         self.surrogate.fit()
-        self._record()
+        self.record_point()
 
     def _make_offspring(self, count: int) -> list[Individual]:
         cfg = self.config
@@ -215,7 +233,7 @@ class SurrogateAssisted:
         return out[:count]
 
     def step(self) -> bool:
-        if self.budget_left <= 0:
+        if self.ledger.upper.exhausted:
             return False
         cfg = self.config
         pool = self._make_offspring(cfg.population_size * self.oversample)
@@ -233,45 +251,49 @@ class SurrogateAssisted:
         best = self.archive.best()
         elite = Individual(genome=best.item.copy(), fitness=best.score, aux=dict(best.aux))
         self.population = keep[: cfg.population_size - 1] + [elite]
-        self._record()
+        self.record_point()
         return True
 
-    def run(self, seed_label: int = 0) -> RunResult:
-        start = time.perf_counter()
-        self.initialize()
-        while self.step():
-            pass
+    def extract_result(self, seed_label: int, wall_time: float) -> RunResult:
         best = self.archive.best()
         gaps = [
             e.aux.get("gap", np.inf)
             for e in self.archive.entries()
             if np.isfinite(e.aux.get("gap", np.inf))
         ]
-        solution = BilevelSolution(
-            prices=best.item,
-            selection=best.aux["selection"],
-            upper_objective=best.score,
-            lower_objective=best.aux["ll_cost"],
-            gap=best.aux["gap"],
-            lower_bound=best.aux["lower_bound"],
-        )
         return RunResult(
-            algorithm=f"SURROGATE[{self.ll_solver}]",
+            algorithm=self.name,
             instance_name=self.instance.name,
             seed=seed_label,
             best_gap=min(gaps) if gaps else np.inf,
             best_upper=best.score,
-            best_solution=solution,
+            best_solution=solution_from_entry(best, self.instance.n_bundles),
             history=self.history,
             ul_evaluations_used=self.ul_used,
             ll_evaluations_used=self.ul_used,
-            wall_time=time.perf_counter() - start,
+            wall_time=wall_time,
             extras={
                 "screened_out": self.screened_out,
                 "surrogate_samples": self.surrogate.n_samples,
                 "oversample": self.oversample,
             },
         )
+
+    # -- checkpointing -------------------------------------------------------
+
+    def _state_payload(self) -> dict:
+        return {
+            "population": list(self.population),
+            "archive": self.archive.state_dict(),
+            "screened_out": self.screened_out,
+            "surrogate": self.surrogate.state_dict(),
+        }
+
+    def _load_payload(self, payload: dict) -> None:
+        self.population = list(payload["population"])
+        self.archive.load_state_dict(payload["archive"])
+        self.screened_out = int(payload["screened_out"])
+        self.surrogate.load_state_dict(payload["surrogate"])
 
 
 def run_surrogate(
@@ -281,9 +303,14 @@ def run_surrogate(
     ll_solver: str = "chvatal",
     oversample: int = 4,
     lp_backend: str = "scipy",
+    observers=(),
+    resume_state: dict | None = None,
 ) -> RunResult:
-    """Convenience wrapper: one seeded surrogate-assisted run."""
-    return SurrogateAssisted(
+    """Convenience wrapper: one seeded, engine-driven surrogate run."""
+    algorithm = SurrogateAssisted(
         instance, config=config, rng=np.random.default_rng(seed),
         ll_solver=ll_solver, oversample=oversample, lp_backend=lp_backend,
-    ).run(seed_label=seed)
+    )
+    return EngineLoop(algorithm, observers=observers, resume_state=resume_state).run(
+        seed_label=seed
+    )

@@ -15,7 +15,7 @@ first), matching :func:`repro.covering.greedy.greedy_cover`.
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Dict
 
 import numpy as np
 

@@ -75,6 +75,10 @@ def _comparison(args: argparse.Namespace):
             cobra_config=cobra,
             instance_seed=args.seed,
             executor=executor,
+            log_jsonl=args.log_jsonl,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            resume=args.resume,
         )
 
 
@@ -271,6 +275,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--out", help="also write the report to this file")
     parser.add_argument("--profile", action="store_true",
                         help="cProfile the experiment and append hot spots")
+    engine = parser.add_argument_group(
+        "engine observability (table3/table4 experiments)"
+    )
+    engine.add_argument("--log-jsonl", dest="log_jsonl", metavar="FILE",
+                        help="append per-generation JSONL run records to FILE")
+    engine.add_argument("--checkpoint-dir", dest="checkpoint_dir", metavar="DIR",
+                        help="save per-run checkpoints under DIR")
+    engine.add_argument("--checkpoint-every", dest="checkpoint_every", type=int,
+                        default=10, metavar="N",
+                        help="checkpoint every N generations (default 10)")
+    engine.add_argument("--resume", action="store_true",
+                        help="resume runs from their checkpoints in "
+                             "--checkpoint-dir (bit-identical to an "
+                             "uninterrupted run)")
     return parser
 
 

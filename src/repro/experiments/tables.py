@@ -14,7 +14,7 @@ through the :mod:`repro.parallel` executor.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, asdict
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -28,6 +28,7 @@ __all__ = [
     "table1_rows",
     "table2_rows",
     "RunTask",
+    "checkpoint_path",
     "ClassComparison",
     "ComparisonResult",
     "run_comparison",
@@ -76,7 +77,15 @@ def table2_rows(
 @dataclass(frozen=True)
 class RunTask:
     """Picklable descriptor of one run — workers regenerate the instance
-    from the addressed seed instead of shipping matrices over IPC."""
+    from the addressed seed instead of shipping matrices over IPC.
+
+    Engine observability rides along as plain strings/ints so tasks stay
+    picklable: ``log_jsonl`` appends one flat record per generation to a
+    shared JSONL file (atomic appends, safe across worker processes),
+    ``checkpoint_dir`` saves a per-run checkpoint every
+    ``checkpoint_every`` generations, and ``resume`` restarts each run
+    from its checkpoint when one exists.
+    """
 
     algorithm: str  # "CARBON" | "COBRA"
     n_bundles: int
@@ -87,6 +96,40 @@ class RunTask:
     cobra_config: CobraConfig
     lp_backend: str = "scipy"
     record_history: bool = True
+    log_jsonl: str | None = None
+    checkpoint_dir: str | None = None
+    checkpoint_every: int = 10
+    resume: bool = False
+
+
+def checkpoint_path(checkpoint_dir: str, task: RunTask) -> str:
+    """Stable per-run checkpoint filename inside ``checkpoint_dir``."""
+    import os
+
+    name = (
+        f"{task.algorithm.lower()}-n{task.n_bundles}-m{task.n_services}"
+        f"-seed{task.run_seed}.json"
+    )
+    return os.path.join(checkpoint_dir, name)
+
+
+def _task_observers(task: RunTask) -> tuple[list, dict | None]:
+    """(observers, resume_state) for one task's engine run."""
+    import os
+
+    from repro.core.checkpoint import Checkpointer, load_checkpoint
+    from repro.core.events import JsonlRunLogger
+
+    observers: list = []
+    resume_state: dict | None = None
+    if task.log_jsonl:
+        observers.append(JsonlRunLogger(task.log_jsonl))
+    if task.checkpoint_dir:
+        path = checkpoint_path(task.checkpoint_dir, task)
+        observers.append(Checkpointer(path, every=task.checkpoint_every))
+        if task.resume and os.path.exists(path):
+            resume_state = load_checkpoint(path)["state"]
+    return observers, resume_state
 
 
 def execute_task(task: RunTask) -> RunResult:
@@ -101,15 +144,18 @@ def execute_task(task: RunTask) -> RunResult:
         seed=stream_for(task.instance_seed, "bcpop", task.n_bundles, task.n_services, 0),
         name=f"bcpop-n{task.n_bundles}-m{task.n_services}-s0",
     )
+    observers, resume_state = _task_observers(task)
     if task.algorithm == "CARBON":
         result = run_carbon(
             instance, config=task.carbon_config,
             seed=task.run_seed, lp_backend=task.lp_backend,
+            observers=observers, resume_state=resume_state,
         )
     elif task.algorithm == "COBRA":
         result = run_cobra(
             instance, config=task.cobra_config,
             seed=task.run_seed, lp_backend=task.lp_backend,
+            observers=observers, resume_state=resume_state,
         )
     else:
         raise ValueError(f"unknown algorithm {task.algorithm!r}")
@@ -190,6 +236,10 @@ def run_comparison(
     executor: Executor | None = None,
     lp_backend: str = "scipy",
     keep_histories: bool = False,
+    log_jsonl: str | None = None,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int = 10,
+    resume: bool = False,
 ) -> ComparisonResult:
     """Run the Table III/IV experiment.
 
@@ -207,11 +257,24 @@ def run_comparison(
         Parallel executor; serial by default.
     keep_histories:
         Retain convergence histories (memory-heavy at paper scale).
+    log_jsonl:
+        Append per-generation/run JSONL records here (all runs share the
+        file; appends are atomic).
+    checkpoint_dir:
+        Save per-run checkpoints here (created if missing) every
+        ``checkpoint_every`` generations.
+    resume:
+        Resume each run from its checkpoint when one exists — a resumed
+        experiment's numbers are bit-identical to an uninterrupted one.
     """
+    import os
+
     classes = list(classes) if classes is not None else list(PAPER_CLASSES)
     carbon_config = carbon_config or CarbonConfig.quick()
     cobra_config = cobra_config or CobraConfig.quick()
     executor = executor or SerialExecutor()
+    if checkpoint_dir:
+        os.makedirs(checkpoint_dir, exist_ok=True)
 
     tasks: list[RunTask] = []
     for n, m in classes:
@@ -228,6 +291,10 @@ def run_comparison(
                         cobra_config=cobra_config,
                         lp_backend=lp_backend,
                         record_history=keep_histories,
+                        log_jsonl=log_jsonl,
+                        checkpoint_dir=checkpoint_dir,
+                        checkpoint_every=checkpoint_every,
+                        resume=resume,
                     )
                 )
     results = executor.map(execute_task, tasks)

@@ -37,7 +37,7 @@ is ``COST % COVER``, the primal-dual rule is ``COST - DUAL``, LP-guided is
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -14,7 +14,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
-from repro.gp.nodes import Constant, Node, Primitive, Terminal
+from repro.gp.nodes import Constant, Node, Primitive
 
 __all__ = ["SyntaxTree"]
 

@@ -13,27 +13,35 @@ reproducible); every ``migration_interval`` steps each island sends
 * its best pricing vector
 
 to the next island on a ring, where they enter the archives and displace
-the worst population members.  ``benchmarks/bench_islands.py`` measures
-what migration buys over the same total budget in isolated runs.
+the worst population members (:meth:`repro.core.carbon.Carbon.receive_migrants`
+— the islands never reach into each other's internals).  Each exchange
+fires ``on_migration`` on the ring's event bus.
+
+``IslandCarbon`` is itself an engine algorithm: one ``step()`` advances
+every island one co-evolutionary step, so the ring runs under the same
+:class:`~repro.core.engine.EngineLoop` as a single CARBON — checkpoints,
+JSONL logs and early stop compose with migration for free, and the
+engine's lifecycle closes every island's executor when the run ends.
+``benchmarks/bench_islands.py`` measures what migration buys over the
+same total budget in isolated runs.
 """
 
 from __future__ import annotations
-
-import time
 
 import numpy as np
 
 from repro.bcpop.instance import BcpopInstance
 from repro.core.carbon import Carbon
 from repro.core.config import CarbonConfig
-from repro.core.results import RunResult
-from repro.ga.population import Individual
+from repro.core.engine import EngineAlgorithm, EngineLoop
+from repro.core.events import EngineEvent
+from repro.core.results import RunResult, solution_from_entry
 from repro.parallel.rng import spawn_generators
 
 __all__ = ["IslandCarbon", "run_island_carbon"]
 
 
-class IslandCarbon:
+class IslandCarbon(EngineAlgorithm):
     """Ring of CARBON islands over one instance.
 
     Parameters
@@ -74,89 +82,165 @@ class IslandCarbon:
             Carbon(instance, self.config, rng, lp_backend=lp_backend)
             for rng in rngs
         ]
+        # The ring's ledger aggregates the per-island budgets; actual
+        # accounting lives in the islands' own ledgers (budget_used sums
+        # them), this one only sizes the totals for display.
+        self._engine_init(
+            self.config.upper.fitness_evaluations * n_islands,
+            self.config.ll_fitness_evaluations * n_islands,
+        )
         self.migrations = 0
+        self._steps = 0
+
+    # -- engine surface ----------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return f"CARBON-ISLANDS[{self.n_islands}]"
+
+    def budget_used(self) -> tuple[int, int]:
+        return (
+            sum(isl.ul_used for isl in self.islands),
+            sum(isl.ll_used for isl in self.islands),
+        )
+
+    def generation_metrics(self) -> dict[str, float]:
+        """Ring-level telemetry: best/mean over the islands' archives."""
+        gaps = [
+            isl.ll_archive.best_score() for isl in self.islands if len(isl.ll_archive)
+        ]
+        fits = [
+            isl.ul_archive.best_score() for isl in self.islands if len(isl.ul_archive)
+        ]
+        return {
+            "best_fitness": max(fits) if fits else np.nan,
+            "best_gap": min(gaps) if gaps else np.nan,
+            "mean_gap": float(np.mean(gaps)) if gaps else np.nan,
+        }
+
+    # -- migration ---------------------------------------------------------
 
     def _migrate(self) -> None:
         """Ring migration: island i's elites enter island (i+1) % K."""
         if self.n_islands < 2:
             return
         # Collect first so the exchange is simultaneous, not cascading.
-        parcels = []
-        for isl in self.islands:
-            champion = isl.ll_archive.best()
-            best_price = isl.ul_archive.best()
-            parcels.append((champion, best_price))
+        parcels = [
+            (isl.ll_archive.best(), isl.ul_archive.best()) for isl in self.islands
+        ]
         for i, isl in enumerate(self.islands):
             champ_entry, price_entry = parcels[(i - 1) % self.n_islands]
-            isl.ll_archive.add(champ_entry.item, champ_entry.score, dict(champ_entry.aux))
-            isl.ul_archive.add(
-                price_entry.item.copy(), price_entry.score, dict(price_entry.aux)
-            )
-            isl._update_champion()
-            # Displace the worst members with the immigrants.
-            if isl.ll_pop:
-                worst = int(np.argmax([
-                    ind.fitness if np.isfinite(ind.fitness) else np.inf
-                    for ind in isl.ll_pop
-                ]))
-                isl.ll_pop[worst] = Individual(
-                    genome=champ_entry.item, fitness=champ_entry.score
-                )
-            if isl.ul_pop:
-                worst = int(np.argmin([
-                    ind.fitness if np.isfinite(ind.fitness) else -np.inf
-                    for ind in isl.ul_pop
-                ]))
-                isl.ul_pop[worst] = Individual(
-                    genome=price_entry.item.copy(),
-                    fitness=price_entry.score,
-                    aux=dict(price_entry.aux),
-                )
+            isl.receive_migrants(champ_entry, price_entry)
         self.migrations += 1
+        self.events.migration(
+            EngineEvent(
+                algorithm=self,
+                generation=self.generation,
+                data={
+                    "migrations": self.migrations,
+                    "per_island_gap": [
+                        isl.ll_archive.best_score() for isl in self.islands
+                    ],
+                },
+            )
+        )
 
-    def run(self, seed_label: int = 0) -> RunResult:
-        """Run all islands to budget exhaustion; report the ring's best."""
-        start = time.perf_counter()
+    # -- lifecycle ---------------------------------------------------------
+
+    def initialize(self) -> None:
         for isl in self.islands:
             isl.initialize()
-        step = 0
-        active = list(self.islands)
-        while active:
-            active = [isl for isl in active if isl.step()]
-            step += 1
-            if step % self.migration_interval == 0 and len(active) > 1:
-                self._migrate()
-        best_isl = min(self.islands, key=lambda isl: isl.ll_archive.best_score())
-        best_ul = max(self.islands, key=lambda isl: isl.ul_archive.best_score())
-        inner = best_ul.ul_archive.best()
-        from repro.core.results import BilevelSolution
+        self.record_point()
 
-        solution = BilevelSolution(
-            prices=inner.item,
-            selection=inner.aux.get(
-                "selection", np.zeros(self.instance.n_bundles, bool)
-            ),
-            upper_objective=inner.score,
-            lower_objective=inner.aux.get("ll_cost", np.nan),
-            gap=inner.aux.get("gap", np.nan),
-            lower_bound=inner.aux.get("lower_bound", np.nan),
+    def step(self) -> bool:
+        """Advance every island one step; returns False once the whole
+        ring is out of budget.  (Stepping an exhausted island is a no-op
+        returning False, so no active-list bookkeeping is needed.)"""
+        n_active = sum(isl.step() for isl in self.islands)
+        if n_active == 0:
+            return False
+        self._steps += 1
+        if self._steps % self.migration_interval == 0 and n_active > 1:
+            self._migrate()
+        self.record_point()
+        return True
+
+    def close(self) -> None:
+        """Release every island's executor (first-error-wins, but all
+        islands are always attempted)."""
+        errors = []
+        for isl in self.islands:
+            try:
+                isl.close()
+            except Exception as exc:  # pragma: no cover - close is best-effort
+                errors.append(exc)
+        if errors:
+            raise errors[0]
+
+    # -- extraction ----------------------------------------------------------
+
+    def extract_result(self, seed_label: int, wall_time: float) -> RunResult:
+        """Report the ring's best-gap island *coherently*: its gap, its
+        best pricing vector, and its history all come from that one
+        island (``extras["winner_island"]`` says which); the ring-level
+        telemetry history is in ``extras["ring_history"]``."""
+        winner_idx = min(
+            range(self.n_islands),
+            key=lambda i: self.islands[i].ll_archive.best_score(),
         )
+        winner = self.islands[winner_idx]
+        best_ul = winner.ul_archive.best()
         return RunResult(
-            algorithm=f"CARBON-ISLANDS[{self.n_islands}]",
+            algorithm=self.name,
             instance_name=self.instance.name,
             seed=seed_label,
-            best_gap=best_isl.ll_archive.best_score(),
-            best_upper=inner.score,
-            best_solution=solution,
-            history=best_isl.history,
+            best_gap=winner.ll_archive.best_score(),
+            best_upper=best_ul.score,
+            best_solution=solution_from_entry(best_ul, self.instance.n_bundles),
+            history=winner.history,
             ul_evaluations_used=sum(i.ul_used for i in self.islands),
             ll_evaluations_used=sum(i.ll_used for i in self.islands),
-            wall_time=time.perf_counter() - start,
+            wall_time=wall_time,
             extras={
                 "migrations": self.migrations,
                 "per_island_gap": [i.ll_archive.best_score() for i in self.islands],
+                "winner_island": winner_idx,
+                "ring_history": self.history,
             },
         )
+
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Full override of the engine envelope: the ring has no RNG of
+        its own — each island carries its own rng/ledger/history state."""
+        return {
+            "algorithm": self.name,
+            "generation": self.generation,
+            "steps": self._steps,
+            "migrations": self.migrations,
+            "ledger": self.ledger.state_dict(),
+            "history": self.history.state_dict(),
+            "islands": [isl.state_dict() for isl in self.islands],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if state["algorithm"] != self.name:
+            raise ValueError(
+                f"checkpoint is for {state['algorithm']!r}, not {self.name!r}"
+            )
+        if len(state["islands"]) != self.n_islands:
+            raise ValueError(
+                f"checkpoint has {len(state['islands'])} islands, ring has "
+                f"{self.n_islands}"
+            )
+        self.generation = int(state["generation"])
+        self._steps = int(state["steps"])
+        self.migrations = int(state["migrations"])
+        self.ledger.load_state_dict(state["ledger"])
+        self.history.load_state_dict(state["history"])
+        for isl, isl_state in zip(self.islands, state["islands"]):
+            isl.load_state_dict(isl_state)
 
 
 def run_island_carbon(
@@ -166,10 +250,15 @@ def run_island_carbon(
     migration_interval: int = 5,
     seed: int = 0,
     lp_backend: str = "scipy",
+    observers=(),
+    resume_state: dict | None = None,
 ) -> RunResult:
-    """Convenience wrapper: one seeded island-model run."""
-    return IslandCarbon(
+    """Convenience wrapper: one seeded, engine-driven island-model run."""
+    algorithm = IslandCarbon(
         instance, config=config, n_islands=n_islands,
         migration_interval=migration_interval, seed=seed,
         lp_backend=lp_backend,
-    ).run(seed_label=seed)
+    )
+    return EngineLoop(algorithm, observers=observers, resume_state=resume_state).run(
+        seed_label=seed
+    )

@@ -21,14 +21,12 @@ CARBON's co-evolution limits.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.core.archive import Archive
 from repro.core.config import CarbonConfig
-from repro.core.convergence import ConvergenceHistory
-from repro.core.results import BilevelSolution, RunResult
+from repro.core.engine import EngineAlgorithm, EngineLoop
+from repro.core.results import RunResult, solution_from_entry
 from repro.covering.greedy import greedy_cover
 from repro.ga.encoding import Bounds
 from repro.ga.operators import polynomial_mutation, sbx_crossover
@@ -45,7 +43,7 @@ from repro.trilevel.instance import TriLevelInstance
 __all__ = ["TriLevelCarbon", "run_trilevel_carbon"]
 
 
-class TriLevelCarbon:
+class TriLevelCarbon(EngineAlgorithm):
     """Competitive co-evolution over the tri-level market.
 
     Parameters
@@ -79,9 +77,11 @@ class TriLevelCarbon:
         self.lp_backend = lp_backend
 
         self._relax_cache = RelaxationCache(backend=lp_backend)
-        self.l1_used = 0
-        self.l3_used = 0
-        self.history = ConvergenceHistory()
+        # The ledger's upper meter counts level-1 evaluations, its lower
+        # meter level-3 solves (the tri-level reading of the two budgets).
+        self._engine_init(
+            self.config.upper.fitness_evaluations, self.config.ll_fitness_evaluations
+        )
         self.ul_archive = Archive(self.config.upper.archive_size, minimize=False)
         self.ll_archive = Archive(self.config.ll_archive_size, minimize=True, identity=hash)
         self.ul_pop: list[Individual] = []
@@ -89,12 +89,24 @@ class TriLevelCarbon:
         self.champion = None
 
     @property
+    def name(self) -> str:
+        return "CARBON3"
+
+    @property
+    def l1_used(self) -> int:
+        return self.ledger.upper.used
+
+    @property
+    def l3_used(self) -> int:
+        return self.ledger.lower.used
+
+    @property
     def l1_budget_left(self) -> int:
-        return self.config.upper.fitness_evaluations - self.l1_used
+        return self.ledger.upper.left
 
     @property
     def l3_budget_left(self) -> int:
-        return self.config.ll_fitness_evaluations - self.l3_used
+        return self.ledger.lower.left
 
     # -- heuristic grading (level 3, same as two-level CARBON) -------------
 
@@ -115,13 +127,13 @@ class TriLevelCarbon:
     def _grade_tree(self, ind: Individual, retails: list[np.ndarray]) -> bool:
         gaps = []
         for retail in retails:
-            if self.l3_budget_left <= 0:
+            if self.ledger.lower.exhausted:
                 break
             ll = self.instance.retail_instance(retail)
             relax = self._relax_cache.get(ll)
             sol = greedy_cover(ll, ind.genome, duals=relax.duals, xbar=relax.xbar)
             gaps.append(relax.percent_gap(sol.cost) if sol.feasible else np.inf)
-            self.l3_used += 1
+            self.ledger.charge(lower=1)
         if not gaps:
             return False
         finite = [g for g in gaps if np.isfinite(g)]
@@ -136,7 +148,7 @@ class TriLevelCarbon:
     # -- provider evaluation (level 1 via nested levels 2+3) ----------------
 
     def _evaluate_provider(self, ind: Individual) -> bool:
-        if self.l1_budget_left <= 0 or self.l3_budget_left <= 0:
+        if self.ledger.upper.exhausted or self.ledger.lower.exhausted:
             return False
         assert self.champion is not None
         evaluator = TriLevelEvaluator(
@@ -147,8 +159,7 @@ class TriLevelCarbon:
         )
         evaluator._cache = self._relax_cache  # share the LP cache across evals
         reaction = evaluator.reseller_react(ind.genome, self.rng)
-        self.l1_used += 1
-        self.l3_used += reaction.level3_solves
+        self.ledger.charge(upper=1, lower=reaction.level3_solves)
         ind.fitness = (
             reaction.provider_revenue if np.isfinite(reaction.customer_gap) else -np.inf
         )
@@ -230,16 +241,14 @@ class TriLevelCarbon:
             Individual(genome=best.item.copy(), fitness=best.score, aux=dict(best.aux))
         ]
 
-    def _record(self) -> None:
+    def generation_metrics(self) -> dict[str, float]:
         fits = [i.fitness for i in self.ul_pop if np.isfinite(i.fitness)]
         gaps = [i.fitness for i in self.ll_pop if np.isfinite(i.fitness)]
-        self.history.record(
-            ul_evaluations=self.l1_used,
-            ll_evaluations=self.l3_used,
-            best_fitness=max(fits) if fits else np.nan,
-            best_gap=min(gaps) if gaps else np.nan,
-            mean_gap=float(np.mean(gaps)) if gaps else np.nan,
-        )
+        return {
+            "best_fitness": max(fits) if fits else np.nan,
+            "best_gap": min(gaps) if gaps else np.nan,
+            "mean_gap": float(np.mean(gaps)) if gaps else np.nan,
+        }
 
     # -- main loop -------------------------------------------------------------
 
@@ -263,43 +272,33 @@ class TriLevelCarbon:
         for ind in self.ul_pop:
             if not self._evaluate_provider(ind):
                 ind.fitness = -np.inf
-        self._record()
+        self.record_point()
 
     def step(self) -> bool:
-        if self.l1_budget_left <= 0 or self.l3_budget_left <= 0:
+        if self.ledger.upper.exhausted or self.ledger.lower.exhausted:
             return False
         self._gp_generation()
-        if self.l3_budget_left > 0:
+        if not self.ledger.lower.exhausted:
             self._ga_generation()
-        self._record()
+        self.record_point()
         return True
 
-    def run(self, seed_label: int = 0) -> RunResult:
-        start = time.perf_counter()
-        self.initialize()
-        while self.step():
-            pass
+    def extract_result(self, seed_label: int, wall_time: float) -> RunResult:
         best = self.ul_archive.best()
-        solution = BilevelSolution(
-            prices=best.item,
-            selection=best.aux.get("selection", np.zeros(self.instance.n_bundles, bool)),
-            upper_objective=best.score,
-            lower_objective=best.aux.get("customer_cost", np.nan),
-            gap=best.aux.get("gap", np.nan),
-            lower_bound=np.nan,
-        )
         multiplier = (self.l3_used / self.l1_used) if self.l1_used else 0.0
         return RunResult(
-            algorithm="CARBON3",
+            algorithm=self.name,
             instance_name=self.instance.name,
             seed=seed_label,
             best_gap=self.ll_archive.best_score(),
             best_upper=best.score,
-            best_solution=solution,
+            best_solution=solution_from_entry(
+                best, self.instance.n_bundles, lower_cost_key="customer_cost"
+            ),
             history=self.history,
             ul_evaluations_used=self.l1_used,
             ll_evaluations_used=self.l3_used,
-            wall_time=time.perf_counter() - start,
+            wall_time=wall_time,
             extras={
                 "champion": self.champion.to_infix() if self.champion else "",
                 "nesting_multiplier": multiplier,
@@ -307,6 +306,24 @@ class TriLevelCarbon:
                 "retail": best.aux.get("retail"),
             },
         )
+
+    # -- checkpointing -------------------------------------------------------
+
+    def _state_payload(self) -> dict:
+        return {
+            "ul_pop": list(self.ul_pop),
+            "ll_pop": list(self.ll_pop),
+            "ul_archive": self.ul_archive.state_dict(),
+            "ll_archive": self.ll_archive.state_dict(),
+            "champion": self.champion,
+        }
+
+    def _load_payload(self, payload: dict) -> None:
+        self.ul_pop = list(payload["ul_pop"])
+        self.ll_pop = list(payload["ll_pop"])
+        self.ul_archive.load_state_dict(payload["ul_archive"])
+        self.ll_archive.load_state_dict(payload["ll_archive"])
+        self.champion = payload["champion"]
 
 
 def run_trilevel_carbon(
@@ -316,11 +333,16 @@ def run_trilevel_carbon(
     reseller_population: int = 8,
     reseller_generations: int = 3,
     lp_backend: str = "scipy",
+    observers=(),
+    resume_state: dict | None = None,
 ) -> RunResult:
-    """Convenience wrapper: one seeded tri-level CARBON run."""
-    return TriLevelCarbon(
+    """Convenience wrapper: one seeded, engine-driven tri-level run."""
+    algorithm = TriLevelCarbon(
         instance, config=config, rng=np.random.default_rng(seed),
         reseller_population=reseller_population,
         reseller_generations=reseller_generations,
         lp_backend=lp_backend,
-    ).run(seed_label=seed)
+    )
+    return EngineLoop(algorithm, observers=observers, resume_state=resume_state).run(
+        seed_label=seed
+    )

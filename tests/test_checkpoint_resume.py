@@ -1,0 +1,230 @@
+"""Checkpoint/resume determinism: an interrupted run, resumed from its
+JSON checkpoint, must be *bit-identical* to the same run left alone.
+
+This extends PR 1's serial/parallel determinism contract
+(tests/test_parallel_determinism.py) to interrupted runs, for every
+engine algorithm: the checkpoint round-trips populations, archives, the
+NumPy bit-generator state, the budget ledger, and the history exactly,
+so the resumed half replays the same random draws against the same
+state.  Also covers the pack/unpack JSON codec and file-format
+validation underneath.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bcpop.generator import generate_instance
+from repro.core.carbon import Carbon, run_carbon
+from repro.core.checkpoint import (
+    load_checkpoint,
+    pack,
+    save_checkpoint,
+    unpack,
+)
+from repro.core.cobra import Cobra, run_cobra
+from repro.core.config import CarbonConfig, CobraConfig, UpperLevelConfig
+from repro.core.engine import EngineLoop
+from repro.core.nested import NestedSequential, run_nested
+from repro.core.surrogate import SurrogateAssisted, run_surrogate
+from repro.ga.population import Individual
+from repro.gp.primitives import lookup_primitive, lookup_terminal
+from repro.gp.tree import SyntaxTree
+from repro.parallel.islands import IslandCarbon, run_island_carbon
+
+from tests.test_parallel_determinism import assert_bit_identical
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate_instance(24, 3, seed=5, name="resume-24x3")
+
+
+class TestPackUnpack:
+    def test_scalars_roundtrip_exactly(self):
+        values = [None, True, False, 0, -17, "text", 0.1, -1e300, 2**53 + 1]
+        for v in values:
+            assert unpack(json.loads(json.dumps(pack(v)))) == v
+
+    def test_nonfinite_floats(self):
+        out = unpack(json.loads(json.dumps(pack([np.nan, np.inf, -np.inf]))))
+        assert np.isnan(out[0]) and out[1] == np.inf and out[2] == -np.inf
+
+    def test_numpy_scalars_become_python(self):
+        assert unpack(pack(np.float64(0.25))) == 0.25
+        assert unpack(pack(np.int64(7))) == 7
+        assert unpack(pack(np.bool_(True))) is True
+
+    @pytest.mark.parametrize("dtype", ["float64", "int64", "bool"])
+    def test_arrays_roundtrip_bitwise(self, dtype):
+        rng = np.random.default_rng(0)
+        arr = (rng.random((3, 5)) * 100).astype(dtype)
+        out = unpack(json.loads(json.dumps(pack(arr))))
+        assert out.dtype == arr.dtype
+        assert out.shape == arr.shape
+        assert np.array_equal(out, arr)
+        out[0, 0] = 0  # unpack must hand back a writable copy
+
+    def test_tree_roundtrip(self):
+        tree = SyntaxTree(
+            [
+                lookup_primitive("add"),
+                lookup_terminal("COST"),
+                lookup_terminal("QSUM"),
+            ]
+        )
+        out = unpack(json.loads(json.dumps(pack(tree))))
+        assert isinstance(out, SyntaxTree)
+        assert out == tree
+
+    def test_individual_roundtrip(self):
+        ind = Individual(
+            genome=np.array([1.5, 2.5]),
+            fitness=np.nan,
+            aux={"gap": 0.25, "selection": np.array([True, False])},
+        )
+        out = unpack(json.loads(json.dumps(pack(ind))))
+        assert isinstance(out, Individual)
+        assert np.array_equal(out.genome, ind.genome)
+        assert np.isnan(out.fitness)
+        assert out.aux["gap"] == 0.25
+        assert np.array_equal(out.aux["selection"], ind.aux["selection"])
+
+    def test_nested_containers(self):
+        obj = {"a": [1, (2.0, None)], "b": {"c": np.arange(3)}}
+        out = unpack(json.loads(json.dumps(pack(obj))))
+        assert out["a"] == [1, [2.0, None]]  # tuples come back as lists
+        assert np.array_equal(out["b"]["c"], np.arange(3))
+
+    def test_unpackable_types_rejected(self):
+        with pytest.raises(TypeError, match="cannot checkpoint"):
+            pack(object())
+        with pytest.raises(TypeError, match="keys must be str"):
+            pack({1: "x"})
+
+
+class TestCheckpointFile:
+    def test_save_load_roundtrip(self, tmp_path):
+        algo = Carbon(
+            generate_instance(16, 2, seed=1),
+            CarbonConfig.quick(40, 40, population_size=6),
+            np.random.default_rng(0),
+        )
+        path = tmp_path / "c.json"
+        EngineLoop(algo, max_generations=1).run()
+        save_checkpoint(path, algo)
+        document = load_checkpoint(path)
+        assert document["format"] == "repro-checkpoint"
+        assert document["algorithm"] == "CARBON"
+        assert document["state"]["generation"] == algo.generation
+
+    def test_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "not-a-checkpoint.json"
+        path.write_text('{"format": "something-else", "version": 1}')
+        with pytest.raises(ValueError, match="not a repro-checkpoint"):
+            load_checkpoint(path)
+
+    def test_rejects_future_version(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text('{"format": "repro-checkpoint", "version": 99, "state": {}}')
+        with pytest.raises(ValueError, match="version"):
+            load_checkpoint(path)
+
+
+def interrupt_and_resume(make_algo, path, seed, pause_after=2):
+    """Run ``pause_after`` generations, checkpoint to ``path``, then
+    resume a *fresh* algorithm (different construction RNG — the
+    checkpoint must fully overwrite it) from the file."""
+    partial = EngineLoop(make_algo(seed), max_generations=pause_after)
+    algo = partial.algorithm
+    interrupted = partial.run(seed_label=seed)
+    assert interrupted.extras["engine"]["status"] == "paused"
+    save_checkpoint(path, algo)
+    fresh = make_algo(seed + 999)
+    state = load_checkpoint(path)["state"]
+    return EngineLoop(fresh, resume_state=state).run(seed_label=seed)
+
+
+class TestResumeBitIdentical:
+    """The satellite contract: interrupt mid-budget, resume from JSON,
+    compare against the uninterrupted run."""
+
+    def test_carbon(self, instance, tmp_path):
+        cfg = CarbonConfig.quick(120, 120, population_size=8)
+        baseline = run_carbon(instance, cfg, seed=3)
+        resumed = interrupt_and_resume(
+            lambda s: Carbon(instance, cfg, np.random.default_rng(s)),
+            tmp_path / "carbon.json",
+            seed=3,
+        )
+        assert_bit_identical(resumed, baseline)
+        assert resumed.extras["engine"]["resumed"] is True
+
+    def test_cobra(self, instance, tmp_path):
+        cfg = CobraConfig.quick(120, 120, population_size=8)
+        baseline = run_cobra(instance, cfg, seed=4)
+        resumed = interrupt_and_resume(
+            lambda s: Cobra(instance, cfg, np.random.default_rng(s)),
+            tmp_path / "cobra.json",
+            seed=4,
+        )
+        assert_bit_identical(resumed, baseline)
+
+    def test_nested(self, instance, tmp_path):
+        cfg = UpperLevelConfig(population_size=8, fitness_evaluations=96)
+        baseline = run_nested(instance, cfg, seed=5)
+        resumed = interrupt_and_resume(
+            lambda s: NestedSequential(instance, cfg, np.random.default_rng(s)),
+            tmp_path / "nested.json",
+            seed=5,
+        )
+        assert_bit_identical(resumed, baseline)
+
+    def test_surrogate(self, instance, tmp_path):
+        cfg = UpperLevelConfig(population_size=8, fitness_evaluations=96)
+        baseline = run_surrogate(instance, cfg, seed=6)
+        resumed = interrupt_and_resume(
+            lambda s: SurrogateAssisted(instance, cfg, np.random.default_rng(s)),
+            tmp_path / "surrogate.json",
+            seed=6,
+        )
+        assert_bit_identical(resumed, baseline)
+
+    def test_islands(self, instance, tmp_path):
+        cfg = CarbonConfig.quick(80, 80, population_size=6)
+        baseline = run_island_carbon(
+            instance, cfg, n_islands=2, migration_interval=2, seed=7
+        )
+        resumed = interrupt_and_resume(
+            lambda s: IslandCarbon(
+                instance, cfg, n_islands=2, migration_interval=2, seed=7
+            ),
+            tmp_path / "islands.json",
+            seed=7,
+            pause_after=3,
+        )
+        assert_bit_identical(resumed, baseline)
+        assert resumed.extras["migrations"] == baseline.extras["migrations"]
+
+    def test_checkpoint_after_finish_reextracts(self, instance, tmp_path):
+        """Resuming a *finished* run does no more work and reproduces the
+        result (how --resume skips completed grid cells)."""
+        cfg = CarbonConfig.quick(60, 60, population_size=6)
+        algo = Carbon(instance, cfg, np.random.default_rng(2))
+        baseline = EngineLoop(algo).run(seed_label=2)
+        path = tmp_path / "done.json"
+        save_checkpoint(path, algo)
+        fresh = Carbon(instance, cfg, np.random.default_rng(123))
+        state = load_checkpoint(path)["state"]
+        again = EngineLoop(fresh, resume_state=state).run(seed_label=2)
+        assert_bit_identical(again, baseline)
+        # No further steps happened: the generation counter and budgets
+        # are exactly the restored ones.
+        assert (
+            again.extras["engine"]["generations"]
+            == baseline.extras["engine"]["generations"]
+        )
+        assert again.ul_evaluations_used == baseline.ul_evaluations_used

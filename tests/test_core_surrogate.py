@@ -23,7 +23,8 @@ def cfg():
 class TestQuadraticSurrogate:
     def test_learns_a_quadratic_exactly(self, rng):
         model = QuadraticSurrogate(n_features=3, ridge=1e-9)
-        true = lambda x: 2.0 + x @ [1.0, -2.0, 0.5] + (x**2) @ [0.3, 0.0, -0.1]
+        def true(x):
+            return 2.0 + x @ [1.0, -2.0, 0.5] + (x**2) @ [0.3, 0.0, -0.1]
         xs = rng.uniform(-2, 2, (60, 3))
         for x in xs:
             model.add(x, true(x))

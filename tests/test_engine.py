@@ -1,0 +1,349 @@
+"""Unit tests for the unified engine: ledger, event bus, driver loop.
+
+A tiny fake algorithm exercises the engine without any LP solves, so
+these tests pin the *engine* semantics (budget accounting, event order,
+pause/stop statuses, state envelope) independently of the algorithms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import ConvergenceHistory
+from repro.core.engine import (
+    BudgetLedger,
+    BudgetMeter,
+    CoevolutionAlgorithm,
+    EngineAlgorithm,
+    EngineLoop,
+)
+from repro.core.events import (
+    EngineEvent,
+    EventBus,
+    Observer,
+    StagnationEarlyStop,
+)
+from repro.core.results import BilevelSolution, RunResult
+
+
+class _FakeInstance:
+    name = "fake-instance"
+    n_bundles = 4
+
+
+class FakeAlgorithm(EngineAlgorithm):
+    """Counts steps; gap follows a caller-given schedule (for early-stop
+    tests); one upper+lower evaluation per step."""
+
+    def __init__(self, budget: int = 5, gaps: list[float] | None = None) -> None:
+        self.instance = _FakeInstance()
+        self.rng = np.random.default_rng(0)
+        self._engine_init(budget, budget)
+        self.gaps = gaps
+        self.initialized = False
+        self.closed = 0
+
+    @property
+    def name(self) -> str:
+        return "FAKE"
+
+    def generation_metrics(self) -> dict[str, float]:
+        if self.gaps:
+            gap = self.gaps[min(self.generation, len(self.gaps) - 1)]
+        else:
+            gap = 10.0 / (1 + self.generation)
+        return {"best_fitness": -gap, "best_gap": gap, "mean_gap": gap}
+
+    def initialize(self) -> None:
+        self.initialized = True
+        self.record_point()
+
+    def step(self) -> bool:
+        if self.ledger.upper.exhausted:
+            return False
+        self.ledger.charge(upper=1, lower=1)
+        self.record_point()
+        return True
+
+    def close(self) -> None:
+        self.closed += 1
+
+    def extract_result(self, seed_label: int, wall_time: float) -> RunResult:
+        ul, ll = self.budget_used()
+        gap = self.generation_metrics()["best_gap"]
+        return RunResult(
+            algorithm=self.name,
+            instance_name=self.instance.name,
+            seed=seed_label,
+            best_gap=gap,
+            best_upper=-gap,
+            best_solution=BilevelSolution(
+                prices=np.zeros(2),
+                selection=np.zeros(4, dtype=bool),
+                upper_objective=-gap,
+                lower_objective=gap,
+                gap=gap,
+                lower_bound=0.0,
+            ),
+            history=self.history,
+            ul_evaluations_used=ul,
+            ll_evaluations_used=ll,
+            wall_time=wall_time,
+        )
+
+    def _state_payload(self) -> dict:
+        return {"initialized": self.initialized}
+
+    def _load_payload(self, payload: dict) -> None:
+        self.initialized = bool(payload["initialized"])
+
+
+class TestBudgetMeter:
+    def test_charge_and_left(self):
+        m = BudgetMeter(10)
+        m.charge(3)
+        assert (m.used, m.left, m.exhausted) == (3, 7, False)
+        m.charge(7)
+        assert m.exhausted
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError, match="charge"):
+            BudgetMeter(10).charge(-1)
+
+    def test_take_truncates_to_budget(self):
+        m = BudgetMeter(5, used=3)
+        assert m.take(10) == 2
+        assert m.take(1) == 1
+        m.charge(2)
+        assert m.take(10) == 0
+
+
+class TestBudgetLedger:
+    def test_exhausted_requires_both(self):
+        ledger = BudgetLedger(2, 2)
+        ledger.charge(upper=2)
+        assert ledger.upper.exhausted and not ledger.exhausted
+        ledger.charge(lower=2)
+        assert ledger.exhausted
+
+    def test_state_roundtrip(self):
+        ledger = BudgetLedger(7, 9)
+        ledger.charge(upper=3, lower=4)
+        clone = BudgetLedger(0, 0)
+        clone.load_state_dict(ledger.state_dict())
+        assert (clone.upper.budget, clone.upper.used) == (7, 3)
+        assert (clone.lower.budget, clone.lower.used) == (9, 4)
+
+
+class _Recorder(Observer):
+    def __init__(self):
+        self.calls: list[tuple[str, int]] = []
+
+    def on_init(self, event):
+        self.calls.append(("init", event.generation))
+
+    def on_record(self, event):
+        self.calls.append(("record", event.generation))
+
+    def on_generation_end(self, event):
+        self.calls.append(("generation_end", event.generation))
+
+    def on_migration(self, event):
+        self.calls.append(("migration", event.generation))
+
+    def on_run_end(self, event):
+        self.calls.append(("run_end", event.generation))
+
+
+class TestEventBus:
+    def test_unknown_hook_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine event"):
+            EventBus()._emit("on_nonsense", EngineEvent(algorithm=None))
+
+    def test_subscribe_unsubscribe(self):
+        bus = EventBus()
+        obs = _Recorder()
+        bus.subscribe(obs)
+        bus.init(EngineEvent(algorithm=None))
+        bus.unsubscribe(obs)
+        bus.init(EngineEvent(algorithm=None))
+        assert obs.calls == [("init", 0)]
+
+    def test_convergence_recorder_installed_at_construction(self):
+        """Direct initialize()/step() driving records history — recording
+        is observer-routed but does not require an EngineLoop."""
+        algo = FakeAlgorithm(budget=3)
+        algo.initialize()
+        while algo.step():
+            algo.generation += 1
+        assert len(algo.history) == 4  # init + 3 steps
+        assert [p.generation for p in algo.history.points] == [0, 1, 2, 3]
+        assert algo.history.points[-1].ul_evaluations == 3
+
+
+class TestEngineLoop:
+    def test_run_to_exhaustion(self):
+        algo = FakeAlgorithm(budget=4)
+        obs = _Recorder()
+        result = algo.run(seed_label=3, observers=[obs])
+        assert result.ul_evaluations_used == 4
+        assert result.seed == 3
+        engine = result.extras["engine"]
+        assert engine["status"] == "completed"
+        assert engine["generations"] == 4
+        assert engine["resumed"] is False
+        assert algo.closed == 1
+        hooks = [name for name, _ in obs.calls]
+        # initialize() records its point first; on_init then marks the
+        # evaluated starting state, before any step.
+        assert hooks[:2] == ["record", "init"]
+        assert hooks[-1] == "run_end"
+        assert hooks.count("generation_end") == 4
+
+    def test_observers_unsubscribed_after_run(self):
+        algo = FakeAlgorithm(budget=2)
+        obs = _Recorder()
+        algo.run(observers=[obs])
+        assert obs not in algo.events.observers
+        # The construction-time convergence recorder stays.
+        assert len(algo.events.observers) == 1
+
+    def test_max_generations_pauses(self):
+        algo = FakeAlgorithm(budget=10)
+        result = algo.run(max_generations=3)
+        assert result.extras["engine"]["status"] == "paused"
+        assert result.ul_evaluations_used == 3
+        assert algo.closed == 1
+
+    def test_request_stop_status(self):
+        algo = FakeAlgorithm(budget=100)
+
+        class StopAtTwo(Observer):
+            def on_generation_end(self, event):
+                if event.generation >= 2:
+                    event.loop.request_stop("enough")
+
+        result = algo.run(observers=[StopAtTwo()])
+        engine = result.extras["engine"]
+        assert engine["status"] == "stopped"
+        assert engine["stop_reason"] == "enough"
+        assert result.ul_evaluations_used == 2
+
+    def test_close_runs_even_if_step_raises(self):
+        algo = FakeAlgorithm(budget=5)
+
+        class Boom(Observer):
+            def on_generation_end(self, event):
+                raise RuntimeError("observer boom")
+
+        with pytest.raises(RuntimeError, match="observer boom"):
+            algo.run(observers=[Boom()])
+        assert algo.closed == 1
+
+    def test_protocol_conformance(self):
+        assert isinstance(FakeAlgorithm(), CoevolutionAlgorithm)
+
+    def test_state_envelope_roundtrip(self):
+        algo = FakeAlgorithm(budget=6)
+        algo.run(max_generations=2)
+        state = algo.state_dict()
+        clone = FakeAlgorithm(budget=6)
+        clone.load_state_dict(state)
+        assert clone.generation == algo.generation
+        assert clone.budget_used() == algo.budget_used()
+        assert clone.initialized
+        assert len(clone.history) == len(algo.history)
+        assert clone.rng.bit_generator.state == algo.rng.bit_generator.state
+
+    def test_wrong_algorithm_checkpoint_rejected(self):
+        algo = FakeAlgorithm()
+        state = algo.state_dict()
+        state["algorithm"] = "OTHER"
+        with pytest.raises(ValueError, match="checkpoint is for"):
+            algo.load_state_dict(state)
+
+    def test_resume_skips_initialize(self):
+        algo = FakeAlgorithm(budget=4)
+        algo.run(max_generations=2)
+        state = algo.state_dict()
+        fresh = FakeAlgorithm(budget=4)
+        fresh.initialize = None  # would raise if the loop called it
+        result = EngineLoop(fresh, resume_state=state).run()
+        assert result.extras["engine"]["resumed"] is True
+        assert result.ul_evaluations_used == 4
+
+
+class TestStagnationEarlyStop:
+    def test_stops_after_patience(self):
+        # Gap improves once, then flatlines.
+        algo = FakeAlgorithm(budget=100, gaps=[5.0, 4.0] + [4.0] * 200)
+        result = algo.run(observers=[StagnationEarlyStop(patience=10, metric="gap")])
+        assert result.extras["engine"]["status"] == "stopped"
+        assert "stagnation" in result.extras["engine"]["stop_reason"]
+        # Stopped well before the budget ran out.
+        assert result.ul_evaluations_used < 30
+
+    def test_keeps_running_while_improving(self):
+        algo = FakeAlgorithm(budget=30)  # gap = 10/(1+g): always improving
+        result = algo.run(observers=[StagnationEarlyStop(patience=5)])
+        assert result.extras["engine"]["status"] == "completed"
+        assert result.ul_evaluations_used == 30
+
+    def test_min_delta_counts_small_gains_as_stalls(self):
+        gaps = [5.0 - 0.001 * i for i in range(300)]
+        algo = FakeAlgorithm(budget=200, gaps=gaps)
+        result = algo.run(
+            observers=[StagnationEarlyStop(patience=8, min_delta=0.5)]
+        )
+        assert result.extras["engine"]["status"] == "stopped"
+
+    def test_noop_without_loop(self):
+        algo = FakeAlgorithm(budget=5, gaps=[1.0] * 50)
+        algo.events.subscribe(StagnationEarlyStop(patience=1))
+        algo.initialize()
+        steps = 0
+        while algo.step():
+            algo.generation += 1
+            algo.events.generation_end(EngineEvent(algorithm=algo, generation=algo.generation))
+            steps += 1
+        assert steps == 5  # ran to budget: nothing to stop when hand-driven
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="patience"):
+            StagnationEarlyStop(patience=0)
+        with pytest.raises(ValueError, match="metric"):
+            StagnationEarlyStop(metric="vibes")
+
+
+class TestFlatRow:
+    def test_summary_row_matches_schema(self):
+        from repro.core.results import SUMMARY_FIELDS
+
+        algo = FakeAlgorithm(budget=2)
+        result = algo.run()
+        row = result.summary_row()
+        assert tuple(row) == SUMMARY_FIELDS
+
+    def test_flat_row_rejects_drift(self):
+        with pytest.raises(ValueError, match="missing"):
+            RunResult.flat_row(algorithm="X")
+        kwargs = dict(
+            algorithm="X", instance="i", seed=0, best_gap=0.0, best_upper=0.0,
+            ul_evals=0, ll_evals=0, wall_time=0.0, bonus=1,
+        )
+        with pytest.raises(ValueError, match="extra"):
+            RunResult.flat_row(**kwargs)
+
+
+class TestHistoryStateDict:
+    def test_roundtrip(self):
+        h = ConvergenceHistory()
+        h.record(1, 2, 3.0, 4.0, 5.0)
+        h.record(6, 7, np.nan, 9.0, 10.0)
+        clone = ConvergenceHistory()
+        clone.load_state_dict(h.state_dict())
+        assert len(clone) == 2
+        assert clone.points[0] == h.points[0]
+        assert np.isnan(clone.points[1].best_fitness)
+        assert clone.points[1].generation == 1

@@ -1,0 +1,100 @@
+"""Stock-observer tests: JSONL logging schema and periodic checkpoints.
+
+The headline assertion here is the *shared flat schema*: the JSONL
+logger's per-generation lines and ``RunResult.summary_row()`` must carry
+exactly the same keys (``SUMMARY_FIELDS``), so the budget/gap math lives
+in one place and both outputs are interchangeable for table code.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.checkpoint import Checkpointer, load_checkpoint
+from repro.core.events import JsonlRunLogger
+from repro.core.results import SUMMARY_FIELDS
+
+from tests.test_engine import FakeAlgorithm
+
+
+def read_jsonl(path):
+    with open(path) as fh:
+        return [json.loads(line) for line in fh if line.strip()]
+
+
+class TestJsonlRunLogger:
+    def test_generation_lines_share_summary_schema(self, tmp_path):
+        """Satellite: JSONL generation lines == summary_row keys, exactly."""
+        log = tmp_path / "run.jsonl"
+        algo = FakeAlgorithm(budget=3)
+        result = algo.run(seed_label=7, observers=[JsonlRunLogger(log)])
+        lines = read_jsonl(log)
+        generation_lines = [l for l in lines if l["event"] == "generation"]
+        assert len(generation_lines) == 3
+        for line in generation_lines:
+            assert set(line) == {"event", "generation"} | set(SUMMARY_FIELDS)
+        # Live rows track the algorithm's actual counters and identity.
+        last = generation_lines[-1]
+        assert last["algorithm"] == "FAKE"
+        assert last["instance"] == "fake-instance"
+        assert last["seed"] == 7
+        assert last["ul_evals"] == result.ul_evaluations_used
+
+    def test_run_end_line_is_summary_row(self, tmp_path):
+        log = tmp_path / "run.jsonl"
+        algo = FakeAlgorithm(budget=2)
+        result = algo.run(seed_label=1, observers=[JsonlRunLogger(log)])
+        final = read_jsonl(log)[-1]
+        assert final["event"] == "run_end"
+        expected = result.summary_row()
+        for key in SUMMARY_FIELDS:
+            if key == "wall_time":
+                continue  # timing is real, just present
+            assert final[key] == expected[key], key
+        assert final["wall_time"] >= 0.0
+
+    def test_event_sequence(self, tmp_path):
+        log = tmp_path / "run.jsonl"
+        algo = FakeAlgorithm(budget=4)
+        algo.run(observers=[JsonlRunLogger(log)])
+        events = [l["event"] for l in read_jsonl(log)]
+        assert events[0] == "init"
+        assert events[-1] == "run_end"
+        assert events.count("generation") == 4
+
+    def test_append_and_truncate_modes(self, tmp_path):
+        log = tmp_path / "run.jsonl"
+        FakeAlgorithm(budget=2).run(observers=[JsonlRunLogger(log)])
+        n_first = len(read_jsonl(log))
+        FakeAlgorithm(budget=2).run(observers=[JsonlRunLogger(log)])
+        assert len(read_jsonl(log)) == 2 * n_first
+        FakeAlgorithm(budget=2).run(observers=[JsonlRunLogger(log, append=False)])
+        assert len(read_jsonl(log)) == n_first
+
+
+class TestCheckpointer:
+    def test_every_controls_save_cadence(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        ckpt = Checkpointer(path, every=2)
+        FakeAlgorithm(budget=5).run(observers=[ckpt])
+        # Generations 2 and 4, plus the unconditional run-end save.
+        assert ckpt.saves == 3
+        assert path.exists()
+
+    def test_final_checkpoint_is_loadable_and_complete(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        algo = FakeAlgorithm(budget=4)
+        algo.run(observers=[Checkpointer(path, every=1)])
+        document = load_checkpoint(path)
+        assert document["algorithm"] == "FAKE"
+        assert document["generation"] == 4
+        clone = FakeAlgorithm(budget=4)
+        clone.load_state_dict(document["state"])
+        assert clone.budget_used() == algo.budget_used()
+        assert clone.rng.bit_generator.state == algo.rng.bit_generator.state
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="every"):
+            Checkpointer(tmp_path / "x.json", every=0)

@@ -68,6 +68,76 @@ class TestIslandModel:
             IslandCarbon(instance, TINY, migration_interval=0)
 
 
+class TestIslandEngineLifecycle:
+    def test_owned_executors_released(self, instance):
+        """Regression: the ring must close every island's owned executor
+        when the engine finishes (they used to leak)."""
+        model = IslandCarbon(instance, TINY, n_islands=3, seed=4)
+        closed = []
+        for i, isl in enumerate(model.islands):
+            assert isl._owns_executor
+            original = isl.executor.close
+
+            def tracked_close(i=i, original=original):
+                closed.append(i)
+                original()
+
+            isl.executor.close = tracked_close
+        model.run()
+        assert sorted(closed) == [0, 1, 2]
+
+    def test_close_attempts_every_island_despite_errors(self, instance):
+        model = IslandCarbon(instance, TINY, n_islands=3, seed=4)
+        closed = []
+        for i, isl in enumerate(model.islands):
+            def tracked_close(i=i):
+                closed.append(i)
+                if i == 1:
+                    raise RuntimeError("boom on island 1")
+
+            isl.close = tracked_close
+        with pytest.raises(RuntimeError, match="island 1"):
+            model.close()
+        assert closed == [0, 1, 2]
+
+    def test_winner_island_reported_coherently(self, instance):
+        """The result's gap, price vector, and history all come from the
+        single island named in extras — no cross-island mixing."""
+        model = IslandCarbon(instance, TINY, n_islands=3, seed=5)
+        result = model.run()
+        w = result.extras["winner_island"]
+        winner = model.islands[w]
+        assert result.extras["per_island_gap"][w] == min(
+            result.extras["per_island_gap"]
+        )
+        assert result.best_gap == winner.ll_archive.best_score()
+        assert result.best_upper == winner.ul_archive.best_score()
+        assert result.history is winner.history
+        assert np.array_equal(
+            result.best_solution.prices, winner.ul_archive.best().item
+        )
+        assert result.extras["ring_history"] is model.history
+
+    def test_migration_events_match_counter(self, instance):
+        from repro.core.events import Observer
+
+        class CountMigrations(Observer):
+            def __init__(self):
+                self.count = 0
+                self.payloads = []
+
+            def on_migration(self, event):
+                self.count += 1
+                self.payloads.append(event.data)
+
+        obs = CountMigrations()
+        model = IslandCarbon(instance, TINY, n_islands=3, migration_interval=2, seed=6)
+        result = model.run(observers=[obs])
+        assert obs.count == result.extras["migrations"] >= 1
+        assert all(len(p["per_island_gap"]) == 3 for p in obs.payloads)
+        assert obs.payloads[-1]["migrations"] == result.extras["migrations"]
+
+
 class TestSerialization:
     def test_dict_roundtrip(self, instance):
         clone = bcpop_from_dict(bcpop_to_dict(instance))

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.experiments.runner import build_parser, main
@@ -48,6 +50,33 @@ class TestCommands:
         assert main(["fig1", "--profile"]) == 0
         out = capsys.readouterr().out
         assert "cProfile" in out
+
+    def test_table3_checkpoint_log_resume_end_to_end(self, tmp_path, capsys):
+        """The observability flags work through the full CLI: first run
+        writes checkpoints + a JSONL log; the --resume re-run restores
+        the finished checkpoints and reproduces the same table."""
+        ckpt_dir = tmp_path / "ckpts"
+        log = tmp_path / "runs.jsonl"
+        argv = [
+            "table3", "--runs", "1", "--classes", "16x2",
+            "--checkpoint-dir", str(ckpt_dir),
+            "--log-jsonl", str(log),
+            "--checkpoint-every", "5",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "TABLE III" in first
+        files = sorted(p.name for p in ckpt_dir.iterdir())
+        assert files == ["carbon-n16-m2-seed0.json", "cobra-n16-m2-seed0.json"]
+        lines = [json.loads(l) for l in log.read_text().splitlines()]
+        assert {l["event"] for l in lines} >= {"init", "generation", "run_end"}
+        finals = [l for l in lines if l["event"] == "run_end"]
+        assert sorted(l["algorithm"] for l in finals) == ["CARBON", "COBRA"]
+
+        assert main(argv + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        # Resumed-from-finished runs re-extract the identical table.
+        assert second.splitlines()[-5:] == first.splitlines()[-5:]
 
     def test_table4_with_classes(self, capsys):
         assert main([
