@@ -1,0 +1,144 @@
+"""Serve-layer throughput: N concurrent clients against one SolveServer.
+
+Not a paper table — the first entry in the repo's perf trajectory for the
+serving subsystem.  Each client pipelines solve requests over its own
+connection; the server micro-batches them through the shared evaluation
+pipeline.  Results (throughput + the server's own latency percentiles)
+are written to ``BENCH_serve.json`` so successive commits can be compared.
+
+Run as pytest (``pytest benchmarks/bench_serve_throughput.py``) or as a
+script (``python benchmarks/bench_serve_throughput.py``).  Scale follows
+``REPRO_BENCH_SCALE`` (quick/bench/paper) like the rest of the suite; the
+output path can be overridden with ``REPRO_BENCH_SERVE_OUT``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bcpop.generator import generate_instance
+from repro.gp.generate import ramped_half_and_half
+from repro.gp.primitives import paper_primitive_set
+from repro.serve import ServeClient, SolveServer, start_in_thread
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+#: (clients, requests_per_client, pipeline_chunk, n_bundles, n_services)
+_SETTINGS = {
+    "quick": (4, 50, 10, 60, 5),
+    "bench": (8, 200, 20, 100, 10),
+    "paper": (16, 500, 25, 250, 10),
+}
+
+_DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+
+def _out_path() -> Path:
+    return Path(os.environ.get("REPRO_BENCH_SERVE_OUT", _DEFAULT_OUT))
+
+
+def run_throughput_benchmark(
+    clients: int,
+    requests_per_client: int,
+    pipeline_chunk: int,
+    n_bundles: int,
+    n_services: int,
+    seed: int = 0,
+) -> dict:
+    """Drive one server with ``clients`` concurrent connections and
+    return the combined throughput/latency record."""
+    instance = generate_instance(n_bundles, n_services, seed=seed)
+    rng = np.random.default_rng(seed)
+    trees = ramped_half_and_half(paper_primitive_set(), 8, rng, min_depth=2, max_depth=4)
+    low, high = instance.price_bounds
+    # Distinct price vectors per request: the memo must not trivialize
+    # the workload (hit rate is still reported for interpretation).
+    price_pool = [rng.uniform(low, high) for _ in range(64)]
+
+    server = SolveServer(instances=[instance], max_batch_size=32, max_wait_us=2_000)
+    errors: list[str] = []
+
+    def _client_loop(client_id: int) -> None:
+        try:
+            with ServeClient(*handle.address) as client:
+                crng = np.random.default_rng((seed, client_id))
+                sent = 0
+                while sent < requests_per_client:
+                    chunk = min(pipeline_chunk, requests_per_client - sent)
+                    requests = [
+                        client.solve_request(
+                            price_pool[int(crng.integers(len(price_pool)))],
+                            trees[int(crng.integers(len(trees)))],
+                        )
+                        for _ in range(chunk)
+                    ]
+                    for response in client.solve_many(requests):
+                        if not response.get("ok"):
+                            errors.append(str(response))
+                    sent += chunk
+        except Exception as exc:  # pragma: no cover - surfaced via assert
+            errors.append(repr(exc))
+
+    with start_in_thread(server) as handle:
+        threads = [
+            threading.Thread(target=_client_loop, args=(i,)) for i in range(clients)
+        ]
+        t0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        duration = time.perf_counter() - t0
+        with ServeClient(*handle.address) as probe:
+            stats = probe.stats()
+
+    total = clients * requests_per_client
+    record = {
+        "benchmark": "serve_throughput",
+        "scale": SCALE,
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "total_requests": total,
+        "duration_s": duration,
+        "throughput_rps": total / duration if duration > 0 else float("inf"),
+        "latency_ms": stats["latency_ms"],
+        "batches": stats["batches"],
+        "mean_batch_size": stats["mean_batch_size"],
+        "max_batch_size": stats["max_batch_size"],
+        "memo_hit_rate": stats["memo_hit_rate"],
+        "overloads": stats["overloads"],
+        "errors": len(errors),
+        "instance": f"n{n_bundles}-m{n_services}",
+    }
+    assert not errors, errors[:3]
+    return record
+
+
+def _write_record(record: dict) -> Path:
+    path = _out_path()
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    return path
+
+
+def test_bench_serve_throughput():
+    settings = _SETTINGS.get(SCALE, _SETTINGS["quick"])
+    record = run_throughput_benchmark(*settings)
+    path = _write_record(record)
+    assert path.exists()
+    assert record["total_requests"] == record["clients"] * record["requests_per_client"]
+    assert record["throughput_rps"] > 0
+    assert record["overloads"] == 0  # clients self-limit via pipeline_chunk
+    assert record["max_batch_size"] > 1  # concurrency actually batched
+
+
+if __name__ == "__main__":
+    settings = _SETTINGS.get(SCALE, _SETTINGS["quick"])
+    out = run_throughput_benchmark(*settings)
+    print(json.dumps(out, indent=2))
+    print(f"wrote {_write_record(out)}")

@@ -39,6 +39,12 @@ from repro.core import (
     run_nested,
 )
 from repro.parallel import run_island_carbon
+from repro.serve import (
+    HeuristicRegistry,
+    PublishBestHeuristic,
+    ServeClient,
+    SolveServer,
+)
 from repro.trilevel import TriLevelInstance, run_trilevel_carbon
 from repro.covering import CoveringInstance, greedy_cover, solve_exact
 from repro.gp import SyntaxTree, paper_primitive_set
@@ -63,6 +69,10 @@ __all__ = [
     "run_cobra",
     "run_nested",
     "run_island_carbon",
+    "HeuristicRegistry",
+    "PublishBestHeuristic",
+    "ServeClient",
+    "SolveServer",
     "TriLevelInstance",
     "run_trilevel_carbon",
     "CoveringInstance",

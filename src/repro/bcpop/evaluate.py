@@ -45,11 +45,17 @@ from repro.lp.relaxation import Relaxation
 from repro.parallel.executor import Executor, ProcessExecutor
 
 __all__ = [
+    "DEFAULT_MEMO_SIZE",
     "LowerLevelOutcome",
     "LowerLevelEvaluator",
     "EvaluationMemo",
     "EvaluationPipeline",
 ]
+
+#: Default outcome-memo capacity.  The single source of truth — the
+#: :class:`repro.core.config.ExecutionConfig` default defers to it, so
+#: tuning memo pressure is one edit (or one config field) everywhere.
+DEFAULT_MEMO_SIZE = 8192
 
 
 @dataclass(frozen=True)
@@ -96,13 +102,14 @@ class EvaluationMemo:
     lives on the evaluator and is advanced once per fresh solve.
     """
 
-    def __init__(self, maxsize: int = 8192) -> None:
+    def __init__(self, maxsize: int = DEFAULT_MEMO_SIZE) -> None:
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.maxsize = maxsize
         self._store: OrderedDict[bytes, LowerLevelOutcome] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get(self, key: bytes) -> LowerLevelOutcome | None:
         found = self._store.get(key)
@@ -118,11 +125,13 @@ class EvaluationMemo:
         self._store.move_to_end(key)
         if len(self._store) > self.maxsize:
             self._store.popitem(last=False)
+            self.evictions += 1
 
     def clear(self) -> None:
         self._store.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._store)
@@ -164,7 +173,7 @@ class LowerLevelEvaluator:
         lp_backend: str = "scipy",
         cache_size: int = 4096,
         gap_eps: float = 1e-9,
-        memo_size: int = 8192,
+        memo_size: int = DEFAULT_MEMO_SIZE,
     ) -> None:
         self.instance = instance
         self.lp_backend = lp_backend
@@ -288,8 +297,10 @@ class LowerLevelEvaluator:
         return {
             "enabled": True,
             "entries": len(self.memo),
+            "capacity": self.memo.maxsize,
             "hits": self.memo.hits,
             "misses": self.memo.misses,
+            "evictions": self.memo.evictions,
             "hit_rate": self.memo.hit_rate,
         }
 

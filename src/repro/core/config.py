@@ -18,6 +18,13 @@ from dataclasses import dataclass, field, replace
 __all__ = ["ExecutionConfig", "UpperLevelConfig", "CarbonConfig", "CobraConfig"]
 
 
+def _default_memo_size() -> int:
+    """The evaluator's own default (import deferred: config stays pure)."""
+    from repro.bcpop.evaluate import DEFAULT_MEMO_SIZE
+
+    return DEFAULT_MEMO_SIZE
+
+
 @dataclass(frozen=True)
 class ExecutionConfig:
     """How fitness evaluations are executed (not a paper parameter).
@@ -38,7 +45,9 @@ class ExecutionConfig:
         Tasks per pool dispatch; ``None`` lets the executor amortize IPC.
     memo_size:
         Outcome-memo capacity in front of the lower-level evaluator
-        (0 disables memoization).
+        (0 disables memoization).  Defaults to
+        :data:`repro.bcpop.evaluate.DEFAULT_MEMO_SIZE` — resolved lazily
+        so this module stays pure data at import time.
     batches_per_worker:
         Pipeline load-balancing factor (batches per worker per map call).
     """
@@ -46,7 +55,7 @@ class ExecutionConfig:
     executor: str = "serial"
     workers: int | None = None
     chunk_size: int | None = None
-    memo_size: int = 8192
+    memo_size: int = field(default_factory=lambda: _default_memo_size())
     batches_per_worker: int = 4
 
     def __post_init__(self) -> None:

@@ -214,6 +214,86 @@ def _cmd_trilevel(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_serve(args: argparse.Namespace) -> str:
+    """Run the heuristic solve server until a ``shutdown`` op arrives.
+
+    ``train → publish → serve``: point ``--registry`` at the directory a
+    :class:`~repro.serve.registry.PublishBestHeuristic` observer filled,
+    register instance files, and clients can solve against any published
+    heuristic (see DESIGN.md §10 for the wire protocol).
+    """
+    import asyncio
+
+    from repro.bcpop.io import load_bcpop
+    from repro.serve import HeuristicRegistry, SolveServer
+
+    registry = HeuristicRegistry(args.registry) if args.registry else None
+    instances = [load_bcpop(path) for path in (args.instances or [])]
+    executor = make_executor(
+        "processes" if args.workers > 1 else "serial", workers=args.workers
+    )
+    server = SolveServer(
+        registry=registry,
+        instances=instances,
+        host=args.host,
+        port=args.port,
+        executor=executor,
+        max_batch_size=args.max_batch,
+        max_wait_us=args.max_wait_us,
+        queue_depth=args.queue_depth,
+        metrics_path=args.metrics_jsonl,
+    )
+
+    async def _run() -> None:
+        await server.start()
+        print(
+            f"serving on {server.host}:{server.port} "
+            f"({len(server.instance_digests)} instances, "
+            f"registry={'yes' if registry else 'no'}, "
+            f"batch<= {server.max_batch_size}, wait {server.max_wait_us}us, "
+            f"queue {server.queue_depth})",
+            flush=True,
+        )
+        await server.serve_until_stopped()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    snapshot = server.metrics.snapshot()
+    return (
+        f"server stopped: {snapshot['requests']} requests, "
+        f"{snapshot['solved']} solved, {snapshot['overloads']} overloads, "
+        f"{snapshot['batches']} batches (max size {snapshot['max_batch_size']})"
+    )
+
+
+def _cmd_solve(args: argparse.Namespace) -> str:
+    """One client solve round trip against a running server."""
+    import json as _json
+
+    from repro.bcpop.io import load_bcpop
+    from repro.parallel.rng import stream_for
+    from repro.serve import ServeClient
+
+    if not args.heuristic:
+        raise SystemExit("solve requires --heuristic (ref, or family:<family>)")
+    instance = load_bcpop(args.instance_file) if args.instance_file else None
+    with ServeClient(args.host, args.port) as client:
+        if args.prices:
+            prices = [float(v) for v in args.prices.split(",")]
+        elif instance is not None:
+            import numpy as np
+
+            rng = stream_for(args.seed, "serve-solve")
+            low, high = instance.price_bounds
+            prices = rng.uniform(low, high).tolist()
+        else:
+            raise SystemExit("solve requires --prices when no --instance-file is given")
+        response = client.solve(prices, args.heuristic, instance=instance)
+    return _json.dumps(response, indent=1)
+
+
 def _cmd_instances(args: argparse.Namespace) -> str:
     """Export the paper's 9 instance classes to disk (JSON + mknap)."""
     import pathlib
@@ -248,7 +328,13 @@ _COMMANDS = {
     "extended": _cmd_extended,
     "trilevel": _cmd_trilevel,
     "instances": _cmd_instances,
+    "serve": _cmd_serve,
+    "solve": _cmd_solve,
 }
+
+#: Commands that are not report generators (blocking server / file
+#: exporters / one-shot client calls) — excluded from ``all``.
+_NON_REPORT = {"instances", "serve", "solve"}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -289,6 +375,31 @@ def build_parser() -> argparse.ArgumentParser:
                         help="resume runs from their checkpoints in "
                              "--checkpoint-dir (bit-identical to an "
                              "uninterrupted run)")
+    serve = parser.add_argument_group("heuristic serving (serve/solve commands)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="solve-server bind/connect host")
+    serve.add_argument("--port", type=int, default=8737,
+                       help="solve-server port (serve: 0 picks a free port)")
+    serve.add_argument("--registry", metavar="DIR",
+                       help="heuristic registry directory (serve)")
+    serve.add_argument("--instances", nargs="*", metavar="FILE",
+                       help="BCPOP instance JSON files to pre-register (serve)")
+    serve.add_argument("--max-batch", type=int, default=32, dest="max_batch",
+                       help="micro-batch size cap (serve)")
+    serve.add_argument("--max-wait-us", type=int, default=2_000, dest="max_wait_us",
+                       help="micro-batch wait window in microseconds (serve)")
+    serve.add_argument("--queue-depth", type=int, default=128, dest="queue_depth",
+                       help="bounded request queue depth; overflow is "
+                            "rejected with an overload response (serve)")
+    serve.add_argument("--metrics-jsonl", dest="metrics_jsonl", metavar="FILE",
+                       help="append a metrics snapshot to FILE on shutdown (serve)")
+    serve.add_argument("--heuristic", metavar="REF",
+                       help="artifact ref/prefix, or family:<family> (solve)")
+    serve.add_argument("--instance-file", dest="instance_file", metavar="FILE",
+                       help="BCPOP instance JSON to solve against (solve)")
+    serve.add_argument("--prices", metavar="P1,P2,...",
+                       help="comma-separated UL price vector (solve; default: "
+                            "a seeded uniform sample from the instance box)")
     return parser
 
 
@@ -296,8 +407,9 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.experiment == "all":
         # "all" regenerates reports; the instances exporter writes files
-        # and interprets --out as a directory, so it stays explicit.
-        names = sorted(set(_COMMANDS) - {"instances"})
+        # (and interprets --out as a directory), serve blocks on a
+        # socket, solve needs a live server — those stay explicit.
+        names = sorted(set(_COMMANDS) - _NON_REPORT)
     else:
         names = [args.experiment]
 

@@ -89,8 +89,15 @@ class ProcessExecutor(Executor):
             raise ValueError(f"workers must be >= 1, got {self.workers}")
         self.chunk_size = chunk_size
         self._pool: multiprocessing.pool.Pool | None = None
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     def _ensure_pool(self) -> multiprocessing.pool.Pool:
+        if self._closed:
+            raise RuntimeError("executor is closed")
         if self._pool is None:
             self._pool = multiprocessing.get_context("spawn").Pool(self.workers)
         return self._pool
@@ -100,11 +107,22 @@ class ProcessExecutor(Executor):
         if not items:
             return []
         if len(items) < self.workers:
+            # Serial fallback needs no pool, so it stays valid after close.
             return [fn(item) for item in items]
+        if self._closed:
+            # Pool-sized batches after close would silently respawn the
+            # pool — a worker leak for any owner that already shut down
+            # (e.g. a solve server whose run also closed its pipeline).
+            raise RuntimeError("executor is closed")
         chunk = self.chunk_size or max(1, -(-len(items) // (4 * self.workers)))
         return self._ensure_pool().map(fn, items, chunksize=chunk)
 
     def close(self) -> None:
+        """Shut the pool down and join its workers.  Idempotent: a solve
+        server and an engine run may share one executor and both close
+        it on their way out (double-close must be a no-op, not a crash).
+        """
+        self._closed = True
         if self._pool is not None:
             self._pool.close()
             self._pool.join()

@@ -1,0 +1,43 @@
+"""Serving layer: persist trained GP heuristics and serve them as solvers.
+
+CARBON's product is not the one pricing decision it optimized — it is the
+evolved *heuristic*, a portable solver for any lower-level instance of the
+family it was trained on.  This package turns that observation into an
+inference-shaped system:
+
+* :mod:`repro.serve.registry` — content-addressed on-disk artifact store
+  for trained heuristics plus the :class:`PublishBestHeuristic` engine
+  observer that auto-publishes every run's champion,
+* :mod:`repro.serve.server`   — asyncio TCP/JSON-lines solve server with
+  micro-batching and bounded-queue backpressure, executing through the
+  batched :class:`repro.bcpop.evaluate.EvaluationPipeline`,
+* :mod:`repro.serve.client`   — blocking JSON-lines client (single and
+  pipelined requests),
+* :mod:`repro.serve.metrics`  — request/batch/latency counters exposed on
+  the ``stats`` op and dumped to JSONL on shutdown,
+* :mod:`repro.serve.protocol` — the wire format shared by all of the
+  above.
+
+See DESIGN.md §10 for the registry format and the batching/backpressure
+semantics.
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.metrics import ServerMetrics
+from repro.serve.registry import (
+    HeuristicArtifact,
+    HeuristicRegistry,
+    PublishBestHeuristic,
+)
+from repro.serve.server import ServerHandle, SolveServer, start_in_thread
+
+__all__ = [
+    "HeuristicArtifact",
+    "HeuristicRegistry",
+    "PublishBestHeuristic",
+    "SolveServer",
+    "ServerHandle",
+    "start_in_thread",
+    "ServeClient",
+    "ServerMetrics",
+]

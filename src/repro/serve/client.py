@@ -1,0 +1,160 @@
+"""Blocking JSON-lines client for :class:`repro.serve.server.SolveServer`.
+
+Two request styles:
+
+* :meth:`ServeClient.solve` — one request, one response (the simple
+  path; each call is a full round trip, so the server's micro-batcher
+  only sees batches of one unless other clients are active),
+* :meth:`ServeClient.solve_many` — pipelined: all requests are written
+  before any response is read, so a single client can fill a server-side
+  micro-batch.  Responses are correlated by ``id`` and returned in
+  request order.
+
+The client is deliberately synchronous (plain sockets): it is what
+benches, tests and the CLI drive the server with, and a blocking API
+composes with thread pools for concurrent-load generation.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Sequence
+
+import numpy as np
+
+from repro.bcpop.instance import BcpopInstance
+from repro.bcpop.io import bcpop_to_dict
+from repro.gp.tree import SyntaxTree
+from repro.serve import protocol
+
+__all__ = ["ServeClient"]
+
+
+def _heuristic_spec(heuristic) -> dict:
+    """Normalize the accepted heuristic forms to the wire object."""
+    if isinstance(heuristic, SyntaxTree):
+        return {"tree": heuristic.serialize()}
+    if isinstance(heuristic, str):
+        if heuristic.startswith("family:"):
+            return {"family": heuristic[len("family:"):]}
+        return {"ref": heuristic}
+    if isinstance(heuristic, dict):
+        return heuristic
+    raise TypeError(f"cannot use {type(heuristic).__name__} as a heuristic spec")
+
+
+def _instance_spec(instance):
+    if instance is None:
+        return None
+    if isinstance(instance, BcpopInstance):
+        return bcpop_to_dict(instance)
+    if isinstance(instance, (str, dict)):
+        return instance
+    raise TypeError(f"cannot use {type(instance).__name__} as an instance spec")
+
+
+class ServeClient:
+    """One TCP connection to a solve server."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+        self._next_id = 0
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _fresh_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    def _send(self, message: dict) -> None:
+        self._sock.sendall(protocol.encode(message))
+
+    def _recv(self) -> dict:
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return protocol.decode(line)
+
+    def request(self, message: dict) -> dict:
+        """One round trip; assigns a correlation id when missing."""
+        message = dict(message)
+        message.setdefault("id", self._fresh_id())
+        self._send(message)
+        return self._recv()
+
+    # -- ops ----------------------------------------------------------------
+
+    def solve_request(
+        self,
+        prices,
+        heuristic,
+        instance=None,
+        include_selection: bool = False,
+    ) -> dict:
+        """Build (but do not send) a solve request message."""
+        message = {
+            "op": "solve",
+            "id": self._fresh_id(),
+            "prices": np.asarray(prices, dtype=np.float64).tolist(),
+            "heuristic": _heuristic_spec(heuristic),
+        }
+        spec = _instance_spec(instance)
+        if spec is not None:
+            message["instance"] = spec
+        if include_selection:
+            message["include_selection"] = True
+        return message
+
+    def solve(self, prices, heuristic, instance=None, include_selection=False) -> dict:
+        """One solve round trip; returns the response dict."""
+        return self.request(
+            self.solve_request(prices, heuristic, instance, include_selection)
+        )
+
+    def solve_many(self, requests: Sequence[dict]) -> list[dict]:
+        """Pipelined solves: write everything, then read everything.
+
+        ``requests`` are message dicts from :meth:`solve_request`.
+        Responses arrive in completion order (micro-batches may reorder
+        across instances); they are matched back by ``id``.
+        """
+        requests = list(requests)
+        payload = b"".join(protocol.encode(m) for m in requests)
+        self._sock.sendall(payload)
+        by_id = {}
+        for _ in requests:
+            response = self._recv()
+            by_id[response.get("id")] = response
+        return [by_id[m["id"]] for m in requests]
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})["stats"]
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    def pause(self) -> dict:
+        """Suspend the server's micro-batcher (requests queue up)."""
+        return self.request({"op": "pause"})
+
+    def resume(self) -> dict:
+        return self.request({"op": "resume"})
+
+    def shutdown(self) -> dict:
+        """Ask the server to stop cleanly (drain, dump metrics, close)."""
+        return self.request({"op": "shutdown"})
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

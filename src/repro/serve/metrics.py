@@ -1,0 +1,96 @@
+"""Solve-server metrics: counters, batch histogram, latency percentiles.
+
+All numbers are cheap to maintain on the request path (increments plus a
+bounded deque of latencies); the expensive part — sorting for
+percentiles — happens only when a snapshot is requested (the ``stats``
+op or the shutdown JSONL dump).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import Counter, deque
+from pathlib import Path
+
+__all__ = ["ServerMetrics"]
+
+#: Latency reservoir size: enough for stable p99 at bench scale without
+#: unbounded growth on a long-lived server.
+_LATENCY_WINDOW = 65_536
+
+
+def _percentile(sorted_values: list[float], p: float) -> float:
+    """Nearest-rank percentile on an already-sorted list."""
+    if not sorted_values:
+        return float("nan")
+    rank = max(1, -(-len(sorted_values) * p // 100))  # ceil(n * p / 100)
+    return sorted_values[int(rank) - 1]
+
+
+class ServerMetrics:
+    """Counters for one :class:`~repro.serve.server.SolveServer`."""
+
+    def __init__(self, latency_window: int = _LATENCY_WINDOW) -> None:
+        self.started_at = time.time()
+        self.requests = 0  # solve requests received (accepted + rejected)
+        self.solved = 0  # solve responses produced
+        self.overloads = 0  # backpressure rejections (queue full)
+        self.errors = 0  # bad requests / resolution failures / internal
+        self.batches = 0  # micro-batches executed
+        self.batch_sizes: Counter = Counter()
+        self._latencies: deque = deque(maxlen=latency_window)
+
+    # -- recording ----------------------------------------------------------
+
+    def observe_batch(self, size: int) -> None:
+        self.batches += 1
+        self.batch_sizes[size] += 1
+
+    def observe_latency(self, seconds: float) -> None:
+        self.solved += 1
+        self._latencies.append(seconds)
+
+    # -- reporting ----------------------------------------------------------
+
+    @property
+    def max_batch_size(self) -> int:
+        return max(self.batch_sizes) if self.batch_sizes else 0
+
+    def latency_percentiles_ms(self) -> dict:
+        ordered = sorted(self._latencies)
+        return {
+            f"p{p}": _percentile(ordered, p) * 1e3
+            for p in (50, 95, 99)
+        }
+
+    def snapshot(self, **extra) -> dict:
+        """Flat JSON-safe view of every counter (plus caller extras such
+        as memo/cache stats and queue state)."""
+        mean_batch = (
+            sum(size * count for size, count in self.batch_sizes.items()) / self.batches
+            if self.batches
+            else 0.0
+        )
+        return {
+            "uptime_s": time.time() - self.started_at,
+            "requests": self.requests,
+            "solved": self.solved,
+            "overloads": self.overloads,
+            "errors": self.errors,
+            "batches": self.batches,
+            "mean_batch_size": mean_batch,
+            "max_batch_size": self.max_batch_size,
+            "batch_size_histogram": {
+                str(size): count for size, count in sorted(self.batch_sizes.items())
+            },
+            "latency_ms": self.latency_percentiles_ms(),
+            **extra,
+        }
+
+    def dump_jsonl(self, path, **extra) -> None:
+        """Append one snapshot line (the shutdown dump; append mode so a
+        restarted server extends its own trajectory)."""
+        record = {"event": "server_stats", **self.snapshot(**extra)}
+        with open(Path(path), "a") as fh:
+            fh.write(json.dumps(record) + "\n")

@@ -1,0 +1,110 @@
+"""Wire format of the solve service: newline-delimited JSON messages.
+
+Every message is one JSON object on one line (UTF-8, ``\\n`` terminated).
+Requests carry an ``op`` and an optional correlation ``id`` (echoed back
+verbatim, so clients may pipeline requests and match responses out of
+order).  Responses carry ``ok`` plus either the payload or an ``error``
+code and human-readable ``message``.
+
+Ops
+---
+``solve``
+    ``{"op": "solve", "id": ..., "prices": [...],
+    "heuristic": {"ref": ...} | {"family": ...} | {"tree": ...},
+    "instance": "<digest>" | {<repro-bcpop document>},
+    "include_selection": false}``.
+    ``instance`` may be omitted when the server has exactly one instance
+    registered.  An inline instance document is registered by digest on
+    first use, so subsequent requests can refer to it by digest alone.
+``stats``
+    Metrics snapshot (counters, batch-size histogram, latency
+    percentiles, memo/LP-cache hit rates, queue state).
+``ping``
+    Liveness probe.
+``pause`` / ``resume``
+    Suspend / resume the micro-batcher (drain control; also what gives
+    tests and benches a deterministic window to build batches and
+    overload the bounded queue).
+``shutdown``
+    Acknowledge, then stop the server cleanly (drain queue, dump
+    metrics, close the executor).
+
+Error codes: ``bad-request``, ``unknown-op``, ``unknown-instance``,
+``unknown-heuristic``, ``overloaded``, ``internal``.  ``overloaded`` is
+the backpressure signal — the bounded request queue was full at enqueue
+time; the request was *not* accepted and the client should back off and
+retry.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "encode",
+    "decode",
+    "ok_response",
+    "error_response",
+    "solve_response",
+]
+
+#: Hard cap on one message line — an inline 500-bundle instance document
+#: is ~1 MB; anything past this bound is a protocol violation, not data.
+MAX_LINE_BYTES = 16 * 1024 * 1024
+
+
+def encode(message: dict) -> bytes:
+    """One message → one ``\\n``-terminated JSON line.
+
+    Non-finite floats are emitted as the JSON extensions ``NaN`` /
+    ``Infinity`` (the convention of the run logger; ``json.loads`` reads
+    them back), so infeasible solves (``gap = inf``) survive the wire.
+    """
+    return (json.dumps(message) + "\n").encode("utf-8")
+
+
+def decode(line: bytes | str) -> dict:
+    """One line → message dict; raises ``ValueError`` on malformed input."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8")
+    message = json.loads(line)
+    if not isinstance(message, dict):
+        raise ValueError(f"message must be a JSON object, got {type(message).__name__}")
+    return message
+
+
+def ok_response(request: dict, **payload: Any) -> dict:
+    response = {"ok": True}
+    if "id" in request:
+        response["id"] = request["id"]
+    response.update(payload)
+    return response
+
+
+def error_response(request: dict, code: str, message: str) -> dict:
+    response = {"ok": False, "error": code, "message": message}
+    if isinstance(request, dict) and "id" in request:
+        response["id"] = request["id"]
+    return response
+
+
+def solve_response(request: dict, outcome, include_selection: bool = False) -> dict:
+    """Serialize a :class:`~repro.bcpop.evaluate.LowerLevelOutcome`.
+
+    Scalars are converted to plain Python floats — JSON renders them with
+    ``float.__repr__`` (shortest-exact for float64), so the %-gap a client
+    reads back is bit-identical to the in-process evaluation.
+    """
+    payload = {
+        "gap": float(outcome.gap),
+        "revenue": float(outcome.revenue),
+        "ll_cost": float(outcome.ll_cost),
+        "lower_bound": float(outcome.lower_bound),
+        "feasible": bool(outcome.feasible),
+        "n_selected": int(outcome.selection.sum()),
+    }
+    if include_selection:
+        payload["selection"] = [int(v) for v in outcome.selection]
+    return ok_response(request, **payload)

@@ -1,0 +1,289 @@
+"""Content-addressed artifact store for trained GP heuristics.
+
+A run's champion heuristic used to die with the process: it only existed
+inside ``RunResult.extras``.  The registry gives it a durable, serveable
+form.  Each **artifact** is one JSON document bundling
+
+* the canonical tree serialization (:meth:`repro.gp.tree.SyntaxTree.serialize`
+  — exact, ERC values in ``float.hex``) and its ``stable_hash``,
+* training metadata: algorithm, instance name/digest/family, seed, final
+  %-gap, generations, evaluations consumed, wall time,
+* lineage: provenance of the run that produced it (and, for future
+  cross-run breeding, parent artifact ids).
+
+The **artifact id** is the SHA-256 of the canonical JSON of the content
+*minus* the ``created_at`` timestamp, so re-publishing the identical
+result of a reproducible run is idempotent (same id, file overwritten in
+place) while any change to tree, metadata or lineage yields a new id.
+
+On disk a registry is a directory::
+
+    <root>/artifacts/<id>.json     one file per artifact
+    <root>/promoted.json           {family: artifact_id} promotions
+
+``promote``/``best_for`` implement "best-for-instance-family" serving:
+an explicit promotion pins a family to an artifact; otherwise the
+lowest-final-%-gap artifact for the family wins.
+
+:class:`PublishBestHeuristic` hooks ``on_run_end`` of the engine event
+bus (:mod:`repro.core.events`), so any engine-driven run auto-publishes
+its champion — ``train → publish`` becomes a single observer attachment.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.events import EngineEvent, Observer
+from repro.gp.tree import SyntaxTree
+
+__all__ = ["HeuristicArtifact", "HeuristicRegistry", "PublishBestHeuristic"]
+
+ARTIFACT_FORMAT = "repro-heuristic"
+ARTIFACT_VERSION = 1
+
+#: Shortest accepted ref prefix (same spirit as git's abbreviated SHAs).
+MIN_REF_LENGTH = 6
+
+
+def instance_family(instance) -> str:
+    """The instance *family* label used for promotions: the size class
+    ``n<bundles>-m<services>`` (the paper's Table III/IV row key), not the
+    concrete instance — a heuristic is a solver for the class."""
+    n = getattr(instance, "n_bundles", None)
+    m = getattr(instance, "n_services", None)
+    if n is None or m is None:
+        return getattr(instance, "name", "") or "unknown"
+    return f"n{n}-m{m}"
+
+
+@dataclass(frozen=True)
+class HeuristicArtifact:
+    """One published heuristic: exact tree + training provenance."""
+
+    artifact_id: str
+    tree_serialization: str
+    tree_hash: str
+    metadata: dict
+    lineage: dict = field(default_factory=dict)
+
+    @property
+    def tree(self) -> SyntaxTree:
+        """The heuristic itself (deserialized on demand, validated)."""
+        return SyntaxTree.deserialize(self.tree_serialization)
+
+    @property
+    def family(self) -> str | None:
+        return self.metadata.get("family")
+
+    @property
+    def best_gap(self) -> float:
+        return float(self.metadata.get("best_gap", float("inf")))
+
+    def to_document(self) -> dict:
+        return {
+            "format": ARTIFACT_FORMAT,
+            "version": ARTIFACT_VERSION,
+            "artifact_id": self.artifact_id,
+            "tree": self.tree_serialization,
+            "tree_hash": self.tree_hash,
+            "metadata": self.metadata,
+            "lineage": self.lineage,
+        }
+
+    @classmethod
+    def from_document(cls, document: dict) -> "HeuristicArtifact":
+        if document.get("format") != ARTIFACT_FORMAT:
+            raise ValueError(
+                f"not a {ARTIFACT_FORMAT} document: format={document.get('format')!r}"
+            )
+        if document.get("version") != ARTIFACT_VERSION:
+            raise ValueError(f"unsupported artifact version {document.get('version')!r}")
+        return cls(
+            artifact_id=document["artifact_id"],
+            tree_serialization=document["tree"],
+            tree_hash=document["tree_hash"],
+            metadata=dict(document.get("metadata", {})),
+            lineage=dict(document.get("lineage", {})),
+        )
+
+
+def _artifact_id(tree_serialization: str, metadata: dict, lineage: dict) -> str:
+    """Content address over everything except the publish timestamp."""
+    hashed_metadata = {k: v for k, v in metadata.items() if k != "created_at"}
+    canonical = json.dumps(
+        {"tree": tree_serialization, "metadata": hashed_metadata, "lineage": lineage},
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class HeuristicRegistry:
+    """On-disk, content-addressed store of :class:`HeuristicArtifact`.
+
+    All operations are plain-file, write-through and idempotent: the
+    registry is safe to share between a training process (publishing) and
+    a serving process (reading) on the same filesystem.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.artifacts_dir = self.root / "artifacts"
+        self.artifacts_dir.mkdir(parents=True, exist_ok=True)
+        self._promoted_path = self.root / "promoted.json"
+
+    # -- publishing ---------------------------------------------------------
+
+    def publish(
+        self,
+        tree: SyntaxTree,
+        metadata: dict | None = None,
+        lineage: dict | None = None,
+    ) -> HeuristicArtifact:
+        """Store a heuristic; returns the artifact (existing or new)."""
+        serialization = tree.serialize()
+        metadata = dict(metadata or {})
+        metadata.setdefault("created_at", time.time())
+        lineage = dict(lineage or {})
+        artifact = HeuristicArtifact(
+            artifact_id=_artifact_id(serialization, metadata, lineage),
+            tree_serialization=serialization,
+            tree_hash=tree.stable_hash(),
+            metadata=metadata,
+            lineage=lineage,
+        )
+        path = self.artifacts_dir / f"{artifact.artifact_id}.json"
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(artifact.to_document(), indent=1))
+        tmp.replace(path)
+        return artifact
+
+    # -- queries ------------------------------------------------------------
+
+    def refs(self) -> list[str]:
+        """All artifact ids, sorted."""
+        return sorted(p.stem for p in self.artifacts_dir.glob("*.json"))
+
+    def __len__(self) -> int:
+        return len(self.refs())
+
+    def _load(self, full_ref: str) -> HeuristicArtifact:
+        document = json.loads((self.artifacts_dir / f"{full_ref}.json").read_text())
+        return HeuristicArtifact.from_document(document)
+
+    def get(self, ref: str) -> HeuristicArtifact:
+        """Load an artifact by id or unique id prefix (>= 6 chars)."""
+        if not isinstance(ref, str) or len(ref) < MIN_REF_LENGTH:
+            raise KeyError(f"ref must be >= {MIN_REF_LENGTH} hex chars, got {ref!r}")
+        matches = [r for r in self.refs() if r.startswith(ref)]
+        if not matches:
+            raise KeyError(f"no artifact matching {ref!r}")
+        if len(matches) > 1:
+            raise KeyError(f"ambiguous ref {ref!r}: {len(matches)} matches")
+        return self._load(matches[0])
+
+    def list(
+        self,
+        family: str | None = None,
+        instance_digest: str | None = None,
+        algorithm: str | None = None,
+    ) -> list[HeuristicArtifact]:
+        """All artifacts matching the filters, best %-gap first."""
+        found = []
+        for ref in self.refs():
+            artifact = self._load(ref)
+            meta = artifact.metadata
+            if family is not None and meta.get("family") != family:
+                continue
+            if instance_digest is not None and meta.get("instance_digest") != instance_digest:
+                continue
+            if algorithm is not None and meta.get("algorithm") != algorithm:
+                continue
+            found.append(artifact)
+        found.sort(key=lambda a: (a.best_gap, a.artifact_id))
+        return found
+
+    # -- promotion ----------------------------------------------------------
+
+    def _read_promoted(self) -> dict:
+        if not self._promoted_path.exists():
+            return {}
+        return json.loads(self._promoted_path.read_text())
+
+    def promote(self, family: str, ref: str) -> HeuristicArtifact:
+        """Pin ``family`` to an artifact (resolves and validates ``ref``)."""
+        artifact = self.get(ref)
+        promoted = self._read_promoted()
+        promoted[family] = artifact.artifact_id
+        tmp = self._promoted_path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(promoted, indent=1, sort_keys=True))
+        tmp.replace(self._promoted_path)
+        return artifact
+
+    def promoted(self, family: str) -> str | None:
+        """The pinned artifact id for ``family``, if any."""
+        return self._read_promoted().get(family)
+
+    def best_for(self, family: str) -> HeuristicArtifact | None:
+        """Serving resolution: the promoted artifact for ``family``, else
+        the lowest-final-%-gap artifact trained on that family."""
+        pinned = self.promoted(family)
+        if pinned is not None:
+            return self.get(pinned)
+        candidates = self.list(family=family)
+        return candidates[0] if candidates else None
+
+
+class PublishBestHeuristic(Observer):
+    """Engine observer: publish the run's champion heuristic on run end.
+
+    Attach per run (``EngineLoop(algo, observers=[...])``) or directly on
+    an algorithm's bus.  Runs whose results carry no ``champion_tree``
+    (COBRA and the baselines evolve decision vectors, not solvers) are
+    skipped silently, so the observer is safe to attach to any algorithm.
+    """
+
+    def __init__(self, registry: HeuristicRegistry) -> None:
+        self.registry = registry
+        self.published: list[HeuristicArtifact] = []
+
+    @property
+    def last_artifact(self) -> HeuristicArtifact | None:
+        return self.published[-1] if self.published else None
+
+    def on_run_end(self, event: EngineEvent) -> None:
+        result = event.result
+        if result is None:
+            return
+        tree = result.extras.get("champion_tree")
+        if not isinstance(tree, SyntaxTree):
+            return
+        instance = event.algorithm.instance
+        engine_extras = result.extras.get("engine", {})
+        metadata = {
+            "algorithm": result.algorithm,
+            "instance_name": result.instance_name,
+            "instance_digest": getattr(instance, "digest", None),
+            "family": instance_family(instance),
+            "seed": result.seed,
+            "best_gap": float(result.best_gap),
+            "best_upper": float(result.best_upper),
+            "generations": int(event.generation),
+            "ul_evaluations": int(result.ul_evaluations_used),
+            "ll_evaluations": int(result.ll_evaluations_used),
+            "wall_time": float(result.wall_time),
+        }
+        lineage = {
+            "parents": [],
+            "run": {
+                "status": engine_extras.get("status"),
+                "resumed": engine_extras.get("resumed"),
+                "champion_size": tree.size,
+            },
+        }
+        self.published.append(self.registry.publish(tree, metadata, lineage))

@@ -1,0 +1,550 @@
+"""Micro-batched asyncio solve server for trained GP heuristics.
+
+The server turns the batched evaluation machinery of PR 1 into an
+online service.  Request flow::
+
+    client line ──► connection handler ──► bounded asyncio.Queue ──► batcher
+                        (parse/resolve)        (backpressure)          │
+                                                                      ▼
+    client line ◄── response writer ◄── futures ◄── EvaluationPipeline batch
+
+* **Micro-batching** — the batcher takes the first queued request, then
+  keeps collecting until ``max_batch_size`` requests are in hand or
+  ``max_wait_us`` has elapsed, whichever first.  The batch is grouped by
+  instance digest and pushed through each instance's
+  :class:`~repro.bcpop.evaluate.EvaluationPipeline`, so concurrent
+  clients asking for the same (prices, heuristic) pair share one solve
+  via the memo and in-batch dedup — the serving-time analogue of the
+  population-evaluation path, with identical (bit-exact) outcomes.
+* **Backpressure** — the queue is bounded (``queue_depth``); when full,
+  the request is rejected *immediately* with an ``overloaded`` error
+  response instead of buffering without limit.  Rejection is explicit
+  and cheap; the client decides whether to back off or shed.
+* **Blocking work off the loop** — pipeline execution runs in a worker
+  thread (``run_in_executor``), so the event loop keeps accepting
+  connections and rejecting overload while a batch solves.  Exactly one
+  batch executes at a time, which keeps the shared memo/pipeline
+  single-writer (no locking) and makes batch boundaries deterministic
+  under ``pause``/``resume``.
+
+Serial vs batched dispatch never changes results: every solve is a pure
+function of (instance, prices, tree), memo hits return the original
+outcome object, and JSON float round-trips are exact — the acceptance
+contract pinned by tests/test_serve_server.py.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bcpop.evaluate import EvaluationPipeline, LowerLevelEvaluator
+from repro.bcpop.instance import BcpopInstance
+from repro.bcpop.io import bcpop_from_dict
+from repro.gp.tree import SyntaxTree
+from repro.parallel.executor import Executor, SerialExecutor
+from repro.serve import protocol
+from repro.serve.metrics import ServerMetrics
+from repro.serve.registry import HeuristicRegistry
+
+__all__ = ["SolveServer", "ServerHandle", "start_in_thread"]
+
+
+class _RequestError(Exception):
+    """A request that cannot be served (carries the protocol error code)."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+@dataclass
+class _PendingSolve:
+    """One accepted solve request waiting for its micro-batch."""
+
+    request: dict
+    digest: str
+    prices: np.ndarray
+    tree: SyntaxTree
+    future: asyncio.Future
+    enqueued_at: float = field(default_factory=time.perf_counter)
+
+
+class SolveServer:
+    """TCP/JSON-lines solve service over registered BCPOP instances.
+
+    Parameters
+    ----------
+    registry:
+        Optional :class:`HeuristicRegistry` for resolving ``{"ref": ...}``
+        / ``{"family": ...}`` heuristics; inline ``{"tree": ...}``
+        requests work without one.
+    instances:
+        Instances to pre-register (requests may also inline instances).
+    executor:
+        Evaluation substrate shared by all per-instance pipelines;
+        ``None`` builds a private :class:`SerialExecutor`.  The server
+        closes the executor on stop in either case — safe even when the
+        caller also closes it, since executor shutdown is idempotent.
+    max_batch_size / max_wait_us:
+        The micro-batching window: a batch closes at ``max_batch_size``
+        requests or after ``max_wait_us`` microseconds, whichever first.
+    queue_depth:
+        Bound of the request queue; enqueue on a full queue returns the
+        ``overloaded`` backpressure response.
+    memo_size:
+        Per-instance outcome-memo capacity (``None`` keeps the evaluator
+        default).
+    metrics_path:
+        When set, a metrics snapshot is appended (JSONL) on shutdown.
+    """
+
+    def __init__(
+        self,
+        registry: HeuristicRegistry | None = None,
+        instances: tuple[BcpopInstance, ...] | list[BcpopInstance] = (),
+        host: str = "127.0.0.1",
+        port: int = 0,
+        executor: Executor | None = None,
+        lp_backend: str = "scipy",
+        memo_size: int | None = None,
+        max_batch_size: int = 32,
+        max_wait_us: int = 2_000,
+        queue_depth: int = 128,
+        metrics_path=None,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_wait_us < 0:
+            raise ValueError(f"max_wait_us must be >= 0, got {max_wait_us}")
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        self.registry = registry
+        self.host = host
+        self.port = port
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.lp_backend = lp_backend
+        self.memo_size = memo_size
+        self.max_batch_size = max_batch_size
+        self.max_wait_us = max_wait_us
+        self.queue_depth = queue_depth
+        self.metrics_path = metrics_path
+        self.metrics = ServerMetrics()
+        self._pipelines: dict[str, EvaluationPipeline] = {}
+        for instance in instances:
+            self.register_instance(instance)
+        self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._queue: asyncio.Queue | None = None
+        self._batcher: asyncio.Task | None = None
+        self._unpaused: asyncio.Event | None = None
+        self._stopping: asyncio.Event | None = None
+        self._stopped = False
+
+    # -- instance / heuristic resolution ------------------------------------
+
+    def register_instance(self, instance: BcpopInstance) -> str:
+        """Make an instance solvable; returns its digest (idempotent)."""
+        digest = instance.digest
+        if digest not in self._pipelines:
+            evaluator = LowerLevelEvaluator(
+                instance,
+                lp_backend=self.lp_backend,
+                **({} if self.memo_size is None else {"memo_size": self.memo_size}),
+            )
+            self._pipelines[digest] = EvaluationPipeline(evaluator, self.executor)
+        return digest
+
+    @property
+    def instance_digests(self) -> tuple[str, ...]:
+        return tuple(self._pipelines)
+
+    def _resolve_instance(self, request: dict) -> str:
+        spec = request.get("instance")
+        if spec is None:
+            if len(self._pipelines) == 1:
+                return next(iter(self._pipelines))
+            raise _RequestError(
+                "bad-request",
+                f"no instance given and {len(self._pipelines)} registered",
+            )
+        if isinstance(spec, str):
+            if spec not in self._pipelines:
+                raise _RequestError("unknown-instance", f"no instance with digest {spec!r}")
+            return spec
+        if isinstance(spec, dict):
+            try:
+                return self.register_instance(bcpop_from_dict(spec))
+            except (ValueError, KeyError, TypeError) as exc:
+                raise _RequestError("bad-request", f"bad inline instance: {exc}") from exc
+        raise _RequestError("bad-request", "instance must be a digest or a document")
+
+    def _resolve_heuristic(self, request: dict) -> SyntaxTree:
+        spec = request.get("heuristic")
+        if isinstance(spec, str):
+            spec = {"ref": spec}
+        if not isinstance(spec, dict):
+            raise _RequestError("bad-request", "heuristic must be a ref or an object")
+        if "tree" in spec:
+            try:
+                return SyntaxTree.deserialize(spec["tree"])
+            except (ValueError, KeyError) as exc:
+                raise _RequestError("bad-request", f"bad inline tree: {exc}") from exc
+        if self.registry is None:
+            raise _RequestError("unknown-heuristic", "server has no registry attached")
+        try:
+            if "ref" in spec:
+                return self.registry.get(spec["ref"]).tree
+            if "family" in spec:
+                artifact = self.registry.best_for(spec["family"])
+                if artifact is None:
+                    raise _RequestError(
+                        "unknown-heuristic", f"no artifact for family {spec['family']!r}"
+                    )
+                return artifact.tree
+        except KeyError as exc:
+            raise _RequestError("unknown-heuristic", str(exc)) from exc
+        raise _RequestError("bad-request", "heuristic needs one of ref/family/tree")
+
+    def _parse_solve(self, request: dict) -> _PendingSolve:
+        digest = self._resolve_instance(request)
+        tree = self._resolve_heuristic(request)
+        instance = self._pipelines[digest].evaluator.instance
+        try:
+            prices = instance.validate_prices(
+                np.asarray(request.get("prices"), dtype=np.float64)
+            )
+        except (ValueError, TypeError) as exc:
+            raise _RequestError("bad-request", f"bad prices: {exc}") from exc
+        assert self._loop is not None
+        return _PendingSolve(
+            request=request,
+            digest=digest,
+            prices=prices,
+            tree=tree,
+            future=self._loop.create_future(),
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listening socket and start the batcher."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue(maxsize=self.queue_depth)
+        self._unpaused = asyncio.Event()
+        self._unpaused.set()
+        self._stopping = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port, limit=protocol.MAX_LINE_BYTES
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._batcher = self._loop.create_task(self._batch_loop())
+
+    async def stop(self) -> None:
+        """Drain the queue, stop accepting, dump metrics, close executor."""
+        if self._stopped or self._server is None:
+            return
+        self._stopped = True
+        self._stopping.set()
+        self._server.close()
+        await self._server.wait_closed()
+        self._unpaused.set()  # a paused batcher must still drain
+        await self._queue.join()
+        self._batcher.cancel()
+        try:
+            await self._batcher
+        except asyncio.CancelledError:
+            pass
+        if self.metrics_path is not None:
+            self.metrics.dump_jsonl(self.metrics_path, **self._stats_extra())
+        self.executor.close()
+
+    async def serve_until_stopped(self) -> None:
+        """``start`` + run until a ``shutdown`` op (or :meth:`request_stop`)."""
+        if self._server is None:
+            await self.start()
+        try:
+            await self._stopping.wait()
+        finally:
+            await self.stop()
+
+    def request_stop(self) -> None:
+        if self._stopping is not None:
+            self._stopping.set()
+
+    # -- connection handling --------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, asyncio.LimitOverrunError, ValueError):
+                    break  # ValueError: line over the stream limit
+                if not line:
+                    break
+                if len(line) > protocol.MAX_LINE_BYTES:
+                    await self._write(
+                        writer, write_lock,
+                        protocol.error_response({}, "bad-request", "message too large"),
+                    )
+                    continue
+                # One task per request: solves await their batch without
+                # blocking subsequent lines, which is what lets a single
+                # pipelining client fill a micro-batch.
+                task = asyncio.ensure_future(self._process(line, writer, write_lock))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _write(self, writer, lock: asyncio.Lock, response: dict) -> None:
+        async with lock:
+            writer.write(protocol.encode(response))
+            try:
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _process(self, line: bytes, writer, lock: asyncio.Lock) -> None:
+        try:
+            request = protocol.decode(line)
+        except ValueError as exc:
+            self.metrics.errors += 1
+            await self._write(
+                writer, lock, protocol.error_response({}, "bad-request", str(exc))
+            )
+            return
+        op = request.get("op")
+        if op == "solve":
+            await self._process_solve(request, writer, lock)
+        elif op == "stats":
+            await self._write(
+                writer, lock,
+                protocol.ok_response(request, stats=self.metrics.snapshot(**self._stats_extra())),
+            )
+        elif op == "ping":
+            await self._write(writer, lock, protocol.ok_response(request, pong=True))
+        elif op == "pause":
+            self._unpaused.clear()
+            await self._write(writer, lock, protocol.ok_response(request, paused=True))
+        elif op == "resume":
+            self._unpaused.set()
+            await self._write(writer, lock, protocol.ok_response(request, paused=False))
+        elif op == "shutdown":
+            await self._write(writer, lock, protocol.ok_response(request, stopping=True))
+            self.request_stop()
+        else:
+            self.metrics.errors += 1
+            await self._write(
+                writer, lock,
+                protocol.error_response(request, "unknown-op", f"unknown op {op!r}"),
+            )
+
+    async def _process_solve(self, request: dict, writer, lock: asyncio.Lock) -> None:
+        self.metrics.requests += 1
+        try:
+            pending = self._parse_solve(request)
+        except _RequestError as exc:
+            self.metrics.errors += 1
+            await self._write(
+                writer, lock, protocol.error_response(request, exc.code, str(exc))
+            )
+            return
+        try:
+            self._queue.put_nowait(pending)
+        except asyncio.QueueFull:
+            self.metrics.overloads += 1
+            await self._write(
+                writer, lock,
+                protocol.error_response(
+                    request, "overloaded",
+                    f"request queue full (depth {self.queue_depth}); retry later",
+                ),
+            )
+            return
+        try:
+            outcome = await pending.future
+        except _RequestError as exc:
+            self.metrics.errors += 1
+            await self._write(
+                writer, lock, protocol.error_response(request, exc.code, str(exc))
+            )
+            return
+        self.metrics.observe_latency(time.perf_counter() - pending.enqueued_at)
+        await self._write(
+            writer, lock,
+            protocol.solve_response(
+                request, outcome, bool(request.get("include_selection", False))
+            ),
+        )
+
+    # -- micro-batching --------------------------------------------------------
+
+    async def _get_within(self, timeout: float) -> _PendingSolve | None:
+        """``queue.get`` with a deadline that can never lose an item: if
+        the getter wins the race against its own cancellation, the item
+        is still returned (``asyncio.wait_for`` on 3.10/3.11 can drop
+        it, which here would strand a client future forever)."""
+        getter = asyncio.ensure_future(self._queue.get())
+        done, _ = await asyncio.wait({getter}, timeout=timeout)
+        if getter in done:
+            return getter.result()
+        getter.cancel()
+        try:
+            return await getter
+        except asyncio.CancelledError:
+            return None
+
+    async def _batch_loop(self) -> None:
+        while True:
+            await self._unpaused.wait()
+            first = await self._queue.get()
+            batch = [first]
+            deadline = self._loop.time() + self.max_wait_us / 1e6
+            while len(batch) < self.max_batch_size:
+                remaining = deadline - self._loop.time()
+                if remaining <= 0:
+                    break
+                item = await self._get_within(remaining)
+                if item is None:
+                    break
+                batch.append(item)
+            await self._execute_batch(batch)
+
+    async def _execute_batch(self, batch: list[_PendingSolve]) -> None:
+        self.metrics.observe_batch(len(batch))
+        by_instance: dict[str, list[_PendingSolve]] = {}
+        for pending in batch:
+            by_instance.setdefault(pending.digest, []).append(pending)
+        for digest, group in by_instance.items():
+            pipeline = self._pipelines[digest]
+            requests = [(p.prices, p.tree) for p in group]
+            try:
+                outcomes = await self._loop.run_in_executor(
+                    None, pipeline.evaluate_heuristics, requests
+                )
+            except Exception as exc:  # solver failure: answer, don't die
+                error = _RequestError("internal", f"evaluation failed: {exc}")
+                for pending in group:
+                    if not pending.future.done():
+                        pending.future.set_exception(error)
+                continue
+            for pending, outcome in zip(group, outcomes):
+                if not pending.future.done():
+                    pending.future.set_result(outcome)
+        for _ in batch:
+            self._queue.task_done()
+
+    # -- stats ----------------------------------------------------------------
+
+    def _stats_extra(self) -> dict:
+        memo_hits = memo_misses = 0
+        lp_hits = lp_misses = 0
+        pipeline_requests = deduplicated = 0
+        for pipeline in self._pipelines.values():
+            memo = pipeline.evaluator.memo_stats
+            if memo.get("enabled"):
+                memo_hits += memo["hits"]
+                memo_misses += memo["misses"]
+            cache = pipeline.evaluator.cache_stats
+            lp_hits += cache["hits"]
+            lp_misses += cache["misses"]
+            pipeline_requests += pipeline.n_requests
+            deduplicated += pipeline.n_deduplicated
+        memo_total = memo_hits + memo_misses
+        lp_total = lp_hits + lp_misses
+        return {
+            "instances": len(self._pipelines),
+            "queue_depth": self.queue_depth,
+            "queued": self._queue.qsize() if self._queue is not None else 0,
+            "paused": bool(self._unpaused is not None and not self._unpaused.is_set()),
+            "max_batch_size_config": self.max_batch_size,
+            "max_wait_us": self.max_wait_us,
+            "memo_hit_rate": memo_hits / memo_total if memo_total else 0.0,
+            "lp_cache_hit_rate": lp_hits / lp_total if lp_total else 0.0,
+            "pipeline_requests": pipeline_requests,
+            "pipeline_deduplicated": deduplicated,
+            "executor": repr(self.executor),
+        }
+
+
+# -- thread embedding ---------------------------------------------------------
+
+
+class ServerHandle:
+    """A :class:`SolveServer` running on its own thread + event loop.
+
+    The handle is how synchronous code (tests, benches, a training
+    process that also serves) hosts a server: ``stop()`` is thread-safe
+    and joins the server thread after a clean drain.
+    """
+
+    def __init__(self, server: SolveServer, thread: threading.Thread) -> None:
+        self.server = server
+        self.thread = thread
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.server.host, self.server.port)
+
+    def stop(self, timeout: float = 30.0) -> None:
+        loop = self.server._loop
+        if loop is not None and self.thread.is_alive():
+            loop.call_soon_threadsafe(self.server.request_stop)
+        self.thread.join(timeout)
+        if self.thread.is_alive():
+            raise RuntimeError("server thread did not stop in time")
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+
+def start_in_thread(server: SolveServer, timeout: float = 30.0) -> ServerHandle:
+    """Start ``server`` on a dedicated daemon thread; returns once the
+    socket is bound (``server.port`` is then the real port)."""
+    started = threading.Event()
+    startup_error: list[BaseException] = []
+
+    async def _main() -> None:
+        try:
+            await server.start()
+        except BaseException as exc:
+            startup_error.append(exc)
+            started.set()
+            raise
+        started.set()
+        await server.serve_until_stopped()
+
+    def _runner() -> None:
+        try:
+            asyncio.run(_main())
+        except BaseException:
+            if not startup_error:
+                raise
+
+    thread = threading.Thread(target=_runner, name="repro-solve-server", daemon=True)
+    thread.start()
+    if not started.wait(timeout):
+        raise RuntimeError("server failed to start in time")
+    if startup_error:
+        thread.join(timeout)
+        raise startup_error[0]
+    return ServerHandle(server, thread)

@@ -113,6 +113,32 @@ class TestExecutors:
             ex.map(_square, [1])
         assert ex._pool is None
 
+    def test_double_close_is_noop(self):
+        # A solve server and an engine run may share one executor and
+        # both close it on their way out; the second close must not raise.
+        ex = ProcessExecutor(workers=2)
+        ex.map(_square, [1, 2, 3])
+        ex.close()
+        ex.close()
+        assert ex.closed
+        assert ex._pool is None
+
+    def test_close_before_first_use_is_fine(self):
+        ex = ProcessExecutor(workers=2)
+        ex.close()
+        ex.close()
+        assert ex.closed
+
+    def test_pool_sized_map_after_close_raises(self):
+        # Respawning the pool after close would leak workers past the
+        # owner's shutdown; only the serial small-batch path survives.
+        ex = ProcessExecutor(workers=2)
+        ex.map(_square, [1, 2])
+        ex.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            ex.map(_square, [1, 2, 3])
+        assert ex._pool is None
+
 
 class TestTinyBatchFallback:
     """Batches smaller than the worker count run serially in the calling

@@ -1,0 +1,159 @@
+"""Heuristic registry: artifact round-trips, promotion, auto-publish.
+
+The acceptance contract of the serving layer starts here: a heuristic
+trained by CARBON, published through the registry, and re-loaded must
+re-evaluate to a *bit-identical* %-gap — the canonical serialization is
+exact (ERC constants in ``float.hex``), so the registry is a lossless
+channel, cross-checked against the checkpoint codec of
+:mod:`repro.core.checkpoint`.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bcpop.evaluate import LowerLevelEvaluator
+from repro.bcpop.generator import generate_instance
+from repro.core.carbon import Carbon
+from repro.core.checkpoint import pack, unpack
+from repro.core.config import CarbonConfig
+from repro.core.engine import EngineLoop
+from repro.gp.generate import ramped_half_and_half
+from repro.gp.primitives import paper_primitive_set
+from repro.serve.registry import (
+    HeuristicRegistry,
+    PublishBestHeuristic,
+    instance_family,
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate_instance(24, 3, seed=7)
+
+
+@pytest.fixture()
+def registry(tmp_path):
+    return HeuristicRegistry(tmp_path / "registry")
+
+
+def _some_trees(n, seed=0):
+    rng = np.random.default_rng(seed)
+    pset = paper_primitive_set()
+    return ramped_half_and_half(pset, n, rng, min_depth=2, max_depth=4)
+
+
+class TestPublishGetList:
+    def test_publish_get_roundtrip_is_exact(self, registry):
+        (tree,) = _some_trees(1)
+        artifact = registry.publish(tree, {"family": "n24-m3", "best_gap": 1.5})
+        loaded = registry.get(artifact.artifact_id)
+        assert loaded.tree_serialization == tree.serialize()
+        assert loaded.tree.serialize() == tree.serialize()
+        assert loaded.tree_hash == tree.stable_hash()
+        assert loaded.metadata["best_gap"] == 1.5
+
+    def test_get_by_unique_prefix(self, registry):
+        (tree,) = _some_trees(1)
+        artifact = registry.publish(tree, {"best_gap": 2.0})
+        assert registry.get(artifact.artifact_id[:12]).artifact_id == artifact.artifact_id
+
+    def test_get_rejects_short_and_unknown_refs(self, registry):
+        with pytest.raises(KeyError):
+            registry.get("abc")  # below the minimum prefix length
+        with pytest.raises(KeyError):
+            registry.get("0" * 12)
+
+    def test_republish_is_idempotent(self, registry):
+        (tree,) = _some_trees(1)
+        meta = {"family": "n24-m3", "best_gap": 3.0, "seed": 1}
+        a = registry.publish(tree, dict(meta))
+        b = registry.publish(tree, dict(meta))
+        # created_at differs between the publishes but is excluded from
+        # the content address, so the id (and artifact count) is stable.
+        assert a.artifact_id == b.artifact_id
+        assert len(registry) == 1
+
+    def test_list_filters_and_sorts_by_gap(self, registry):
+        trees = _some_trees(3)
+        registry.publish(trees[0], {"family": "n24-m3", "best_gap": 5.0, "algorithm": "CARBON"})
+        registry.publish(trees[1], {"family": "n24-m3", "best_gap": 1.0, "algorithm": "CARBON"})
+        registry.publish(trees[2], {"family": "n99-m9", "best_gap": 0.5, "algorithm": "CARBON"})
+        family = registry.list(family="n24-m3")
+        assert [a.best_gap for a in family] == [1.0, 5.0]
+        assert len(registry.list(algorithm="CARBON")) == 3
+        assert registry.list(family="n77-m7") == []
+
+
+class TestPromotion:
+    def test_best_for_defaults_to_lowest_gap(self, registry):
+        trees = _some_trees(2)
+        registry.publish(trees[0], {"family": "f", "best_gap": 4.0})
+        best = registry.publish(trees[1], {"family": "f", "best_gap": 2.0})
+        assert registry.best_for("f").artifact_id == best.artifact_id
+        assert registry.best_for("missing") is None
+
+    def test_promote_pins_a_family(self, registry):
+        trees = _some_trees(2)
+        worse = registry.publish(trees[0], {"family": "f", "best_gap": 4.0})
+        registry.publish(trees[1], {"family": "f", "best_gap": 2.0})
+        registry.promote("f", worse.artifact_id[:12])
+        assert registry.promoted("f") == worse.artifact_id
+        assert registry.best_for("f").artifact_id == worse.artifact_id
+
+
+class TestRoundTripEvaluation:
+    def test_republished_tree_reevaluates_bit_identically(self, registry, instance):
+        """publish → get → evaluate equals the original evaluation, bit
+        for bit, and agrees with the checkpoint codec's round trip."""
+        evaluator = LowerLevelEvaluator(instance, memo_size=0)
+        rng = np.random.default_rng(3)
+        low, high = instance.price_bounds
+        prices = rng.uniform(low, high)
+        for tree in _some_trees(5, seed=11):
+            direct = evaluator.evaluate_heuristic_fresh(prices, tree)
+            via_registry = registry.get(
+                registry.publish(tree, {"family": instance_family(instance)}).artifact_id
+            ).tree
+            served = evaluator.evaluate_heuristic_fresh(prices, via_registry)
+            assert served.gap == direct.gap  # exact, not approx
+            assert served.revenue == direct.revenue
+            assert np.array_equal(served.selection, direct.selection)
+            # Cross-check: the checkpoint codec preserves the same form.
+            via_checkpoint = unpack(json.loads(json.dumps(pack(tree))))
+            assert via_checkpoint.serialize() == via_registry.serialize()
+
+
+class TestPublishBestHeuristic:
+    def test_engine_run_autopublishes_champion(self, registry, instance):
+        config = CarbonConfig.quick(60, 60, 6)
+        algo = Carbon(instance, config, rng=np.random.default_rng(0))
+        observer = PublishBestHeuristic(registry)
+        result = EngineLoop(algo, observers=[observer]).run(seed_label=0)
+
+        artifact = observer.last_artifact
+        assert artifact is not None
+        assert len(registry) == 1
+        assert artifact.tree_serialization == result.extras["champion_tree"].serialize()
+        meta = artifact.metadata
+        assert meta["algorithm"] == "CARBON"
+        assert meta["instance_digest"] == instance.digest
+        assert meta["family"] == f"n{instance.n_bundles}-m{instance.n_services}"
+        assert meta["best_gap"] == result.best_gap
+        assert meta["ul_evaluations"] == result.ul_evaluations_used
+        assert artifact.lineage["run"]["status"] == "completed"
+        # The published champion is immediately the family's best.
+        assert registry.best_for(meta["family"]).artifact_id == artifact.artifact_id
+
+    def test_runs_without_champion_are_skipped(self, registry, instance):
+        from repro.core.cobra import Cobra
+        from repro.core.config import CobraConfig
+
+        algo = Cobra(instance, CobraConfig.quick(60, 60, 6), rng=np.random.default_rng(0))
+        observer = PublishBestHeuristic(registry)
+        EngineLoop(algo, observers=[observer]).run(seed_label=0)
+        assert observer.last_artifact is None
+        assert len(registry) == 0

@@ -1,0 +1,243 @@
+"""SolveServer: wire protocol, micro-batching, backpressure, exactness.
+
+The server must be a transparent window onto the in-process evaluator:
+for any (instance, prices, heuristic), the served %-gap equals direct
+evaluation bit for bit, whether the request rode a batch of one or a
+micro-batch — JSON floats round-trip exactly and every solve is pure.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bcpop.evaluate import LowerLevelEvaluator
+from repro.bcpop.generator import generate_instance
+from repro.gp.generate import ramped_half_and_half
+from repro.gp.primitives import paper_primitive_set
+from repro.serve import (
+    HeuristicRegistry,
+    ServeClient,
+    SolveServer,
+    start_in_thread,
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate_instance(20, 3, seed=5)
+
+
+@pytest.fixture(scope="module")
+def trees():
+    rng = np.random.default_rng(2)
+    return ramped_half_and_half(paper_primitive_set(), 6, rng, min_depth=2, max_depth=4)
+
+
+@pytest.fixture()
+def price_vectors(instance):
+    rng = np.random.default_rng(9)
+    low, high = instance.price_bounds
+    return [rng.uniform(low, high) for _ in range(8)]
+
+
+def _server(instance, **kw) -> SolveServer:
+    kw.setdefault("instances", [instance])
+    kw.setdefault("max_wait_us", 50_000)
+    return SolveServer(**kw)
+
+
+class TestSolveExactness:
+    def test_served_gap_is_bit_identical_serial_and_batched(
+        self, instance, trees, price_vectors
+    ):
+        reference = LowerLevelEvaluator(instance, memo_size=0)
+        expected = [
+            reference.evaluate_heuristic_fresh(prices, tree)
+            for prices in price_vectors
+            for tree in trees[:2]
+        ]
+        with start_in_thread(_server(instance)) as handle:
+            with ServeClient(*handle.address) as client:
+                # Serial dispatch: one round trip per request.
+                serial = [
+                    client.solve(prices, tree)
+                    for prices in price_vectors
+                    for tree in trees[:2]
+                ]
+                # Micro-batched dispatch: pause, pipeline, resume.
+                client.pause()
+                requests = [
+                    client.solve_request(prices, tree)
+                    for prices in price_vectors
+                    for tree in trees[:2]
+                ]
+                # Write everything while the batcher is held, then free it.
+                import threading
+
+                results_box = []
+                writer = threading.Thread(
+                    target=lambda: results_box.append(client.solve_many(requests))
+                )
+                writer.start()
+                with ServeClient(*handle.address) as admin:
+                    admin.resume()
+                writer.join(30)
+                assert not writer.is_alive()
+                batched = results_box[0]
+                stats = client.stats()
+        for out, response_a, response_b in zip(expected, serial, batched):
+            for response in (response_a, response_b):
+                assert response["ok"], response
+                assert response["gap"] == out.gap
+                assert response["revenue"] == out.revenue
+                assert response["ll_cost"] == out.ll_cost
+                assert response["lower_bound"] == out.lower_bound
+        assert stats["max_batch_size"] > 1  # micro-batching actually engaged
+
+    def test_include_selection_roundtrip(self, instance, trees, price_vectors):
+        reference = LowerLevelEvaluator(instance, memo_size=0)
+        expected = reference.evaluate_heuristic_fresh(price_vectors[0], trees[0])
+        with start_in_thread(_server(instance)) as handle:
+            with ServeClient(*handle.address) as client:
+                response = client.solve(
+                    price_vectors[0], trees[0], include_selection=True
+                )
+        assert response["ok"]
+        assert np.array_equal(
+            np.asarray(response["selection"], dtype=bool), expected.selection
+        )
+        assert response["n_selected"] == int(expected.selection.sum())
+
+
+class TestBackpressure:
+    def test_overflow_returns_overload_not_crash(self, instance, trees, price_vectors):
+        server = _server(instance, queue_depth=2, max_batch_size=2)
+        with start_in_thread(server) as handle:
+            with ServeClient(*handle.address) as client:
+                client.pause()  # hold the batcher: nothing drains
+                requests = [
+                    client.solve_request(price_vectors[i % len(price_vectors)], trees[0])
+                    for i in range(5)
+                ]
+                import threading
+
+                results_box = []
+                writer = threading.Thread(
+                    target=lambda: results_box.append(client.solve_many(requests))
+                )
+                writer.start()
+                # Admin connection frees the queue once overloads landed.
+                with ServeClient(*handle.address) as admin:
+                    deadline = 30.0
+                    import time
+
+                    t0 = time.monotonic()
+                    while time.monotonic() - t0 < deadline:
+                        if admin.stats()["overloads"] >= 3:
+                            break
+                        time.sleep(0.01)
+                    admin.resume()
+                writer.join(30)
+                assert not writer.is_alive()
+                responses = results_box[0]
+                stats = client.stats()
+        accepted = [r for r in responses if r["ok"]]
+        rejected = [r for r in responses if not r["ok"]]
+        assert len(accepted) == 2  # exactly the queue depth
+        assert len(rejected) == 3
+        assert all(r["error"] == "overloaded" for r in rejected)
+        assert stats["overloads"] == 3
+        assert stats["solved"] == 2
+        # The server survived: a fresh request still works afterwards.
+
+
+class TestResolution:
+    def test_registry_ref_and_family(self, tmp_path, instance, trees, price_vectors):
+        registry = HeuristicRegistry(tmp_path / "reg")
+        family = f"n{instance.n_bundles}-m{instance.n_services}"
+        worse = registry.publish(trees[0], {"family": family, "best_gap": 9.0})
+        best = registry.publish(trees[1], {"family": family, "best_gap": 1.0})
+        reference = LowerLevelEvaluator(instance, memo_size=0)
+        with start_in_thread(_server(instance, registry=registry)) as handle:
+            with ServeClient(*handle.address) as client:
+                by_ref = client.solve(price_vectors[0], worse.artifact_id[:12])
+                by_family = client.solve(price_vectors[0], f"family:{family}")
+                missing = client.solve(price_vectors[0], "0" * 12)
+        assert by_ref["gap"] == reference.evaluate_heuristic_fresh(
+            price_vectors[0], trees[0]
+        ).gap
+        assert by_family["gap"] == reference.evaluate_heuristic_fresh(
+            price_vectors[0], trees[1]
+        ).gap
+        assert best.artifact_id != worse.artifact_id
+        assert not missing["ok"] and missing["error"] == "unknown-heuristic"
+
+    def test_inline_instance_then_digest(self, instance, trees, price_vectors):
+        # Server starts empty; the first request inlines the instance,
+        # the second refers to it by digest alone.
+        with start_in_thread(SolveServer(max_wait_us=1000)) as handle:
+            with ServeClient(*handle.address) as client:
+                inline = client.solve(price_vectors[0], trees[0], instance=instance)
+                by_digest = client.solve(
+                    price_vectors[0], trees[0], instance=instance.digest
+                )
+                unknown = client.solve(
+                    price_vectors[0], trees[0], instance="deadbeef" * 8
+                )
+        assert inline["ok"] and by_digest["ok"]
+        assert inline["gap"] == by_digest["gap"]
+        assert not unknown["ok"] and unknown["error"] == "unknown-instance"
+
+    def test_bad_requests_are_answered_not_fatal(self, instance, trees):
+        with start_in_thread(_server(instance)) as handle:
+            with ServeClient(*handle.address) as client:
+                no_instance_needed = client.solve([1.0] * instance.n_own, trees[0])
+                bad_prices = client.request(
+                    {"op": "solve", "heuristic": {"tree": trees[0].serialize()},
+                     "prices": [1.0]}  # wrong dimension
+                )
+                bad_op = client.request({"op": "warp"})
+                bad_tree = client.request(
+                    {"op": "solve", "prices": [1.0] * instance.n_own,
+                     "heuristic": {"tree": "X:nope"}}
+                )
+                assert client.ping()
+        assert no_instance_needed["ok"]
+        assert not bad_prices["ok"] and bad_prices["error"] == "bad-request"
+        assert not bad_op["ok"] and bad_op["error"] == "unknown-op"
+        assert not bad_tree["ok"] and bad_tree["error"] == "bad-request"
+
+
+class TestStatsAndShutdown:
+    def test_stats_counts_and_memo_rate(self, instance, trees, price_vectors):
+        with start_in_thread(_server(instance)) as handle:
+            with ServeClient(*handle.address) as client:
+                for _ in range(3):  # identical requests: memo hits after #1
+                    client.solve(price_vectors[0], trees[0])
+                stats = client.stats()
+        assert stats["requests"] == 3
+        assert stats["solved"] == 3
+        assert stats["overloads"] == 0
+        assert stats["memo_hit_rate"] > 0.0
+        assert stats["instances"] == 1
+        assert set(stats["latency_ms"]) == {"p50", "p95", "p99"}
+        assert stats["batches"] >= 1
+
+    def test_shutdown_op_dumps_metrics_jsonl(self, tmp_path, instance, trees):
+        metrics_path = tmp_path / "serve-metrics.jsonl"
+        server = _server(instance, metrics_path=metrics_path)
+        handle = start_in_thread(server)
+        with ServeClient(*handle.address) as client:
+            client.solve([1.0] * instance.n_own, trees[0])
+            assert client.shutdown()["stopping"]
+        handle.thread.join(30)
+        assert not handle.thread.is_alive()
+        lines = [json.loads(line) for line in metrics_path.read_text().splitlines()]
+        assert len(lines) == 1
+        assert lines[0]["event"] == "server_stats"
+        assert lines[0]["solved"] == 1
+        assert lines[0]["requests"] == 1
+        assert "batch_size_histogram" in lines[0]

@@ -1,0 +1,199 @@
+"""End-to-end serve smoke: train → publish → serve → solve, then die clean.
+
+This is the CI serve job (``.github/workflows/ci.yml``): a real engine
+run publishes its champion, a server with a *process* executor serves it
+(micro-batching observed, one deliberate overload rejection), and
+shutdown leaves no worker processes behind — the acceptance criteria of
+the serving layer in one scenario.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.bcpop.generator import generate_instance
+from repro.bcpop.io import save_bcpop
+from repro.core.carbon import Carbon
+from repro.core.config import CarbonConfig
+from repro.core.engine import EngineLoop
+from repro.parallel.executor import ProcessExecutor
+from repro.serve import (
+    HeuristicRegistry,
+    PublishBestHeuristic,
+    ServeClient,
+    SolveServer,
+    start_in_thread,
+)
+
+
+def _no_leaked_workers(timeout: float = 10.0) -> bool:
+    """Spawn-pool children can take a beat to reap; poll briefly."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if not multiprocessing.active_children():
+            return True
+        time.sleep(0.05)
+    return False
+
+
+def test_train_publish_serve_solve_end_to_end(tmp_path):
+    instance = generate_instance(20, 3, seed=1)
+    registry = HeuristicRegistry(tmp_path / "registry")
+
+    # -- train + publish ----------------------------------------------------
+    algo = Carbon(instance, CarbonConfig.quick(60, 60, 6), rng=np.random.default_rng(0))
+    publisher = PublishBestHeuristic(registry)
+    result = EngineLoop(algo, observers=[publisher]).run(seed_label=0)
+    artifact = publisher.last_artifact
+    assert artifact is not None
+
+    # -- serve --------------------------------------------------------------
+    executor = ProcessExecutor(workers=2)
+    metrics_path = tmp_path / "metrics.jsonl"
+    server = SolveServer(
+        registry=registry,
+        instances=[instance],
+        executor=executor,
+        max_batch_size=8,
+        max_wait_us=50_000,
+        queue_depth=4,
+        metrics_path=metrics_path,
+    )
+    handle = start_in_thread(server)
+    rng = np.random.default_rng(4)
+    low, high = instance.price_bounds
+    try:
+        with ServeClient(*handle.address) as client:
+            # A handful of straight solves, resolved through the registry.
+            family = artifact.metadata["family"]
+            for _ in range(3):
+                response = client.solve(rng.uniform(low, high), f"family:{family}")
+                assert response["ok"], response
+
+            # Served result == direct in-process evaluation, exactly:
+            # the published champion solved over the wire against the
+            # best archived prices must match bit for bit.
+            from repro.bcpop.evaluate import LowerLevelEvaluator
+
+            best = result.best_solution
+            direct = LowerLevelEvaluator(instance, memo_size=0).evaluate_heuristic_fresh(
+                best.prices, artifact.tree
+            )
+            served = client.solve(best.prices, artifact.artifact_id)
+            assert served["ok"]
+            assert served["gap"] == direct.gap
+            assert served["revenue"] == direct.revenue
+
+            # Micro-batching: hold the batcher, pipeline a burst one past
+            # the queue bound -> batch size > 1 AND one overload rejection.
+            client.pause()
+            requests = [
+                client.solve_request(rng.uniform(low, high), artifact.artifact_id)
+                for _ in range(5)  # queue_depth is 4
+            ]
+            box = []
+            writer = threading.Thread(target=lambda: box.append(client.solve_many(requests)))
+            writer.start()
+            with ServeClient(*handle.address) as admin:
+                deadline = time.monotonic() + 30
+                while time.monotonic() < deadline:
+                    if admin.stats()["overloads"] >= 1:
+                        break
+                    time.sleep(0.01)
+                admin.resume()
+            writer.join(30)
+            assert not writer.is_alive()
+            responses = box[0]
+            overloaded = [r for r in responses if not r["ok"]]
+            assert len(overloaded) == 1
+            assert overloaded[0]["error"] == "overloaded"
+            assert all(r["ok"] for r in responses if r not in overloaded)
+
+            stats = client.stats()
+            assert stats["max_batch_size"] > 1
+            assert stats["overloads"] == 1
+
+            # -- clean shutdown from the wire -------------------------------
+            assert client.shutdown()["stopping"]
+    finally:
+        handle.thread.join(30)
+        if handle.thread.is_alive():  # pragma: no cover - diagnostics only
+            handle.stop()
+
+    assert metrics_path.exists()
+    # Server closed the shared executor; a second close must be a no-op
+    # (the double-close situation of a shared server/pipeline executor).
+    executor.close()
+    assert _no_leaked_workers(), "worker processes leaked past shutdown"
+
+
+def test_cli_serve_and_solve_roundtrip(tmp_path, capsys):
+    """The ``repro-bench serve`` / ``solve`` commands work end to end."""
+    from repro.experiments.runner import main
+
+    instance = generate_instance(16, 2, seed=3)
+    instance_path = tmp_path / "inst.json"
+    save_bcpop(instance, instance_path)
+
+    registry = HeuristicRegistry(tmp_path / "registry")
+    algo = Carbon(instance, CarbonConfig.quick(40, 40, 5), rng=np.random.default_rng(0))
+    publisher = PublishBestHeuristic(registry)
+    EngineLoop(algo, observers=[publisher]).run(seed_label=0)
+    ref = publisher.last_artifact.artifact_id
+
+    with socket.socket() as probe:  # find a free port for the CLI server
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+
+    argv = [
+        "serve", "--port", str(port), "--registry", str(tmp_path / "registry"),
+        "--instances", str(instance_path), "--queue-depth", "8",
+    ]
+    server_thread = threading.Thread(target=main, args=(argv,), daemon=True)
+    server_thread.start()
+
+    client = None
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        try:
+            client = ServeClient("127.0.0.1", port, timeout=5)
+            break
+        except OSError:
+            time.sleep(0.05)
+    assert client is not None, "CLI server did not come up"
+    with client:
+        assert client.ping()
+
+        assert main([
+            "solve", "--port", str(port), "--heuristic", ref[:12],
+            "--instance-file", str(instance_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert '"ok": true' in out
+        assert '"gap"' in out
+
+        client.shutdown()
+    server_thread.join(30)
+    assert not server_thread.is_alive()
+
+
+def test_executor_close_is_idempotent_under_shared_ownership():
+    """A server given an executor closes it on stop; the owner closing it
+    again (or the server stopping twice) must not raise."""
+    executor = ProcessExecutor(workers=1)
+    instance = generate_instance(12, 2, seed=2)
+    server = SolveServer(instances=[instance], executor=executor)
+    with start_in_thread(server) as handle:
+        with ServeClient(*handle.address) as client:
+            assert client.ping()
+    executor.close()  # second close: the server already closed it
+    executor.close()  # and a third, for good measure
+    with pytest.raises(RuntimeError):
+        executor.map(len, [[1], [2]])  # no silent pool resurrection
+    assert _no_leaked_workers()
