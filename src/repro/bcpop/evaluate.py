@@ -539,4 +539,8 @@ class EvaluationPipeline:
             "executor": repr(self.executor) if self.executor else "SerialExecutor()",
             "memo": self.evaluator.memo_stats,
         }
+        if getattr(self.executor, "supervised", False):
+            # Crash/retry/quarantine accounting rides into RunResult.extras
+            # (and the solve server's stats op) alongside the cache stats.
+            out["faults"] = self.executor.fault_stats.as_dict()
         return out

@@ -7,7 +7,8 @@
   algorithm protocol, driver loop (checkpoint/resume, early stop),
 * :mod:`repro.core.events`      — typed event bus and stock observers
   (convergence recording, JSONL logging, stagnation stop),
-* :mod:`repro.core.checkpoint`  — exact-state checkpoint/resume,
+* :mod:`repro.core.checkpoint`  — exact-state checkpoint/resume with
+  content checksums, retention rotation and self-healing load,
 * :mod:`repro.core.carbon`      — the competitive co-evolutionary
   hyper-heuristic algorithm (§IV),
 * :mod:`repro.core.cobra`       — the co-evolutionary baseline
@@ -34,8 +35,11 @@ from repro.core.events import (
     StagnationEarlyStop,
 )
 from repro.core.checkpoint import (
+    CheckpointCorruptError,
     Checkpointer,
+    checkpoint_chain,
     load_checkpoint,
+    load_latest_checkpoint,
     save_checkpoint,
 )
 from repro.core.results import RunResult, BilevelSolution, solution_from_entry
@@ -68,8 +72,11 @@ __all__ = [
     "JsonlRunLogger",
     "StagnationEarlyStop",
     "Checkpointer",
+    "CheckpointCorruptError",
+    "checkpoint_chain",
     "save_checkpoint",
     "load_checkpoint",
+    "load_latest_checkpoint",
     "RunResult",
     "BilevelSolution",
     "solution_from_entry",

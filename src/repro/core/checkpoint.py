@@ -14,11 +14,21 @@ serial/parallel determinism contract of PR 1 to interrupted runs.
 LP-relaxation caches and evaluation memos are deliberately *not*
 checkpointed: they are pure caches of deterministic functions, so their
 absence after resume changes wall-time only, never results.
+
+Self-healing (DESIGN.md §11): every checkpoint embeds a SHA-256
+content checksum, ``save_checkpoint(..., keep=N)`` rotates the last
+``N`` checkpoints logrotate-style (``path`` newest, ``path.1`` older,
+…), and :func:`load_latest_checkpoint` walks that chain skipping
+truncated/corrupt files — so a partially-written or bit-flipped newest
+checkpoint degrades the resume point by one save interval instead of
+killing the run.  Resume from any valid checkpoint in the chain stays
+bit-identical to an uninterrupted run.
 """
 
 from __future__ import annotations
 
 import base64
+import hashlib
 import json
 import os
 import tempfile
@@ -35,6 +45,9 @@ __all__ = [
     "unpack",
     "save_checkpoint",
     "load_checkpoint",
+    "load_latest_checkpoint",
+    "checkpoint_chain",
+    "CheckpointCorruptError",
     "Checkpointer",
 ]
 
@@ -44,6 +57,12 @@ CHECKPOINT_VERSION = 1
 _ND = "__ndarray__"
 _TREE = "__tree__"
 _IND = "__individual__"
+
+
+class CheckpointCorruptError(ValueError):
+    """A checkpoint file that is damaged (truncated JSON or checksum
+    mismatch) rather than merely foreign — the distinction
+    :func:`load_latest_checkpoint` uses to decide what to skip."""
 
 
 def pack(obj: Any) -> Any:
@@ -118,13 +137,39 @@ def unpack(obj: Any) -> Any:
     return obj
 
 
-def save_checkpoint(path, algorithm, generation: int | None = None) -> None:
+def _content_checksum(document: dict) -> str:
+    """SHA-256 over the canonical dump of everything but the checksum.
+
+    Floats survive a JSON round trip exactly (``float.__repr__`` is
+    shortest-exact), so re-dumping a loaded document reproduces the
+    bytes that were hashed at save time — verification needs no second
+    copy of the payload.
+    """
+    content = {key: value for key, value in document.items() if key != "checksum"}
+    canonical = json.dumps(content, sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _rotate(path: str, keep: int) -> None:
+    """Shift the retention chain down one slot (``path`` → ``path.1`` →
+    … → ``path.{keep-1}``; the oldest falls off)."""
+    for i in range(keep - 1, 0, -1):
+        older = path if i == 1 else f"{path}.{i - 1}"
+        if os.path.exists(older):
+            os.replace(older, f"{path}.{i}")
+
+
+def save_checkpoint(path, algorithm, generation: int | None = None, keep: int = 1) -> None:
     """Atomically write ``algorithm.state_dict()`` to ``path``.
 
     The write goes through a temporary file in the same directory plus
     :func:`os.replace`, so an interrupt mid-save never corrupts the
-    previous checkpoint.
+    previous checkpoint.  ``keep > 1`` additionally rotates earlier
+    checkpoints to ``path.1`` … ``path.{keep-1}`` (newest first) so a
+    corrupted newest file still leaves valid resume points behind it.
     """
+    if keep < 1:
+        raise ValueError(f"keep must be >= 1, got {keep}")
     state = algorithm.state_dict()
     document = {
         "format": CHECKPOINT_FORMAT,
@@ -135,12 +180,15 @@ def save_checkpoint(path, algorithm, generation: int | None = None) -> None:
         ),
         "state": pack(state),
     }
+    document["checksum"] = _content_checksum(document)
     path = os.fspath(path)
     directory = os.path.dirname(path) or "."
     fd, tmp_path = tempfile.mkstemp(dir=directory, prefix=".ckpt-", suffix=".tmp")
     try:
         with os.fdopen(fd, "w") as fh:
             json.dump(document, fh)
+        if keep > 1:
+            _rotate(path, keep)
         os.replace(tmp_path, path)
     except BaseException:
         try:
@@ -152,9 +200,27 @@ def save_checkpoint(path, algorithm, generation: int | None = None) -> None:
 
 def load_checkpoint(path) -> dict:
     """Read a checkpoint; returns the document with ``"state"`` unpacked
-    (ready for ``load_state_dict`` / ``EngineLoop(resume_state=...)``)."""
+    (ready for ``load_state_dict`` / ``EngineLoop(resume_state=...)``).
+
+    Damage — unparseable/truncated JSON or a checksum mismatch — raises
+    :class:`CheckpointCorruptError`; a structurally intact file of the
+    wrong format or version raises plain ``ValueError`` (it is a
+    foreign file, not a damaged checkpoint).
+    """
     with open(path) as fh:
-        document = json.load(fh)
+        try:
+            document = json.load(fh)
+        except ValueError as exc:
+            raise CheckpointCorruptError(
+                f"{path} is truncated or not valid JSON: {exc}"
+            ) from exc
+    if not isinstance(document, dict):
+        raise CheckpointCorruptError(f"{path} does not hold a checkpoint object")
+    stored = document.get("checksum")
+    if stored is not None and stored != _content_checksum(document):
+        raise CheckpointCorruptError(
+            f"{path} failed its content checksum (file damaged on disk)"
+        )
     if document.get("format") != CHECKPOINT_FORMAT:
         raise ValueError(f"{path} is not a {CHECKPOINT_FORMAT} file")
     if document.get("version") != CHECKPOINT_VERSION:
@@ -165,24 +231,63 @@ def load_checkpoint(path) -> dict:
     return document
 
 
+def checkpoint_chain(path) -> list[str]:
+    """Existing files of a retention chain, newest first (``path``,
+    ``path.1``, ``path.2``, …)."""
+    path = os.fspath(path)
+    chain = [path] if os.path.exists(path) else []
+    i = 1
+    while os.path.exists(f"{path}.{i}"):
+        chain.append(f"{path}.{i}")
+        i += 1
+    return chain
+
+
+def load_latest_checkpoint(path) -> dict | None:
+    """The newest *valid* checkpoint of a retention chain, or ``None``.
+
+    Corrupt or truncated files are skipped (self-healing resume:
+    a damaged newest checkpoint costs one save interval, not the run);
+    foreign files (wrong format/version) still raise — silently skipping
+    those would mask a misconfiguration.
+    """
+    for candidate in checkpoint_chain(path):
+        try:
+            return load_checkpoint(candidate)
+        except (CheckpointCorruptError, OSError):
+            continue
+    return None
+
+
 class Checkpointer(Observer):
     """Periodic checkpointing observer.
 
     Saves after every ``every``-th generation and once more at run end
     (so resuming a finished run re-extracts immediately instead of
-    recomputing).  Attach per run via
+    recomputing).  ``keep > 1`` retains that many rotated checkpoints
+    (see :func:`save_checkpoint`).  Attach per run via
     :class:`~repro.core.engine.EngineLoop`.
+
+    An *aborted* run end (the engine re-raising a mid-generation
+    exception) is deliberately **not** saved: the algorithm's state is
+    half-written at that point, and the last good periodic checkpoint
+    is exactly what resume should use.
     """
 
-    def __init__(self, path, every: int = 1) -> None:
+    def __init__(self, path, every: int = 1, keep: int = 1) -> None:
         if every < 1:
             raise ValueError(f"every must be >= 1, got {every}")
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
         self.path = path
         self.every = every
+        self.keep = keep
         self.saves = 0
 
     def _save(self, event: EngineEvent) -> None:
-        save_checkpoint(self.path, event.algorithm, generation=event.generation)
+        save_checkpoint(
+            self.path, event.algorithm, generation=event.generation, keep=self.keep
+        )
         self.saves += 1
 
     def on_generation_end(self, event: EngineEvent) -> None:
@@ -190,4 +295,6 @@ class Checkpointer(Observer):
             self._save(event)
 
     def on_run_end(self, event: EngineEvent) -> None:
+        if event.data.get("aborted"):
+            return
         self._save(event)

@@ -50,6 +50,17 @@ class ExecutionConfig:
         so this module stays pure data at import time.
     batches_per_worker:
         Pipeline load-balancing factor (batches per worker per map call).
+    task_timeout:
+        Per-task wall-clock deadline in seconds for ``"processes"``.
+        Setting it enables the supervised executor (hung workers are
+        terminated, respawned, and their task retried).
+    max_retries:
+        Re-dispatch bound per task under supervision before the task is
+        quarantined to serial in-process evaluation.
+    supervised:
+        Force the crash-recovering supervised dispatch path even without
+        a ``task_timeout``.  Like every other field here it changes only
+        wall time and reported stats, never results.
     """
 
     executor: str = "serial"
@@ -57,6 +68,9 @@ class ExecutionConfig:
     chunk_size: int | None = None
     memo_size: int = field(default_factory=lambda: _default_memo_size())
     batches_per_worker: int = 4
+    task_timeout: float | None = None
+    max_retries: int = 2
+    supervised: bool = False
 
     def __post_init__(self) -> None:
         if self.executor not in ("serial", "processes"):
@@ -69,14 +83,25 @@ class ExecutionConfig:
             raise ValueError(f"memo_size must be >= 0, got {self.memo_size}")
         if self.batches_per_worker < 1:
             raise ValueError("batches_per_worker must be >= 1")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError(f"task_timeout must be > 0, got {self.task_timeout}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
 
-    def make_executor(self):
+    def make_executor(self, fault_injector=None):
         """Build the configured executor (import deferred: config stays a
-        pure-data module)."""
+        pure-data module).  ``fault_injector`` is the chaos-test hook —
+        never part of the persisted config."""
         from repro.parallel.executor import make_executor
 
         return make_executor(
-            self.executor, workers=self.workers, chunk_size=self.chunk_size
+            self.executor,
+            workers=self.workers,
+            chunk_size=self.chunk_size,
+            task_timeout=self.task_timeout,
+            max_retries=self.max_retries,
+            fault_injector=fault_injector,
+            supervised=self.supervised,
         )
 
 

@@ -343,36 +343,54 @@ class EngineLoop:
         steps_this_session = 0
         try:
             try:
-                if resumed:
-                    algo.load_state_dict(self.resume_state)
-                else:
-                    algo.initialize()
-                bus.init(self._event(seed_label, start))
-                while not self.stop_requested:
-                    if (
-                        self.max_generations is not None
-                        and steps_this_session >= self.max_generations
-                    ):
-                        status = "paused"
-                        break
-                    if not algo.step():
-                        break
-                    algo.generation += 1
-                    steps_this_session += 1
-                    bus.generation_end(self._event(seed_label, start))
-                if self.stop_requested:
-                    status = "stopped"
-            finally:
-                algo.close()
-            result = algo.extract_result(
-                seed_label=seed_label, wall_time=time.perf_counter() - start
-            )
-            result.extras["engine"] = {
-                "generations": algo.generation,
-                "status": status,
-                "stop_reason": self.stop_reason,
-                "resumed": resumed,
-            }
+                try:
+                    if resumed:
+                        algo.load_state_dict(self.resume_state)
+                    else:
+                        algo.initialize()
+                    bus.init(self._event(seed_label, start))
+                    while not self.stop_requested:
+                        if (
+                            self.max_generations is not None
+                            and steps_this_session >= self.max_generations
+                        ):
+                            status = "paused"
+                            break
+                        if not algo.step():
+                            break
+                        algo.generation += 1
+                        steps_this_session += 1
+                        bus.generation_end(self._event(seed_label, start))
+                    if self.stop_requested:
+                        status = "stopped"
+                finally:
+                    algo.close()
+                result = algo.extract_result(
+                    seed_label=seed_label, wall_time=time.perf_counter() - start
+                )
+                result.extras["engine"] = {
+                    "generations": algo.generation,
+                    "status": status,
+                    "stop_reason": self.stop_reason,
+                    "resumed": resumed,
+                }
+            except BaseException as exc:
+                # A raise mid-generation leaves the algorithm half-stepped;
+                # observers still get a consistent run end (no result,
+                # aborted flag set) so loggers can record the abort and the
+                # checkpointer can *refrain* from saving the broken state —
+                # the last periodic checkpoint stays the resume point.
+                bus.run_end(
+                    self._event(
+                        seed_label,
+                        start,
+                        data={
+                            "aborted": True,
+                            "error": f"{type(exc).__name__}: {exc}",
+                        },
+                    )
+                )
+                raise
             bus.run_end(self._event(seed_label, start, result=result))
             return result
         finally:

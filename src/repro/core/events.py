@@ -207,7 +207,20 @@ class JsonlRunLogger(Observer):
         )
 
     def on_run_end(self, event: EngineEvent) -> None:
-        assert event.result is not None
+        if event.result is None:
+            # Aborted run: no RunResult exists, but the log still closes
+            # with a run_end line carrying the failure and the last
+            # known summary-row snapshot.
+            self._write(
+                {
+                    "event": "run_end",
+                    "generation": event.generation,
+                    "aborted": True,
+                    "error": event.data.get("error"),
+                    **self._row(event),
+                }
+            )
+            return
         self._write(
             {
                 "event": "run_end",

@@ -66,7 +66,9 @@ def _comparison(args: argparse.Namespace):
     if args.classes:
         classes = [tuple(int(v) for v in c.split("x")) for c in args.classes]
     with make_executor(
-        "processes" if args.workers > 1 else "serial", workers=args.workers
+        "processes" if args.workers > 1 else "serial",
+        workers=args.workers,
+        task_timeout=args.task_timeout,
     ) as executor:
         return run_comparison(
             classes=classes,
@@ -78,6 +80,7 @@ def _comparison(args: argparse.Namespace):
             log_jsonl=args.log_jsonl,
             checkpoint_dir=args.checkpoint_dir,
             checkpoint_every=args.checkpoint_every,
+            checkpoint_keep=args.checkpoint_keep,
             resume=args.resume,
         )
 
@@ -223,6 +226,8 @@ def _cmd_serve(args: argparse.Namespace) -> str:
     heuristic (see DESIGN.md §10 for the wire protocol).
     """
     import asyncio
+    import contextlib
+    import signal
 
     from repro.bcpop.io import load_bcpop
     from repro.serve import HeuristicRegistry, SolveServer
@@ -230,7 +235,9 @@ def _cmd_serve(args: argparse.Namespace) -> str:
     registry = HeuristicRegistry(args.registry) if args.registry else None
     instances = [load_bcpop(path) for path in (args.instances or [])]
     executor = make_executor(
-        "processes" if args.workers > 1 else "serial", workers=args.workers
+        "processes" if args.workers > 1 else "serial",
+        workers=args.workers,
+        task_timeout=args.task_timeout,
     )
     server = SolveServer(
         registry=registry,
@@ -242,10 +249,21 @@ def _cmd_serve(args: argparse.Namespace) -> str:
         max_wait_us=args.max_wait_us,
         queue_depth=args.queue_depth,
         metrics_path=args.metrics_jsonl,
+        request_timeout=args.request_timeout,
     )
 
     async def _run() -> None:
         await server.start()
+        # SIGTERM (systemd/k8s stop) drains cleanly: stop accepting,
+        # answer everything queued, dump metrics, close the executor —
+        # same path as the shutdown op, not an abrupt exit.
+        loop = asyncio.get_running_loop()
+        # RuntimeError: add_signal_handler only works on the main thread
+        # (asyncio wraps the ValueError) — embedded runs (tests driving
+        # the CLI from a thread) fall back to KeyboardInterrupt handling.
+        with contextlib.suppress(NotImplementedError, ValueError, RuntimeError):
+            loop.add_signal_handler(signal.SIGTERM, server.request_stop)
+            loop.add_signal_handler(signal.SIGINT, server.request_stop)
         print(
             f"serving on {server.host}:{server.port} "
             f"({len(server.instance_digests)} instances, "
@@ -350,6 +368,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--runs", type=int, default=3, help="independent runs (paper: 30)")
     parser.add_argument("--seed", type=int, default=0, help="instance seed")
     parser.add_argument("--workers", type=int, default=1, help=">1 enables a process pool")
+    parser.add_argument("--task-timeout", dest="task_timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-task deadline for worker processes; enables the "
+                             "supervised executor (crash/hang recovery, bounded "
+                             "retries, poison-task quarantine)")
     parser.add_argument(
         "--classes", nargs="*", metavar="NxM",
         help="restrict to instance classes, e.g. 100x5 250x10",
@@ -371,6 +394,11 @@ def build_parser() -> argparse.ArgumentParser:
     engine.add_argument("--checkpoint-every", dest="checkpoint_every", type=int,
                         default=10, metavar="N",
                         help="checkpoint every N generations (default 10)")
+    engine.add_argument("--checkpoint-keep", dest="checkpoint_keep", type=int,
+                        default=1, metavar="N",
+                        help="retain the last N rotated checkpoints per run; "
+                             "resume skips corrupt files and uses the newest "
+                             "valid one (default 1)")
     engine.add_argument("--resume", action="store_true",
                         help="resume runs from their checkpoints in "
                              "--checkpoint-dir (bit-identical to an "
@@ -393,6 +421,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "rejected with an overload response (serve)")
     serve.add_argument("--metrics-jsonl", dest="metrics_jsonl", metavar="FILE",
                        help="append a metrics snapshot to FILE on shutdown (serve)")
+    serve.add_argument("--request-timeout", dest="request_timeout", type=float,
+                       default=None, metavar="SECONDS",
+                       help="per-request solve deadline; expiry answers with a "
+                            "retryable 'timeout' error instead of stalling the "
+                            "client (serve)")
     serve.add_argument("--heuristic", metavar="REF",
                        help="artifact ref/prefix, or family:<family> (solve)")
     serve.add_argument("--instance-file", dest="instance_file", metavar="FILE",

@@ -83,8 +83,10 @@ class RunTask:
     picklable: ``log_jsonl`` appends one flat record per generation to a
     shared JSONL file (atomic appends, safe across worker processes),
     ``checkpoint_dir`` saves a per-run checkpoint every
-    ``checkpoint_every`` generations, and ``resume`` restarts each run
-    from its checkpoint when one exists.
+    ``checkpoint_every`` generations (retaining the last
+    ``checkpoint_keep`` rotated copies), and ``resume`` restarts each
+    run from the newest *valid* checkpoint when one exists — corrupt or
+    truncated files in the retention chain are skipped.
     """
 
     algorithm: str  # "CARBON" | "COBRA"
@@ -99,6 +101,7 @@ class RunTask:
     log_jsonl: str | None = None
     checkpoint_dir: str | None = None
     checkpoint_every: int = 10
+    checkpoint_keep: int = 1
     resume: bool = False
 
 
@@ -115,9 +118,7 @@ def checkpoint_path(checkpoint_dir: str, task: RunTask) -> str:
 
 def _task_observers(task: RunTask) -> tuple[list, dict | None]:
     """(observers, resume_state) for one task's engine run."""
-    import os
-
-    from repro.core.checkpoint import Checkpointer, load_checkpoint
+    from repro.core.checkpoint import Checkpointer, load_latest_checkpoint
     from repro.core.events import JsonlRunLogger
 
     observers: list = []
@@ -126,9 +127,15 @@ def _task_observers(task: RunTask) -> tuple[list, dict | None]:
         observers.append(JsonlRunLogger(task.log_jsonl))
     if task.checkpoint_dir:
         path = checkpoint_path(task.checkpoint_dir, task)
-        observers.append(Checkpointer(path, every=task.checkpoint_every))
-        if task.resume and os.path.exists(path):
-            resume_state = load_checkpoint(path)["state"]
+        observers.append(
+            Checkpointer(path, every=task.checkpoint_every, keep=task.checkpoint_keep)
+        )
+        if task.resume:
+            # Newest valid checkpoint in the retention chain; a damaged
+            # newest file falls back instead of refusing to resume.
+            document = load_latest_checkpoint(path)
+            if document is not None:
+                resume_state = document["state"]
     return observers, resume_state
 
 
@@ -239,6 +246,7 @@ def run_comparison(
     log_jsonl: str | None = None,
     checkpoint_dir: str | None = None,
     checkpoint_every: int = 10,
+    checkpoint_keep: int = 1,
     resume: bool = False,
 ) -> ComparisonResult:
     """Run the Table III/IV experiment.
@@ -262,10 +270,13 @@ def run_comparison(
         file; appends are atomic).
     checkpoint_dir:
         Save per-run checkpoints here (created if missing) every
-        ``checkpoint_every`` generations.
+        ``checkpoint_every`` generations, keeping the last
+        ``checkpoint_keep`` rotated copies per run.
     resume:
-        Resume each run from its checkpoint when one exists — a resumed
-        experiment's numbers are bit-identical to an uninterrupted one.
+        Resume each run from its newest valid checkpoint when one
+        exists (damaged files in the retention chain are skipped) — a
+        resumed experiment's numbers are bit-identical to an
+        uninterrupted one.
     """
     import os
 
@@ -294,6 +305,7 @@ def run_comparison(
                         log_jsonl=log_jsonl,
                         checkpoint_dir=checkpoint_dir,
                         checkpoint_every=checkpoint_every,
+                        checkpoint_keep=checkpoint_keep,
                         resume=resume,
                     )
                 )

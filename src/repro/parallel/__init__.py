@@ -9,7 +9,12 @@ the two pieces needed to reproduce that style of execution on any machine:
   rank-indexed seeding, without requiring MPI), and
 * :mod:`repro.parallel.executor` — a small executor abstraction with a
   serial backend and a ``multiprocessing`` pool backend for embarrassingly
-  parallel population evaluation and independent-run fan-out.
+  parallel population evaluation and independent-run fan-out (plus a
+  supervised mode: per-task timeouts, crash-recovering respawn, bounded
+  retries, poison-task quarantine), and
+* :mod:`repro.parallel.faults` — deterministic fault injection
+  (:class:`FaultInjector`) so the failure handling above is chaos-tested
+  reproducibly, not sampled from real entropy.
 """
 
 from repro.parallel.rng import RngFactory, spawn_generators, stream_for
@@ -19,6 +24,12 @@ from repro.parallel.executor import (
     ProcessExecutor,
     make_executor,
     parallel_map,
+)
+from repro.parallel.faults import (
+    FaultInjector,
+    FaultSpec,
+    FaultStats,
+    InjectedFault,
 )
 
 _LAZY = {"IslandCarbon", "run_island_carbon"}
@@ -46,4 +57,8 @@ __all__ = [
     "ProcessExecutor",
     "make_executor",
     "parallel_map",
+    "FaultInjector",
+    "FaultSpec",
+    "FaultStats",
+    "InjectedFault",
 ]

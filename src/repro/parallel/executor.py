@@ -21,7 +21,13 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import queue as queue_module
+import time
+from collections import deque
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
+
+from repro.parallel.faults import FaultInjector, FaultStats, apply_fault
 
 __all__ = [
     "Executor",
@@ -58,6 +64,73 @@ class SerialExecutor(Executor):
         return "SerialExecutor()"
 
 
+# -- supervised worker machinery ---------------------------------------------
+#
+# The supervised path replaces ``Pool.map`` with one-task-at-a-time
+# dispatch to directly-owned worker processes, which is what makes
+# crash/hang handling possible at all: ``multiprocessing.Pool`` never
+# completes the AsyncResult of a task whose worker died, and cannot
+# terminate a single hung worker without tearing the whole pool down.
+
+#: Supervisor poll interval — the latency floor for detecting a dead or
+#: hung worker and for picking up results when all workers were quiet on
+#: the previous sweep.
+_SUPERVISED_POLL = 0.05
+
+
+#: Extra slack on top of ``task_timeout`` before a task's *start* is
+#: overdue.  A freshly spawned worker pays interpreter start-up and
+#: imports before it can acknowledge its first task; that cost is not
+#: the task's execution time, so it must not eat into the deadline.
+_STARTUP_GRACE = 30.0
+
+
+def _supervised_worker_main(task_queue, result_queue) -> None:
+    """Worker loop: acknowledge the task (``start``), apply its planned
+    fault (if any), run it, and report ``("ok"|"err", task_id, attempt,
+    payload)``.  Any exception is reported, not fatal — only injected
+    crashes and supervisor terminations end a worker before its ``None``
+    sentinel.  The start-ack is what lets the supervisor run the
+    deadline clock over execution time only, not queue wait or
+    worker spawn cost."""
+    while True:
+        message = task_queue.get()
+        if message is None:
+            return
+        task_id, attempt, fn, item, fault = message
+        result_queue.put(("start", task_id, attempt, None))
+        try:
+            apply_fault(fault)
+            value = fn(item)
+        except BaseException as exc:
+            result_queue.put(("err", task_id, attempt, f"{type(exc).__name__}: {exc}"))
+        else:
+            result_queue.put(("ok", task_id, attempt, value))
+
+
+@dataclass
+class _SupervisedWorker:
+    """One supervised worker process and its private task/result queues.
+
+    The result queue is per-worker on purpose: a process that dies
+    mid-``put`` (a crash is *injected between an enqueue and the exit*,
+    and real SIGKILLs land wherever they please) can leave a
+    ``multiprocessing.Queue``'s feeder lock held forever.  Private
+    queues confine that damage to the dead worker — its queue is
+    discarded at retirement — where one shared result queue would wedge
+    every surviving worker's reports.
+
+    ``current`` is the in-flight ``(task_id, attempt, deadline)`` or
+    ``None`` when idle; matching results against it by *attempt* is what
+    drops stale replies from a worker that finished just as its deadline
+    expired (the task was already re-dispatched)."""
+
+    process: Any
+    task_queue: Any
+    result_queue: Any
+    current: tuple[int, int, float | None] | None = None
+
+
 class ProcessExecutor(Executor):
     """Fan tasks out over a persistent ``multiprocessing`` pool.
 
@@ -73,6 +146,25 @@ class ProcessExecutor(Executor):
     chunk_size:
         Tasks per dispatch; ``None`` picks ``ceil(len(items)/(4*workers))``
         which keeps all workers busy while amortizing IPC.
+    task_timeout:
+        Per-task wall-clock deadline in seconds, measured from the
+        worker's start-acknowledgement (so spawn cost and queue wait do
+        not count against it).  Setting it enables supervision: a task
+        past its deadline has its worker terminated and respawned, and
+        the task is retried.
+    max_retries:
+        Bound on re-dispatches per task under supervision.  A task that
+        still fails after ``max_retries`` retries is *quarantined*:
+        evaluated serially in the calling process (bit-identical — every
+        task is a pure function of its item), so one poison task cannot
+        burn the whole run.
+    fault_injector:
+        Optional :class:`repro.parallel.faults.FaultInjector` applied to
+        worker-dispatched tasks (enables supervision); the deterministic
+        chaos-test hook.
+    supervised:
+        Force the supervised dispatch path even without a timeout or
+        injector (crash detection and respawn still apply).
 
     Notes
     -----
@@ -80,15 +172,41 @@ class ProcessExecutor(Executor):
     process: they cannot occupy the pool anyway, and for test-scale runs
     the dispatch/IPC overhead (or, on first use, the spawn cost) would
     dominate the work.  Results are identical either way — tasks must be
-    pure functions of their item for any executor to be exchangeable.
+    pure functions of their item for any executor to be exchangeable,
+    and for exactly the same reason crash recovery (retry, respawn,
+    quarantine) never changes results, only wall time and
+    :attr:`fault_stats`.
     """
 
-    def __init__(self, workers: int | None = None, chunk_size: int | None = None) -> None:
+    def __init__(
+        self,
+        workers: int | None = None,
+        chunk_size: int | None = None,
+        *,
+        task_timeout: float | None = None,
+        max_retries: int = 2,
+        fault_injector: FaultInjector | None = None,
+        supervised: bool = False,
+    ) -> None:
         self.workers = (os.cpu_count() or 1) if workers is None else workers
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError(f"task_timeout must be > 0, got {task_timeout}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         self.chunk_size = chunk_size
+        self.task_timeout = task_timeout
+        self.max_retries = max_retries
+        self.fault_injector = fault_injector
+        self.supervised = bool(
+            supervised or task_timeout is not None or fault_injector is not None
+        )
+        self.fault_stats = FaultStats()
         self._pool: multiprocessing.pool.Pool | None = None
+        self._sup_ctx = None
+        self._sup_workers: list[_SupervisedWorker] = []
+        self._dispatched_tasks = 0
         self._closed = False
 
     @property
@@ -114,8 +232,171 @@ class ProcessExecutor(Executor):
             # pool — a worker leak for any owner that already shut down
             # (e.g. a solve server whose run also closed its pipeline).
             raise RuntimeError("executor is closed")
+        if self.supervised:
+            return self._supervised_map(fn, items)
         chunk = self.chunk_size or max(1, -(-len(items) // (4 * self.workers)))
         return self._ensure_pool().map(fn, items, chunksize=chunk)
+
+    # -- supervised dispatch --------------------------------------------------
+
+    def _spawn_supervised_worker(self) -> _SupervisedWorker:
+        task_queue = self._sup_ctx.Queue()
+        result_queue = self._sup_ctx.Queue()
+        process = self._sup_ctx.Process(
+            target=_supervised_worker_main,
+            args=(task_queue, result_queue),
+            name="repro-supervised-worker",
+            daemon=True,  # a crashed parent never strands workers
+        )
+        process.start()
+        return _SupervisedWorker(
+            process=process, task_queue=task_queue, result_queue=result_queue
+        )
+
+    def _ensure_supervised(self) -> None:
+        if self._sup_ctx is None:
+            self._sup_ctx = multiprocessing.get_context("spawn")
+        while len(self._sup_workers) < self.workers:
+            self._sup_workers.append(self._spawn_supervised_worker())
+
+    def _retire_worker(self, index: int, terminate: bool) -> None:
+        """Replace worker ``index`` (dead, or hung and to be killed)."""
+        worker = self._sup_workers[index]
+        if terminate and worker.process.is_alive():
+            worker.process.terminate()
+            worker.process.join(5.0)
+            if worker.process.is_alive():  # pragma: no cover - stubborn hang
+                worker.process.kill()
+                worker.process.join(5.0)
+        worker.task_queue.cancel_join_thread()
+        worker.task_queue.close()
+        worker.result_queue.cancel_join_thread()
+        worker.result_queue.close()
+        self.fault_stats.respawns += 1
+        self._sup_workers[index] = self._spawn_supervised_worker()
+
+    def _supervised_map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list[Any]:
+        """One-task-at-a-time dispatch with liveness and deadline
+        supervision.  Results are keyed by task index, so completion
+        order (which faults scramble) never affects the returned list."""
+        self._ensure_supervised()
+        stats = self.fault_stats
+        n = len(items)
+        results: list[Any] = [None] * n
+        attempts = [0] * n
+        # Global dispatch numbering: fault plans address tasks by their
+        # position in the run's deterministic dispatch sequence.
+        base = self._dispatched_tasks
+        self._dispatched_tasks += n
+        pending: deque[int] = deque(range(n))
+        quarantined: list[int] = []
+
+        def fail(task_id: int) -> None:
+            if attempts[task_id] > self.max_retries:
+                quarantined.append(task_id)
+            else:
+                stats.retries += 1
+                pending.append(task_id)
+
+        while pending or any(w.current is not None for w in self._sup_workers):
+            now = time.monotonic()
+            # Liveness / deadline sweep before dispatching: a dead or
+            # hung worker's task re-enters ``pending`` immediately.
+            for index, worker in enumerate(self._sup_workers):
+                if not worker.process.is_alive():
+                    if worker.current is not None:
+                        stats.crashes += 1
+                        fail(worker.current[0])
+                    self._retire_worker(index, terminate=False)
+                elif (
+                    worker.current is not None
+                    and worker.current[2] is not None
+                    and now > worker.current[2]
+                ):
+                    stats.timeouts += 1
+                    task_id = worker.current[0]
+                    self._retire_worker(index, terminate=True)
+                    fail(task_id)
+            for worker in self._sup_workers:
+                if worker.current is None and pending:
+                    task_id = pending.popleft()
+                    attempt = attempts[task_id]
+                    attempts[task_id] += 1
+                    fault = (
+                        self.fault_injector.fault_for(base + task_id, attempt)
+                        if self.fault_injector is not None
+                        else None
+                    )
+                    deadline = (
+                        time.monotonic() + self.task_timeout + _STARTUP_GRACE
+                        if self.task_timeout is not None
+                        else None
+                    )
+                    worker.current = (task_id, attempt, deadline)
+                    worker.task_queue.put((task_id, attempt, fn, items[task_id], fault))
+            progressed = False
+            for worker in self._sup_workers:
+                while True:
+                    try:
+                        kind, task_id, attempt, payload = (
+                            worker.result_queue.get_nowait()
+                        )
+                    except (queue_module.Empty, OSError, ValueError):
+                        break  # nothing queued (or the queue died mid-read)
+                    progressed = True
+                    if worker.current is None or worker.current[:2] != (
+                        task_id, attempt,
+                    ):
+                        continue  # stale reply from an attempt already retired
+                    if kind == "start":
+                        # The worker picked the task up: from here the
+                        # deadline measures execution only (the
+                        # dispatch-time deadline included _STARTUP_GRACE
+                        # for exactly this reason).
+                        if self.task_timeout is not None:
+                            worker.current = (
+                                task_id, attempt,
+                                time.monotonic() + self.task_timeout,
+                            )
+                        continue
+                    worker.current = None
+                    if kind == "ok":
+                        results[task_id] = payload
+                    else:
+                        stats.transient_errors += 1
+                        fail(task_id)
+            if not progressed:
+                time.sleep(_SUPERVISED_POLL)
+
+        # Poison tasks: serial in-process fallback.  The memo/dedup/fold
+        # path guarantees value equality regardless of where a task ran,
+        # so quarantine preserves bit-exact results.
+        for task_id in sorted(quarantined):
+            stats.quarantined += 1
+            results[task_id] = fn(items[task_id])
+        return results
+
+    def _close_supervised(self) -> None:
+        for worker in self._sup_workers:
+            if worker.process.is_alive():
+                try:
+                    worker.task_queue.put(None)
+                except (OSError, ValueError):  # pragma: no cover - queue torn down
+                    pass
+        for worker in self._sup_workers:
+            worker.process.join(5.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(5.0)
+            if worker.process.is_alive():  # pragma: no cover - stubborn hang
+                worker.process.kill()
+                worker.process.join(5.0)
+            worker.task_queue.cancel_join_thread()
+            worker.task_queue.close()
+            worker.result_queue.cancel_join_thread()
+            worker.result_queue.close()
+        self._sup_workers = []
+        self._sup_ctx = None
 
     def close(self) -> None:
         """Shut the pool down and join its workers.  Idempotent: a solve
@@ -127,21 +408,38 @@ class ProcessExecutor(Executor):
             self._pool.close()
             self._pool.join()
             self._pool = None
+        self._close_supervised()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"ProcessExecutor(workers={self.workers})"
+        mode = ", supervised=True" if self.supervised else ""
+        return f"ProcessExecutor(workers={self.workers}{mode})"
 
 
 def make_executor(
     kind: str = "serial",
     workers: int | None = None,
     chunk_size: int | None = None,
+    task_timeout: float | None = None,
+    max_retries: int = 2,
+    fault_injector: FaultInjector | None = None,
+    supervised: bool = False,
 ) -> Executor:
-    """Build an executor from a config string (``"serial"`` / ``"processes"``)."""
+    """Build an executor from a config string (``"serial"`` / ``"processes"``).
+
+    The supervision knobs (``task_timeout``/``max_retries``/``supervised``
+    and the chaos-test ``fault_injector``) only apply to ``"processes"``.
+    """
     if kind == "serial":
         return SerialExecutor()
     if kind == "processes":
-        return ProcessExecutor(workers=workers, chunk_size=chunk_size)
+        return ProcessExecutor(
+            workers=workers,
+            chunk_size=chunk_size,
+            task_timeout=task_timeout,
+            max_retries=max_retries,
+            fault_injector=fault_injector,
+            supervised=supervised,
+        )
     raise ValueError(f"unknown executor kind {kind!r}; expected 'serial' or 'processes'")
 
 

@@ -1,0 +1,193 @@
+"""Deterministic fault injection for chaos-testing the execution layer.
+
+Production means workers die, sockets drop, and responses stall.  This
+module makes those failures *reproducible*: a :class:`FaultInjector`
+holds an explicit plan — which task index fails, how, and for how many
+attempts — so a chaos test can assert the exact number of crashes,
+respawns, and retries a run observed (tests/test_fault_injection.py)
+instead of sampling flakiness from real entropy.
+
+One plan object drives both fault surfaces:
+
+* **worker processes** — the supervised
+  :class:`repro.parallel.executor.ProcessExecutor` ships the matching
+  :class:`FaultSpec` with each dispatched task and the worker applies it
+  *before* running the task (``crash`` = ``os._exit``, ``hang`` = sleep
+  far past any task timeout, ``error`` = raise :class:`InjectedFault`,
+  ``slow`` = sleep briefly then compute normally),
+* **the serve loop** — :class:`repro.serve.server.SolveServer` consults
+  the plan once per accepted solve request (``drop``/``crash`` = abort
+  the connection mid-stream, ``error`` = transient ``unavailable``
+  reply, ``hang`` = never reply, ``slow`` = delayed reply).
+
+Faults are keyed on ``(task index, attempt)``: ``times=2`` means
+attempts 0 and 1 fail and attempt 2 succeeds — the deterministic form of
+"two transient failures, then success".  Task indices are global
+dispatch counters (the executor numbers every supervised task across the
+whole run; the server numbers every solve request in arrival order), so
+a plan written against a deterministic run replays exactly.
+
+Because every solve is a pure function of its descriptor, a retried or
+respawned task recomputes the *same* value the lost task would have
+produced — fault tolerance never costs bit-exactness (DESIGN.md §11).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = [
+    "FAULT_KINDS",
+    "CRASH_EXIT_CODE",
+    "HANG_SECONDS",
+    "InjectedFault",
+    "FaultSpec",
+    "FaultInjector",
+    "FaultStats",
+    "apply_fault",
+]
+
+#: Recognized fault kinds.  ``drop`` only has meaning in the serve loop
+#: (abort the client connection); workers treat it like ``crash``.
+FAULT_KINDS = ("crash", "hang", "error", "slow", "drop")
+
+#: Exit status of an injected worker crash — distinctive on purpose, so a
+#: genuine interpreter abort is never mistaken for an injected one.
+CRASH_EXIT_CODE = 173
+
+#: How long an injected hang sleeps.  Far past any sane task timeout:
+#: the *supervisor's* deadline is what ends the hang, never this sleep.
+HANG_SECONDS = 3600.0
+
+
+class InjectedFault(RuntimeError):
+    """The transient exception raised by an ``error`` fault."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault: what happens, to which task, how many times.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    task:
+        Global task index the fault applies to (executor dispatch counter
+        or serve-request arrival counter).
+    times:
+        Number of *attempts* affected: attempts ``0 .. times-1`` fault,
+        attempt ``times`` runs clean.  The serve loop only ever sees
+        attempt 0 (a retransmitted request arrives with a new index).
+    seconds:
+        Sleep duration for ``slow`` faults (``hang`` always sleeps
+        :data:`HANG_SECONDS`).
+    """
+
+    kind: str
+    task: int
+    times: int = 1
+    seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}")
+        if self.task < 0:
+            raise ValueError(f"task index must be >= 0, got {self.task}")
+        if self.times < 1:
+            raise ValueError(f"times must be >= 1, got {self.times}")
+        if self.seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {self.seconds}")
+
+
+class FaultInjector:
+    """A deterministic fault plan, keyed on ``(task index, attempt)``.
+
+    At most one :class:`FaultSpec` per task index — chaos tests assert
+    exact fault counts, and overlapping specs on one task would make the
+    realized plan order-dependent.
+    """
+
+    def __init__(self, specs: Iterable[FaultSpec] = ()) -> None:
+        self._by_task: dict[int, FaultSpec] = {}
+        for spec in specs:
+            if spec.task in self._by_task:
+                raise ValueError(f"duplicate fault spec for task {spec.task}")
+            self._by_task[spec.task] = spec
+
+    @property
+    def specs(self) -> tuple[FaultSpec, ...]:
+        return tuple(self._by_task[task] for task in sorted(self._by_task))
+
+    def fault_for(self, task: int, attempt: int = 0) -> FaultSpec | None:
+        """The fault to apply to ``attempt`` of ``task`` (``None`` = run
+        clean)."""
+        spec = self._by_task.get(task)
+        if spec is not None and attempt < spec.times:
+            return spec
+        return None
+
+    def __len__(self) -> int:
+        return len(self._by_task)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        plan = ", ".join(f"{s.kind}@{s.task}x{s.times}" for s in self.specs)
+        return f"FaultInjector({plan})"
+
+
+def apply_fault(spec: FaultSpec | None) -> None:
+    """Realize a fault inside a worker process (no-op for ``None``).
+
+    ``crash``/``drop`` never return; ``hang`` sleeps until the
+    supervisor's task timeout terminates the worker; ``error`` raises
+    :class:`InjectedFault`; ``slow`` sleeps ``spec.seconds`` and returns
+    so the task then computes its normal (bit-identical) result.
+    """
+    if spec is None:
+        return
+    if spec.kind in ("crash", "drop"):
+        os._exit(CRASH_EXIT_CODE)
+    elif spec.kind == "hang":
+        time.sleep(HANG_SECONDS)
+    elif spec.kind == "slow":
+        time.sleep(spec.seconds)
+    elif spec.kind == "error":
+        raise InjectedFault(f"injected transient failure (task {spec.task})")
+
+
+@dataclass
+class FaultStats:
+    """What the supervised executor observed and did about it.
+
+    ``crashes``/``timeouts``/``transient_errors`` count detected faults;
+    ``respawns``/``retries``/``quarantined`` count the supervisor's
+    responses.  Surfaced through ``RunResult.extras["pipeline"]["faults"]``
+    and the solve server's ``stats`` op, and pinned exactly against the
+    injection plan by the chaos suite.
+    """
+
+    crashes: int = 0  # workers found dead (process exited mid-task)
+    timeouts: int = 0  # tasks past their deadline (hung worker terminated)
+    transient_errors: int = 0  # tasks that raised in the worker
+    respawns: int = 0  # replacement workers started
+    retries: int = 0  # task re-dispatches after a fault
+    quarantined: int = 0  # poison tasks evaluated serially in-process
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def faults_seen(self) -> int:
+        return self.crashes + self.timeouts + self.transient_errors
+
+    def as_dict(self) -> dict:
+        return {
+            "crashes": self.crashes,
+            "timeouts": self.timeouts,
+            "transient_errors": self.transient_errors,
+            "respawns": self.respawns,
+            "retries": self.retries,
+            "quarantined": self.quarantined,
+            **self.extra,
+        }

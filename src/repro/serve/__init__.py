@@ -12,7 +12,8 @@ inference-shaped system:
   micro-batching and bounded-queue backpressure, executing through the
   batched :class:`repro.bcpop.evaluate.EvaluationPipeline`,
 * :mod:`repro.serve.client`   — blocking JSON-lines client (single and
-  pipelined requests),
+  pipelined requests) plus :class:`RetryingServeClient`, which absorbs
+  restarts and transient faults via reconnect + idempotent retransmit,
 * :mod:`repro.serve.metrics`  — request/batch/latency counters exposed on
   the ``stats`` op and dumped to JSONL on shutdown,
 * :mod:`repro.serve.protocol` — the wire format shared by all of the
@@ -22,7 +23,7 @@ See DESIGN.md §10 for the registry format and the batching/backpressure
 semantics.
 """
 
-from repro.serve.client import ServeClient
+from repro.serve.client import RetryingServeClient, ServeClient, build_solve_request
 from repro.serve.metrics import ServerMetrics
 from repro.serve.registry import (
     HeuristicArtifact,
@@ -39,5 +40,7 @@ __all__ = [
     "ServerHandle",
     "start_in_thread",
     "ServeClient",
+    "RetryingServeClient",
+    "build_solve_request",
     "ServerMetrics",
 ]

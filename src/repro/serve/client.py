@@ -13,12 +13,21 @@ Two request styles:
 The client is deliberately synchronous (plain sockets): it is what
 benches, tests and the CLI drive the server with, and a blocking API
 composes with thread pools for concurrent-load generation.
+
+For unreliable networks and restarting servers there is
+:class:`RetryingServeClient`: same solve API, but connection loss,
+read timeouts, and transient error replies (``overloaded`` /
+``unavailable`` / ``timeout``) are absorbed by reconnecting and
+retransmitting the still-unanswered requests — safe because solves are
+pure/idempotent and correlation ids make retransmission exact.
 """
 
 from __future__ import annotations
 
+import random
 import socket
-from typing import Sequence
+import time
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -27,7 +36,7 @@ from repro.bcpop.io import bcpop_to_dict
 from repro.gp.tree import SyntaxTree
 from repro.serve import protocol
 
-__all__ = ["ServeClient"]
+__all__ = ["ServeClient", "RetryingServeClient", "build_solve_request"]
 
 
 def _heuristic_spec(heuristic) -> dict:
@@ -53,6 +62,30 @@ def _instance_spec(instance):
     raise TypeError(f"cannot use {type(instance).__name__} as an instance spec")
 
 
+def build_solve_request(
+    prices,
+    heuristic,
+    instance=None,
+    include_selection: bool = False,
+    request_id=None,
+) -> dict:
+    """Build a solve message (shared by both clients; ``request_id`` is
+    the correlation id — callers that pipeline must make it unique)."""
+    message: dict[str, Any] = {
+        "op": "solve",
+        "prices": np.asarray(prices, dtype=np.float64).tolist(),
+        "heuristic": _heuristic_spec(heuristic),
+    }
+    if request_id is not None:
+        message["id"] = request_id
+    spec = _instance_spec(instance)
+    if spec is not None:
+        message["instance"] = spec
+    if include_selection:
+        message["include_selection"] = True
+    return message
+
+
 class ServeClient:
     """One TCP connection to a solve server."""
 
@@ -67,10 +100,12 @@ class ServeClient:
         self._next_id += 1
         return self._next_id
 
-    def _send(self, message: dict) -> None:
+    def send(self, message: dict) -> None:
+        """Write one message (no read; pairs with :meth:`recv`)."""
         self._sock.sendall(protocol.encode(message))
 
-    def _recv(self) -> dict:
+    def recv(self) -> dict:
+        """Read one response; ``ConnectionError`` on EOF."""
         line = self._reader.readline()
         if not line:
             raise ConnectionError("server closed the connection")
@@ -80,8 +115,8 @@ class ServeClient:
         """One round trip; assigns a correlation id when missing."""
         message = dict(message)
         message.setdefault("id", self._fresh_id())
-        self._send(message)
-        return self._recv()
+        self.send(message)
+        return self.recv()
 
     # -- ops ----------------------------------------------------------------
 
@@ -93,18 +128,10 @@ class ServeClient:
         include_selection: bool = False,
     ) -> dict:
         """Build (but do not send) a solve request message."""
-        message = {
-            "op": "solve",
-            "id": self._fresh_id(),
-            "prices": np.asarray(prices, dtype=np.float64).tolist(),
-            "heuristic": _heuristic_spec(heuristic),
-        }
-        spec = _instance_spec(instance)
-        if spec is not None:
-            message["instance"] = spec
-        if include_selection:
-            message["include_selection"] = True
-        return message
+        return build_solve_request(
+            prices, heuristic, instance, include_selection,
+            request_id=self._fresh_id(),
+        )
 
     def solve(self, prices, heuristic, instance=None, include_selection=False) -> dict:
         """One solve round trip; returns the response dict."""
@@ -117,15 +144,33 @@ class ServeClient:
 
         ``requests`` are message dicts from :meth:`solve_request`.
         Responses arrive in completion order (micro-batches may reorder
-        across instances); they are matched back by ``id``.
+        across instances); each read is matched back by ``id`` — the
+        loop runs until every *expected* id has answered, so an
+        out-of-order or stray reply can never mis-pair the results, and
+        a connection lost mid-stream raises ``ConnectionError`` naming
+        the outstanding count instead of blocking on a read that will
+        never complete.
         """
-        requests = list(requests)
-        payload = b"".join(protocol.encode(m) for m in requests)
-        self._sock.sendall(payload)
-        by_id = {}
-        for _ in requests:
-            response = self._recv()
-            by_id[response.get("id")] = response
+        requests = [dict(m) for m in requests]
+        for message in requests:
+            message.setdefault("id", self._fresh_id())
+        expected = {m["id"] for m in requests}
+        if len(expected) != len(requests):
+            raise ValueError("pipelined requests must have unique ids")
+        self._sock.sendall(b"".join(protocol.encode(m) for m in requests))
+        by_id: dict = {}
+        while len(by_id) < len(expected):
+            try:
+                response = self.recv()
+            except ConnectionError as exc:
+                outstanding = len(expected) - len(by_id)
+                raise ConnectionError(
+                    f"connection lost with {outstanding} of {len(expected)} "
+                    "pipelined responses outstanding"
+                ) from exc
+            rid = response.get("id")
+            if rid in expected:
+                by_id[rid] = response  # strays/duplicates are ignored
         return [by_id[m["id"]] for m in requests]
 
     def stats(self) -> dict:
@@ -154,6 +199,186 @@ class ServeClient:
             self._sock.close()
 
     def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class RetryingServeClient:
+    """A :class:`ServeClient` that survives restarts and transient faults.
+
+    Retransmission is safe because a solve is a pure function of its
+    request (same prices + heuristic + instance → bit-identical reply,
+    server-side memo included) and every request carries a correlation
+    id owned by *this* object: after a reconnect the still-unanswered
+    ids are re-sent verbatim, replies are matched by id, and duplicate
+    or stale replies are dropped — a restart mid-``solve_many`` yields
+    exactly the responses an uninterrupted client would have seen.
+
+    What is retried: connection refused/reset/EOF, read timeouts, and
+    the transient error codes in :data:`RETRYABLE_CODES` (``overloaded``
+    backpressure, injected/real ``unavailable``, server-side
+    ``timeout``).  Non-retryable error replies (``bad-request`` etc.)
+    are returned to the caller untouched.  Backoff is exponential with
+    deterministic jitter (``seed``) so chaos tests replay exactly.
+    """
+
+    #: Error codes that mean "try the same request again later".
+    RETRYABLE_CODES = frozenset({"overloaded", "unavailable", "timeout"})
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 60.0,
+        *,
+        max_retries: int = 8,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        seed: int = 0,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if backoff_base <= 0 or backoff_cap <= 0:
+            raise ValueError("backoff_base and backoff_cap must be > 0")
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._rng = random.Random(seed)
+        self._client: ServeClient | None = None
+        self._connected_once = False
+        self._next_id = 0
+        self.reconnects = 0  # connections established after the first
+        self.retransmits = 0  # requests re-sent after a failed round
+
+    # -- connection management ----------------------------------------------
+
+    def _fresh_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    def _backoff(self, attempt: int) -> None:
+        """Exponential backoff with deterministic full jitter."""
+        cap = min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
+        time.sleep(self._rng.uniform(0.0, cap))
+
+    def _drop_connection(self) -> None:
+        if self._client is not None:
+            try:
+                self._client.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+            self._client = None
+
+    def _ensure_client(self) -> ServeClient:
+        """Connect if needed; raises ``OSError`` when the server is down
+        (the caller's retry loop owns backoff)."""
+        if self._client is None:
+            self._client = ServeClient(self.host, self.port, timeout=self.timeout)
+            if self._connected_once:
+                self.reconnects += 1
+            self._connected_once = True
+        return self._client
+
+    # -- ops ------------------------------------------------------------------
+
+    def solve_request(
+        self, prices, heuristic, instance=None, include_selection: bool = False
+    ) -> dict:
+        """Build (but do not send) a solve message with an owned id."""
+        return build_solve_request(
+            prices, heuristic, instance, include_selection,
+            request_id=self._fresh_id(),
+        )
+
+    def solve(self, prices, heuristic, instance=None, include_selection=False) -> dict:
+        return self.solve_many(
+            [self.solve_request(prices, heuristic, instance, include_selection)]
+        )[0]
+
+    def solve_many(self, requests: Sequence[dict]) -> list[dict]:
+        """Pipelined solves that survive reconnects mid-stream.
+
+        Requests answered before a connection loss keep their replies;
+        only the still-outstanding ids are retransmitted.  Raises
+        ``ConnectionError`` once a full round of retries is exhausted.
+        """
+        requests = [dict(m) for m in requests]
+        for message in requests:
+            message.setdefault("id", self._fresh_id())
+        if len({m["id"] for m in requests}) != len(requests):
+            raise ValueError("pipelined requests must have unique ids")
+        outstanding: dict[Any, dict] = {m["id"]: m for m in requests}
+        results: dict[Any, dict] = {}
+        attempt = 0
+        while outstanding:
+            if attempt > 0:
+                self.retransmits += len(outstanding)
+            try:
+                client = self._ensure_client()
+                for message in outstanding.values():
+                    client.send(message)
+                awaiting = set(outstanding)
+                while awaiting:
+                    response = client.recv()
+                    rid = response.get("id")
+                    if rid not in awaiting:
+                        continue  # stale reply from a retired transmission
+                    awaiting.discard(rid)
+                    if (
+                        not response.get("ok", False)
+                        and response.get("error") in self.RETRYABLE_CODES
+                    ):
+                        continue  # stays outstanding; next round re-sends
+                    results[rid] = response
+                    del outstanding[rid]
+            except (ConnectionError, OSError):
+                self._drop_connection()
+            if outstanding:
+                attempt += 1
+                if attempt > self.max_retries:
+                    raise ConnectionError(
+                        f"{len(outstanding)} of {len(requests)} requests still "
+                        f"unanswered after {self.max_retries} retries"
+                    )
+                self._backoff(attempt)
+        return [results[m["id"]] for m in requests]
+
+    def request(self, message: dict) -> dict:
+        """One idempotent round trip with reconnect/backoff (every op the
+        server exposes is idempotent, shutdown and pause included)."""
+        message = dict(message)
+        message.setdefault("id", self._fresh_id())
+        attempt = 0
+        while True:
+            try:
+                return self._ensure_client().request(message)
+            except (ConnectionError, OSError):
+                self._drop_connection()
+                attempt += 1
+                if attempt > self.max_retries:
+                    raise
+                self._backoff(attempt)
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})["stats"]
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    def shutdown(self) -> dict:
+        return self.request({"op": "shutdown"})
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        self._drop_connection()
+
+    def __enter__(self) -> "RetryingServeClient":
         return self
 
     def __exit__(self, *exc: object) -> None:

@@ -37,6 +37,8 @@ class ServerMetrics:
         self.solved = 0  # solve responses produced
         self.overloads = 0  # backpressure rejections (queue full)
         self.errors = 0  # bad requests / resolution failures / internal
+        self.timeouts = 0  # solves past the per-request deadline
+        self.faults_injected = 0  # chaos-test faults realized by the server
         self.batches = 0  # micro-batches executed
         self.batch_sizes: Counter = Counter()
         self._latencies: deque = deque(maxlen=latency_window)
@@ -78,6 +80,8 @@ class ServerMetrics:
             "solved": self.solved,
             "overloads": self.overloads,
             "errors": self.errors,
+            "timeouts": self.timeouts,
+            "faults_injected": self.faults_injected,
             "batches": self.batches,
             "mean_batch_size": mean_batch,
             "max_batch_size": self.max_batch_size,

@@ -30,10 +30,20 @@ Ops
     metrics, close the executor).
 
 Error codes: ``bad-request``, ``unknown-op``, ``unknown-instance``,
-``unknown-heuristic``, ``overloaded``, ``internal``.  ``overloaded`` is
-the backpressure signal — the bounded request queue was full at enqueue
-time; the request was *not* accepted and the client should back off and
-retry.
+``unknown-heuristic``, ``overloaded``, ``timeout``, ``unavailable``,
+``internal``.  Three of them are *transient* — the request was not
+served but is safe to retry verbatim, because solves are pure and
+idempotent:
+
+* ``overloaded`` — backpressure; the bounded request queue was full at
+  enqueue time, back off and retry,
+* ``timeout`` — the solve ran past the server's per-request deadline
+  (``request_timeout``); the result was discarded,
+* ``unavailable`` — a transient server-side failure (in chaos tests,
+  an injected one).
+
+:class:`repro.serve.client.RetryingServeClient` retries exactly these
+three codes (plus connection loss) and nothing else.
 """
 
 from __future__ import annotations

@@ -47,6 +47,7 @@ from repro.bcpop.instance import BcpopInstance
 from repro.bcpop.io import bcpop_from_dict
 from repro.gp.tree import SyntaxTree
 from repro.parallel.executor import Executor, SerialExecutor
+from repro.parallel.faults import FaultInjector
 from repro.serve import protocol
 from repro.serve.metrics import ServerMetrics
 from repro.serve.registry import HeuristicRegistry
@@ -101,6 +102,18 @@ class SolveServer:
         default).
     metrics_path:
         When set, a metrics snapshot is appended (JSONL) on shutdown.
+    request_timeout:
+        Per-request deadline in seconds, measured from acceptance to
+        batch completion.  A solve past it gets an explicit ``timeout``
+        error reply instead of waiting forever behind a stuck batch —
+        the retrying client treats that code as safe to retransmit
+        (solve is pure/idempotent).
+    fault_injector:
+        Optional :class:`~repro.parallel.faults.FaultInjector` consulted
+        once per solve request by arrival index (the chaos-test hook):
+        ``drop``/``crash`` abort the connection mid-stream, ``error``
+        replies ``unavailable``, ``hang`` never replies (the client's
+        timeout fires), ``slow`` delays acceptance.
     """
 
     def __init__(
@@ -116,6 +129,8 @@ class SolveServer:
         max_wait_us: int = 2_000,
         queue_depth: int = 128,
         metrics_path=None,
+        request_timeout: float | None = None,
+        fault_injector: FaultInjector | None = None,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -123,6 +138,8 @@ class SolveServer:
             raise ValueError(f"max_wait_us must be >= 0, got {max_wait_us}")
         if queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        if request_timeout is not None and request_timeout <= 0:
+            raise ValueError(f"request_timeout must be > 0, got {request_timeout}")
         self.registry = registry
         self.host = host
         self.port = port
@@ -133,6 +150,8 @@ class SolveServer:
         self.max_wait_us = max_wait_us
         self.queue_depth = queue_depth
         self.metrics_path = metrics_path
+        self.request_timeout = request_timeout
+        self.fault_injector = fault_injector
         self.metrics = ServerMetrics()
         self._pipelines: dict[str, EvaluationPipeline] = {}
         for instance in instances:
@@ -356,7 +375,33 @@ class SolveServer:
             )
 
     async def _process_solve(self, request: dict, writer, lock: asyncio.Lock) -> None:
+        # Arrival index *before* any await: per-connection request tasks
+        # start in line order and run synchronously up to their first
+        # suspension point, so fault plans keyed on this index replay
+        # deterministically for a pipelining client.
+        arrival = self.metrics.requests
         self.metrics.requests += 1
+        if self.fault_injector is not None:
+            fault = self.fault_injector.fault_for(arrival)
+            if fault is not None:
+                self.metrics.faults_injected += 1
+                if fault.kind in ("drop", "crash"):
+                    writer.transport.abort()  # mid-stream connection loss
+                    return
+                if fault.kind == "hang":
+                    return  # accepted, never answered: client deadline's job
+                if fault.kind == "error":
+                    self.metrics.errors += 1
+                    await self._write(
+                        writer, lock,
+                        protocol.error_response(
+                            request, "unavailable",
+                            "injected transient unavailability; retry",
+                        ),
+                    )
+                    return
+                if fault.kind == "slow":
+                    await asyncio.sleep(fault.seconds)
         try:
             pending = self._parse_solve(request)
         except _RequestError as exc:
@@ -378,7 +423,25 @@ class SolveServer:
             )
             return
         try:
-            outcome = await pending.future
+            if self.request_timeout is not None:
+                # wait_for cancels the future on expiry; _execute_batch
+                # skips done (incl. cancelled) futures, so the eventual
+                # batch result is discarded rather than crashing it.
+                outcome = await asyncio.wait_for(pending.future, self.request_timeout)
+            else:
+                outcome = await pending.future
+        except asyncio.TimeoutError:
+            self.metrics.timeouts += 1
+            self.metrics.errors += 1
+            await self._write(
+                writer, lock,
+                protocol.error_response(
+                    request, "timeout",
+                    f"solve exceeded the {self.request_timeout}s deadline; "
+                    "safe to retry (solves are idempotent)",
+                ),
+            )
+            return
         except _RequestError as exc:
             self.metrics.errors += 1
             await self._write(
@@ -424,6 +487,11 @@ class SolveServer:
                 if item is None:
                     break
                 batch.append(item)
+            # A pause that landed after this batch started collecting
+            # (the getter parks in queue.get before the op arrives) must
+            # still hold it: pause means no batch *executes*, which is
+            # what lets tests pin deadline behaviour deterministically.
+            await self._unpaused.wait()
             await self._execute_batch(batch)
 
     async def _execute_batch(self, batch: list[_PendingSolve]) -> None:
@@ -468,7 +536,7 @@ class SolveServer:
             deduplicated += pipeline.n_deduplicated
         memo_total = memo_hits + memo_misses
         lp_total = lp_hits + lp_misses
-        return {
+        extra = {
             "instances": len(self._pipelines),
             "queue_depth": self.queue_depth,
             "queued": self._queue.qsize() if self._queue is not None else 0,
@@ -481,6 +549,11 @@ class SolveServer:
             "pipeline_deduplicated": deduplicated,
             "executor": repr(self.executor),
         }
+        if self.request_timeout is not None:
+            extra["request_timeout"] = self.request_timeout
+        if getattr(self.executor, "supervised", False):
+            extra["faults"] = self.executor.fault_stats.as_dict()
+        return extra
 
 
 # -- thread embedding ---------------------------------------------------------

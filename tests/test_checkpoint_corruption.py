@@ -1,0 +1,229 @@
+"""Self-healing checkpoints: checksums, retention rotation, and resume
+through a damaged chain.
+
+The corruption matrix of DESIGN.md §11: with ``keep=N`` rotation, a
+newest checkpoint that is truncated mid-write, bit-flipped on disk, or
+deleted outright must cost at most one save interval —
+:func:`load_latest_checkpoint` falls back to the newest *valid* file,
+and the resumed run is bit-identical to the uninterrupted baseline.
+Foreign files (wrong format/version) still raise instead of being
+silently skipped.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.bcpop.generator import generate_instance
+from repro.core.carbon import Carbon, run_carbon
+from repro.core.checkpoint import (
+    CheckpointCorruptError,
+    Checkpointer,
+    checkpoint_chain,
+    load_checkpoint,
+    load_latest_checkpoint,
+    save_checkpoint,
+)
+from repro.core.config import CarbonConfig
+from repro.core.engine import EngineLoop
+
+from tests.test_parallel_determinism import assert_bit_identical
+
+SEED = 3
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate_instance(24, 3, seed=5, name="corrupt-24x3")
+
+
+@pytest.fixture(scope="module")
+def config():
+    return CarbonConfig.quick(120, 120, population_size=8)
+
+
+@pytest.fixture(scope="module")
+def baseline(instance, config):
+    return run_carbon(instance, config, seed=SEED)
+
+
+def _make_algo(instance, config, seed=SEED):
+    return Carbon(instance, config, np.random.default_rng(seed))
+
+
+def _interrupt_with_chain(instance, config, path, pause_after=3, keep=3):
+    """Run ``pause_after`` generations with a rotating Checkpointer, so
+    ``path`` is the newest checkpoint and ``path.1``/``path.2`` trail it."""
+    checkpointer = Checkpointer(path, every=1, keep=keep)
+    loop = EngineLoop(
+        _make_algo(instance, config),
+        observers=[checkpointer],
+        max_generations=pause_after,
+    )
+    interrupted = loop.run(seed_label=SEED)
+    assert interrupted.extras["engine"]["status"] == "paused"
+    return checkpointer
+
+
+def _resume_from_latest(instance, config, path):
+    document = load_latest_checkpoint(path)
+    assert document is not None
+    fresh = _make_algo(instance, config, seed=SEED + 999)
+    return EngineLoop(fresh, resume_state=document["state"]).run(seed_label=SEED)
+
+
+def _flip_payload(path):
+    """Damage the file content while keeping it valid JSON: the checksum,
+    not the parser, must catch this."""
+    document = json.loads(path.read_text())
+    document["generation"] = document["generation"] + 1
+    path.write_text(json.dumps(document))
+
+
+class TestRotation:
+    def test_keep_rotates_newest_first(self, instance, config, tmp_path):
+        path = tmp_path / "c.json"
+        cp = _interrupt_with_chain(instance, config, path, pause_after=4, keep=3)
+        # 4 generation saves + the paused run-end save, capped at keep=3.
+        assert cp.saves == 5
+        chain = checkpoint_chain(path)
+        assert chain == [str(path), f"{path}.1", f"{path}.2"]
+        generations = [load_checkpoint(p)["generation"] for p in chain]
+        # Newest first; run-end re-saves generation 4 after the
+        # generation-4 periodic save.
+        assert generations == [4, 4, 3]
+
+    def test_keep_one_keeps_single_file(self, instance, config, tmp_path):
+        path = tmp_path / "c.json"
+        _interrupt_with_chain(instance, config, path, pause_after=2, keep=1)
+        assert checkpoint_chain(path) == [str(path)]
+
+    def test_save_rejects_bad_keep(self, instance, config, tmp_path):
+        algo = _make_algo(instance, config)
+        EngineLoop(algo, max_generations=1).run(seed_label=SEED)
+        with pytest.raises(ValueError, match="keep"):
+            save_checkpoint(tmp_path / "c.json", algo, keep=0)
+        with pytest.raises(ValueError, match="keep"):
+            Checkpointer(tmp_path / "c.json", keep=0)
+
+
+class TestChecksum:
+    def test_bit_flip_detected(self, instance, config, tmp_path):
+        path = tmp_path / "c.json"
+        algo = _make_algo(instance, config)
+        EngineLoop(algo, max_generations=1).run(seed_label=SEED)
+        save_checkpoint(path, algo)
+        _flip_payload(path)
+        with pytest.raises(CheckpointCorruptError, match="checksum"):
+            load_checkpoint(path)
+
+    def test_truncation_detected(self, instance, config, tmp_path):
+        path = tmp_path / "c.json"
+        algo = _make_algo(instance, config)
+        EngineLoop(algo, max_generations=1).run(seed_label=SEED)
+        save_checkpoint(path, algo)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(CheckpointCorruptError, match="truncated"):
+            load_checkpoint(path)
+
+    def test_corrupt_error_is_a_value_error(self):
+        # Callers catching the historical ValueError keep working.
+        assert issubclass(CheckpointCorruptError, ValueError)
+
+    def test_legacy_checkpoint_without_checksum_loads(self, instance, config, tmp_path):
+        path = tmp_path / "c.json"
+        algo = _make_algo(instance, config)
+        EngineLoop(algo, max_generations=1).run(seed_label=SEED)
+        save_checkpoint(path, algo)
+        document = json.loads(path.read_text())
+        del document["checksum"]
+        path.write_text(json.dumps(document))
+        assert load_checkpoint(path)["generation"] == 1
+
+
+class TestLoadLatest:
+    """The corruption matrix: newest damaged → newest valid wins."""
+
+    @pytest.mark.parametrize(
+        "damage",
+        ["truncate", "bit_flip", "delete"],
+        ids=["truncated-newest", "bit-flipped-newest", "deleted-newest"],
+    )
+    def test_damaged_newest_falls_back(self, instance, config, tmp_path, damage):
+        path = tmp_path / "c.json"
+        _interrupt_with_chain(instance, config, path, pause_after=3, keep=3)
+        if damage == "truncate":
+            text = path.read_text()
+            path.write_text(text[: len(text) // 3])
+        elif damage == "bit_flip":
+            _flip_payload(path)
+        else:
+            os.remove(path)
+        document = load_latest_checkpoint(path)
+        assert document is not None
+        # The fallback is path.1 — the run-end save also at generation 3.
+        assert document["generation"] == 3
+
+    def test_two_damaged_skips_two(self, instance, config, tmp_path):
+        path = tmp_path / "c.json"
+        _interrupt_with_chain(instance, config, path, pause_after=3, keep=3)
+        os.remove(path)
+        _flip_payload(tmp_path / "c.json.1")
+        document = load_latest_checkpoint(path)
+        assert document is not None
+        assert document["generation"] == 2
+
+    def test_all_damaged_returns_none(self, instance, config, tmp_path):
+        path = tmp_path / "c.json"
+        _interrupt_with_chain(instance, config, path, pause_after=2, keep=2)
+        for candidate in checkpoint_chain(path):
+            os.remove(candidate)
+        assert load_latest_checkpoint(path) is None
+        assert load_latest_checkpoint(tmp_path / "never-existed.json") is None
+
+    def test_foreign_file_still_raises(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text('{"format": "something-else", "version": 1}')
+        with pytest.raises(ValueError, match="not a repro-checkpoint"):
+            load_latest_checkpoint(path)
+
+
+class TestResumeThroughDamage:
+    """Acceptance: corrupting the newest checkpoint mid-run and resuming
+    from the rotated chain reproduces the uninterrupted run exactly."""
+
+    @pytest.mark.parametrize(
+        "damage",
+        ["truncate", "bit_flip", "delete"],
+        ids=["truncated-newest", "bit-flipped-newest", "deleted-newest"],
+    )
+    def test_resume_bit_identical(self, instance, config, tmp_path, baseline, damage):
+        path = tmp_path / "c.json"
+        _interrupt_with_chain(instance, config, path, pause_after=3, keep=3)
+        if damage == "truncate":
+            text = path.read_text()
+            path.write_text(text[: len(text) // 2])
+        elif damage == "bit_flip":
+            _flip_payload(path)
+        else:
+            os.remove(path)
+        resumed = _resume_from_latest(instance, config, path)
+        assert_bit_identical(resumed, baseline)
+        assert resumed.extras["engine"]["resumed"] is True
+
+    def test_resume_from_older_interval_bit_identical(
+        self, instance, config, tmp_path, baseline
+    ):
+        """Losing *two* saves still only rewinds the resume point — the
+        replayed generations land on the identical result."""
+        path = tmp_path / "c.json"
+        _interrupt_with_chain(instance, config, path, pause_after=3, keep=3)
+        os.remove(path)
+        _flip_payload(tmp_path / "c.json.1")
+        resumed = _resume_from_latest(instance, config, path)
+        assert_bit_identical(resumed, baseline)

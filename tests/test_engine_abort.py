@@ -1,0 +1,167 @@
+"""Mid-generation failure semantics of the engine loop.
+
+An exception escaping ``initialize()``/``step()``/result extraction must
+not vanish into a half-closed run: the engine fires ``on_run_end`` with
+``result=None`` and ``data={"aborted": True, "error": ...}`` (so every
+observer sees exactly one run end), skips the abort-time checkpoint save
+(the algorithm's state is mid-step), unsubscribes per-run observers, and
+re-raises the original exception.  The last good periodic checkpoint
+then resumes bit-identically.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bcpop.generator import generate_instance
+from repro.core.carbon import Carbon, run_carbon
+from repro.core.checkpoint import Checkpointer, load_checkpoint
+from repro.core.config import CarbonConfig
+from repro.core.engine import EngineLoop
+from repro.core.events import JsonlRunLogger, Observer
+
+from tests.test_parallel_determinism import assert_bit_identical
+
+SEED = 3
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate_instance(24, 3, seed=5, name="abort-24x3")
+
+
+@pytest.fixture(scope="module")
+def config():
+    return CarbonConfig.quick(120, 120, population_size=8)
+
+
+class RunEndSpy(Observer):
+    def __init__(self):
+        self.events = []
+
+    def on_run_end(self, event):
+        self.events.append(event)
+
+
+class ExplodingCarbon(Carbon):
+    """Behaves exactly like Carbon until generation ``explode_after``
+    completes, then raises at the top of the next step."""
+
+    def __init__(self, *args, explode_after=2, exc=None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._explode_after = explode_after
+        self._exc = exc if exc is not None else RuntimeError("boom")
+
+    def step(self):
+        if self.generation >= self._explode_after:
+            raise self._exc
+        return super().step()
+
+
+class CrashOnInit(Carbon):
+    def initialize(self):
+        raise RuntimeError("init boom")
+
+
+def _explode(instance, config, observers, explode_after=2, exc=None):
+    algo = ExplodingCarbon(
+        instance,
+        config,
+        np.random.default_rng(SEED),
+        explode_after=explode_after,
+        exc=exc,
+    )
+    loop = EngineLoop(algo, observers=observers)
+    return algo, loop
+
+
+class TestAbortEvent:
+    def test_run_end_fires_once_with_abort_data(self, instance, config):
+        spy = RunEndSpy()
+        algo, loop = _explode(instance, config, [spy])
+        with pytest.raises(RuntimeError, match="boom"):
+            loop.run(seed_label=SEED)
+        assert len(spy.events) == 1
+        event = spy.events[0]
+        assert event.result is None
+        assert event.data["aborted"] is True
+        assert event.data["error"] == "RuntimeError: boom"
+        assert event.generation == 2  # last *completed* generation
+
+    def test_observers_unsubscribed_after_abort(self, instance, config):
+        spy = RunEndSpy()
+        algo, loop = _explode(instance, config, [spy])
+        before = len(algo.events.observers)
+        with pytest.raises(RuntimeError):
+            loop.run(seed_label=SEED)
+        assert len(algo.events.observers) == before
+
+    def test_initialize_failure_also_reported(self, instance, config):
+        spy = RunEndSpy()
+        algo = CrashOnInit(instance, config, np.random.default_rng(SEED))
+        with pytest.raises(RuntimeError, match="init boom"):
+            EngineLoop(algo, observers=[spy]).run(seed_label=SEED)
+        assert len(spy.events) == 1
+        assert spy.events[0].result is None
+        assert spy.events[0].data["aborted"] is True
+        assert spy.events[0].generation == 0
+
+    def test_keyboard_interrupt_reported_and_reraised(self, instance, config):
+        """BaseException too: Ctrl-C mid-generation still closes the run
+        log before propagating."""
+        spy = RunEndSpy()
+        algo, loop = _explode(instance, config, [spy], exc=KeyboardInterrupt())
+        with pytest.raises(KeyboardInterrupt):
+            loop.run(seed_label=SEED)
+        assert len(spy.events) == 1
+        assert spy.events[0].data["aborted"] is True
+        assert spy.events[0].data["error"].startswith("KeyboardInterrupt")
+
+
+class TestAbortArtifacts:
+    def test_checkpointer_skips_abort_save(self, instance, config, tmp_path):
+        path = tmp_path / "c.json"
+        checkpointer = Checkpointer(path, every=1)
+        algo, loop = _explode(instance, config, [checkpointer])
+        with pytest.raises(RuntimeError):
+            loop.run(seed_label=SEED)
+        # Generations 1 and 2 saved; no save for the aborted run end —
+        # the file on disk is the clean generation-2 state.
+        assert checkpointer.saves == 2
+        assert load_checkpoint(path)["generation"] == 2
+
+    def test_jsonl_logger_writes_aborted_run_end(self, instance, config, tmp_path):
+        log = tmp_path / "run.jsonl"
+        algo, loop = _explode(instance, config, [JsonlRunLogger(log)])
+        with pytest.raises(RuntimeError):
+            loop.run(seed_label=SEED)
+        lines = [json.loads(line) for line in log.read_text().splitlines()]
+        assert lines[-1]["event"] == "run_end"
+        assert lines[-1]["aborted"] is True
+        assert lines[-1]["error"] == "RuntimeError: boom"
+        assert lines[-1]["generation"] == 2
+        # One init line + two generation lines preceded it.
+        assert [row["event"] for row in lines] == [
+            "init",
+            "generation",
+            "generation",
+            "run_end",
+        ]
+
+    def test_resume_from_pre_abort_checkpoint_bit_identical(
+        self, instance, config, tmp_path
+    ):
+        """The recovery story end to end: crash mid-generation, resume
+        from the last good checkpoint, reproduce the uninterrupted run."""
+        baseline = run_carbon(instance, config, seed=SEED)
+        path = tmp_path / "c.json"
+        algo, loop = _explode(instance, config, [Checkpointer(path, every=1)])
+        with pytest.raises(RuntimeError):
+            loop.run(seed_label=SEED)
+        state = load_checkpoint(path)["state"]
+        fresh = Carbon(instance, config, np.random.default_rng(SEED + 999))
+        resumed = EngineLoop(fresh, resume_state=state).run(seed_label=SEED)
+        assert_bit_identical(resumed, baseline)

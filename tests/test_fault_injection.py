@@ -1,0 +1,252 @@
+"""Chaos suite: deterministic fault injection against the supervised executor.
+
+The contract under test (DESIGN.md §11): worker crashes, hangs, and
+transient errors cost wall-time and retries, *never* results.  Every
+task is a pure function of its item, so a retried/respawned/quarantined
+task recomputes exactly the value the lost one would have produced —
+fitness arrays stay bit-identical to the serial pipeline, and
+``FaultStats`` reports exactly the injected plan (no sampled flakiness).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+import numpy as np
+import pytest
+
+from repro.bcpop.evaluate import EvaluationPipeline, LowerLevelEvaluator
+from repro.bcpop.generator import generate_instance
+from repro.core.carbon import run_carbon
+from repro.core.config import CarbonConfig, ExecutionConfig
+from repro.gp.generate import ramped_half_and_half
+from repro.gp.primitives import paper_primitive_set
+from repro.parallel import (
+    FaultInjector,
+    FaultSpec,
+    FaultStats,
+    ProcessExecutor,
+)
+
+from tests.test_parallel_determinism import assert_bit_identical
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _assert_no_leaked_workers(before: set) -> None:
+    """No worker processes outlive their executor (leak check)."""
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        leaked = [p for p in multiprocessing.active_children() if p not in before]
+        if not leaked:
+            return
+        time.sleep(0.05)
+    assert not leaked, f"leaked worker processes: {leaked}"
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate_instance(20, 3, seed=5)
+
+
+@pytest.fixture(scope="module")
+def trees():
+    rng = np.random.default_rng(2)
+    return ramped_half_and_half(paper_primitive_set(), 4, rng, min_depth=2, max_depth=4)
+
+
+class TestFaultPlan:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(kind="meteor", task=0)
+        with pytest.raises(ValueError, match="task index"):
+            FaultSpec(kind="crash", task=-1)
+        with pytest.raises(ValueError, match="times"):
+            FaultSpec(kind="crash", task=0, times=0)
+        with pytest.raises(ValueError, match="seconds"):
+            FaultSpec(kind="slow", task=0, seconds=-1.0)
+
+    def test_duplicate_task_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FaultInjector(
+                [FaultSpec(kind="crash", task=3), FaultSpec(kind="hang", task=3)]
+            )
+
+    def test_fault_for_attempt_window(self):
+        """``times=2`` = attempts 0 and 1 fault, attempt 2 runs clean —
+        the deterministic 'two transient failures, then success'."""
+        injector = FaultInjector([FaultSpec(kind="error", task=7, times=2)])
+        assert injector.fault_for(7, attempt=0) is not None
+        assert injector.fault_for(7, attempt=1) is not None
+        assert injector.fault_for(7, attempt=2) is None
+        assert injector.fault_for(6, attempt=0) is None
+        assert len(injector) == 1
+
+    def test_stats_accounting(self):
+        stats = FaultStats(crashes=1, timeouts=2, transient_errors=3)
+        assert stats.faults_seen == 6
+        assert stats.as_dict()["timeouts"] == 2
+
+
+class TestSupervisedExecutor:
+    def test_supervised_clean_run_matches_serial(self):
+        before = set(multiprocessing.active_children())
+        with ProcessExecutor(workers=2, supervised=True) as ex:
+            assert ex.supervised
+            assert ex.map(_square, list(range(12))) == [i * i for i in range(12)]
+            assert ex.fault_stats.faults_seen == 0
+            assert ex.fault_stats.respawns == 0
+        _assert_no_leaked_workers(before)
+
+    def test_crash_hang_and_transient_errors_recovered_exactly(self):
+        """The headline chaos plan: one crash, one hang, two transient
+        failures then success — results intact, counts exact."""
+        before = set(multiprocessing.active_children())
+        injector = FaultInjector(
+            [
+                FaultSpec(kind="crash", task=8),
+                FaultSpec(kind="hang", task=9),
+                FaultSpec(kind="error", task=10, times=2),
+            ]
+        )
+        ex = ProcessExecutor(workers=2, max_retries=3, fault_injector=injector)
+        try:
+            # Warm the spawn-context workers on clean tasks (global
+            # indices 0..7) so the deadline below measures the injected
+            # hang, not interpreter start-up.
+            assert ex.map(_square, list(range(8))) == [i * i for i in range(8)]
+            ex.task_timeout = 2.0
+            out = ex.map(_square, list(range(8, 16)))
+        finally:
+            ex.close()
+        assert out == [i * i for i in range(8, 16)]
+        stats = ex.fault_stats
+        assert stats.crashes == 1
+        assert stats.timeouts == 1
+        assert stats.transient_errors == 2
+        assert stats.respawns == 2  # crashed worker + terminated hung worker
+        assert stats.retries == 4  # crash, hang, and two error attempts
+        assert stats.quarantined == 0
+        assert stats.faults_seen == 4
+        _assert_no_leaked_workers(before)
+
+    def test_poison_task_quarantined_to_serial(self):
+        """A task that crashes every attempt ends up evaluated in-process
+        instead of burning the run."""
+        before = set(multiprocessing.active_children())
+        injector = FaultInjector([FaultSpec(kind="crash", task=1, times=999)])
+        ex = ProcessExecutor(workers=2, max_retries=1, fault_injector=injector)
+        try:
+            out = ex.map(_square, [3, 4, 5])
+        finally:
+            ex.close()
+        assert out == [9, 16, 25]
+        stats = ex.fault_stats
+        assert stats.crashes == 2  # initial attempt + the single retry
+        assert stats.respawns == 2
+        assert stats.retries == 1
+        assert stats.quarantined == 1
+        _assert_no_leaked_workers(before)
+
+    def test_slow_fault_changes_time_not_values(self):
+        injector = FaultInjector([FaultSpec(kind="slow", task=0, seconds=0.2)])
+        with ProcessExecutor(workers=2, fault_injector=injector) as ex:
+            assert ex.map(_square, list(range(4))) == [0, 1, 4, 9]
+            assert ex.fault_stats.faults_seen == 0  # slow is not a failure
+
+    def test_config_builds_supervised_executor(self):
+        cfg = ExecutionConfig(
+            executor="processes", workers=2, task_timeout=5.0, max_retries=1
+        )
+        ex = cfg.make_executor()
+        try:
+            assert isinstance(ex, ProcessExecutor)
+            assert ex.supervised
+            assert ex.task_timeout == 5.0
+            assert ex.max_retries == 1
+        finally:
+            ex.close()
+        with pytest.raises(ValueError, match="task_timeout"):
+            ExecutionConfig(executor="processes", task_timeout=0.0)
+        with pytest.raises(ValueError, match="max_retries"):
+            ExecutionConfig(executor="processes", max_retries=-1)
+
+
+class TestPipelineUnderFaults:
+    def test_pipeline_bit_identical_with_faults(self, instance, trees):
+        """Crash + transient errors during batched evaluation: outcomes
+        equal the serial pipeline bit for bit, stats report the plan."""
+        rng = np.random.default_rng(9)
+        low, high = instance.price_bounds
+        requests = [
+            (rng.uniform(low, high), tree) for tree in trees for _ in range(4)
+        ]
+        serial = EvaluationPipeline(LowerLevelEvaluator(instance, memo_size=0))
+        expected = serial.evaluate_heuristics(requests)
+
+        injector = FaultInjector(
+            [
+                FaultSpec(kind="crash", task=0),
+                FaultSpec(kind="error", task=1, times=2),
+            ]
+        )
+        before = set(multiprocessing.active_children())
+        ex = ProcessExecutor(workers=2, fault_injector=injector)
+        try:
+            pipeline = EvaluationPipeline(
+                LowerLevelEvaluator(instance, memo_size=0), ex
+            )
+            outcomes = pipeline.evaluate_heuristics(requests)
+            stats = pipeline.stats
+        finally:
+            ex.close()
+        for got, want in zip(outcomes, expected):
+            assert got.gap == want.gap
+            assert got.revenue == want.revenue
+            assert got.ll_cost == want.ll_cost
+            assert np.array_equal(got.selection, want.selection)
+        assert stats["faults"]["crashes"] == 1
+        assert stats["faults"]["transient_errors"] == 2
+        assert stats["faults"]["retries"] == 3
+        assert stats["faults"]["quarantined"] == 0
+        _assert_no_leaked_workers(before)
+
+
+class TestCarbonUnderFaults:
+    def test_full_run_bit_identical_and_stats_exact(self, instance):
+        """The acceptance run: CARBON with a crash, a hang, and two
+        transient errors injected completes bit-identical to the serial
+        baseline, reports exactly the plan, and leaks no processes."""
+        cfg = CarbonConfig.quick(120, 120, population_size=10)
+        baseline = run_carbon(instance, cfg, seed=3)
+
+        injector = FaultInjector(
+            [
+                FaultSpec(kind="crash", task=0),
+                FaultSpec(kind="hang", task=3),
+                FaultSpec(kind="error", task=5, times=2),
+            ]
+        )
+        before = set(multiprocessing.active_children())
+        ex = ProcessExecutor(
+            workers=2, task_timeout=3.0, max_retries=2, fault_injector=injector
+        )
+        try:
+            chaotic = run_carbon(instance, cfg, seed=3, executor=ex)
+            stats = ex.fault_stats
+        finally:
+            ex.close()
+        assert_bit_identical(chaotic, baseline)
+        assert stats.crashes == 1
+        assert stats.timeouts == 1
+        assert stats.transient_errors == 2
+        assert stats.respawns == 2
+        assert stats.retries == 4
+        assert stats.quarantined == 0
+        # FaultStats surfaces through RunResult.extras for reporting.
+        assert chaotic.extras["pipeline"]["faults"] == stats.as_dict()
+        assert "faults" not in baseline.extras["pipeline"]
+        _assert_no_leaked_workers(before)

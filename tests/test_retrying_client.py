@@ -1,0 +1,243 @@
+"""Serve-layer fault tolerance: deadlines, fault injection on the wire,
+and the retrying client.
+
+The contract (DESIGN.md §11): a solve is pure and idempotent and every
+request carries a client-owned correlation id, so dropped connections,
+hung requests, transient ``unavailable``/``overloaded``/``timeout``
+replies, and even a full server restart mid-``solve_many`` are absorbed
+by reconnect + retransmit — the caller sees exactly the %-gaps an
+uninterrupted client would have seen, bit for bit.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.bcpop.evaluate import LowerLevelEvaluator
+from repro.bcpop.generator import generate_instance
+from repro.gp.generate import ramped_half_and_half
+from repro.gp.primitives import paper_primitive_set
+from repro.parallel import FaultInjector, FaultSpec
+from repro.serve import (
+    RetryingServeClient,
+    ServeClient,
+    SolveServer,
+    start_in_thread,
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate_instance(20, 3, seed=5)
+
+
+@pytest.fixture(scope="module")
+def trees():
+    rng = np.random.default_rng(2)
+    return ramped_half_and_half(paper_primitive_set(), 4, rng, min_depth=2, max_depth=4)
+
+
+@pytest.fixture(scope="module")
+def price_vectors(instance):
+    rng = np.random.default_rng(9)
+    low, high = instance.price_bounds
+    return [rng.uniform(low, high) for _ in range(6)]
+
+
+@pytest.fixture(scope="module")
+def expected_gaps(instance, trees, price_vectors):
+    reference = LowerLevelEvaluator(instance, memo_size=0)
+    return [
+        reference.evaluate_heuristic_fresh(prices, trees[0]).gap
+        for prices in price_vectors
+    ]
+
+
+def _server(instance, **kw) -> SolveServer:
+    kw.setdefault("instances", [instance])
+    kw.setdefault("max_wait_us", 50_000)
+    return SolveServer(**kw)
+
+
+def _free_dead_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class TestPlainClientFailureModes:
+    def test_solve_many_eof_raises_instead_of_deadlocking(
+        self, instance, trees, price_vectors
+    ):
+        """The satellite bugfix: a connection lost mid-pipeline must be a
+        ConnectionError naming the outstanding count, not a hung read."""
+        injector = FaultInjector([FaultSpec(kind="drop", task=0)])
+        with start_in_thread(_server(instance, fault_injector=injector)) as handle:
+            with ServeClient(*handle.address, timeout=10.0) as client:
+                requests = [
+                    client.solve_request(prices, trees[0])
+                    for prices in price_vectors[:2]
+                ]
+                with pytest.raises(ConnectionError, match="outstanding"):
+                    client.solve_many(requests)
+        assert handle.server.metrics.faults_injected == 1
+
+    def test_request_timeout_returns_timeout_reply(
+        self, instance, trees, price_vectors
+    ):
+        """A request stuck behind a paused batcher gets an explicit
+        ``timeout`` error reply at the deadline, not an eternal wait."""
+        with start_in_thread(_server(instance, request_timeout=0.3)) as handle:
+            with ServeClient(*handle.address, timeout=10.0) as client:
+                client.pause()
+                t0 = time.monotonic()
+                response = client.solve(price_vectors[0], trees[0])
+                elapsed = time.monotonic() - t0
+                client.resume()
+                stats = client.stats()
+        assert not response["ok"]
+        assert response["error"] == "timeout"
+        assert "idempotent" in response["message"]
+        assert elapsed < 10.0  # the deadline fired, not the socket timeout
+        assert stats["timeouts"] == 1
+        assert stats["errors"] >= 1
+        assert stats["request_timeout"] == 0.3
+
+
+class TestRetryingClient:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            RetryingServeClient("127.0.0.1", 1, max_retries=-1)
+        with pytest.raises(ValueError, match="backoff"):
+            RetryingServeClient("127.0.0.1", 1, backoff_base=0.0)
+
+    def test_clean_path_no_retries(self, instance, trees, price_vectors, expected_gaps):
+        with start_in_thread(_server(instance)) as handle:
+            with RetryingServeClient(*handle.address, timeout=10.0) as client:
+                requests = [
+                    client.solve_request(prices, trees[0]) for prices in price_vectors
+                ]
+                responses = client.solve_many(requests)
+                assert client.ping()
+        assert [r["gap"] for r in responses] == expected_gaps
+        assert client.reconnects == 0
+        assert client.retransmits == 0
+
+    def test_transient_unavailable_is_retried(
+        self, instance, trees, price_vectors, expected_gaps
+    ):
+        injector = FaultInjector([FaultSpec(kind="error", task=1)])
+        with start_in_thread(_server(instance, fault_injector=injector)) as handle:
+            with RetryingServeClient(
+                *handle.address, timeout=10.0, backoff_base=0.01
+            ) as client:
+                requests = [
+                    client.solve_request(prices, trees[0]) for prices in price_vectors
+                ]
+                responses = client.solve_many(requests)
+        assert all(r["ok"] for r in responses)
+        assert [r["gap"] for r in responses] == expected_gaps
+        assert handle.server.metrics.faults_injected == 1
+        assert client.reconnects == 0  # an error reply is not a dead socket
+        assert client.retransmits == 1
+
+    def test_connection_drop_mid_stream_retransmits(
+        self, instance, trees, price_vectors, expected_gaps
+    ):
+        injector = FaultInjector([FaultSpec(kind="drop", task=2)])
+        with start_in_thread(_server(instance, fault_injector=injector)) as handle:
+            with RetryingServeClient(
+                *handle.address, timeout=10.0, backoff_base=0.01
+            ) as client:
+                requests = [
+                    client.solve_request(prices, trees[0]) for prices in price_vectors
+                ]
+                responses = client.solve_many(requests)
+        assert [r["gap"] for r in responses] == expected_gaps
+        assert handle.server.metrics.faults_injected == 1
+        assert client.reconnects == 1
+        assert client.retransmits >= 1
+
+    def test_hung_request_recovered_via_socket_timeout(
+        self, instance, trees, price_vectors, expected_gaps
+    ):
+        """A request the server accepts but never answers is bounded by
+        the client's socket timeout, then retransmitted."""
+        injector = FaultInjector([FaultSpec(kind="hang", task=0)])
+        with start_in_thread(_server(instance, fault_injector=injector)) as handle:
+            with RetryingServeClient(
+                *handle.address, timeout=1.0, backoff_base=0.01
+            ) as client:
+                response = client.solve(price_vectors[0], trees[0])
+        assert response["ok"]
+        assert response["gap"] == expected_gaps[0]
+        assert handle.server.metrics.faults_injected == 1
+        assert client.reconnects == 1
+        assert client.retransmits == 1
+
+    def test_gives_up_after_max_retries(self):
+        port = _free_dead_port()
+        client = RetryingServeClient(
+            "127.0.0.1", port, timeout=0.5,
+            max_retries=2, backoff_base=0.001, backoff_cap=0.002,
+        )
+        with pytest.raises(ConnectionError, match="unanswered after 2 retries"):
+            client.solve_many([{"op": "solve", "prices": [1.0], "heuristic": {}}])
+
+    def test_survives_server_restart_mid_solve_many(
+        self, instance, trees, price_vectors, expected_gaps
+    ):
+        """The acceptance scenario: the server dies while one response is
+        still outstanding and a replacement comes up on the same port —
+        solve_many returns the uninterrupted %-gaps transparently."""
+        injector = FaultInjector([FaultSpec(kind="hang", task=2, times=999)])
+        server1 = _server(instance, fault_injector=injector)
+        handle1 = start_in_thread(server1)
+        port = server1.port
+
+        replacement: list = []
+        watcher_errors: list = []
+
+        def restart_server():
+            try:
+                deadline = time.monotonic() + 30.0
+                # All six requests arrive (the hung one included) before
+                # the plug is pulled, so exactly one id is outstanding.
+                while server1.metrics.requests < 6:
+                    if time.monotonic() > deadline:
+                        raise TimeoutError("server1 never saw all requests")
+                    time.sleep(0.01)
+                handle1.stop()
+                server2 = _server(instance, port=port)
+                replacement.append(start_in_thread(server2))
+            except BaseException as exc:  # surfaced by the main thread
+                watcher_errors.append(exc)
+
+        watcher = threading.Thread(target=restart_server)
+        watcher.start()
+        try:
+            with RetryingServeClient(
+                "127.0.0.1", port, timeout=30.0, backoff_base=0.05
+            ) as client:
+                requests = [
+                    client.solve_request(prices, trees[0]) for prices in price_vectors
+                ]
+                responses = client.solve_many(requests)
+        finally:
+            watcher.join(60)
+            for handle in replacement:
+                handle.stop()
+        assert not watcher_errors, watcher_errors
+        assert not watcher.is_alive()
+        assert all(r["ok"] for r in responses)
+        assert [r["gap"] for r in responses] == expected_gaps
+        assert client.reconnects >= 1
+        assert client.retransmits >= 1
+        assert server1.metrics.faults_injected == 1
+        # The replacement actually served the retransmitted remainder.
+        assert replacement[0].server.metrics.solved >= 1
