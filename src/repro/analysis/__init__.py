@@ -1,0 +1,40 @@
+"""Static analysis for the repo's determinism & parallel-safety invariants.
+
+Every guarantee the test suite enforces end to end — bit-identical
+%-gaps serial vs. batched, bit-identical checkpoint resume, bit-identical
+recovery under injected faults — rests on *source-level* invariants:
+
+* all randomness flows through seeded, addressable streams
+  (:mod:`repro.parallel.rng`), never module-global RNG state;
+* no wall-clock reads on deterministic paths (telemetry only);
+* no iteration-order dependence on unordered containers in population
+  logic;
+* canonical (``sort_keys``) JSON for every persisted artifact;
+* spawn-context process management through :mod:`repro.parallel`;
+* worker loops that cannot swallow ``KeyboardInterrupt``.
+
+``repro-lint`` (:mod:`repro.analysis.cli`) checks those invariants on
+every file, before a nondeterminism bug can reach a 10^6-evaluation
+run.  The rule catalogue lives in :mod:`repro.analysis.rules` (codes
+``R001``–``R010``; DESIGN.md §12 maps each rule to the invariant it
+protects and the PR that relied on it).  :mod:`repro.analysis.typing_gate`
+is the companion ratchet for the mypy-strict baseline.
+"""
+
+from repro.analysis.config import LintConfig, RuleConfig, load_config
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.engine import LintEngine, lint_paths, lint_source
+from repro.analysis.rules import ALL_RULES, Rule, RuleContext
+
+__all__ = [
+    "ALL_RULES",
+    "Diagnostic",
+    "LintConfig",
+    "LintEngine",
+    "Rule",
+    "RuleContext",
+    "RuleConfig",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+]

@@ -1,0 +1,137 @@
+"""``repro-lint`` — the determinism & parallel-safety linter CLI.
+
+Usage::
+
+    repro-lint src/                  # lint a tree, ruff-style output
+    repro-lint --format json src/    # machine-readable findings
+    repro-lint --list-rules          # the R001..R010 catalogue
+    repro-lint --select R001,R007 f.py
+
+Exit codes: 0 clean, 1 findings, 2 parse/usage errors.  Configuration
+is read from the nearest ``pyproject.toml``'s ``[tool.repro-lint]``
+table (``--config`` overrides the search).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.config import find_pyproject, load_config
+from repro.analysis.engine import LintEngine
+from repro.analysis.rules import ALL_RULES
+
+__all__ = ["main"]
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Static determinism & parallel-safety checks (rules R001-R010).",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="format_",
+        help="diagnostic output format (default: text)",
+    )
+    parser.add_argument(
+        "--config", metavar="PYPROJECT",
+        help="explicit pyproject.toml (default: nearest one above the first path)",
+    )
+    parser.add_argument(
+        "--select", metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    parser.add_argument(
+        "--statistics", action="store_true",
+        help="append a per-rule findings count summary",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    try:
+        return _run(argv)
+    except BrokenPipeError:
+        # Downstream closed early (`repro-lint ... | head`); exiting
+        # through the normal path would just traceback on stream flush.
+        sys.stderr.close()
+        return EXIT_CLEAN
+
+
+def _run(argv: Sequence[str] | None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code}  {rule.name:24s} {rule.summary}")
+        return EXIT_CLEAN
+
+    if not args.paths:
+        print("repro-lint: no paths given (try `repro-lint src/`)", file=sys.stderr)
+        return EXIT_ERROR
+
+    if args.config:
+        pyproject = Path(args.config)
+        if not pyproject.is_file():
+            print(f"repro-lint: config not found: {pyproject}", file=sys.stderr)
+            return EXIT_ERROR
+    else:
+        pyproject = find_pyproject(Path(args.paths[0]).resolve())
+
+    select = None
+    if args.select:
+        select = [code.strip() for code in args.select.split(",") if code.strip()]
+        known = {rule.code for rule in ALL_RULES}
+        unknown = sorted(set(select) - known)
+        if unknown:
+            print(f"repro-lint: unknown rule codes: {', '.join(unknown)}", file=sys.stderr)
+            return EXIT_ERROR
+
+    engine = LintEngine(config=load_config(pyproject), select=select)
+    findings = engine.lint_paths(args.paths)
+
+    if args.format_ == "json":
+        print(
+            json.dumps(
+                {
+                    "findings": [d.to_json() for d in findings],
+                    "parse_errors": [
+                        {"path": e.path, "message": e.message}
+                        for e in engine.parse_errors
+                    ],
+                },
+                indent=1,
+                sort_keys=True,
+            )
+        )
+    else:
+        for diagnostic in findings:
+            print(diagnostic.format())
+        for error in engine.parse_errors:
+            print(error.format(), file=sys.stderr)
+        if args.statistics and findings:
+            counts: dict[str, int] = {}
+            for diagnostic in findings:
+                counts[diagnostic.code] = counts.get(diagnostic.code, 0) + 1
+            print("--")
+            for code in sorted(counts):
+                print(f"{code}: {counts[code]}")
+
+    if engine.parse_errors:
+        return EXIT_ERROR
+    return EXIT_FINDINGS if findings else EXIT_CLEAN
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,102 @@
+"""``[tool.repro-lint]`` configuration.
+
+Each rule can be scoped (``paths`` — only files matching are checked)
+and exempted (``allow`` — matching files are skipped even inside the
+scope).  Patterns are matched against the file's *posix-normalized*
+path: a pattern containing glob characters is an ``fnmatch`` pattern
+(tried against the full path and against ``*/pattern``); a plain
+pattern is a substring match.  This keeps pyproject entries short
+(``"repro/serve/"`` rather than ``"**/repro/serve/**"``).
+
+Example::
+
+    [tool.repro-lint]
+    src-roots = ["src"]
+
+    [tool.repro-lint.R002]
+    paths = ["repro/core/", "repro/gp/"]
+    allow = ["repro/parallel/executor.py"]
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+
+__all__ = ["RuleConfig", "LintConfig", "load_config", "find_pyproject"]
+
+_GLOB_CHARS = frozenset("*?[")
+
+
+def _matches(path: str, pattern: str) -> bool:
+    """One pattern against one posix path (see module docstring)."""
+    if _GLOB_CHARS & set(pattern):
+        return fnmatch.fnmatch(path, pattern) or fnmatch.fnmatch(path, f"*/{pattern}")
+    return pattern in path
+
+
+@dataclass(frozen=True)
+class RuleConfig:
+    """Scope (``paths``) and exemptions (``allow``) for one rule."""
+
+    paths: tuple[str, ...] = ()
+    allow: tuple[str, ...] = ()
+    options: dict = field(default_factory=dict)
+
+    def applies_to(self, path: str) -> bool:
+        posix = PurePosixPath(Path(path)).as_posix()
+        if self.paths and not any(_matches(posix, p) for p in self.paths):
+            return False
+        return not any(_matches(posix, p) for p in self.allow)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """The whole ``[tool.repro-lint]`` table."""
+
+    src_roots: tuple[str, ...] = ("src",)
+    rules: dict = field(default_factory=dict)  # code -> RuleConfig
+
+    def rule(self, code: str) -> RuleConfig:
+        return self.rules.get(code, _DEFAULT_RULE)
+
+
+_DEFAULT_RULE = RuleConfig()
+
+
+def find_pyproject(start: str | Path = ".") -> Path | None:
+    """Nearest ``pyproject.toml`` at or above ``start``."""
+    here = Path(start).resolve()
+    for candidate in [here, *here.parents]:
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None
+
+
+def load_config(pyproject: str | Path | None = None) -> LintConfig:
+    """Parse ``[tool.repro-lint]``; absent file/table yields defaults."""
+    if pyproject is None:
+        return LintConfig()
+    try:
+        import tomllib
+    except ImportError:  # pragma: no cover - py3.10 without tomli
+        return LintConfig()
+    with open(pyproject, "rb") as fh:
+        document = tomllib.load(fh)
+    table = document.get("tool", {}).get("repro-lint", {})
+    rules: dict[str, RuleConfig] = {}
+    for key, value in table.items():
+        if not isinstance(value, dict):
+            continue
+        known = {"paths", "allow"}
+        rules[key] = RuleConfig(
+            paths=tuple(value.get("paths", ())),
+            allow=tuple(value.get("allow", ())),
+            options={k: v for k, v in value.items() if k not in known},
+        )
+    return LintConfig(
+        src_roots=tuple(table.get("src-roots", ("src",))),
+        rules=rules,
+    )

@@ -1,0 +1,37 @@
+"""Diagnostic records emitted by the lint engine.
+
+One :class:`Diagnostic` per finding, in the ruff/flake8 surface syntax
+(``path:line:col: CODE message``) so editors, CI annotations and humans
+all parse it the same way; ``to_json`` is the machine-readable form
+behind ``repro-lint --format json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Diagnostic"]
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One lint finding, ordered by (path, line, col, code)."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        """The ruff-style single-line rendering."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }

@@ -1,0 +1,144 @@
+"""The lint engine: file walking, pragma suppression, rule dispatch.
+
+Pragmas (ruff ``noqa`` semantics, spelled for this tool):
+
+* ``# repro-lint: disable=R001`` — suppress the listed codes on this line;
+* ``# repro-lint: disable-next-line=R001`` — suppress on the next line;
+* ``# repro-lint: disable-file=R001`` — suppress in the whole file;
+* ``disable=all`` suppresses every rule at that scope.
+
+A pragma is an *annotation*, not an escape hatch: the convention in this
+repo is that every pragma carries a one-line justification in the same
+comment (see e.g. ``repro/core/engine.py``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.config import LintConfig
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.rules import ALL_RULES, Rule, RuleContext
+
+__all__ = ["LintEngine", "ParseError", "lint_source", "lint_paths"]
+
+_PRAGMA = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable(?:-next-line|-file)?)\s*=\s*"
+    r"(?P<codes>(?:all|R\d{3})(?:\s*,\s*(?:all|R\d{3}))*)"
+)
+
+
+@dataclass(frozen=True)
+class ParseError:
+    """A file the engine could not parse (reported, exit code 2)."""
+
+    path: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}: parse error: {self.message}"
+
+
+@dataclass
+class _Pragmas:
+    file_codes: set[str] = field(default_factory=set)
+    line_codes: dict[int, set[str]] = field(default_factory=dict)
+
+    def suppressed(self, diagnostic: Diagnostic) -> bool:
+        for codes in (self.file_codes, self.line_codes.get(diagnostic.line, ())):
+            if "all" in codes or diagnostic.code in codes:
+                return True
+        return False
+
+
+def _collect_pragmas(source: str) -> _Pragmas:
+    pragmas = _Pragmas()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA.search(line)
+        if not match:
+            continue
+        codes = {c.strip() for c in match.group("codes").split(",")}
+        kind = match.group("kind")
+        if kind == "disable-file":
+            pragmas.file_codes |= codes
+        elif kind == "disable-next-line":
+            pragmas.line_codes.setdefault(lineno + 1, set()).update(codes)
+        else:
+            pragmas.line_codes.setdefault(lineno, set()).update(codes)
+    return pragmas
+
+
+class LintEngine:
+    """Run the rule catalogue over files or source strings."""
+
+    def __init__(
+        self,
+        config: LintConfig | None = None,
+        rules: Sequence[Rule] = ALL_RULES,
+        select: Iterable[str] | None = None,
+    ) -> None:
+        self.config = config or LintConfig()
+        selected = set(select) if select is not None else None
+        self.rules = tuple(
+            r for r in rules if selected is None or r.code in selected
+        )
+        self.parse_errors: list[ParseError] = []
+
+    # -- single source ------------------------------------------------------
+
+    def lint_source(self, source: str, path: str = "<source>") -> list[Diagnostic]:
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            self.parse_errors.append(ParseError(path, str(exc)))
+            return []
+        pragmas = _collect_pragmas(source)
+        findings: list[Diagnostic] = []
+        for rule in self.rules:
+            rule_config = self.config.rule(rule.code)
+            if not rule_config.applies_to(path):
+                continue
+            ctx = RuleContext(path=path, tree=tree, source=source, config=rule_config)
+            findings.extend(
+                d for d in rule.check(ctx) if not pragmas.suppressed(d)
+            )
+        return sorted(findings)
+
+    # -- trees --------------------------------------------------------------
+
+    def lint_file(self, path: str | Path) -> list[Diagnostic]:
+        path = Path(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            self.parse_errors.append(ParseError(str(path), str(exc)))
+            return []
+        return self.lint_source(source, path=str(path))
+
+    def lint_paths(self, paths: Iterable[str | Path]) -> list[Diagnostic]:
+        findings: list[Diagnostic] = []
+        for path in paths:
+            path = Path(path)
+            if path.is_dir():
+                for file in sorted(path.rglob("*.py")):
+                    findings.extend(self.lint_file(file))
+            else:
+                findings.extend(self.lint_file(path))
+        return findings
+
+
+def lint_source(
+    source: str, path: str = "<source>", config: LintConfig | None = None
+) -> list[Diagnostic]:
+    """One-shot convenience used heavily by the rule test suite."""
+    return LintEngine(config=config).lint_source(source, path=path)
+
+
+def lint_paths(
+    paths: Iterable[str | Path], config: LintConfig | None = None
+) -> list[Diagnostic]:
+    return LintEngine(config=config).lint_paths(paths)

@@ -1,0 +1,587 @@
+"""The ``REPRO###`` rule catalogue.
+
+Each rule protects one source-level invariant behind the repo's
+determinism guarantees (DESIGN.md §12 has the full catalogue with the
+PR each invariant came from).  Rules are deliberately small, pure AST
+walks — no type inference, no data flow — so a finding is always
+explainable by pointing at the flagged line.  False positives are
+handled by per-rule ``paths``/``allow`` scoping in
+``[tool.repro-lint]`` and by line pragmas
+(``# repro-lint: disable=R00X``), never by weakening the rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.analysis.config import RuleConfig
+from repro.analysis.diagnostics import Diagnostic
+
+__all__ = ["Rule", "RuleContext", "ALL_RULES", "rule_catalog"]
+
+
+@dataclass
+class RuleContext:
+    """Everything one rule needs to check one file."""
+
+    path: str  # as reported in diagnostics
+    tree: ast.Module
+    source: str
+    config: RuleConfig = field(default_factory=RuleConfig)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered rule: code, one-line summary, checker."""
+
+    code: str
+    name: str
+    summary: str
+    check: Callable[[RuleContext], Iterator[Diagnostic]]
+
+
+def _dotted(node: ast.expr) -> str:
+    """``a.b.c`` for an attribute chain, ``a`` for a name, else ``""``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _diag(ctx: RuleContext, node: ast.AST, code: str, message: str) -> Diagnostic:
+    return Diagnostic(
+        path=ctx.path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0) + 1,
+        code=code,
+        message=message,
+    )
+
+
+def _keyword(call: ast.Call, name: str) -> ast.keyword | None:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw
+    return None
+
+
+def _is_const(node: ast.expr | None, value: object) -> bool:
+    return isinstance(node, ast.Constant) and node.value is value
+
+
+# ---------------------------------------------------------------------------
+# R001 — unseeded RNG
+# ---------------------------------------------------------------------------
+
+#: numpy.random attributes that are seed plumbing, not global-state draws.
+_NP_RANDOM_SAFE = frozenset(
+    {
+        "Generator",
+        "BitGenerator",
+        "SeedSequence",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "MT19937",
+        "SFC64",
+        "default_rng",
+    }
+)
+
+#: Constructors that take an optional seed and are nondeterministic
+#: (OS entropy) when called without one.
+_SEEDABLE_CONSTRUCTORS = frozenset(
+    {
+        "random.Random",
+        "np.random.default_rng",
+        "numpy.random.default_rng",
+        "np.random.SeedSequence",
+        "numpy.random.SeedSequence",
+        "np.random.PCG64",
+        "numpy.random.PCG64",
+    }
+)
+
+
+def _check_unseeded_rng(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """R001: module-global RNG state or seedless generator construction.
+
+    ``random.random()`` / ``np.random.rand()`` draw from process-global
+    state no seed discipline can reach; ``default_rng()`` /
+    ``random.Random()`` without a seed pull OS entropy.  Either way the
+    run is unrepeatable.  Use :mod:`repro.parallel.rng` streams.
+    """
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        if not dotted:
+            continue
+        unseeded = not node.args and not node.keywords or (
+            len(node.args) == 1 and _is_const(node.args[0], None) and not node.keywords
+        )
+        if dotted in _SEEDABLE_CONSTRUCTORS:
+            if unseeded:
+                yield _diag(
+                    ctx, node, "R001",
+                    f"`{dotted}()` without a seed draws OS entropy; pass a seed "
+                    "or use repro.parallel.rng streams",
+                )
+            continue
+        root, _, attr = dotted.rpartition(".")
+        if root == "random" and attr not in ("Random", "SystemRandom"):
+            yield _diag(
+                ctx, node, "R001",
+                f"`{dotted}()` uses the process-global `random` state; "
+                "use a seeded `random.Random` or repro.parallel.rng",
+            )
+        elif root in ("np.random", "numpy.random") and attr not in _NP_RANDOM_SAFE:
+            yield _diag(
+                ctx, node, "R001",
+                f"`{dotted}()` uses numpy's global RNG state; "
+                "use a seeded Generator from repro.parallel.rng",
+            )
+
+
+# ---------------------------------------------------------------------------
+# R002 — wall-clock on deterministic paths
+# ---------------------------------------------------------------------------
+
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "date.today",
+    }
+)
+
+
+def _check_wall_clock(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """R002: wall-clock reads inside deterministic algorithm packages.
+
+    A time read that feeds evolutionary state breaks serial/parallel and
+    resume bit-identity.  Telemetry-only reads are allowlisted by path
+    in ``[tool.repro-lint.R002]`` or annotated with a pragma.
+    """
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        if dotted in _WALL_CLOCK:
+            yield _diag(
+                ctx, node, "R002",
+                f"wall-clock `{dotted}()` on a deterministic path; results must "
+                "be a function of (instance, config, seed) only",
+            )
+
+
+# ---------------------------------------------------------------------------
+# R003 — unordered iteration feeding ordered logic
+# ---------------------------------------------------------------------------
+
+_DICT_VIEWS = frozenset({"values", "keys", "items"})
+
+
+def _iter_exprs(tree: ast.Module) -> Iterator[ast.expr]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for gen in node.generators:
+                yield gen.iter
+
+
+def _check_unordered_iteration(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """R003: iterating a set, or a dict view, in population logic.
+
+    Set order is salted per process; even dict views (insertion-ordered)
+    hide the ordering contract population logic depends on — resume and
+    serial/parallel equality need that order explicit (``sorted(...)``
+    or a list), or a pragma stating why the insertion order is itself
+    deterministic.
+    """
+    for expr in _iter_exprs(ctx.tree):
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            yield _diag(
+                ctx, expr, "R003",
+                "iteration over a set literal: order is hash-salted per process",
+            )
+        elif isinstance(expr, ast.Call):
+            dotted = _dotted(expr.func)
+            if dotted in ("set", "frozenset"):
+                yield _diag(
+                    ctx, expr, "R003",
+                    f"iteration over `{dotted}(...)`: order is hash-salted per "
+                    "process; sort before iterating",
+                )
+            elif (
+                isinstance(expr.func, ast.Attribute)
+                and expr.func.attr in _DICT_VIEWS
+                and not expr.args
+            ):
+                yield _diag(
+                    ctx, expr, "R003",
+                    f"iteration over `.{expr.func.attr}()` feeding ordered logic: "
+                    "make the order explicit (sorted/list) or pragma why the "
+                    "insertion order is deterministic",
+                )
+
+
+# ---------------------------------------------------------------------------
+# R004 — float equality on fitness values
+# ---------------------------------------------------------------------------
+
+_FLOATY_TOKENS = ("fitness", "gap", "revenue", "objective")
+
+
+def _floaty_name(node: ast.expr) -> str | None:
+    """The identifier if ``node`` names a fitness-like quantity."""
+    if isinstance(node, ast.Attribute):
+        name = node.attr
+    elif isinstance(node, ast.Name):
+        name = node.id
+    else:
+        return None
+    lowered = name.lower()
+    if any(token in lowered for token in _FLOATY_TOKENS):
+        return name
+    return None
+
+
+def _check_float_equality(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """R004: ``==``/``!=`` on fitness/gap-valued expressions.
+
+    Fitness and %-gap values are accumulated floats; exact equality on
+    them silently diverges across summation orders.  Compare with a
+    tolerance (``math.isclose``/``np.isclose``) or on the decision
+    variables instead.  Comparisons against string/None sentinels are
+    exempt (those are mode switches, not float comparisons).
+    """
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            continue
+        operands = [node.left, *node.comparators]
+        names = [n for n in map(_floaty_name, operands) if n]
+        if not names:
+            continue
+        if any(
+            isinstance(o, ast.Constant) and (o.value is None or isinstance(o.value, str))
+            for o in operands
+        ):
+            continue
+        yield _diag(
+            ctx, node, "R004",
+            f"float equality on `{names[0]}`: use a tolerance "
+            "(math.isclose / np.isclose) or compare decision variables",
+        )
+
+
+# ---------------------------------------------------------------------------
+# R005 — mutable default arguments
+# ---------------------------------------------------------------------------
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "defaultdict", "Counter", "OrderedDict"})
+
+
+def _check_mutable_defaults(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """R005: mutable default argument values.
+
+    A mutable default is shared across every call — state leaks between
+    runs, which is exactly the cross-run coupling the determinism tests
+    exist to rule out.  Default to ``None`` and construct inside.
+    """
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        defaults = [*node.args.defaults, *node.args.kw_defaults]
+        for default in defaults:
+            if default is None:
+                continue
+            mutable = isinstance(
+                default, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+            ) or (
+                isinstance(default, ast.Call)
+                and _dotted(default.func).rpartition(".")[2] in _MUTABLE_CALLS
+            )
+            if mutable:
+                yield _diag(
+                    ctx, default, "R005",
+                    "mutable default argument is shared across calls; "
+                    "default to None and construct inside",
+                )
+
+
+# ---------------------------------------------------------------------------
+# R006 — fork-context / bare multiprocessing
+# ---------------------------------------------------------------------------
+
+_BARE_MP = frozenset(
+    {
+        "multiprocessing.Pool",
+        "multiprocessing.Process",
+        "multiprocessing.Queue",
+        "multiprocessing.SimpleQueue",
+        "multiprocessing.Manager",
+        "mp.Pool",
+        "mp.Process",
+        "mp.Queue",
+        "os.fork",
+    }
+)
+
+
+def _check_unsafe_multiprocessing(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """R006: process management outside the spawn-context helpers.
+
+    Bare ``multiprocessing`` objects inherit the platform default start
+    method — ``fork`` on Linux, which duplicates RNG state, locks and
+    open sockets into children.  All process fan-out must go through the
+    spawn-context helpers in :mod:`repro.parallel`.
+    """
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        if dotted in _BARE_MP:
+            yield _diag(
+                ctx, node, "R006",
+                f"bare `{dotted}(...)` inherits the platform start method "
+                "(fork on Linux); use the spawn-context helpers in repro.parallel",
+            )
+        elif dotted.endswith("get_context") and dotted.partition(".")[0] in (
+            "multiprocessing",
+            "mp",
+        ):
+            method = node.args[0] if node.args else _keyword(node, "method")
+            method = method.value if isinstance(method, ast.keyword) else method
+            if method is None or (
+                isinstance(method, ast.Constant) and method.value != "spawn"
+            ):
+                yield _diag(
+                    ctx, node, "R006",
+                    "multiprocessing context must be explicit 'spawn' "
+                    "(fork duplicates RNG state, locks and sockets)",
+                )
+        elif dotted.rpartition(".")[2] == "ProcessPoolExecutor":
+            if _keyword(node, "mp_context") is None:
+                yield _diag(
+                    ctx, node, "R006",
+                    "ProcessPoolExecutor without mp_context defaults to fork "
+                    "on Linux; pass a spawn context (or use repro.parallel)",
+                )
+
+
+# ---------------------------------------------------------------------------
+# R007 — non-canonical JSON in serialization modules
+# ---------------------------------------------------------------------------
+
+_JSON_MODULE_HINT = "json"
+
+
+def _check_non_canonical_json(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """R007: ``json.dump(s)`` without ``sort_keys=True`` in persistence code.
+
+    Checkpoints, registry artifacts and wire messages are content-addressed
+    or checksummed; a non-canonical dump makes byte-level identity depend
+    on dict construction order, which silently shifts under refactors.
+    """
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+            continue
+        if node.func.attr not in ("dump", "dumps"):
+            continue
+        base = _dotted(node.func.value)
+        if _JSON_MODULE_HINT not in base.rpartition(".")[2]:
+            continue
+        sort_keys = _keyword(node, "sort_keys")
+        if sort_keys is None or not _is_const(sort_keys.value, True):
+            yield _diag(
+                ctx, node, "R007",
+                f"`{base}.{node.func.attr}` without sort_keys=True: persisted "
+                "JSON must be canonical (checksums/content addresses depend on it)",
+            )
+
+
+# ---------------------------------------------------------------------------
+# R008 — raising observer hooks
+# ---------------------------------------------------------------------------
+
+_OBSERVER_HOOKS = frozenset(
+    {"on_init", "on_record", "on_generation_end", "on_migration", "on_run_end"}
+)
+
+
+def _check_observer_raise(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """R008: ``raise`` inside an engine observer hook.
+
+    Observer exceptions abort the run mid-generation; the engine's abort
+    protocol then fires ``on_run_end(aborted=True)`` and re-raises — but
+    an observer that raises for control flow bypasses the ledger and
+    checkpoint discipline.  Use ``event.loop.request_stop()`` instead;
+    re-raising inside an ``except`` cleanup block is exempt.
+    """
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if node.name not in _OBSERVER_HOOKS:
+            continue
+        handler_spans: list[tuple[int, int]] = [
+            (h.lineno, max(getattr(h, "end_lineno", h.lineno), h.lineno))
+            for h in (n for n in ast.walk(node) if isinstance(n, ast.ExceptHandler))
+        ]
+        for stmt in ast.walk(node):
+            if not isinstance(stmt, ast.Raise):
+                continue
+            if stmt.exc is None:
+                continue  # bare re-raise inside except: propagating, fine
+            in_handler = any(lo <= stmt.lineno <= hi for lo, hi in handler_spans)
+            if in_handler:
+                continue
+            yield _diag(
+                ctx, stmt, "R008",
+                f"observer hook `{node.name}` raises outside the engine abort "
+                "protocol; use event.loop.request_stop() for control flow",
+            )
+
+
+# ---------------------------------------------------------------------------
+# R009 — unpicklable executor payloads
+# ---------------------------------------------------------------------------
+
+_SUBMIT_METHODS = frozenset({"submit", "apply_async", "map_async", "starmap_async"})
+
+
+def _check_pickled_closures(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """R009: lambdas handed to pickle or executor dispatch.
+
+    Lambdas and local closures don't pickle; they cross the process
+    boundary only by accident (serial fallback) and then explode the
+    first time a real pool is configured.  Ship module-level functions
+    plus data (see ``repro.bcpop.evaluate``'s spawn-safe payloads).
+    """
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        has_lambda = any(isinstance(a, ast.Lambda) for a in node.args)
+        if not has_lambda:
+            continue
+        if dotted.rpartition(".")[2] in ("dumps", "dump") and "pickle" in dotted:
+            yield _diag(
+                ctx, node, "R009",
+                "pickling a lambda always fails; executor payloads must be "
+                "module-level functions plus data",
+            )
+        elif isinstance(node.func, ast.Attribute) and (
+            node.func.attr in _SUBMIT_METHODS
+            or (
+                node.func.attr == "map"
+                and any(
+                    hint in _dotted(node.func.value).lower()
+                    for hint in ("executor", "pool")
+                )
+            )
+        ):
+            yield _diag(
+                ctx, node, "R009",
+                f"lambda passed to `.{node.func.attr}`: not spawn-safe "
+                "(lambdas don't pickle); use a module-level function",
+            )
+
+
+# ---------------------------------------------------------------------------
+# R010 — swallowed KeyboardInterrupt
+# ---------------------------------------------------------------------------
+
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(n, ast.Raise) for n in ast.walk(handler))
+
+
+def _check_swallowed_interrupt(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """R010: bare ``except:`` / ``except BaseException:`` that never raises.
+
+    A worker loop that converts ``KeyboardInterrupt``/``SystemExit`` into
+    a return value cannot be shut down: Ctrl-C becomes just another task
+    result.  Catch ``Exception``, or re-raise on the ``BaseException``
+    path (the supervised executor's protocol).
+    """
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        types = (
+            node.type.elts if isinstance(node.type, ast.Tuple)
+            else [node.type] if node.type is not None else [None]
+        )
+        catches_base = any(
+            t is None or _dotted(t).rpartition(".")[2] == "BaseException" for t in types
+        )
+        if catches_base and not _handler_reraises(node):
+            label = "bare `except:`" if node.type is None else "`except BaseException`"
+            yield _diag(
+                ctx, node, "R010",
+                f"{label} without re-raise swallows KeyboardInterrupt/SystemExit; "
+                "catch Exception or re-raise",
+            )
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+ALL_RULES: tuple[Rule, ...] = (
+    Rule("R001", "unseeded-rng", "module-global or seedless RNG", _check_unseeded_rng),
+    Rule("R002", "wall-clock", "wall-clock read on a deterministic path", _check_wall_clock),
+    Rule(
+        "R003",
+        "unordered-iteration",
+        "set/dict-view iteration feeding ordered logic",
+        _check_unordered_iteration,
+    ),
+    Rule("R004", "float-equality", "== / != on fitness or gap values", _check_float_equality),
+    Rule("R005", "mutable-default", "mutable default argument", _check_mutable_defaults),
+    Rule(
+        "R006",
+        "unsafe-multiprocessing",
+        "fork-context or bare multiprocessing",
+        _check_unsafe_multiprocessing,
+    ),
+    Rule(
+        "R007",
+        "non-canonical-json",
+        "json dump without sort_keys in persistence code",
+        _check_non_canonical_json,
+    ),
+    Rule("R008", "observer-raise", "raise inside an engine observer hook", _check_observer_raise),
+    Rule("R009", "pickled-closure", "lambda in a pickled executor payload", _check_pickled_closures),
+    Rule(
+        "R010",
+        "swallowed-interrupt",
+        "bare/BaseException handler without re-raise",
+        _check_swallowed_interrupt,
+    ),
+)
+
+
+def rule_catalog() -> dict[str, Rule]:
+    return {rule.code: rule for rule in ALL_RULES}

@@ -1,0 +1,193 @@
+"""The mypy-strict baseline ratchet (``typing-baseline.txt``).
+
+Strict typing is gated on :mod:`repro.core`, :mod:`repro.parallel`,
+:mod:`repro.serve` and :mod:`repro.analysis` (the ``[tool.mypy]`` table
+in pyproject).  Because a
+strict gate bootstrapped onto an existing codebase needs an escape
+valve, suppressions are *budgeted* instead of banned: the baseline file
+records how many ``# type: ignore`` / ``# mypy: ignore-errors`` markers
+the strict packages contain, and this gate fails whenever the count
+**grows**.  Shrinking the count is a warning to ratchet the baseline
+down (``--update`` rewrites it), so the budget can only ever move
+toward zero.
+
+The optional ``--mypy`` step runs mypy itself when it is installed (CI
+installs it; the dev container may not) and applies the same ratchet to
+the reported error count *if* the baseline carries a ``mypy-errors``
+line — the error budget activates the first time ``--update`` runs in
+an environment that has mypy.
+
+Usage::
+
+    python -m repro.analysis.typing_gate --check          # CI gate
+    python -m repro.analysis.typing_gate --check --mypy   # + mypy ratchet
+    python -m repro.analysis.typing_gate --update         # ratchet down
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+from pathlib import Path
+from typing import Sequence
+
+__all__ = ["count_ignores", "load_baseline", "main"]
+
+#: Packages under the strict gate (mirrors [tool.mypy] in pyproject).
+STRICT_PACKAGES = ("repro/core", "repro/parallel", "repro/serve", "repro/analysis")
+
+BASELINE_FILE = "typing-baseline.txt"
+
+_IGNORE_MARKER = re.compile(r"#\s*(type:\s*ignore|mypy:\s*ignore-errors)")
+_BASELINE_LINE = re.compile(r"^(?P<key>[\w./-]+)\s+(?P<count>\d+)$")
+
+
+def count_ignores(src_root: Path) -> dict[str, int]:
+    """Per-file ``type: ignore`` marker counts inside the strict packages."""
+    counts: dict[str, int] = {}
+    for package in STRICT_PACKAGES:
+        for file in sorted((src_root / package).rglob("*.py")):
+            n = sum(
+                1
+                for line in file.read_text(encoding="utf-8").splitlines()
+                if _IGNORE_MARKER.search(line)
+            )
+            if n:
+                counts[file.relative_to(src_root).as_posix()] = n
+    return counts
+
+
+def load_baseline(path: Path) -> dict[str, int]:
+    """Parse the baseline: ``<key> <count>`` lines, ``#`` comments."""
+    budget: dict[str, int] = {}
+    if not path.is_file():
+        return budget
+    for raw in path.read_text(encoding="utf-8").splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _BASELINE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"{path}: malformed baseline line: {raw!r}")
+        budget[match.group("key")] = int(match.group("count"))
+    return budget
+
+
+def write_baseline(path: Path, ignores: dict[str, int], mypy_errors: int | None) -> None:
+    lines = [
+        "# Typing suppression budget for the mypy-strict packages",
+        f"# ({', '.join(STRICT_PACKAGES)}).",
+        "# The gate (python -m repro.analysis.typing_gate --check) fails when",
+        "# any count grows; regenerate with --update only to ratchet DOWN.",
+        f"total-ignores {sum(ignores.values())}",
+    ]
+    if mypy_errors is not None:
+        lines.append(f"mypy-errors {mypy_errors}")
+    lines.extend(f"{key} {count}" for key, count in sorted(ignores.items()))
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def run_mypy(repo_root: Path) -> int | None:
+    """mypy error count for the strict packages, ``None`` if unavailable."""
+    try:
+        import mypy  # noqa: F401
+    except ImportError:
+        return None
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", str(repo_root / "pyproject.toml")],
+        capture_output=True,
+        text=True,
+        cwd=repo_root,
+    )
+    errors = sum(
+        1 for line in proc.stdout.splitlines() if ": error:" in line
+    )
+    if proc.returncode not in (0, 1):  # 2+ = mypy crashed / bad config
+        sys.stderr.write(proc.stdout + proc.stderr)
+        raise RuntimeError(f"mypy exited with {proc.returncode}")
+    return errors
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="typing-gate", description="mypy-strict suppression-budget ratchet"
+    )
+    parser.add_argument("--repo-root", default=".", help="repository root")
+    parser.add_argument("--check", action="store_true", help="fail if any budget grew")
+    parser.add_argument(
+        "--mypy", action="store_true",
+        help="also run mypy (if installed) and ratchet its error count",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the baseline from the current tree (ratchet down)",
+    )
+    args = parser.parse_args(argv)
+
+    repo_root = Path(args.repo_root).resolve()
+    src_root = repo_root / "src"
+    baseline_path = repo_root / BASELINE_FILE
+
+    ignores = count_ignores(src_root)
+    total = sum(ignores.values())
+    mypy_errors = run_mypy(repo_root) if args.mypy else None
+
+    if args.update:
+        write_baseline(baseline_path, ignores, mypy_errors)
+        print(f"typing-gate: baseline written ({total} ignores"
+              + (f", {mypy_errors} mypy errors" if mypy_errors is not None else "")
+              + ")")
+        return 0
+
+    budget = load_baseline(baseline_path)
+    failures: list[str] = []
+    warnings: list[str] = []
+
+    allowed_total = budget.get("total-ignores", 0)
+    if total > allowed_total:
+        failures.append(
+            f"type-ignore count grew: {total} > budget {allowed_total} "
+            "(remove the new suppressions, or justify + --update)"
+        )
+    elif total < allowed_total:
+        warnings.append(
+            f"type-ignore count shrank ({total} < {allowed_total}): "
+            "run --update to ratchet the budget down"
+        )
+    for key, count in sorted(ignores.items()):
+        allowed = budget.get(key, 0)
+        if count > allowed:
+            failures.append(f"{key}: {count} ignores > budget {allowed}")
+
+    if args.mypy:
+        if mypy_errors is None:
+            warnings.append("mypy not installed here; error ratchet checked in CI only")
+        elif "mypy-errors" in budget:
+            if mypy_errors > budget["mypy-errors"]:
+                failures.append(
+                    f"mypy error count grew: {mypy_errors} > budget {budget['mypy-errors']}"
+                )
+            elif mypy_errors < budget["mypy-errors"]:
+                warnings.append(
+                    f"mypy errors shrank ({mypy_errors} < {budget['mypy-errors']}): "
+                    "run --update --mypy to ratchet down"
+                )
+        else:
+            warnings.append(
+                f"mypy reports {mypy_errors} errors but the baseline has no "
+                "mypy-errors budget yet; run --update --mypy to activate the ratchet"
+            )
+
+    for warning in warnings:
+        print(f"typing-gate: warning: {warning}")
+    for failure in failures:
+        print(f"typing-gate: FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print(f"typing-gate: ok ({total} ignores within budget {allowed_total})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

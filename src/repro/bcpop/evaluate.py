@@ -483,6 +483,7 @@ class EvaluationPipeline:
         # opaque (non-memoizable) requests so the computation order is a
         # deterministic function of the request order alone.
         order: list[tuple[bytes | None, int]] = [
+            # repro-lint: disable-next-line=R003  # insertion order = first-occurrence request order, exactly the determinism contract stated above
             (key, idxs[0]) for key, idxs in pending.items()
         ]
         order += [(None, i) for i in opaque]

@@ -67,7 +67,7 @@ def bcpop_from_dict(data: dict) -> BcpopInstance:
 
 def save_bcpop(instance: BcpopInstance, path: str | Path) -> None:
     """Write an instance as JSON."""
-    Path(path).write_text(json.dumps(bcpop_to_dict(instance), indent=1))
+    Path(path).write_text(json.dumps(bcpop_to_dict(instance), indent=1, sort_keys=True))
 
 
 def load_bcpop(path: str | Path) -> BcpopInstance:

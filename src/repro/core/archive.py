@@ -123,6 +123,7 @@ class Archive:
         return {
             "entries": [
                 {"item": e.item, "score": e.score, "aux": e.aux}
+                # repro-lint: disable-next-line=R003  # insertion order IS the state being checkpointed (tie-breaks and eviction depend on it; see docstring)
                 for e in self._entries.values()
             ]
         }

@@ -84,8 +84,8 @@ class Carbon(EngineAlgorithm):
     ) -> None:
         self.instance = instance
         self.config = config or CarbonConfig.paper()
-        self.rng = rng or np.random.default_rng()
         execution = self.config.execution
+        self.rng = self._init_rng(rng, execution, component="carbon")
         self.evaluator = LowerLevelEvaluator(
             instance, lp_backend=lp_backend, memo_size=execution.memo_size
         )

@@ -73,8 +73,8 @@ class Cobra(EngineAlgorithm):
     ) -> None:
         self.instance = instance
         self.config = config or CobraConfig.paper()
-        self.rng = rng or np.random.default_rng()
         execution = self.config.execution
+        self.rng = self._init_rng(rng, execution, component="cobra")
         self.evaluator = LowerLevelEvaluator(
             instance, lp_backend=lp_backend, memo_size=execution.memo_size
         )

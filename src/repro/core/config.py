@@ -61,6 +61,15 @@ class ExecutionConfig:
         Force the crash-recovering supervised dispatch path even without
         a ``task_timeout``.  Like every other field here it changes only
         wall time and reported stats, never results.
+    rng_audit:
+        Enable the RNG-audit sanitizer: the algorithm's generator is
+        wrapped by :class:`repro.parallel.rng.RngAudit`, which counts
+        draws per component per generation and exposes the full draw
+        trace.  The determinism tests assert serial/parallel trace
+        equality — the runtime cross-check for what ``repro-lint``'s
+        static R001 rule can't see.  Reported via
+        ``RunResult.extras["rng_audit"]``; draws themselves are
+        unchanged (the wrapper shares the bit generator).
     """
 
     executor: str = "serial"
@@ -71,6 +80,7 @@ class ExecutionConfig:
     task_timeout: float | None = None
     max_retries: int = 2
     supervised: bool = False
+    rng_audit: bool = False
 
     def __post_init__(self) -> None:
         if self.executor not in ("serial", "processes"):

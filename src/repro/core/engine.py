@@ -30,6 +30,8 @@ import time
 from dataclasses import dataclass
 from typing import Any, Protocol, Sequence, runtime_checkable
 
+import numpy as np
+
 from repro.core.convergence import ConvergenceHistory
 from repro.core.events import ConvergenceRecorder, EngineEvent, EventBus, Observer
 from repro.core.results import RunResult
@@ -113,8 +115,9 @@ class BudgetLedger:
         }
 
     def load_state_dict(self, state: dict) -> None:
-        self.upper = BudgetMeter(**{k: int(v) for k, v in state["upper"].items()})
-        self.lower = BudgetMeter(**{k: int(v) for k, v in state["lower"].items()})
+        upper, lower = state["upper"], state["lower"]
+        self.upper = BudgetMeter(budget=int(upper["budget"]), used=int(upper["used"]))
+        self.lower = BudgetMeter(budget=int(lower["budget"]), used=int(lower["used"]))
 
 
 # ---------------------------------------------------------------------------
@@ -172,6 +175,32 @@ class EngineAlgorithm:
     #: Overridden by subclasses that build an executor from their config
     #: (a shared, caller-provided executor is never closed here).
     _owns_executor = False
+
+    #: Set by :meth:`_init_rng` when the execution config asks for the
+    #: RNG-audit sanitizer; ``None`` otherwise.
+    rng_audit = None
+
+    def _init_rng(self, rng, execution=None, component: str = "algorithm"):
+        """Resolve the run's random stream.
+
+        ``None`` falls back to a *seeded* deterministic generator — an
+        unseeded fallback would make only the runs nobody can reproduce
+        (repro-lint R001).  When ``execution.rng_audit`` is set, the
+        stream is wrapped in an :class:`repro.parallel.rng.RngAudit`
+        counter so the determinism tests can assert draw-trace equality
+        between serial and parallel runs (the dynamic complement of the
+        static R001 pass).
+        """
+        if rng is None:
+            rng = np.random.default_rng(0)
+        if execution is not None and getattr(execution, "rng_audit", False):
+            from repro.parallel.rng import RngAudit
+
+            self.rng_audit = RngAudit()
+            rng = self.rng_audit.wrap(
+                rng, component, generation=lambda: self.generation
+            )
+        return rng
 
     def _engine_init(self, upper_budget: int, lower_budget: int) -> None:
         self.ledger = BudgetLedger(upper_budget, lower_budget)
@@ -328,7 +357,7 @@ class EngineLoop:
             generation=self.algorithm.generation,
             seed_label=seed_label,
             loop=self,
-            elapsed=time.perf_counter() - start,
+            elapsed=time.perf_counter() - start,  # repro-lint: disable=R002  # wall-time telemetry only, never feeds evolutionary state
             **kw,
         )
 
@@ -337,7 +366,7 @@ class EngineLoop:
         bus = algo.events
         for obs in self.observers:
             bus.subscribe(obs)
-        start = time.perf_counter()
+        start = time.perf_counter()  # repro-lint: disable=R002  # wall-time telemetry only, never feeds evolutionary state
         resumed = self.resume_state is not None
         status = "completed"
         steps_this_session = 0
@@ -366,7 +395,8 @@ class EngineLoop:
                 finally:
                     algo.close()
                 result = algo.extract_result(
-                    seed_label=seed_label, wall_time=time.perf_counter() - start
+                    seed_label=seed_label,
+                    wall_time=time.perf_counter() - start,  # repro-lint: disable=R002  # wall-time telemetry only, never feeds evolutionary state
                 )
                 result.extras["engine"] = {
                     "generations": algo.generation,
@@ -374,6 +404,9 @@ class EngineLoop:
                     "stop_reason": self.stop_reason,
                     "resumed": resumed,
                 }
+                audit = getattr(algo, "rng_audit", None)
+                if audit is not None:
+                    result.extras["rng_audit"] = audit.summary()
             except BaseException as exc:
                 # A raise mid-generation leaves the algorithm half-stepped;
                 # observers still get a consistent run end (no result,

@@ -164,7 +164,7 @@ class JsonlRunLogger(Observer):
 
     def _write(self, record: dict) -> None:
         with open(self.path, "a") as fh:
-            fh.write(json.dumps(record) + "\n")
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
 
     def _row(self, event: EngineEvent) -> dict:
         """The summary_row-shaped snapshot of a live run."""
@@ -201,7 +201,7 @@ class JsonlRunLogger(Observer):
             {
                 "event": "migration",
                 "generation": event.generation,
-                **{k: v for k, v in event.data.items()},
+                **event.data,
                 **self._row(event),
             }
         )

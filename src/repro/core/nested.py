@@ -75,7 +75,7 @@ class NestedSequential(EngineAlgorithm):
     ) -> None:
         self.instance = instance
         self.config = config or UpperLevelConfig()
-        self.rng = rng or np.random.default_rng()
+        self.rng = self._init_rng(rng, component="nested")
         self.evaluator = LowerLevelEvaluator(instance, lp_backend=lp_backend)
         self.executor = executor
         self.pipeline = EvaluationPipeline(self.evaluator, executor)

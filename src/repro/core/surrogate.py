@@ -143,7 +143,7 @@ class SurrogateAssisted(EngineAlgorithm):
             raise ValueError(f"oversample must be >= 1, got {oversample}")
         self.instance = instance
         self.config = config or UpperLevelConfig()
-        self.rng = rng or np.random.default_rng()
+        self.rng = self._init_rng(rng, component="surrogate")
         self.evaluator = LowerLevelEvaluator(instance, lp_backend=lp_backend)
         self.bounds = Bounds(*instance.price_bounds)
         self.score_fn = make_heuristic(ll_solver, rng=self.rng)

@@ -62,6 +62,14 @@ def _comparison(args: argparse.Namespace):
     from repro.experiments.tables import run_comparison
 
     carbon, cobra = configs_for_scale(args.scale)
+    if getattr(args, "rng_audit", False):
+        from dataclasses import replace
+
+        from repro.core.config import ExecutionConfig
+
+        audited = ExecutionConfig(rng_audit=True)
+        carbon = replace(carbon, execution=audited)
+        cobra = replace(cobra, execution=audited)
     classes = None
     if args.classes:
         classes = [tuple(int(v) for v in c.split("x")) for c in args.classes]
@@ -387,6 +395,10 @@ def build_parser() -> argparse.ArgumentParser:
     engine = parser.add_argument_group(
         "engine observability (table3/table4 experiments)"
     )
+    engine.add_argument("--rng-audit", dest="rng_audit", action="store_true",
+                        help="wrap each algorithm's RNG in the draw-trace "
+                             "sanitizer; draw counts per component/generation "
+                             "land in extras.rng_audit (results unchanged)")
     engine.add_argument("--log-jsonl", dest="log_jsonl", metavar="FILE",
                         help="append per-generation JSONL run records to FILE")
     engine.add_argument("--checkpoint-dir", dest="checkpoint_dir", metavar="DIR",

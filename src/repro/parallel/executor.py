@@ -88,10 +88,12 @@ _STARTUP_GRACE = 30.0
 def _supervised_worker_main(task_queue, result_queue) -> None:
     """Worker loop: acknowledge the task (``start``), apply its planned
     fault (if any), run it, and report ``("ok"|"err", task_id, attempt,
-    payload)``.  Any exception is reported, not fatal — only injected
-    crashes and supervisor terminations end a worker before its ``None``
-    sentinel.  The start-ack is what lets the supervisor run the
-    deadline clock over execution time only, not queue wait or
+    payload)``.  Any *task* exception is reported, not fatal — only
+    injected crashes, supervisor terminations and real interrupts
+    (``KeyboardInterrupt``/``SystemExit`` propagate and kill the worker;
+    the supervisor's crash path respawns it) end a worker before its
+    ``None`` sentinel.  The start-ack is what lets the supervisor run
+    the deadline clock over execution time only, not queue wait or
     worker spawn cost."""
     while True:
         message = task_queue.get()
@@ -102,7 +104,7 @@ def _supervised_worker_main(task_queue, result_queue) -> None:
         try:
             apply_fault(fault)
             value = fn(item)
-        except BaseException as exc:
+        except Exception as exc:
             result_queue.put(("err", task_id, attempt, f"{type(exc).__name__}: {exc}"))
         else:
             result_queue.put(("ok", task_id, attempt, value))

@@ -19,11 +19,18 @@ Typical use::
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable, Sequence
+from collections import Counter
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["RngFactory", "spawn_generators", "stream_for"]
+__all__ = [
+    "AuditedGenerator",
+    "RngAudit",
+    "RngFactory",
+    "spawn_generators",
+    "stream_for",
+]
 
 
 def _entropy_from_key(key: Sequence[object]) -> int:
@@ -98,3 +105,189 @@ class RngFactory:
         """Return ``n`` addressed streams ``named(*prefix, i)``."""
         prefix = tuple(prefix)
         return [self.named(*prefix, i) for i in range(n)]
+
+
+# ---------------------------------------------------------------------------
+# RNG-audit sanitizer
+# ---------------------------------------------------------------------------
+
+#: Generator draw methods the audit intercepts — every method the
+#: algorithms and operators use, plus the common distribution calls.
+_AUDITED_METHODS = (
+    "random",
+    "integers",
+    "uniform",
+    "normal",
+    "standard_normal",
+    "choice",
+    "shuffle",
+    "permutation",
+    "permuted",
+    "exponential",
+    "poisson",
+    "binomial",
+    "beta",
+    "gamma",
+    "triangular",
+)
+
+
+def _draw_count(args: tuple, kwargs: dict) -> int:
+    """Rough variate count for one draw call (``size``-aware).
+
+    Exactness is irrelevant — both sides of a trace comparison use the
+    same estimator — but a size-aware count makes the per-generation
+    report meaningful (``integers(n, size=100)`` is 100 draws, not 1).
+    """
+    size = kwargs.get("size")
+    if size is None and args:
+        first = args[0]
+        if isinstance(first, np.ndarray):
+            return int(first.size) or 1
+    if size is None:
+        return 1
+    if isinstance(size, (int, np.integer)):
+        return max(int(size), 1)
+    try:
+        return max(int(np.prod(tuple(size))), 1)
+    except TypeError:
+        return 1
+
+
+class RngAudit:
+    """Counts RNG draws per (component, generation, method).
+
+    The runtime complement of repro-lint's static R001 pass: the static
+    rule proves no draw *bypasses* the seeded streams, the audit proves
+    the seeded streams are consumed *identically* across execution
+    substrates.  Enabled via ``ExecutionConfig(rng_audit=True)``; the
+    engine then wraps each algorithm's generator with
+    :meth:`wrap` and reports :meth:`summary` in
+    ``RunResult.extras["rng_audit"]``.  The determinism tests assert
+    :attr:`trace` equality between serial and parallel runs — a draw
+    sneaking into a worker process (or a draw-order change from
+    batching) shifts the trace even when the final populations happen
+    to coincide.
+    """
+
+    def __init__(self) -> None:
+        self._trace: list[tuple[str, int, str, int]] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RngAudit(events={len(self._trace)}, draws={self.total_draws})"
+
+    # -- recording ----------------------------------------------------------
+
+    def wrap(
+        self,
+        rng: np.random.Generator,
+        component: str,
+        generation: Callable[[], int] | None = None,
+    ) -> "AuditedGenerator":
+        """Wrap ``rng`` (sharing its bit generator, so the stream is
+        unchanged) to record every draw under ``component``.
+        ``generation`` is polled at draw time (pass the algorithm's
+        generation counter)."""
+        return AuditedGenerator(
+            rng.bit_generator, audit=self, component=component, generation=generation
+        )
+
+    def record(self, component: str, generation: int, method: str, draws: int) -> None:
+        self._trace.append((component, int(generation), method, int(draws)))
+
+    def clear(self) -> None:
+        self._trace.clear()
+
+    # -- reporting ----------------------------------------------------------
+
+    @property
+    def trace(self) -> tuple[tuple[str, int, str, int], ...]:
+        """Every draw event in order: (component, generation, method, n)."""
+        return tuple(self._trace)
+
+    @property
+    def total_draws(self) -> int:
+        return sum(n for _, _, _, n in self._trace)
+
+    def draws_by_generation(self) -> dict[int, int]:
+        counts: Counter[int] = Counter()
+        for _, generation, _, n in self._trace:
+            counts[generation] += n
+        return dict(sorted(counts.items()))
+
+    def draws_by_component(self) -> dict[str, int]:
+        counts: Counter[str] = Counter()
+        for component, _, _, n in self._trace:
+            counts[component] += n
+        return dict(sorted(counts.items()))
+
+    def draws_by_method(self) -> dict[str, int]:
+        counts: Counter[str] = Counter()
+        for _, _, method, n in self._trace:
+            counts[method] += n
+        return dict(sorted(counts.items()))
+
+    def summary(self) -> dict:
+        """JSON-safe digest for ``RunResult.extras`` / JSONL logs."""
+        return {
+            "events": len(self._trace),
+            "draws": self.total_draws,
+            "per_component": self.draws_by_component(),
+            "per_method": self.draws_by_method(),
+            "per_generation": {
+                str(generation): n
+                for generation, n in sorted(self.draws_by_generation().items())
+            },
+        }
+
+
+class AuditedGenerator(np.random.Generator):
+    """A ``numpy.random.Generator`` that reports draws to an :class:`RngAudit`.
+
+    A true subclass sharing the wrapped generator's bit generator: the
+    stream of variates is bit-identical to the unwrapped generator, and
+    every ``isinstance(rng, np.random.Generator)`` check in the codebase
+    keeps passing.  Only the methods in ``_AUDITED_METHODS`` are
+    counted; anything else still works, uncounted.
+    """
+
+    def __new__(cls, bit_generator, *args, **kwargs):
+        # The cython base allocates in __new__ with exactly one
+        # argument; the audit plumbing rides on __init__ alone.
+        return super().__new__(cls, bit_generator)
+
+    def __init__(
+        self,
+        bit_generator: np.random.BitGenerator,
+        audit: RngAudit | None = None,
+        component: str = "",
+        generation: Callable[[], int] | None = None,
+    ) -> None:
+        super().__init__(bit_generator)
+        self._audit = audit
+        self._component = component
+        self._generation = generation or (lambda: -1)
+
+    def _note(self, method: str, args: tuple, kwargs: dict) -> None:
+        if self._audit is not None:
+            self._audit.record(
+                self._component, self._generation(), method, _draw_count(args, kwargs)
+            )
+
+
+def _audited_method(name: str):
+    base = getattr(np.random.Generator, name)
+
+    def method(self, *args, **kwargs):
+        self._note(name, args, kwargs)
+        return base(self, *args, **kwargs)
+
+    method.__name__ = name
+    method.__qualname__ = f"AuditedGenerator.{name}"
+    method.__doc__ = base.__doc__
+    return method
+
+
+for _name in _AUDITED_METHODS:
+    setattr(AuditedGenerator, _name, _audited_method(_name))
+del _name

@@ -97,4 +97,4 @@ class ServerMetrics:
         restarted server extends its own trajectory)."""
         record = {"event": "server_stats", **self.snapshot(**extra)}
         with open(Path(path), "a") as fh:
-            fh.write(json.dumps(record) + "\n")
+            fh.write(json.dumps(record, sort_keys=True) + "\n")

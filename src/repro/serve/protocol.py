@@ -72,7 +72,7 @@ def encode(message: dict) -> bytes:
     ``Infinity`` (the convention of the run logger; ``json.loads`` reads
     them back), so infeasible solves (``gap = inf``) survive the wire.
     """
-    return (json.dumps(message) + "\n").encode("utf-8")
+    return (json.dumps(message, sort_keys=True) + "\n").encode("utf-8")
 
 
 def decode(line: bytes | str) -> dict:

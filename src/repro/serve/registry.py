@@ -159,7 +159,7 @@ class HeuristicRegistry:
         )
         path = self.artifacts_dir / f"{artifact.artifact_id}.json"
         tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(artifact.to_document(), indent=1))
+        tmp.write_text(json.dumps(artifact.to_document(), indent=1, sort_keys=True))
         tmp.replace(path)
         return artifact
 

@@ -69,7 +69,7 @@ class TriLevelCarbon(EngineAlgorithm):
     ) -> None:
         self.instance = instance
         self.config = config or CarbonConfig.quick()
-        self.rng = rng or np.random.default_rng()
+        self.rng = self._init_rng(rng, self.config.execution, component="carbon3")
         self.pset = paper_primitive_set(erc_probability=self.config.gp_erc_probability)
         self.bounds = Bounds(*instance.wholesale_bounds)
         self.reseller_population = reseller_population

@@ -15,12 +15,16 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from dataclasses import replace
+
 from repro.bcpop.generator import generate_instance
-from repro.core.carbon import run_carbon
+from repro.core.carbon import Carbon, run_carbon
 from repro.core.cobra import run_cobra
-from repro.core.config import CarbonConfig, CobraConfig, UpperLevelConfig
+from repro.core.config import CarbonConfig, CobraConfig, ExecutionConfig, UpperLevelConfig
+from repro.core.engine import EngineLoop
 from repro.core.nested import run_nested
 from repro.parallel.executor import ProcessExecutor, SerialExecutor
+from repro.parallel.rng import AuditedGenerator, RngAudit
 
 
 @pytest.fixture(scope="module")
@@ -124,3 +128,84 @@ class TestNestedDeterminism:
         with ProcessExecutor(workers=2) as ex:
             process = run_nested(instance, cfg, seed=0, executor=ex)
         assert_bit_identical(serial, process)
+
+
+class TestRngAudit:
+    """The RNG-audit sanitizer (``ExecutionConfig(rng_audit=True)``).
+
+    Static analysis (repro-lint R001) proves no draw bypasses the seeded
+    streams; these tests prove the seeded streams are *consumed
+    identically* across execution substrates — a draw sneaking into a
+    worker, or a draw-order change from batching, shifts the trace even
+    if the final populations happen to coincide.
+    """
+
+    def test_wrapped_generator_stream_is_bit_identical(self):
+        plain = np.random.default_rng(123)
+        audit = RngAudit()
+        audited = audit.wrap(np.random.default_rng(123), "test")
+        assert isinstance(audited, np.random.Generator)
+        assert np.array_equal(plain.integers(0, 100, size=50),
+                              audited.integers(0, 100, size=50))
+        assert plain.random() == audited.random()
+        assert np.array_equal(plain.normal(size=7), audited.normal(size=7))
+
+    def test_trace_records_component_generation_method_count(self):
+        audit = RngAudit()
+        gen = [0]
+        rng = audit.wrap(np.random.default_rng(0), "carbon", generation=lambda: gen[0])
+        rng.random()
+        gen[0] = 3
+        rng.integers(0, 10, size=5)
+        assert audit.trace == (("carbon", 0, "random", 1),
+                               ("carbon", 3, "integers", 5))
+        assert audit.total_draws == 6
+        summary = audit.summary()
+        assert summary["per_component"] == {"carbon": 6}
+        assert summary["per_generation"] == {"0": 1, "3": 5}
+        assert summary["per_method"] == {"integers": 5, "random": 1}
+
+    def test_spawned_children_stay_uncounted_but_usable(self):
+        # spawn() goes through numpy's own machinery; children draw fine
+        # and (not being wrapped) don't pollute the parent's trace.
+        audit = RngAudit()
+        rng = audit.wrap(np.random.default_rng(0), "parent")
+        (child,) = rng.spawn(1)
+        child.random(10)
+        assert audit.trace == ()
+        assert isinstance(child, AuditedGenerator)
+
+    def test_carbon_results_unchanged_by_audit(self, instance):
+        cfg = CarbonConfig.quick(
+            ul_evaluations=120, ll_evaluations=120, population_size=10
+        )
+        audited_cfg = replace(cfg, execution=ExecutionConfig(rng_audit=True))
+        bare = run_carbon(instance, cfg, seed=0, executor=SerialExecutor())
+        audited = run_carbon(instance, audited_cfg, seed=0, executor=SerialExecutor())
+        assert_bit_identical(bare, audited)
+        report = audited.extras["rng_audit"]
+        assert report["draws"] > 0
+        assert set(report["per_component"]) == {"carbon"}
+        assert "rng_audit" not in bare.extras
+
+    def test_serial_and_parallel_draw_traces_identical(self, instance):
+        cfg = replace(
+            CarbonConfig.quick(
+                ul_evaluations=120, ll_evaluations=120, population_size=10
+            ),
+            execution=ExecutionConfig(rng_audit=True),
+        )
+
+        def run(executor):
+            algo = Carbon(instance, config=cfg,
+                          rng=np.random.default_rng(0), executor=executor)
+            result = EngineLoop(algo).run(seed_label=0)
+            return result, algo.rng_audit
+
+        serial_result, serial_audit = run(SerialExecutor())
+        with ProcessExecutor(workers=2) as ex:
+            process_result, process_audit = run(ex)
+        # The full event-by-event draw trace — not just totals — agrees.
+        assert serial_audit.trace == process_audit.trace
+        assert serial_result.extras["rng_audit"] == process_result.extras["rng_audit"]
+        assert_bit_identical(serial_result, process_result)

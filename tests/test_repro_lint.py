@@ -1,0 +1,534 @@
+"""Per-rule tests for ``repro-lint`` (repro.analysis).
+
+Every rule has (at least) one minimal fixture that fires it and one
+negative fixture that must stay quiet, so a rule can neither silently
+die nor silently overreach.  The golden test at the bottom runs the
+engine over ``src/`` with the repo's own pyproject configuration and
+asserts zero findings — CI fails the moment a new violation lands.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    ALL_RULES,
+    LintConfig,
+    LintEngine,
+    RuleConfig,
+    lint_source,
+    load_config,
+)
+from repro.analysis.cli import main as lint_main
+from repro.analysis.typing_gate import count_ignores, load_baseline
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def codes(source: str, path: str = "mod.py", config: LintConfig | None = None) -> list[str]:
+    return [d.code for d in lint_source(source, path=path, config=config)]
+
+
+# ---------------------------------------------------------------------------
+# R001 — unseeded RNG
+# ---------------------------------------------------------------------------
+
+
+class TestR001UnseededRng:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "import random\nx = random.random()\n",
+            "import random\nrandom.shuffle(pop)\n",
+            "import numpy as np\nx = np.random.rand(3)\n",
+            "import numpy as np\nnp.random.seed(0)\n",
+            "import numpy as np\nrng = np.random.default_rng()\n",
+            "import numpy as np\nrng = np.random.default_rng(None)\n",
+            "import random\nr = random.Random()\n",
+        ],
+    )
+    def test_fires(self, snippet):
+        assert "R001" in codes(snippet)
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "import numpy as np\nrng = np.random.default_rng(42)\n",
+            "import random\nr = random.Random(7)\n",
+            "import numpy as np\ng = np.random.Generator(np.random.PCG64(seq))\n",
+            "import numpy as np\nss = np.random.SeedSequence(5)\n",
+            "x = rng.random()\n",  # drawing from a passed-in generator is the idiom
+        ],
+    )
+    def test_quiet(self, snippet):
+        assert "R001" not in codes(snippet)
+
+
+# ---------------------------------------------------------------------------
+# R002 — wall-clock
+# ---------------------------------------------------------------------------
+
+
+class TestR002WallClock:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "import time\nt = time.time()\n",
+            "import time\nt = time.perf_counter()\n",
+            "from datetime import datetime\nd = datetime.now()\n",
+            "import datetime\nd = datetime.datetime.utcnow()\n",
+        ],
+    )
+    def test_fires(self, snippet):
+        assert "R002" in codes(snippet)
+
+    def test_quiet_on_sleep(self):
+        assert "R002" not in codes("import time\ntime.sleep(1)\n")
+
+    def test_path_scoping(self):
+        config = LintConfig(rules={"R002": RuleConfig(paths=("repro/core/",))})
+        hot = codes("import time\nt = time.time()\n", "src/repro/core/x.py", config)
+        cold = codes("import time\nt = time.time()\n", "src/repro/serve/x.py", config)
+        assert "R002" in hot and "R002" not in cold
+
+    def test_allow_overrides_scope(self):
+        config = LintConfig(
+            rules={"R002": RuleConfig(paths=("repro/core/",), allow=("repro/core/ok.py",))}
+        )
+        assert codes("import time\nt = time.time()\n", "src/repro/core/ok.py", config) == []
+
+
+# ---------------------------------------------------------------------------
+# R003 — unordered iteration
+# ---------------------------------------------------------------------------
+
+
+class TestR003UnorderedIteration:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "for x in set(pop):\n    use(x)\n",
+            "for x in {a, b}:\n    use(x)\n",
+            "ys = [f(x) for x in frozenset(pop)]\n",
+            "for k, v in table.items():\n    use(k, v)\n",
+            "ys = [e.score for e in entries.values()]\n",
+        ],
+    )
+    def test_fires(self, snippet):
+        assert "R003" in codes(snippet)
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "for x in sorted(set(pop)):\n    use(x)\n",
+            "for k, v in sorted(table.items()):\n    use(k, v)\n",
+            "for x in pop:\n    use(x)\n",
+            "members = set(pop)\n",  # building a set is fine; iterating isn't
+        ],
+    )
+    def test_quiet(self, snippet):
+        assert "R003" not in codes(snippet)
+
+
+# ---------------------------------------------------------------------------
+# R004 — float equality on fitness values
+# ---------------------------------------------------------------------------
+
+
+class TestR004FloatEquality:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "if a.fitness == b.fitness:\n    pass\n",
+            "if best_gap != prev_gap:\n    pass\n",
+            "same = ind.fitness == 0\n",
+            "if revenue == target_revenue:\n    pass\n",
+        ],
+    )
+    def test_fires(self, snippet):
+        assert "R004" in codes(snippet)
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "if metric == 'gap':\n    pass\n",  # mode switch, not a float compare
+            "if gap is None:\n    pass\n",
+            "if a.fitness < b.fitness:\n    pass\n",  # ordering is fine
+            "if count == 3:\n    pass\n",
+            "import math\nif math.isclose(a.fitness, b.fitness):\n    pass\n",
+        ],
+    )
+    def test_quiet(self, snippet):
+        assert "R004" not in codes(snippet)
+
+
+# ---------------------------------------------------------------------------
+# R005 — mutable defaults
+# ---------------------------------------------------------------------------
+
+
+class TestR005MutableDefault:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "def f(xs=[]):\n    return xs\n",
+            "def f(cfg={}):\n    return cfg\n",
+            "def f(seen=set()):\n    return seen\n",
+            "def f(xs=list()):\n    return xs\n",
+            "def f(*, acc=dict()):\n    return acc\n",
+        ],
+    )
+    def test_fires(self, snippet):
+        assert "R005" in codes(snippet)
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "def f(xs=None):\n    return xs or []\n",
+            "def f(xs=()):\n    return xs\n",
+            "def f(n=3, name='x'):\n    return n\n",
+        ],
+    )
+    def test_quiet(self, snippet):
+        assert "R005" not in codes(snippet)
+
+
+# ---------------------------------------------------------------------------
+# R006 — fork-context / bare multiprocessing
+# ---------------------------------------------------------------------------
+
+
+class TestR006UnsafeMultiprocessing:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "import multiprocessing\np = multiprocessing.Pool(4)\n",
+            "import multiprocessing\nctx = multiprocessing.get_context('fork')\n",
+            "import multiprocessing\nctx = multiprocessing.get_context()\n",
+            "import os\npid = os.fork()\n",
+            "from concurrent.futures import ProcessPoolExecutor\nex = ProcessPoolExecutor(4)\n",
+        ],
+    )
+    def test_fires(self, snippet):
+        assert "R006" in codes(snippet)
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "import multiprocessing\nctx = multiprocessing.get_context('spawn')\n",
+            "from repro.parallel.executor import make_executor\nex = make_executor('processes')\n",
+        ],
+    )
+    def test_quiet(self, snippet):
+        assert "R006" not in codes(snippet)
+
+    def test_allowlist_exempts_the_helper_layer(self):
+        config = LintConfig(rules={"R006": RuleConfig(allow=("repro/parallel/",))})
+        snippet = "import multiprocessing\np = multiprocessing.Pool(4)\n"
+        assert codes(snippet, "src/repro/parallel/executor.py", config) == []
+        assert "R006" in codes(snippet, "src/repro/serve/server.py", config)
+
+
+# ---------------------------------------------------------------------------
+# R007 — non-canonical JSON
+# ---------------------------------------------------------------------------
+
+
+class TestR007NonCanonicalJson:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "import json\ns = json.dumps(doc)\n",
+            "import json\njson.dump(doc, fh)\n",
+            "import json\ns = json.dumps(doc, indent=1)\n",
+            "import json as _json\ns = _json.dumps(doc)\n",
+            "import json\ns = json.dumps(doc, sort_keys=False)\n",
+        ],
+    )
+    def test_fires(self, snippet):
+        assert "R007" in codes(snippet)
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "import json\ns = json.dumps(doc, sort_keys=True)\n",
+            "import json\nd = json.loads(s)\n",
+            "pickle.dumps(doc)\n",  # not a json module
+        ],
+    )
+    def test_quiet(self, snippet):
+        assert "R007" not in codes(snippet)
+
+
+# ---------------------------------------------------------------------------
+# R008 — raising observer hooks
+# ---------------------------------------------------------------------------
+
+
+class TestR008ObserverRaise:
+    def test_fires_on_raise_in_hook(self):
+        snippet = (
+            "class Stopper:\n"
+            "    def on_generation_end(self, event):\n"
+            "        if event.generation > 5:\n"
+            "            raise RuntimeError('stop now')\n"
+        )
+        assert "R008" in codes(snippet)
+
+    def test_quiet_on_request_stop(self):
+        snippet = (
+            "class Stopper:\n"
+            "    def on_generation_end(self, event):\n"
+            "        if event.generation > 5:\n"
+            "            event.loop.request_stop('patience')\n"
+        )
+        assert "R008" not in codes(snippet)
+
+    def test_quiet_on_cleanup_reraise(self):
+        snippet = (
+            "class Logger:\n"
+            "    def on_run_end(self, event):\n"
+            "        try:\n"
+            "            self.fh.write('end')\n"
+            "        except OSError:\n"
+            "            self.fh = None\n"
+            "            raise\n"
+        )
+        assert "R008" not in codes(snippet)
+
+    def test_quiet_outside_hooks(self):
+        assert "R008" not in codes("def validate(x):\n    raise ValueError(x)\n")
+
+
+# ---------------------------------------------------------------------------
+# R009 — pickled closures
+# ---------------------------------------------------------------------------
+
+
+class TestR009PickledClosure:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "import pickle\nblob = pickle.dumps(lambda x: x + 1)\n",
+            "executor.submit(lambda: work())\n",
+            "pool.apply_async(lambda x: x, (1,))\n",
+            "self.executor.map(lambda b: run(b), batches)\n",
+        ],
+    )
+    def test_fires(self, snippet):
+        assert "R009" in codes(snippet)
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "import pickle\nblob = pickle.dumps(payload)\n",
+            "self.executor.map(evaluate_batch, batches)\n",
+            "xs = map(lambda x: x + 1, ys)\n",  # builtin map stays in-process
+        ],
+    )
+    def test_quiet(self, snippet):
+        assert "R009" not in codes(snippet)
+
+
+# ---------------------------------------------------------------------------
+# R010 — swallowed interrupts
+# ---------------------------------------------------------------------------
+
+
+class TestR010SwallowedInterrupt:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "try:\n    work()\nexcept:\n    pass\n",
+            "try:\n    work()\nexcept BaseException as exc:\n    log(exc)\n",
+            "try:\n    work()\nexcept (ValueError, BaseException):\n    pass\n",
+        ],
+    )
+    def test_fires(self, snippet):
+        assert "R010" in codes(snippet)
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "try:\n    work()\nexcept Exception as exc:\n    log(exc)\n",
+            "try:\n    work()\nexcept BaseException:\n    cleanup()\n    raise\n",
+            "try:\n    work()\nexcept KeyboardInterrupt:\n    raise\n",
+        ],
+    )
+    def test_quiet(self, snippet):
+        assert "R010" not in codes(snippet)
+
+
+# ---------------------------------------------------------------------------
+# pragmas
+# ---------------------------------------------------------------------------
+
+
+class TestPragmas:
+    SNIPPET = "import time\nt = time.time()  # repro-lint: disable=R002  # telemetry\n"
+
+    def test_line_pragma_suppresses(self):
+        assert codes(self.SNIPPET) == []
+
+    def test_line_pragma_is_code_specific(self):
+        source = "import time\nt = time.time()  # repro-lint: disable=R001\n"
+        assert "R002" in codes(source)
+
+    def test_next_line_pragma(self):
+        source = (
+            "import time\n"
+            "# repro-lint: disable-next-line=R002  # telemetry\n"
+            "t = time.time()\n"
+        )
+        assert codes(source) == []
+
+    def test_file_pragma(self):
+        source = (
+            "# repro-lint: disable-file=R002  # this module is all telemetry\n"
+            "import time\n"
+            "a = time.time()\n"
+            "b = time.perf_counter()\n"
+        )
+        assert codes(source) == []
+
+    def test_disable_all(self):
+        source = "import time\nt = time.time()  # repro-lint: disable=all\n"
+        assert codes(source) == []
+
+    def test_multiple_codes(self):
+        source = (
+            "import time, json\n"
+            "x = json.dumps(time.time())  # repro-lint: disable=R002,R007\n"
+        )
+        assert codes(source) == []
+
+
+# ---------------------------------------------------------------------------
+# engine / CLI surface
+# ---------------------------------------------------------------------------
+
+
+class TestEngineSurface:
+    def test_diagnostic_format_is_ruff_style(self):
+        (diag,) = lint_source("import time\nt = time.time()\n", path="src/x.py")
+        assert diag.format() == f"src/x.py:2:5: R002 {diag.message}"
+
+    def test_parse_error_reported_not_crash(self):
+        engine = LintEngine()
+        assert engine.lint_source("def broken(:\n", path="bad.py") == []
+        assert engine.parse_errors and engine.parse_errors[0].path == "bad.py"
+
+    def test_select_restricts_rules(self):
+        engine = LintEngine(select=["R005"])
+        source = "import time\ndef f(xs=[]):\n    return time.time()\n"
+        assert [d.code for d in engine.lint_source(source)] == ["R005"]
+
+    def test_every_rule_has_a_code_and_docstring(self):
+        assert len(ALL_RULES) == 10
+        assert [r.code for r in ALL_RULES] == [f"R{i:03d}" for i in range(1, 11)]
+        for rule in ALL_RULES:
+            assert rule.check.__doc__, f"{rule.code} has no rationale docstring"
+
+
+class TestCli:
+    def _write(self, tmp_path: Path, source: str) -> Path:
+        target = tmp_path / "mod.py"
+        target.write_text(source)
+        return target
+
+    def test_exit_zero_on_clean(self, tmp_path, capsys):
+        target = self._write(tmp_path, "x = 1\n")
+        assert lint_main([str(target)]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_exit_one_on_findings(self, tmp_path, capsys):
+        target = self._write(tmp_path, "def f(xs=[]):\n    return xs\n")
+        assert lint_main([str(target)]) == 1
+        assert "R005" in capsys.readouterr().out
+
+    def test_exit_two_on_syntax_error(self, tmp_path, capsys):
+        target = self._write(tmp_path, "def broken(:\n")
+        assert lint_main([str(target)]) == 2
+        assert "parse error" in capsys.readouterr().err
+
+    def test_json_format(self, tmp_path, capsys):
+        target = self._write(tmp_path, "def f(xs=[]):\n    return xs\n")
+        assert lint_main(["--format", "json", str(target)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"][0]["code"] == "R005"
+        assert payload["findings"][0]["line"] == 1
+        assert payload["parse_errors"] == []
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "R001" in out and "R010" in out
+
+    def test_unknown_select_code_is_usage_error(self, tmp_path, capsys):
+        target = self._write(tmp_path, "x = 1\n")
+        assert lint_main(["--select", "R999", str(target)]) == 2
+
+    def test_console_script_entry_point(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "--list-rules"],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0
+        assert "R001" in proc.stdout
+
+
+# ---------------------------------------------------------------------------
+# the golden gate: src/ is clean under the repo's own configuration
+# ---------------------------------------------------------------------------
+
+
+class TestGoldenSrcClean:
+    def test_src_tree_has_no_findings(self):
+        config = load_config(REPO_ROOT / "pyproject.toml")
+        engine = LintEngine(config=config)
+        findings = engine.lint_paths([REPO_ROOT / "src"])
+        assert engine.parse_errors == []
+        assert findings == [], "\n" + "\n".join(d.format() for d in findings)
+
+    def test_repo_config_scopes_are_loaded(self):
+        config = load_config(REPO_ROOT / "pyproject.toml")
+        assert config.rule("R002").paths  # wall-clock rule is scoped
+        assert config.rule("R006").allow  # parallel helpers exempt
+        assert config.rule("R007").paths  # serialization modules listed
+
+
+# ---------------------------------------------------------------------------
+# typing gate
+# ---------------------------------------------------------------------------
+
+
+class TestTypingGate:
+    def test_baseline_parses_and_budget_holds(self):
+        baseline = load_baseline(REPO_ROOT / "typing-baseline.txt")
+        assert "total-ignores" in baseline
+        current = count_ignores(REPO_ROOT / "src")
+        assert sum(current.values()) <= baseline["total-ignores"]
+
+    def test_gate_passes_on_current_tree(self):
+        from repro.analysis.typing_gate import main as gate_main
+
+        assert gate_main(["--check", "--repo-root", str(REPO_ROOT)]) == 0
+
+    def test_gate_fails_when_budget_grows(self, tmp_path):
+        from repro.analysis.typing_gate import main as gate_main
+
+        strict_pkg = tmp_path / "src" / "repro" / "core"
+        strict_pkg.mkdir(parents=True)
+        (tmp_path / "src" / "repro" / "parallel").mkdir(parents=True)
+        (tmp_path / "src" / "repro" / "serve").mkdir(parents=True)
+        (tmp_path / "src" / "repro" / "analysis").mkdir(parents=True)
+        (strict_pkg / "mod.py").write_text("x = f()  # type: ignore[no-any]\n")
+        (tmp_path / "typing-baseline.txt").write_text("total-ignores 0\n")
+        assert gate_main(["--check", "--repo-root", str(tmp_path)]) == 1
