@@ -427,7 +427,14 @@ def _check_non_canonical_json(ctx: RuleContext) -> Iterator[Diagnostic]:
 # ---------------------------------------------------------------------------
 
 _OBSERVER_HOOKS = frozenset(
-    {"on_init", "on_record", "on_generation_end", "on_migration", "on_run_end"}
+    {
+        "on_init",
+        "on_record",
+        "on_generation_end",
+        "on_migration",
+        "on_archive",
+        "on_run_end",
+    }
 )
 
 

@@ -33,6 +33,7 @@ from __future__ import annotations
 import pickle
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -314,20 +315,20 @@ class LowerLevelEvaluator:
 # life of the pool, so the instance is unpickled and the LP-relaxation cache
 # warmed once per worker rather than once per generation.
 
-_WORKER_EVALUATORS: dict[tuple[str, str], LowerLevelEvaluator] = {}
+_WORKER_EVALUATORS: dict[tuple[str, str], Any] = {}
 
 
-def _worker_evaluator(
-    blob: bytes, digest: str, lp_backend: str, gap_eps: float
-) -> LowerLevelEvaluator:
+def _worker_evaluator(blob: bytes, digest: str, lp_backend: str, gap_eps: float):
     key = (digest, lp_backend)
     found = _WORKER_EVALUATORS.get(key)
     if found is None:
         instance = pickle.loads(blob)
         # Workers never memoize: the parent owns the memo and dedupes
         # before dispatch, so a worker memo would only hide work counts.
-        found = LowerLevelEvaluator(
-            instance, lp_backend=lp_backend, gap_eps=gap_eps, memo_size=0
+        # The instance picks its own evaluator class, so non-BCPOP
+        # families (e.g. the bilinear toy) ride the same pool.
+        found = instance.make_evaluator(
+            lp_backend=lp_backend, gap_eps=gap_eps, memo_size=0
         )
         _WORKER_EVALUATORS[key] = found
     return found

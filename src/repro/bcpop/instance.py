@@ -25,6 +25,11 @@ import numpy as np
 
 from repro.covering.instance import CoveringInstance
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.bcpop.evaluate import LowerLevelEvaluator
+
 __all__ = ["BcpopInstance"]
 
 
@@ -142,6 +147,27 @@ class BcpopInstance:
         if sel.shape != (self.n_bundles,):
             raise ValueError(f"selection shape {sel.shape} != ({self.n_bundles},)")
         return float(prices @ sel[: self.n_own])
+
+    def make_evaluator(
+        self,
+        lp_backend: str = "scipy",
+        cache_size: int = 4096,
+        gap_eps: float = 1e-9,
+        memo_size: int | None = None,
+    ) -> "LowerLevelEvaluator":
+        """Polymorphic evaluator factory — the pipeline's worker side
+        calls this instead of hard-coding one evaluator class, so other
+        instance families (e.g. :mod:`repro.bilevel.bilinear`) ride the
+        same process pool."""
+        from repro.bcpop.evaluate import DEFAULT_MEMO_SIZE, LowerLevelEvaluator
+
+        return LowerLevelEvaluator(
+            self,
+            lp_backend=lp_backend,
+            cache_size=cache_size,
+            gap_eps=gap_eps,
+            memo_size=DEFAULT_MEMO_SIZE if memo_size is None else memo_size,
+        )
 
     def market_only_instance(self) -> CoveringInstance:
         """The covering instance where the leader's bundles are priced at

@@ -21,9 +21,19 @@ from repro.bilevel.linear import (
     mersha_dempe_example,
 )
 from repro.bilevel.taxonomy import bilevel_taxonomy, render_taxonomy
+from repro.bilevel.bilinear import (
+    BilinearContext,
+    BilinearEvaluator,
+    BilinearInstance,
+    bilinear_instance,
+)
 
 __all__ = [
     "percent_gap",
+    "BilinearContext",
+    "BilinearEvaluator",
+    "BilinearInstance",
+    "bilinear_instance",
     "BilevelProblem",
     "GridBilevelProblem",
     "RationalReaction",

@@ -4,6 +4,14 @@ Both algorithms keep size-100 archives at each level (Table II).  An
 archive holds the best-``key`` unique entries seen so far; uniqueness is
 decided by a caller-provided identity function so price vectors (quantized
 bytes) and GP trees (structural hash) can both be deduplicated.
+
+Ordering is a *canonical total order*: entries compare by score first and
+by a canonical rendering of their identity key second, so ranking —
+``best()``, ``entries()``, ``top()`` and bounded-size eviction — never
+depends on dict insertion order.  The archive's content is therefore a
+pure function of the *set* of offered (item, score) pairs: offering the
+same members in any order yields the same archive
+(tests/test_eval_modes.py property-tests this invariant).
 """
 
 from __future__ import annotations
@@ -13,7 +21,7 @@ from typing import Any, Callable, Iterator
 
 import numpy as np
 
-__all__ = ["ArchiveEntry", "Archive"]
+__all__ = ["ArchiveEntry", "Archive", "identity_token"]
 
 
 @dataclass
@@ -31,6 +39,22 @@ def _default_identity(item: Any) -> Any:
             return item.tobytes()
         return np.round(item.astype(np.float64), 9).tobytes()
     return item
+
+
+def identity_token(key: Any) -> str:
+    """Canonical string rendering of a dedup key, used as the score
+    tie-break in the archive's total order.  Prefixed with the type name
+    so keys of different types never compare equal and the combined
+    (score, token) order is total for any mix of key types."""
+    if isinstance(key, bytes):
+        return f"bytes:{key.hex()}"
+    if isinstance(key, str):
+        return f"str:{key}"
+    if isinstance(key, (int, np.integer)):
+        return f"int:{int(key)}"
+    if isinstance(key, float):
+        return f"float:{key.hex()}"
+    return f"{type(key).__name__}:{key!r}"
 
 
 class Archive:
@@ -62,10 +86,15 @@ class Archive:
         self._entries: dict[Any, ArchiveEntry] = {}
 
     def _key(self, score: float) -> float:
-        """Sort key: lower = better; NaN is always worst."""
+        """Score component of the order: lower = better; NaN always worst."""
         if np.isnan(score):
             return np.inf
         return score if self.minimize else -score
+
+    def _order(self, key: Any, entry: ArchiveEntry) -> tuple[float, str]:
+        """Canonical total order: score first, identity token second —
+        insertion-order independent by construction."""
+        return (self._key(entry.score), identity_token(key))
 
     def _better(self, a: float, b: float) -> bool:
         """True iff score ``a`` beats score ``b``."""
@@ -83,7 +112,9 @@ class Archive:
             return False
         self._entries[key] = entry
         if len(self._entries) > self.maxsize:
-            worst_key = max(self._entries, key=lambda k: self._key(self._entries[k].score))
+            worst_key = max(
+                self._entries.items(), key=lambda kv: self._order(kv[0], kv[1])
+            )[0]
             evicted = worst_key == key
             del self._entries[worst_key]
             return not evicted
@@ -93,14 +124,19 @@ class Archive:
         """The single best entry (raises on empty archive)."""
         if not self._entries:
             raise ValueError("archive is empty")
-        return min(self._entries.values(), key=lambda e: self._key(e.score))
+        return min(
+            self._entries.items(), key=lambda kv: self._order(kv[0], kv[1])
+        )[1]
 
     def best_score(self) -> float:
         return self.best().score
 
     def entries(self) -> list[ArchiveEntry]:
-        """All entries, best first."""
-        return sorted(self._entries.values(), key=lambda e: self._key(e.score))
+        """All entries, best first (canonical order)."""
+        ordered = sorted(
+            self._entries.items(), key=lambda kv: self._order(kv[0], kv[1])
+        )
+        return [entry for _, entry in ordered]
 
     def top(self, n: int) -> list[ArchiveEntry]:
         return self.entries()[:n]
@@ -117,14 +153,14 @@ class Archive:
     # -- checkpoint support -------------------------------------------------
 
     def state_dict(self) -> dict:
-        """Entries in internal insertion order (order matters: equal-score
-        ties in :meth:`best` and eviction break by iteration order, so
-        exact resume must reproduce it)."""
+        """Entries in canonical order.  Ranking, eviction and iteration
+        are all insertion-order independent (see :meth:`_order`), so the
+        canonical order is a complete serialization — resume needs no
+        insertion-order bookkeeping."""
         return {
             "entries": [
                 {"item": e.item, "score": e.score, "aux": e.aux}
-                # repro-lint: disable-next-line=R003  # insertion order IS the state being checkpointed (tie-breaks and eviction depend on it; see docstring)
-                for e in self._entries.values()
+                for e in self.entries()
             ]
         }
 

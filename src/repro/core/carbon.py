@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.bcpop.evaluate import EvaluationPipeline, LowerLevelEvaluator
+from repro.bcpop.evaluate import EvaluationPipeline
 from repro.bcpop.instance import BcpopInstance
 from repro.core.archive import Archive, ArchiveEntry
 from repro.core.config import CarbonConfig
@@ -86,8 +86,8 @@ class Carbon(EngineAlgorithm):
         self.config = config or CarbonConfig.paper()
         execution = self.config.execution
         self.rng = self._init_rng(rng, execution, component="carbon")
-        self.evaluator = LowerLevelEvaluator(
-            instance, lp_backend=lp_backend, memo_size=execution.memo_size
+        self.evaluator = instance.make_evaluator(
+            lp_backend=lp_backend, memo_size=execution.memo_size
         )
         self._owns_executor = executor is None
         self.executor = executor if executor is not None else execution.make_executor()
@@ -104,6 +104,7 @@ class Carbon(EngineAlgorithm):
         self._engine_init(
             self.config.upper.fitness_evaluations, self.config.ll_fitness_evaluations
         )
+        self._init_eval_mode(self.config.eval_mode)
         self.ul_archive = Archive(self.config.upper.archive_size, minimize=False)
         self.ll_archive = Archive(
             self.config.ll_archive_size, minimize=True, identity=hash
@@ -140,11 +141,21 @@ class Carbon(EngineAlgorithm):
 
     def _price_sample(self, k: int) -> list[np.ndarray]:
         """Upper-level decisions the heuristics are graded against: drawn
-        from the current prey population (the competitive coupling)."""
+        from the current prey population (the competitive coupling), plus
+        archived adversaries under non-``current`` evaluation modes (so
+        predators cannot forget how to answer past pricing regimes).
+
+        Under ``current`` mode the archived panel is empty and no extra
+        RNG is consumed, so the draw is bit-identical to the historical
+        behaviour."""
+        archived = self.eval_mode.upper_panel(k // 2, self.rng)
+        k_live = k - len(archived)
         if not self.ul_pop:
-            return [self.bounds.sample(self.rng) for _ in range(k)]
-        idx = self.rng.integers(len(self.ul_pop), size=k)
-        return [self.ul_pop[i].genome for i in idx]
+            live = [self.bounds.sample(self.rng) for _ in range(k_live)]
+        else:
+            idx = self.rng.integers(len(self.ul_pop), size=k_live)
+            live = [self.ul_pop[i].genome for i in idx]
+        return live + archived
 
     def _evaluate_predators(
         self, inds: list[Individual], sample: list[np.ndarray]
@@ -183,30 +194,70 @@ class Carbon(EngineAlgorithm):
             self.ll_archive.add(ind.genome, ind.fitness, aux=dict(ind.aux))
 
     def _evaluate_prey(self, inds: list[Individual]) -> None:
-        """Batch-evaluate pricing vectors: leader revenue under the
-        champion's predicted reaction.  Budget truncation and archive
-        order mirror serial one-at-a-time evaluation; individuals beyond
-        the budget get ``-inf`` fitness."""
+        """Batch-evaluate pricing vectors: leader revenue against the
+        evaluation mode's opponent panel — champion-only under
+        ``current`` (the historical behaviour, bit-identical including
+        budget accounting), champion + archived heuristics folded per
+        :meth:`EvaluationMode.aggregate` otherwise.
+
+        Budget is charged per (prices, heuristic) evaluation with the
+        same individual-major plan-loop truncation as
+        :meth:`_evaluate_predators`, so a dry budget stops exactly where
+        serial evaluation would have; unreached individuals get
+        ``-inf`` fitness."""
         assert self.champion is not None
-        take = self.ledger.upper.take(len(inds))
-        requests = [(ind.genome, self.champion) for ind in inds[:take]]
+        panel = self.eval_mode.lower_panel(self.champion, self.rng)
+        budget = self.ledger.upper.left
+        plan: list[int] = []
+        requests: list[tuple[np.ndarray, SyntaxTree]] = []
+        for ind in inds:
+            take = min(len(panel), max(budget, 0))
+            plan.append(take)
+            requests.extend((ind.genome, solver) for solver in panel[:take])
+            budget -= take
         outcomes = self.pipeline.evaluate_heuristics(requests)
-        for ind, outcome in zip(inds[:take], outcomes):
-            self.ledger.charge(upper=1)
-            ind.fitness = outcome.revenue if outcome.feasible else -np.inf
+        pos = 0
+        for ind, take in zip(inds, plan):
+            chunk = outcomes[pos: pos + take]
+            pos += take
+            self.ledger.charge(upper=take)
+            if not chunk:
+                ind.fitness = -np.inf  # budget ran dry before any evaluation
+                continue
+            payoffs = [
+                outcome.revenue if outcome.feasible else -np.inf
+                for outcome in chunk
+            ]
+            ind.fitness = self.eval_mode.aggregate(payoffs)
+            rep = chunk[self.eval_mode.representative_index(payoffs)]
             ind.aux = {
-                "gap": outcome.gap,
-                "selection": outcome.selection,
-                "ll_cost": outcome.ll_cost,
-                "lower_bound": outcome.lower_bound,
+                "gap": rep.gap,
+                "selection": rep.selection,
+                "ll_cost": rep.ll_cost,
+                "lower_bound": rep.lower_bound,
             }
             self.ul_archive.add(ind.genome.copy(), ind.fitness, aux=dict(ind.aux))
-        for ind in inds[take:]:
-            ind.fitness = -np.inf
+        self._record_best_prey(inds)
+
+    def _record_best_prey(self, inds: list[Individual]) -> None:
+        """Offer this batch's best pricing vector to the upper opponent
+        pool (no-op under ``current`` mode)."""
+        if self.eval_mode.is_current or not inds:
+            return
+        fits = [
+            ind.fitness if np.isfinite(ind.fitness) else -np.inf for ind in inds
+        ]
+        best = inds[int(np.argmax(fits))]
+        if np.isfinite(best.fitness):
+            self.eval_mode.record_upper(
+                best.genome.copy(), best.fitness, self.generation
+            )
 
     def _update_champion(self) -> None:
         if len(self.ll_archive):
-            self.champion = self.ll_archive.best().item
+            best = self.ll_archive.best()
+            self.champion = best.item
+            self.eval_mode.record_lower(best.item, best.score, self.generation)
 
     # -- generations -------------------------------------------------------
 
@@ -284,12 +335,23 @@ class Carbon(EngineAlgorithm):
                 eta=cfg.polynomial_eta,
                 per_gene_probability=cfg.mutation_probability,
             )
-        self._evaluate_prey(offspring)
-        best_entry = self.ul_archive.best()
-        elite = Individual(
-            genome=best_entry.item.copy(), fitness=best_entry.score,
-            aux=dict(best_entry.aux),
-        )
+        if self.eval_mode.is_current:
+            self._evaluate_prey(offspring)
+            best_entry = self.ul_archive.best()
+            elite = Individual(
+                genome=best_entry.item.copy(), fitness=best_entry.score,
+                aux=dict(best_entry.aux),
+            )
+        else:
+            # Non-``current`` modes re-evaluate the reigning elite against
+            # *today's* opponent panel alongside the offspring: an elite
+            # that only looked good against a stale panel loses its seat
+            # (the overestimation channel Nolfi's archive method closes) —
+            # carrying the archived score forward would freeze gen-0
+            # optimism into the population forever.
+            best_entry = self.ul_archive.best()
+            elite = Individual(genome=best_entry.item.copy())
+            self._evaluate_prey(offspring + [elite])
         self.ul_pop = offspring[: cfg.population_size - 1] + [elite]
 
     def generation_metrics(self) -> dict[str, float]:
@@ -375,6 +437,8 @@ class Carbon(EngineAlgorithm):
         """§V-B protocol: best %-gap from the lower-level archive, best
         upper-level fitness from the upper-level archive."""
         best_ul = self.ul_archive.best()
+        live = [ind for ind in self.ul_pop if np.isfinite(ind.fitness)]
+        final_best = max(live, key=lambda ind: ind.fitness) if live else None
         return RunResult(
             algorithm=self.name,
             instance_name=self.instance.name,
@@ -392,6 +456,20 @@ class Carbon(EngineAlgorithm):
                 "champion_tree": self.champion,
                 "lp_cache": self.evaluator.cache_stats,
                 "pipeline": self.pipeline.stats,
+                "eval_mode": self.eval_mode.mode,
+                "opponent_pools": {
+                    "upper": len(self.eval_mode.upper_pool),
+                    "lower": len(self.eval_mode.lower_pool),
+                },
+                # The *surviving* best — the honest convergence measure
+                # for competitive runs (archived scores can be stale
+                # optimism from weaker early panels).
+                "final_best_prices": (
+                    final_best.genome.copy() if final_best is not None else None
+                ),
+                "final_best_fitness": (
+                    final_best.fitness if final_best is not None else np.nan
+                ),
             },
         )
 
@@ -404,6 +482,7 @@ class Carbon(EngineAlgorithm):
             "ul_archive": self.ul_archive.state_dict(),
             "ll_archive": self.ll_archive.state_dict(),
             "champion": self.champion,
+            "eval_mode": self.eval_mode.state_dict(),
         }
 
     def _load_payload(self, payload: dict) -> None:
@@ -412,6 +491,9 @@ class Carbon(EngineAlgorithm):
         self.ul_archive.load_state_dict(payload["ul_archive"])
         self.ll_archive.load_state_dict(payload["ll_archive"])
         self.champion = payload["champion"]
+        mode_state = payload.get("eval_mode")  # absent in pre-mode checkpoints
+        if mode_state is not None:
+            self.eval_mode.load_state_dict(mode_state)
 
 
 def run_carbon(

@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.bcpop.evaluate import EvaluationPipeline, LowerLevelEvaluator
+from repro.bcpop.evaluate import EvaluationPipeline
 from repro.bcpop.instance import BcpopInstance
 from repro.parallel.executor import Executor
 from repro.core.archive import Archive
@@ -75,8 +75,8 @@ class Cobra(EngineAlgorithm):
         self.config = config or CobraConfig.paper()
         execution = self.config.execution
         self.rng = self._init_rng(rng, execution, component="cobra")
-        self.evaluator = LowerLevelEvaluator(
-            instance, lp_backend=lp_backend, memo_size=execution.memo_size
+        self.evaluator = instance.make_evaluator(
+            lp_backend=lp_backend, memo_size=execution.memo_size
         )
         # COBRA's per-individual fitness is a dot product — the expensive
         # part is the LP relaxation behind each archived pairing's %-gap,
@@ -94,6 +94,7 @@ class Cobra(EngineAlgorithm):
         self._engine_init(
             self.config.upper.fitness_evaluations, self.config.ll_fitness_evaluations
         )
+        self._init_eval_mode(self.config.eval_mode)
         self.upper_archive = Archive(self.config.upper.archive_size, minimize=False)
         self.lower_archive = Archive(self.config.ll_archive_size, minimize=True)
         # Live positional pairing: pop_u[i] is coupled with pop_l[i].
@@ -294,6 +295,25 @@ class Cobra(EngineAlgorithm):
                 ind.genome.copy(), ind.fitness,
                 aux={"partner": partner.copy(), "gap": gap},
             )
+        self._record_adversaries()
+
+    def _record_adversaries(self) -> None:
+        """Offer this generation's best of each side to the evaluation
+        mode's opponent pools (no-op under ``current``)."""
+        if self.eval_mode.is_current:
+            return
+        finite_u = [ind for ind in self.pop_u if np.isfinite(ind.fitness)]
+        if finite_u:
+            best_u = max(finite_u, key=lambda ind: ind.fitness)
+            self.eval_mode.record_upper(
+                best_u.genome.copy(), best_u.fitness, self.generation
+            )
+        finite_l = [ind for ind in self.pop_l if np.isfinite(ind.fitness)]
+        if finite_l:
+            best_l = min(finite_l, key=lambda ind: ind.fitness)
+            self.eval_mode.record_lower(
+                best_l.genome.copy(), best_l.fitness, self.generation
+            )
 
     def _selection(self) -> None:
         """Line 7: tournament-rebuild both populations (this implicitly
@@ -314,17 +334,31 @@ class Cobra(EngineAlgorithm):
     def _coevolution(self) -> None:
         """Line 8: random re-pairing — a fraction of each population gets a
         fresh partner drawn from the other side and is re-evaluated against
-        it (evaluations counted) — the explicit exchange operator."""
+        it (evaluations counted) — the explicit exchange operator.
+
+        Under non-``current`` evaluation modes the fresh partner comes
+        from the mode's opponent pool when it has members (archived
+        adversaries — so re-pairing also replays past regimes), falling
+        back to the live population draw; under ``current`` the archived
+        branch never triggers and no extra RNG is consumed."""
         k_u = int(self.config.coevolution_fraction * len(self.pop_u))
         for idx in self.rng.choice(len(self.pop_u), size=k_u, replace=False):
-            mate = self.pop_l[self.rng.integers(len(self.pop_l))]
-            self.pop_u[idx].aux["partner"] = mate.genome.copy()
+            archived = self.eval_mode.opponent("lower", self.rng)
+            if archived is not None:
+                self.pop_u[idx].aux["partner"] = archived.copy()
+            else:
+                mate = self.pop_l[self.rng.integers(len(self.pop_l))]
+                self.pop_u[idx].aux["partner"] = mate.genome.copy()
             if not self._eval_upper(self.pop_u[idx]):
                 break
         k_l = int(self.config.coevolution_fraction * len(self.pop_l))
         for idx in self.rng.choice(len(self.pop_l), size=k_l, replace=False):
-            mate = self.pop_u[self.rng.integers(len(self.pop_u))]
-            self.pop_l[idx].aux["partner"] = mate.genome.copy()
+            archived = self.eval_mode.opponent("upper", self.rng)
+            if archived is not None:
+                self.pop_l[idx].aux["partner"] = archived.copy()
+            else:
+                mate = self.pop_u[self.rng.integers(len(self.pop_u))]
+                self.pop_l[idx].aux["partner"] = mate.genome.copy()
             if not self._eval_lower(self.pop_l[idx]):
                 break
 
@@ -447,6 +481,11 @@ class Cobra(EngineAlgorithm):
             extras={
                 "lp_cache": self.evaluator.cache_stats,
                 "pipeline": self.pipeline.stats,
+                "eval_mode": self.eval_mode.mode,
+                "opponent_pools": {
+                    "upper": len(self.eval_mode.upper_pool),
+                    "lower": len(self.eval_mode.lower_pool),
+                },
             },
         )
 
@@ -458,6 +497,7 @@ class Cobra(EngineAlgorithm):
             "pop_l": list(self.pop_l),
             "upper_archive": self.upper_archive.state_dict(),
             "lower_archive": self.lower_archive.state_dict(),
+            "eval_mode": self.eval_mode.state_dict(),
         }
 
     def _load_payload(self, payload: dict) -> None:
@@ -465,6 +505,9 @@ class Cobra(EngineAlgorithm):
         self.pop_l = list(payload["pop_l"])
         self.upper_archive.load_state_dict(payload["upper_archive"])
         self.lower_archive.load_state_dict(payload["lower_archive"])
+        mode_state = payload.get("eval_mode")  # absent in pre-mode checkpoints
+        if mode_state is not None:
+            self.eval_mode.load_state_dict(mode_state)
 
 
 def run_cobra(

@@ -15,7 +15,80 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-__all__ = ["ExecutionConfig", "UpperLevelConfig", "CarbonConfig", "CobraConfig"]
+__all__ = [
+    "EVAL_MODES",
+    "EvalModeConfig",
+    "ExecutionConfig",
+    "UpperLevelConfig",
+    "CarbonConfig",
+    "CobraConfig",
+]
+
+#: The engine's evaluation-mode vocabulary (Nolfi & Pagliuca's menu plus
+#: the historical behaviour).  Semantics live in :mod:`repro.core.evalmode`.
+EVAL_MODES = ("current", "hall-of-fame", "archive", "maxsolve", "generalist")
+
+
+@dataclass(frozen=True)
+class EvalModeConfig:
+    """How competitive fitness is measured against the opposing side.
+
+    ``"current"`` reproduces the historical behaviour exactly (opponents
+    come from the current opposing population / champion only; the code
+    path and RNG draw sequence are bit-identical to runs predating this
+    config).  The other modes grade against *opponent pools* — bounded,
+    deduplicated archives of past adversaries — which is the classic
+    defence against co-evolutionary cycling and forgetting:
+
+    ``"hall-of-fame"``
+        Pool of the most *recent* per-generation champions; candidates
+        must beat the whole panel (worst-case aggregation), so best-case
+        fitness is monotone — old skills cannot be silently forgotten.
+    ``"archive"``
+        Elite pool of the best-scoring past opponents (dedup via
+        ``stable_hash``-style identities, bounded size, deterministic
+        eviction); worst-case aggregation.  The mode the convergence gate
+        runs under.
+    ``"maxsolve"``
+        Ficici's maxsolve flavour: fitness is the number of panel
+        opponents *solved* (payoff at or above ``solved_threshold``),
+        with the mean payoff squashed into (0, 1) as a deterministic
+        tie-break.  The panel spans the pool's quality range.
+    ``"generalist"``
+        Mean payoff over a uniformly sampled panel from the pool —
+        rewards generalists rather than specialists against the single
+        current champion.
+
+    Parameters
+    ----------
+    mode:
+        One of :data:`EVAL_MODES`.
+    pool_size:
+        Opponent-pool capacity (bounded-archive maxsize).
+    panel_size:
+        Opponents each candidate is evaluated against under non-current
+        modes (the current champion always included).  ``"current"``
+        always uses exactly one.
+    solved_threshold:
+        Payoff counting as "solved" for ``"maxsolve"``.  The default 0.0
+        matches the bilinear ground-truth problem, whose maximin value is
+        exactly zero; revenue-scaled problems should set their own level.
+    """
+
+    mode: str = "current"
+    pool_size: int = 50
+    panel_size: int = 4
+    solved_threshold: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in EVAL_MODES:
+            raise ValueError(
+                f"unknown eval mode {self.mode!r}; expected one of {EVAL_MODES}"
+            )
+        if self.pool_size < 1:
+            raise ValueError(f"pool_size must be >= 1, got {self.pool_size}")
+        if self.panel_size < 1:
+            raise ValueError(f"panel_size must be >= 1, got {self.panel_size}")
 
 
 def _default_memo_size() -> int:
@@ -173,6 +246,9 @@ class CarbonConfig:
     #: Evaluation substrate (executor kind, workers, memo) — results are
     #: executor-invariant; see :class:`ExecutionConfig`.
     execution: ExecutionConfig = field(default_factory=ExecutionConfig)
+    #: Competitive evaluation mode (opponent pools); ``"current"`` is the
+    #: exact historical behaviour.  See :class:`EvalModeConfig`.
+    eval_mode: EvalModeConfig = field(default_factory=EvalModeConfig)
 
     def __post_init__(self) -> None:
         total = (
@@ -264,6 +340,9 @@ class CobraConfig:
     #: Evaluation substrate (executor kind, workers, memo) — results are
     #: executor-invariant; see :class:`ExecutionConfig`.
     execution: ExecutionConfig = field(default_factory=ExecutionConfig)
+    #: Competitive evaluation mode (opponent pools); ``"current"`` is the
+    #: exact historical behaviour.  See :class:`EvalModeConfig`.
+    eval_mode: EvalModeConfig = field(default_factory=EvalModeConfig)
 
     def __post_init__(self) -> None:
         if self.ll_population_size < 2:

@@ -28,9 +28,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Any, Protocol, Sequence, runtime_checkable
+from typing import TYPE_CHECKING, Any, Protocol, Sequence, runtime_checkable
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.config import EvalModeConfig
+    from repro.core.evalmode import EvaluationMode
 
 from repro.core.convergence import ConvergenceHistory
 from repro.core.events import ConvergenceRecorder, EngineEvent, EventBus, Observer
@@ -207,6 +211,20 @@ class EngineAlgorithm:
         self.history = ConvergenceHistory()
         self.events = EventBus([ConvergenceRecorder(self.history)])
         self.generation = 0
+
+    def _init_eval_mode(
+        self, config: "EvalModeConfig | None" = None
+    ) -> "EvaluationMode":
+        """Attach a competitive evaluation mode (opponent pools) to this
+        algorithm.  ``None`` means the default ``"current"`` mode, whose
+        wired code paths are bit-identical to the pre-mode behaviour; see
+        :mod:`repro.core.evalmode`.  Call after :meth:`_engine_init` so
+        pool events reach the run's bus."""
+        from repro.core.config import EvalModeConfig
+        from repro.core.evalmode import EvaluationMode
+
+        self.eval_mode = EvaluationMode(config or EvalModeConfig(), algorithm=self)
+        return self.eval_mode
 
     # -- protocol surface ---------------------------------------------------
 

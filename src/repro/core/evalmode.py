@@ -1,0 +1,338 @@
+"""Engine-level competitive evaluation modes (opponent pools).
+
+CARBON-style competitive fitness is classically measured against the
+*current* opposing population only — the textbook recipe for cycling and
+forgetting (Lehre's runtime analysis of competitive CoEAs on maximin
+bilinear functions makes the failure precise; PAPERS.md).  This module
+implements the standard counter-measures as one pluggable component the
+engine algorithms share, following the archive / hall-of-fame / maxsolve /
+generalist menu of Nolfi & Pagliuca (SNIPPETS.md Snippet 2):
+
+* :class:`OpponentPool` — a bounded, deduplicated archive of past
+  adversaries built on :class:`repro.core.archive.Archive` (canonical
+  total order, so pool content is insertion-order independent), with
+  ``stable_hash``-style identities and typed ``on_archive`` events.
+* :class:`EvaluationMode` — the policy object an algorithm consults for
+  (a) which archived opponents to mix into a grading sample, (b) the
+  panel of opponents each candidate faces, and (c) how per-opponent
+  payoffs fold into one fitness value.
+
+Mode semantics (see :class:`repro.core.config.EvalModeConfig` for the
+user-facing description): ``current`` is the exact historical behaviour —
+every method degenerates to a no-op / single-opponent panel so wired
+algorithms stay bit-identical to their pre-mode selves; the other four
+modes differ in *which* pool members form the panel (newest champions,
+elites, a quality spread, a uniform sample) and in the payoff fold
+(worst-case, solved-count, mean).
+
+Determinism: panel selection happens in the parent process, uses the
+algorithm's own RNG only for the ``generalist`` sample, and orders
+members by the archive's canonical order — so serial and process-pool
+runs see identical panels, and checkpoint/resume restores pools exactly
+(:meth:`EvaluationMode.state_dict`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.core.archive import Archive, ArchiveEntry, _default_identity
+from repro.core.config import EVAL_MODES, EvalModeConfig
+from repro.core.events import EngineEvent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.events import EventBus
+
+__all__ = ["EVAL_MODES", "EvalModeConfig", "OpponentPool", "EvaluationMode", "stable_identity"]
+
+
+def stable_identity(item: Any) -> Any:
+    """Content-addressed dedup key: GP trees hash by their canonical
+    serialization (``SyntaxTree.stable_hash`` — stable across processes
+    and sessions, unlike ``hash()``); arrays quantize to bytes; anything
+    else is its own key."""
+    stable = getattr(item, "stable_hash", None)
+    if callable(stable):
+        return stable()
+    return _default_identity(item)
+
+
+class OpponentPool:
+    """A bounded, deduplicated pool of past adversaries.
+
+    Parameters
+    ----------
+    maxsize:
+        Pool capacity; eviction is the archive's deterministic worst-out
+        under the canonical (score, identity) order.
+    minimize:
+        Ranking direction for the *rank* score (``False`` when higher
+        rank wins — elite prey pools and recency-ranked hall-of-fame
+        pools; ``True`` for gap-ranked predator pools).
+    maximize_quality:
+        Direction of the separately tracked ``best_quality`` watermark
+        (monotone by construction — the hall-of-fame invariant the
+        property tests pin).
+    label:
+        Pool name in ``on_archive`` event payloads (e.g. ``"upper"``).
+    """
+
+    def __init__(
+        self,
+        maxsize: int,
+        minimize: bool,
+        maximize_quality: bool,
+        label: str,
+    ) -> None:
+        self.archive = Archive(maxsize, minimize=minimize, identity=stable_identity)
+        self.maximize_quality = maximize_quality
+        self.label = label
+        self.offered = 0
+        self.stored = 0
+        self.best_quality: float | None = None
+
+    def offer(self, item: Any, rank_score: float, quality: float) -> bool:
+        """Offer an adversary; returns True iff the archive stored it."""
+        self.offered += 1
+        stored = self.archive.add(item, float(rank_score), aux={"quality": float(quality)})
+        if stored:
+            self.stored += 1
+        if math.isfinite(quality):
+            if self.best_quality is None:
+                self.best_quality = float(quality)
+            elif self.maximize_quality:
+                self.best_quality = max(self.best_quality, float(quality))
+            else:
+                self.best_quality = min(self.best_quality, float(quality))
+        return stored
+
+    def __len__(self) -> int:
+        return len(self.archive)
+
+    def entries(self) -> list[ArchiveEntry]:
+        """Members in canonical rank order (best rank first)."""
+        return self.archive.entries()
+
+    def top(self, k: int) -> list[Any]:
+        """The ``k`` best-ranked members."""
+        return [e.item for e in self.archive.top(k)]
+
+    def spread(self, k: int) -> list[Any]:
+        """``k`` members spanning the rank range (easy-to-hard panel for
+        the maxsolve fold); evenly spaced ranks, deterministic."""
+        members = self.entries()
+        if len(members) <= k:
+            return [e.item for e in members]
+        idx = np.unique(np.linspace(0, len(members) - 1, k).astype(int))
+        return [members[int(i)].item for i in idx]
+
+    def sample(self, k: int, rng: np.random.Generator) -> list[Any]:
+        """Uniform sample without replacement (canonical member order, so
+        the draw is a pure function of the RNG state)."""
+        members = self.entries()
+        if len(members) <= k:
+            return [e.item for e in members]
+        idx = rng.choice(len(members), size=k, replace=False)
+        return [members[int(i)].item for i in idx]
+
+    def state_dict(self) -> dict[str, Any]:
+        return {
+            "archive": self.archive.state_dict(),
+            "offered": self.offered,
+            "stored": self.stored,
+            "best_quality": self.best_quality,
+        }
+
+    def load_state_dict(self, state: dict[str, Any]) -> None:
+        self.archive.load_state_dict(state["archive"])
+        self.offered = int(state["offered"])
+        self.stored = int(state["stored"])
+        quality = state["best_quality"]
+        self.best_quality = None if quality is None else float(quality)
+
+
+class EvaluationMode:
+    """The pluggable competitive-evaluation policy of one algorithm.
+
+    Holds two opponent pools — ``upper`` (past upper-level decisions the
+    lower side is graded against) and ``lower`` (past lower-level
+    champions the upper side is graded against) — and answers the three
+    questions a wired algorithm asks each generation: extra grading
+    opponents (:meth:`upper_panel`), the candidate's opponent panel
+    (:meth:`lower_panel`), and the payoff fold (:meth:`aggregate`).
+
+    Under ``"current"`` every method is the identity of the historical
+    behaviour: empty panels, champion-only evaluation, first payoff
+    through unchanged, and no recording — wired algorithms are
+    bit-identical to their pre-mode code path.
+
+    Parameters
+    ----------
+    config:
+        The mode and its knobs.
+    algorithm:
+        Back-reference to the owning algorithm; used for the event bus
+        (``on_archive``) and the current generation, both read lazily.
+    """
+
+    def __init__(self, config: EvalModeConfig, algorithm: Any = None) -> None:
+        self.config = config
+        self.mode = config.mode
+        self._algorithm = algorithm
+        # Recency-ranked for hall-of-fame (newest generation wins the
+        # rank), quality-ranked otherwise.
+        recency = self.mode == "hall-of-fame"
+        self.upper_pool = OpponentPool(
+            config.pool_size,
+            minimize=False,
+            maximize_quality=True,
+            label="upper",
+        )
+        self.lower_pool = OpponentPool(
+            config.pool_size,
+            minimize=False if recency else True,
+            maximize_quality=False,
+            label="lower",
+        )
+
+    @property
+    def is_current(self) -> bool:
+        return self.mode == "current"
+
+    # -- recording ----------------------------------------------------------
+
+    def _emit(self, pool: OpponentPool, quality: float) -> None:
+        algo = self._algorithm
+        if algo is None:
+            return
+        events: EventBus | None = getattr(algo, "events", None)
+        if events is None:
+            return
+        events.archive(
+            EngineEvent(
+                algorithm=algo,
+                generation=getattr(algo, "generation", 0),
+                data={
+                    "pool": pool.label,
+                    "mode": self.mode,
+                    "score": quality,
+                    "pool_size": len(pool),
+                    "pool_stored": pool.stored,
+                    "pool_offered": pool.offered,
+                },
+            )
+        )
+
+    def record_upper(self, item: Any, quality: float, generation: int) -> None:
+        """Offer an upper-level adversary (e.g. the generation's best
+        pricing vector, fitness = ``quality``, higher better)."""
+        if self.is_current:
+            return
+        rank = float(generation) if self.mode == "hall-of-fame" else float(quality)
+        if self.upper_pool.offer(item, rank, float(quality)):
+            self._emit(self.upper_pool, float(quality))
+
+    def record_lower(self, item: Any, quality: float, generation: int) -> None:
+        """Offer a lower-level adversary (e.g. the current champion
+        heuristic, gap = ``quality``, lower better)."""
+        if self.is_current:
+            return
+        rank = float(generation) if self.mode == "hall-of-fame" else float(quality)
+        if self.lower_pool.offer(item, rank, float(quality)):
+            self._emit(self.lower_pool, float(quality))
+
+    # -- panel selection ----------------------------------------------------
+
+    def _select(
+        self, pool: OpponentPool, k: int, rng: np.random.Generator
+    ) -> list[Any]:
+        if self.is_current or k <= 0 or not len(pool):
+            return []
+        if self.mode in ("hall-of-fame", "archive"):
+            return pool.top(k)
+        if self.mode == "maxsolve":
+            return pool.spread(k)
+        return pool.sample(k, rng)  # generalist
+
+    def upper_panel(self, k: int, rng: np.random.Generator) -> list[Any]:
+        """Archived upper-level decisions to mix into the sample the
+        lower side is graded against (empty under ``"current"``)."""
+        return self._select(self.upper_pool, k, rng)
+
+    def lower_panel(self, champion: Any, rng: np.random.Generator) -> list[Any]:
+        """The opponent panel one upper-level candidate faces: the
+        current champion first, then archived adversaries (deduplicated
+        against the champion) up to ``panel_size``."""
+        panel = [champion]
+        if self.is_current:
+            return panel
+        champion_key = stable_identity(champion)
+        for item in self._select(self.lower_pool, self.config.panel_size, rng):
+            if len(panel) >= self.config.panel_size:
+                break
+            if stable_identity(item) != champion_key:
+                panel.append(item)
+        return panel
+
+    def opponent(self, side: str, rng: np.random.Generator) -> Any | None:
+        """One archived adversary for pairing-based algorithms (COBRA's
+        co-evolution operator); ``None`` under ``"current"`` or while the
+        pool is empty — callers then keep their legacy pairing."""
+        pool = self.upper_pool if side == "upper" else self.lower_pool
+        if self.is_current or not len(pool):
+            return None
+        if self.mode == "generalist":
+            members = [e.item for e in pool.entries()]
+        elif self.mode == "maxsolve":
+            members = pool.spread(self.config.panel_size)
+        else:
+            members = pool.top(self.config.panel_size)
+        return members[int(rng.integers(len(members)))]
+
+    # -- payoff folding -----------------------------------------------------
+
+    def aggregate(self, payoffs: list[float]) -> float:
+        """Fold per-opponent payoffs (maximize orientation) into one
+        fitness value.  ``current`` passes the single payoff through."""
+        if not payoffs:
+            raise ValueError("cannot aggregate an empty payoff list")
+        if self.is_current or len(payoffs) == 1:
+            return float(payoffs[0])
+        if self.mode in ("hall-of-fame", "archive"):
+            return float(min(payoffs))
+        if self.mode == "generalist":
+            return float(np.mean(payoffs))
+        # maxsolve: solved count, mean payoff squashed into (0, 1) as the
+        # deterministic tie-break.
+        solved = sum(1 for p in payoffs if p >= self.config.solved_threshold)
+        mean = float(np.mean(payoffs))
+        tie = 0.0 if math.isnan(mean) else 0.5 + math.atan(mean) / math.pi
+        return float(solved) + tie
+
+    def representative_index(self, payoffs: list[float]) -> int:
+        """Which panel outcome represents the candidate in reporting/aux:
+        the binding worst case for worst-case folds, the champion
+        otherwise (index 0 — the panel always leads with the champion)."""
+        if self.mode in ("hall-of-fame", "archive") and len(payoffs) > 1:
+            return int(np.argmin(payoffs))
+        return 0
+
+    # -- checkpointing ------------------------------------------------------
+
+    def state_dict(self) -> dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "upper_pool": self.upper_pool.state_dict(),
+            "lower_pool": self.lower_pool.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict[str, Any]) -> None:
+        if state["mode"] != self.mode:
+            raise ValueError(
+                f"checkpoint eval mode {state['mode']!r} != configured {self.mode!r}"
+            )
+        self.upper_pool.load_state_dict(state["upper_pool"])
+        self.lower_pool.load_state_dict(state["lower_pool"])

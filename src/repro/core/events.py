@@ -13,6 +13,10 @@ Every engine-driven run emits a small, fixed vocabulary of events:
     One ``step()`` of the outer co-evolutionary loop completed.
 ``on_migration``
     An island topology exchanged elites.
+``on_archive``
+    An evaluation-mode opponent pool accepted a new entry
+    (:mod:`repro.core.evalmode`); ``event.data`` identifies the pool,
+    the stored score and the pool size.
 ``on_run_end``
     The run finished and its :class:`~repro.core.results.RunResult`
     is available on the event.
@@ -81,6 +85,9 @@ class Observer:
     def on_migration(self, event: EngineEvent) -> None:
         """An island topology migrated elites (``event.data`` says what)."""
 
+    def on_archive(self, event: EngineEvent) -> None:
+        """An evaluation-mode opponent pool stored an entry."""
+
     def on_run_end(self, event: EngineEvent) -> None:
         """The run finished; ``event.result`` is the RunResult."""
 
@@ -88,7 +95,14 @@ class Observer:
 class EventBus:
     """Dispatches engine events to subscribed observers, in order."""
 
-    _HOOKS = ("on_init", "on_record", "on_generation_end", "on_migration", "on_run_end")
+    _HOOKS = (
+        "on_init",
+        "on_record",
+        "on_generation_end",
+        "on_migration",
+        "on_archive",
+        "on_run_end",
+    )
 
     def __init__(self, observers: tuple[Observer, ...] | list[Observer] = ()) -> None:
         self._observers: list[Observer] = list(observers)
@@ -120,6 +134,9 @@ class EventBus:
 
     def migration(self, event: EngineEvent) -> None:
         self._emit("on_migration", event)
+
+    def archive(self, event: EngineEvent) -> None:
+        self._emit("on_archive", event)
 
     def run_end(self, event: EngineEvent) -> None:
         self._emit("on_run_end", event)
@@ -200,6 +217,16 @@ class JsonlRunLogger(Observer):
         self._write(
             {
                 "event": "migration",
+                "generation": event.generation,
+                **event.data,
+                **self._row(event),
+            }
+        )
+
+    def on_archive(self, event: EngineEvent) -> None:
+        self._write(
+            {
+                "event": "archive",
                 "generation": event.generation,
                 **event.data,
                 **self._row(event),

@@ -23,9 +23,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.bcpop.evaluate import EvaluationPipeline, LowerLevelEvaluator
+from typing import TYPE_CHECKING
+
+from repro.bcpop.evaluate import EvaluationPipeline
 from repro.bcpop.instance import BcpopInstance
 from repro.parallel.executor import Executor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.config import EvalModeConfig
 from repro.core.archive import Archive
 from repro.core.config import UpperLevelConfig
 from repro.core.engine import EngineAlgorithm, EngineLoop
@@ -72,19 +77,37 @@ class NestedSequential(EngineAlgorithm):
         lp_backend: str = "scipy",
         exact_node_budget: int = 2_000,
         executor: Executor | None = None,
+        eval_mode: "EvalModeConfig | None" = None,
     ) -> None:
         self.instance = instance
         self.config = config or UpperLevelConfig()
         self.rng = self._init_rng(rng, component="nested")
-        self.evaluator = LowerLevelEvaluator(instance, lp_backend=lp_backend)
+        self.evaluator = instance.make_evaluator(lp_backend=lp_backend)
         self.executor = executor
         self.pipeline = EvaluationPipeline(self.evaluator, executor)
         self.bounds = Bounds(*instance.price_bounds)
         self.ll_solver = ll_solver
         self.exact_node_budget = exact_node_budget
+        mode = self._init_eval_mode(eval_mode)
         if ll_solver != "exact":
             # Resolve eagerly so an unknown name fails at construction.
             self._score_fn = make_heuristic(ll_solver, rng=self.rng)
+            # Nested has no evolving follower, so non-``current`` modes
+            # grade each pricing vector against a fixed *ensemble* of
+            # classical solvers (the primary one first) and fold the
+            # payoffs per the mode (worst-case under archive, etc.) —
+            # the static analogue of an opponent archive.
+            self._solver_panel = [self._score_fn]
+            if not mode.is_current:
+                others = [
+                    name
+                    for name in ("chvatal", "cost", "coverage", "dual", "lp_guided")
+                    if name != ll_solver
+                ]
+                self._solver_panel += [
+                    make_heuristic(name)
+                    for name in others[: mode.config.panel_size - 1]
+                ]
 
         # One budget: each UL evaluation *is* one LL solve, so the ledger
         # charges both meters per evaluation and the historical
@@ -151,22 +174,38 @@ class NestedSequential(EngineAlgorithm):
                 if not self._evaluate(ind):
                     ind.fitness = -np.inf
             return
+        panel = self._solver_panel
         take = self.ledger.upper.take(len(inds))
-        requests = [(ind.genome, self._score_fn) for ind in inds[:take]]
+        requests = [
+            (ind.genome, solver) for ind in inds[:take] for solver in panel
+        ]
         outcomes = self.pipeline.evaluate_heuristics(requests)
-        for ind, out in zip(inds[:take], outcomes):
-            self.ll_effort += 1
+        for i, ind in enumerate(inds[:take]):
+            chunk = outcomes[i * len(panel): (i + 1) * len(panel)]
+            self.ll_effort += len(chunk)
+            # One UL evaluation is one follower decision regardless of
+            # ensemble width, so the historical ul == ll accounting holds.
             self.ledger.charge(upper=1, lower=1)
-            ind.fitness = out.revenue if np.isfinite(out.gap) else -np.inf
+            payoffs = [
+                out.revenue if np.isfinite(out.gap) else -np.inf for out in chunk
+            ]
+            ind.fitness = self.eval_mode.aggregate(payoffs)
+            rep = chunk[self.eval_mode.representative_index(payoffs)]
             ind.aux = {
-                "gap": out.gap,
-                "selection": out.selection,
-                "ll_cost": out.ll_cost,
-                "lower_bound": out.lower_bound,
+                "gap": rep.gap,
+                "selection": rep.selection,
+                "ll_cost": rep.ll_cost,
+                "lower_bound": rep.lower_bound,
             }
-            self.archive.add(out.prices.copy(), ind.fitness, aux=dict(ind.aux))
+            self.archive.add(rep.prices.copy(), ind.fitness, aux=dict(ind.aux))
         for ind in inds[take:]:
             ind.fitness = -np.inf
+        evaluated = [ind for ind in inds[:take] if np.isfinite(ind.fitness)]
+        if evaluated and not self.eval_mode.is_current:
+            best = max(evaluated, key=lambda ind: ind.fitness)
+            self.eval_mode.record_upper(
+                best.genome.copy(), best.fitness, self.generation
+            )
 
     def generation_metrics(self) -> dict[str, float]:
         fits = [i.fitness for i in self.population if np.isfinite(i.fitness)]
@@ -238,6 +277,7 @@ class NestedSequential(EngineAlgorithm):
                 "ll_effort": self.ll_effort,
                 "ll_solver": self.ll_solver,
                 "pipeline": self.pipeline.stats,
+                "eval_mode": self.eval_mode.mode,
             },
         )
 
@@ -248,12 +288,16 @@ class NestedSequential(EngineAlgorithm):
             "population": list(self.population),
             "archive": self.archive.state_dict(),
             "ll_effort": self.ll_effort,
+            "eval_mode": self.eval_mode.state_dict(),
         }
 
     def _load_payload(self, payload: dict) -> None:
         self.population = list(payload["population"])
         self.archive.load_state_dict(payload["archive"])
         self.ll_effort = int(payload["ll_effort"])
+        mode_state = payload.get("eval_mode")  # absent in pre-mode checkpoints
+        if mode_state is not None:
+            self.eval_mode.load_state_dict(mode_state)
 
 
 def run_nested(
@@ -265,11 +309,13 @@ def run_nested(
     executor: Executor | None = None,
     observers=(),
     resume_state: dict | None = None,
+    eval_mode: "EvalModeConfig | None" = None,
 ) -> RunResult:
     """Convenience wrapper: one seeded, engine-driven nested run."""
     algorithm = NestedSequential(
         instance, config=config, rng=np.random.default_rng(seed),
         ll_solver=ll_solver, lp_backend=lp_backend, executor=executor,
+        eval_mode=eval_mode,
     )
     return EngineLoop(algorithm, observers=observers, resume_state=resume_state).run(
         seed_label=seed

@@ -28,8 +28,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.bcpop.evaluate import LowerLevelEvaluator
+from typing import TYPE_CHECKING
+
 from repro.bcpop.instance import BcpopInstance
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.config import EvalModeConfig
 from repro.core.archive import Archive
 from repro.core.config import UpperLevelConfig
 from repro.core.engine import EngineAlgorithm, EngineLoop
@@ -138,18 +142,32 @@ class SurrogateAssisted(EngineAlgorithm):
         ll_solver: str = "chvatal",
         oversample: int = 4,
         lp_backend: str = "scipy",
+        eval_mode: "EvalModeConfig | None" = None,
     ) -> None:
         if oversample < 1:
             raise ValueError(f"oversample must be >= 1, got {oversample}")
         self.instance = instance
         self.config = config or UpperLevelConfig()
         self.rng = self._init_rng(rng, component="surrogate")
-        self.evaluator = LowerLevelEvaluator(instance, lp_backend=lp_backend)
+        self.evaluator = instance.make_evaluator(lp_backend=lp_backend)
         self.bounds = Bounds(*instance.price_bounds)
         self.score_fn = make_heuristic(ll_solver, rng=self.rng)
         self.ll_solver = ll_solver
         self.oversample = oversample
         self.surrogate = QuadraticSurrogate(instance.n_own)
+        mode = self._init_eval_mode(eval_mode)
+        # Like the nested baseline: no evolving follower, so non-``current``
+        # modes grade against a fixed classical-solver ensemble.
+        self._solver_panel = [self.score_fn]
+        if not mode.is_current:
+            others = [
+                name
+                for name in ("chvatal", "cost", "coverage", "dual", "lp_guided")
+                if name != ll_solver
+            ]
+            self._solver_panel += [
+                make_heuristic(name) for name in others[: mode.config.panel_size - 1]
+            ]
 
         # Single true-evaluation budget; both meters charged per solve
         # (one LL solve per UL evaluation), as in the nested baseline.
@@ -175,17 +193,28 @@ class SurrogateAssisted(EngineAlgorithm):
     def _true_evaluate(self, ind: Individual) -> bool:
         if self.ledger.upper.exhausted:
             return False
-        out = self.evaluator.evaluate_heuristic(ind.genome, self.score_fn)
+        chunk = [
+            self.evaluator.evaluate_heuristic(ind.genome, solver)
+            for solver in self._solver_panel
+        ]
+        # One UL evaluation is one follower decision regardless of
+        # ensemble width, so the historical ul == ll accounting holds.
         self.ledger.charge(upper=1, lower=1)
-        ind.fitness = out.revenue if out.feasible else -np.inf
+        payoffs = [out.revenue if out.feasible else -np.inf for out in chunk]
+        ind.fitness = self.eval_mode.aggregate(payoffs)
+        rep = chunk[self.eval_mode.representative_index(payoffs)]
         ind.aux = {
-            "gap": out.gap,
-            "selection": out.selection,
-            "ll_cost": out.ll_cost,
-            "lower_bound": out.lower_bound,
+            "gap": rep.gap,
+            "selection": rep.selection,
+            "ll_cost": rep.ll_cost,
+            "lower_bound": rep.lower_bound,
         }
         self.surrogate.add(ind.genome, ind.fitness)
         self.archive.add(ind.genome.copy(), ind.fitness, aux=dict(ind.aux))
+        if not self.eval_mode.is_current and np.isfinite(ind.fitness):
+            self.eval_mode.record_upper(
+                ind.genome.copy(), ind.fitness, self.generation
+            )
         return True
 
     def generation_metrics(self) -> dict[str, float]:
@@ -276,6 +305,7 @@ class SurrogateAssisted(EngineAlgorithm):
                 "screened_out": self.screened_out,
                 "surrogate_samples": self.surrogate.n_samples,
                 "oversample": self.oversample,
+                "eval_mode": self.eval_mode.mode,
             },
         )
 
@@ -287,6 +317,7 @@ class SurrogateAssisted(EngineAlgorithm):
             "archive": self.archive.state_dict(),
             "screened_out": self.screened_out,
             "surrogate": self.surrogate.state_dict(),
+            "eval_mode": self.eval_mode.state_dict(),
         }
 
     def _load_payload(self, payload: dict) -> None:
@@ -294,6 +325,9 @@ class SurrogateAssisted(EngineAlgorithm):
         self.archive.load_state_dict(payload["archive"])
         self.screened_out = int(payload["screened_out"])
         self.surrogate.load_state_dict(payload["surrogate"])
+        mode_state = payload.get("eval_mode")  # absent in pre-mode checkpoints
+        if mode_state is not None:
+            self.eval_mode.load_state_dict(mode_state)
 
 
 def run_surrogate(
@@ -305,11 +339,13 @@ def run_surrogate(
     lp_backend: str = "scipy",
     observers=(),
     resume_state: dict | None = None,
+    eval_mode: "EvalModeConfig | None" = None,
 ) -> RunResult:
     """Convenience wrapper: one seeded, engine-driven surrogate run."""
     algorithm = SurrogateAssisted(
         instance, config=config, rng=np.random.default_rng(seed),
         ll_solver=ll_solver, oversample=oversample, lp_backend=lp_backend,
+        eval_mode=eval_mode,
     )
     return EngineLoop(algorithm, observers=observers, resume_state=resume_state).run(
         seed_label=seed

@@ -5,6 +5,9 @@
   parameters, %-gap comparison, UL objective comparison),
 * :mod:`repro.experiments.figures`   — Fig. 1 (inducible region), Fig. 2
   (taxonomy), Fig. 4/5 (convergence curves),
+* :mod:`repro.experiments.modes`     — evaluation-mode comparison table
+  (archive / hall-of-fame / maxsolve / generalist vs. the historical
+  ``current`` behaviour, with a ground-truth bilinear section),
 * :mod:`repro.experiments.reporting` — paper-layout ASCII rendering,
 * :mod:`repro.experiments.runner`    — the ``repro-bench`` CLI.
 
@@ -34,6 +37,14 @@ from repro.experiments.figures import (
     fig2_structure,
     convergence_experiment,
 )
+from repro.experiments.modes import (
+    ModeCell,
+    format_mode_table,
+    gate_setup,
+    run_bcpop_modes,
+    run_bilinear_modes,
+    run_mode_report,
+)
 from repro.experiments.reporting import (
     format_table1,
     format_table2,
@@ -61,6 +72,12 @@ __all__ = [
     "fig1_series",
     "fig2_structure",
     "convergence_experiment",
+    "ModeCell",
+    "format_mode_table",
+    "gate_setup",
+    "run_bcpop_modes",
+    "run_bilinear_modes",
+    "run_mode_report",
     "format_table1",
     "format_table2",
     "format_table3",

@@ -70,6 +70,14 @@ def _comparison(args: argparse.Namespace):
         audited = ExecutionConfig(rng_audit=True)
         carbon = replace(carbon, execution=audited)
         cobra = replace(cobra, execution=audited)
+    if getattr(args, "eval_mode", None):
+        from dataclasses import replace
+
+        from repro.core.config import EvalModeConfig
+
+        mode = EvalModeConfig(mode=args.eval_mode)
+        carbon = replace(carbon, eval_mode=mode)
+        cobra = replace(cobra, eval_mode=mode)
     classes = None
     if args.classes:
         classes = [tuple(int(v) for v in c.split("x")) for c in args.classes]
@@ -320,6 +328,29 @@ def _cmd_solve(args: argparse.Namespace) -> str:
     return _json.dumps(response, indent=1)
 
 
+def _cmd_modes(args: argparse.Namespace) -> str:
+    """Evaluation-mode comparison (Nolfi-style algorithm x mode table).
+
+    Section one runs CARBON on the maximin bilinear toy, where the
+    optimum is known analytically; section two runs all four two-level
+    algorithms on a small BCPOP instance.  ``--eval-mode`` restricts the
+    sweep to one mode; the nightly CI job uploads ``--out`` as an
+    artifact.
+    """
+    from repro.experiments.modes import run_mode_report
+
+    modes = None
+    if getattr(args, "eval_mode", None):
+        modes = (args.eval_mode,)
+    with make_executor(
+        "processes" if args.workers > 1 else "serial",
+        workers=args.workers,
+        task_timeout=args.task_timeout,
+    ) as executor:
+        kwargs = {} if modes is None else {"modes": modes}
+        return run_mode_report(seed=args.seed, executor=executor, **kwargs)
+
+
 def _cmd_instances(args: argparse.Namespace) -> str:
     """Export the paper's 9 instance classes to disk (JSON + mknap)."""
     import pathlib
@@ -352,6 +383,7 @@ _COMMANDS = {
     "fig4": _cmd_fig4,
     "fig5": _cmd_fig5,
     "extended": _cmd_extended,
+    "modes": _cmd_modes,
     "trilevel": _cmd_trilevel,
     "instances": _cmd_instances,
     "serve": _cmd_serve,
@@ -392,6 +424,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--out", help="also write the report to this file")
     parser.add_argument("--profile", action="store_true",
                         help="cProfile the experiment and append hot spots")
+    from repro.core.config import EVAL_MODES
+
+    parser.add_argument(
+        "--eval-mode", dest="eval_mode", choices=EVAL_MODES, default=None,
+        help="competitive evaluation mode for table3/table4/modes "
+             "(default: each config's own; 'current' is the historical "
+             "behaviour, 'archive' grades against an opponent archive)",
+    )
     engine = parser.add_argument_group(
         "engine observability (table3/table4 experiments)"
     )

@@ -82,6 +82,7 @@ class TriLevelCarbon(EngineAlgorithm):
         self._engine_init(
             self.config.upper.fitness_evaluations, self.config.ll_fitness_evaluations
         )
+        self._init_eval_mode(self.config.eval_mode)
         self.ul_archive = Archive(self.config.upper.archive_size, minimize=False)
         self.ll_archive = Archive(self.config.ll_archive_size, minimize=True, identity=hash)
         self.ul_pop: list[Individual] = []
@@ -112,13 +113,21 @@ class TriLevelCarbon(EngineAlgorithm):
 
     def _retail_sample(self, k: int) -> list[np.ndarray]:
         """Retail vectors the heuristics are graded on: wholesale samples
-        from the prey population, marked up by random feasible margins."""
+        from the prey population (plus archived wholesale vectors under
+        non-``current`` evaluation modes), marked up by random feasible
+        margins.  Under ``current`` the archived tail is empty and RNG
+        consumption is identical to the historical behaviour."""
+        archived = self.eval_mode.upper_panel(k // 2, self.rng)
+        k_live = k - len(archived)
         out = []
-        for _ in range(k):
-            if self.ul_pop:
-                w = self.ul_pop[self.rng.integers(len(self.ul_pop))].genome
+        for i in range(k):
+            if i < k_live:
+                if self.ul_pop:
+                    w = self.ul_pop[self.rng.integers(len(self.ul_pop))].genome
+                else:
+                    w = self.bounds.sample(self.rng)
             else:
-                w = self.bounds.sample(self.rng)
+                w = archived[i - k_live]
             span = np.maximum(self.instance.retail_cap - w, 0.0)
             out.append(np.clip(w + self.rng.uniform(0.0, 1.0, w.size) * span,
                                0.0, self.instance.retail_cap))
@@ -143,35 +152,58 @@ class TriLevelCarbon(EngineAlgorithm):
 
     def _update_champion(self) -> None:
         if len(self.ll_archive):
-            self.champion = self.ll_archive.best().item
+            best = self.ll_archive.best()
+            self.champion = best.item
+            self.eval_mode.record_lower(best.item, best.score, self.generation)
 
     # -- provider evaluation (level 1 via nested levels 2+3) ----------------
 
-    def _evaluate_provider(self, ind: Individual) -> bool:
-        if self.ledger.upper.exhausted or self.ledger.lower.exhausted:
-            return False
-        assert self.champion is not None
+    def _reaction(self, wholesale: np.ndarray, solver):
+        """One nested reseller reaction under a given level-3 solver."""
         evaluator = TriLevelEvaluator(
-            self.instance, self.champion,
+            self.instance, solver,
             reseller_population=self.reseller_population,
             reseller_generations=self.reseller_generations,
             lp_backend=self.lp_backend,
         )
         evaluator._cache = self._relax_cache  # share the LP cache across evals
-        reaction = evaluator.reseller_react(ind.genome, self.rng)
-        self.ledger.charge(upper=1, lower=reaction.level3_solves)
-        ind.fitness = (
-            reaction.provider_revenue if np.isfinite(reaction.customer_gap) else -np.inf
-        )
+        return evaluator.reseller_react(wholesale, self.rng)
+
+    def _evaluate_provider(self, ind: Individual) -> bool:
+        if self.ledger.upper.exhausted or self.ledger.lower.exhausted:
+            return False
+        assert self.champion is not None
+        panel = self.eval_mode.lower_panel(self.champion, self.rng)
+        reactions = []
+        for i, solver in enumerate(panel):
+            # The champion reaction always runs; extra panel reactions
+            # stop when the level-3 budget dries up mid-panel.
+            if i and self.ledger.lower.exhausted:
+                break
+            reaction = self._reaction(ind.genome, solver)
+            self.ledger.charge(lower=reaction.level3_solves)
+            reactions.append(reaction)
+        # One level-1 evaluation regardless of panel width.
+        self.ledger.charge(upper=1)
+        payoffs = [
+            r.provider_revenue if np.isfinite(r.customer_gap) else -np.inf
+            for r in reactions
+        ]
+        ind.fitness = self.eval_mode.aggregate(payoffs)
+        rep = reactions[self.eval_mode.representative_index(payoffs)]
         ind.aux = {
-            "gap": reaction.customer_gap,
-            "retail": reaction.retail,
-            "selection": reaction.selection,
-            "margin": reaction.reseller_margin,
-            "customer_cost": reaction.customer_cost,
-            "level3_solves": reaction.level3_solves,
+            "gap": rep.customer_gap,
+            "retail": rep.retail,
+            "selection": rep.selection,
+            "margin": rep.reseller_margin,
+            "customer_cost": rep.customer_cost,
+            "level3_solves": sum(r.level3_solves for r in reactions),
         }
         self.ul_archive.add(ind.genome.copy(), ind.fitness, aux=dict(ind.aux))
+        if not self.eval_mode.is_current and np.isfinite(ind.fitness):
+            self.eval_mode.record_upper(
+                ind.genome.copy(), ind.fitness, self.generation
+            )
         return True
 
     # -- generations ---------------------------------------------------------
@@ -304,6 +336,7 @@ class TriLevelCarbon(EngineAlgorithm):
                 "nesting_multiplier": multiplier,
                 "reseller_margin": best.aux.get("margin", np.nan),
                 "retail": best.aux.get("retail"),
+                "eval_mode": self.eval_mode.mode,
             },
         )
 
@@ -316,6 +349,7 @@ class TriLevelCarbon(EngineAlgorithm):
             "ul_archive": self.ul_archive.state_dict(),
             "ll_archive": self.ll_archive.state_dict(),
             "champion": self.champion,
+            "eval_mode": self.eval_mode.state_dict(),
         }
 
     def _load_payload(self, payload: dict) -> None:
@@ -324,6 +358,9 @@ class TriLevelCarbon(EngineAlgorithm):
         self.ul_archive.load_state_dict(payload["ul_archive"])
         self.ll_archive.load_state_dict(payload["ll_archive"])
         self.champion = payload["champion"]
+        mode_state = payload.get("eval_mode")  # absent in pre-mode checkpoints
+        if mode_state is not None:
+            self.eval_mode.load_state_dict(mode_state)
 
 
 def run_trilevel_carbon(

@@ -1,0 +1,175 @@
+"""The maximin bilinear toy: analytic ground truth and evaluator surface.
+
+Everything the convergence gate leans on is pinned here first, at the
+unit level: the closed-form best response agrees with brute force over
+all ``2^m`` baskets, the saddle sits exactly at ``mean(x) = a`` with
+value 0, the Table I feature context makes the one-terminal tree
+``COST`` (and the classical heuristics) optimal followers, and the
+evaluator behaves like its BCPOP sibling (validation, memo keys, work
+counters).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bilevel import BilinearInstance, bilinear_instance
+from repro.covering.heuristics import make_heuristic
+from repro.gp.tree import SyntaxTree
+
+
+@pytest.fixture(scope="module")
+def inst():
+    return bilinear_instance()
+
+
+def brute_force_best_response(inst, prices):
+    """Exact ``min_y g(x, y)`` by enumerating all 2^m baskets."""
+    best = np.inf
+    for bits in itertools.product([False, True], repeat=inst.m):
+        best = min(best, inst.payoff(prices, np.array(bits)))
+    return best
+
+
+leader = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=32),
+    min_size=6,
+    max_size=6,
+).map(lambda xs: np.array(xs, dtype=np.float64))
+
+
+class TestAnalytics:
+    @given(prices=leader)
+    @settings(max_examples=30, deadline=None)
+    def test_closed_form_matches_brute_force(self, inst, prices):
+        closed = inst.best_response_value(prices)
+        brute = brute_force_best_response(inst, prices)
+        assert closed == pytest.approx(brute, abs=1e-12)
+
+    @given(prices=leader)
+    @settings(max_examples=30, deadline=None)
+    def test_best_response_achieves_the_bound(self, inst, prices):
+        response = inst.best_response(prices)
+        assert inst.payoff(prices, response) == pytest.approx(
+            inst.best_response_value(prices), abs=1e-12
+        )
+
+    @given(prices=leader)
+    @settings(max_examples=50, deadline=None)
+    def test_saddle_is_the_unique_argmax(self, inst, prices):
+        """Any leader off ``mean(x) = a`` scores strictly below the
+        maximin value 0 under rational reaction."""
+        value = inst.best_response_value(prices)
+        assert value <= inst.maximin_value + 1e-12
+        lean = abs(prices.mean() - inst.a)
+        if lean > 1e-9:
+            assert value < -1e-9 * inst.scale * min(inst.b, 1 - inst.b)
+
+    def test_saddle_value_is_zero(self, inst):
+        at_saddle = np.full(inst.n, inst.a)
+        assert inst.best_response_value(at_saddle) == pytest.approx(0.0, abs=1e-12)
+        assert inst.saddle_distance(at_saddle) == pytest.approx(0.0, abs=1e-15)
+
+    def test_bang_bang_switches_at_a(self, inst):
+        below = np.full(inst.n, inst.a - 0.1)
+        above = np.full(inst.n, inst.a + 0.1)
+        assert inst.best_response(below).all()
+        assert not inst.best_response(above).any()
+
+
+class TestOptimalFollowers:
+    """The policies that should read the saddle geometry perfectly."""
+
+    @pytest.mark.parametrize("tree_text", ["T:COST", "P:div T:COST T:COVER"])
+    @given(prices=leader)
+    @settings(max_examples=25, deadline=None)
+    def test_cost_trees_are_rational(self, inst, tree_text, prices):
+        evaluator = inst.make_evaluator()
+        out = evaluator.evaluate_heuristic(prices, SyntaxTree.deserialize(tree_text))
+        assert out.gap == pytest.approx(0.0, abs=1e-9)
+
+    @pytest.mark.parametrize("name", ["cost", "chvatal", "dual", "lp_guided"])
+    def test_classical_heuristics_are_rational(self, inst, name):
+        evaluator = inst.make_evaluator()
+        rng = np.random.default_rng(11)
+        for _ in range(10):
+            prices = rng.uniform(0, 1, size=inst.n)
+            out = evaluator.evaluate_heuristic(prices, make_heuristic(name))
+            assert out.gap == pytest.approx(0.0, abs=1e-6)
+
+    def test_constant_specialist_has_one_sided_gap(self, inst):
+        """A take-all specialist is rational below ``a`` and pays the
+        full overshoot above it — the cycling mechanism in one assert."""
+        take_all = SyntaxTree.deserialize("P:sub T:BSUM T:QSUM")  # b - w < 0
+        evaluator = inst.make_evaluator()
+        below = evaluator.evaluate_heuristic(np.full(inst.n, inst.a - 0.2), take_all)
+        above = evaluator.evaluate_heuristic(np.full(inst.n, inst.a + 0.2), take_all)
+        assert below.selection.all() and above.selection.all()
+        assert below.gap == pytest.approx(0.0, abs=1e-9)
+        assert above.gap > 1.0
+
+
+class TestEvaluatorSurface:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="weights"):
+            BilinearInstance(n=2, weights=np.array([1.0, -1.0]), a=0.5, b=0.5, scale=1.0)
+        with pytest.raises(ValueError, match="a must be"):
+            bilinear_instance(a=1.5)
+        with pytest.raises(ValueError, match="b must be"):
+            bilinear_instance(b=0.0)
+        inst = bilinear_instance()
+        with pytest.raises(ValueError, match="shape"):
+            inst.validate_prices(np.zeros(3))
+        assert inst.validate_prices(np.full(inst.n, 7.0)).max() == 1.0
+
+    def test_digest_distinguishes_instances(self):
+        assert bilinear_instance().digest == bilinear_instance().digest
+        assert bilinear_instance().digest != bilinear_instance(a=0.4).digest
+
+    def test_context_features(self, inst):
+        evaluator = inst.make_evaluator()
+        prices = np.full(inst.n, inst.a + 0.1)
+        ctx = evaluator.context(prices)
+        assert ctx.costs.shape == (inst.m,)
+        assert (ctx.costs > 0).all()  # above a: every take hurts
+        assert np.array_equal(ctx.duals, -ctx.costs)
+        assert not ctx.xbar.any()
+        below = evaluator.context(np.full(inst.n, inst.a - 0.1))
+        assert (below.costs < 0).all() and below.xbar.all()
+
+    def test_memo_and_key(self, inst):
+        evaluator = inst.make_evaluator(memo_size=16)
+        tree = SyntaxTree.deserialize("T:COST")
+        prices = np.full(inst.n, 0.5)
+        first = evaluator.evaluate_heuristic(prices, tree)
+        second = evaluator.evaluate_heuristic(prices, tree)
+        assert evaluator.n_evaluations == 1
+        assert second.revenue == first.revenue
+        assert evaluator.memo_stats["hits"] == 1
+        # Non-tree callables are not content-addressable: no key, no memo.
+        assert evaluator.heuristic_key(prices, make_heuristic("cost")) is None
+
+    def test_key_separates_prices_and_trees(self, inst):
+        evaluator = inst.make_evaluator()
+        tree = SyntaxTree.deserialize("T:COST")
+        base = evaluator.heuristic_key(np.full(inst.n, 0.5), tree)
+        assert base == evaluator.heuristic_key(np.full(inst.n, 0.5), tree)
+        assert base != evaluator.heuristic_key(np.full(inst.n, 0.6), tree)
+        assert base != evaluator.heuristic_key(
+            np.full(inst.n, 0.5), SyntaxTree.deserialize("T:DUAL")
+        )
+
+    def test_outcome_is_bcpop_shaped(self, inst):
+        out = inst.make_evaluator().evaluate_heuristic(
+            np.full(inst.n, 0.2), SyntaxTree.deserialize("T:COST")
+        )
+        assert out.feasible
+        assert out.selection.dtype == bool and out.selection.shape == (inst.m,)
+        assert out.revenue == out.ll_cost
+        assert out.gap >= 0.0
+        assert out.lower_bound <= out.revenue + 1e-12

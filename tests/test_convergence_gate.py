@@ -1,0 +1,130 @@
+"""The ground-truth convergence gate (tier-1).
+
+CARBON under ``archive`` evaluation mode, on the maximin bilinear toy
+whose saddle point is known analytically, with a fixed seed, must
+converge to that optimum within tolerance — and the run must stay
+bit-identical across execution substrates and through a mid-run
+checkpoint/resume.  The companion contrast test pins *why* the gate
+exists: the historical champion-only (``current``) evaluation cycles
+around the saddle on the very same setup, which is Lehre's predicted
+failure mode and the behaviour the opponent archive repairs.
+
+The gate recipe (instance, config, seed, tolerance) lives in
+:mod:`repro.experiments.modes` so what CI gates is exactly what the
+``repro-bench modes`` table reports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.carbon import Carbon, run_carbon
+from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.engine import EngineLoop
+from repro.core.events import EngineEvent, Observer
+from repro.experiments.modes import GATE_SEED, GATE_TOL, gate_setup
+from repro.parallel.executor import ProcessExecutor, SerialExecutor
+
+from tests.test_parallel_determinism import assert_bit_identical
+
+
+@pytest.fixture(scope="module")
+def gate():
+    return gate_setup()
+
+
+@pytest.fixture(scope="module")
+def baseline(gate):
+    instance, config = gate
+    return run_carbon(instance, config, seed=GATE_SEED, executor=SerialExecutor())
+
+
+class CountArchiveEvents(Observer):
+    def __init__(self):
+        self.pools: dict[str, int] = {}
+        self.modes: set[str] = set()
+
+    def on_archive(self, event: EngineEvent) -> None:
+        self.pools[event.data["pool"]] = self.pools.get(event.data["pool"], 0) + 1
+        self.modes.add(event.data["mode"])
+
+
+class TestConvergenceGate:
+    def test_converges_to_known_saddle(self, gate, baseline):
+        """THE gate: final elite at ``mean(x) = a`` within tolerance,
+        fitness at the maximin value 0, follower side fully rational."""
+        instance, _ = gate
+        final = baseline.extras["final_best_prices"]
+        assert final is not None
+        assert instance.saddle_distance(final) <= GATE_TOL
+        assert baseline.extras["final_best_fitness"] == pytest.approx(0.0, abs=1e-2)
+        assert baseline.best_gap == pytest.approx(0.0, abs=1e-6)
+        assert baseline.extras["eval_mode"] == "archive"
+
+    def test_serial_vs_process_bit_identical(self, gate, baseline):
+        instance, config = gate
+        with ProcessExecutor(workers=2) as ex:
+            process = run_carbon(instance, config, seed=GATE_SEED, executor=ex)
+        assert_bit_identical(baseline, process)
+        assert np.array_equal(
+            baseline.extras["final_best_prices"], process.extras["final_best_prices"]
+        )
+        assert baseline.extras["opponent_pools"] == process.extras["opponent_pools"]
+
+    def test_checkpoint_resume_mid_run_bit_identical(self, gate, baseline, tmp_path):
+        """Interrupt under archive mode (pools partially filled), resume a
+        fresh algorithm from the JSON checkpoint: the run must finish
+        exactly where the uninterrupted one does — pools included."""
+        instance, config = gate
+
+        def make_algo(seed):
+            return Carbon(instance, config, np.random.default_rng(seed))
+
+        partial = EngineLoop(make_algo(GATE_SEED), max_generations=5)
+        interrupted = partial.run(seed_label=GATE_SEED)
+        assert interrupted.extras["engine"]["status"] == "paused"
+        path = tmp_path / "gate.json"
+        save_checkpoint(path, partial.algorithm)
+        fresh = make_algo(GATE_SEED + 999)  # checkpoint must overwrite all state
+        state = load_checkpoint(path)["state"]
+        resumed = EngineLoop(fresh, resume_state=state).run(seed_label=GATE_SEED)
+
+        assert_bit_identical(resumed, baseline)
+        assert np.array_equal(
+            resumed.extras["final_best_prices"], baseline.extras["final_best_prices"]
+        )
+        assert resumed.extras["opponent_pools"] == baseline.extras["opponent_pools"]
+        # The resumed run passes the gate in its own right.
+        assert instance.saddle_distance(resumed.extras["final_best_prices"]) <= GATE_TOL
+
+    def test_archive_events_published(self, gate):
+        """Typed ``on_archive`` events flow for both pools while the gate
+        scenario runs (budget truncated — the events, not the optimum,
+        are under test here)."""
+        import dataclasses
+
+        instance, config = gate
+        small = dataclasses.replace(config, upper=dataclasses.replace(
+            config.upper, fitness_evaluations=300))
+        counter = CountArchiveEvents()
+        run_carbon(instance, small, seed=GATE_SEED, observers=[counter])
+        assert counter.modes == {"archive"}
+        assert counter.pools.get("upper", 0) > 0
+        assert counter.pools.get("lower", 0) > 0
+
+    def test_current_mode_cycles_on_the_same_setup(self, gate, baseline):
+        """The contrast that justifies the gate: champion-only evaluation
+        orbits the saddle instead of converging (Lehre's failure mode),
+        an order of magnitude outside the gate tolerance."""
+        instance, _ = gate
+        current_instance, current_config = gate_setup(mode="current")
+        assert current_instance.digest == instance.digest
+        result = run_carbon(current_instance, current_config, seed=GATE_SEED)
+        distance = instance.saddle_distance(result.best_solution.prices)
+        assert distance > 10 * GATE_TOL
+        # Archive mode's final answer is strictly closer to the optimum.
+        archive_distance = instance.saddle_distance(
+            baseline.extras["final_best_prices"]
+        )
+        assert archive_distance < distance

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.archive import Archive
+from repro.core.archive import Archive, identity_token
 from repro.core.config import CarbonConfig, CobraConfig, UpperLevelConfig
 from repro.core.convergence import (
     ConvergenceHistory,
@@ -83,6 +83,42 @@ class TestArchive:
         a = Archive(2)
         a.add("x", 1.0)
         assert "x" in a and "y" not in a
+
+
+class TestArchiveTieBreaks:
+    """Score ties resolve by the canonical identity token — never by dict
+    insertion order (tests/test_eval_modes.py property-tests the general
+    order-independence invariant; these pin the tie cases explicitly)."""
+
+    def test_tied_scores_rank_by_identity_token(self):
+        a = Archive(5, minimize=True)
+        for item in ("zebra", "apple", "mango"):
+            a.add(item, 1.0)
+        assert [e.item for e in a.entries()] == ["apple", "mango", "zebra"]
+        assert a.best().item == "apple"
+
+    def test_tied_eviction_is_insertion_order_independent(self):
+        first, second = Archive(2, minimize=True), Archive(2, minimize=True)
+        for item in ("b", "c", "a"):
+            first.add(item, 7.0)
+        for item in ("c", "a", "b"):
+            second.add(item, 7.0)
+        assert [e.item for e in first.entries()] == [e.item for e in second.entries()]
+        assert [e.item for e in first.entries()] == ["a", "b"]
+
+    def test_mixed_key_types_order_totally(self):
+        a = Archive(10, minimize=True)
+        a.add(np.array([1.0, 2.0]), 3.0)
+        a.add("x", 3.0)
+        a.add(np.array([True, False]), 3.0)
+        ranking = [e.item for e in a.entries()]
+        tokens = [identity_token(a.identity(item)) for item in ranking]
+        assert tokens == sorted(tokens)
+
+    def test_identity_token_distinguishes_types(self):
+        assert identity_token(b"ab") != identity_token("ab")
+        assert identity_token(1) != identity_token(1.0)
+        assert identity_token("1") != identity_token(1)
 
 
 class TestConfigs:

@@ -1,0 +1,386 @@
+"""Evaluation-mode properties and determinism.
+
+Three layers:
+
+* **Archive/pool invariants** (hypothesis property tests) — the canonical
+  total order makes archive content a pure function of the *set* of
+  offered (item, score) pairs: insertion-order independence, stable-hash
+  deduplication of GP trees, deterministic bounded eviction, and the
+  hall-of-fame pool's monotone best-quality watermark.
+* **Mode semantics** — the payoff folds (worst-case / solved-count /
+  mean), panel construction, ``current``-mode no-ops, and checkpoint
+  state round-trips.
+* **Substrate determinism** — every mode must stay bit-identical between
+  :class:`SerialExecutor` and :class:`ProcessExecutor` (panels are chosen
+  in the parent; the RNG-audit sanitizer pins the draw traces too).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bilevel import bilinear_instance
+from repro.core.archive import Archive, identity_token
+from repro.core.carbon import Carbon, run_carbon
+from repro.core.cobra import run_cobra
+from repro.core.config import (
+    EVAL_MODES,
+    CarbonConfig,
+    CobraConfig,
+    EvalModeConfig,
+    ExecutionConfig,
+    UpperLevelConfig,
+)
+from repro.core.engine import EngineLoop
+from repro.core.evalmode import EvaluationMode, OpponentPool, stable_identity
+from repro.core.nested import run_nested
+from repro.gp.tree import SyntaxTree
+from repro.parallel.executor import ProcessExecutor, SerialExecutor
+
+from tests.test_parallel_determinism import assert_bit_identical
+
+# -- strategies ---------------------------------------------------------------
+
+#: (item, score) pairs with text identities and finite scores.
+pairs = st.lists(
+    st.tuples(
+        st.text(alphabet="abcdefgh", min_size=1, max_size=3),
+        st.floats(min_value=-100, max_value=100, allow_nan=False, width=32),
+    ),
+    min_size=0,
+    max_size=20,
+)
+
+
+class TestArchiveOrderIndependence:
+    @given(items=pairs, data=st.data(), minimize=st.booleans())
+    @settings(max_examples=100, deadline=None)
+    def test_any_insertion_order_same_archive(self, items, data, minimize):
+        """The set-function invariant the archive docstring promises."""
+        shuffled = data.draw(st.permutations(items))
+        a, b = Archive(4, minimize=minimize), Archive(4, minimize=minimize)
+        for item, score in items:
+            a.add(item, score)
+        for item, score in shuffled:
+            b.add(item, score)
+        assert [(e.item, e.score) for e in a.entries()] == [
+            (e.item, e.score) for e in b.entries()
+        ]
+
+    @given(items=pairs)
+    @settings(max_examples=50, deadline=None)
+    def test_bounded_eviction_keeps_canonical_top_k(self, items):
+        """Eviction is the canonical order's worst-out: the survivors are
+        exactly the top-``maxsize`` of the best score per identity."""
+        maxsize = 3
+        archive = Archive(maxsize, minimize=True)
+        for item, score in items:
+            archive.add(item, score)
+        best: dict[str, float] = {}
+        for item, score in items:
+            if item not in best or score < best[item]:
+                best[item] = score
+        expected = sorted(best.items(), key=lambda kv: (kv[1], identity_token(kv[0])))
+        assert [(e.item, e.score) for e in archive.entries()] == expected[:maxsize]
+
+    @given(items=pairs)
+    @settings(max_examples=50, deadline=None)
+    def test_state_roundtrip_preserves_entries(self, items):
+        archive = Archive(5, minimize=False)
+        for item, score in items:
+            archive.add(item, score)
+        clone = Archive(5, minimize=False)
+        clone.load_state_dict(archive.state_dict())
+        assert [(e.item, e.score) for e in clone.entries()] == [
+            (e.item, e.score) for e in archive.entries()
+        ]
+
+
+class TestStableIdentity:
+    def test_tree_identity_is_structural(self):
+        t1 = SyntaxTree.deserialize("T:COST")
+        t2 = SyntaxTree.deserialize("T:COST")
+        assert t1 is not t2
+        assert stable_identity(t1) == stable_identity(t2)
+        assert stable_identity(t1) != stable_identity(SyntaxTree.deserialize("T:DUAL"))
+
+    def test_pool_dedups_equal_trees(self):
+        pool = OpponentPool(8, minimize=True, maximize_quality=False, label="lower")
+        assert pool.offer(SyntaxTree.deserialize("T:COST"), 1.0, 1.0)
+        assert not pool.offer(SyntaxTree.deserialize("T:COST"), 2.0, 2.0)
+        assert pool.offer(SyntaxTree.deserialize("T:DUAL"), 3.0, 3.0)
+        assert len(pool) == 2
+        assert pool.offered == 3 and pool.stored == 2
+
+    def test_array_identity_quantizes(self):
+        key = stable_identity(np.array([0.1 + 0.2, 0.5]))
+        assert key == stable_identity(np.array([0.3, 0.5]))
+
+
+class TestPoolWatermark:
+    @given(
+        qualities=st.lists(
+            st.floats(min_value=-50, max_value=50, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_best_quality_monotone_running_max(self, qualities):
+        """The hall-of-fame invariant: the watermark only improves, and
+        always equals the running extremum of offered qualities — even
+        when the archive rejects or evicts the member itself."""
+        pool = OpponentPool(2, minimize=False, maximize_quality=True, label="upper")
+        for i, quality in enumerate(qualities):
+            before = pool.best_quality
+            pool.offer(f"i{i}", float(i), quality)
+            assert pool.best_quality == max(qualities[: i + 1])
+            if before is not None:
+                assert pool.best_quality >= before
+
+    def test_minimize_quality_direction(self):
+        pool = OpponentPool(4, minimize=True, maximize_quality=False, label="lower")
+        for quality in (5.0, 2.0, 7.0):
+            pool.offer(f"q{quality}", quality, quality)
+        assert pool.best_quality == 2.0
+
+    def test_nonfinite_quality_ignored_by_watermark(self):
+        pool = OpponentPool(4, minimize=False, maximize_quality=True, label="upper")
+        pool.offer("a", 0.0, 1.0)
+        pool.offer("b", 1.0, math.inf)
+        assert pool.best_quality == 1.0
+
+
+def mode(name: str, **kwargs) -> EvaluationMode:
+    return EvaluationMode(EvalModeConfig(mode=name, **kwargs))
+
+
+class TestModeSemantics:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown eval mode"):
+            EvalModeConfig(mode="tournament")
+
+    def test_current_is_noop(self):
+        m = mode("current")
+        rng = np.random.default_rng(0)
+        m.record_upper(np.zeros(2), 1.0, 0)
+        m.record_lower("champ", 1.0, 0)
+        assert len(m.upper_pool) == 0 and len(m.lower_pool) == 0
+        assert m.upper_panel(4, rng) == []
+        assert m.lower_panel("champ", rng) == ["champ"]
+        assert m.opponent("lower", rng) is None
+        assert m.aggregate([3.25]) == 3.25
+
+    @pytest.mark.parametrize("name", ["hall-of-fame", "archive"])
+    def test_worst_case_fold(self, name):
+        m = mode(name)
+        assert m.aggregate([3.0, -1.0, 2.0]) == -1.0
+        assert m.representative_index([3.0, -1.0, 2.0]) == 1
+
+    def test_generalist_fold_is_mean(self):
+        m = mode("generalist")
+        assert m.aggregate([1.0, 2.0, 6.0]) == pytest.approx(3.0)
+        assert m.representative_index([1.0, 2.0, 6.0]) == 0
+
+    def test_maxsolve_fold_counts_solved(self):
+        m = mode("maxsolve", solved_threshold=0.0)
+        two = m.aggregate([1.0, -5.0, 2.0])
+        assert 2.0 < two < 3.0  # 2 solved + tie-break in (0, 1)
+        assert m.aggregate([1.0, 1.0, 2.0]) > two  # 3 solved beats 2
+        # Same solved count: the mean payoff breaks the tie.
+        assert m.aggregate([9.0, -5.0, 2.0]) > two
+
+    def test_empty_payoffs_raise(self):
+        with pytest.raises(ValueError, match="empty payoff"):
+            mode("archive").aggregate([])
+
+    def test_lower_panel_leads_with_champion_and_dedups(self):
+        m = mode("archive", panel_size=3)
+        rng = np.random.default_rng(0)
+        champ = SyntaxTree.deserialize("T:COST")
+        m.record_lower(SyntaxTree.deserialize("T:COST"), 0.5, 0)  # == champion
+        m.record_lower(SyntaxTree.deserialize("T:DUAL"), 1.0, 1)
+        m.record_lower(SyntaxTree.deserialize("T:COVER"), 2.0, 2)
+        m.record_lower(SyntaxTree.deserialize("T:QSUM"), 3.0, 3)
+        panel = m.lower_panel(champ, rng)
+        assert len(panel) == 3
+        assert panel[0] is champ
+        keys = [stable_identity(t) for t in panel]
+        assert len(set(keys)) == 3  # the archived champion copy was skipped
+
+    def test_hall_of_fame_prefers_recent(self):
+        m = mode("hall-of-fame", panel_size=2)
+        rng = np.random.default_rng(0)
+        m.record_lower("old", 0.0, generation=1)  # best quality, oldest
+        m.record_lower("new", 9.0, generation=7)
+        panel = m.lower_panel("champ", rng)
+        assert panel == ["champ", "new"]
+
+    def test_state_roundtrip(self):
+        m = mode("archive")
+        m.record_upper(np.array([0.25, 0.5]), 4.0, 1)
+        m.record_lower("solver", 0.5, 1)
+        clone = mode("archive")
+        clone.load_state_dict(m.state_dict())
+        assert len(clone.upper_pool) == 1 and len(clone.lower_pool) == 1
+        assert clone.upper_pool.best_quality == 4.0
+
+    def test_state_mode_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="eval mode"):
+            mode("archive").load_state_dict(mode("maxsolve").state_dict())
+
+
+# -- substrate determinism ----------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def bilinear():
+    return bilinear_instance()
+
+
+def carbon_config(mode_name: str) -> CarbonConfig:
+    return replace(
+        CarbonConfig.quick(ul_evaluations=300, ll_evaluations=300, population_size=10),
+        eval_mode=EvalModeConfig(mode=mode_name, pool_size=16, panel_size=3),
+        execution=ExecutionConfig(rng_audit=True),
+    )
+
+
+class TestModeDeterminism:
+    """Serial vs process-pool bit-identity for every evaluation mode —
+    including the full RNG draw trace, so archived-opponent panels cannot
+    consume randomness differently across substrates."""
+
+    @pytest.mark.parametrize("mode_name", EVAL_MODES)
+    def test_carbon_bilinear_serial_vs_process(self, bilinear, mode_name):
+        cfg = carbon_config(mode_name)
+
+        def run(executor):
+            algo = Carbon(
+                bilinear, config=cfg, rng=np.random.default_rng(0), executor=executor
+            )
+            return EngineLoop(algo).run(seed_label=0), algo.rng_audit
+
+        serial, serial_audit = run(SerialExecutor())
+        with ProcessExecutor(workers=2) as ex:
+            process, process_audit = run(ex)
+        assert_bit_identical(serial, process)
+        assert serial_audit.trace == process_audit.trace
+        assert serial.extras["opponent_pools"] == process.extras["opponent_pools"]
+        final = serial.extras["final_best_prices"]
+        assert np.array_equal(final, process.extras["final_best_prices"])
+
+    def test_cobra_archive_serial_vs_process(self):
+        from repro.bcpop.generator import generate_instance
+
+        instance = generate_instance(20, 3, seed=5)
+        cfg = replace(
+            CobraConfig.quick(ul_evaluations=150, ll_evaluations=150, population_size=10),
+            eval_mode=EvalModeConfig(mode="archive", pool_size=16, panel_size=3),
+        )
+        serial = run_cobra(instance, cfg, seed=0, executor=SerialExecutor())
+        with ProcessExecutor(workers=2) as ex:
+            process = run_cobra(instance, cfg, seed=0, executor=ex)
+        assert_bit_identical(serial, process)
+
+    def test_nested_generalist_serial_vs_process(self):
+        from repro.bcpop.generator import generate_instance
+
+        instance = generate_instance(20, 3, seed=5)
+        cfg = UpperLevelConfig(
+            population_size=10, archive_size=10, fitness_evaluations=80
+        )
+        eval_mode = EvalModeConfig(mode="generalist", panel_size=3)
+        serial = run_nested(
+            instance, cfg, seed=0, executor=SerialExecutor(), eval_mode=eval_mode
+        )
+        with ProcessExecutor(workers=2) as ex:
+            process = run_nested(instance, cfg, seed=0, executor=ex, eval_mode=eval_mode)
+        assert_bit_identical(serial, process)
+
+
+class TestIslandsInheritMode:
+    def test_each_island_runs_under_the_configured_mode(self, bilinear):
+        """IslandCarbon builds per-island Carbons from one config, so the
+        ring picks up non-current modes with no wiring of its own."""
+        from repro.parallel.islands import IslandCarbon
+
+        cfg = replace(
+            CarbonConfig.quick(ul_evaluations=200, ll_evaluations=200,
+                               population_size=8),
+            eval_mode=EvalModeConfig(mode="archive", pool_size=8, panel_size=2),
+        )
+        ring = IslandCarbon(bilinear, cfg, n_islands=2, seed=0)
+        EngineLoop(ring).run(seed_label=0)
+        for island in ring.islands:
+            assert island.eval_mode.mode == "archive"
+            assert len(island.eval_mode.lower_pool) > 0
+
+
+class TestModeHarness:
+    """The Nolfi-style comparison table (repro.experiments.modes)."""
+
+    def test_bcpop_matrix_row_per_algorithm(self):
+        from repro.experiments.modes import format_mode_table, run_bcpop_modes
+
+        cells = run_bcpop_modes(modes=("current",), budget=150)
+        assert [c.algorithm for c in cells] == [
+            "CARBON", "COBRA", "NESTED[chvatal]", "SURROGATE[chvatal]"
+        ]
+        assert all(c.mode == "current" for c in cells)
+        assert all(np.isnan(c.saddle_distance) for c in cells)
+        assert all(0.0 <= c.seesaw <= 1.0 for c in cells)
+        table = format_mode_table(cells, "smoke")
+        assert "COBRA" in table and "best_gap" in table
+        # No known optimum on BCPOP: the column renders as a dash.
+        assert " - " in table or table.rstrip().endswith("-") or "-" in table
+
+    def test_cell_row_is_plain_dict(self):
+        from repro.experiments.modes import ModeCell
+
+        cell = ModeCell(
+            algorithm="CARBON", mode="archive", best_gap=0.0, best_upper=1.0,
+            final_fitness=0.5, saddle_distance=float("nan"), seesaw=0.1,
+            generations=3,
+        )
+        row = cell.row()
+        assert row["algorithm"] == "CARBON" and row["generations"] == 3
+
+    def test_gate_setup_is_the_documented_recipe(self):
+        from repro.experiments.modes import gate_setup
+
+        instance, config = gate_setup()
+        assert instance.name.startswith("bilinear")
+        assert config.eval_mode.mode == "archive"
+        assert config.eval_mode.pool_size == 32
+        assert config.eval_mode.panel_size == 6
+        other_instance, other = gate_setup(mode="maxsolve")
+        assert other.eval_mode.mode == "maxsolve"
+        assert other_instance.digest == instance.digest
+
+
+class TestCurrentModeIsHistoricalBehaviour:
+    """``current`` must not merely be *a* mode — it must be bit-identical
+    to a config predating the eval-mode field entirely (same draws, same
+    results), which is what keeps the seed's recorded numbers valid."""
+
+    def test_default_config_mode_is_current(self):
+        assert CarbonConfig.quick().eval_mode.mode == "current"
+        assert CobraConfig.quick().eval_mode.mode == "current"
+
+    def test_explicit_current_matches_default(self, bilinear):
+        cfg = CarbonConfig.quick(
+            ul_evaluations=200, ll_evaluations=200, population_size=8
+        )
+        explicit = replace(
+            cfg, eval_mode=EvalModeConfig(mode="current", pool_size=9, panel_size=5)
+        )
+        a = run_carbon(bilinear, cfg, seed=2)
+        b = run_carbon(bilinear, explicit, seed=2)
+        assert_bit_identical(a, b)

@@ -22,6 +22,19 @@ class TestParser:
         args = build_parser().parse_args(["table3", "--classes", "100x5", "250x10"])
         assert args.classes == ["100x5", "250x10"]
 
+    def test_eval_mode_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table3", "--eval-mode", "tournament"])
+        args = build_parser().parse_args(["modes", "--eval-mode", "archive"])
+        assert args.eval_mode == "archive"
+        assert build_parser().parse_args(["table3"]).eval_mode is None
+
+    def test_modes_is_a_report_command(self):
+        from repro.experiments.runner import _COMMANDS, _NON_REPORT
+
+        assert "modes" in _COMMANDS
+        assert "modes" not in _NON_REPORT
+
 
 class TestCommands:
     def test_extended_tiny(self, capsys):
@@ -84,3 +97,10 @@ class TestCommands:
         ]) == 0
         out = capsys.readouterr().out
         assert "TABLE IV" in out
+
+    def test_table3_accepts_eval_mode(self, capsys):
+        assert main([
+            "table3", "--runs", "1", "--classes", "16x2",
+            "--eval-mode", "archive",
+        ]) == 0
+        assert "TABLE III" in capsys.readouterr().out
