@@ -1,0 +1,238 @@
+"""Kernel benchmark: interpreted vs compiled GP evaluation, LP warm-starts.
+
+Three measurements, all on one Table-II-shaped BCPOP instance:
+
+``score_sweep``
+    The raw scoring hot path — a population of trees, each scored over a
+    sequence of greedy steps (``ctx.pick`` between scores, as
+    ``greedy_cover`` does).  Interpreter walks the tree per call; the
+    compiled program replays its cached static register bank and runs
+    only the dynamic suffix.  This is where the headline speedup lives.
+
+``end_to_end``
+    Full ``evaluate_heuristic_fresh`` sweeps (LP relaxation + greedy
+    solve + bookkeeping) with ``compile=False`` vs ``compile=True``
+    evaluators.  Outcomes are asserted bit-identical — the benchmark
+    doubles as a differential test at scale.
+
+``lp_warm_start``
+    A price sweep through ``RelaxationCache(backend="simplex")`` with
+    warm-starting off vs on; reports simplex iterations saved (an
+    exact, machine-independent count) plus wall time.
+
+Results go to ``BENCH_kernel.json``.  Scale follows ``REPRO_BENCH_SCALE``
+(quick/bench/paper); override the output with ``REPRO_BENCH_KERNEL_OUT``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bcpop.generator import generate_instance
+from repro.covering.greedy import GreedyContext
+from repro.gp.compile import CompileCache
+from repro.gp.generate import ramped_half_and_half
+from repro.gp.primitives import paper_primitive_set
+from repro.lp.bounds import RelaxationCache
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+#: (n_bundles, n_services, population, n_prices, greedy_steps)
+_SETTINGS = {
+    "quick": (60, 5, 24, 3, 12),
+    "bench": (100, 10, 60, 5, 25),
+    "paper": (250, 10, 120, 8, 50),
+}
+
+_DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+
+
+def _out_path() -> Path:
+    return Path(os.environ.get("REPRO_BENCH_KERNEL_OUT", _DEFAULT_OUT))
+
+
+def _population(n: int, seed: int):
+    rng = np.random.default_rng(seed)
+    return ramped_half_and_half(
+        paper_primitive_set(), n, rng, min_depth=2, max_depth=5
+    )
+
+
+def run_score_sweep(
+    n_bundles: int, n_services: int, population: int, steps: int, seed: int = 0
+) -> dict:
+    """Time the scoring kernel alone over ``population`` trees ×
+    ``steps`` greedy steps, interpreter vs compiled."""
+    instance = generate_instance(n_bundles, n_services, seed=seed)
+    ll = instance.lower_level(instance.price_bounds[1])
+    trees = _population(population, seed)
+    order = np.random.default_rng(seed).permutation(n_bundles)[:steps]
+
+    def _sweep(score_of):
+        outs = []
+        t0 = time.perf_counter()
+        for tree in trees:
+            fn = score_of(tree)
+            ctx = GreedyContext.fresh(ll)
+            outs.append(fn(ctx).copy())
+            for j in order:
+                ctx.pick(int(j))
+                outs.append(fn(ctx).copy())
+        return time.perf_counter() - t0, outs
+
+    # Untimed warm-up: the first numpy ufunc dispatches of a process cost
+    # an order of magnitude more than steady state and would otherwise be
+    # billed to whichever sweep runs first.
+    warm_kernel = CompileCache()
+    _sweep(lambda t: t.evaluate)
+    _sweep(warm_kernel.get)
+
+    t_interp, out_interp = _sweep(lambda t: t.evaluate)
+    kernel = CompileCache()
+    t_comp, out_comp = _sweep(kernel.get)  # includes compile time
+
+    for a, b in zip(out_interp, out_comp):
+        if not np.array_equal(
+            a.view(np.uint64), b.view(np.uint64)
+        ):  # pragma: no cover - diagnostic
+            raise AssertionError("compiled scoring diverged from interpreter")
+
+    return {
+        "interpreted_s": t_interp,
+        "compiled_s": t_comp,
+        "speedup": t_interp / t_comp if t_comp > 0 else float("inf"),
+        "scores_evaluated": len(out_interp),
+        "kernel": kernel.stats,
+    }
+
+
+def run_end_to_end(
+    n_bundles: int, n_services: int, population: int, n_prices: int, seed: int = 0
+) -> dict:
+    """Full lower-level evaluation sweeps, compiled vs interpreted, with
+    a bit-identity check on every outcome."""
+    instance = generate_instance(n_bundles, n_services, seed=seed)
+    trees = _population(population, seed)
+    rng = np.random.default_rng(seed + 1)
+    low, high = instance.price_bounds
+    prices = [rng.uniform(low, high) for _ in range(n_prices)]
+
+    def _sweep(compile_flag: bool):
+        ev = instance.make_evaluator(compile=compile_flag)
+        outs = []
+        t0 = time.perf_counter()
+        for p in prices:
+            for tree in trees:
+                outs.append(ev.evaluate_heuristic_fresh(p, tree))
+        return time.perf_counter() - t0, outs, ev
+
+    t_interp, out_interp, _ = _sweep(False)
+    t_comp, out_comp, ev = _sweep(True)
+
+    for a, b in zip(out_interp, out_comp):
+        assert np.array_equal(a.selection, b.selection)
+        assert a.ll_cost == b.ll_cost and a.gap == b.gap
+
+    return {
+        "interpreted_s": t_interp,
+        "compiled_s": t_comp,
+        "speedup": t_interp / t_comp if t_comp > 0 else float("inf"),
+        "evaluations": len(out_interp),
+        "kernel": ev.kernel_stats,
+    }
+
+
+def run_lp_warm_start(
+    n_bundles: int, n_services: int, n_prices: int, seed: int = 0
+) -> dict:
+    """Sweep prices through cold and warm relaxation caches (own simplex
+    backend) and report iteration + time savings."""
+    instance = generate_instance(n_bundles, n_services, seed=seed)
+    rng = np.random.default_rng(seed + 2)
+    low, high = instance.price_bounds
+    sweeps = [instance.lower_level(rng.uniform(low, high)) for _ in range(n_prices * 4)]
+
+    cold = RelaxationCache(backend="simplex", warm_start=False)
+    t0 = time.perf_counter()
+    cold_relax = [cold.get(ll) for ll in sweeps]
+    t_cold = time.perf_counter() - t0
+
+    warm = RelaxationCache(backend="simplex", warm_start=True)
+    t0 = time.perf_counter()
+    warm_relax = [warm.get(ll) for ll in sweeps]
+    t_warm = time.perf_counter() - t0
+
+    for a, b in zip(cold_relax, warm_relax):
+        if abs(a.lower_bound - b.lower_bound) > 1e-6 * max(1.0, abs(a.lower_bound)):
+            raise AssertionError(
+                f"warm LB {b.lower_bound} != cold LB {a.lower_bound}"
+            )
+
+    saved = cold.simplex_iterations - warm.simplex_iterations
+    return {
+        "cold_s": t_cold,
+        "warm_s": t_warm,
+        "cold_iterations": cold.simplex_iterations,
+        "warm_iterations": warm.simplex_iterations,
+        "iterations_saved": saved,
+        "iterations_saved_pct": (
+            100.0 * saved / cold.simplex_iterations
+            if cold.simplex_iterations
+            else 0.0
+        ),
+        "warm_stats": warm.warm_stats,
+        "solves": len(sweeps),
+    }
+
+
+def run_kernel_benchmark(
+    n_bundles: int,
+    n_services: int,
+    population: int,
+    n_prices: int,
+    steps: int,
+    seed: int = 0,
+) -> dict:
+    return {
+        "benchmark": "kernel",
+        "scale": SCALE,
+        "instance": f"n{n_bundles}-m{n_services}",
+        "population": population,
+        "score_sweep": run_score_sweep(
+            n_bundles, n_services, population, steps, seed
+        ),
+        "end_to_end": run_end_to_end(
+            n_bundles, n_services, population, n_prices, seed
+        ),
+        "lp_warm_start": run_lp_warm_start(n_bundles, n_services, n_prices, seed),
+    }
+
+
+def _write_record(record: dict) -> Path:
+    path = _out_path()
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    return path
+
+
+def test_bench_kernel():
+    settings = _SETTINGS.get(SCALE, _SETTINGS["quick"])
+    record = run_kernel_benchmark(*settings)
+    path = _write_record(record)
+    assert path.exists()
+    # Bit-identity is asserted inside the sweeps; here we only require
+    # that compiling does not *lose* time on a batch workload.
+    assert record["score_sweep"]["speedup"] >= 1.0
+    assert record["end_to_end"]["speedup"] > 0
+    assert record["lp_warm_start"]["iterations_saved"] >= 0
+
+
+if __name__ == "__main__":
+    settings = _SETTINGS.get(SCALE, _SETTINGS["quick"])
+    out = run_kernel_benchmark(*settings)
+    print(json.dumps(out, indent=2))
+    print(f"wrote {_write_record(out)}")

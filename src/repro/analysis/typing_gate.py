@@ -1,8 +1,8 @@
 """The mypy-strict baseline ratchet (``typing-baseline.txt``).
 
 Strict typing is gated on :mod:`repro.core`, :mod:`repro.parallel`,
-:mod:`repro.serve` and :mod:`repro.analysis` (the ``[tool.mypy]`` table
-in pyproject).  Because a
+:mod:`repro.serve`, :mod:`repro.analysis`, :mod:`repro.gp` and
+:mod:`repro.lp` (the ``[tool.mypy]`` table in pyproject).  Because a
 strict gate bootstrapped onto an existing codebase needs an escape
 valve, suppressions are *budgeted* instead of banned: the baseline file
 records how many ``# type: ignore`` / ``# mypy: ignore-errors`` markers
@@ -36,7 +36,14 @@ from typing import Sequence
 __all__ = ["count_ignores", "load_baseline", "main"]
 
 #: Packages under the strict gate (mirrors [tool.mypy] in pyproject).
-STRICT_PACKAGES = ("repro/core", "repro/parallel", "repro/serve", "repro/analysis")
+STRICT_PACKAGES = (
+    "repro/core",
+    "repro/parallel",
+    "repro/serve",
+    "repro/analysis",
+    "repro/gp",
+    "repro/lp",
+)
 
 BASELINE_FILE = "typing-baseline.txt"
 

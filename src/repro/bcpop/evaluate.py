@@ -38,12 +38,14 @@ from typing import Any
 import numpy as np
 
 from repro.bcpop.instance import BcpopInstance
-from repro.covering.greedy import ScoreFunction, greedy_cover
+from repro.covering.greedy import ContextStatics, ScoreFunction, greedy_cover
 from repro.covering.repair import repair_cover
+from repro.gp.compile import CompileCache
 from repro.gp.tree import SyntaxTree
 from repro.lp.bounds import RelaxationCache
 from repro.lp.relaxation import Relaxation
 from repro.parallel.executor import Executor, ProcessExecutor
+from repro.utils.profiling import HotPathTimers
 
 __all__ = [
     "DEFAULT_MEMO_SIZE",
@@ -166,6 +168,23 @@ class LowerLevelEvaluator:
         Only heuristic evaluations with a content-addressable solver — GP
         syntax trees — are memoized; opaque callables (hand-written or
         stochastic heuristics) always evaluate fresh.
+    compile:
+        Lower GP trees to :class:`repro.gp.compile.CompiledProgram`
+        bytecode before solving (bit-identical to the interpreter, just
+        faster) and share the precomputed static feature matrices across
+        all solves of the instance family.  ``False`` restores the exact
+        original interpreter path — the differential-testing oracle.
+    lp_warm_start:
+        Warm-start the own-simplex relaxations from the nearest cached
+        basis (forwarded to :class:`repro.lp.bounds.RelaxationCache`).
+        Off by default: at degenerate optima a warm solve may settle on
+        an alternate optimal vertex (same bound, different duals/x̄), so
+        this is an opt-in speed/strictness trade — never enabled on the
+        determinism-gated default paths.
+    timers:
+        Optional :class:`repro.utils.profiling.HotPathTimers` wrapping
+        the kernel sections; a disabled instance (default) never reads a
+        clock.
     """
 
     def __init__(
@@ -175,12 +194,22 @@ class LowerLevelEvaluator:
         cache_size: int = 4096,
         gap_eps: float = 1e-9,
         memo_size: int = DEFAULT_MEMO_SIZE,
+        compile: bool = True,
+        lp_warm_start: bool = False,
+        timers: HotPathTimers | None = None,
     ) -> None:
         self.instance = instance
         self.lp_backend = lp_backend
-        self._cache = RelaxationCache(backend=lp_backend, maxsize=cache_size)
+        self.lp_warm_start = lp_warm_start
+        self._cache = RelaxationCache(
+            backend=lp_backend, maxsize=cache_size, warm_start=lp_warm_start
+        )
         self.gap_eps = gap_eps
         self.memo = EvaluationMemo(memo_size) if memo_size > 0 else None
+        self.compile = compile
+        self.kernel = CompileCache() if compile else None
+        self._statics: ContextStatics | None = None
+        self.timers = timers if timers is not None else HotPathTimers()
         self.n_evaluations = 0
         self.n_lp_solves_saved = 0
 
@@ -236,14 +265,38 @@ class LowerLevelEvaluator:
             )
         )
 
+    def _solver_for(self, score_fn: ScoreFunction) -> ScoreFunction:
+        """The executable form of ``score_fn``: its compiled program when
+        the kernel is enabled and the solver is a syntax tree (compiled
+        once per structurally distinct tree), otherwise the callable
+        itself."""
+        if self.kernel is not None and isinstance(score_fn, SyntaxTree):
+            with self.timers.section("compile"):
+                return self.kernel.get(score_fn)
+        return score_fn
+
     def evaluate_heuristic_fresh(
         self, prices: np.ndarray, score_fn: ScoreFunction
     ) -> LowerLevelOutcome:
         """One uncached heuristic evaluation (always counts as work)."""
         prices = self.instance.validate_prices(prices)
         ll = self.instance.lower_level(prices)
-        relax = self.relaxation(prices)
-        sol = greedy_cover(ll, score_fn, duals=relax.duals, xbar=relax.xbar)
+        with self.timers.section("lp"):
+            relax = self.relaxation(prices)
+        solver = self._solver_for(score_fn)
+        statics: ContextStatics | None = None
+        if self.compile:
+            # The induced instances of one bi-level problem share
+            # (q, demand); the static feature matrices are built once and
+            # reused across the whole population's solves (bit-identical
+            # to rebuilding them — same expressions, same inputs).
+            if self._statics is None:
+                self._statics = ContextStatics.for_instance(ll)
+            statics = self._statics
+        with self.timers.section("greedy"):
+            sol = greedy_cover(
+                ll, solver, duals=relax.duals, xbar=relax.xbar, statics=statics
+            )
         return self._outcome(prices, sol.selected, relax, sol.feasible)
 
     def evaluate_heuristic(
@@ -284,12 +337,22 @@ class LowerLevelEvaluator:
 
     @property
     def cache_stats(self) -> dict:
-        return {
+        out = {
             "entries": len(self._cache),
             "hits": self._cache.hits,
             "misses": self._cache.misses,
             "hit_rate": self._cache.hit_rate,
         }
+        if self.lp_warm_start:
+            out["warm_start"] = self._cache.warm_stats
+        return out
+
+    @property
+    def kernel_stats(self) -> dict:
+        """Compile-cache counters (``{"enabled": False}`` when off)."""
+        if self.kernel is None:
+            return {"enabled": False}
+        return {"enabled": True, **self.kernel.stats}
 
     @property
     def memo_stats(self) -> dict:
@@ -315,20 +378,33 @@ class LowerLevelEvaluator:
 # life of the pool, so the instance is unpickled and the LP-relaxation cache
 # warmed once per worker rather than once per generation.
 
-_WORKER_EVALUATORS: dict[tuple[str, str], Any] = {}
+_WORKER_EVALUATORS: dict[tuple[str, str, bool, bool], Any] = {}
 
 
-def _worker_evaluator(blob: bytes, digest: str, lp_backend: str, gap_eps: float):
-    key = (digest, lp_backend)
+def _worker_evaluator(
+    blob: bytes,
+    digest: str,
+    lp_backend: str,
+    gap_eps: float,
+    compile: bool,
+    lp_warm_start: bool,
+):
+    key = (digest, lp_backend, compile, lp_warm_start)
     found = _WORKER_EVALUATORS.get(key)
     if found is None:
         instance = pickle.loads(blob)
         # Workers never memoize: the parent owns the memo and dedupes
         # before dispatch, so a worker memo would only hide work counts.
         # The instance picks its own evaluator class, so non-BCPOP
-        # families (e.g. the bilinear toy) ride the same pool.
+        # families (e.g. the bilinear toy) ride the same pool.  The
+        # compile/warm-start flags ship with the header so workers run
+        # the same kernel configuration as the parent.
         found = instance.make_evaluator(
-            lp_backend=lp_backend, gap_eps=gap_eps, memo_size=0
+            lp_backend=lp_backend,
+            gap_eps=gap_eps,
+            memo_size=0,
+            compile=compile,
+            lp_warm_start=lp_warm_start,
         )
         _WORKER_EVALUATORS[key] = found
     return found
@@ -337,8 +413,10 @@ def _worker_evaluator(blob: bytes, digest: str, lp_backend: str, gap_eps: float)
 def evaluate_heuristic_batch(batch: tuple) -> list[LowerLevelOutcome]:
     """Worker entry point: evaluate a batch of (prices, score_fn) requests
     against one instance.  Pure — results depend only on the descriptor."""
-    blob, digest, lp_backend, gap_eps, requests = batch
-    evaluator = _worker_evaluator(blob, digest, lp_backend, gap_eps)
+    blob, digest, lp_backend, gap_eps, compile, lp_warm_start, requests = batch
+    evaluator = _worker_evaluator(
+        blob, digest, lp_backend, gap_eps, compile, lp_warm_start
+    )
     return [
         evaluator.evaluate_heuristic_fresh(prices, score_fn)
         for prices, score_fn in requests
@@ -347,8 +425,10 @@ def evaluate_heuristic_batch(batch: tuple) -> list[LowerLevelOutcome]:
 
 def solve_relaxation_batch(batch: tuple) -> list[Relaxation]:
     """Worker entry point: LP relaxations for a batch of price vectors."""
-    blob, digest, lp_backend, gap_eps, price_list = batch
-    evaluator = _worker_evaluator(blob, digest, lp_backend, gap_eps)
+    blob, digest, lp_backend, gap_eps, compile, lp_warm_start, price_list = batch
+    evaluator = _worker_evaluator(
+        blob, digest, lp_backend, gap_eps, compile, lp_warm_start
+    )
     return [evaluator.relaxation(prices) for prices in price_list]
 
 
@@ -416,6 +496,8 @@ class EvaluationPipeline:
             instance.digest,
             self.evaluator.lp_backend,
             self.evaluator.gap_eps,
+            self.evaluator.kernel is not None,
+            getattr(self.evaluator, "lp_warm_start", False),
         )
 
     def _split(self, items: list) -> list[list]:
@@ -540,7 +622,13 @@ class EvaluationPipeline:
             "worker_batches": self.n_worker_batches,
             "executor": repr(self.executor) if self.executor else "SerialExecutor()",
             "memo": self.evaluator.memo_stats,
+            "kernel": self.evaluator.kernel_stats,
         }
+        timers = getattr(self.evaluator, "timers", None)
+        if timers is not None and timers.enabled:
+            # Wall-clock aggregates — present only when explicitly
+            # enabled, so compared extras stay deterministic by default.
+            out["timers"] = timers.snapshot()
         if getattr(self.executor, "supervised", False):
             # Crash/retry/quarantine accounting rides into RunResult.extras
             # (and the solve server's stats op) alongside the cache stats.

@@ -154,6 +154,8 @@ class BcpopInstance:
         cache_size: int = 4096,
         gap_eps: float = 1e-9,
         memo_size: int | None = None,
+        compile: bool = True,
+        lp_warm_start: bool = False,
     ) -> "LowerLevelEvaluator":
         """Polymorphic evaluator factory — the pipeline's worker side
         calls this instead of hard-coding one evaluator class, so other
@@ -167,6 +169,8 @@ class BcpopInstance:
             cache_size=cache_size,
             gap_eps=gap_eps,
             memo_size=DEFAULT_MEMO_SIZE if memo_size is None else memo_size,
+            compile=compile,
+            lp_warm_start=lp_warm_start,
         )
 
     def market_only_instance(self) -> CoveringInstance:

@@ -52,7 +52,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.bcpop.evaluate import EvaluationMemo, LowerLevelOutcome
+from repro.gp.compile import CompileCache
 from repro.gp.tree import SyntaxTree
+from repro.utils.profiling import HotPathTimers
 
 __all__ = ["BilinearContext", "BilinearInstance", "BilinearEvaluator", "bilinear_instance"]
 
@@ -168,12 +170,17 @@ class BilinearInstance:
         cache_size: int = 4096,
         gap_eps: float = 1e-9,
         memo_size: int = 0,
+        compile: bool = True,
+        lp_warm_start: bool = False,
     ) -> "BilinearEvaluator":
         """Polymorphic evaluator factory (the pipeline's worker side calls
         this, so bilinear instances ride the same process pool as BCPOP).
-        ``lp_backend``/``cache_size`` are accepted for signature
-        compatibility; there is no LP here — bounds are analytic."""
-        return BilinearEvaluator(self, gap_eps=gap_eps, memo_size=memo_size)
+        ``lp_backend``/``cache_size``/``lp_warm_start`` are accepted for
+        signature compatibility; there is no LP here — bounds are
+        analytic."""
+        return BilinearEvaluator(
+            self, gap_eps=gap_eps, memo_size=memo_size, compile=compile
+        )
 
     # -- analytics -----------------------------------------------------------
 
@@ -238,13 +245,26 @@ class BilinearEvaluator:
         gap_eps: float = 1e-9,
         memo_size: int = 0,
         lp_backend: str = "analytic",
+        compile: bool = True,
+        timers: HotPathTimers | None = None,
     ) -> None:
         self.instance = instance
         self.gap_eps = gap_eps
         self.lp_backend = lp_backend
         self.memo = EvaluationMemo(memo_size) if memo_size > 0 else None
+        self.compile = compile
+        self.kernel = CompileCache() if compile else None
+        self.lp_warm_start = False  # analytic bounds: nothing to warm-start
+        self.timers = timers if timers is not None else HotPathTimers()
         self.n_evaluations = 0
         self.n_lp_solves_saved = 0
+
+    def _solver_for(self, score_fn):
+        """Compiled form of a GP tree (cached), or the callable as-is."""
+        if self.kernel is not None and isinstance(score_fn, SyntaxTree):
+            with self.timers.section("compile"):
+                return self.kernel.get(score_fn)
+        return score_fn
 
     # -- feature context -----------------------------------------------------
 
@@ -290,7 +310,9 @@ class BilinearEvaluator:
         inst = self.instance
         prices = inst.validate_prices(prices)
         ctx = self.context(prices)
-        scores = np.asarray(score_fn(ctx), dtype=np.float64)
+        solver = self._solver_for(score_fn)
+        with self.timers.section("score"):
+            scores = np.asarray(solver(ctx), dtype=np.float64)
         if scores.shape != (inst.m,):
             raise ValueError(
                 f"score function returned shape {scores.shape}, expected ({inst.m},)"
@@ -324,6 +346,12 @@ class BilinearEvaluator:
     @property
     def cache_stats(self) -> dict:
         return {"entries": 0, "hits": 0, "misses": 0, "hit_rate": 0.0}
+
+    @property
+    def kernel_stats(self) -> dict:
+        if self.kernel is None:
+            return {"enabled": False}
+        return {"enabled": True, **self.kernel.stats}
 
     @property
     def memo_stats(self) -> dict:

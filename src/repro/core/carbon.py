@@ -36,6 +36,7 @@ from repro.bcpop.instance import BcpopInstance
 from repro.core.archive import Archive, ArchiveEntry
 from repro.core.config import CarbonConfig
 from repro.core.engine import EngineAlgorithm, EngineLoop
+from repro.core.evalmode import stable_identity
 from repro.core.results import RunResult, solution_from_entry
 from repro.ga.encoding import Bounds
 from repro.ga.operators import polynomial_mutation, sbx_crossover
@@ -87,8 +88,13 @@ class Carbon(EngineAlgorithm):
         execution = self.config.execution
         self.rng = self._init_rng(rng, execution, component="carbon")
         self.evaluator = instance.make_evaluator(
-            lp_backend=lp_backend, memo_size=execution.memo_size
+            lp_backend=lp_backend,
+            memo_size=execution.memo_size,
+            compile=execution.compile,
+            lp_warm_start=execution.lp_warm_start,
         )
+        if execution.profile_hot_path:
+            self.evaluator.timers.enabled = True
         self._owns_executor = executor is None
         self.executor = executor if executor is not None else execution.make_executor()
         self.pipeline = EvaluationPipeline(
@@ -106,8 +112,14 @@ class Carbon(EngineAlgorithm):
         )
         self._init_eval_mode(self.config.eval_mode)
         self.ul_archive = Archive(self.config.upper.archive_size, minimize=False)
+        # Identity MUST be the content digest, not ``hash()``: SyntaxTree's
+        # __hash__ hashes a tuple of node-name strings, which PYTHONHASHSEED
+        # randomizes per interpreter — and the archive breaks score ties by
+        # the stringified identity, so a hash()-keyed archive elects a
+        # different tied champion per process (a real flake caught by the
+        # convergence gate's contrast test).
         self.ll_archive = Archive(
-            self.config.ll_archive_size, minimize=True, identity=hash
+            self.config.ll_archive_size, minimize=True, identity=stable_identity
         )
         self.ul_pop: list[Individual] = []
         self.ll_pop: list[Individual] = []

@@ -76,8 +76,13 @@ class Cobra(EngineAlgorithm):
         execution = self.config.execution
         self.rng = self._init_rng(rng, execution, component="cobra")
         self.evaluator = instance.make_evaluator(
-            lp_backend=lp_backend, memo_size=execution.memo_size
+            lp_backend=lp_backend,
+            memo_size=execution.memo_size,
+            compile=execution.compile,
+            lp_warm_start=execution.lp_warm_start,
         )
+        if execution.profile_hot_path:
+            self.evaluator.timers.enabled = True
         # COBRA's per-individual fitness is a dot product — the expensive
         # part is the LP relaxation behind each archived pairing's %-gap,
         # so the pipeline is used to *prefetch* relaxations in parallel

@@ -143,6 +143,22 @@ class ExecutionConfig:
         static R001 rule can't see.  Reported via
         ``RunResult.extras["rng_audit"]``; draws themselves are
         unchanged (the wrapper shares the bit generator).
+    compile:
+        Lower GP trees to :mod:`repro.gp.compile` bytecode before the
+        greedy solve (default).  Bit-identical to the interpreter —
+        ``compile=False`` restores the original per-node evaluation path
+        and serves as the differential-testing oracle.
+    lp_warm_start:
+        Warm-start own-simplex LP relaxations from the nearest cached
+        basis.  Off by default: degenerate optima can resolve to an
+        alternate vertex (same bound, different duals), so this is an
+        opt-in speed knob, never part of the determinism-gated defaults.
+    profile_hot_path:
+        Enable :class:`repro.utils.profiling.HotPathTimers` around the
+        kernel sections (compile/LP/greedy).  Aggregate seconds are
+        reported under ``RunResult.extras["pipeline"]["timers"]`` — the
+        key exists only when this flag is on, so default runs carry no
+        wall-clock data (lint rule R002's contract).
     """
 
     executor: str = "serial"
@@ -154,6 +170,9 @@ class ExecutionConfig:
     max_retries: int = 2
     supervised: bool = False
     rng_audit: bool = False
+    compile: bool = True
+    lp_warm_start: bool = False
+    profile_hot_path: bool = False
 
     def __post_init__(self) -> None:
         if self.executor not in ("serial", "processes"):

@@ -22,7 +22,49 @@ import numpy as np
 
 from repro.covering.instance import CoveringInstance, CoverSolution
 
-__all__ = ["GreedyContext", "ScoreFunction", "greedy_cover"]
+__all__ = ["ContextStatics", "GreedyContext", "ScoreFunction", "greedy_cover"]
+
+
+@dataclass(frozen=True)
+class ContextStatics:
+    """Price-invariant feature matrices, shared across a whole population.
+
+    ``q_sum``/``q_max``/``demand_total`` and the *initial* coverage
+    depend only on ``(q, demand)`` — which never change across the
+    induced instances of one bi-level problem (only the cost vector
+    does) — yet :meth:`GreedyContext.fresh` used to recompute them on
+    every solve.  An evaluator builds this bundle once per instance and
+    threads it through every greedy solve; the arrays are computed with
+    the exact expressions ``fresh`` uses, so sharing them is
+    bit-identical.
+
+    The shared arrays are read-only by convention: the greedy loop
+    *reassigns* ``ctx.coverage`` (never mutates it in place), and the
+    genuinely per-solve state (``residual``, ``residual_total``,
+    ``selected``) is still freshly allocated per solve.
+    """
+
+    q_sum: np.ndarray
+    q_max: np.ndarray
+    coverage: np.ndarray
+    demand_total: np.ndarray
+
+    @classmethod
+    def for_instance(cls, instance: CoveringInstance) -> "ContextStatics":
+        """Precompute the static features of ``instance``.
+
+        ``coverage`` here is the step-0 value: with ``residual ==
+        demand`` (an exact copy), ``min(q, residual)`` and
+        ``min(q, demand)`` are the same bits.
+        """
+        n = instance.n_bundles
+        q = instance.q
+        return cls(
+            q_sum=q.sum(axis=0),
+            q_max=q.max(axis=0) if instance.n_services else np.zeros(n),
+            coverage=np.minimum(q, instance.demand[:, None]).sum(axis=0),
+            demand_total=np.full(n, instance.demand.sum()),
+        )
 
 
 @dataclass
@@ -80,8 +122,14 @@ class GreedyContext:
         instance: CoveringInstance,
         duals: np.ndarray | None = None,
         xbar: np.ndarray | None = None,
+        statics: ContextStatics | None = None,
     ) -> "GreedyContext":
-        """Build the initial context for a solve of ``instance``."""
+        """Build the initial context for a solve of ``instance``.
+
+        ``statics`` (optional) supplies the precomputed price-invariant
+        features — bit-identical to computing them here, just not paid
+        for on every solve of the same ``(q, demand)`` family.
+        """
         n = instance.n_bundles
         residual = instance.demand.copy()
         q = instance.q
@@ -99,13 +147,19 @@ class GreedyContext:
             raise ValueError(f"duals incompatible with instance: {dual_vec.shape}")
         if xbar_vec.shape != (n,):
             raise ValueError(f"xbar shape {xbar_vec.shape} != ({n},)")
+        if statics is None:
+            statics = ContextStatics.for_instance(instance)
+        elif statics.q_sum.shape != (n,):
+            raise ValueError(
+                f"statics built for n={statics.q_sum.shape} != ({n},)"
+            )
         ctx = cls(
             instance=instance,
             costs=instance.costs,
-            q_sum=q.sum(axis=0),
-            q_max=q.max(axis=0) if instance.n_services else np.zeros(n),
-            coverage=np.minimum(q, residual[:, None]).sum(axis=0),
-            demand_total=np.full(n, instance.demand.sum()),
+            q_sum=statics.q_sum,
+            q_max=statics.q_max,
+            coverage=statics.coverage,
+            demand_total=statics.demand_total,
             residual_total=np.full(n, residual.sum()),
             duals=dual_vec,
             xbar=xbar_vec,
@@ -142,6 +196,7 @@ def greedy_cover(
     xbar: np.ndarray | None = None,
     prune: bool = True,
     max_steps: int | None = None,
+    statics: ContextStatics | None = None,
 ) -> CoverSolution:
     """Solve ``instance`` greedily under ``score_fn`` (lower is better).
 
@@ -151,13 +206,23 @@ def greedy_cover(
     redundant bundles are pruned (most expensive first) unless
     ``prune=False``.
 
+    ``statics`` optionally carries the precomputed price-invariant
+    features (see :class:`ContextStatics`).  A score function exposing a
+    truthy ``is_static`` attribute (a compiled program with no dynamic
+    terminal — :mod:`repro.gp.compile`) is called once and its scores
+    reused at every step: the inputs cannot change within the solve, so
+    the per-step score vectors are the same array and the selected
+    bundles are unchanged.
+
     Returns an infeasible :class:`CoverSolution` only when the instance
     itself is uncoverable.
     """
-    ctx = GreedyContext.fresh(instance, duals=duals, xbar=xbar)
+    ctx = GreedyContext.fresh(instance, duals=duals, xbar=xbar, statics=statics)
     n = instance.n_bundles
     limit = max_steps if max_steps is not None else n
     steps = 0
+    score_is_static = bool(getattr(score_fn, "is_static", False))
+    static_scores: np.ndarray | None = None
     while not ctx.covered and steps < limit:
         eligible = (~ctx.selected) & (ctx.coverage > 1e-12)
         if not eligible.any():
@@ -167,12 +232,17 @@ def greedy_cover(
                 feasible=False,
                 iterations=steps,
             )
-        scores = np.asarray(score_fn(ctx), dtype=np.float64)
-        if scores.shape != (n,):
-            raise ValueError(
-                f"score function returned shape {scores.shape}, expected ({n},)"
-            )
-        scores = np.where(np.isfinite(scores), scores, np.inf)
+        if static_scores is None:
+            scores = np.asarray(score_fn(ctx), dtype=np.float64)
+            if scores.shape != (n,):
+                raise ValueError(
+                    f"score function returned shape {scores.shape}, expected ({n},)"
+                )
+            scores = np.where(np.isfinite(scores), scores, np.inf)
+            if score_is_static:
+                static_scores = scores
+        else:
+            scores = static_scores
         masked = np.where(eligible, scores, np.inf)
         j = int(np.argmin(masked))
         if not np.isfinite(masked[j]):

@@ -233,6 +233,44 @@ def _cmd_trilevel(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_kernel(args: argparse.Namespace) -> str:
+    """Run the compiled-kernel benchmark and write ``BENCH_kernel.json``.
+
+    Compares interpreted vs compiled GP evaluation (bit-identity is
+    asserted inside the sweeps) and cold vs warm-started LP relaxation
+    sweeps; see ``benchmarks/bench_kernel.py`` for the workload.
+    """
+    import os
+    import pathlib
+
+    os.environ["REPRO_BENCH_SCALE"] = args.scale
+    root = pathlib.Path(__file__).resolve().parents[3]
+    if str(root) not in sys.path:
+        sys.path.insert(0, str(root))
+    from benchmarks.bench_kernel import _SETTINGS, _write_record, run_kernel_benchmark
+
+    record = run_kernel_benchmark(*_SETTINGS[args.scale], seed=args.seed)
+    path = _write_record(record)
+    score = record["score_sweep"]
+    e2e = record["end_to_end"]
+    warm = record["lp_warm_start"]
+    lines = [
+        f"kernel benchmark ({args.scale}, {record['instance']}, "
+        f"population {record['population']}):",
+        f"  score sweep : {score['speedup']:.2f}x "
+        f"({score['interpreted_s']:.3f}s -> {score['compiled_s']:.3f}s, "
+        f"{score['scores_evaluated']} scores)",
+        f"  end to end  : {e2e['speedup']:.2f}x "
+        f"({e2e['interpreted_s']:.3f}s -> {e2e['compiled_s']:.3f}s, "
+        f"{e2e['evaluations']} evaluations)",
+        f"  LP warm-start: {warm['iterations_saved']} simplex iterations "
+        f"saved ({warm['iterations_saved_pct']:.1f}%), "
+        f"accept rate {warm['warm_stats']['accept_rate']:.2f}",
+        f"  wrote {path}",
+    ]
+    return "\n".join(lines)
+
+
 def _cmd_serve(args: argparse.Namespace) -> str:
     """Run the heuristic solve server until a ``shutdown`` op arrives.
 
@@ -385,6 +423,7 @@ _COMMANDS = {
     "extended": _cmd_extended,
     "modes": _cmd_modes,
     "trilevel": _cmd_trilevel,
+    "kernel": _cmd_kernel,
     "instances": _cmd_instances,
     "serve": _cmd_serve,
     "solve": _cmd_solve,
@@ -392,7 +431,7 @@ _COMMANDS = {
 
 #: Commands that are not report generators (blocking server / file
 #: exporters / one-shot client calls) — excluded from ``all``.
-_NON_REPORT = {"instances", "serve", "solve"}
+_NON_REPORT = {"instances", "serve", "solve", "kernel"}
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -14,7 +14,10 @@ GP engine:
 * :mod:`repro.gp.operators`  — one-point crossover, uniform (subtree)
   mutation, point mutation, reproduction (Table II's GP operators),
 * :mod:`repro.gp.selection`  — tournament selection,
-* :mod:`repro.gp.simplify`   — constant folding and identity pruning.
+* :mod:`repro.gp.simplify`   — constant folding and identity pruning,
+* :mod:`repro.gp.compile`    — bytecode lowering with constant folding and
+  common-subtree elimination (the hot-path kernel; bit-identical to the
+  tree interpreter).
 """
 
 from repro.gp.nodes import Constant, Node, Primitive, Terminal
@@ -34,6 +37,7 @@ from repro.gp.operators import (
 )
 from repro.gp.selection import tournament
 from repro.gp.simplify import simplify_tree
+from repro.gp.compile import CompileCache, CompiledProgram, compile_tree
 from repro.gp.bloat import lexicographic_tournament, tarpeian_mask
 from repro.gp.diversity import (
     entropy_of_shapes,
@@ -67,4 +71,7 @@ __all__ = [
     "reproduce",
     "tournament",
     "simplify_tree",
+    "CompileCache",
+    "CompiledProgram",
+    "compile_tree",
 ]

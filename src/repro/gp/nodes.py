@@ -19,7 +19,7 @@ function objects.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Any, Callable
 
 import numpy as np
 
@@ -60,7 +60,7 @@ class Primitive(Node):
     def label(self) -> str:
         return self.symbol
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[Any, ...]:
         from repro.gp.primitives import lookup_primitive
 
         return (lookup_primitive, (self.name,))
@@ -72,7 +72,9 @@ class Terminal(Node):
     __slots__ = ("name", "fn", "description")
     arity = 0
 
-    def __init__(self, name: str, fn: Callable, description: str = "") -> None:
+    def __init__(
+        self, name: str, fn: Callable[[Any], np.ndarray], description: str = ""
+    ) -> None:
         self.name = name
         self.fn = fn
         self.description = description
@@ -83,7 +85,7 @@ class Terminal(Node):
     def label(self) -> str:
         return self.name
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[Any, ...]:
         from repro.gp.primitives import lookup_terminal
 
         return (lookup_terminal, (self.name,))

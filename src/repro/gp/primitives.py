@@ -38,6 +38,7 @@ is ``COST % COVER``, the primal-dual rule is ``COST - DUAL``, LP-guided is
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, cast
 
 import numpy as np
 
@@ -85,36 +86,36 @@ def _protected_mod(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return np.where(safe, out, 0.0)
 
 
-def _t_cost(ctx) -> np.ndarray:
-    return ctx.costs
+def _t_cost(ctx: Any) -> np.ndarray:
+    return cast(np.ndarray, ctx.costs)
 
 
-def _t_qsum(ctx) -> np.ndarray:
-    return ctx.q_sum
+def _t_qsum(ctx: Any) -> np.ndarray:
+    return cast(np.ndarray, ctx.q_sum)
 
 
-def _t_qmax(ctx) -> np.ndarray:
-    return ctx.q_max
+def _t_qmax(ctx: Any) -> np.ndarray:
+    return cast(np.ndarray, ctx.q_max)
 
 
-def _t_cover(ctx) -> np.ndarray:
-    return ctx.coverage
+def _t_cover(ctx: Any) -> np.ndarray:
+    return cast(np.ndarray, ctx.coverage)
 
 
-def _t_bsum(ctx) -> np.ndarray:
-    return ctx.demand_total
+def _t_bsum(ctx: Any) -> np.ndarray:
+    return cast(np.ndarray, ctx.demand_total)
 
 
-def _t_bres(ctx) -> np.ndarray:
-    return ctx.residual_total
+def _t_bres(ctx: Any) -> np.ndarray:
+    return cast(np.ndarray, ctx.residual_total)
 
 
-def _t_dual(ctx) -> np.ndarray:
-    return ctx.duals
+def _t_dual(ctx: Any) -> np.ndarray:
+    return cast(np.ndarray, ctx.duals)
 
 
-def _t_xlp(ctx) -> np.ndarray:
-    return ctx.xbar
+def _t_xlp(ctx: Any) -> np.ndarray:
+    return cast(np.ndarray, ctx.xbar)
 
 
 _OPERATORS: dict[str, Primitive] = {
@@ -174,7 +175,7 @@ class PrimitiveSet:
         if not (0.0 <= self.erc_probability <= 1.0):
             raise ValueError(f"erc_probability out of [0,1]: {self.erc_probability}")
 
-    def random_leaf(self, rng: np.random.Generator):
+    def random_leaf(self, rng: np.random.Generator) -> Terminal | Constant:
         """Draw a terminal or an ERC."""
         if self.erc_probability > 0 and rng.random() < self.erc_probability:
             lo, hi = self.erc_range

@@ -27,8 +27,13 @@ def _fold_constants(nodes: list[Node]) -> list[Node]:
                 stack.append([node])
                 continue
             args = [stack.pop() for _ in range(node.arity)]
-            if all(len(a) == 1 and isinstance(a[0], Constant) for a in args):
-                values = [np.float64(a[0].value) for a in args]
+            heads = [a[0] for a in args if len(a) == 1]
+            if len(heads) == len(args) and all(
+                isinstance(h, Constant) for h in heads
+            ):
+                values = [
+                    np.float64(h.value) for h in heads if isinstance(h, Constant)
+                ]
                 folded = node.fn(*values) if isinstance(node, Primitive) else None
                 if folded is not None and np.isfinite(folded):
                     stack.append([Constant(float(folded))])
@@ -42,8 +47,11 @@ def _fold_constants(nodes: list[Node]) -> list[Node]:
     return stack[0]
 
 
-def _is_const(sub: list[Node], value: float) -> bool:
-    return len(sub) == 1 and isinstance(sub[0], Constant) and sub[0].value == value
+def _is_const(sub: list[Node] | None, value: float) -> bool:
+    if sub is None or len(sub) != 1:
+        return False
+    head = sub[0]
+    return isinstance(head, Constant) and head.value == value
 
 
 def _apply_identities(nodes: list[Node]) -> list[Node]:

@@ -10,11 +10,11 @@ that keeps the greedy solver's hot loop free of per-bundle Python.
 from __future__ import annotations
 
 import hashlib
-from typing import Iterator, Sequence
+from typing import Any, Iterator, Sequence
 
 import numpy as np
 
-from repro.gp.nodes import Constant, Node, Primitive
+from repro.gp.nodes import Constant, Node, Primitive, Terminal
 
 __all__ = ["SyntaxTree"]
 
@@ -101,7 +101,7 @@ class SyntaxTree:
 
     # -- evaluation --------------------------------------------------------
 
-    def evaluate(self, ctx) -> np.ndarray:
+    def evaluate(self, ctx: Any) -> np.ndarray:
         """Score all bundles of ``ctx`` (lower = better).
 
         Overflow/invalid warnings are suppressed: degenerate trees may
@@ -116,7 +116,8 @@ class SyntaxTree:
                     stack.append(node.fn(*args))
                 elif isinstance(node, Constant):
                     stack.append(np.full(n, node.value))
-                else:  # Terminal
+                else:
+                    assert isinstance(node, Terminal)
                     stack.append(np.asarray(node.fn(ctx), dtype=np.float64))
         if len(stack) != 1:
             raise ValueError(f"malformed tree left {len(stack)} values on the stack")

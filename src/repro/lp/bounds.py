@@ -36,21 +36,70 @@ class RelaxationCache:
         at most a few thousand live entries.
     quantum:
         Cost quantization step used to build hash keys.
+    warm_start:
+        When True (and the backend is the in-repo simplex), each cache
+        miss tries to warm-start the new solve from the optimal basis of
+        the *nearest* recently cached cost vector — only the objective
+        changes between induced instances of one bi-level problem, so a
+        parent pricing's basis is usually primal-feasible (or nearly so)
+        for its perturbed child.  Warm starts can pick a different
+        optimal vertex under degeneracy, so this is opt-in
+        (``ExecutionConfig(lp_warm_start=True)``), never the default.
+    warm_window:
+        How many most-recent entries are scanned for a donor basis.
     """
 
-    def __init__(self, backend: str = "scipy", maxsize: int = 4096, quantum: float = 1e-9) -> None:
+    def __init__(
+        self,
+        backend: str = "scipy",
+        maxsize: int = 4096,
+        quantum: float = 1e-9,
+        warm_start: bool = False,
+        warm_window: int = 32,
+    ) -> None:
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.backend = backend
         self.maxsize = maxsize
         self.quantum = quantum
+        self.warm_start = warm_start
+        self.warm_window = warm_window
         self._store: OrderedDict[bytes, Relaxation] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.warm_attempts = 0
+        self.warm_accepts = 0
+        self.simplex_iterations = 0
 
     def _key(self, costs: np.ndarray) -> bytes:
         quantized = np.round(np.asarray(costs, dtype=np.float64) / self.quantum)
         return quantized.tobytes()
+
+    def _donor_basis(self, key: bytes) -> np.ndarray | None:
+        """Basis of the cached cost vector nearest (L1) to ``key``.
+
+        Scans at most ``warm_window`` most-recent entries; keys are the
+        quantized cost vectors themselves, so the distance is computed
+        directly on them without keeping the raw costs around.
+        """
+        target = np.frombuffer(key, dtype=np.float64)
+        best: np.ndarray | None = None
+        best_dist = np.inf
+        scanned = 0
+        for stored_key, relax in reversed(self._store.items()):
+            if scanned >= self.warm_window:
+                break
+            scanned += 1
+            if relax.basis is None:
+                continue
+            donor = np.frombuffer(stored_key, dtype=np.float64)
+            if donor.shape != target.shape:
+                continue
+            dist = float(np.abs(donor - target).sum())
+            if dist < best_dist:
+                best_dist = dist
+                best = relax.basis
+        return best
 
     def get(self, instance: CoveringInstance) -> Relaxation:
         """Return the relaxation of ``instance``, solving at most once per
@@ -62,7 +111,17 @@ class RelaxationCache:
             self._store.move_to_end(key)
             return found
         self.misses += 1
-        relax = solve_relaxation(instance, backend=self.backend)
+        basis0: np.ndarray | None = None
+        if self.warm_start:
+            basis0 = self._donor_basis(key)
+            if basis0 is not None:
+                self.warm_attempts += 1
+        relax = solve_relaxation(
+            instance, backend=self.backend, warm_start_basis=basis0
+        )
+        if relax.warm_started:
+            self.warm_accepts += 1
+        self.simplex_iterations += relax.iterations
         self._store[key] = relax
         if len(self._store) > self.maxsize:
             self._store.popitem(last=False)
@@ -86,6 +145,9 @@ class RelaxationCache:
         self._store.clear()
         self.hits = 0
         self.misses = 0
+        self.warm_attempts = 0
+        self.warm_accepts = 0
+        self.simplex_iterations = 0
 
     def __len__(self) -> int:
         return len(self._store)
@@ -94,3 +156,16 @@ class RelaxationCache:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    @property
+    def warm_stats(self) -> dict[str, float]:
+        """Warm-start effectiveness counters (all zero when disabled)."""
+        return {
+            "enabled": bool(self.warm_start),
+            "attempts": self.warm_attempts,
+            "accepts": self.warm_accepts,
+            "accept_rate": (
+                self.warm_accepts / self.warm_attempts if self.warm_attempts else 0.0
+            ),
+            "simplex_iterations": self.simplex_iterations,
+        }

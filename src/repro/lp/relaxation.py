@@ -42,12 +42,22 @@ class Relaxation:
         ``(n_bundles,)`` relaxed solution ``x̄_j in [0, 1]``.
     feasible:
         False iff even the relaxation is infeasible (uncoverable instance).
+    basis:
+        Optimal simplex basis (``"simplex"`` backend only; None
+        otherwise) — the warm-start seed for neighbouring cost vectors.
+    iterations:
+        Simplex pivots / HiGHS iterations spent on this solve.
+    warm_started:
+        Whether the solve actually started from a supplied basis.
     """
 
     lower_bound: float
     duals: np.ndarray
     xbar: np.ndarray
     feasible: bool
+    basis: np.ndarray | None = None
+    iterations: int = 0
+    warm_started: bool = False
 
     def percent_gap(self, value: float, eps: float = 1e-9) -> float:
         """The paper's Eq. 1: ``100 * (value - LB) / LB``.
@@ -81,29 +91,45 @@ def _solve_scipy(instance: CoveringInstance) -> Relaxation | None:
     # Q x >= b (written as -Q x <= -b) is -marginal >= 0.
     duals = np.maximum(-np.asarray(res.ineqlin.marginals, dtype=np.float64), 0.0)
     xbar = np.clip(np.asarray(res.x, dtype=np.float64), 0.0, 1.0)
-    return Relaxation(float(res.fun), duals, xbar, True)
+    return Relaxation(
+        float(res.fun), duals, xbar, True,
+        iterations=int(getattr(res, "nit", 0)),
+    )
 
 
-def _solve_own(instance: CoveringInstance) -> Relaxation:
+def _solve_own(
+    instance: CoveringInstance, basis0: np.ndarray | None = None
+) -> Relaxation:
     res = solve_lp(
         c=instance.costs,
         A_ub=-instance.q,
         b_ub=-instance.demand,
         ub=np.ones(instance.n_bundles),
+        basis0=basis0,
     )
     if res.status is LPStatus.INFEASIBLE:
         return Relaxation(
             np.inf, np.zeros(instance.n_services),
             np.zeros(instance.n_bundles), False,
+            iterations=res.iterations,
         )
     if not res.ok:
         raise RuntimeError(f"simplex failed on relaxation: {res.status}")
+    assert res.x is not None and res.fun is not None and res.duals_ub is not None
     duals = np.maximum(res.duals_ub, 0.0)
     xbar = np.clip(res.x, 0.0, 1.0)
-    return Relaxation(float(res.fun), duals, xbar, True)
+    return Relaxation(
+        float(res.fun), duals, xbar, True,
+        basis=res.basis, iterations=res.iterations,
+        warm_started=res.warm_started,
+    )
 
 
-def solve_relaxation(instance: CoveringInstance, backend: str = "scipy") -> Relaxation:
+def solve_relaxation(
+    instance: CoveringInstance,
+    backend: str = "scipy",
+    warm_start_basis: np.ndarray | None = None,
+) -> Relaxation:
     """Solve the LP relaxation of ``instance``.
 
     Parameters
@@ -113,14 +139,19 @@ def solve_relaxation(instance: CoveringInstance, backend: str = "scipy") -> Rela
     backend:
         ``"scipy"`` (HiGHS, default), ``"simplex"`` (this repo's solver), or
         ``"auto"`` (scipy with simplex fallback).
+    warm_start_basis:
+        Optional starting basis for the ``"simplex"`` backend (ignored by
+        scipy, which manages its own warm starts internally).  Taken from
+        the :class:`Relaxation.basis` of a neighbouring cost vector — the
+        constraint system ``(q, demand)`` must be the same.
     """
     if backend == "simplex":
-        return _solve_own(instance)
+        return _solve_own(instance, basis0=warm_start_basis)
     if backend in ("scipy", "auto"):
         result = _solve_scipy(instance)
         if result is not None:
             return result
         if backend == "auto":
-            return _solve_own(instance)
+            return _solve_own(instance, basis0=warm_start_basis)
         raise RuntimeError("scipy backend unavailable or failed")
     raise ValueError(f"unknown LP backend {backend!r}")

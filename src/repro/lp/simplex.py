@@ -53,6 +53,11 @@ class LPResult:
     minimization problem: ``L = c^T x + y_ub^T (A_ub x - b_ub) + y_eq^T
     (A_eq x - b_eq)`` with ``y_ub >= 0``; for a covering row written as
     ``-q^T x <= -b`` the covering dual ``d_k >= 0`` is ``y_ub`` itself.
+
+    ``basis`` is the optimal basis (standard-form column indices, one per
+    row) — reusable as ``basis0`` for a warm start on a neighbouring
+    objective; ``warm_started`` records whether this solve actually
+    skipped phase 1 via a supplied basis.
     """
 
     status: LPStatus
@@ -61,6 +66,8 @@ class LPResult:
     duals_ub: np.ndarray | None
     duals_eq: np.ndarray | None
     iterations: int
+    basis: np.ndarray | None = None
+    warm_started: bool = False
 
     @property
     def ok(self) -> bool:
@@ -141,6 +148,7 @@ def solve_lp(
     b_eq: np.ndarray | None = None,
     ub: np.ndarray | None = None,
     maxiter: int = 100_000,
+    basis0: np.ndarray | None = None,
 ) -> LPResult:
     """Solve ``min c^T x  s.t.  A_ub x <= b_ub, A_eq x = b_eq, 0 <= x <= ub``.
 
@@ -153,6 +161,14 @@ def solve_lp(
         finite bounds become explicit rows.
     maxiter:
         Pivot budget across both phases.
+    basis0:
+        Optional warm-start basis — the ``LPResult.basis`` of a previous
+        solve of the *same constraint system* under a different
+        objective.  If the basis is still primal-feasible here, phase 1
+        is skipped and phase 2 starts from it; any invalid/degenerate
+        candidate (wrong shape, artificial columns, singular, or
+        infeasible rhs) silently falls back to the cold two-phase path,
+        so a stale basis can never change the result, only its cost.
     """
     c = np.asarray(c, dtype=np.float64).ravel()
     n = c.size
@@ -249,7 +265,35 @@ def solve_lp(
     total_iters = 0
     forbidden = np.zeros(n_total + 1, dtype=bool)
 
-    if n_art > 0:
+    warm_started = False
+    if basis0 is not None:
+        cand = np.asarray(basis0, dtype=np.int64).ravel()
+        # A usable candidate indexes only structural/slack columns (never
+        # artificials), one distinct column per row.
+        if (
+            cand.shape == (m,)
+            and cand.min(initial=0) >= 0
+            and (cand < n + n_slack).all()
+            and np.unique(cand).size == m
+        ):
+            B0 = full[:m, :][:, cand].copy()
+            try:
+                transformed = np.linalg.solve(B0, full[:m, :])
+            except np.linalg.LinAlgError:
+                transformed = None
+            if transformed is not None and transformed[:, -1].min() >= -1e-7:
+                full[:m, :] = transformed
+                np.clip(full[:m, -1], 0.0, None, out=full[:m, -1])
+                # Force exact unit columns on the basis (solve() leaves
+                # ~1e-16 noise that would otherwise seed pivot drift).
+                for i in range(m):
+                    full[:m, cand[i]] = 0.0
+                    full[i, cand[i]] = 1.0
+                basis = cand.copy()
+                forbidden[n + n_slack: n + n_slack + n_art] = True
+                warm_started = True
+
+    if n_art > 0 and not warm_started:
         # Phase 1: minimize sum of artificials.
         phase1_cost = np.zeros(n_total + 1)
         phase1_cost[n + n_slack: n + n_slack + n_art] = 1.0
@@ -321,4 +365,7 @@ def solve_lp(
     # Clip tiny negative noise on inequality duals.
     duals_ub[np.abs(duals_ub) < _EPS] = 0.0
 
-    return LPResult(LPStatus.OPTIMAL, x, fun, duals_ub, duals_eq, total_iters)
+    return LPResult(
+        LPStatus.OPTIMAL, x, fun, duals_ub, duals_eq, total_iters,
+        basis=basis.copy(), warm_started=warm_started,
+    )

@@ -523,6 +523,7 @@ class SolveServer:
     def _stats_extra(self) -> dict:
         memo_hits = memo_misses = 0
         lp_hits = lp_misses = 0
+        kernel_hits = kernel_misses = 0
         pipeline_requests = deduplicated = 0
         for pipeline in self._pipelines.values():
             memo = pipeline.evaluator.memo_stats
@@ -532,10 +533,17 @@ class SolveServer:
             cache = pipeline.evaluator.cache_stats
             lp_hits += cache["hits"]
             lp_misses += cache["misses"]
+            kernel = getattr(pipeline.evaluator, "kernel_stats", {"enabled": False})
+            if kernel.get("enabled"):
+                # Each registry heuristic compiles once per evaluator; a
+                # high hit rate means served solves run cached bytecode.
+                kernel_hits += kernel["hits"]
+                kernel_misses += kernel["misses"]
             pipeline_requests += pipeline.n_requests
             deduplicated += pipeline.n_deduplicated
         memo_total = memo_hits + memo_misses
         lp_total = lp_hits + lp_misses
+        kernel_total = kernel_hits + kernel_misses
         extra = {
             "instances": len(self._pipelines),
             "queue_depth": self.queue_depth,
@@ -545,6 +553,8 @@ class SolveServer:
             "max_wait_us": self.max_wait_us,
             "memo_hit_rate": memo_hits / memo_total if memo_total else 0.0,
             "lp_cache_hit_rate": lp_hits / lp_total if lp_total else 0.0,
+            "kernel_compilations": kernel_misses,
+            "kernel_hit_rate": kernel_hits / kernel_total if kernel_total else 0.0,
             "pipeline_requests": pipeline_requests,
             "pipeline_deduplicated": deduplicated,
             "executor": repr(self.executor),

@@ -26,6 +26,7 @@ import numpy as np
 from repro.core.archive import Archive
 from repro.core.config import CarbonConfig
 from repro.core.engine import EngineAlgorithm, EngineLoop
+from repro.core.evalmode import stable_identity
 from repro.core.results import RunResult, solution_from_entry
 from repro.covering.greedy import greedy_cover
 from repro.ga.encoding import Bounds
@@ -84,7 +85,11 @@ class TriLevelCarbon(EngineAlgorithm):
         )
         self._init_eval_mode(self.config.eval_mode)
         self.ul_archive = Archive(self.config.upper.archive_size, minimize=False)
-        self.ll_archive = Archive(self.config.ll_archive_size, minimize=True, identity=hash)
+        # Content-digest identity (not ``hash()``, which PYTHONHASHSEED
+        # randomizes for trees) — same rationale as Carbon's ll_archive.
+        self.ll_archive = Archive(
+            self.config.ll_archive_size, minimize=True, identity=stable_identity
+        )
         self.ul_pop: list[Individual] = []
         self.ll_pop: list[Individual] = []
         self.champion = None

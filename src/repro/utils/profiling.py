@@ -3,6 +3,19 @@
 The HPC guides' first rule is *measure before optimizing*.  These context
 managers make that a one-liner inside experiments and notebooks; the
 ``repro-bench --profile`` flag uses the same machinery at CLI level.
+
+Hot-path rules (repro-lint R002): the deterministic algorithm packages
+must never read a wall clock — results are a function of (instance,
+config, seed) only, and a time read that leaks into compared artifacts
+breaks serial/parallel and resume bit-identity.  :class:`HotPathTimers`
+is therefore the *only* sanctioned way to time the evaluation kernel:
+the clock reads live here (``repro/utils`` is outside the R002 scope by
+design), they happen **only when explicitly enabled**
+(``ExecutionConfig(profile_hot_path=True)``), and the aggregate seconds
+are reported under ``RunResult.extras["pipeline"]["timers"]`` — a key
+that only exists when the timers are on, so default-configuration runs
+(everything the determinism suite compares) carry no wall-clock data at
+all.
 """
 
 from __future__ import annotations
@@ -15,7 +28,56 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
-__all__ = ["profiled", "time_block", "TimeBlock", "ProfileReport"]
+__all__ = ["profiled", "time_block", "HotPathTimers", "TimeBlock", "ProfileReport"]
+
+
+@dataclass
+class HotPathTimers:
+    """Aggregate-only timers safe to wrap deterministic hot paths.
+
+    Disabled (the default) the ``section`` context manager is a no-op
+    that never touches a clock; enabled, it accumulates ``(calls,
+    seconds)`` per named section.  Only aggregates are kept — no
+    per-call samples, no timestamps — so the memory cost is O(#section
+    names) no matter how hot the path.
+
+    Usage (the evaluator wraps its kernel sections)::
+
+        timers = HotPathTimers(enabled=True)
+        with timers.section("greedy"):
+            greedy_cover(...)
+        timers.snapshot()   # {"greedy": {"calls": 1, "seconds": ...}}
+    """
+
+    enabled: bool = False
+    _calls: dict[str, int] = field(default_factory=dict, repr=False)
+    _seconds: dict[str, float] = field(default_factory=dict, repr=False)
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        """Time one named section (free no-op while disabled)."""
+        if not self.enabled:
+            yield
+            return
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._seconds[name] = (
+                self._seconds.get(name, 0.0) + time.perf_counter() - start
+            )
+            self._calls[name] = self._calls.get(name, 0) + 1
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """``{section: {"calls": n, "seconds": s}}`` in section-name order."""
+        return {
+            name: {"calls": self._calls[name], "seconds": self._seconds[name]}
+            for name in sorted(self._calls)
+        }
+
+    def clear(self) -> None:
+        self._calls.clear()
+        self._seconds.clear()
 
 
 @dataclass

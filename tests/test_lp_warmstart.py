@@ -1,0 +1,208 @@
+"""LP warm-starting: correctness, fallback safety, and cache plumbing.
+
+Warm-starting re-seeds the simplex tableau from a donor basis so that
+solving a *sequence* of relaxations whose only difference is the cost
+vector skips phase 1 and most of phase 2.  The contract is: same optimal
+objective and status as a cold solve (the vertex may differ on degenerate
+optima, which is why ``ExecutionConfig.lp_warm_start`` defaults to off),
+and any invalid donor basis silently falls back to the cold path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lp.bounds import RelaxationCache
+from repro.lp.relaxation import solve_relaxation
+from repro.lp.simplex import LPStatus, solve_lp
+from tests.conftest import random_covering
+
+
+def _perturbed(instance, seed, scale=0.05):
+    gen = np.random.default_rng(seed)
+    costs = instance.costs * (1.0 + scale * gen.standard_normal(instance.n_bundles))
+    return instance.with_costs(np.abs(costs) + 1e-6)
+
+
+class TestSolveLpWarmStart:
+    def _cover_lp(self, seed):
+        inst = random_covering(seed, n_services=4, n_bundles=14)
+        return dict(
+            c=inst.costs,
+            A_ub=-inst.q,
+            b_ub=-inst.demand,
+            ub=np.ones(inst.n_bundles),
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000), pert=st.integers(0, 10_000))
+    def test_warm_solve_reaches_same_objective(self, seed, pert):
+        kw = self._cover_lp(seed)
+        cold = solve_lp(**kw)
+        assert cold.status is LPStatus.OPTIMAL
+        assert cold.basis is not None
+        gen = np.random.default_rng(pert)
+        kw2 = dict(kw, c=kw["c"] * (1.0 + 0.1 * gen.random(kw["c"].size)))
+        warm = solve_lp(**kw2, basis0=cold.basis)
+        ref = solve_lp(**kw2)
+        assert warm.status is LPStatus.OPTIMAL
+        assert warm.fun == pytest.approx(ref.fun, rel=1e-9, abs=1e-9)
+
+    def test_warm_start_flag_and_iteration_savings(self):
+        kw = self._cover_lp(3)
+        cold = solve_lp(**kw)
+        # Re-solving the *same* LP from its own optimal basis is already
+        # optimal: the warm solve must flag itself and do (near) no work.
+        warm = solve_lp(**kw, basis0=cold.basis)
+        assert warm.warm_started
+        assert not cold.warm_started
+        assert warm.iterations <= cold.iterations
+        assert warm.fun == pytest.approx(cold.fun, rel=1e-12)
+
+    def test_wrong_shape_basis_falls_back(self):
+        kw = self._cover_lp(5)
+        cold = solve_lp(**kw)
+        warm = solve_lp(**kw, basis0=np.array([0, 1], dtype=np.int64))
+        assert not warm.warm_started
+        assert warm.fun == pytest.approx(cold.fun, rel=1e-12)
+
+    def test_out_of_range_basis_falls_back(self):
+        kw = self._cover_lp(6)
+        cold = solve_lp(**kw)
+        m = cold.basis.size
+        bogus = np.full(m, 10_000, dtype=np.int64)  # artificial-range columns
+        warm = solve_lp(**kw, basis0=bogus)
+        assert not warm.warm_started
+        assert warm.fun == pytest.approx(cold.fun, rel=1e-12)
+
+    def test_duplicate_basis_falls_back(self):
+        kw = self._cover_lp(7)
+        cold = solve_lp(**kw)
+        dupes = np.zeros_like(cold.basis)
+        warm = solve_lp(**kw, basis0=dupes)
+        assert not warm.warm_started
+        assert warm.fun == pytest.approx(cold.fun, rel=1e-12)
+
+    def test_negative_indices_fall_back(self):
+        kw = self._cover_lp(8)
+        cold = solve_lp(**kw)
+        bad = cold.basis.copy()
+        bad[0] = -1
+        warm = solve_lp(**kw, basis0=bad)
+        assert not warm.warm_started
+        assert warm.fun == pytest.approx(cold.fun, rel=1e-12)
+
+    def test_cold_result_carries_reusable_basis(self):
+        """The basis returned by one solve is a *valid* donor: feeding it
+        back verbatim must be accepted, not rejected by validation."""
+        kw = self._cover_lp(9)
+        cold = solve_lp(**kw)
+        assert cold.basis.dtype == np.int64
+        assert np.unique(cold.basis).size == cold.basis.size
+        again = solve_lp(**kw, basis0=cold.basis)
+        assert again.warm_started
+
+
+class TestRelaxationWarmStart:
+    def test_simplex_backend_threads_basis(self):
+        inst = random_covering(11, n_services=4, n_bundles=16)
+        cold = solve_relaxation(inst, backend="simplex")
+        assert cold.basis is not None
+        assert cold.iterations > 0
+        pert = _perturbed(inst, seed=1)
+        warm = solve_relaxation(
+            pert, backend="simplex", warm_start_basis=cold.basis
+        )
+        ref = solve_relaxation(pert, backend="simplex")
+        assert warm.warm_started
+        assert warm.lower_bound == pytest.approx(ref.lower_bound, rel=1e-9)
+        assert warm.iterations <= ref.iterations
+
+    def test_scipy_backend_ignores_basis(self):
+        inst = random_covering(12)
+        relax = solve_relaxation(
+            inst, backend="scipy", warm_start_basis=np.arange(3, dtype=np.int64)
+        )
+        assert not relax.warm_started
+        assert relax.feasible
+
+    def test_warm_bound_usable_for_gap(self):
+        """The warm relaxation's LB must be interchangeable with the cold
+        one when computing paper Eq. 1 gaps."""
+        inst = random_covering(13, n_services=4, n_bundles=16)
+        cold_ref = solve_relaxation(inst, backend="simplex")
+        pert = _perturbed(inst, seed=2)
+        warm = solve_relaxation(
+            pert, backend="simplex", warm_start_basis=cold_ref.basis
+        )
+        ref = solve_relaxation(pert, backend="simplex")
+        some_cost = float(pert.costs.sum())
+        assert warm.percent_gap(some_cost) == pytest.approx(
+            ref.percent_gap(some_cost), rel=1e-9, abs=1e-9
+        )
+
+
+class TestRelaxationCacheWarmStart:
+    def test_donor_flow_and_counters(self):
+        cache = RelaxationCache(backend="simplex", warm_start=True)
+        base = random_covering(20, n_services=4, n_bundles=16)
+        cache.get(base)
+        assert cache.warm_attempts == 0  # nothing to donate yet
+        for seed in range(1, 5):
+            cache.get(_perturbed(base, seed))
+        assert cache.warm_attempts == 4
+        assert cache.warm_accepts >= 1
+        stats = cache.warm_stats
+        assert stats["enabled"] is True
+        assert stats["attempts"] == 4
+        assert stats["accepts"] == cache.warm_accepts
+        assert 0.0 <= stats["accept_rate"] <= 1.0
+        assert stats["simplex_iterations"] == cache.simplex_iterations > 0
+
+    def test_warm_results_match_cold_cache(self):
+        base = random_covering(21, n_services=4, n_bundles=16)
+        warm_cache = RelaxationCache(backend="simplex", warm_start=True)
+        cold_cache = RelaxationCache(backend="simplex", warm_start=False)
+        for seed in range(6):
+            inst = _perturbed(base, seed)
+            a = warm_cache.get(inst)
+            b = cold_cache.get(inst)
+            assert a.lower_bound == pytest.approx(b.lower_bound, rel=1e-9)
+            assert a.feasible == b.feasible
+        assert cold_cache.warm_attempts == 0
+        assert cold_cache.warm_stats["enabled"] is False
+
+    def test_warm_start_saves_iterations_on_a_sweep(self):
+        """A price sweep (the CARBON access pattern): total simplex
+        iterations with warm-starting must not exceed the cold total."""
+        base = random_covering(22, n_services=4, n_bundles=18)
+        warm_cache = RelaxationCache(backend="simplex", warm_start=True)
+        cold_cache = RelaxationCache(backend="simplex", warm_start=False)
+        for seed in range(10):
+            inst = _perturbed(base, seed, scale=0.02)
+            warm_cache.get(inst)
+            cold_cache.get(inst)
+        assert warm_cache.warm_accepts > 0
+        assert warm_cache.simplex_iterations <= cold_cache.simplex_iterations
+
+    def test_window_limits_donor_scan(self):
+        cache = RelaxationCache(backend="simplex", warm_start=True, warm_window=1)
+        base = random_covering(23, n_services=4, n_bundles=14)
+        cache.get(base)
+        cache.get(_perturbed(base, 1))
+        # Window of 1 still finds the most recent donor.
+        assert cache.warm_attempts == 1
+
+    def test_counters_reset_on_clear(self):
+        cache = RelaxationCache(backend="simplex", warm_start=True)
+        base = random_covering(24, n_services=4, n_bundles=14)
+        cache.get(base)
+        cache.get(_perturbed(base, 1))
+        cache.clear()
+        assert cache.warm_attempts == 0
+        assert cache.warm_accepts == 0
+        assert cache.simplex_iterations == 0
+        assert len(cache) == 0
