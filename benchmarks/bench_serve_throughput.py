@@ -1,10 +1,22 @@
-"""Serve-layer throughput: N concurrent clients against one SolveServer.
+"""Serve-layer throughput: concurrent clients against server and fleet.
 
-Not a paper table — the first entry in the repo's perf trajectory for the
-serving subsystem.  Each client pipelines solve requests over its own
-connection; the server micro-batches them through the shared evaluation
-pipeline.  Results (throughput + the server's own latency percentiles)
-are written to ``BENCH_serve.json`` so successive commits can be compared.
+Not a paper table — entries in the repo's perf trajectory for the serving
+subsystem.  Two benchmarks:
+
+* ``serve_throughput`` — N pipelining clients against one in-process
+  :class:`SolveServer` (the PR 3 baseline, unchanged);
+* ``serve_shard_saturation`` — the same client load through the
+  :class:`SolveRouter` at 1 shard and at 4 shards, over a pool of
+  instances so consistent hashing actually spreads the digests.  The
+  1-vs-4 curve is the scaling headline of the sharded serving layer; the
+  >= 2x expectation is asserted only on machines with >= 4 CPUs (shards
+  are processes — on fewer cores the curve measures overhead, not
+  scaling, and the record says so via its ``cpus`` field).
+
+``BENCH_serve.json`` holds a *list* of records, one per (benchmark,
+scale); re-runs replace their own record so the trajectory stays
+comparable across commits.  (A pre-list single-record file from PR 3 is
+upgraded transparently.)
 
 Run as pytest (``pytest benchmarks/bench_serve_throughput.py``) or as a
 script (``python benchmarks/bench_serve_throughput.py``).  Scale follows
@@ -25,7 +37,13 @@ import numpy as np
 from repro.bcpop.generator import generate_instance
 from repro.gp.generate import ramped_half_and_half
 from repro.gp.primitives import paper_primitive_set
-from repro.serve import ServeClient, SolveServer, start_in_thread
+from repro.serve import (
+    ServeClient,
+    SolveRouter,
+    SolveServer,
+    start_in_thread,
+    start_router_in_thread,
+)
 
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
 
@@ -35,6 +53,14 @@ _SETTINGS = {
     "bench": (8, 200, 20, 100, 10),
     "paper": (16, 500, 25, 250, 10),
 }
+
+#: Shard counts on the saturation curve (the acceptance pair).
+_SHARD_CURVE = (1, 4)
+
+#: Distinct instances for the sharded run — consistent hashing routes by
+#: digest, so a single-digest workload would pin one shard no matter the
+#: fleet size.
+_SATURATION_INSTANCES = 8
 
 _DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
 
@@ -120,16 +146,125 @@ def run_throughput_benchmark(
     return record
 
 
-def _write_record(record: dict) -> Path:
+def run_shard_saturation(
+    clients: int,
+    requests_per_client: int,
+    pipeline_chunk: int,
+    n_bundles: int,
+    n_services: int,
+    seed: int = 0,
+    shard_counts: tuple[int, ...] = _SHARD_CURVE,
+) -> dict:
+    """The same concurrent-client load through the router at each fleet
+    size; returns one record holding the whole saturation curve."""
+    instances = [
+        generate_instance(n_bundles, n_services, seed=seed + i)
+        for i in range(_SATURATION_INSTANCES)
+    ]
+    digests = [inst.digest for inst in instances]
+    rng = np.random.default_rng(seed)
+    trees = ramped_half_and_half(paper_primitive_set(), 8, rng, min_depth=2, max_depth=4)
+    price_pools = {
+        inst.digest: [
+            rng.uniform(*inst.price_bounds) for _ in range(16)
+        ]
+        for inst in instances
+    }
+
+    curve = []
+    for n_shards in shard_counts:
+        router = SolveRouter(
+            instances=instances, n_shards=n_shards, max_batch_size=32, max_wait_us=2_000
+        )
+        errors: list[str] = []
+
+        def _client_loop(client_id: int) -> None:
+            try:
+                with ServeClient(*handle.address) as client:
+                    crng = np.random.default_rng((seed, n_shards, client_id))
+                    sent = 0
+                    while sent < requests_per_client:
+                        chunk = min(pipeline_chunk, requests_per_client - sent)
+                        requests = []
+                        for _ in range(chunk):
+                            digest = digests[int(crng.integers(len(digests)))]
+                            pool = price_pools[digest]
+                            requests.append(
+                                client.solve_request(
+                                    pool[int(crng.integers(len(pool)))],
+                                    trees[int(crng.integers(len(trees)))],
+                                    instance=digest,
+                                )
+                            )
+                        for response in client.solve_many(requests):
+                            if not response.get("ok"):
+                                errors.append(str(response))
+                        sent += chunk
+            except Exception as exc:  # pragma: no cover - surfaced via assert
+                errors.append(repr(exc))
+
+        with start_router_in_thread(router) as handle:
+            threads = [
+                threading.Thread(target=_client_loop, args=(i,)) for i in range(clients)
+            ]
+            t0 = time.perf_counter()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            duration = time.perf_counter() - t0
+            with ServeClient(*handle.address) as probe:
+                stats = probe.stats()
+        assert not errors, errors[:3]
+
+        total = clients * requests_per_client
+        curve.append(
+            {
+                "shards": n_shards,
+                "duration_s": duration,
+                "throughput_rps": total / duration if duration > 0 else float("inf"),
+                "latency_ms": stats["latency_ms"],
+                "routed": stats["routed"],
+                "failovers": stats["failovers"],
+                "overloads": stats["overloads"],
+            }
+        )
+
+    return {
+        "benchmark": "serve_shard_saturation",
+        "scale": SCALE,
+        "cpus": os.cpu_count(),
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "total_requests": clients * requests_per_client,
+        "n_instances": _SATURATION_INSTANCES,
+        "instance": f"n{n_bundles}-m{n_services}",
+        "curve": curve,
+    }
+
+
+def _upsert_record(record: dict) -> Path:
+    """Replace this (benchmark, scale)'s record in the list-shaped
+    ``BENCH_serve.json`` (upgrading the PR 3 single-dict layout)."""
     path = _out_path()
-    path.write_text(json.dumps(record, indent=2) + "\n")
+    records: list[dict] = []
+    if path.exists():
+        existing = json.loads(path.read_text())
+        records = existing if isinstance(existing, list) else [existing]
+    key = (record["benchmark"], record["scale"])
+    records = [
+        r for r in records
+        if (r.get("benchmark", "serve_throughput"), r.get("scale")) != key
+    ]
+    records.append(record)
+    path.write_text(json.dumps(records, indent=2, sort_keys=True) + "\n")
     return path
 
 
 def test_bench_serve_throughput():
     settings = _SETTINGS.get(SCALE, _SETTINGS["quick"])
     record = run_throughput_benchmark(*settings)
-    path = _write_record(record)
+    path = _upsert_record(record)
     assert path.exists()
     assert record["total_requests"] == record["clients"] * record["requests_per_client"]
     assert record["throughput_rps"] > 0
@@ -137,8 +272,25 @@ def test_bench_serve_throughput():
     assert record["max_batch_size"] > 1  # concurrency actually batched
 
 
+def test_bench_serve_shard_saturation():
+    settings = _SETTINGS.get(SCALE, _SETTINGS["quick"])
+    record = run_shard_saturation(*settings)
+    _upsert_record(record)
+    by_shards = {point["shards"]: point for point in record["curve"]}
+    assert set(by_shards) == set(_SHARD_CURVE)
+    assert all(point["throughput_rps"] > 0 for point in record["curve"])
+    assert all(point["overloads"] == 0 for point in record["curve"])
+    cpus = os.cpu_count() or 1
+    if cpus >= 4:
+        # Shards are processes: with the cores to back them, 4 shards
+        # must saturate at >= 2x the single-shard throughput.
+        assert (
+            by_shards[4]["throughput_rps"] >= 2.0 * by_shards[1]["throughput_rps"]
+        ), record["curve"]
+
+
 if __name__ == "__main__":
     settings = _SETTINGS.get(SCALE, _SETTINGS["quick"])
-    out = run_throughput_benchmark(*settings)
-    print(json.dumps(out, indent=2))
-    print(f"wrote {_write_record(out)}")
+    for out in (run_throughput_benchmark(*settings), run_shard_saturation(*settings)):
+        print(json.dumps(out, indent=2))
+        print(f"wrote {_upsert_record(out)}")

@@ -553,6 +553,78 @@ def _check_swallowed_interrupt(ctx: RuleContext) -> Iterator[Diagnostic]:
 
 
 # ---------------------------------------------------------------------------
+# R011 — event-loop hygiene in the serving layer
+# ---------------------------------------------------------------------------
+
+_TASK_SPAWNERS = frozenset({"create_task", "ensure_future"})
+
+#: Calls that block the calling thread — inside ``async def`` they stall
+#: the whole event loop (every connection, the health loop, everything).
+_BLOCKING_IN_ASYNC = frozenset(
+    {
+        "time.sleep",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "socket.gethostbyname",
+        "socket.gethostbyaddr",
+    }
+)
+
+
+def _check_event_loop_hygiene(ctx: RuleContext) -> Iterator[Diagnostic]:
+    """R011: fire-and-forget tasks, and blocking calls inside ``async def``.
+
+    Two ways an asyncio server quietly loses its robustness guarantees:
+
+    * ``asyncio.create_task(...)`` / ``ensure_future(...)`` as a bare
+      expression statement — the event loop holds tasks *weakly*, so an
+      unretained task can be garbage-collected mid-flight and its
+      exceptions are never observed.  A supervision or demux task that
+      silently disappears is a hung shard nobody detects.  Retain the
+      handle (``self._task = ...`` or a task set with a done-callback).
+    * ``time.sleep`` / synchronous socket calls inside ``async def`` —
+      they block the loop thread, freezing every connection and the
+      health prober with it.  Use ``await asyncio.sleep`` /
+      ``asyncio.open_connection`` / ``run_in_executor``.
+    """
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+            attr = _dotted(node.value.func).rpartition(".")[2]
+            if attr in _TASK_SPAWNERS:
+                yield _diag(
+                    ctx, node, "R011",
+                    f"fire-and-forget `{attr}(...)`: the loop only holds tasks "
+                    "weakly — retain the handle or the task (and its "
+                    "exceptions) can vanish mid-flight",
+                )
+    for func in ast.walk(ctx.tree):
+        if not isinstance(func, ast.AsyncFunctionDef):
+            continue
+        for call in _calls_on_loop_thread(func):
+            dotted = _dotted(call.func)
+            if dotted in _BLOCKING_IN_ASYNC:
+                yield _diag(
+                    ctx, call, "R011",
+                    f"blocking `{dotted}(...)` inside `async def {func.name}` "
+                    "stalls the event loop; use the asyncio equivalent or "
+                    "run_in_executor",
+                )
+
+
+def _calls_on_loop_thread(func: ast.AsyncFunctionDef) -> Iterator[ast.Call]:
+    """Calls lexically on ``func``'s own async frames — nested *sync*
+    functions are excluded (they may legitimately run in an executor)."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.Lambda)):
+            continue  # sync scope: judged where it is *called from*
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+# ---------------------------------------------------------------------------
 # registry
 # ---------------------------------------------------------------------------
 
@@ -586,6 +658,12 @@ ALL_RULES: tuple[Rule, ...] = (
         "swallowed-interrupt",
         "bare/BaseException handler without re-raise",
         _check_swallowed_interrupt,
+    ),
+    Rule(
+        "R011",
+        "event-loop-hygiene",
+        "fire-and-forget task or blocking call in async code",
+        _check_event_loop_hygiene,
     ),
 )
 

@@ -272,42 +272,63 @@ def _cmd_kernel(args: argparse.Namespace) -> str:
 
 
 def _cmd_serve(args: argparse.Namespace) -> str:
-    """Run the heuristic solve server until a ``shutdown`` op arrives.
+    """Run the heuristic solve service until a ``shutdown`` op arrives.
 
     ``train → publish → serve``: point ``--registry`` at the directory a
     :class:`~repro.serve.registry.PublishBestHeuristic` observer filled,
     register instance files, and clients can solve against any published
     heuristic (see DESIGN.md §10 for the wire protocol).
+
+    ``--shards N`` (N >= 1) serves through the fault-tolerant
+    :class:`~repro.serve.router.SolveRouter` instead of a single
+    in-process server: N supervised shard processes, consistent-hash
+    routing, health-checked respawn, circuit breakers and brownout
+    (DESIGN.md §14).  The wire protocol is identical either way.
     """
     import asyncio
     import contextlib
     import signal
 
     from repro.bcpop.io import load_bcpop
-    from repro.serve import HeuristicRegistry, SolveServer
+    from repro.serve import HeuristicRegistry, SolveRouter, SolveServer
 
     registry = HeuristicRegistry(args.registry) if args.registry else None
     instances = [load_bcpop(path) for path in (args.instances or [])]
-    executor = make_executor(
-        "processes" if args.workers > 1 else "serial",
-        workers=args.workers,
-        task_timeout=args.task_timeout,
-    )
-    server = SolveServer(
-        registry=registry,
-        instances=instances,
-        host=args.host,
-        port=args.port,
-        executor=executor,
-        max_batch_size=args.max_batch,
-        max_wait_us=args.max_wait_us,
-        queue_depth=args.queue_depth,
-        metrics_path=args.metrics_jsonl,
-        request_timeout=args.request_timeout,
-    )
+    service: SolveServer | SolveRouter
+    if args.shards > 0:
+        service = SolveRouter(
+            instances=instances,
+            n_shards=args.shards,
+            registry_root=args.registry,
+            host=args.host,
+            port=args.port,
+            max_batch_size=args.max_batch,
+            max_wait_us=args.max_wait_us,
+            queue_depth=args.queue_depth,
+            metrics_path=args.metrics_jsonl,
+            shard_request_timeout=args.request_timeout,
+        )
+    else:
+        executor = make_executor(
+            "processes" if args.workers > 1 else "serial",
+            workers=args.workers,
+            task_timeout=args.task_timeout,
+        )
+        service = SolveServer(
+            registry=registry,
+            instances=instances,
+            host=args.host,
+            port=args.port,
+            executor=executor,
+            max_batch_size=args.max_batch,
+            max_wait_us=args.max_wait_us,
+            queue_depth=args.queue_depth,
+            metrics_path=args.metrics_jsonl,
+            request_timeout=args.request_timeout,
+        )
 
     async def _run() -> None:
-        await server.start()
+        await service.start()
         # SIGTERM (systemd/k8s stop) drains cleanly: stop accepting,
         # answer everything queued, dump metrics, close the executor —
         # same path as the shutdown op, not an abrupt exit.
@@ -316,26 +337,37 @@ def _cmd_serve(args: argparse.Namespace) -> str:
         # (asyncio wraps the ValueError) — embedded runs (tests driving
         # the CLI from a thread) fall back to KeyboardInterrupt handling.
         with contextlib.suppress(NotImplementedError, ValueError, RuntimeError):
-            loop.add_signal_handler(signal.SIGTERM, server.request_stop)
-            loop.add_signal_handler(signal.SIGINT, server.request_stop)
+            loop.add_signal_handler(signal.SIGTERM, service.request_stop)
+            loop.add_signal_handler(signal.SIGINT, service.request_stop)
+        shape = (
+            f"{args.shards}-shard router" if args.shards > 0 else "single server"
+        )
         print(
-            f"serving on {server.host}:{server.port} "
-            f"({len(server.instance_digests)} instances, "
+            f"serving on {service.host}:{service.port} ({shape}, "
+            f"{len(instances)} instances, "
             f"registry={'yes' if registry else 'no'}, "
-            f"batch<= {server.max_batch_size}, wait {server.max_wait_us}us, "
-            f"queue {server.queue_depth})",
+            f"batch<= {args.max_batch}, wait {args.max_wait_us}us, "
+            f"queue {args.queue_depth})",
             flush=True,
         )
-        await server.serve_until_stopped()
+        await service.serve_until_stopped()
 
     try:
         asyncio.run(_run())
     except KeyboardInterrupt:
         pass
-    snapshot = server.metrics.snapshot()
+    snapshot = service.metrics.snapshot()
+    summary = (
+        f"stopped: {snapshot['requests']} requests, "
+        f"{snapshot['solved']} solved, {snapshot['overloads']} overloads"
+    )
+    if args.shards > 0:
+        return (
+            f"router {summary}, {snapshot['failovers']} failovers, "
+            f"{snapshot['respawns']} respawns"
+        )
     return (
-        f"server stopped: {snapshot['requests']} requests, "
-        f"{snapshot['solved']} solved, {snapshot['overloads']} overloads, "
+        f"server {summary}, "
         f"{snapshot['batches']} batches (max size {snapshot['max_batch_size']})"
     )
 
@@ -517,6 +549,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-request solve deadline; expiry answers with a "
                             "retryable 'timeout' error instead of stalling the "
                             "client (serve)")
+    serve.add_argument("--shards", type=int, default=0, metavar="N",
+                       help="serve through the fault-tolerant router with N "
+                            "supervised shard processes (consistent-hash "
+                            "routing, health-checked respawn, circuit "
+                            "breakers, brownout); 0 = single in-process "
+                            "server (serve)")
     serve.add_argument("--heuristic", metavar="REF",
                        help="artifact ref/prefix, or family:<family> (solve)")
     serve.add_argument("--instance-file", dest="instance_file", metavar="FILE",

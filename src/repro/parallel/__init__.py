@@ -30,6 +30,8 @@ from repro.parallel.faults import (
     FaultSpec,
     FaultStats,
     InjectedFault,
+    ShardFaultPlan,
+    ShardFaultSpec,
 )
 
 _LAZY = {"IslandCarbon", "run_island_carbon"}
@@ -61,4 +63,6 @@ __all__ = [
     "FaultSpec",
     "FaultStats",
     "InjectedFault",
+    "ShardFaultPlan",
+    "ShardFaultSpec",
 ]

@@ -41,12 +41,15 @@ from typing import Iterable
 
 __all__ = [
     "FAULT_KINDS",
+    "SHARD_FAULT_KINDS",
     "CRASH_EXIT_CODE",
     "HANG_SECONDS",
     "InjectedFault",
     "FaultSpec",
     "FaultInjector",
     "FaultStats",
+    "ShardFaultSpec",
+    "ShardFaultPlan",
     "apply_fault",
 ]
 
@@ -156,6 +159,85 @@ def apply_fault(spec: FaultSpec | None) -> None:
         time.sleep(spec.seconds)
     elif spec.kind == "error":
         raise InjectedFault(f"injected transient failure (task {spec.task})")
+
+
+#: Fault kinds a shard-level plan may name.  They act on a whole shard
+#: process / link, not one task: ``kill`` SIGKILLs the shard, ``hang``
+#: SIGSTOPs it (alive but unresponsive until the health probe's deadline
+#: fires), ``drop`` severs the router→shard connection without touching
+#: the process, ``slow`` delays the routing of the triggering request.
+SHARD_FAULT_KINDS = ("kill", "hang", "slow", "drop")
+
+
+@dataclass(frozen=True)
+class ShardFaultSpec:
+    """One planned shard-level fault: what happens, to which shard, when.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`SHARD_FAULT_KINDS`.
+    shard:
+        Name of the shard the fault acts on (``shard-0`` ...), as
+        reported by the router's ``shards`` op.
+    arrival:
+        Router solve-request arrival index that triggers the fault.  The
+        router numbers every accepted solve in arrival order (same
+        convention as the server's per-request counter), so a plan
+        written against a deterministic request stream replays exactly:
+        "kill shard-2 when the 40th request arrives".
+    seconds:
+        Delay for ``slow`` faults.
+    """
+
+    kind: str
+    shard: str
+    arrival: int
+    seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.kind not in SHARD_FAULT_KINDS:
+            raise ValueError(
+                f"unknown shard fault kind {self.kind!r}; expected one of {SHARD_FAULT_KINDS}"
+            )
+        if not self.shard:
+            raise ValueError("shard name must be non-empty")
+        if self.arrival < 0:
+            raise ValueError(f"arrival index must be >= 0, got {self.arrival}")
+        if self.seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {self.seconds}")
+
+
+class ShardFaultPlan:
+    """A deterministic shard-level fault plan, keyed on arrival index.
+
+    The router consults the plan once per accepted solve request —
+    *before* routing it — and realizes at most one fault per arrival
+    index (overlapping specs would make the realized order depend on
+    routing internals, which chaos tests must not).
+    """
+
+    def __init__(self, specs: Iterable[ShardFaultSpec] = ()) -> None:
+        self._by_arrival: dict[int, ShardFaultSpec] = {}
+        for spec in specs:
+            if spec.arrival in self._by_arrival:
+                raise ValueError(f"duplicate shard fault spec for arrival {spec.arrival}")
+            self._by_arrival[spec.arrival] = spec
+
+    @property
+    def specs(self) -> tuple[ShardFaultSpec, ...]:
+        return tuple(self._by_arrival[arrival] for arrival in sorted(self._by_arrival))
+
+    def fault_at(self, arrival: int) -> ShardFaultSpec | None:
+        """The fault triggered by ``arrival`` (``None`` = none planned)."""
+        return self._by_arrival.get(arrival)
+
+    def __len__(self) -> int:
+        return len(self._by_arrival)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        plan = ", ".join(f"{s.kind}:{s.shard}@{s.arrival}" for s in self.specs)
+        return f"ShardFaultPlan({plan})"
 
 
 @dataclass

@@ -6,31 +6,48 @@ family it was trained on.  This package turns that observation into an
 inference-shaped system:
 
 * :mod:`repro.serve.registry` — content-addressed on-disk artifact store
-  for trained heuristics plus the :class:`PublishBestHeuristic` engine
-  observer that auto-publishes every run's champion,
+  for trained heuristics (generation-tagged promotions with atomic
+  rollback) plus the :class:`PublishBestHeuristic` engine observer that
+  auto-publishes every run's champion,
 * :mod:`repro.serve.server`   — asyncio TCP/JSON-lines solve server with
   micro-batching and bounded-queue backpressure, executing through the
   batched :class:`repro.bcpop.evaluate.EvaluationPipeline`,
+* :mod:`repro.serve.shard`    — that server as a supervised worker
+  process: spawned, liveness-probed, respawned with a generation bump,
+* :mod:`repro.serve.router`   — fault-tolerant coordinator for a fleet of
+  shards: consistent-hash routing (cache affinity), bounded-jump
+  failover, per-shard circuit breakers, health-checked respawn, and
+  brownout load-shedding by request priority,
 * :mod:`repro.serve.client`   — blocking JSON-lines client (single and
   pipelined requests) plus :class:`RetryingServeClient`, which absorbs
-  restarts and transient faults via reconnect + idempotent retransmit,
+  restarts and transient faults via reconnect + idempotent retransmit —
+  against a single server or a router, indistinguishably,
 * :mod:`repro.serve.metrics`  — request/batch/latency counters exposed on
   the ``stats`` op and dumped to JSONL on shutdown,
 * :mod:`repro.serve.protocol` — the wire format shared by all of the
   above.
 
 See DESIGN.md §10 for the registry format and the batching/backpressure
-semantics.
+semantics, §14 for the router architecture and its failure matrix.
 """
 
 from repro.serve.client import RetryingServeClient, ServeClient, build_solve_request
-from repro.serve.metrics import ServerMetrics
+from repro.serve.metrics import RouterMetrics, ServerMetrics
 from repro.serve.registry import (
     HeuristicArtifact,
     HeuristicRegistry,
     PublishBestHeuristic,
 )
+from repro.serve.router import (
+    CircuitBreaker,
+    ConsistentHashRing,
+    RouterHandle,
+    SolveRouter,
+    brownout_threshold,
+    start_router_in_thread,
+)
 from repro.serve.server import ServerHandle, SolveServer, start_in_thread
+from repro.serve.shard import ShardProcess, ShardSpec
 
 __all__ = [
     "HeuristicArtifact",
@@ -39,8 +56,17 @@ __all__ = [
     "SolveServer",
     "ServerHandle",
     "start_in_thread",
+    "SolveRouter",
+    "RouterHandle",
+    "start_router_in_thread",
+    "ConsistentHashRing",
+    "CircuitBreaker",
+    "brownout_threshold",
+    "ShardSpec",
+    "ShardProcess",
     "ServeClient",
     "RetryingServeClient",
     "build_solve_request",
     "ServerMetrics",
+    "RouterMetrics",
 ]

@@ -68,9 +68,15 @@ def build_solve_request(
     instance=None,
     include_selection: bool = False,
     request_id=None,
+    priority: int | None = None,
 ) -> dict:
     """Build a solve message (shared by both clients; ``request_id`` is
-    the correlation id — callers that pipeline must make it unique)."""
+    the correlation id — callers that pipeline must make it unique).
+
+    ``priority`` (0 low … 9 high, protocol v2) is what the router's
+    brownout mode sheds by; single servers ignore it.  Omitted means
+    :data:`repro.serve.protocol.DEFAULT_PRIORITY`.
+    """
     message: dict[str, Any] = {
         "op": "solve",
         "prices": np.asarray(prices, dtype=np.float64).tolist(),
@@ -83,14 +89,29 @@ def build_solve_request(
         message["instance"] = spec
     if include_selection:
         message["include_selection"] = True
+    if priority is not None:
+        message["priority"] = int(priority)
     return message
 
 
 class ServeClient:
-    """One TCP connection to a solve server."""
+    """One TCP connection to a solve server.
 
-    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+    ``timeout`` bounds each read on the established connection;
+    ``connect_timeout`` bounds the connection *attempt* separately —
+    before this split, a down-but-routable server could stall a client
+    for the full read timeout (60 s) before the first byte ever moved.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 60.0,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=connect_timeout)
+        self._sock.settimeout(timeout)
         self._reader = self._sock.makefile("rb")
         self._next_id = 0
 
@@ -126,17 +147,21 @@ class ServeClient:
         heuristic,
         instance=None,
         include_selection: bool = False,
+        priority: int | None = None,
     ) -> dict:
         """Build (but do not send) a solve request message."""
         return build_solve_request(
             prices, heuristic, instance, include_selection,
-            request_id=self._fresh_id(),
+            request_id=self._fresh_id(), priority=priority,
         )
 
-    def solve(self, prices, heuristic, instance=None, include_selection=False) -> dict:
+    def solve(
+        self, prices, heuristic, instance=None, include_selection=False,
+        priority: int | None = None,
+    ) -> dict:
         """One solve round trip; returns the response dict."""
         return self.request(
-            self.solve_request(prices, heuristic, instance, include_selection)
+            self.solve_request(prices, heuristic, instance, include_selection, priority)
         )
 
     def solve_many(self, requests: Sequence[dict]) -> list[dict]:
@@ -233,6 +258,7 @@ class RetryingServeClient:
         port: int,
         timeout: float = 60.0,
         *,
+        connect_timeout: float = 10.0,
         max_retries: int = 8,
         backoff_base: float = 0.05,
         backoff_cap: float = 2.0,
@@ -245,6 +271,7 @@ class RetryingServeClient:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.connect_timeout = connect_timeout
         self.max_retries = max_retries
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
@@ -262,9 +289,16 @@ class RetryingServeClient:
         return self._next_id
 
     def _backoff(self, attempt: int) -> None:
-        """Exponential backoff with deterministic full jitter."""
-        cap = min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
-        time.sleep(self._rng.uniform(0.0, cap))
+        """Exponential backoff with deterministic full jitter.
+
+        The exponent is clamped so a long outage never computes a
+        gigantic power (``backoff_cap`` already bounds the *sleep*; the
+        clamp bounds the arithmetic feeding it), and the drawn sleep is
+        re-capped as a final guard.
+        """
+        exponent = min(attempt - 1, 32)
+        cap = min(self.backoff_cap, self.backoff_base * (2.0 ** exponent))
+        time.sleep(min(self.backoff_cap, self._rng.uniform(0.0, cap)))
 
     def _drop_connection(self) -> None:
         if self._client is not None:
@@ -278,7 +312,10 @@ class RetryingServeClient:
         """Connect if needed; raises ``OSError`` when the server is down
         (the caller's retry loop owns backoff)."""
         if self._client is None:
-            self._client = ServeClient(self.host, self.port, timeout=self.timeout)
+            self._client = ServeClient(
+                self.host, self.port,
+                timeout=self.timeout, connect_timeout=self.connect_timeout,
+            )
             if self._connected_once:
                 self.reconnects += 1
             self._connected_once = True
@@ -287,17 +324,21 @@ class RetryingServeClient:
     # -- ops ------------------------------------------------------------------
 
     def solve_request(
-        self, prices, heuristic, instance=None, include_selection: bool = False
+        self, prices, heuristic, instance=None, include_selection: bool = False,
+        priority: int | None = None,
     ) -> dict:
         """Build (but do not send) a solve message with an owned id."""
         return build_solve_request(
             prices, heuristic, instance, include_selection,
-            request_id=self._fresh_id(),
+            request_id=self._fresh_id(), priority=priority,
         )
 
-    def solve(self, prices, heuristic, instance=None, include_selection=False) -> dict:
+    def solve(
+        self, prices, heuristic, instance=None, include_selection=False,
+        priority: int | None = None,
+    ) -> dict:
         return self.solve_many(
-            [self.solve_request(prices, heuristic, instance, include_selection)]
+            [self.solve_request(prices, heuristic, instance, include_selection, priority)]
         )[0]
 
     def solve_many(self, requests: Sequence[dict]) -> list[dict]:

@@ -13,7 +13,7 @@ import time
 from collections import Counter, deque
 from pathlib import Path
 
-__all__ = ["ServerMetrics"]
+__all__ = ["ServerMetrics", "RouterMetrics"]
 
 #: Latency reservoir size: enough for stable p99 at bench scale without
 #: unbounded growth on a long-lived server.
@@ -98,3 +98,38 @@ class ServerMetrics:
         record = {"event": "server_stats", **self.snapshot(**extra)}
         with open(Path(path), "a") as fh:
             fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+class RouterMetrics(ServerMetrics):
+    """Counters for one :class:`~repro.serve.router.SolveRouter`.
+
+    On top of the server counters (``requests``/``solved``/``overloads``/
+    ``timeouts``/``errors``, latency percentiles — here measured
+    router-edge to router-edge, so they include forwarding), the router
+    tracks what its *fault-tolerance* machinery did: every one of these
+    is asserted exactly by the chaos suite against an injected plan.
+    """
+
+    def __init__(self, latency_window: int = _LATENCY_WINDOW) -> None:
+        super().__init__(latency_window)
+        self.routed = 0  # requests forwarded to a shard (incl. re-routes)
+        self.failovers = 0  # requests moved off their primary shard
+        self.respawns = 0  # shard processes replaced by the health loop
+        self.health_failures = 0  # liveness probes that missed their deadline
+        self.breaker_opens = 0  # circuit-breaker closed/half-open -> open
+        self.brownout_shed = 0  # requests shed by priority under brownout
+        self.stale_drops = 0  # replies from a retired shard generation
+        self.shard_faults_injected = 0  # chaos-plan shard faults realized
+
+    def snapshot(self, **extra) -> dict:
+        return super().snapshot(
+            routed=self.routed,
+            failovers=self.failovers,
+            respawns=self.respawns,
+            health_failures=self.health_failures,
+            breaker_opens=self.breaker_opens,
+            brownout_shed=self.brownout_shed,
+            stale_drops=self.stale_drops,
+            shard_faults_injected=self.shard_faults_injected,
+            **extra,
+        )

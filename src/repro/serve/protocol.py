@@ -29,6 +29,20 @@ Ops
     Acknowledge, then stop the server cleanly (drain queue, dump
     metrics, close the executor).
 
+Version 2 (the sharded-serving release) added, all backward-compatible:
+
+* ``ping`` replies carry ``version`` (:data:`PROTOCOL_VERSION`), so a
+  router can refuse to enroll a shard speaking a different protocol;
+* ``solve`` requests may carry an integer ``priority`` (0 low … 9 high,
+  default :data:`DEFAULT_PRIORITY`).  Single servers ignore it; the
+  router's brownout mode sheds lowest-priority traffic first;
+* overload rejections may carry ``brownout: true`` when the reject came
+  from router-level load shedding rather than a full shard queue (same
+  ``overloaded`` code — retry semantics are identical);
+* the ``shards`` op (router only): fleet topology — per shard the name,
+  port, pid, generation, liveness, circuit-breaker state and in-flight
+  count.
+
 Error codes: ``bad-request``, ``unknown-op``, ``unknown-instance``,
 ``unknown-heuristic``, ``overloaded``, ``timeout``, ``unavailable``,
 ``internal``.  Three of them are *transient* — the request was not
@@ -53,16 +67,39 @@ from typing import Any
 
 __all__ = [
     "MAX_LINE_BYTES",
+    "PROTOCOL_VERSION",
+    "DEFAULT_PRIORITY",
+    "MAX_PRIORITY",
     "encode",
     "decode",
     "ok_response",
     "error_response",
     "solve_response",
+    "request_priority",
 ]
 
 #: Hard cap on one message line — an inline 500-bundle instance document
 #: is ~1 MB; anything past this bound is a protocol violation, not data.
 MAX_LINE_BYTES = 16 * 1024 * 1024
+
+#: Wire protocol version.  v1: single-server ops (PR 3/4).  v2: sharded
+#: serving — ``priority`` on solves, ``brownout`` on overload rejects,
+#: the ``shards`` topology op, ``version`` in ping replies.
+PROTOCOL_VERSION = 2
+
+#: Solve priority range: 0 (shed first) … MAX_PRIORITY (shed last).
+MAX_PRIORITY = 9
+DEFAULT_PRIORITY = 4
+
+
+def request_priority(request: dict) -> int:
+    """The clamped priority of a solve request (``DEFAULT_PRIORITY`` when
+    absent or malformed — a bad priority must degrade service for that
+    request, never error a whole connection)."""
+    value = request.get("priority", DEFAULT_PRIORITY)
+    if isinstance(value, bool) or not isinstance(value, int):
+        return DEFAULT_PRIORITY
+    return max(0, min(MAX_PRIORITY, value))
 
 
 def encode(message: dict) -> bytes:

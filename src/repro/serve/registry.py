@@ -19,11 +19,23 @@ place) while any change to tree, metadata or lineage yields a new id.
 On disk a registry is a directory::
 
     <root>/artifacts/<id>.json     one file per artifact
-    <root>/promoted.json           {family: artifact_id} promotions
+    <root>/promoted.json           per-family promotion records
 
 ``promote``/``best_for`` implement "best-for-instance-family" serving:
 an explicit promotion pins a family to an artifact; otherwise the
 lowest-final-%-gap artifact for the family wins.
+
+Promotions are **generation-tagged**: every ``promote`` bumps the
+family's promotion generation and appends to its history, and
+``rollback(family, generation)`` atomically re-pins the family to what
+generation N promoted (itself recorded as a new generation — a rollback
+is an auditable event, not an erasure).  All promotion writes go through
+one tmp-file-plus-``replace`` so a reader never sees a half-written pin;
+because serving resolution (:meth:`HeuristicRegistry.best_for`) re-reads
+``promoted.json`` per request, a rollback takes effect fleet-wide — every
+shard sharing the registry root — without restarting anything.  The
+legacy flat ``{family: artifact_id}`` file (PR 3) is still read
+transparently and upgraded on the next promotion.
 
 :class:`PublishBestHeuristic` hooks ``on_run_end`` of the engine event
 bus (:mod:`repro.core.events`), so any engine-driven run auto-publishes
@@ -45,6 +57,9 @@ __all__ = ["HeuristicArtifact", "HeuristicRegistry", "PublishBestHeuristic"]
 
 ARTIFACT_FORMAT = "repro-heuristic"
 ARTIFACT_VERSION = 1
+
+PROMOTIONS_FORMAT = "repro-promotions"
+PROMOTIONS_VERSION = 2
 
 #: Shortest accepted ref prefix (same spirit as git's abbreviated SHAs).
 MIN_REF_LENGTH = 6
@@ -210,24 +225,126 @@ class HeuristicRegistry:
 
     # -- promotion ----------------------------------------------------------
 
-    def _read_promoted(self) -> dict:
+    def _read_promotions(self) -> dict:
+        """The per-family promotion records, upgrading the legacy flat
+        ``{family: artifact_id}`` layout to generation-1 entries in
+        memory (the file itself is rewritten on the next promotion)."""
         if not self._promoted_path.exists():
             return {}
-        return json.loads(self._promoted_path.read_text())
+        document = json.loads(self._promoted_path.read_text())
+        if document.get("format") == PROMOTIONS_FORMAT:
+            return dict(document.get("families", {}))
+        # Legacy v1: a flat mapping with no generations recorded.
+        return {
+            family: {
+                "artifact_id": artifact_id,
+                "generation": 1,
+                "history": [{"artifact_id": artifact_id, "generation": 1}],
+            }
+            for family, artifact_id in document.items()
+        }
 
-    def promote(self, family: str, ref: str) -> HeuristicArtifact:
-        """Pin ``family`` to an artifact (resolves and validates ``ref``)."""
-        artifact = self.get(ref)
-        promoted = self._read_promoted()
-        promoted[family] = artifact.artifact_id
+    def _write_promotions(self, families: dict) -> None:
+        """Atomic write: a concurrent reader (a serving shard resolving
+        ``family:`` per request) sees either the old file or the new one,
+        never a torn pin."""
+        document = {
+            "format": PROMOTIONS_FORMAT,
+            "version": PROMOTIONS_VERSION,
+            "families": families,
+        }
         tmp = self._promoted_path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(promoted, indent=1, sort_keys=True))
+        tmp.write_text(json.dumps(document, indent=1, sort_keys=True))
         tmp.replace(self._promoted_path)
+
+    def promote(
+        self, family: str, ref: str, generation: int | None = None
+    ) -> HeuristicArtifact:
+        """Pin ``family`` to an artifact (resolves and validates ``ref``).
+
+        Each promotion gets a monotonically increasing *generation* and
+        is appended to the family's history (the rollback target list).
+        An explicit ``generation`` must advance past the current one —
+        a stale writer (an old deploy script replaying an earlier
+        promotion) fails loudly instead of silently regressing the pin.
+        """
+        artifact = self.get(ref)
+        families = self._read_promotions()
+        entry = families.get(family, {"generation": 0, "history": []})
+        current = int(entry.get("generation", 0))
+        if generation is None:
+            generation = current + 1
+        elif generation <= current:
+            raise ValueError(
+                f"promotion generation {generation} does not advance past "
+                f"{family!r}'s current generation {current}"
+            )
+        record = {
+            "artifact_id": artifact.artifact_id,
+            "generation": generation,
+            "promoted_at": time.time(),
+        }
+        families[family] = {
+            "artifact_id": artifact.artifact_id,
+            "generation": generation,
+            "history": [*entry.get("history", []), record],
+        }
+        self._write_promotions(families)
+        return artifact
+
+    def rollback(self, family: str, generation: int) -> HeuristicArtifact:
+        """Atomically re-pin ``family`` to what ``generation`` promoted.
+
+        The rollback is recorded as a *new* generation (with a
+        ``rolled_back_to`` marker) rather than rewriting history: the
+        promotion log stays append-only and auditable, and a subsequent
+        ``promote`` cannot collide with a reused generation number.
+        Fleet-wide effect is immediate because every ``family:`` solve
+        re-resolves through ``promoted.json``.
+        """
+        families = self._read_promotions()
+        entry = families.get(family)
+        if entry is None:
+            raise KeyError(f"family {family!r} has no promotions to roll back")
+        targets = [
+            h for h in entry.get("history", [])
+            if int(h.get("generation", -1)) == generation
+        ]
+        if not targets:
+            raise KeyError(
+                f"family {family!r} has no promotion generation {generation}"
+            )
+        target = targets[0]
+        artifact = self.get(target["artifact_id"])
+        new_generation = int(entry.get("generation", 0)) + 1
+        record = {
+            "artifact_id": artifact.artifact_id,
+            "generation": new_generation,
+            "rolled_back_to": generation,
+            "promoted_at": time.time(),
+        }
+        families[family] = {
+            "artifact_id": artifact.artifact_id,
+            "generation": new_generation,
+            "history": [*entry.get("history", []), record],
+        }
+        self._write_promotions(families)
         return artifact
 
     def promoted(self, family: str) -> str | None:
         """The pinned artifact id for ``family``, if any."""
-        return self._read_promoted().get(family)
+        entry = self._read_promotions().get(family)
+        return entry.get("artifact_id") if entry is not None else None
+
+    def promotion_generation(self, family: str) -> int:
+        """The family's current promotion generation (0 = never promoted)."""
+        entry = self._read_promotions().get(family)
+        return int(entry.get("generation", 0)) if entry is not None else 0
+
+    def promotion_history(self, family: str) -> list[dict]:
+        """The append-only promotion log for ``family`` (oldest first)."""
+        entry = self._read_promotions().get(family)
+        return list(entry.get("history", [])) if entry is not None else []
 
     def best_for(self, family: str) -> HeuristicArtifact | None:
         """Serving resolution: the promoted artifact for ``family``, else

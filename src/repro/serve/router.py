@@ -1,0 +1,1047 @@
+"""Fault-tolerant router fronting a fleet of :class:`SolveServer` shards.
+
+The router is the serving layer's answer to the ROADMAP's "millions of
+users" north star: one asyncio coordinator speaking the same JSON-lines
+protocol as a single server (clients do not change), fanning solve
+requests out to N shard processes (:mod:`repro.serve.shard`) and owning
+every failure mode between them::
+
+    client ──► router ──► consistent-hash ring ──► shard link ──► SolveServer
+                  │             (affinity)             │          (process N)
+                  │                                    └─ demux by id,
+                  ├─ per-request deadline → "timeout"     generation-tagged
+                  ├─ circuit breaker per shard (open / half-open / closed)
+                  ├─ bounded-jump failover to ring successors
+                  ├─ brownout: shed lowest-priority traffic under load
+                  └─ health loop: ping probes → respawn crashed/hung shards
+
+Design rules, in order of importance:
+
+1. **Routing is affinity, not partitioning.**  Every shard registers
+   every instance; consistent hashing on ``BcpopInstance.digest`` only
+   decides which shard's ``EvaluationMemo`` / ``RelaxationCache`` stays
+   hot for a digest.  Any shard can serve any request bit-identically
+   (a solve is a pure function), so failover never risks correctness.
+2. **Reject explicitly, never collapse.**  A full shard queue is an
+   ``overloaded`` fast-reject; fleet-wide pressure enters *brownout*,
+   shedding lowest-priority requests first (highest priority always
+   passes).  Both are retryable codes the
+   :class:`~repro.serve.client.RetryingServeClient` already understands.
+3. **Replace, don't trust.**  A shard that misses a liveness deadline is
+   SIGKILLed and respawned with a bumped generation; replies from a
+   retired generation are dropped, exactly like the supervised
+   executor's attempt-tagged results (DESIGN.md §11).
+4. **Chaos is a plan, not entropy.**  A deterministic
+   :class:`~repro.parallel.faults.ShardFaultPlan` can kill/hang/slow/
+   drop a *named shard at a named arrival index*, so the chaos suite
+   asserts exact fault counts and bit-identical served %-gaps across a
+   mid-stream shard crash.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import contextlib
+import hashlib
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.bcpop.instance import BcpopInstance
+from repro.bcpop.io import bcpop_from_dict, bcpop_to_dict
+from repro.parallel.faults import ShardFaultPlan
+from repro.serve import protocol
+from repro.serve.metrics import RouterMetrics
+from repro.serve.server import _RequestError
+from repro.serve.shard import SHARD_START_TIMEOUT, ShardProcess, ShardSpec
+
+__all__ = [
+    "ConsistentHashRing",
+    "CircuitBreaker",
+    "SolveRouter",
+    "RouterHandle",
+    "start_router_in_thread",
+    "brownout_threshold",
+]
+
+
+# ---------------------------------------------------------------------------
+# consistent hashing
+# ---------------------------------------------------------------------------
+
+
+def _ring_hash(key: str) -> int:
+    """Stable 64-bit ring position (sha256 prefix — never ``hash()``,
+    which is salted per process and would re-deal the ring every run)."""
+    return int.from_bytes(hashlib.sha256(key.encode("utf-8")).digest()[:8], "big")
+
+
+class ConsistentHashRing:
+    """Consistent hashing with virtual nodes.
+
+    Each node is placed at ``replicas`` pseudo-random ring positions; a
+    key routes to the first node clockwise from its own position.  The
+    property the router leans on: when a node joins or leaves, only the
+    keys adjacent to its virtual points move (≈ ``1/N`` of them), so a
+    membership change never re-deals the whole fleet's cache affinity —
+    pinned by the stability tests in tests/test_router.py.
+    """
+
+    def __init__(self, nodes: Iterable[str] = (), replicas: int = 64) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        self._nodes: set[str] = set()
+        self._points: list[tuple[int, str]] = []  # sorted (position, node)
+        for node in nodes:
+            self.add(node)
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return tuple(sorted(self._nodes))
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def add(self, node: str) -> None:
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} already on the ring")
+        self._nodes.add(node)
+        for replica in range(self.replicas):
+            bisect.insort(self._points, (_ring_hash(f"{node}#{replica}"), node))
+
+    def remove(self, node: str) -> None:
+        if node not in self._nodes:
+            raise KeyError(f"node {node!r} not on the ring")
+        self._nodes.discard(node)
+        self._points = [(h, n) for h, n in self._points if n != node]
+
+    def primary(self, key: str) -> str:
+        """The owning node for ``key``."""
+        return self.candidates(key, 1)[0]
+
+    def candidates(self, key: str, k: int) -> list[str]:
+        """Up to ``k`` distinct nodes, clockwise from ``key``'s position.
+
+        ``candidates(key, 1+jumps)`` is the router's bounded-jump
+        failover order: the primary first, then the shards whose caches
+        are the *next most likely* to warm up for this digest range.
+        """
+        if not self._points:
+            raise KeyError("ring is empty")
+        start = bisect.bisect(self._points, (_ring_hash(key), ""))
+        ordered: list[str] = []
+        for offset in range(len(self._points)):
+            node = self._points[(start + offset) % len(self._points)][1]
+            if node not in ordered:
+                ordered.append(node)
+                if len(ordered) >= k:
+                    break
+        return ordered
+
+
+# ---------------------------------------------------------------------------
+# circuit breaker
+# ---------------------------------------------------------------------------
+
+
+class CircuitBreaker:
+    """Per-shard circuit breaker: closed → open → half-open → closed.
+
+    * **closed** — requests flow; ``threshold`` *consecutive* failures
+      open the breaker (one success resets the count).
+    * **open** — requests are skipped without touching the shard; after
+      ``cooldown`` seconds the next :meth:`allow` admits exactly one
+      probe (→ half-open).
+    * **half-open** — the probe's outcome decides: success closes the
+      breaker, failure re-opens it (cooldown restarts).
+
+    The clock is injectable so the open/half-open/close cycle is
+    unit-tested without sleeping.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+        on_open: Callable[[], None] | None = None,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {cooldown}")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._on_open = on_open
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self.opens = 0  # lifetime closed/half-open -> open transitions
+        self._opened_at = 0.0
+        self._probe_outstanding = False
+
+    def allow(self) -> bool:
+        """May a request be sent now?  (Half-open admits one probe.)"""
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            if self._clock() - self._opened_at < self.cooldown:
+                return False
+            self.state = "half-open"
+            self._probe_outstanding = True
+            return True
+        # half-open: one probe at a time
+        if self._probe_outstanding:
+            return False
+        self._probe_outstanding = True
+        return True
+
+    def record_success(self) -> None:
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self._probe_outstanding = False
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self.state == "half-open" or (
+            self.state == "closed" and self.consecutive_failures >= self.threshold
+        ):
+            self._open()
+        self._probe_outstanding = False
+
+    def reset(self) -> None:
+        """Force-close (a freshly respawned shard starts trusted)."""
+        self.record_success()
+
+    def _open(self) -> None:
+        self.state = "open"
+        self.opens += 1
+        self._opened_at = self._clock()
+        if self._on_open is not None:
+            self._on_open()
+
+
+# ---------------------------------------------------------------------------
+# brownout
+# ---------------------------------------------------------------------------
+
+
+def brownout_threshold(
+    inflight: int,
+    capacity: int,
+    start: float,
+    max_priority: int = protocol.MAX_PRIORITY,
+) -> int:
+    """Priority below which requests are shed at the current load.
+
+    Returns 0 (shed nothing) below the ``start`` load fraction, then
+    ramps linearly to ``max_priority`` at full capacity — progressively
+    shedding *lowest-priority traffic first* while priority
+    ``max_priority`` always passes: brownout degrades, never collapses.
+    Pure so it is property-testable without a fleet.
+    """
+    if capacity <= 0:
+        return 0  # no live shards: routing will answer `unavailable`
+    load = inflight / capacity
+    if load < start:
+        return 0
+    span = max(1e-9, 1.0 - start)
+    frac = min(1.0, (load - start) / span)
+    return min(max_priority, 1 + int(frac * (max_priority - 1)))
+
+
+# ---------------------------------------------------------------------------
+# shard links
+# ---------------------------------------------------------------------------
+
+
+class _ShardDown(Exception):
+    """The shard connection is unusable (dead process, lost link, or a
+    retired generation) — the request should fail over."""
+
+
+class _ShardLink:
+    """One demultiplexed connection to a shard, generation-tagged.
+
+    All forwarded requests share this connection (which is what lets the
+    shard's micro-batcher see them as one batch); replies are matched
+    back by link-owned correlation id.  When the connection dies, every
+    pending future fails with :class:`_ShardDown` so the owning request
+    tasks immediately fail over; replies that arrive with no pending
+    future (late, or raced out of a retired generation) are counted and
+    dropped, never delivered.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        generation: int,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        metrics: RouterMetrics,
+    ) -> None:
+        self.name = name
+        self.generation = generation
+        self.alive = True
+        self._reader = reader
+        self._writer = writer
+        self._metrics = metrics
+        self._pending: dict[int, asyncio.Future[dict]] = {}
+        self._next_id = 0
+        # Retained on the instance: the demux task lives exactly as long
+        # as the link (R011 — no fire-and-forget tasks in repro.serve).
+        self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    message = protocol.decode(line)
+                except ValueError:
+                    continue  # a torn line during teardown, not data
+                future = self._pending.pop(message.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(message)
+                else:
+                    self._metrics.stale_drops += 1
+        except (ConnectionResetError, OSError, ValueError):
+            pass
+        finally:
+            self._fail_pending()
+
+    def _fail_pending(self) -> None:
+        self.alive = False
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(
+                    _ShardDown(f"shard {self.name!r} (gen {self.generation}) link lost")
+                )
+
+    async def request(self, message: dict, timeout: float | None) -> dict:
+        if not self.alive:
+            raise _ShardDown(f"shard {self.name!r} (gen {self.generation}) is down")
+        self._next_id += 1
+        rid = self._next_id
+        message = dict(message)
+        message["id"] = rid
+        future: asyncio.Future[dict] = asyncio.get_running_loop().create_future()
+        self._pending[rid] = future
+        try:
+            self._writer.write(protocol.encode(message))
+            await self._writer.drain()
+            if timeout is None:
+                return await future
+            return await asyncio.wait_for(future, timeout)
+        except (ConnectionResetError, BrokenPipeError, OSError) as exc:
+            raise _ShardDown(f"shard {self.name!r} write failed: {exc}") from exc
+        finally:
+            self._pending.pop(rid, None)
+
+    async def close(self) -> None:
+        self._fail_pending()
+        self._reader_task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await self._reader_task
+        self._writer.close()
+        with contextlib.suppress(Exception):
+            await self._writer.wait_closed()
+
+
+@dataclass
+class _ShardState:
+    """Router-side view of one shard: process, link, breaker, load."""
+
+    process: ShardProcess
+    breaker: CircuitBreaker
+    link: _ShardLink | None = None
+    inflight: int = 0
+    routed: int = 0
+    respawning: bool = False
+
+    @property
+    def name(self) -> str:
+        return self.process.name
+
+    def usable_link(self) -> _ShardLink | None:
+        """The live, current-generation link (``None`` = not routable)."""
+        link = self.link
+        if link is None or not link.alive:
+            return None
+        if link.generation != self.process.generation:
+            return None  # retired generation: never route into it
+        return link
+
+
+# ---------------------------------------------------------------------------
+# the router
+# ---------------------------------------------------------------------------
+
+
+class SolveRouter:
+    """Coordinator for ``n_shards`` supervised :class:`SolveServer` shards.
+
+    Speaks the same wire protocol as a single server (``solve`` /
+    ``ping`` / ``stats`` / ``pause`` / ``resume`` / ``shutdown``) plus
+    the ``shards`` topology op, so every existing client — including
+    :class:`~repro.serve.client.RetryingServeClient` — works unchanged.
+
+    Parameters
+    ----------
+    instances:
+        Instances every shard registers (routing needs their digests).
+    n_shards:
+        Fleet size.
+    registry_root:
+        Optional :class:`~repro.serve.registry.HeuristicRegistry` root
+        shared by all shards (ref/family resolution is read-through, so
+        a generation-tagged ``promote``/``rollback`` rolls the whole
+        fleet without restarting anything).
+    failover_jumps:
+        Bounded-jump rerouting: how many ring successors may be tried
+        after the primary before the request is answered ``unavailable``.
+    breaker_threshold / breaker_cooldown:
+        Per-shard circuit breaker: consecutive failures to open, and
+        seconds before a half-open probe.
+    health_interval / health_timeout:
+        Liveness probing cadence and the ping deadline past which a
+        shard counts as hung (→ SIGKILL + respawn, generation bump).
+    request_timeout:
+        Router-edge deadline per solve (covers queueing, forwarding and
+        failover); expiry answers the retryable ``timeout`` code.
+    shard_inflight_limit:
+        Bounded per-shard outstanding-request queue; a full fleet
+        answers ``overloaded`` instead of buffering without limit.
+    brownout_start:
+        Fleet load fraction at which brownout begins shedding
+        lowest-priority requests (see :func:`brownout_threshold`).
+    shard_fault_plan:
+        Deterministic chaos plan (kill/hang/slow/drop a named shard at a
+        named arrival index).
+    """
+
+    def __init__(
+        self,
+        instances: Sequence[BcpopInstance] = (),
+        n_shards: int = 2,
+        registry_root: str | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        replicas: int = 64,
+        failover_jumps: int = 2,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 1.0,
+        health_interval: float = 0.2,
+        health_timeout: float = 2.0,
+        request_timeout: float | None = None,
+        shard_inflight_limit: int = 64,
+        brownout_start: float = 0.85,
+        shard_fault_plan: ShardFaultPlan | None = None,
+        metrics_path: Any = None,
+        shard_start_timeout: float = SHARD_START_TIMEOUT,
+        lp_backend: str = "scipy",
+        memo_size: int | None = None,
+        max_batch_size: int = 32,
+        max_wait_us: int = 2_000,
+        queue_depth: int = 128,
+        shard_request_timeout: float | None = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if failover_jumps < 0:
+            raise ValueError(f"failover_jumps must be >= 0, got {failover_jumps}")
+        if shard_inflight_limit < 1:
+            raise ValueError(f"shard_inflight_limit must be >= 1, got {shard_inflight_limit}")
+        if not 0.0 <= brownout_start <= 1.0:
+            raise ValueError(f"brownout_start must be in [0, 1], got {brownout_start}")
+        if request_timeout is not None and request_timeout <= 0:
+            raise ValueError(f"request_timeout must be > 0, got {request_timeout}")
+        self.host = host
+        self.port = port
+        self.failover_jumps = failover_jumps
+        self.health_interval = health_interval
+        self.health_timeout = health_timeout
+        self.request_timeout = request_timeout
+        self.shard_inflight_limit = shard_inflight_limit
+        self.brownout_start = brownout_start
+        self.shard_fault_plan = shard_fault_plan
+        self.metrics_path = metrics_path
+        self.metrics = RouterMetrics()
+        self._breaker_threshold = breaker_threshold
+        self._breaker_cooldown = breaker_cooldown
+        instance_docs = tuple(bcpop_to_dict(inst) for inst in instances)
+        self._digests: tuple[str, ...] = tuple(inst.digest for inst in instances)
+        self._shards: dict[str, _ShardState] = {}
+        for index in range(n_shards):
+            spec = ShardSpec(
+                name=f"shard-{index}",
+                instance_docs=instance_docs,
+                registry_root=registry_root,
+                lp_backend=lp_backend,
+                memo_size=memo_size,
+                max_batch_size=max_batch_size,
+                max_wait_us=max_wait_us,
+                queue_depth=queue_depth,
+                request_timeout=shard_request_timeout,
+            )
+            self._shards[spec.name] = _ShardState(
+                process=ShardProcess(spec, start_timeout=shard_start_timeout),
+                breaker=CircuitBreaker(
+                    threshold=breaker_threshold,
+                    cooldown=breaker_cooldown,
+                    on_open=self._note_breaker_open,
+                ),
+            )
+        self.ring = ConsistentHashRing(self._shards, replicas=replicas)
+        self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stopping: asyncio.Event | None = None
+        self._stopped = False
+        self._health_task: asyncio.Task | None = None
+        self._respawn_tasks: set[asyncio.Task] = set()
+
+    def _note_breaker_open(self) -> None:
+        self.metrics.breaker_opens += 1
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def shard_names(self) -> tuple[str, ...]:
+        return tuple(self._shards)
+
+    async def start(self) -> None:
+        """Spawn the fleet, connect the links, bind the client socket."""
+        if self._server is not None:
+            raise RuntimeError("router already started")
+        self._loop = asyncio.get_running_loop()
+        self._stopping = asyncio.Event()
+        try:
+            # Launch every process first (spawns overlap), then collect
+            # ports — fleet start-up costs one shard's spawn, not N.
+            for state in self._shards.values():
+                state.process.launch()
+            for state in self._shards.values():
+                await self._loop.run_in_executor(None, state.process.wait_ready)
+            for state in self._shards.values():
+                await self._connect_shard(state)
+        except BaseException:
+            await self._teardown_shards()
+            raise
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port, limit=protocol.MAX_LINE_BYTES
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._health_task = self._loop.create_task(self._health_loop())
+
+    async def stop(self) -> None:
+        """Stop accepting, cancel supervision, tear the fleet down."""
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._stopping is not None:
+            self._stopping.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in (self._health_task, *self._respawn_tasks):
+            if task is not None:
+                task.cancel()
+        for task in (self._health_task, *self._respawn_tasks):
+            if task is not None:
+                with contextlib.suppress(asyncio.CancelledError):
+                    await task
+        await self._teardown_shards()
+        if self.metrics_path is not None:
+            self.metrics.dump_jsonl(self.metrics_path, **self._stats_extra())
+
+    async def _teardown_shards(self) -> None:
+        for state in self._shards.values():
+            if state.link is not None:
+                await state.link.close()
+                state.link = None
+        loop = self._loop if self._loop is not None else asyncio.get_running_loop()
+        for state in self._shards.values():
+            await loop.run_in_executor(None, state.process.stop)
+
+    async def serve_until_stopped(self) -> None:
+        """``start`` + run until a ``shutdown`` op (or :meth:`request_stop`)."""
+        if self._server is None:
+            await self.start()
+        assert self._stopping is not None
+        try:
+            await self._stopping.wait()
+        finally:
+            await self.stop()
+
+    def request_stop(self) -> None:
+        if self._stopping is not None:
+            self._stopping.set()
+
+    # -- shard supervision -----------------------------------------------------
+
+    async def _connect_shard(self, state: _ShardState) -> None:
+        """Open + verify a link to a (running) shard process."""
+        assert state.process.port is not None
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", state.process.port, limit=protocol.MAX_LINE_BYTES
+        )
+        link = _ShardLink(
+            state.name, state.process.generation, reader, writer, self.metrics
+        )
+        try:
+            reply = await link.request({"op": "ping"}, timeout=self.health_timeout)
+        except (_ShardDown, asyncio.TimeoutError):
+            await link.close()
+            raise
+        version = reply.get("version")
+        if version != protocol.PROTOCOL_VERSION:
+            await link.close()
+            raise RuntimeError(
+                f"shard {state.name!r} speaks protocol {version!r}, "
+                f"router needs {protocol.PROTOCOL_VERSION}"
+            )
+        state.link = link
+        state.breaker.reset()
+
+    async def _health_loop(self) -> None:
+        """Liveness sweep: ping every shard; replace the dead and the hung.
+
+        The supervised-executor discipline one layer up: detection is a
+        missed deadline (never a guess), the remedy is a replacement
+        process with a fresh generation, and the sweep itself must stay
+        cheap enough to run forever.
+        """
+        while True:
+            await asyncio.sleep(self.health_interval)
+            for name in self.shard_names:  # fixed order: deterministic sweeps
+                state = self._shards[name]
+                if state.respawning:
+                    continue
+                if not state.process.is_alive():
+                    self._begin_respawn(state)
+                    continue
+                if state.usable_link() is None:
+                    # Alive process, lost/stale link (drop fault, torn
+                    # connection): reconnect without paying a respawn.
+                    if state.link is not None:
+                        await state.link.close()
+                        state.link = None
+                    try:
+                        await self._connect_shard(state)
+                    except (OSError, _ShardDown, asyncio.TimeoutError, RuntimeError):
+                        self.metrics.health_failures += 1
+                        self._begin_respawn(state)
+                    continue
+                try:
+                    await state.link.request(
+                        {"op": "ping"}, timeout=self.health_timeout
+                    )
+                except (_ShardDown, asyncio.TimeoutError):
+                    # Hung (SIGSTOP, stuck loop) or just died: replace.
+                    self.metrics.health_failures += 1
+                    self._begin_respawn(state)
+
+    def _begin_respawn(self, state: _ShardState) -> None:
+        state.respawning = True
+        assert self._loop is not None
+        task = self._loop.create_task(self._respawn_shard(state))
+        # Retained until done (R011): a lost respawn task is a lost shard.
+        self._respawn_tasks.add(task)
+        task.add_done_callback(self._respawn_tasks.discard)
+
+    async def _respawn_shard(self, state: _ShardState) -> None:
+        """Replace one shard: kill, respawn (new generation), reconnect.
+
+        Runs off the event loop's thread pool for the blocking parts so
+        routing (and failover *around* this shard) continues while the
+        replacement boots.  Failure leaves the shard down; the next
+        health sweep simply tries again.
+        """
+        try:
+            if state.link is not None:
+                await state.link.close()  # fail pending -> requests fail over now
+                state.link = None
+            assert self._loop is not None
+            await self._loop.run_in_executor(None, state.process.respawn)
+            self.metrics.respawns += 1
+            await self._connect_shard(state)  # breaker resets: automatic failback
+        except asyncio.CancelledError:
+            raise
+        except (OSError, RuntimeError, TimeoutError, _ShardDown):
+            pass  # still down; the health loop owns the retry cadence
+        finally:
+            state.respawning = False
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, asyncio.LimitOverrunError, ValueError):
+                    break
+                if not line:
+                    break
+                # One task per request (retained in `tasks`): solves fail
+                # over / await shards without blocking subsequent lines.
+                task = asyncio.ensure_future(self._process(line, writer, write_lock))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            with contextlib.suppress(ConnectionResetError, BrokenPipeError):
+                await writer.wait_closed()
+
+    async def _write(
+        self, writer: asyncio.StreamWriter, lock: asyncio.Lock, response: dict
+    ) -> None:
+        async with lock:
+            writer.write(protocol.encode(response))
+            with contextlib.suppress(ConnectionResetError, BrokenPipeError):
+                await writer.drain()
+
+    async def _process(
+        self, line: bytes, writer: asyncio.StreamWriter, lock: asyncio.Lock
+    ) -> None:
+        try:
+            request = protocol.decode(line)
+        except ValueError as exc:
+            self.metrics.errors += 1
+            await self._write(
+                writer, lock, protocol.error_response({}, "bad-request", str(exc))
+            )
+            return
+        op = request.get("op")
+        if op == "solve":
+            await self._process_solve(request, writer, lock)
+        elif op == "ping":
+            await self._write(
+                writer, lock,
+                protocol.ok_response(
+                    request, pong=True, version=protocol.PROTOCOL_VERSION, role="router"
+                ),
+            )
+        elif op == "stats":
+            await self._write(
+                writer, lock,
+                protocol.ok_response(
+                    request, stats=self.metrics.snapshot(**self._stats_extra())
+                ),
+            )
+        elif op == "shards":
+            await self._write(
+                writer, lock,
+                protocol.ok_response(request, shards=self._topology()),
+            )
+        elif op in ("pause", "resume"):
+            await self._broadcast(op)
+            await self._write(
+                writer, lock, protocol.ok_response(request, paused=op == "pause")
+            )
+        elif op == "shutdown":
+            await self._write(writer, lock, protocol.ok_response(request, stopping=True))
+            self.request_stop()
+        else:
+            self.metrics.errors += 1
+            await self._write(
+                writer, lock,
+                protocol.error_response(request, "unknown-op", f"unknown op {op!r}"),
+            )
+
+    async def _broadcast(self, op: str) -> None:
+        """Best-effort fan-out of a control op to every reachable shard."""
+        for name in self.shard_names:
+            link = self._shards[name].usable_link()
+            if link is None:
+                continue
+            with contextlib.suppress(_ShardDown, asyncio.TimeoutError):
+                await link.request({"op": op}, timeout=self.health_timeout)
+
+    # -- solve routing ---------------------------------------------------------
+
+    async def _process_solve(
+        self, request: dict, writer: asyncio.StreamWriter, lock: asyncio.Lock
+    ) -> None:
+        # Arrival index before any await (request tasks start in line
+        # order and run synchronously to their first suspension), so
+        # shard fault plans keyed on this index replay deterministically.
+        arrival = self.metrics.requests
+        self.metrics.requests += 1
+        started = time.perf_counter()
+        if self.shard_fault_plan is not None:
+            spec = self.shard_fault_plan.fault_at(arrival)
+            if spec is not None:
+                await self._apply_shard_fault(spec)
+        try:
+            digest = self._routing_digest(request)
+        except _RequestError as exc:
+            self.metrics.errors += 1
+            await self._write(
+                writer, lock, protocol.error_response(request, exc.code, str(exc))
+            )
+            return
+        # Brownout: shed lowest-priority traffic before it consumes a
+        # shard slot.  The reject is immediate and retryable.
+        threshold = brownout_threshold(
+            sum(s.inflight for s in self._shards.values()),
+            sum(
+                self.shard_inflight_limit
+                for s in self._shards.values()
+                if s.usable_link() is not None
+            ),
+            self.brownout_start,
+        )
+        if protocol.request_priority(request) < threshold:
+            self.metrics.brownout_shed += 1
+            self.metrics.overloads += 1
+            response = protocol.error_response(
+                request, "overloaded",
+                f"brownout: shedding priority < {threshold}; retry later",
+            )
+            response["brownout"] = True
+            await self._write(writer, lock, response)
+            return
+        try:
+            reply = await self._route(request, digest)
+        except _RequestError as exc:
+            self.metrics.errors += 1
+            if exc.code == "timeout":
+                self.metrics.timeouts += 1
+            elif exc.code == "overloaded":
+                self.metrics.overloads += 1
+            await self._write(
+                writer, lock, protocol.error_response(request, exc.code, str(exc))
+            )
+            return
+        if reply.get("ok", False):
+            self.metrics.observe_latency(time.perf_counter() - started)
+        else:
+            self.metrics.errors += 1
+        await self._write(writer, lock, reply)
+
+    def _routing_digest(self, request: dict) -> str:
+        """The consistent-hash key for a solve (instance digest)."""
+        spec = request.get("instance")
+        if spec is None:
+            if len(self._digests) == 1:
+                return self._digests[0]
+            raise _RequestError(
+                "bad-request",
+                f"no instance given and {len(self._digests)} registered",
+            )
+        if isinstance(spec, str):
+            return spec  # shards validate unknown digests
+        if isinstance(spec, dict):
+            try:
+                return bcpop_from_dict(spec).digest
+            except (ValueError, KeyError, TypeError) as exc:
+                raise _RequestError("bad-request", f"bad inline instance: {exc}") from exc
+        raise _RequestError("bad-request", "instance must be a digest or a document")
+
+    async def _route(self, request: dict, digest: str) -> dict:
+        """Forward with bounded-jump failover; returns the shard's reply
+        (re-correlated to the client's id)."""
+        assert self._loop is not None
+        deadline = (
+            None
+            if self.request_timeout is None
+            else self._loop.time() + self.request_timeout
+        )
+        forward = {k: v for k, v in request.items() if k != "id"}
+        candidates = self.ring.candidates(digest, 1 + self.failover_jumps)
+        saw_full_queue = False
+        for jump, name in enumerate(candidates):
+            state = self._shards[name]
+            link = state.usable_link()
+            if link is None:
+                continue  # down or respawning: jump to the next successor
+            if state.inflight >= self.shard_inflight_limit:
+                saw_full_queue = True
+                continue
+            if not state.breaker.allow():
+                continue
+            if jump > 0:
+                self.metrics.failovers += 1
+            state.inflight += 1
+            state.routed += 1
+            self.metrics.routed += 1
+            try:
+                timeout = (
+                    None if deadline is None
+                    else max(0.001, deadline - self._loop.time())
+                )
+                reply = await link.request(forward, timeout=timeout)
+            except asyncio.TimeoutError:
+                # The *router's* deadline expired — it is global across
+                # jumps, so there is no budget left to fail over with.
+                state.breaker.record_failure()
+                raise _RequestError(
+                    "timeout",
+                    f"solve exceeded the {self.request_timeout}s router deadline; "
+                    "safe to retry (solves are idempotent)",
+                ) from None
+            except _ShardDown:
+                state.breaker.record_failure()
+                continue  # bounded jump to the next ring successor
+            finally:
+                state.inflight -= 1
+            state.breaker.record_success()
+            if not reply.get("ok", False) and reply.get("error") == "overloaded":
+                saw_full_queue = True
+                continue  # that shard's queue is full; try a successor
+            reply = dict(reply)
+            if "id" in request:
+                reply["id"] = request["id"]
+            else:
+                reply.pop("id", None)
+            return reply
+        if saw_full_queue:
+            raise _RequestError(
+                "overloaded",
+                f"all reachable shards for digest {digest[:12]} are at their "
+                f"in-flight limit ({self.shard_inflight_limit}); retry later",
+            )
+        raise _RequestError(
+            "unavailable",
+            f"no live shard for digest {digest[:12]} within "
+            f"{1 + self.failover_jumps} ring jumps; respawn in progress, retry",
+        )
+
+    # -- chaos ----------------------------------------------------------------
+
+    async def _apply_shard_fault(self, spec: Any) -> None:
+        """Realize one planned shard fault, before routing the arrival."""
+        state = self._shards.get(spec.shard)
+        if state is None:
+            return
+        self.metrics.shard_faults_injected += 1
+        if spec.kind == "kill":
+            assert self._loop is not None
+            await self._loop.run_in_executor(None, state.process.kill)
+            if state.link is not None:
+                await state.link.close()  # deterministic: pending fail over now
+                state.link = None
+        elif spec.kind == "hang":
+            state.process.suspend()  # alive but silent: the probe deadline decides
+        elif spec.kind == "drop":
+            if state.link is not None:
+                await state.link.close()  # connection loss; process unharmed
+                state.link = None
+        elif spec.kind == "slow":
+            await asyncio.sleep(spec.seconds)
+
+    # -- stats ----------------------------------------------------------------
+
+    def _topology(self) -> list[dict]:
+        return [
+            {
+                "name": state.name,
+                "port": state.process.port,
+                "pid": state.process.pid,
+                "generation": state.process.generation,
+                "alive": state.process.is_alive(),
+                "connected": state.usable_link() is not None,
+                "breaker": state.breaker.state,
+                "breaker_opens": state.breaker.opens,
+                "inflight": state.inflight,
+                "routed": state.routed,
+                "respawns": state.process.respawns,
+            }
+            for state in (self._shards[name] for name in self.shard_names)
+        ]
+
+    def _stats_extra(self) -> dict:
+        live = sum(1 for s in self._shards.values() if s.usable_link() is not None)
+        return {
+            "role": "router",
+            "protocol_version": protocol.PROTOCOL_VERSION,
+            "n_shards": len(self._shards),
+            "live_shards": live,
+            "ring_replicas": self.ring.replicas,
+            "failover_jumps": self.failover_jumps,
+            "shard_inflight_limit": self.shard_inflight_limit,
+            "brownout_start": self.brownout_start,
+            "inflight": sum(s.inflight for s in self._shards.values()),
+            "shards": self._topology(),
+        }
+
+
+# -- thread embedding ---------------------------------------------------------
+
+
+class RouterHandle:
+    """A :class:`SolveRouter` running on its own thread + event loop
+    (the synchronous-host embedding, mirroring
+    :class:`~repro.serve.server.ServerHandle`)."""
+
+    def __init__(self, router: SolveRouter, thread: threading.Thread) -> None:
+        self.router = router
+        self.thread = thread
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.router.host, self.router.port)
+
+    def stop(self, timeout: float = 60.0) -> None:
+        loop = self.router._loop
+        if loop is not None and self.thread.is_alive():
+            loop.call_soon_threadsafe(self.router.request_stop)
+        self.thread.join(timeout)
+        if self.thread.is_alive():
+            raise RuntimeError("router thread did not stop in time")
+
+    def __enter__(self) -> "RouterHandle":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+
+def start_router_in_thread(
+    router: SolveRouter, timeout: float = 120.0
+) -> RouterHandle:
+    """Start ``router`` (and its whole shard fleet) on a daemon thread;
+    returns once the client socket is bound.  The generous default
+    timeout covers N process spawns on a loaded machine."""
+    started = threading.Event()
+    startup_error: list[BaseException] = []
+
+    async def _main() -> None:
+        try:
+            await router.start()
+        except BaseException as exc:
+            startup_error.append(exc)
+            started.set()
+            raise
+        started.set()
+        await router.serve_until_stopped()
+
+    def _runner() -> None:
+        try:
+            asyncio.run(_main())
+        except BaseException:
+            if not startup_error:
+                raise
+
+    thread = threading.Thread(target=_runner, name="repro-solve-router", daemon=True)
+    thread.start()
+    if not started.wait(timeout):
+        raise RuntimeError("router failed to start in time")
+    if startup_error:
+        thread.join(timeout)
+        raise startup_error[0]
+    return RouterHandle(router, thread)

@@ -357,7 +357,12 @@ class SolveServer:
                 protocol.ok_response(request, stats=self.metrics.snapshot(**self._stats_extra())),
             )
         elif op == "ping":
-            await self._write(writer, lock, protocol.ok_response(request, pong=True))
+            await self._write(
+                writer, lock,
+                protocol.ok_response(
+                    request, pong=True, version=protocol.PROTOCOL_VERSION
+                ),
+            )
         elif op == "pause":
             self._unpaused.clear()
             await self._write(writer, lock, protocol.ok_response(request, paused=True))

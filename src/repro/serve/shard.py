@@ -1,0 +1,230 @@
+"""Shard processes: supervised :class:`SolveServer` workers for the router.
+
+One shard is one :class:`~repro.serve.server.SolveServer` in its own
+spawn-context process, bound to an ephemeral port it reports back over a
+pipe.  The router (:mod:`repro.serve.router`) supervises a fleet of them
+the way PR 4's :class:`~repro.parallel.executor.ProcessExecutor`
+supervises workers: liveness-probed (a ``ping`` op with a deadline),
+respawned on crash or hang, and **generation-tagged** — every respawn
+increments the shard's generation, so a reply that raced out of a
+replaced process can never be mistaken for a live one.
+
+Every shard registers *all* instances and shares the registry root:
+consistent-hash routing is a cache-affinity optimization (each shard's
+``EvaluationMemo`` / ``RelaxationCache`` stays hot for its digest range),
+never a data-partitioning constraint.  That is what makes failover
+trivially safe — any shard can serve any request, bit-identically,
+because a solve is a pure function of (instance, prices, tree).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["ShardSpec", "ShardProcess", "SHARD_START_TIMEOUT"]
+
+#: Default deadline for a freshly spawned shard to report its port —
+#: interpreter start-up plus numpy/scipy import on a loaded machine.
+SHARD_START_TIMEOUT = 60.0
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything needed to (re)build one shard process, picklable.
+
+    ``instance_docs`` are the JSON documents of
+    :func:`repro.bcpop.io.bcpop_to_dict` — the process boundary ships
+    plain data, never live objects (the spawn-safe payload rule of
+    DESIGN.md §8).
+    """
+
+    name: str
+    instance_docs: tuple[dict, ...] = ()
+    registry_root: str | None = None
+    lp_backend: str = "scipy"
+    memo_size: int | None = None
+    max_batch_size: int = 32
+    max_wait_us: int = 2_000
+    queue_depth: int = 128
+    request_timeout: float | None = None
+
+    def server_kwargs(self) -> dict[str, Any]:
+        return {
+            "lp_backend": self.lp_backend,
+            "memo_size": self.memo_size,
+            "max_batch_size": self.max_batch_size,
+            "max_wait_us": self.max_wait_us,
+            "queue_depth": self.queue_depth,
+            "request_timeout": self.request_timeout,
+        }
+
+
+def _shard_main(spec: ShardSpec, conn: Any) -> None:
+    """Child entry point: build the server, report the port, serve.
+
+    Module-level on purpose (spawn-context processes pickle the target).
+    The process ends when the parent terminates it — the router owns the
+    lifecycle; there is no in-band shutdown dance to get wrong while the
+    parent is replacing a faulty shard.
+    """
+    import asyncio
+
+    from repro.bcpop.io import bcpop_from_dict
+    from repro.serve.registry import HeuristicRegistry
+    from repro.serve.server import SolveServer
+
+    registry = (
+        HeuristicRegistry(spec.registry_root) if spec.registry_root is not None else None
+    )
+    server = SolveServer(
+        registry=registry,
+        instances=[bcpop_from_dict(doc) for doc in spec.instance_docs],
+        port=0,
+        **spec.server_kwargs(),
+    )
+
+    async def _run() -> None:
+        await server.start()
+        conn.send(server.port)
+        conn.close()
+        await server.serve_until_stopped()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - parent-driven teardown
+        pass
+
+
+@dataclass
+class ShardProcess:
+    """Supervisor-side handle on one shard process.
+
+    The handle's methods are synchronous and may block for seconds
+    (process spawn, join) — the router calls the slow ones through
+    ``run_in_executor`` so its event loop keeps serving while a shard is
+    being replaced.
+    """
+
+    spec: ShardSpec
+    start_timeout: float = SHARD_START_TIMEOUT
+    generation: int = 0  # bumped on every (re)spawn after the first
+    port: int | None = None
+    process: Any = field(default=None, repr=False)
+    respawns: int = 0
+    _port_conn: Any = field(default=None, repr=False)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def pid(self) -> int | None:
+        return self.process.pid if self.process is not None else None
+
+    def is_alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def launch(self) -> None:
+        """Spawn the process (non-blocking; pair with :meth:`wait_ready`)."""
+        if self.process is not None and self.process.is_alive():
+            raise RuntimeError(f"shard {self.name!r} is already running")
+        ctx = multiprocessing.get_context("spawn")
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        self.process = ctx.Process(
+            target=_shard_main,
+            args=(self.spec, child_conn),
+            name=f"repro-{self.name}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        self._port_conn = parent_conn
+        self.port = None
+
+    def wait_ready(self, timeout: float | None = None) -> int:
+        """Block until the shard reports its bound port; returns it."""
+        if self.process is None:
+            raise RuntimeError(f"shard {self.name!r} was never launched")
+        deadline = timeout if timeout is not None else self.start_timeout
+        if not self._port_conn.poll(deadline):
+            self.kill()
+            raise TimeoutError(
+                f"shard {self.name!r} did not report a port within {deadline}s"
+            )
+        try:
+            self.port = int(self._port_conn.recv())
+        except EOFError as exc:
+            self.kill()
+            raise RuntimeError(f"shard {self.name!r} died during startup") from exc
+        finally:
+            self._port_conn.close()
+        return self.port
+
+    def start(self, timeout: float | None = None) -> int:
+        """``launch`` + ``wait_ready`` in one blocking call."""
+        self.launch()
+        return self.wait_ready(timeout)
+
+    def respawn(self, timeout: float | None = None) -> int:
+        """Replace the process with a fresh one; bumps the generation.
+
+        The old process (alive, hung, or already dead) is SIGKILLed
+        first — a respawn happens precisely because the shard can no
+        longer be trusted to honor a polite shutdown.
+        """
+        self.kill()
+        self.generation += 1
+        self.respawns += 1
+        return self.start(timeout)
+
+    def kill(self) -> None:
+        """SIGKILL + reap.  Idempotent; works on SIGSTOPped processes."""
+        if self.process is None:
+            return
+        if self.process.is_alive():
+            self.process.kill()
+        self.process.join(timeout=10.0)
+        self.port = None
+
+    def stop(self) -> None:
+        """Terminate politely, escalate to SIGKILL, reap."""
+        if self.process is None:
+            return
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=5.0)
+        if self.process.is_alive():  # pragma: no cover - escalation path
+            self.process.kill()
+            self.process.join(timeout=10.0)
+        self.port = None
+
+    # -- fault hooks (chaos plans) -------------------------------------------
+
+    def suspend(self) -> None:
+        """SIGSTOP: the process stays alive but stops answering — the
+        deterministic realization of a *hung* shard (only the health
+        probe's deadline can tell it apart from a slow one)."""
+        if self.is_alive() and hasattr(signal, "SIGSTOP"):
+            os.kill(self.process.pid, signal.SIGSTOP)
+
+    def resume(self) -> None:
+        """SIGCONT a suspended shard (tests only; the router's recovery
+        path never resumes — it replaces)."""
+        if self.is_alive() and hasattr(signal, "SIGCONT"):
+            os.kill(self.process.pid, signal.SIGCONT)
+
+    def join_exit(self, timeout: float = 10.0) -> int | None:
+        """Wait for the process to exit; returns its exit code."""
+        if self.process is None:
+            return None
+        deadline = time.monotonic() + timeout
+        while self.process.is_alive() and time.monotonic() < deadline:
+            self.process.join(timeout=0.05)
+        return self.process.exitcode

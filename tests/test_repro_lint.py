@@ -365,6 +365,50 @@ class TestR010SwallowedInterrupt:
 
 
 # ---------------------------------------------------------------------------
+# R011 — event-loop hygiene
+# ---------------------------------------------------------------------------
+
+
+class TestR011EventLoopHygiene:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            # Fire-and-forget: the loop only holds tasks weakly.
+            "import asyncio\nasync def go():\n    asyncio.create_task(work())\n",
+            "import asyncio\nasyncio.ensure_future(work())\n",
+            "loop.create_task(work())\n",
+            # Blocking the loop thread from inside async code.
+            "import time\nasync def handle():\n    time.sleep(0.1)\n",
+            "import socket\nasync def dial():\n    socket.create_connection(('h', 1))\n",
+            "import socket\nasync def resolve():\n    socket.getaddrinfo('h', 80)\n",
+            # Nested async def inside a sync def is still async code.
+            "import time\ndef outer():\n    async def inner():\n        time.sleep(1)\n",
+        ],
+    )
+    def test_fires(self, snippet):
+        assert "R011" in codes(snippet)
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            # Retained handles are the fix, not a false positive.
+            "import asyncio\nasync def go():\n    t = asyncio.create_task(work())\n    await t\n",
+            "import asyncio\nasync def go():\n    self._task = asyncio.create_task(work())\n",
+            "import asyncio\nasync def go():\n    tasks.add(asyncio.create_task(work()))\n",
+            # Async equivalents and awaited sleeps.
+            "import asyncio\nasync def handle():\n    await asyncio.sleep(0.1)\n",
+            # Blocking calls in sync code are that code's own business.
+            "import time\ndef poll():\n    time.sleep(0.1)\n",
+            # A sync helper nested in an async def may run in an executor;
+            # it is judged where it is *called*, not where it is defined.
+            "import time\nasync def go():\n    def blocking():\n        time.sleep(1)\n    await loop.run_in_executor(None, blocking)\n",
+        ],
+    )
+    def test_quiet(self, snippet):
+        assert "R011" not in codes(snippet)
+
+
+# ---------------------------------------------------------------------------
 # pragmas
 # ---------------------------------------------------------------------------
 
@@ -429,8 +473,8 @@ class TestEngineSurface:
         assert [d.code for d in engine.lint_source(source)] == ["R005"]
 
     def test_every_rule_has_a_code_and_docstring(self):
-        assert len(ALL_RULES) == 10
-        assert [r.code for r in ALL_RULES] == [f"R{i:03d}" for i in range(1, 11)]
+        assert len(ALL_RULES) == 11
+        assert [r.code for r in ALL_RULES] == [f"R{i:03d}" for i in range(1, 12)]
         for rule in ALL_RULES:
             assert rule.check.__doc__, f"{rule.code} has no rationale docstring"
 
@@ -502,6 +546,7 @@ class TestGoldenSrcClean:
         assert config.rule("R002").paths  # wall-clock rule is scoped
         assert config.rule("R006").allow  # parallel helpers exempt
         assert config.rule("R007").paths  # serialization modules listed
+        assert config.rule("R011").paths  # event-loop rule scoped to serve
 
 
 # ---------------------------------------------------------------------------

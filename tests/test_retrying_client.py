@@ -241,3 +241,51 @@ class TestRetryingClient:
         assert server1.metrics.faults_injected == 1
         # The replacement actually served the retransmitted remainder.
         assert replacement[0].server.metrics.solved >= 1
+
+
+class TestConnectPathAndBackoff:
+    """The connect-path fixes: a connect deadline separate from the read
+    deadline, and backoff arithmetic that stays bounded at any attempt."""
+
+    def test_read_timeout_applies_after_connect(self):
+        # A socket that accepts but never answers: the connect deadline
+        # must not govern the read — and the read deadline must fire.
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        host, port = listener.getsockname()
+        try:
+            client = ServeClient(host, port, timeout=0.3, connect_timeout=5.0)
+            started = time.perf_counter()
+            with pytest.raises((TimeoutError, OSError)):
+                client.request({"op": "ping"})
+            assert time.perf_counter() - started < 2.0  # read deadline, not 5s
+            client.close()
+        finally:
+            listener.close()
+
+    def test_backoff_exponent_is_clamped(self):
+        client = RetryingServeClient(
+            "127.0.0.1", 1, backoff_base=1e-9, backoff_cap=1e-6, seed=0
+        )
+        started = time.perf_counter()
+        client._backoff(100_000)  # huge attempt: no giant-int arithmetic
+        assert time.perf_counter() - started < 0.5
+
+    def test_backoff_sleep_never_exceeds_the_cap(self):
+        client = RetryingServeClient(
+            "127.0.0.1", 1, backoff_base=10.0, backoff_cap=0.01, seed=3
+        )
+        for attempt in (1, 2, 50):
+            started = time.perf_counter()
+            client._backoff(attempt)
+            assert time.perf_counter() - started < 0.5
+
+    def test_priority_rides_the_solve_request(self, instance, trees):
+        from repro.serve import build_solve_request
+
+        message = build_solve_request([1.0] * instance.n_services, trees[0], priority=2)
+        assert message["priority"] == 2
+        assert "priority" not in build_solve_request(
+            [1.0] * instance.n_services, trees[0]
+        )

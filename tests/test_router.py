@@ -1,0 +1,343 @@
+"""Router building blocks and healthy-fleet routing.
+
+Three layers of contract, cheapest first:
+
+* pure units — consistent-hash stability (at most the departed node's
+  keys move on leave; on join, moved keys all land on the joiner), the
+  circuit-breaker open/half-open/close cycle on a fake clock, brownout
+  threshold shape, shard-fault-plan validation;
+* a live 2-shard fleet — the router speaks the same protocol as a single
+  server, served %-gaps are bit-identical to in-process evaluation, and
+  routing is deterministic cache affinity (same digest → same shard);
+* error-path passthrough — shard-side error codes reach the client
+  unchanged, and malformed routing requests fail fast at the router.
+
+The fault paths (kill/hang/drop mid-stream) live in
+tests/test_router_chaos.py.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bcpop.evaluate import LowerLevelEvaluator
+from repro.bcpop.generator import generate_instance
+from repro.gp.generate import ramped_half_and_half
+from repro.gp.primitives import paper_primitive_set
+from repro.parallel import ShardFaultPlan, ShardFaultSpec
+from repro.serve import (
+    CircuitBreaker,
+    ConsistentHashRing,
+    ServeClient,
+    SolveRouter,
+    brownout_threshold,
+    start_router_in_thread,
+)
+from repro.serve import protocol
+
+
+# ---------------------------------------------------------------------------
+# consistent hashing
+# ---------------------------------------------------------------------------
+
+
+class TestConsistentHashRing:
+    KEYS = [f"digest-{i:04d}" for i in range(400)]
+
+    def test_placement_is_deterministic(self):
+        a = ConsistentHashRing(["s0", "s1", "s2"])
+        b = ConsistentHashRing(["s2", "s0", "s1"])  # insertion order irrelevant
+        assert [a.primary(k) for k in self.KEYS] == [b.primary(k) for k in self.KEYS]
+
+    def test_leave_moves_only_the_departed_nodes_keys(self):
+        ring = ConsistentHashRing([f"s{i}" for i in range(4)])
+        before = {k: ring.primary(k) for k in self.KEYS}
+        ring.remove("s2")
+        moved = [k for k in self.KEYS if ring.primary(k) != before[k]]
+        assert moved, "s2 owned some keys"
+        assert all(before[k] == "s2" for k in moved)
+        # ~1/N of keys move; allow generous slack around 100/400.
+        assert len(moved) < len(self.KEYS) / 2
+
+    def test_join_moves_keys_only_onto_the_joiner(self):
+        ring = ConsistentHashRing(["s0", "s1", "s2"])
+        before = {k: ring.primary(k) for k in self.KEYS}
+        ring.add("s3")
+        moved = {k: ring.primary(k) for k in self.KEYS if ring.primary(k) != before[k]}
+        assert moved, "the joiner takes over some keys"
+        assert set(moved.values()) == {"s3"}
+
+    def test_leave_then_rejoin_restores_the_exact_placement(self):
+        ring = ConsistentHashRing([f"s{i}" for i in range(4)])
+        before = {k: ring.primary(k) for k in self.KEYS}
+        ring.remove("s1")
+        ring.add("s1")
+        assert {k: ring.primary(k) for k in self.KEYS} == before
+
+    def test_candidates_are_distinct_and_lead_with_the_primary(self):
+        ring = ConsistentHashRing([f"s{i}" for i in range(4)])
+        for key in self.KEYS[:50]:
+            cands = ring.candidates(key, 3)
+            assert len(cands) == len(set(cands)) == 3
+            assert cands[0] == ring.primary(key)
+
+    def test_candidates_bounded_by_fleet_size(self):
+        ring = ConsistentHashRing(["s0", "s1"])
+        assert len(ring.candidates("k", 5)) == 2
+
+    def test_empty_ring_and_duplicates_fail_loudly(self):
+        ring = ConsistentHashRing()
+        with pytest.raises(KeyError):
+            ring.primary("k")
+        ring.add("s0")
+        with pytest.raises(ValueError):
+            ring.add("s0")
+        with pytest.raises(KeyError):
+            ring.remove("missing")
+
+
+# ---------------------------------------------------------------------------
+# circuit breaker (fake clock: the full cycle without sleeping)
+# ---------------------------------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def _breaker(self, **kw):
+        clock = {"now": 0.0}
+        breaker = CircuitBreaker(clock=lambda: clock["now"], **kw)
+        return breaker, clock
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker, _ = self._breaker(threshold=3, cooldown=1.0)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open" and not breaker.allow()
+        assert breaker.opens == 1
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker, _ = self._breaker(threshold=2, cooldown=1.0)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_admits_one_probe_then_closes_on_success(self):
+        breaker, clock = self._breaker(threshold=1, cooldown=1.0)
+        breaker.record_failure()
+        assert breaker.state == "open" and not breaker.allow()
+        clock["now"] = 1.5  # cooldown elapsed
+        assert breaker.allow()  # the probe
+        assert breaker.state == "half-open"
+        assert not breaker.allow()  # concurrent traffic still blocked
+        breaker.record_success()
+        assert breaker.state == "closed" and breaker.allow()
+
+    def test_half_open_failure_reopens_and_restarts_cooldown(self):
+        breaker, clock = self._breaker(threshold=1, cooldown=1.0)
+        breaker.record_failure()
+        clock["now"] = 1.5
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open" and breaker.opens == 2
+        clock["now"] = 2.0  # only 0.5 since reopen: still open
+        assert not breaker.allow()
+        clock["now"] = 2.6
+        assert breaker.allow()
+
+    def test_reset_force_closes(self):
+        breaker, _ = self._breaker(threshold=1, cooldown=100.0)
+        breaker.record_failure()
+        breaker.reset()
+        assert breaker.state == "closed" and breaker.allow()
+
+
+# ---------------------------------------------------------------------------
+# brownout + priority
+# ---------------------------------------------------------------------------
+
+
+class TestBrownout:
+    def test_below_start_sheds_nothing(self):
+        assert brownout_threshold(0, 100, start=0.85) == 0
+        assert brownout_threshold(84, 100, start=0.85) == 0
+
+    def test_ramps_with_load_and_never_sheds_top_priority(self):
+        thresholds = [
+            brownout_threshold(load, 100, start=0.8) for load in (80, 90, 100, 150)
+        ]
+        assert thresholds == sorted(thresholds)  # monotone in load
+        assert thresholds[0] >= 1  # shedding begins at the start fraction
+        assert max(thresholds) <= protocol.MAX_PRIORITY  # priority 9 always passes
+
+    def test_no_capacity_means_no_shedding(self):
+        # Routing answers `unavailable` when no shard is live; brownout
+        # must not mask that as priority shedding.
+        assert brownout_threshold(10, 0, start=0.5) == 0
+
+    def test_request_priority_clamps_and_defaults(self):
+        assert protocol.request_priority({}) == protocol.DEFAULT_PRIORITY
+        assert protocol.request_priority({"priority": 7}) == 7
+        assert protocol.request_priority({"priority": -3}) == 0
+        assert protocol.request_priority({"priority": 99}) == protocol.MAX_PRIORITY
+        assert protocol.request_priority({"priority": "high"}) == protocol.DEFAULT_PRIORITY
+        assert protocol.request_priority({"priority": True}) == protocol.DEFAULT_PRIORITY
+
+
+# ---------------------------------------------------------------------------
+# shard fault plans
+# ---------------------------------------------------------------------------
+
+
+class TestShardFaultPlan:
+    def test_plan_indexes_by_arrival(self):
+        plan = ShardFaultPlan(
+            [ShardFaultSpec("kill", "shard-1", 4), ShardFaultSpec("drop", "shard-0", 9)]
+        )
+        assert plan.fault_at(4).kind == "kill"
+        assert plan.fault_at(9).shard == "shard-0"
+        assert plan.fault_at(5) is None
+        assert len(plan) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardFaultSpec("explode", "shard-0", 0)
+        with pytest.raises(ValueError):
+            ShardFaultSpec("kill", "shard-0", -1)
+        with pytest.raises(ValueError):
+            ShardFaultSpec("slow", "shard-0", 0, seconds=-0.1)
+        with pytest.raises(ValueError):
+            ShardFaultPlan(
+                [ShardFaultSpec("kill", "a", 3), ShardFaultSpec("hang", "b", 3)]
+            )
+
+
+# ---------------------------------------------------------------------------
+# live fleet: healthy-path routing
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def instances():
+    return [generate_instance(20, 3, seed=s) for s in (5, 6)]
+
+
+@pytest.fixture(scope="module")
+def trees():
+    rng = np.random.default_rng(2)
+    return ramped_half_and_half(paper_primitive_set(), 4, rng, min_depth=2, max_depth=4)
+
+
+@pytest.fixture(scope="module")
+def fleet(instances):
+    router = SolveRouter(instances=instances, n_shards=2, health_interval=0.1)
+    with start_router_in_thread(router) as handle:
+        yield router, handle.address
+
+
+def _price_vectors(instance, n, seed=9):
+    rng = np.random.default_rng(seed)
+    low, high = instance.price_bounds
+    return [rng.uniform(low, high) for _ in range(n)]
+
+
+class TestLiveRouting:
+    def test_ping_reports_router_and_protocol_version(self, fleet):
+        _, (host, port) = fleet
+        with ServeClient(host, port) as client:
+            reply = client.request({"op": "ping"})
+        assert reply["pong"] and reply["role"] == "router"
+        assert reply["version"] == protocol.PROTOCOL_VERSION
+
+    def test_pipelined_gaps_are_bit_identical_to_in_process(
+        self, fleet, instances, trees
+    ):
+        _, (host, port) = fleet
+        cases = [
+            (inst, prices, trees[i % len(trees)])
+            for i, inst in enumerate(instances * 3)
+            for prices in _price_vectors(inst, 2, seed=i)
+        ]
+        with ServeClient(host, port) as client:
+            requests = [
+                client.solve_request(prices, tree, instance=inst.digest)
+                for inst, prices, tree in cases
+            ]
+            replies = client.solve_many(requests)
+        assert all(r["ok"] for r in replies)
+        expected = [
+            LowerLevelEvaluator(inst, memo_size=0).evaluate_heuristic_fresh(p, t).gap
+            for inst, p, t in cases
+        ]
+        assert [r["gap"] for r in replies] == expected
+
+    def test_routing_is_cache_affinity_on_the_digest(self, fleet, instances, trees):
+        router, (host, port) = fleet
+        digest = instances[0].digest
+        expected_shard = router.ring.primary(digest)
+        with ServeClient(host, port) as client:
+            before = {
+                s["name"]: s["routed"] for s in client.request({"op": "shards"})["shards"]
+            }
+            for prices in _price_vectors(instances[0], 3, seed=31):
+                assert client.solve(prices, trees[0], instance=digest)["ok"]
+            after = {
+                s["name"]: s["routed"] for s in client.request({"op": "shards"})["shards"]
+            }
+        deltas = {name: after[name] - before[name] for name in after}
+        assert deltas[expected_shard] == 3
+        assert all(d == 0 for name, d in deltas.items() if name != expected_shard)
+
+    def test_topology_op_shape(self, fleet):
+        router, (host, port) = fleet
+        with ServeClient(host, port) as client:
+            shards = client.request({"op": "shards"})["shards"]
+        assert [s["name"] for s in shards] == list(router.shard_names)
+        for shard in shards:
+            assert shard["alive"] and shard["connected"]
+            assert shard["generation"] == 0 and shard["respawns"] == 0
+            assert shard["breaker"] == "closed"
+
+    def test_stats_include_fleet_extras(self, fleet):
+        _, (host, port) = fleet
+        with ServeClient(host, port) as client:
+            stats = client.stats()
+        assert stats["role"] == "router"
+        assert stats["n_shards"] == 2 and stats["live_shards"] == 2
+        assert stats["protocol_version"] == protocol.PROTOCOL_VERSION
+        for counter in ("routed", "failovers", "respawns", "brownout_shed"):
+            assert counter in stats
+
+    def test_shard_error_codes_pass_through(self, fleet, instances):
+        _, (host, port) = fleet
+        with ServeClient(host, port) as client:
+            reply = client.request(
+                {
+                    "op": "solve",
+                    "prices": [1.0] * instances[0].n_services,
+                    "heuristic": {"ref": "deadbeef00"},
+                    "instance": instances[0].digest,
+                }
+            )
+        assert not reply["ok"]
+        assert reply["error"] == "unknown-heuristic"
+
+    def test_ambiguous_instance_is_rejected_at_the_router(self, fleet):
+        # Two instances registered: a solve with no instance cannot route.
+        _, (host, port) = fleet
+        with ServeClient(host, port) as client:
+            reply = client.request(
+                {"op": "solve", "prices": [1.0], "heuristic": {"ref": "deadbeef00"}}
+            )
+        assert not reply["ok"] and reply["error"] == "bad-request"
+
+    def test_priority_field_is_accepted_and_served(self, fleet, instances, trees):
+        _, (host, port) = fleet
+        prices = _price_vectors(instances[0], 1, seed=77)[0]
+        with ServeClient(host, port) as client:
+            reply = client.solve(
+                prices, trees[0], instance=instances[0].digest, priority=9
+            )
+        assert reply["ok"]

@@ -1,0 +1,216 @@
+"""Router chaos suite: planned shard faults, zero request loss.
+
+The acceptance contract of the sharded serving layer: killing, hanging
+or disconnecting a shard mid-stream loses *nothing* — every request is
+answered, the served %-gaps are bit-identical to an unfaulted
+single-server run (solves are pure, any shard can serve any digest), and
+the fleet heals itself (respawn with a generation bump for dead/hung
+shards, plain reconnect for a dropped link).
+
+Faults are deterministic plans (:class:`~repro.parallel.ShardFaultPlan`:
+a named shard at a named router-arrival index), so each test asserts
+exact fault and respawn counts, not "something eventually recovered".
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bcpop.evaluate import LowerLevelEvaluator
+from repro.bcpop.generator import generate_instance
+from repro.gp.generate import ramped_half_and_half
+from repro.gp.primitives import paper_primitive_set
+from repro.parallel import ShardFaultPlan, ShardFaultSpec
+from repro.serve import (
+    RetryingServeClient,
+    ServeClient,
+    SolveRouter,
+    SolveServer,
+    start_in_thread,
+    start_router_in_thread,
+)
+
+N_SHARDS = 4
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return generate_instance(20, 3, seed=5)
+
+
+@pytest.fixture(scope="module")
+def trees():
+    rng = np.random.default_rng(2)
+    return ramped_half_and_half(paper_primitive_set(), 4, rng, min_depth=2, max_depth=4)
+
+
+@pytest.fixture(scope="module")
+def cases(instance, trees):
+    rng = np.random.default_rng(9)
+    low, high = instance.price_bounds
+    return [
+        (rng.uniform(low, high), trees[i % len(trees)]) for i in range(24)
+    ]
+
+
+@pytest.fixture(scope="module")
+def baseline_gaps(instance, cases):
+    """The unfaulted single-server run the chaos runs must match bit for
+    bit (itself pinned to in-process evaluation by tests/test_serve_server.py)."""
+    server = SolveServer(instances=[instance])
+    with start_in_thread(server) as handle:
+        with ServeClient(*handle.address) as client:
+            replies = client.solve_many(
+                [
+                    client.solve_request(prices, tree, instance=instance.digest)
+                    for prices, tree in cases
+                ]
+            )
+    assert all(r["ok"] for r in replies)
+    expected = [
+        LowerLevelEvaluator(instance, memo_size=0)
+        .evaluate_heuristic_fresh(prices, tree)
+        .gap
+        for prices, tree in cases
+    ]
+    assert [r["gap"] for r in replies] == expected
+    return [r["gap"] for r in replies]
+
+
+def _run_with_plan(instance, cases, plan, **router_kw):
+    """Serve all cases through a 4-shard fleet under ``plan``; returns
+    (gaps, stats, topology) after every reply arrived."""
+    router = SolveRouter(
+        instances=[instance],
+        n_shards=N_SHARDS,
+        health_interval=0.1,
+        health_timeout=0.5,
+        shard_fault_plan=plan,
+        **router_kw,
+    )
+    with start_router_in_thread(router) as handle:
+        host, port = handle.address
+        victim = router.ring.primary(instance.digest)
+        with RetryingServeClient(host, port, timeout=60.0, seed=0) as client:
+            replies = client.solve_many(
+                [
+                    client.solve_request(prices, tree, instance=instance.digest)
+                    for prices, tree in cases
+                ]
+            )
+            assert all(r["ok"] for r in replies), [
+                r for r in replies if not r["ok"]
+            ]
+            stats, topology = _await_recovery(client, plan)
+    return [r["gap"] for r in replies], stats, topology, victim
+
+
+def _await_recovery(client, plan, deadline_s=30.0):
+    """Poll until every faulted shard is alive + connected again."""
+    faulted = {spec.shard for spec in plan.specs}
+    deadline = time.monotonic() + deadline_s
+    while True:
+        topology = {
+            s["name"]: s for s in client.request({"op": "shards"})["shards"]
+        }
+        recovered = all(
+            topology[name]["alive"] and topology[name]["connected"]
+            for name in faulted
+        )
+        if recovered or time.monotonic() > deadline:
+            assert recovered, f"fleet did not heal in {deadline_s}s: {topology}"
+            return client.stats(), topology
+
+
+class TestKillShardMidStream:
+    def test_zero_loss_and_bit_identical_gaps(self, instance, cases, baseline_gaps):
+        # Build a throwaway router only to learn which shard owns the
+        # digest (ring placement is deterministic per fleet size), then
+        # plan the kill for that primary at arrival 6 — mid-stream, with
+        # requests already in flight on the victim.
+        probe = SolveRouter(instances=[instance], n_shards=N_SHARDS)
+        victim = probe.ring.primary(instance.digest)
+        plan = ShardFaultPlan([ShardFaultSpec("kill", victim, 6)])
+
+        gaps, stats, topology, primary = _run_with_plan(instance, cases, plan)
+        assert primary == victim
+        assert gaps == baseline_gaps  # zero loss, bit-identical
+        assert stats["shard_faults_injected"] == 1
+        assert stats["respawns"] == 1
+        assert stats["failovers"] > 0  # survivors took the victim's traffic
+        assert topology[victim]["generation"] == 1
+        assert topology[victim]["respawns"] == 1
+
+    def test_failback_after_respawn(self, instance, trees):
+        # After the respawned primary reconnects, its digest's traffic
+        # returns to it (the ring never changed; only liveness did).
+        probe = SolveRouter(instances=[instance], n_shards=N_SHARDS)
+        victim = probe.ring.primary(instance.digest)
+        plan = ShardFaultPlan([ShardFaultSpec("kill", victim, 0)])
+        router = SolveRouter(
+            instances=[instance],
+            n_shards=N_SHARDS,
+            health_interval=0.1,
+            health_timeout=0.5,
+            shard_fault_plan=plan,
+        )
+        rng = np.random.default_rng(3)
+        low, high = instance.price_bounds
+        with start_router_in_thread(router) as handle:
+            with RetryingServeClient(*handle.address, timeout=60.0, seed=0) as client:
+                # Arrival 0 kills the primary; the solve fails over.
+                assert client.solve(
+                    rng.uniform(low, high), trees[0], instance=instance.digest
+                )["ok"]
+                _await_recovery(client, plan)
+                before = {
+                    s["name"]: s["routed"]
+                    for s in client.request({"op": "shards"})["shards"]
+                }
+                assert client.solve(
+                    rng.uniform(low, high), trees[1], instance=instance.digest
+                )["ok"]
+                after = {
+                    s["name"]: s["routed"]
+                    for s in client.request({"op": "shards"})["shards"]
+                }
+        assert after[victim] == before[victim] + 1  # traffic failed back
+
+
+class TestHangShardMidStream:
+    def test_hung_shard_is_detected_and_replaced(
+        self, instance, cases, baseline_gaps
+    ):
+        # SIGSTOP: the process is alive, the socket stays open, nothing
+        # answers.  Only the health probe's deadline can see this; the
+        # respawn closes the link, failing pending solves over.
+        probe = SolveRouter(instances=[instance], n_shards=N_SHARDS)
+        victim = probe.ring.primary(instance.digest)
+        plan = ShardFaultPlan([ShardFaultSpec("hang", victim, 4)])
+
+        gaps, stats, topology, _ = _run_with_plan(instance, cases, plan)
+        assert gaps == baseline_gaps
+        assert stats["shard_faults_injected"] == 1
+        assert stats["health_failures"] >= 1  # the missed ping deadline
+        assert stats["respawns"] >= 1
+        assert topology[victim]["generation"] >= 1
+
+
+class TestDropLinkMidStream:
+    def test_dropped_link_reconnects_without_a_respawn(
+        self, instance, cases, baseline_gaps
+    ):
+        # Severing the router->shard connection must cost a reconnect,
+        # not a process replacement: the shard itself is healthy.
+        probe = SolveRouter(instances=[instance], n_shards=N_SHARDS)
+        victim = probe.ring.primary(instance.digest)
+        plan = ShardFaultPlan([ShardFaultSpec("drop", victim, 6)])
+
+        gaps, stats, topology, _ = _run_with_plan(instance, cases, plan)
+        assert gaps == baseline_gaps
+        assert stats["shard_faults_injected"] == 1
+        assert topology[victim]["generation"] == 0  # same process throughout
+        assert topology[victim]["respawns"] == 0

@@ -157,3 +157,77 @@ class TestPublishBestHeuristic:
         EngineLoop(algo, observers=[observer]).run(seed_label=0)
         assert observer.last_artifact is None
         assert len(registry) == 0
+
+
+class TestGenerationTaggedPromotion:
+    """promote/rollback are generation-tagged and atomic (DESIGN.md §14):
+    every pin change is an append-only history event, stale writers fail
+    loudly, and a rollback re-pins without rewriting the log."""
+
+    def test_promote_bumps_generation_and_records_history(self, registry):
+        trees = _some_trees(2)
+        a = registry.publish(trees[0], {"family": "f", "best_gap": 4.0})
+        b = registry.publish(trees[1], {"family": "f", "best_gap": 2.0})
+        assert registry.promotion_generation("f") == 0
+        registry.promote("f", a.artifact_id)
+        registry.promote("f", b.artifact_id)
+        assert registry.promotion_generation("f") == 2
+        history = registry.promotion_history("f")
+        assert [h["generation"] for h in history] == [1, 2]
+        assert history[0]["artifact_id"] == a.artifact_id
+        assert registry.promoted("f") == b.artifact_id
+
+    def test_explicit_generation_must_advance(self, registry):
+        tree = _some_trees(1)[0]
+        a = registry.publish(tree, {"family": "f", "best_gap": 1.0})
+        registry.promote("f", a.artifact_id, generation=5)
+        assert registry.promotion_generation("f") == 5
+        # A stale deploy replaying an old generation must not regress the pin.
+        with pytest.raises(ValueError):
+            registry.promote("f", a.artifact_id, generation=5)
+        with pytest.raises(ValueError):
+            registry.promote("f", a.artifact_id, generation=3)
+
+    def test_rollback_repins_and_stays_auditable(self, registry):
+        trees = _some_trees(2)
+        good = registry.publish(trees[0], {"family": "f", "best_gap": 2.0})
+        bad = registry.publish(trees[1], {"family": "f", "best_gap": 9.0})
+        registry.promote("f", good.artifact_id)   # generation 1
+        registry.promote("f", bad.artifact_id)    # generation 2: the regression
+        rolled = registry.rollback("f", 1)
+        assert rolled.artifact_id == good.artifact_id
+        assert registry.promoted("f") == good.artifact_id
+        # The rollback is a new generation, not an erasure of the log.
+        assert registry.promotion_generation("f") == 3
+        last = registry.promotion_history("f")[-1]
+        assert last["rolled_back_to"] == 1
+        # Serving resolution follows immediately (read-through per request).
+        assert registry.best_for("f").artifact_id == good.artifact_id
+
+    def test_rollback_unknown_targets_fail_loudly(self, registry):
+        tree = _some_trees(1)[0]
+        a = registry.publish(tree, {"family": "f", "best_gap": 1.0})
+        with pytest.raises(KeyError):
+            registry.rollback("f", 1)  # never promoted
+        registry.promote("f", a.artifact_id)
+        with pytest.raises(KeyError):
+            registry.rollback("f", 7)  # no such generation
+        with pytest.raises(KeyError):
+            registry.rollback("ghost", 1)  # no such family
+
+    def test_legacy_flat_promoted_file_still_reads(self, registry):
+        tree = _some_trees(1)[0]
+        a = registry.publish(tree, {"family": "f", "best_gap": 1.0})
+        # PR 3 wrote a flat {family: artifact_id} mapping.
+        (registry.root / "promoted.json").write_text(
+            json.dumps({"f": a.artifact_id})
+        )
+        assert registry.promoted("f") == a.artifact_id
+        assert registry.promotion_generation("f") == 1
+        # The next promotion upgrades the file to the tagged format.
+        b = registry.publish(tree, {"family": "f", "best_gap": 0.5, "tag": "v2"})
+        registry.promote("f", b.artifact_id)
+        document = json.loads((registry.root / "promoted.json").read_text())
+        assert document["format"] == "repro-promotions"
+        assert registry.promotion_generation("f") == 2
+        assert registry.rollback("f", 1).artifact_id == a.artifact_id
