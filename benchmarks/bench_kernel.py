@@ -136,6 +136,7 @@ def run_end_to_end(
 
     for a, b in zip(out_interp, out_comp):
         assert np.array_equal(a.selection, b.selection)
+        # repro-lint: disable-next-line=R004  # bit-identity between interpreter and bytecode is the contract; tolerance would mask drift
         assert a.ll_cost == b.ll_cost and a.gap == b.gap
 
     return {

@@ -140,6 +140,7 @@ class TestBatchedPipelineSpeedup:
 
         # Identical results, substrate notwithstanding.
         for a, b in zip(serial_out, parallel_out):
+            # repro-lint: disable-next-line=R004  # serial-vs-parallel bit-identity is the guarantee under test; tolerance would mask drift
             assert a.gap == b.gap and a.revenue == b.revenue
         speedup = t_serial / t_parallel
         print(

@@ -34,5 +34,7 @@ def test_bench_config_construction(benchmark):
         return CarbonConfig.paper(), CobraConfig.paper()
 
     carbon, cobra = benchmark(build)
+    # repro-lint: disable-next-line=R004  # integer evaluation budgets, not float fitness values
     assert carbon.upper.fitness_evaluations == 50_000
+    # repro-lint: disable-next-line=R004  # integer evaluation budgets, not float fitness values
     assert cobra.ll_fitness_evaluations == 50_000

@@ -19,6 +19,16 @@ run.  The rule catalogue lives in :mod:`repro.analysis.rules` (codes
 ``R001``–``R010``; DESIGN.md §12 maps each rule to the invariant it
 protects and the PR that relied on it).  :mod:`repro.analysis.typing_gate`
 is the companion ratchet for the mypy-strict baseline.
+
+Hazards that *travel* — an RNG created in one module and consumed three
+calls away, a closure crossing the spawn boundary through a helper, a
+protocol op sent but never dispatched — are the province of
+:mod:`repro.analysis.flow` (``repro-flow``): whole-program call-graph +
+taint dataflow with interprocedural summaries, F-rule catalogue
+``F001``–``F203``, and its own shrink-only baseline
+(``flow-baseline.txt``).  DESIGN.md §15 documents the engine.
+:mod:`repro.analysis.sarif` serializes findings from either tool to
+SARIF 2.1.0 for code-scanning upload.
 """
 
 from repro.analysis.config import LintConfig, RuleConfig, load_config

@@ -4,8 +4,10 @@ Usage::
 
     repro-lint src/                  # lint a tree, ruff-style output
     repro-lint --format json src/    # machine-readable findings
+    repro-lint --format sarif src/   # GitHub code-scanning upload
     repro-lint --list-rules          # the R001..R010 catalogue
     repro-lint --select R001,R007 f.py
+    repro-lint --flow src/repro      # delegate to repro-flow (F-rules)
 
 Exit codes: 0 clean, 1 findings, 2 parse/usage errors.  Configuration
 is read from the nearest ``pyproject.toml``'s ``[tool.repro-lint]``
@@ -38,7 +40,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("paths", nargs="*", help="files or directories to lint")
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text", dest="format_",
+        "--format", choices=("text", "json", "sarif"), default="text", dest="format_",
         help="diagnostic output format (default: text)",
     )
     parser.add_argument(
@@ -56,12 +58,26 @@ def _build_parser() -> argparse.ArgumentParser:
         "--statistics", action="store_true",
         help="append a per-rule findings count summary",
     )
+    # Documentation only: `--flow` is intercepted in main() before parsing
+    # and delegates every remaining argument to repro-flow.
+    parser.add_argument(
+        "--flow", action="store_true",
+        help="run the whole-program dataflow analyzer (repro-flow) instead",
+    )
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if "--flow" in arguments:
+        # Delegate to the whole-program analyzer; every other flag is
+        # interpreted by repro-flow (same exit-code contract).
+        from repro.analysis.flow.cli import main as flow_main
+
+        arguments.remove("--flow")
+        return flow_main(arguments)
     try:
-        return _run(argv)
+        return _run(arguments)
     except BrokenPipeError:
         # Downstream closed early (`repro-lint ... | head`); exiting
         # through the normal path would just traceback on stream flush.
@@ -101,7 +117,12 @@ def _run(argv: Sequence[str] | None) -> int:
     engine = LintEngine(config=load_config(pyproject), select=select)
     findings = engine.lint_paths(args.paths)
 
-    if args.format_ == "json":
+    if args.format_ == "sarif":
+        from repro.analysis.sarif import render_sarif
+
+        summaries = {rule.code: rule.summary for rule in ALL_RULES}
+        print(render_sarif(findings, "repro-lint", summaries))
+    elif args.format_ == "json":
         print(
             json.dumps(
                 {

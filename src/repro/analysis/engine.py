@@ -28,7 +28,7 @@ __all__ = ["LintEngine", "ParseError", "lint_source", "lint_paths"]
 
 _PRAGMA = re.compile(
     r"#\s*repro-lint:\s*(?P<kind>disable(?:-next-line|-file)?)\s*=\s*"
-    r"(?P<codes>(?:all|R\d{3})(?:\s*,\s*(?:all|R\d{3}))*)"
+    r"(?P<codes>(?:all|[RF]\d{3})(?:\s*,\s*(?:all|[RF]\d{3}))*)"
 )
 
 

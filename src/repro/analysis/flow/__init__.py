@@ -1,0 +1,35 @@
+"""Whole-program dataflow analysis (``repro-flow``).
+
+Layers, bottom to top:
+
+* :mod:`~repro.analysis.flow.project` — all modules under a package
+  root, parsed once, with module-level name resolution and a static
+  class hierarchy;
+* :mod:`~repro.analysis.flow.callgraph` — deterministic call graph
+  (annotation-based dispatch, subclass fan-out, ``functools.partial``);
+* :mod:`~repro.analysis.flow.dataflow` — forward taint with per-function
+  summaries composed interprocedurally to a fixpoint;
+* :mod:`~repro.analysis.flow.checks` — the F-rule catalogue (F001–F003
+  determinism taint, F101 process-boundary safety, F201–F203
+  wire-protocol conformance);
+* :mod:`~repro.analysis.flow.baseline` / :mod:`~repro.analysis.flow.cli`
+  — the shrink-only findings ratchet and the ``repro-flow`` CLI.
+"""
+
+from repro.analysis.flow.callgraph import CallGraph, CallSite, build_call_graph
+from repro.analysis.flow.checks import FLOW_RULES, analyze_project, flow_diagnostics
+from repro.analysis.flow.dataflow import DataflowResult, Summary, analyze_dataflow
+from repro.analysis.flow.project import Project
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "DataflowResult",
+    "FLOW_RULES",
+    "Project",
+    "Summary",
+    "analyze_dataflow",
+    "analyze_project",
+    "build_call_graph",
+    "flow_diagnostics",
+]

@@ -1,0 +1,86 @@
+"""The flow-findings baseline ratchet (``flow-baseline.txt``).
+
+Mirrors :mod:`repro.analysis.typing_gate`: the committed baseline records
+how many findings each ``<path>:<code>`` bucket is *allowed* to carry
+(today: zero — every true finding was fixed or pragma'd in-source).  The
+CI gate fails whenever any bucket grows or a new bucket appears; a
+shrink is a warning to ratchet the baseline down with ``--update``.  The
+budget can therefore only ever move toward zero.
+
+The bucket key is ``path:code`` rather than the full finding text so the
+ratchet is stable under unrelated line-number drift while still pinning
+*which file* may carry *which rule*.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.analysis.diagnostics import Diagnostic
+
+__all__ = ["BASELINE_FILE", "bucket_counts", "load_baseline", "write_baseline", "check"]
+
+BASELINE_FILE = "flow-baseline.txt"
+
+_BASELINE_LINE = re.compile(r"^(?P<key>\S+)\s+(?P<count>\d+)$")
+
+
+def bucket_counts(findings: list[Diagnostic]) -> dict[str, int]:
+    """``{"src/repro/serve/client.py:F202": 1, ...}`` for a findings list."""
+    counts: dict[str, int] = {}
+    for diagnostic in findings:
+        key = f"{diagnostic.path}:{diagnostic.code}"
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def load_baseline(path: Path) -> dict[str, int]:
+    """Parse ``<key> <count>`` lines; ``#`` comments and blanks skipped."""
+    budget: dict[str, int] = {}
+    if not path.is_file():
+        return budget
+    for raw in path.read_text(encoding="utf-8").splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _BASELINE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"{path}: malformed baseline line: {raw!r}")
+        budget[match.group("key")] = int(match.group("count"))
+    return budget
+
+
+def write_baseline(path: Path, counts: dict[str, int]) -> None:
+    lines = [
+        "# repro-flow findings budget (whole-program dataflow analysis).",
+        "# The gate (repro-flow --check) fails when any bucket grows or a new",
+        "# bucket appears; regenerate with --update only to ratchet DOWN.",
+        f"total-findings {sum(counts.values())}",
+    ]
+    lines.extend(f"{key} {count}" for key, count in sorted(counts.items()))
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def check(findings: list[Diagnostic], budget: dict[str, int]) -> tuple[list[str], list[str]]:
+    """``(failures, warnings)`` for the shrink-only ratchet."""
+    counts = bucket_counts(findings)
+    failures: list[str] = []
+    warnings: list[str] = []
+    total = sum(counts.values())
+    allowed_total = budget.get("total-findings", 0)
+    if total > allowed_total:
+        failures.append(
+            f"flow finding count grew: {total} > budget {allowed_total} "
+            "(fix the new findings, or justify with a pragma)"
+        )
+    elif total < allowed_total:
+        warnings.append(
+            f"flow findings shrank ({total} < {allowed_total}): "
+            "run --update to ratchet the budget down"
+        )
+    for key, count in sorted(counts.items()):
+        allowed = budget.get(key, 0)
+        if count > allowed:
+            failures.append(f"{key}: {count} findings > budget {allowed}")
+    return failures, warnings

@@ -1,0 +1,248 @@
+"""Call-graph construction over a :class:`~repro.analysis.flow.project.Project`.
+
+One node per project function (fully-qualified name), one edge per
+statically-resolvable call site.  Resolution handles, in order:
+
+* plain names and dotted module attributes (through the module's
+  bindings, re-exports included);
+* ``self.method()`` / ``cls.method()`` inside a class, walking the
+  static MRO **and** fanning out to project subclasses that override the
+  method — the whole-program answer to the ``EngineAlgorithm`` pattern,
+  where the variable's declared type is the base class but the body that
+  runs belongs to a subclass;
+* parameter/variable annotations (``x: SolveServer``) and local
+  constructor assignments (``x = SolveServer(...)``) as type evidence
+  for ``x.method()`` dispatch;
+* ``functools.partial(f, ...)`` — an edge to ``f`` (the call is
+  deferred, not absent);
+* decorated functions — the decorated def stays the target (unknown
+  decorators are assumed wrapping, which over-approximates reachability
+  but never loses an edge).
+
+Unresolvable calls (builtins, external libraries, true dynamism) are
+recorded as *external* by their dotted text, so the dataflow pass can
+still pattern-match sources/sinks on them.  All outputs are sorted;
+nothing depends on ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.flow.project import (
+    FunctionInfo,
+    ModuleInfo,
+    Project,
+    walk_own_scope,
+)
+
+__all__ = ["CallSite", "CallGraph", "build_call_graph", "LocalTypes", "dotted_name"]
+
+
+def dotted_name(node: ast.expr) -> str:
+    """``a.b.c`` for an attribute chain rooted at a Name, else ``""``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside one caller."""
+
+    caller: str  # qualified caller function
+    raw: str  # the dotted text as written ("protocol.encode", "self._route")
+    targets: tuple[str, ...]  # resolved qualified callees (may be empty)
+    line: int
+    col: int
+
+
+class LocalTypes:
+    """Static type evidence for the locals of one function.
+
+    Sources of evidence, all conservative:
+
+    * parameter annotations (``def f(x: SolveServer)``);
+    * annotated assignments (``x: SolveServer = ...``);
+    * direct constructor calls (``x = SolveServer(...)``);
+    * ``self``/``cls`` inside a method (the owning class).
+    """
+
+    def __init__(self, project: Project, module: ModuleInfo, func: FunctionInfo) -> None:
+        self._types: dict[str, str] = {}
+        self.project = project
+        self.module = module
+        args = func.node.args
+        all_args = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+        if args.vararg is not None:
+            all_args.append(args.vararg)
+        if args.kwarg is not None:
+            all_args.append(args.kwarg)
+        for arg in all_args:
+            if arg.annotation is not None:
+                resolved = self._resolve_annotation(arg.annotation)
+                if resolved is not None:
+                    self._types[arg.arg] = resolved
+        if func.cls is not None and all_args and all_args[0].arg in ("self", "cls"):
+            self._types[all_args[0].arg] = func.cls
+        for stmt in walk_own_scope(func.node):
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                resolved = self._resolve_annotation(stmt.annotation)
+                if resolved is not None:
+                    self._types[stmt.target.id] = resolved
+            elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name) and isinstance(stmt.value, ast.Call):
+                    dotted = dotted_name(stmt.value.func)
+                    if dotted:
+                        resolved = project.resolve(module, dotted)
+                        if resolved is not None and resolved in project.classes:
+                            self._types[target.id] = resolved
+
+    def _resolve_annotation(self, annotation: ast.expr) -> str | None:
+        """A class qualname for a simple annotation, else ``None``.
+
+        ``X | None`` and ``Optional[X]``-style annotations resolve to
+        ``X``; string annotations are parsed; subscripts take the base.
+        """
+        if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+            try:
+                annotation = ast.parse(annotation.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+            for side in (annotation.left, annotation.right):
+                if not (isinstance(side, ast.Constant) and side.value is None):
+                    return self._resolve_annotation(side)
+            return None
+        if isinstance(annotation, ast.Subscript):
+            base = dotted_name(annotation.value)
+            if base.rpartition(".")[2] == "Optional":
+                return self._resolve_annotation(annotation.slice)
+            return None
+        dotted = dotted_name(annotation)
+        if not dotted:
+            return None
+        resolved = self.project.resolve(self.module, dotted)
+        if resolved is not None and resolved in self.project.classes:
+            return resolved
+        return None
+
+    def type_of(self, name: str) -> str | None:
+        return self._types.get(name)
+
+
+@dataclass
+class CallGraph:
+    """Edges + per-caller call sites, all deterministically ordered."""
+
+    project: Project
+    sites: list[CallSite] = field(default_factory=list)
+    edges: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+    def callees(self, qualname: str) -> tuple[str, ...]:
+        return self.edges.get(qualname, ())
+
+    def callers_of(self, qualname: str) -> tuple[str, ...]:
+        out = [
+            caller
+            for caller, callees in sorted(self.edges.items())
+            if qualname in callees
+        ]
+        return tuple(out)
+
+
+_PARTIAL_NAMES = frozenset({"functools.partial", "partial"})
+
+
+def resolve_call(
+    project: Project,
+    module: ModuleInfo,
+    func: FunctionInfo,
+    types: LocalTypes,
+    call: ast.Call,
+) -> tuple[str, tuple[str, ...]]:
+    """``(raw_text, resolved_targets)`` for one call expression."""
+    raw = dotted_name(call.func)
+    if not raw:
+        return "", ()
+    head, _, rest = raw.partition(".")
+    # Local variable / parameter with known class type: method dispatch.
+    receiver_type = types.type_of(head)
+    if receiver_type is not None and rest:
+        method_chain = rest.split(".")
+        if len(method_chain) == 1:
+            targets = project.dispatch_targets(receiver_type, method_chain[0])
+            return raw, tuple(t.qualname for t in targets)
+        return raw, ()
+    # Nested function defined in an enclosing scope of this function.
+    scope_parts = func.qualname.split(".")
+    for depth in range(len(scope_parts), 0, -1):
+        candidate = ".".join([*scope_parts[:depth], raw])
+        if candidate in project.functions:
+            return raw, (candidate,)
+    resolved = project.resolve(module, raw)
+    if resolved is None:
+        return raw, ()
+    if resolved in project.functions:
+        return raw, (resolved,)
+    if resolved in project.classes:
+        # Constructor: the call lands on __init__ when the project has one.
+        init = project.resolve_method(resolved, "__init__")
+        return raw, (init.qualname,) if init is not None else (resolved,)
+    # `module.Class.method` spelled explicitly.
+    prefix, _, attr = resolved.rpartition(".")
+    if prefix in project.classes:
+        targets = project.dispatch_targets(prefix, attr)
+        if targets:
+            return raw, tuple(t.qualname for t in targets)
+    return raw, ()
+
+
+def build_call_graph(project: Project) -> CallGraph:
+    """The deterministic whole-program call graph."""
+    graph = CallGraph(project)
+    edges: dict[str, list[str]] = {}
+    for func in project.iter_functions():
+        module = project.modules.get(func.module)
+        if module is None:  # pragma: no cover - functions always have modules
+            continue
+        types = LocalTypes(project, module, func)
+        callees: list[str] = []
+        for node in walk_own_scope(func.node):
+            if not isinstance(node, ast.Call):
+                continue
+            raw, targets = resolve_call(project, module, func, types, node)
+            # functools.partial defers the call; edge to the wrapped fn.
+            if raw in _PARTIAL_NAMES and node.args:
+                inner = dotted_name(node.args[0])
+                if inner:
+                    _, inner_targets = resolve_call(
+                        project, module, func, types,
+                        ast.Call(func=node.args[0], args=[], keywords=[]),
+                    )
+                    targets = tuple(dict.fromkeys([*targets, *inner_targets]))
+            if raw:
+                graph.sites.append(
+                    CallSite(
+                        caller=func.qualname,
+                        raw=raw,
+                        targets=targets,
+                        line=node.lineno,
+                        col=node.col_offset,
+                    )
+                )
+            callees.extend(targets)
+        edges[func.qualname] = callees
+    graph.sites.sort(key=lambda s: (s.caller, s.line, s.col, s.raw))
+    graph.edges = {
+        caller: tuple(sorted(dict.fromkeys(callees)))
+        for caller, callees in sorted(edges.items())
+    }
+    return graph

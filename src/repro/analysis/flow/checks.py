@@ -1,0 +1,341 @@
+"""The F-rule catalogue: whole-program findings as R-style diagnostics.
+
+Three families on top of the dataflow engine:
+
+* **F1 determinism taint** (F001 rng, F002 clock, F003 iteration order) —
+  a nondeterministic value reaches a determinism sink: a fitness/gap
+  value, an ``EvaluationMemo`` key, a ``stable_hash``/digest input, or a
+  checkpoint ``state_dict`` payload.
+* **F2 process-boundary safety** (F101) — a statically-unpicklable value
+  (lambda, nested closure, lock, generator, open handle) reaches a
+  process boundary: an executor submit path, a ``ProcessExecutor``/
+  ``ShardSpec`` constructor, or a spawn-context ``Process``.  Unlike
+  R009 this is interprocedural: the lambda may be created three calls
+  away from the ``.map()``.
+* **F3 wire-protocol conformance** (F201/F202/F203) — the set of ``op``
+  literals clients send is balanced against the set servers dispatch,
+  and reply fields clients destructure must be constructed by some
+  reply builder.  Protects the v2 priority/brownout protocol as it
+  grows to multi-host.
+
+All findings are :class:`~repro.analysis.diagnostics.Diagnostic` rows in
+the F-number range, so the pragma machinery, ``--select``, and the JSON/
+SARIF formatters are shared with ``repro-lint`` unchanged.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.engine import _collect_pragmas
+from repro.analysis.flow.dataflow import analyze_dataflow
+from repro.analysis.flow.project import Project
+
+__all__ = ["FLOW_RULES", "analyze_project", "flow_diagnostics"]
+
+#: code -> one-line description (mirrors repro-lint's ALL_RULES table).
+FLOW_RULES = {
+    "F000": "file could not be parsed (reported, never silently skipped)",
+    "F001": "unseeded RNG value reaches a determinism sink",
+    "F002": "wall-clock value reaches a determinism sink",
+    "F003": "unordered-iteration value reaches a determinism sink",
+    "F101": "unpicklable value crosses a process boundary",
+    "F201": "protocol op is sent but no server dispatch handles it",
+    "F202": "protocol op is dispatched but no client ever sends it",
+    "F203": "reply field is destructured by clients but never constructed",
+}
+
+_TAG_CODE = {"rng": "F001", "clock": "F002", "order": "F003"}
+_TAG_TEXT = {
+    "rng": "unseeded RNG",
+    "clock": "wall-clock",
+    "order": "unordered-iteration",
+}
+_SINK_TEXT = {
+    "hash-input": "a stable-hash/digest input",
+    "memo-key": "an EvaluationMemo key",
+    "checkpoint-state": "a checkpoint state_dict payload",
+    "fitness-value": "a fitness/gap value",
+}
+_PICKLE_TEXT = {
+    "lambda": "a lambda",
+    "nested": "a nested function (closure)",
+    "lock": "a lock/synchronization primitive",
+    "generator": "a generator",
+    "handle": "an open OS handle",
+}
+
+#: Reply fields every response carries (or may carry) by construction.
+_ENVELOPE_KEYS = frozenset({"ok", "id", "error", "message"})
+
+
+# -- F1/F2: dataflow-backed findings -----------------------------------------
+
+
+def _dataflow_diagnostics(project: Project) -> list[Diagnostic]:
+    result = analyze_dataflow(project)
+    out: list[Diagnostic] = []
+    for hit in result.sink_hits:
+        kind, _, origin = hit.tag.partition("@")
+        code = _TAG_CODE.get(kind)
+        if code is None:  # pragma: no cover - sink_hits are pre-filtered
+            continue
+        sink_text = _SINK_TEXT.get(hit.sink, hit.sink)
+        out.append(
+            Diagnostic(
+                path=hit.path,
+                line=hit.line,
+                col=hit.col,
+                code=code,
+                message=(
+                    f"{_TAG_TEXT[kind]} value reaches {sink_text} in "
+                    f"{hit.function} (source: {origin})"
+                ),
+            )
+        )
+    for hit in result.boundary_hits:
+        pickle_kind = hit.tag.partition("@")[0].partition(":")[2]
+        origin = hit.tag.partition("@")[2]
+        out.append(
+            Diagnostic(
+                path=hit.path,
+                line=hit.line,
+                col=hit.col,
+                code="F101",
+                message=(
+                    f"{_PICKLE_TEXT.get(pickle_kind, pickle_kind)} crosses the "
+                    f"process boundary {hit.boundary} in {hit.function} "
+                    f"(created at {origin})"
+                ),
+            )
+        )
+    return out
+
+
+# -- F3: wire-protocol conformance --------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Site:
+    path: str
+    line: int
+    col: int
+
+
+@dataclass
+class _Protocol:
+    """Everything the conformance check extracts from the project."""
+
+    sent: dict[str, list[_Site]] = field(default_factory=dict)
+    handled: dict[str, list[_Site]] = field(default_factory=dict)
+    constructed: set[str] = field(default_factory=set)
+    destructured: dict[str, list[_Site]] = field(default_factory=dict)
+
+
+def _op_literal(node: ast.Dict) -> tuple[str, bool] | None:
+    """``(op, True)`` when this dict literal carries a constant ``"op"``."""
+    for key, value in zip(node.keys, node.values):
+        if (
+            isinstance(key, ast.Constant)
+            and key.value == "op"
+            and isinstance(value, ast.Constant)
+            and isinstance(value.value, str)
+        ):
+            return value.value, True
+    return None
+
+
+def _is_get_op(node: ast.expr) -> bool:
+    """``<expr>.get("op"[, default])``."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "get"
+        and bool(node.args)
+        and isinstance(node.args[0], ast.Constant)
+        and node.args[0].value == "op"
+    )
+
+
+def _extract_protocol(project: Project) -> _Protocol:
+    proto = _Protocol()
+    for module in project.iter_modules():
+        path = str(module.path)
+        basename = module.name.rpartition(".")[2]
+        is_client = "client" in basename
+        is_protocol = "protocol" in basename
+        op_vars: set[str] = set()
+        # Pass 1: names bound from `<expr>.get("op")` are dispatch vars.
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign) and _is_get_op(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        op_vars.add(target.id)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Dict):
+                hit = _op_literal(node)
+                if hit is not None:
+                    site = _Site(path, node.lineno, node.col_offset)
+                    proto.sent.setdefault(hit[0], []).append(site)
+                if is_client or is_protocol:
+                    # Request/reply builders: every constant key this side
+                    # writes is, by definition, constructed.
+                    for key in node.keys:
+                        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                            proto.constructed.add(key.value)
+            elif isinstance(node, ast.Compare):
+                left = node.left
+                is_dispatch = (
+                    isinstance(left, ast.Name) and left.id in op_vars
+                ) or _is_get_op(left)
+                if not is_dispatch or len(node.ops) != 1:
+                    continue
+                site = _Site(path, node.lineno, node.col_offset)
+                op, comparator = node.ops[0], node.comparators[0]
+                if isinstance(op, ast.Eq) and isinstance(comparator, ast.Constant):
+                    if isinstance(comparator.value, str):
+                        proto.handled.setdefault(comparator.value, []).append(site)
+                elif isinstance(op, ast.In) and isinstance(comparator, (ast.Tuple, ast.Set, ast.List)):
+                    for element in comparator.elts:
+                        if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                            proto.handled.setdefault(element.value, []).append(site)
+            elif isinstance(node, ast.Call):
+                func = node.func
+                tail = func.attr if isinstance(func, ast.Attribute) else (
+                    func.id if isinstance(func, ast.Name) else ""
+                )
+                # Reply builders: ok_response(request, stats=...) constructs
+                # the "stats" field; solve_response's payload dict literal is
+                # picked up by the protocol-module dict scan above.
+                if tail in ("ok_response", "solve_response"):
+                    for keyword in node.keywords:
+                        if keyword.arg is not None:
+                            proto.constructed.add(keyword.arg)
+                elif (
+                    is_client
+                    and tail == "get"
+                    and isinstance(func, ast.Attribute)
+                    and node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)
+                ):
+                    proto.destructured.setdefault(node.args[0].value, []).append(
+                        _Site(path, node.lineno, node.col_offset)
+                    )
+            elif isinstance(node, ast.Assign):
+                # `response["brownout"] = True` constructs a reply field.
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.slice, ast.Constant)
+                        and isinstance(target.slice.value, str)
+                    ):
+                        proto.constructed.add(target.slice.value)
+            elif (
+                is_client
+                and isinstance(node, ast.Subscript)
+                and isinstance(node.ctx, ast.Load)
+                and isinstance(node.slice, ast.Constant)
+                and isinstance(node.slice.value, str)
+            ):
+                proto.destructured.setdefault(node.slice.value, []).append(
+                    _Site(path, node.lineno, node.col_offset)
+                )
+    return proto
+
+
+def _protocol_diagnostics(project: Project) -> list[Diagnostic]:
+    proto = _extract_protocol(project)
+    if not proto.sent and not proto.handled:
+        return []  # project has no wire protocol at all
+    out: list[Diagnostic] = []
+    for op in sorted(proto.sent):
+        if op not in proto.handled:
+            for site in proto.sent[op]:
+                out.append(
+                    Diagnostic(
+                        path=site.path,
+                        line=site.line,
+                        col=site.col,
+                        code="F201",
+                        message=(
+                            f'op "{op}" is sent here but no server/router '
+                            "dispatch handles it (dead request: clients get "
+                            "unknown-op errors)"
+                        ),
+                    )
+                )
+    for op in sorted(proto.handled):
+        if op not in proto.sent:
+            for site in proto.handled[op]:
+                out.append(
+                    Diagnostic(
+                        path=site.path,
+                        line=site.line,
+                        col=site.col,
+                        code="F202",
+                        message=(
+                            f'op "{op}" is dispatched here but no client ever '
+                            "sends it (dead handler, or a missing client method)"
+                        ),
+                    )
+                )
+    constructed = proto.constructed | _ENVELOPE_KEYS
+    for key in sorted(proto.destructured):
+        if key not in constructed:
+            for site in proto.destructured[key]:
+                out.append(
+                    Diagnostic(
+                        path=site.path,
+                        line=site.line,
+                        col=site.col,
+                        code="F203",
+                        message=(
+                            f'reply field "{key}" is destructured here but no '
+                            "reply builder constructs it (KeyError/None at "
+                            "runtime)"
+                        ),
+                    )
+                )
+    return out
+
+
+# -- orchestration -------------------------------------------------------------
+
+
+def flow_diagnostics(project: Project) -> list[Diagnostic]:
+    """All F-findings for an already-loaded project, pragma-filtered,
+    deduplicated, and deterministically ordered."""
+    diagnostics = [
+        Diagnostic(path=path, line=1, col=0, code="F000", message=message)
+        for path, message in sorted(project.parse_errors)
+    ]
+    diagnostics.extend(_dataflow_diagnostics(project))
+    diagnostics.extend(_protocol_diagnostics(project))
+    pragma_cache = {
+        str(module.path): _collect_pragmas(module.source)
+        for module in project.iter_modules()
+    }
+    kept = []
+    for diagnostic in diagnostics:
+        pragmas = pragma_cache.get(diagnostic.path)
+        if pragmas is not None and pragmas.suppressed(diagnostic):
+            continue
+        kept.append(diagnostic)
+    return sorted(set(kept))
+
+
+def analyze_project(
+    root: str | Path,
+    package: str | None = None,
+    select: set[str] | None = None,
+) -> list[Diagnostic]:
+    """Load ``root`` as a project and run every F-rule over it."""
+    project = Project.load(root, package)
+    diagnostics = flow_diagnostics(project)
+    if select:
+        diagnostics = [d for d in diagnostics if d.code in select]
+    return diagnostics

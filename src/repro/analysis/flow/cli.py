@@ -1,0 +1,180 @@
+"""``repro-flow`` — whole-program dataflow analysis CLI.
+
+Usage::
+
+    repro-flow src/repro                  # analyze a package tree
+    repro-flow --check src/repro          # CI gate against flow-baseline.txt
+    repro-flow --update src/repro         # ratchet the baseline down
+    repro-flow --format json src/repro    # machine-readable findings
+    repro-flow --format sarif src/repro   # GitHub code-scanning upload
+    repro-flow --select F201,F202 src/repro
+    repro-flow --list-rules
+
+Also reachable as ``repro-lint --flow ...``.  Exit codes match
+``repro-lint``: 0 clean (or within baseline budget under ``--check``),
+1 findings (or budget exceeded), 2 usage/parse errors.
+
+Paths are package *roots* (whole-program analysis needs the full tree),
+not individual files.  Findings are byte-deterministic across runs and
+independent of ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.flow import baseline as baseline_mod
+from repro.analysis.flow.checks import FLOW_RULES, flow_diagnostics
+from repro.analysis.flow.project import Project
+from repro.analysis.sarif import render_sarif
+
+__all__ = ["main", "run_flow"]
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+DEFAULT_ROOT = "src/repro"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-flow",
+        description=(
+            "Whole-program dataflow analysis: determinism taint (F001-F003), "
+            "process-boundary safety (F101), wire-protocol conformance "
+            "(F201-F203)."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help=f"package root directories to analyze (default: {DEFAULT_ROOT})",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text", dest="format_",
+        help="finding output format (default: text)",
+    )
+    parser.add_argument(
+        "--select", metavar="CODES",
+        help="comma-separated F-codes to report (default: all)",
+    )
+    parser.add_argument(
+        "--package", metavar="NAME",
+        help="dotted package name for the root (default: directory name)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="gate against the committed baseline (shrink-only ratchet)",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the baseline from the current findings (ratchet down)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=baseline_mod.BASELINE_FILE,
+        help=f"baseline file for --check/--update (default: {baseline_mod.BASELINE_FILE})",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the F-rule catalogue and exit",
+    )
+    return parser
+
+
+def run_flow(
+    paths: Sequence[str | Path],
+    package: str | None = None,
+    select: set[str] | None = None,
+) -> list[Diagnostic]:
+    """Analyze each package root; merged, deterministically ordered findings."""
+    findings: list[Diagnostic] = []
+    for path in paths:
+        project = Project.load(path, package)
+        findings.extend(flow_diagnostics(project))
+    if select:
+        findings = [d for d in findings if d.code in select]
+    return sorted(set(findings))
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    try:
+        return _run(argv)
+    except BrokenPipeError:
+        sys.stderr.close()
+        return EXIT_CLEAN
+
+
+def _run(argv: Sequence[str] | None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for code in sorted(FLOW_RULES):
+            print(f"{code}  {FLOW_RULES[code]}")
+        return EXIT_CLEAN
+
+    paths = args.paths or [DEFAULT_ROOT]
+    for path in paths:
+        if not Path(path).is_dir():
+            print(
+                f"repro-flow: not a package directory: {path} "
+                "(whole-program analysis takes package roots)",
+                file=sys.stderr,
+            )
+            return EXIT_ERROR
+
+    select: set[str] | None = None
+    if args.select:
+        select = {code.strip() for code in args.select.split(",") if code.strip()}
+        unknown = sorted(select - set(FLOW_RULES))
+        if unknown:
+            print(f"repro-flow: unknown rule codes: {', '.join(unknown)}", file=sys.stderr)
+            return EXIT_ERROR
+
+    findings = run_flow(paths, package=args.package, select=select)
+    parse_failures = [d for d in findings if d.code == "F000"]
+
+    if args.format_ == "json":
+        print(json.dumps({"findings": [d.to_json() for d in findings]},
+                         indent=1, sort_keys=True))
+    elif args.format_ == "sarif":
+        print(render_sarif(findings, "repro-flow", FLOW_RULES))
+    else:
+        for diagnostic in findings:
+            print(diagnostic.format())
+
+    baseline_path = Path(args.baseline)
+    if args.update:
+        baseline_mod.write_baseline(baseline_path, baseline_mod.bucket_counts(findings))
+        print(f"repro-flow: baseline written ({len(findings)} findings)")
+        return EXIT_ERROR if parse_failures else EXIT_CLEAN
+
+    if args.check:
+        try:
+            budget = baseline_mod.load_baseline(baseline_path)
+        except ValueError as exc:
+            print(f"repro-flow: {exc}", file=sys.stderr)
+            return EXIT_ERROR
+        failures, warnings = baseline_mod.check(findings, budget)
+        for warning in warnings:
+            print(f"repro-flow: warning: {warning}")
+        for failure in failures:
+            print(f"repro-flow: FAIL: {failure}", file=sys.stderr)
+        if parse_failures:
+            return EXIT_ERROR
+        if failures:
+            return EXIT_FINDINGS
+        print(f"repro-flow: ok ({len(findings)} findings within budget)")
+        return EXIT_CLEAN
+
+    if parse_failures:
+        return EXIT_ERROR
+    return EXIT_FINDINGS if findings else EXIT_CLEAN
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,705 @@
+"""Forward taint dataflow with interprocedural function summaries.
+
+The analysis answers one question the per-file AST rules (R001–R011)
+cannot: *does a nondeterministic or unpicklable value produced here ever
+reach a place where it matters?*  Mechanics:
+
+* **Intraprocedural pass** — each function body is interpreted
+  abstractly: the environment maps local names to *taint tag* sets,
+  statements execute in order, and the pass repeats until the
+  environment stabilizes (bounded; unions are monotone over a finite
+  tag universe, so it terminates).  Branches merge by union — the
+  analysis is path-insensitive on purpose (over-approximate taint,
+  never miss a flow).
+* **Taint tags** are strings carrying their origin program point, e.g.
+  ``rng@src/repro/x.py:12`` — findings can therefore name the *source*
+  of the value that reached a sink three calls away.  Parameter markers
+  (``param:0``) seed each function so summaries learn which argument
+  positions flow where.
+* **Summaries** (:class:`Summary`) record, per function: tags the
+  return value carries regardless of arguments, argument positions that
+  flow to the return value, argument positions that reach a determinism
+  sink inside, and argument positions that cross a process boundary
+  inside.  Summaries compose at call sites and iterate to a global
+  fixpoint (deterministic order, bounded rounds).
+* **Class attribute taint** — ``self.x = <tainted>`` in one method taints
+  ``self.x`` reads in every method of that class (and its project
+  subclasses see their own attributes separately): the "created in
+  ``__init__``, consumed in ``step`` three calls away" pattern.
+
+Sources, sanitizers and sinks are cataloged as data at the top of this
+module; the F-rule mapping lives in :mod:`repro.analysis.flow.checks`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.analysis.flow.callgraph import LocalTypes, dotted_name, resolve_call
+from repro.analysis.flow.project import FunctionInfo, ModuleInfo, Project
+from repro.analysis.rules import _NP_RANDOM_SAFE, _WALL_CLOCK
+
+__all__ = [
+    "Taint",
+    "Summary",
+    "SinkHit",
+    "BoundaryHit",
+    "DataflowResult",
+    "analyze_dataflow",
+]
+
+Taint = frozenset[str]
+EMPTY: Taint = frozenset()
+
+# -- source catalogues --------------------------------------------------------
+
+#: Constructors that pull OS entropy when called without a seed.
+_SEEDABLE = frozenset(
+    {
+        "random.Random",
+        "np.random.default_rng",
+        "numpy.random.default_rng",
+        "np.random.SeedSequence",
+        "numpy.random.SeedSequence",
+        "default_rng",
+        "SeedSequence",
+    }
+)
+
+#: Builtins/calls producing values whose iteration order is unordered.
+_SET_CONSTRUCTORS = frozenset({"set", "frozenset"})
+_DICT_VIEWS = frozenset({"keys", "values", "items"})
+
+#: Order-insensitive folds: consuming an unordered container through
+#: these cannot leak iteration order into the result.
+_ORDER_SANITIZERS = frozenset({"sorted", "min", "max", "sum", "len", "any", "all"})
+
+#: Constructors that *consume* their iterable argument: the result is a
+#: concrete container, so generator-ness does not survive them.
+_MATERIALIZERS = frozenset({"tuple", "list", "dict", "set", "frozenset", "sorted"})
+
+#: Calls whose results do not pickle (locks, files, sockets).
+_LOCK_CALLS = frozenset(
+    {
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+        "threading.Event",
+        "asyncio.Lock",
+        "asyncio.Event",
+        "asyncio.Condition",
+        "asyncio.Semaphore",
+    }
+)
+_HANDLE_CALLS = frozenset(
+    {
+        "open",
+        "socket.socket",
+        "socket.create_connection",
+    }
+)
+
+#: Methods that ship their arguments to another process when invoked on
+#: an executor/pool-shaped receiver.
+_SUBMIT_METHODS = frozenset(
+    {
+        "submit",
+        "map",
+        "apply_async",
+        "map_async",
+        "starmap",
+        "starmap_async",
+        "imap",
+        "imap_unordered",
+    }
+)
+_EXECUTOR_HINTS = ("executor", "pool")
+
+#: Constructors whose entire argument list crosses a process boundary.
+_BOUNDARY_CONSTRUCTOR_SUFFIXES = ("ProcessExecutor", "ShardSpec")
+
+#: Names in assignment targets that make the assigned value a
+#: determinism sink (fitness folds, gap reports).
+_FITNESS_TOKENS = ("fitness", "gap", "revenue", "objective", "payoff")
+
+_DETERMINISM_KINDS = ("rng", "clock", "order")
+_PICKLE_PREFIX = "pickle:"
+_PARAM_PREFIX = "param:"
+
+
+def _is_unseeded(call: ast.Call) -> bool:
+    if call.keywords:
+        return False
+    if not call.args:
+        return True
+    return (
+        len(call.args) == 1
+        and isinstance(call.args[0], ast.Constant)
+        and call.args[0].value is None
+    )
+
+
+@dataclass(frozen=True)
+class SinkHit:
+    """A tainted value reaching a determinism sink."""
+
+    path: str
+    line: int
+    col: int
+    sink: str  # "hash-input" | "memo-key" | "checkpoint-state" | "fitness-value"
+    tag: str  # the offending taint tag (kind@origin)
+    function: str  # qualname of the function containing the sink
+
+
+@dataclass(frozen=True)
+class BoundaryHit:
+    """An unpicklable value reaching a process-boundary sink."""
+
+    path: str
+    line: int
+    col: int
+    boundary: str  # description of the boundary ("executor.map", "ShardSpec(...)")
+    tag: str  # pickle:<kind>@origin
+    function: str
+
+
+@dataclass
+class Summary:
+    """Interprocedural behavior of one function, composed at call sites."""
+
+    returns: Taint = EMPTY
+    param_flows: frozenset[int] = frozenset()
+    param_sinks: frozenset[int] = frozenset()  # positions reaching determinism sinks
+    param_boundary: frozenset[int] = frozenset()  # positions crossing process boundary
+
+    def merge(self, other: "Summary") -> bool:
+        """Union-in ``other``; returns True when anything grew."""
+        before = (self.returns, self.param_flows, self.param_sinks, self.param_boundary)
+        self.returns = self.returns | other.returns
+        self.param_flows = self.param_flows | other.param_flows
+        self.param_sinks = self.param_sinks | other.param_sinks
+        self.param_boundary = self.param_boundary | other.param_boundary
+        return before != (
+            self.returns,
+            self.param_flows,
+            self.param_sinks,
+            self.param_boundary,
+        )
+
+
+@dataclass
+class DataflowResult:
+    """Everything the checks layer needs: summaries + sink/boundary hits."""
+
+    summaries: dict[str, Summary] = field(default_factory=dict)
+    sink_hits: list[SinkHit] = field(default_factory=list)
+    boundary_hits: list[BoundaryHit] = field(default_factory=list)
+    rounds: int = 0
+
+
+class _FunctionAnalysis:
+    """One abstract interpretation of one function body."""
+
+    def __init__(
+        self,
+        project: Project,
+        module: ModuleInfo,
+        func: FunctionInfo,
+        summaries: dict[str, Summary],
+        attr_taint: dict[tuple[str, str], Taint],
+        report: DataflowResult | None,
+    ) -> None:
+        self.project = project
+        self.module = module
+        self.func = func
+        self.summaries = summaries
+        self.attr_taint = attr_taint
+        self.report = report
+        self.types = LocalTypes(project, module, func)
+        self.env: dict[str, Taint] = {}
+        self.ret: Taint = EMPTY
+        self.attr_writes: dict[tuple[str, str], Taint] = {}
+        # Own-parameter positions that reach a sink/boundary somewhere
+        # below this function — these become the Summary's transitive
+        # fields, so callers report taint that enters through us.
+        self.own_param_sinks: set[int] = set()
+        self.own_param_boundary: set[int] = set()
+        self._param_names: list[str] = []
+        args = func.node.args
+        ordered = [*args.posonlyargs, *args.args]
+        for index, arg in enumerate(ordered):
+            self._param_names.append(arg.arg)
+            self.env[arg.arg] = frozenset({f"{_PARAM_PREFIX}{index}"})
+        for arg in args.kwonlyargs:
+            self.env[arg.arg] = EMPTY
+
+    # -- driving --------------------------------------------------------------
+
+    def run(self) -> Summary:
+        for _ in range(3):  # loops: iterate body until the env stabilizes
+            before = (dict(self.env), self.ret)
+            for stmt in self.func.node.body:
+                self._stmt(stmt)
+            if (self.env, self.ret) == before:
+                break
+        param_flows = frozenset(
+            index
+            for index in range(len(self._param_names))
+            if f"{_PARAM_PREFIX}{index}" in self.ret
+        )
+        returns = frozenset(t for t in self.ret if not t.startswith(_PARAM_PREFIX))
+        if self.func.is_generator:
+            returns |= frozenset({f"pickle:generator@{self._loc(self.func.node)}"})
+        summary = Summary(returns=returns, param_flows=param_flows)
+        return summary
+
+    def _loc(self, node: ast.AST) -> str:
+        return f"{self.module.path}:{getattr(node, 'lineno', 1)}"
+
+    # -- statements -----------------------------------------------------------
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested scopes are analyzed as their own functions
+        if isinstance(stmt, ast.Assign):
+            taint = self._expr(stmt.value)
+            for target in stmt.targets:
+                self._assign(target, taint)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._assign(stmt.target, self._expr(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            taint = self._expr(stmt.value) | self._read_target(stmt.target)
+            self._assign(stmt.target, taint)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                taint = self._expr(stmt.value)
+                self.ret |= taint
+                if self.func.name == "state_dict":
+                    self._report_sinks(stmt, "checkpoint-state", taint)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            taint = self._expr(stmt.iter)
+            self._assign(stmt.target, taint)
+            for sub in stmt.body:
+                self._stmt(sub)
+            for sub in stmt.orelse:
+                self._stmt(sub)
+        elif isinstance(stmt, (ast.While, ast.If)):
+            self._expr(stmt.test)
+            for sub in [*stmt.body, *stmt.orelse]:
+                self._stmt(sub)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                taint = self._expr(item.context_expr)
+                if item.optional_vars is not None:
+                    self._assign(item.optional_vars, taint)
+            for sub in stmt.body:
+                self._stmt(sub)
+        elif isinstance(stmt, ast.Try):
+            for sub in stmt.body:
+                self._stmt(sub)
+            for handler in stmt.handlers:
+                for sub in handler.body:
+                    self._stmt(sub)
+            for sub in [*stmt.orelse, *stmt.finalbody]:
+                self._stmt(sub)
+        elif isinstance(stmt, ast.Expr):
+            self._expr(stmt.value)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for sub in ast.iter_child_nodes(stmt):
+                if isinstance(sub, ast.expr):
+                    self._expr(sub)
+
+    def _assign(self, target: ast.expr, taint: Taint) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = self.env.get(target.id, EMPTY) | taint
+            self._check_fitness_sink(target, target.id, taint)
+        elif isinstance(target, ast.Attribute):
+            self._check_fitness_sink(target, target.attr, taint)
+            if (
+                isinstance(target.value, ast.Name)
+                and target.value.id in ("self", "cls")
+                and self.func.cls is not None
+            ):
+                key = (self.func.cls, target.attr)
+                self.attr_writes[key] = self.attr_writes.get(key, EMPTY) | taint
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._assign(element, taint)
+        elif isinstance(target, ast.Starred):
+            self._assign(target.value, taint)
+        elif isinstance(target, ast.Subscript):
+            # d[k] = v taints the container.
+            if isinstance(target.value, ast.Name):
+                name = target.value.id
+                self.env[name] = self.env.get(name, EMPTY) | taint
+
+    def _read_target(self, target: ast.expr) -> Taint:
+        if isinstance(target, ast.Name):
+            return self.env.get(target.id, EMPTY)
+        return self._expr(target) if isinstance(target, ast.expr) else EMPTY
+
+    def _check_fitness_sink(self, node: ast.AST, name: str, taint: Taint) -> None:
+        lowered = name.lower()
+        if any(token in lowered for token in _FITNESS_TOKENS):
+            self._report_sinks(node, "fitness-value", taint)
+
+    # -- expressions ----------------------------------------------------------
+
+    def _expr(self, expr: ast.expr) -> Taint:
+        if isinstance(expr, ast.Name):
+            taint = self.env.get(expr.id, EMPTY)
+            nested = f"{self.func.qualname}.{expr.id}"
+            if nested in self.project.functions:
+                taint |= frozenset({f"pickle:nested@{self._loc(expr)}"})
+            return taint
+        if isinstance(expr, ast.Attribute):
+            base_taint = self._expr(expr.value)
+            if (
+                isinstance(expr.value, ast.Name)
+                and expr.value.id in ("self", "cls")
+                and self.func.cls is not None
+            ):
+                for cls_name in self.project.mro(self.func.cls):
+                    key = (cls_name, expr.attr)
+                    if key in self.attr_taint:
+                        base_taint |= self.attr_taint[key]
+            return base_taint
+        if isinstance(expr, ast.Call):
+            return self._call(expr)
+        if isinstance(expr, ast.Lambda):
+            return frozenset({f"pickle:lambda@{self._loc(expr)}"})
+        if isinstance(expr, ast.GeneratorExp):
+            taint = self._comprehension(expr)
+            return taint | frozenset({f"pickle:generator@{self._loc(expr)}"})
+        if isinstance(expr, (ast.ListComp, ast.DictComp)):
+            return self._comprehension(expr)
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            inner = (
+                self._comprehension(expr)
+                if isinstance(expr, ast.SetComp)
+                else frozenset().union(*(self._expr(e) for e in expr.elts))
+                if expr.elts
+                else EMPTY
+            )
+            return inner | frozenset({f"order@{self._loc(expr)}"})
+        if isinstance(expr, ast.Compare):
+            # Equality/membership do not depend on iteration order.
+            taint = self._expr(expr.left)
+            for comparator in expr.comparators:
+                taint |= self._expr(comparator)
+            return frozenset(t for t in taint if not t.startswith("order@"))
+        if isinstance(expr, (ast.BinOp,)):
+            return self._expr(expr.left) | self._expr(expr.right)
+        if isinstance(expr, ast.BoolOp):
+            return frozenset().union(*(self._expr(v) for v in expr.values))
+        if isinstance(expr, ast.UnaryOp):
+            return self._expr(expr.operand)
+        if isinstance(expr, ast.IfExp):
+            return self._expr(expr.body) | self._expr(expr.orelse)
+        if isinstance(expr, (ast.Tuple, ast.List)):
+            return (
+                frozenset().union(*(self._expr(e) for e in expr.elts))
+                if expr.elts
+                else EMPTY
+            )
+        if isinstance(expr, ast.Dict):
+            parts = [self._expr(v) for v in expr.values if v is not None]
+            parts.extend(self._expr(k) for k in expr.keys if k is not None)
+            return frozenset().union(*parts) if parts else EMPTY
+        if isinstance(expr, ast.Subscript):
+            return self._expr(expr.value) | self._expr(expr.slice)
+        if isinstance(expr, ast.Starred):
+            return self._expr(expr.value)
+        if isinstance(expr, (ast.Await, ast.YieldFrom)):
+            return self._expr(expr.value)
+        if isinstance(expr, ast.Yield):
+            return self._expr(expr.value) if expr.value is not None else EMPTY
+        if isinstance(expr, ast.JoinedStr):
+            parts = [
+                self._expr(v.value) for v in expr.values if isinstance(v, ast.FormattedValue)
+            ]
+            return frozenset().union(*parts) if parts else EMPTY
+        if isinstance(expr, ast.NamedExpr):
+            taint = self._expr(expr.value)
+            self._assign(expr.target, taint)
+            return taint
+        if isinstance(expr, ast.Slice):
+            parts = [
+                self._expr(part)
+                for part in (expr.lower, expr.upper, expr.step)
+                if part is not None
+            ]
+            return frozenset().union(*parts) if parts else EMPTY
+        return EMPTY
+
+    def _comprehension(self, expr) -> Taint:
+        taint = EMPTY
+        for gen in expr.generators:
+            iter_taint = self._expr(gen.iter)
+            self._assign(gen.target, iter_taint)
+            for condition in gen.ifs:
+                self._expr(condition)
+        if isinstance(expr, ast.DictComp):
+            taint |= self._expr(expr.key) | self._expr(expr.value)
+        else:
+            taint |= self._expr(expr.elt)
+        return taint
+
+    # -- calls ----------------------------------------------------------------
+
+    def _call(self, call: ast.Call) -> Taint:
+        raw = dotted_name(call.func)
+        arg_taints = [self._expr(a) for a in call.args]
+        kw_taints = {kw.arg: self._expr(kw.value) for kw in call.keywords}
+        receiver_taint = (
+            self._expr(call.func.value)
+            if isinstance(call.func, ast.Attribute)
+            else EMPTY
+        )
+        all_args = list(arg_taints) + list(kw_taints.values())
+        merged_args = frozenset().union(*all_args) if all_args else EMPTY
+        tail = raw.rpartition(".")[2]
+
+        # Materializers consume their iterable: tuple(genexp) is a tuple,
+        # not a generator, so generator-ness does not cross them.
+        if raw in _MATERIALIZERS:
+            merged_args = frozenset(
+                t for t in merged_args if not t.startswith("pickle:generator@")
+            )
+        # Sanitizing folds: order cannot survive sorted()/sum()/...
+        if raw in _ORDER_SANITIZERS:
+            return frozenset(t for t in merged_args if not t.startswith("order@"))
+
+        result = EMPTY
+
+        # -- sources ----------------------------------------------------------
+        if raw in _SEEDABLE and _is_unseeded(call):
+            result |= frozenset({f"rng@{self._loc(call)}"})
+        else:
+            root = raw.rpartition(".")[0]
+            if root in ("np.random", "numpy.random") and tail not in _NP_RANDOM_SAFE:
+                result |= frozenset({f"rng@{self._loc(call)}"})
+            elif root == "random" and tail not in ("Random", "SystemRandom", "seed"):
+                result |= frozenset({f"rng@{self._loc(call)}"})
+        if raw in _WALL_CLOCK:
+            result |= frozenset({f"clock@{self._loc(call)}"})
+        if raw in _SET_CONSTRUCTORS:
+            result |= frozenset({f"order@{self._loc(call)}"}) | merged_args
+            return result
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr in _DICT_VIEWS
+            and not call.args
+        ):
+            return result | frozenset({f"order@{self._loc(call)}"}) | receiver_taint
+        if raw in _LOCK_CALLS:
+            result |= frozenset({f"pickle:lock@{self._loc(call)}"})
+        if raw in _HANDLE_CALLS:
+            result |= frozenset({f"pickle:handle@{self._loc(call)}"})
+
+        # -- sinks ------------------------------------------------------------
+        self._check_sinks(call, raw, tail, arg_taints, kw_taints)
+
+        # -- callee composition ----------------------------------------------
+        _, targets = resolve_call(self.project, self.module, self.func, self.types, call)
+        if targets:
+            for target in targets:
+                info = self.project.functions.get(target)
+                summary = self.summaries.get(target)
+                if info is None or summary is None:
+                    continue
+                offset = 1 if self._is_method_call(info, call) else 0
+
+                def arg_taint_at(index: int) -> Taint:
+                    pos = index - offset
+                    if pos == -1:
+                        return receiver_taint  # the bound `self`
+                    if 0 <= pos < len(arg_taints):
+                        return arg_taints[pos]
+                    return kw_taints.get(self._param_name(info, index), EMPTY)
+
+                result |= summary.returns
+                for index in summary.param_flows:
+                    result |= arg_taint_at(index)
+                # Interprocedural sinks: a tainted argument reaching a
+                # sink (or a process boundary) inside the callee.
+                for index in sorted(summary.param_sinks):
+                    self._report_sinks(call, f"into {info.name}()", arg_taint_at(index))
+                for index in sorted(summary.param_boundary):
+                    self._report_boundary(call, f"via {info.name}()", arg_taint_at(index))
+                if info.is_generator:
+                    result |= frozenset({f"pickle:generator@{self._loc(call)}"})
+        else:
+            # Unknown callee: conservatively propagate receiver/argument
+            # taints through the result (float(x), rng.normal(), ...).
+            result |= merged_args | receiver_taint
+        return result
+
+    def _is_method_call(self, info: FunctionInfo, call: ast.Call) -> bool:
+        """Did this call bind ``self`` implicitly (receiver syntax)?"""
+        if info.cls is None:
+            return False
+        args = info.node.args
+        ordered = [*args.posonlyargs, *args.args]
+        if not ordered or ordered[0].arg not in ("self", "cls"):
+            return False
+        # `Class(...)` binds self for __init__ too; `mod.fn(...)` does not.
+        return True
+
+    def _param_name(self, info: FunctionInfo, index: int) -> str:
+        args = info.node.args
+        ordered = [*args.posonlyargs, *args.args]
+        if 0 <= index < len(ordered):
+            return ordered[index].arg
+        return ""
+
+    # -- sink checking ---------------------------------------------------------
+
+    def _check_sinks(
+        self,
+        call: ast.Call,
+        raw: str,
+        tail: str,
+        arg_taints: list[Taint],
+        kw_taints: dict[str | None, Taint],
+    ) -> None:
+        merged = (
+            frozenset().union(*arg_taints, *kw_taints.values())
+            if (arg_taints or kw_taints)
+            else EMPTY
+        )
+        # Hash/digest inputs (stable_hash, content digests).
+        if tail in ("stable_hash", "digest", "content_digest") and (arg_taints or kw_taints):
+            self._report_sinks(call, "hash-input", merged)
+        # Memo keys: memo.get(key) / memo.put(key, ...) / memo.contains(key).
+        receiver = dotted_name(call.func.value) if isinstance(call.func, ast.Attribute) else ""
+        if (
+            tail in ("get", "put", "contains")
+            and "memo" in receiver.lower()
+            and arg_taints
+        ):
+            self._report_sinks(call, "memo-key", arg_taints[0])
+        # Process-boundary submission on executor/pool receivers.
+        if isinstance(call.func, ast.Attribute) and tail in _SUBMIT_METHODS:
+            receiver_lower = receiver.lower()
+            is_executor = any(h in receiver_lower for h in _EXECUTOR_HINTS)
+            if not is_executor and isinstance(call.func.value, ast.Name):
+                rtype = self.types.type_of(call.func.value.id)
+                is_executor = rtype is not None and "executor" in rtype.lower()
+            if is_executor:
+                for taint in [*arg_taints, *kw_taints.values()]:
+                    self._report_boundary(call, f".{tail}()", taint)
+        # Boundary constructors: the whole payload must pickle.
+        resolved = self.project.resolve(self.module, raw) or raw
+        if resolved.rpartition(".")[2] in _BOUNDARY_CONSTRUCTOR_SUFFIXES or any(
+            resolved.endswith(suffix) for suffix in _BOUNDARY_CONSTRUCTOR_SUFFIXES
+        ):
+            for taint in [*arg_taints, *kw_taints.values()]:
+                self._report_boundary(call, f"{tail}(...)", taint)
+        # Spawn-context process targets.
+        if tail == "Process" and receiver.rpartition(".")[2] in ("ctx", "mp", "multiprocessing"):
+            for taint in [*arg_taints, *kw_taints.values()]:
+                self._report_boundary(call, "Process(...)", taint)
+
+    def _report_sinks(self, node: ast.AST, sink: str, taint: Taint) -> None:
+        for tag in sorted(taint):
+            if tag.startswith(_PARAM_PREFIX):
+                self.own_param_sinks.add(int(tag[len(_PARAM_PREFIX):]))
+                continue
+            kind = tag.partition("@")[0]
+            if kind in _DETERMINISM_KINDS and self.report is not None:
+                self.report.sink_hits.append(
+                    SinkHit(
+                        path=str(self.module.path),
+                        line=getattr(node, "lineno", 1),
+                        col=getattr(node, "col_offset", 0),
+                        sink=sink,
+                        tag=tag,
+                        function=self.func.qualname,
+                    )
+                )
+
+    def _report_boundary(self, node: ast.AST, boundary: str, taint: Taint) -> None:
+        for tag in sorted(taint):
+            if tag.startswith(_PARAM_PREFIX):
+                self.own_param_boundary.add(int(tag[len(_PARAM_PREFIX):]))
+                continue
+            if tag.startswith(_PICKLE_PREFIX) and self.report is not None:
+                self.report.boundary_hits.append(
+                    BoundaryHit(
+                        path=str(self.module.path),
+                        line=getattr(node, "lineno", 1),
+                        col=getattr(node, "col_offset", 0),
+                        boundary=boundary,
+                        tag=tag,
+                        function=self.func.qualname,
+                    )
+                )
+
+
+def _analyze_function(
+    project: Project,
+    func: FunctionInfo,
+    summaries: dict[str, Summary],
+    attr_taint: dict[tuple[str, str], Taint],
+    report: DataflowResult | None,
+) -> tuple[Summary, dict[tuple[str, str], Taint]]:
+    module = project.modules[func.module]
+    analysis = _FunctionAnalysis(project, module, func, summaries, attr_taint, report)
+    summary = analysis.run()
+    summary.param_sinks = frozenset(analysis.own_param_sinks)
+    summary.param_boundary = frozenset(analysis.own_param_boundary)
+    return summary, analysis.attr_writes
+
+
+def analyze_dataflow(project: Project, max_rounds: int = 8) -> DataflowResult:
+    """Run the whole-program dataflow to fixpoint, then one reporting pass.
+
+    Rounds iterate every function in sorted order, recomputing summaries
+    with the current summaries of everything else; class-attribute taint
+    accumulates globally.  Both lattices are finite unions, so the loop
+    terminates; ``max_rounds`` is a belt-and-braces bound.
+    """
+    result = DataflowResult()
+    summaries: dict[str, Summary] = {
+        name: Summary() for name in sorted(project.functions)
+    }
+    attr_taint: dict[tuple[str, str], Taint] = {}
+    for round_index in range(max_rounds):
+        changed = False
+        for func in project.iter_functions():
+            new_summary, attr_writes = _analyze_function(
+                project, func, summaries, attr_taint, report=None
+            )
+            if summaries[func.qualname].merge(new_summary):
+                changed = True
+            for key, taint in sorted(attr_writes.items()):
+                previous = attr_taint.get(key, EMPTY)
+                merged = previous | taint
+                if merged != previous:
+                    attr_taint[key] = merged
+                    changed = True
+        result.rounds = round_index + 1
+        if not changed:
+            break
+    # Reporting pass with converged facts.
+    for func in project.iter_functions():
+        _analyze_function(project, func, summaries, attr_taint, report=result)
+    result.summaries = summaries
+    result.sink_hits = sorted(
+        set(result.sink_hits), key=lambda h: (h.path, h.line, h.col, h.sink, h.tag)
+    )
+    result.boundary_hits = sorted(
+        set(result.boundary_hits), key=lambda h: (h.path, h.line, h.col, h.boundary, h.tag)
+    )
+    return result
+
+
+def taint_kinds(tags: Iterable[str]) -> list[str]:
+    """The distinct kinds (``rng``/``clock``/...) in a tag set, sorted."""
+    return sorted({tag.partition("@")[0] for tag in tags})

@@ -1,0 +1,341 @@
+"""The whole-program model behind ``repro-flow``.
+
+A :class:`Project` is every module under one package root, parsed once,
+with *module-level name resolution*: each module records what its local
+names mean (imports, top-level defs, classes and their methods), so the
+later passes (call graph, dataflow) can ask "what does ``protocol.encode``
+mean inside ``repro.serve.server``?" and get the fully-qualified answer
+``repro.serve.protocol.encode``.
+
+Resolution is deliberately conservative and purely static:
+
+* imports (plain, aliased, ``from``-imports, relative imports) resolve
+  to dotted targets; re-exports through ``__init__`` are followed;
+* classes record their methods and their (resolved) base-class names, so
+  method dispatch can walk a static MRO approximation and — for
+  whole-program soundness — fan out to project subclasses that override
+  a method (the ``EngineAlgorithm`` pattern);
+* anything dynamic (``getattr``, monkey-patching, ``exec``) is out of
+  scope: the engine must never *guess*, only under-approximate edges
+  while over-approximating taint.
+
+Everything is ordered: modules by dotted name, members in source order.
+No output of this module depends on ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+__all__ = ["ClassInfo", "FunctionInfo", "ModuleInfo", "Project"]
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method, addressed by fully-qualified name."""
+
+    qualname: str  # e.g. "repro.serve.server.SolveServer._process"
+    module: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    cls: str | None = None  # owning class qualname, None for plain functions
+    is_nested: bool = False  # defined inside another function
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def is_generator(self) -> bool:
+        return any(
+            isinstance(sub, (ast.Yield, ast.YieldFrom))
+            for sub in walk_own_scope(self.node)
+        )
+
+
+def walk_own_scope(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``func``'s body excluding nested function/lambda scopes —
+    a yield (or a call) inside a nested def belongs to that def."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@dataclass
+class ClassInfo:
+    """One class: methods plus resolved base names (for dispatch)."""
+
+    qualname: str  # e.g. "repro.core.engine.EngineAlgorithm"
+    module: str
+    node: ast.ClassDef
+    bases: tuple[str, ...] = ()  # resolved dotted names (best effort)
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module and its local name bindings."""
+
+    name: str  # dotted module name
+    path: Path
+    tree: ast.Module
+    source: str
+    #: local name -> dotted target ("numpy.random" for `import numpy.random
+    #: as npr`, "repro.serve.protocol.encode" for `from .protocol import
+    #: encode`).  Top-level defs/classes bind to their own qualnames.
+    bindings: dict[str, str] = field(default_factory=dict)
+
+
+def _module_name(root_package: str, root: Path, path: Path) -> str:
+    rel = path.relative_to(root)
+    parts = list(rel.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join([root_package, *parts]) if parts else root_package
+
+
+def _resolve_relative(module: str, level: int, target: str | None) -> str:
+    """Absolute dotted base of ``from ...target import x`` inside ``module``."""
+    parts = module.split(".")
+    # level 1 = the module's own package; drop one extra for each level up.
+    base = parts[: len(parts) - level] if level <= len(parts) else []
+    if target:
+        base = [*base, target]
+    return ".".join(base)
+
+
+class Project:
+    """All modules under one package root, with name resolution."""
+
+    def __init__(self, root: Path, package: str) -> None:
+        self.root = Path(root)
+        self.package = package
+        self.modules: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.parse_errors: list[tuple[str, str]] = []  # (path, message)
+
+    # -- loading -------------------------------------------------------------
+
+    @classmethod
+    def load(cls, root: str | Path, package: str | None = None) -> "Project":
+        """Parse every ``*.py`` under ``root`` (a package directory).
+
+        ``package`` defaults to the directory name; module names are
+        ``package.sub.mod``.  Files are walked in sorted order so every
+        derived structure is deterministic.
+        """
+        root = Path(root)
+        if not root.is_dir():
+            raise ValueError(f"flow analysis root must be a directory: {root}")
+        project = cls(root, package or root.name)
+        for path in sorted(root.rglob("*.py")):
+            name = _module_name(project.package, root, path)
+            try:
+                source = path.read_text(encoding="utf-8")
+                tree = ast.parse(source)
+            except (OSError, SyntaxError) as exc:
+                project.parse_errors.append((str(path), str(exc)))
+                continue
+            module = ModuleInfo(name=name, path=path, tree=tree, source=source)
+            project.modules[name] = module
+        for name in sorted(project.modules):
+            project._index_module(project.modules[name])
+        return project
+
+    def _index_module(self, module: ModuleInfo) -> None:
+        """Record bindings, functions, classes for one module."""
+        for stmt in module.tree.body:
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    local = alias.asname or alias.name.partition(".")[0]
+                    target = alias.name if alias.asname else alias.name.partition(".")[0]
+                    module.bindings[local] = target
+            elif isinstance(stmt, ast.ImportFrom):
+                base = (
+                    _resolve_relative(module.name, stmt.level, stmt.module)
+                    if stmt.level
+                    else (stmt.module or "")
+                )
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        continue  # never guess star imports
+                    local = alias.asname or alias.name
+                    module.bindings[local] = f"{base}.{alias.name}" if base else alias.name
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._index_function(module, stmt, cls=None)
+            elif isinstance(stmt, ast.ClassDef):
+                self._index_class(module, stmt)
+            elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                # Simple top-level alias: `encode = protocol.encode`.
+                target, value = stmt.targets[0], stmt.value
+                if isinstance(target, ast.Name) and isinstance(value, (ast.Name, ast.Attribute)):
+                    dotted = _dotted(value)
+                    if dotted:
+                        module.bindings[target.id] = self.resolve(module, dotted) or dotted
+
+    def _index_function(
+        self,
+        module: ModuleInfo,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        cls: str | None,
+        prefix: str | None = None,
+    ) -> FunctionInfo:
+        qual = f"{prefix or cls or module.name}.{node.name}"
+        info = FunctionInfo(
+            qualname=qual,
+            module=module.name,
+            node=node,
+            cls=cls,
+            is_nested=prefix is not None,
+        )
+        self.functions[qual] = info
+        if cls is None and prefix is None:
+            module.bindings.setdefault(node.name, qual)
+        # Nested defs get their own nodes (callable locally, and the
+        # process-boundary check needs to know they are closures).
+        for stmt in walk_own_scope(node):
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._index_function(module, stmt, cls=cls, prefix=qual)
+        return info
+
+    def _index_class(self, module: ModuleInfo, node: ast.ClassDef) -> None:
+        qual = f"{module.name}.{node.name}"
+        bases = tuple(
+            resolved
+            for base in node.bases
+            if (dotted := _dotted(base)) and (resolved := self.resolve(module, dotted))
+        )
+        info = ClassInfo(qualname=qual, module=module.name, node=node, bases=bases)
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info.methods[stmt.name] = self._index_function(module, stmt, cls=qual)
+        self.classes[qual] = info
+        module.bindings.setdefault(node.name, qual)
+
+    # -- resolution ----------------------------------------------------------
+
+    def resolve(self, module: ModuleInfo, dotted: str) -> str | None:
+        """Fully-qualified target of a dotted name used inside ``module``.
+
+        Follows the module's bindings for the head, re-exports through
+        package ``__init__`` modules for the tail.  Returns ``None`` for
+        names that cannot be resolved statically (builtins, external
+        libraries, dynamic attributes).
+        """
+        head, _, rest = dotted.partition(".")
+        target = module.bindings.get(head)
+        if target is None:
+            return None
+        full = f"{target}.{rest}" if rest else target
+        return self._canonical(full, seen=set())
+
+    def _canonical(self, dotted: str, seen: set[str]) -> str | None:
+        """Chase re-exports: ``repro.serve.ServeClient`` →
+        ``repro.serve.client.ServeClient``."""
+        if dotted in seen:
+            return dotted  # import cycle: stop, keep what we have
+        seen.add(dotted)
+        if dotted in self.functions or dotted in self.classes or dotted in self.modules:
+            return dotted
+        prefix, _, attr = dotted.rpartition(".")
+        if not prefix:
+            return dotted
+        mod = self.modules.get(prefix)
+        if mod is not None and attr in mod.bindings:
+            return self._canonical(mod.bindings[attr], seen)
+        canonical_prefix = self._canonical(prefix, seen)
+        if canonical_prefix and canonical_prefix != prefix:
+            return self._canonical(f"{canonical_prefix}.{attr}", seen)
+        return dotted
+
+    def lookup_function(self, qualname: str) -> FunctionInfo | None:
+        return self.functions.get(qualname)
+
+    def lookup_class(self, qualname: str) -> ClassInfo | None:
+        return self.classes.get(qualname)
+
+    # -- class hierarchy -----------------------------------------------------
+
+    def mro(self, qualname: str) -> list[str]:
+        """Static MRO approximation: the class, then bases depth-first
+        (dedup'd, project classes only)."""
+        out: list[str] = []
+        stack = [qualname]
+        while stack:
+            current = stack.pop(0)
+            if current in out:
+                continue
+            out.append(current)
+            cls = self.classes.get(current)
+            if cls is not None:
+                stack.extend(cls.bases)
+        return out
+
+    def subclasses(self, qualname: str) -> list[str]:
+        """Project classes that (transitively) inherit from ``qualname``,
+        sorted for determinism."""
+        out: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for name in sorted(self.classes):
+                if name in out:
+                    continue
+                cls = self.classes[name]
+                if any(base == qualname or base in out for base in cls.bases):
+                    out.add(name)
+                    changed = True
+        return sorted(out)
+
+    def resolve_method(self, class_qual: str, method: str) -> FunctionInfo | None:
+        """The method a ``obj.method()`` call lands on, walking the MRO."""
+        for candidate in self.mro(class_qual):
+            cls = self.classes.get(candidate)
+            if cls is not None and method in cls.methods:
+                return cls.methods[method]
+        return None
+
+    def dispatch_targets(self, class_qual: str, method: str) -> list[FunctionInfo]:
+        """Whole-program dispatch: the MRO resolution *plus* every project
+        subclass override (sound for the ``EngineAlgorithm`` pattern where
+        the declared type is the base class)."""
+        targets: list[FunctionInfo] = []
+        primary = self.resolve_method(class_qual, method)
+        if primary is not None:
+            targets.append(primary)
+        for sub in self.subclasses(class_qual):
+            cls = self.classes.get(sub)
+            if cls is not None and method in cls.methods:
+                info = cls.methods[method]
+                if all(t.qualname != info.qualname for t in targets):
+                    targets.append(info)
+        return targets
+
+    # -- iteration -----------------------------------------------------------
+
+    def iter_modules(self) -> Iterator[ModuleInfo]:
+        for name in sorted(self.modules):
+            yield self.modules[name]
+
+    def iter_functions(self) -> Iterator[FunctionInfo]:
+        for name in sorted(self.functions):
+            yield self.functions[name]
+
+
+def _dotted(node: ast.expr) -> str:
+    """``a.b.c`` for an attribute chain rooted at a Name, else ``""``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""

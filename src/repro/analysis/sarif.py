@@ -1,0 +1,88 @@
+"""SARIF 2.1.0 serialization for analysis findings.
+
+Shared by ``repro-lint`` and ``repro-flow`` (``--format sarif``) so
+findings can upload to GitHub code scanning.  Only the schema subset
+code scanning consumes is emitted: one run, one driver, a rule table
+restricted to the codes that actually fired, and one result per
+finding with a physical location.  Output is deterministic: rules and
+results are sorted, and JSON is dumped with sorted keys.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.diagnostics import Diagnostic
+
+__all__ = ["SARIF_SCHEMA", "SARIF_VERSION", "to_sarif", "render_sarif"]
+
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+SARIF_VERSION = "2.1.0"
+
+
+def to_sarif(
+    findings: list[Diagnostic],
+    tool_name: str,
+    rule_summaries: dict[str, str],
+) -> dict:
+    """A SARIF log dict for ``findings``.
+
+    ``rule_summaries`` maps rule codes to one-line descriptions; codes
+    that fired but are missing from the table still serialize (with the
+    code itself as the description) so a new rule can never crash the
+    formatter.
+    """
+    fired = sorted({d.code for d in findings})
+    rules = [
+        {
+            "id": code,
+            "name": code,
+            "shortDescription": {"text": rule_summaries.get(code, code)},
+        }
+        for code in fired
+    ]
+    results = [
+        {
+            "ruleId": d.code,
+            "level": "warning",
+            "message": {"text": d.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": d.path},
+                        "region": {
+                            "startLine": max(d.line, 1),
+                            # SARIF columns are 1-based; ours are 0-based.
+                            "startColumn": d.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for d in sorted(findings)
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(
+    findings: list[Diagnostic],
+    tool_name: str,
+    rule_summaries: dict[str, str],
+) -> str:
+    """The SARIF log as deterministic (sorted-keys) JSON text."""
+    return json.dumps(to_sarif(findings, tool_name, rule_summaries), indent=1, sort_keys=True)

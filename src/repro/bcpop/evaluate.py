@@ -556,6 +556,7 @@ class EvaluationPipeline:
             if key is None:
                 opaque.append(i)
                 continue
+            # repro-lint: disable-next-line=F003  # keys iterate via `pending` below in insertion order = deterministic first-occurrence request order
             found = memo.get(key)
             if found is not None:
                 results[i] = found
@@ -577,6 +578,7 @@ class EvaluationPipeline:
             if key is None:
                 results[i] = outcome
                 continue
+            # repro-lint: disable-next-line=F003  # key order comes from `pending` (OrderedDict, insertion order) — the determinism contract documented above
             memo.put(key, outcome)
             for j in pending[key]:
                 results[j] = outcome

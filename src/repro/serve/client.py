@@ -204,6 +204,17 @@ class ServeClient:
     def ping(self) -> bool:
         return bool(self.request({"op": "ping"}).get("pong"))
 
+    def shards(self) -> list:
+        """Topology of a :class:`~repro.serve.router.SolveRouter`.
+
+        Per-shard status rows (name, generation, health, breaker state).
+        Only routers dispatch this op — a plain single-process
+        ``SolveServer`` answers ``unknown-op`` (no ``shards`` field), so
+        this raises ``KeyError`` against one, like ``stats()`` would on
+        a malformed reply.
+        """
+        return self.request({"op": "shards"})["shards"]
+
     def pause(self) -> dict:
         """Suspend the server's micro-batcher (requests queue up)."""
         return self.request({"op": "pause"})

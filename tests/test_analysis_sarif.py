@@ -1,0 +1,98 @@
+"""SARIF 2.1.0 output: schema shape, determinism, CLI wiring."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.analysis.cli import main as lint_main
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.flow.cli import main as flow_main
+from repro.analysis.sarif import SARIF_SCHEMA, SARIF_VERSION, render_sarif, to_sarif
+
+
+def _diag(path="src/m.py", line=3, col=4, code="R001", message="msg"):
+    return Diagnostic(path=path, line=line, col=col, code=code, message=message)
+
+
+class TestSarifShape:
+    def test_top_level_schema_fields(self):
+        log = to_sarif([_diag()], "repro-lint", {"R001": "rule one"})
+        assert log["$schema"] == SARIF_SCHEMA
+        assert log["version"] == SARIF_VERSION
+        assert len(log["runs"]) == 1
+
+    def test_driver_carries_only_fired_rules(self):
+        findings = [_diag(code="R001"), _diag(line=9, code="R004")]
+        log = to_sarif(findings, "repro-lint", {"R001": "a", "R004": "b", "R007": "c"})
+        rules = log["runs"][0]["tool"]["driver"]["rules"]
+        assert [r["id"] for r in rules] == ["R001", "R004"]
+        assert rules[0]["shortDescription"]["text"] == "a"
+
+    def test_result_location_is_one_based(self):
+        log = to_sarif([_diag(line=3, col=4)], "t", {})
+        result = log["runs"][0]["results"][0]
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 3
+        assert region["startColumn"] == 5  # 0-based col 4 -> SARIF col 5
+        uri = result["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]
+        assert uri == "src/m.py"
+
+    def test_unknown_rule_code_falls_back_to_code_text(self):
+        log = to_sarif([_diag(code="F999")], "t", {})
+        rules = log["runs"][0]["tool"]["driver"]["rules"]
+        assert rules[0]["shortDescription"]["text"] == "F999"
+
+    def test_results_sorted_and_render_deterministic(self):
+        findings = [_diag(line=9, code="R004"), _diag(line=3, code="R001")]
+        first = render_sarif(findings, "t", {})
+        second = render_sarif(list(reversed(findings)), "t", {})
+        assert first == second
+        results = json.loads(first)["runs"][0]["results"]
+        assert [r["ruleId"] for r in results] == ["R001", "R004"]
+
+    def test_empty_findings_is_valid_sarif(self):
+        log = to_sarif([], "t", {})
+        assert log["runs"][0]["results"] == []
+        assert log["runs"][0]["tool"]["driver"]["rules"] == []
+
+
+class TestCliSarif:
+    def test_repro_lint_sarif_output(self, tmp_path, capsys):
+        target = tmp_path / "mod.py"
+        target.write_text(
+            textwrap.dedent("""
+                import numpy as np
+                rng = np.random.default_rng()
+            """),
+            encoding="utf-8",
+        )
+        exit_code = lint_main(["--format", "sarif", str(target)])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == SARIF_VERSION
+        results = payload["runs"][0]["results"]
+        if exit_code == 1:  # findings present -> every result well-formed
+            assert all(r["ruleId"].startswith("R") for r in results)
+
+    def test_repro_flow_sarif_output(self, tmp_path, capsys):
+        root = tmp_path / "pkg"
+        root.mkdir()
+        (root / "__init__.py").write_text("", encoding="utf-8")
+        (root / "noisy.py").write_text(
+            textwrap.dedent("""
+                import numpy as np
+
+                def fold():
+                    fitness = np.random.default_rng().random()
+                    return fitness
+            """),
+            encoding="utf-8",
+        )
+        assert flow_main(["--format", "sarif", str(root)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == SARIF_VERSION
+        results = payload["runs"][0]["results"]
+        assert [r["ruleId"] for r in results] == ["F001"]
+        assert "noisy.py" in results[0]["locations"][0]["physicalLocation"][
+            "artifactLocation"
+        ]["uri"]

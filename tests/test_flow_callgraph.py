@@ -1,0 +1,294 @@
+"""Project model + call-graph builder on adversarial shapes.
+
+Covers the resolution paths ISSUE 10 calls out explicitly: cyclic
+imports, decorated/wrapped functions, ``functools.partial``, method
+dispatch through ``EngineAlgorithm``-style subclass hierarchies — and
+pins that the analysis is deterministic (same findings, same order)
+across repeated runs.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.flow.callgraph import build_call_graph
+from repro.analysis.flow.project import Project
+
+
+def make_package(tmp_path: Path, files: dict[str, str], name: str = "pkg") -> Path:
+    root = tmp_path / name
+    root.mkdir()
+    (root / "__init__.py").write_text(files.pop("__init__.py", ""), encoding="utf-8")
+    for rel, source in files.items():
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source), encoding="utf-8")
+    return root
+
+
+class TestProjectModel:
+    def test_module_name_resolution_through_imports(self, tmp_path):
+        root = make_package(tmp_path, {
+            "alpha.py": """
+                def helper():
+                    return 1
+            """,
+            "beta.py": """
+                from pkg import alpha
+                from pkg.alpha import helper as h
+
+                def caller():
+                    return alpha.helper() + h()
+            """,
+        })
+        project = Project.load(root, "pkg")
+        beta = project.modules["pkg.beta"]
+        assert project.resolve(beta, "alpha.helper") == "pkg.alpha.helper"
+        assert project.resolve(beta, "h") == "pkg.alpha.helper"
+
+    def test_reexport_through_init_is_chased(self, tmp_path):
+        root = make_package(tmp_path, {
+            "__init__.py": "from pkg.impl import thing\n",
+            "impl.py": """
+                def thing():
+                    return 42
+            """,
+            "user.py": """
+                import pkg
+
+                def use():
+                    return pkg.thing()
+            """,
+        })
+        project = Project.load(root, "pkg")
+        user = project.modules["pkg.user"]
+        assert project.resolve(user, "pkg.thing") == "pkg.impl.thing"
+
+    def test_cyclic_imports_terminate_and_resolve(self, tmp_path):
+        root = make_package(tmp_path, {
+            "a.py": """
+                from pkg import b
+
+                def fa():
+                    return b.fb()
+            """,
+            "b.py": """
+                from pkg import a
+
+                def fb():
+                    return a.fa()
+            """,
+        })
+        project = Project.load(root, "pkg")
+        graph = build_call_graph(project)
+        assert graph.callees("pkg.a.fa") == ("pkg.b.fb",)
+        assert graph.callees("pkg.b.fb") == ("pkg.a.fa",)
+
+    def test_parse_error_is_reported_not_fatal(self, tmp_path):
+        root = make_package(tmp_path, {
+            "ok.py": "def fine():\n    return 1\n",
+            "broken.py": "def broken(:\n",
+        })
+        project = Project.load(root, "pkg")
+        assert "pkg.ok" in project.modules
+        assert len(project.parse_errors) == 1
+        assert "broken.py" in project.parse_errors[0][0]
+
+
+ENGINE_HIERARCHY = {
+    "engine.py": """
+        class EngineAlgorithm:
+            def ask(self):
+                raise NotImplementedError
+
+            def step(self):
+                return self.ask()
+    """,
+    "algos.py": """
+        from pkg.engine import EngineAlgorithm
+
+        class Carbon(EngineAlgorithm):
+            def ask(self):
+                return "carbon"
+
+        class Cobra(EngineAlgorithm):
+            def ask(self):
+                return "cobra"
+
+        class Cobra3(Cobra):
+            def ask(self):
+                return "cobra3"
+    """,
+    "loop.py": """
+        from pkg.engine import EngineAlgorithm
+
+        def run(algorithm: EngineAlgorithm):
+            return algorithm.step()
+    """,
+}
+
+
+class TestDispatch:
+    def test_subclass_fanout_through_declared_base_type(self, tmp_path):
+        project = Project.load(make_package(tmp_path, dict(ENGINE_HIERARCHY)), "pkg")
+        graph = build_call_graph(project)
+        # run() dispatches step() on the declared base class only.
+        assert graph.callees("pkg.loop.run") == ("pkg.engine.EngineAlgorithm.step",)
+        # step() calls self.ask(): the base raise + every subclass override.
+        assert graph.callees("pkg.engine.EngineAlgorithm.step") == (
+            "pkg.algos.Carbon.ask",
+            "pkg.algos.Cobra.ask",
+            "pkg.algos.Cobra3.ask",
+            "pkg.engine.EngineAlgorithm.ask",
+        )
+
+    def test_mro_walks_to_inherited_method(self, tmp_path):
+        project = Project.load(make_package(tmp_path, dict(ENGINE_HIERARCHY)), "pkg")
+        resolved = project.resolve_method("pkg.algos.Cobra3", "step")
+        assert resolved is not None
+        assert resolved.qualname == "pkg.engine.EngineAlgorithm.step"
+
+    def test_constructor_call_lands_on_init(self, tmp_path):
+        root = make_package(tmp_path, {
+            "cls.py": """
+                class Widget:
+                    def __init__(self, n):
+                        self.n = n
+            """,
+            "make.py": """
+                from pkg.cls import Widget
+
+                def build():
+                    return Widget(3)
+            """,
+        })
+        project = Project.load(root, "pkg")
+        graph = build_call_graph(project)
+        assert graph.callees("pkg.make.build") == ("pkg.cls.Widget.__init__",)
+
+    def test_local_constructor_assignment_gives_type_evidence(self, tmp_path):
+        root = make_package(tmp_path, {
+            "svc.py": """
+                class Service:
+                    def ping(self):
+                        return True
+            """,
+            "use.py": """
+                from pkg.svc import Service
+
+                def call():
+                    s = Service()
+                    return s.ping()
+            """,
+        })
+        project = Project.load(root, "pkg")
+        graph = build_call_graph(project)
+        assert "pkg.svc.Service.ping" in graph.callees("pkg.use.call")
+
+
+class TestAdversarialShapes:
+    def test_decorated_function_stays_a_target(self, tmp_path):
+        root = make_package(tmp_path, {
+            "deco.py": """
+                import functools
+
+                def wraps_it(fn):
+                    @functools.wraps(fn)
+                    def wrapper(*a, **k):
+                        return fn(*a, **k)
+                    return wrapper
+
+                @wraps_it
+                def decorated():
+                    return 7
+
+                def caller():
+                    return decorated()
+            """,
+        })
+        project = Project.load(root, "pkg")
+        graph = build_call_graph(project)
+        assert "pkg.deco.decorated" in graph.callees("pkg.deco.caller")
+
+    def test_functools_partial_edges_to_wrapped_function(self, tmp_path):
+        root = make_package(tmp_path, {
+            "part.py": """
+                import functools
+
+                def worker(x, y):
+                    return x + y
+
+                def bind():
+                    return functools.partial(worker, 1)
+            """,
+        })
+        project = Project.load(root, "pkg")
+        graph = build_call_graph(project)
+        assert "pkg.part.worker" in graph.callees("pkg.part.bind")
+
+    def test_nested_function_calls_resolve_in_enclosing_scope(self, tmp_path):
+        root = make_package(tmp_path, {
+            "nest.py": """
+                def outer():
+                    def inner():
+                        return 1
+                    return inner()
+            """,
+        })
+        project = Project.load(root, "pkg")
+        graph = build_call_graph(project)
+        assert graph.callees("pkg.nest.outer") == ("pkg.nest.outer.inner",)
+        assert project.functions["pkg.nest.outer.inner"].is_nested
+
+    def test_generator_detection_ignores_nested_defs(self, tmp_path):
+        root = make_package(tmp_path, {
+            "gen.py": """
+                def plain():
+                    def nested_gen():
+                        yield 1
+                    return list(nested_gen())
+
+                def actual_gen():
+                    yield 2
+            """,
+        })
+        project = Project.load(root, "pkg")
+        assert not project.functions["pkg.gen.plain"].is_generator
+        assert project.functions["pkg.gen.plain.nested_gen"].is_generator
+        assert project.functions["pkg.gen.actual_gen"].is_generator
+
+
+class TestDeterminism:
+    def test_two_loads_yield_identical_graphs(self, tmp_path):
+        root = make_package(tmp_path, dict(ENGINE_HIERARCHY))
+        graphs = [build_call_graph(Project.load(root, "pkg")) for _ in range(2)]
+        assert graphs[0].edges == graphs[1].edges
+        assert [
+            (s.caller, s.raw, s.targets, s.line, s.col) for s in graphs[0].sites
+        ] == [(s.caller, s.raw, s.targets, s.line, s.col) for s in graphs[1].sites]
+
+    def test_edges_and_sites_are_sorted(self, tmp_path):
+        root = make_package(tmp_path, dict(ENGINE_HIERARCHY))
+        graph = build_call_graph(Project.load(root, "pkg"))
+        assert list(graph.edges) == sorted(graph.edges)
+        keys = [(s.caller, s.line, s.col, s.raw) for s in graph.sites]
+        assert keys == sorted(keys)
+        for callees in graph.edges.values():
+            assert list(callees) == sorted(callees)
+
+
+class TestCallGraphOnRealTree:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return build_call_graph(Project.load(Path("src/repro"), "repro"))
+
+    def test_loads_the_full_package(self, graph):
+        assert not graph.project.parse_errors
+        assert len(graph.project.modules) > 50
+
+    def test_router_dispatch_reaches_broadcast(self, graph):
+        callees = graph.callees("repro.serve.router.SolveRouter._process")
+        assert "repro.serve.router.SolveRouter._broadcast" in callees

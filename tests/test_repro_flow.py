@@ -1,0 +1,489 @@
+"""``repro-flow`` — dataflow engine, F-rules, baseline ratchet, CLI.
+
+The load-bearing cases:
+
+* interprocedural determinism taint (F001–F003): source in one module,
+  sink three calls away in another, attribute flows through ``self``;
+* process-boundary safety (F101) beyond the literal call site;
+* wire-protocol conformance (F201–F203) against a copy of the *real*
+  ``repro.serve`` package with a seeded fault: the ``shards`` dispatch
+  branch removed from ``SolveRouter`` must be reported as
+  sent-but-never-handled;
+* byte-determinism: identical output across runs and under
+  ``PYTHONHASHSEED`` variation (subprocess);
+* the shrink-only baseline ratchet and CLI exit codes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.flow import baseline as baseline_mod
+from repro.analysis.flow.checks import FLOW_RULES, flow_diagnostics
+from repro.analysis.flow.cli import main as flow_main
+from repro.analysis.flow.dataflow import analyze_dataflow
+from repro.analysis.flow.project import Project
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SERVE_DIR = REPO_ROOT / "src" / "repro" / "serve"
+
+
+def make_package(tmp_path: Path, files: dict[str, str], name: str = "pkg") -> Path:
+    root = tmp_path / name
+    root.mkdir()
+    (root / "__init__.py").write_text(files.pop("__init__.py", ""), encoding="utf-8")
+    for rel, source in files.items():
+        (root / rel).write_text(textwrap.dedent(source), encoding="utf-8")
+    return root
+
+
+def codes(diagnostics) -> list[str]:
+    return [d.code for d in diagnostics]
+
+
+class TestDeterminismTaint:
+    def test_rng_reaches_fitness_across_modules(self, tmp_path):
+        root = make_package(tmp_path, {
+            "maker.py": """
+                import numpy as np
+
+                def fresh_rng():
+                    return np.random.default_rng()
+            """,
+            "consumer.py": """
+                from pkg.maker import fresh_rng
+
+                def fold():
+                    rng = fresh_rng()
+                    fitness = rng.normal()
+                    return fitness
+            """,
+        })
+        findings = flow_diagnostics(Project.load(root, "pkg"))
+        assert "F001" in codes(findings)
+        f001 = next(d for d in findings if d.code == "F001")
+        assert "consumer.py" in f001.path  # reported at the sink...
+        assert "maker.py" in f001.message  # ...naming the source module
+
+    def test_seeded_rng_is_clean(self, tmp_path):
+        root = make_package(tmp_path, {
+            "ok.py": """
+                import numpy as np
+
+                def fold(seed):
+                    rng = np.random.default_rng(seed)
+                    fitness = rng.normal()
+                    return fitness
+            """,
+        })
+        assert flow_diagnostics(Project.load(root, "pkg")) == []
+
+    def test_attribute_taint_flows_between_methods(self, tmp_path):
+        root = make_package(tmp_path, {
+            "algo.py": """
+                import numpy as np
+
+                class Algo:
+                    def __init__(self):
+                        self._rng = np.random.default_rng()
+
+                    def step(self):
+                        gap = self._rng.random()
+                        return gap
+            """,
+        })
+        findings = flow_diagnostics(Project.load(root, "pkg"))
+        assert "F001" in codes(findings)
+
+    def test_clock_reaches_state_dict(self, tmp_path):
+        root = make_package(tmp_path, {
+            "ckpt.py": """
+                import time
+
+                class Loop:
+                    def state_dict(self):
+                        return {"stamp": time.time()}
+            """,
+        })
+        findings = flow_diagnostics(Project.load(root, "pkg"))
+        assert codes(findings) == ["F002"]
+
+    def test_set_iteration_reaches_memo_key_but_sorted_is_clean(self, tmp_path):
+        root = make_package(tmp_path, {
+            "keys.py": """
+                def dirty(memo, items):
+                    for key in set(items):
+                        memo.get(key)
+
+                def clean(memo, items):
+                    for key in sorted(set(items)):
+                        memo.get(key)
+            """,
+        })
+        findings = flow_diagnostics(Project.load(root, "pkg"))
+        assert codes(findings) == ["F003"]
+        assert findings[0].line == 4  # only the unsorted loop's memo.get sink
+
+    def test_param_sink_reports_at_the_caller(self, tmp_path):
+        root = make_package(tmp_path, {
+            "lib.py": """
+                def digest_of(stable_hash, value):
+                    return stable_hash(value)
+            """,
+            "app.py": """
+                import numpy as np
+                from pkg.lib import digest_of
+
+                def run(stable_hash):
+                    noisy = np.random.default_rng().random()
+                    return digest_of(stable_hash, noisy)
+            """,
+        })
+        findings = flow_diagnostics(Project.load(root, "pkg"))
+        f001 = [d for d in findings if d.code == "F001"]
+        assert f001 and any("app.py" in d.path for d in f001)
+
+    def test_pragma_suppresses_a_finding(self, tmp_path):
+        root = make_package(tmp_path, {
+            "noisy.py": """
+                import numpy as np
+
+                def fold():
+                    # repro-lint: disable-next-line=F001  # test pragma
+                    fitness = np.random.default_rng().random()
+                    return fitness
+            """,
+        })
+        assert flow_diagnostics(Project.load(root, "pkg")) == []
+
+
+class TestProcessBoundary:
+    def test_lambda_crossing_submit_interprocedurally(self, tmp_path):
+        root = make_package(tmp_path, {
+            "work.py": """
+                def dispatch(executor, fn):
+                    executor.submit(fn)
+            """,
+            "app.py": """
+                from pkg.work import dispatch
+
+                def run(executor):
+                    dispatch(executor, lambda: 1)
+            """,
+        })
+        findings = flow_diagnostics(Project.load(root, "pkg"))
+        f101 = [d for d in findings if d.code == "F101"]
+        assert f101 and any("app.py" in d.path for d in f101)
+
+    def test_nested_closure_to_executor_map(self, tmp_path):
+        root = make_package(tmp_path, {
+            "app.py": """
+                def run(executor, items):
+                    def bump(x):
+                        return x + 1
+                    return list(executor.map(bump, items))
+            """,
+        })
+        findings = flow_diagnostics(Project.load(root, "pkg"))
+        assert "F101" in codes(findings)
+
+    def test_module_level_function_is_clean(self, tmp_path):
+        root = make_package(tmp_path, {
+            "app.py": """
+                def bump(x):
+                    return x + 1
+
+                def run(executor, items):
+                    return list(executor.map(bump, items))
+            """,
+        })
+        assert flow_diagnostics(Project.load(root, "pkg")) == []
+
+    def test_materialized_generator_is_clean_but_raw_generator_flags(self, tmp_path):
+        root = make_package(tmp_path, {
+            "app.py": """
+                def clean(executor, items):
+                    docs = tuple(str(i) for i in items)
+                    executor.submit(docs)
+
+                def dirty(executor, items):
+                    docs = (str(i) for i in items)
+                    executor.submit(docs)
+            """,
+        })
+        findings = flow_diagnostics(Project.load(root, "pkg"))
+        assert codes(findings) == ["F101"]
+        assert findings[0].line == 8
+
+    def test_lock_into_shardspec_constructor(self, tmp_path):
+        root = make_package(tmp_path, {
+            "spec.py": """
+                class ShardSpec:
+                    def __init__(self, name, guard):
+                        self.name = name
+                        self.guard = guard
+            """,
+            "app.py": """
+                import threading
+                from pkg.spec import ShardSpec
+
+                def build():
+                    return ShardSpec("s0", threading.Lock())
+            """,
+        })
+        findings = flow_diagnostics(Project.load(root, "pkg"))
+        assert "F101" in codes(findings)
+
+
+class TestProtocolConformance:
+    """F201–F203 against a copy of the real serve package."""
+
+    @pytest.fixture()
+    def serve_copy(self, tmp_path):
+        root = tmp_path / "serveproj"
+        shutil.copytree(SERVE_DIR, root)
+        return root
+
+    def test_real_serve_package_is_conformant(self, serve_copy):
+        findings = flow_diagnostics(Project.load(serve_copy, "serveproj"))
+        assert [d for d in findings if d.code in ("F201", "F202", "F203")] == []
+
+    def test_seeded_fault_removed_dispatch_reports_sent_but_never_handled(
+        self, serve_copy
+    ):
+        router = serve_copy / "router.py"
+        source = router.read_text(encoding="utf-8")
+        faulted, n = re.subn(
+            r'elif op == "shards":.*?(?=\n        elif op )',
+            "",
+            source,
+            flags=re.DOTALL,
+        )
+        assert n == 1, "seeded fault did not apply; router dispatch changed shape"
+        router.write_text(faulted, encoding="utf-8")
+
+        findings = flow_diagnostics(Project.load(serve_copy, "serveproj"))
+        f201 = [d for d in findings if d.code == "F201"]
+        assert f201, "removed dispatch branch must be reported"
+        assert any('"shards"' in d.message for d in f201)
+        # The send site (client.py) is where the diagnostic lands.
+        assert any(d.path.endswith("client.py") for d in f201)
+
+    def test_handled_but_never_sent(self, tmp_path):
+        root = make_package(tmp_path, {
+            "client.py": """
+                def ping(sock):
+                    sock.send({"op": "ping"})
+            """,
+            "server.py": """
+                def process(request, out):
+                    op = request.get("op")
+                    if op == "ping":
+                        out({"ok": True})
+                    elif op == "drain":
+                        out({"ok": True})
+            """,
+        })
+        findings = flow_diagnostics(Project.load(root, "pkg"))
+        f202 = [d for d in findings if d.code == "F202"]
+        assert len(f202) == 1 and '"drain"' in f202[0].message
+
+    def test_reply_field_never_constructed(self, tmp_path):
+        root = make_package(tmp_path, {
+            "protocol.py": """
+                def ok_response(request):
+                    return {"ok": True}
+            """,
+            "client.py": """
+                def stats(sock):
+                    sock.send({"op": "stats"})
+                    return sock.recv()["stats"]
+            """,
+            "server.py": """
+                from pkg.protocol import ok_response
+
+                def process(request, out):
+                    op = request.get("op")
+                    if op == "stats":
+                        out(ok_response(request))
+            """,
+        })
+        findings = flow_diagnostics(Project.load(root, "pkg"))
+        f203 = [d for d in findings if d.code == "F203"]
+        assert len(f203) == 1 and '"stats"' in f203[0].message
+
+
+class TestSourceTreeIsClean:
+    def test_src_repro_has_zero_unbaselined_findings(self):
+        findings = flow_diagnostics(Project.load(REPO_ROOT / "src" / "repro", "repro"))
+        assert findings == [], "\n".join(d.format() for d in findings)
+
+
+class TestDeterministicOutput:
+    def test_same_findings_same_order_across_runs(self, tmp_path):
+        root = make_package(tmp_path, {
+            "a.py": """
+                import numpy as np
+
+                def one():
+                    fitness = np.random.default_rng().random()
+                    return fitness
+
+                def two(memo, items):
+                    for key in set(items):
+                        memo.put(key, 1)
+            """,
+        })
+        runs = [flow_diagnostics(Project.load(root, "pkg")) for _ in range(2)]
+        assert runs[0] == runs[1]
+        assert [d.format() for d in runs[0]] == [d.format() for d in runs[1]]
+
+    def test_byte_identical_under_hashseed_variation(self):
+        """Full src/repro pass twice, different PYTHONHASHSEED, same bytes."""
+        outputs = []
+        for seed in ("0", "31337"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = seed
+            env["PYTHONPATH"] = str(REPO_ROOT / "src")
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro.analysis.flow.cli",
+                 "--format", "json", "src/repro"],
+                capture_output=True,
+                cwd=REPO_ROOT,
+                env=env,
+                timeout=120,
+            )
+            assert proc.returncode == 0, proc.stderr.decode()
+            outputs.append(proc.stdout)
+        assert outputs[0] == outputs[1]
+
+
+class TestBaselineRatchet:
+    def _diag(self, path="src/x.py", code="F001", line=1):
+        from repro.analysis.diagnostics import Diagnostic
+
+        return Diagnostic(path=path, line=line, col=0, code=code, message="m")
+
+    def test_growth_fails(self):
+        failures, _ = baseline_mod.check([self._diag()], {"total-findings": 0})
+        assert failures
+
+    def test_within_budget_passes(self):
+        budget = {"total-findings": 1, "src/x.py:F001": 1}
+        failures, warnings = baseline_mod.check([self._diag()], budget)
+        assert not failures and not warnings
+
+    def test_shrink_warns_to_ratchet_down(self):
+        failures, warnings = baseline_mod.check([], {"total-findings": 2})
+        assert not failures
+        assert any("ratchet" in w for w in warnings)
+
+    def test_new_bucket_fails_even_under_total(self):
+        budget = {"total-findings": 5, "src/y.py:F003": 5}
+        failures, _ = baseline_mod.check([self._diag()], budget)
+        assert any("src/x.py:F001" in f for f in failures)
+
+    def test_write_then_load_roundtrips(self, tmp_path):
+        path = tmp_path / "flow-baseline.txt"
+        counts = {"src/x.py:F001": 2, "src/y.py:F202": 1}
+        baseline_mod.write_baseline(path, counts)
+        loaded = baseline_mod.load_baseline(path)
+        assert loaded.pop("total-findings") == 3
+        assert loaded == counts
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        path = tmp_path / "flow-baseline.txt"
+        path.write_text("not a baseline line\n", encoding="utf-8")
+        with pytest.raises(ValueError):
+            baseline_mod.load_baseline(path)
+
+
+class TestCli:
+    def _noisy_package(self, tmp_path):
+        return make_package(tmp_path, {
+            "noisy.py": """
+                import numpy as np
+
+                def fold():
+                    fitness = np.random.default_rng().random()
+                    return fitness
+            """,
+        })
+
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        root = make_package(tmp_path, {"ok.py": "def f():\n    return 1\n"})
+        assert flow_main([str(root)]) == 0
+
+    def test_exit_one_on_findings_with_text_output(self, tmp_path, capsys):
+        root = self._noisy_package(tmp_path)
+        assert flow_main([str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "F001" in out and "noisy.py" in out
+
+    def test_json_format_shape(self, tmp_path, capsys):
+        root = self._noisy_package(tmp_path)
+        assert flow_main(["--format", "json", str(root)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"][0]["code"] == "F001"
+
+    def test_select_filters_rules(self, tmp_path, capsys):
+        root = self._noisy_package(tmp_path)
+        assert flow_main(["--select", "F202", str(root)]) == 0
+
+    def test_unknown_select_code_errors(self, tmp_path):
+        root = self._noisy_package(tmp_path)
+        assert flow_main(["--select", "F999", str(root)]) == 2
+
+    def test_missing_directory_errors(self):
+        assert flow_main(["definitely/not/a/dir"]) == 2
+
+    def test_list_rules_prints_catalogue(self, capsys):
+        assert flow_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in FLOW_RULES:
+            assert code in out
+
+    def test_update_then_check_gates_growth(self, tmp_path, capsys):
+        root = self._noisy_package(tmp_path)
+        baseline = tmp_path / "flow-baseline.txt"
+        # --update writes the budget and exits clean (it IS the ratchet).
+        assert flow_main(["--update", "--baseline", str(baseline), str(root)]) == 0
+        assert flow_main(["--check", "--baseline", str(baseline), str(root)]) == 0
+        # A second finding appears -> the gate fails.
+        (root / "more.py").write_text(
+            "import numpy as np\n\n"
+            "def worse():\n"
+            "    gap = np.random.default_rng().random()\n"
+            "    return gap\n",
+            encoding="utf-8",
+        )
+        assert flow_main(["--check", "--baseline", str(baseline), str(root)]) == 1
+
+    def test_repro_lint_flow_delegates(self, tmp_path, capsys):
+        from repro.analysis.cli import main as lint_main
+
+        root = self._noisy_package(tmp_path)
+        assert lint_main(["--flow", str(root)]) == 1
+        assert "F001" in capsys.readouterr().out
+
+    def test_parse_error_exits_two_and_reports_f000(self, tmp_path, capsys):
+        root = make_package(tmp_path, {"bad.py": "def broken(:\n"})
+        assert flow_main([str(root)]) == 2
+        assert "F000" in capsys.readouterr().out
+
+
+class TestEngineInternals:
+    def test_summaries_reach_fixpoint_quickly(self):
+        project = Project.load(REPO_ROOT / "src" / "repro", "repro")
+        result = analyze_dataflow(project)
+        assert result.rounds < 8  # converged, did not hit the bound
+        assert result.summaries  # every function has a summary
